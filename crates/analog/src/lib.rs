@@ -1,0 +1,45 @@
+//! Electrical-level substrate for BIC sensor analysis.
+//!
+//! The paper's §3.2 derives the gate delay degradation factor `δ(g,t)`
+//! from "a second order electrical network model having as parameters
+//! `R_s` (the BIC sensor ON resistance), `C_s` (the parasitic capacitance
+//! at the virtual rail node), `C_g` (the equivalent capacitance at the
+//! output of g), `R_g` (an average equivalent ON resistance for the
+//! discharging network of a gate of the CUT), and `n(t)` (the
+//! activity-number of simultaneously switching gates at time t)". §3.4
+//! additionally uses a term `Δ(τ)` for the IDDQ decay + sensing time,
+//! "estimated from SPICE level simulations" as a function of the sensor
+//! time constant `τ_s = R_s · C_s`.
+//!
+//! The original paper's printed formula for `δ` is illegible in the
+//! archival scan, so this crate *re-derives* the model from the very
+//! network the paper describes and validates the closed form against a
+//! numerical transient solver (our stand-in for the authors' SPICE runs):
+//!
+//! * [`network::SwitchNetwork`] — the two-state ODE of `n` simultaneously
+//!   discharging gates sharing one bypass device,
+//! * [`transient`] — a fixed-step RK4 integrator,
+//! * [`network::delay_degradation`] — the closed-form `δ(n, R_s, C_s,
+//!   R_g, C_g)` used by the fast estimator in `iddq-core`,
+//! * [`settle`] — the `Δ(τ)` decay/sense-time model.
+//!
+//! # Example
+//!
+//! ```rust
+//! use iddq_analog::network::{delay_degradation, SwitchNetwork};
+//!
+//! // Ten gates switching at once through a 10 Ω bypass:
+//! let fast = delay_degradation(10.0, 10.0, 200.0, 1.8, 60.0);
+//! assert!(fast > 1.0); // the sensor always slows the gate down
+//! // The numerical model agrees on direction and rough magnitude:
+//! let net = SwitchNetwork { n: 10.0, rs_ohm: 10.0, cs_ff: 200.0, rg_kohm: 1.8, cg_ff: 60.0, vdd_v: 5.0 };
+//! let slow = net.delay_ps() / net.nominal_delay_ps();
+//! assert!((fast - slow).abs() / slow < 0.35);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod settle;
+pub mod transient;

@@ -1,0 +1,154 @@
+//! The IDDQ decay + sensing time `Δ(τ)` of §3.4.
+//!
+//! After a test vector is applied the transient `i_DD` must decay below
+//! the sensor threshold before a meaningful quiescent measurement can be
+//! taken; the paper models the extra per-vector time as a term `Δ(τ_s,i)`
+//! "estimated from SPICE level simulations as a function of the BIC
+//! sensor time constant `τ_s,i = R_s,i · C_s,i`".
+//!
+//! The dominant residual after the gates settle is the charge parked on
+//! the virtual rail capacitance, which bleeds through the bypass device
+//! with exactly that time constant, so the decay time to a current
+//! threshold is `τ · ln(I_0/I_th)` — [`settle_time_ps`]. [`DecayModel`]
+//! adds the fixed sensing/strobe time and a safety margin, and
+//! [`simulated_settle_time_ps`] is the numerical reference.
+
+use crate::transient::first_crossing;
+
+/// Analytic decay time: `τ · ln(i0/ith)` (zero when already below
+/// threshold).
+///
+/// # Panics
+///
+/// Panics if `tau_ps < 0` or either current is non-positive.
+#[must_use]
+pub fn settle_time_ps(tau_ps: f64, i0_ua: f64, ith_ua: f64) -> f64 {
+    assert!(tau_ps >= 0.0, "time constant must be non-negative");
+    assert!(i0_ua > 0.0 && ith_ua > 0.0, "currents must be positive");
+    if i0_ua <= ith_ua {
+        0.0
+    } else {
+        tau_ps * (i0_ua / ith_ua).ln()
+    }
+}
+
+/// Numerical reference: integrate the rail discharge `dv/dt = −v/(R_s·C_s)`
+/// from `v(0) = i0·R_s` until the bypass current `v/R_s` falls below
+/// `ith`.
+///
+/// # Panics
+///
+/// Panics if any parameter is non-positive.
+#[must_use]
+pub fn simulated_settle_time_ps(rs_ohm: f64, cs_ff: f64, i0_ua: f64, ith_ua: f64) -> f64 {
+    assert!(rs_ohm > 0.0 && cs_ff > 0.0, "RC must be positive");
+    assert!(i0_ua > 0.0 && ith_ua > 0.0, "currents must be positive");
+    let tau_ps = rs_ohm * cs_ff / 1000.0;
+    let v0 = i0_ua * rs_ohm * 1e-6; // volts
+    let vth = ith_ua * rs_ohm * 1e-6;
+    if v0 <= vth {
+        return 0.0;
+    }
+    first_crossing(
+        [v0],
+        tau_ps / 200.0,
+        tau_ps * 80.0,
+        |_, y| [-y[0] / tau_ps],
+        |y| y[0],
+        vth,
+    )
+    .expect("exponential decay always crosses")
+}
+
+/// Δ(τ) model: decay to a margin below threshold plus a fixed sensing
+/// window.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_analog::settle::DecayModel;
+///
+/// let m = DecayModel::default();
+/// let fast = m.delta_ps(10.0, 2_000.0, 1.0);
+/// let slow = m.delta_ps(1_000.0, 2_000.0, 1.0);
+/// assert!(slow > fast); // bigger sensor time constant → longer test
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayModel {
+    /// Fixed sensing/strobe/latch time of the detection circuitry, ps.
+    pub sense_time_ps: f64,
+    /// The decay target as a fraction of `I_DDQ,th` (decaying only to the
+    /// threshold itself would leave no noise margin).
+    pub margin: f64,
+}
+
+impl Default for DecayModel {
+    fn default() -> Self {
+        DecayModel {
+            sense_time_ps: 20_000.0, // 20 ns strobe, typical of the era's BIC sensors
+            margin: 0.1,
+        }
+    }
+}
+
+impl DecayModel {
+    /// Per-vector extra time `Δ(τ)` for a module with sensor time constant
+    /// `tau_ps`, peak transient current `peak_ua` and threshold
+    /// `threshold_ua`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive currents (see [`settle_time_ps`]).
+    #[must_use]
+    pub fn delta_ps(&self, tau_ps: f64, peak_ua: f64, threshold_ua: f64) -> f64 {
+        settle_time_ps(tau_ps, peak_ua, threshold_ua * self.margin) + self.sense_time_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_matches_simulation() {
+        for (rs, cs) in [(5.0, 500.0), (20.0, 2000.0), (50.0, 10_000.0)] {
+            let tau = rs * cs / 1000.0;
+            let a = settle_time_ps(tau, 3000.0, 1.0);
+            let s = simulated_settle_time_ps(rs, cs, 3000.0, 1.0);
+            assert!((a - s).abs() / a < 1e-3, "rs={rs} cs={cs}: {a} vs {s}");
+        }
+    }
+
+    #[test]
+    fn below_threshold_is_instant() {
+        assert_eq!(settle_time_ps(100.0, 0.5, 1.0), 0.0);
+        assert_eq!(simulated_settle_time_ps(10.0, 100.0, 0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn scales_linearly_with_tau() {
+        let a = settle_time_ps(10.0, 100.0, 1.0);
+        let b = settle_time_ps(20.0, 100.0, 1.0);
+        assert!((b - 2.0 * a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_includes_sense_floor() {
+        let m = DecayModel::default();
+        // Even a zero-τ sensor pays the strobe time.
+        assert_eq!(m.delta_ps(0.0, 100.0, 1.0), m.sense_time_ps);
+    }
+
+    #[test]
+    fn margin_lengthens_decay() {
+        let tight = DecayModel { margin: 0.01, ..DecayModel::default() };
+        let loose = DecayModel { margin: 0.5, ..DecayModel::default() };
+        assert!(tight.delta_ps(100.0, 100.0, 1.0) > loose.delta_ps(100.0, 100.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "currents must be positive")]
+    fn zero_current_panics() {
+        let _ = settle_time_ps(10.0, 0.0, 1.0);
+    }
+}

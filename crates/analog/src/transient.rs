@@ -1,0 +1,160 @@
+//! Fixed-step Runge–Kutta transient solver.
+//!
+//! A deliberately small ODE integrator: the sensor network has two state
+//! variables and smooth dynamics, so classic RK4 with a conservative step
+//! is more than adequate (this is the role SPICE played for the paper's
+//! authors — fitting `Δ(τ)` and validating `δ`).
+
+/// Integrates `dy/dt = f(t, y)` from `y0` over `0..t_max` with step `dt`.
+///
+/// Calls `observe(t, y)` after every step; integration stops early when
+/// `observe` returns `false`. Returns the final `(t, y)`.
+///
+/// # Panics
+///
+/// Panics if `dt <= 0` or `t_max < 0`.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_analog::transient::rk4;
+///
+/// // dy/dt = -y, y(0) = 1 → y(1) = e^-1.
+/// let (_, y) = rk4([1.0], 1e-3, 1.0, |_, y| [-y[0]], |_, _| true);
+/// assert!((y[0] - (-1.0f64).exp()).abs() < 1e-9);
+/// ```
+pub fn rk4<const N: usize>(
+    y0: [f64; N],
+    dt: f64,
+    t_max: f64,
+    mut f: impl FnMut(f64, &[f64; N]) -> [f64; N],
+    mut observe: impl FnMut(f64, &[f64; N]) -> bool,
+) -> (f64, [f64; N]) {
+    assert!(dt > 0.0, "step must be positive");
+    assert!(t_max >= 0.0, "horizon must be non-negative");
+    let mut t = 0.0;
+    let mut y = y0;
+    while t < t_max {
+        let h = dt.min(t_max - t);
+        let k1 = f(t, &y);
+        let y2 = add_scaled(&y, &k1, h / 2.0);
+        let k2 = f(t + h / 2.0, &y2);
+        let y3 = add_scaled(&y, &k2, h / 2.0);
+        let k3 = f(t + h / 2.0, &y3);
+        let y4 = add_scaled(&y, &k3, h);
+        let k4 = f(t + h, &y4);
+        for i in 0..N {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        t += h;
+        if !observe(t, &y) {
+            break;
+        }
+    }
+    (t, y)
+}
+
+fn add_scaled<const N: usize>(y: &[f64; N], k: &[f64; N], s: f64) -> [f64; N] {
+    let mut out = *y;
+    for i in 0..N {
+        out[i] += s * k[i];
+    }
+    out
+}
+
+/// Finds the first time `value(t)` crosses below `target`, by linear
+/// interpolation between the integration samples.
+///
+/// Returns `None` if the trajectory never crosses within `t_max`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`rk4`].
+pub fn first_crossing<const N: usize>(
+    y0: [f64; N],
+    dt: f64,
+    t_max: f64,
+    mut f: impl FnMut(f64, &[f64; N]) -> [f64; N],
+    mut value: impl FnMut(&[f64; N]) -> f64,
+    target: f64,
+) -> Option<f64> {
+    let mut prev_t = 0.0;
+    let mut prev_v = value(&y0);
+    if prev_v <= target {
+        return Some(0.0);
+    }
+    let mut hit = None;
+    rk4(y0, dt, t_max, &mut f, |t, y| {
+        let v = value(y);
+        if v <= target {
+            // Linear interpolation inside the last step.
+            let frac = if (prev_v - v).abs() > f64::EPSILON {
+                (prev_v - target) / (prev_v - v)
+            } else {
+                1.0
+            };
+            hit = Some(prev_t + frac * (t - prev_t));
+            return false;
+        }
+        prev_t = t;
+        prev_v = v;
+        true
+    });
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_decay_accuracy() {
+        let (_, y) = rk4([1.0], 1e-3, 2.0, |_, y| [-y[0]], |_, _| true);
+        assert!((y[0] - (-2.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_state_harmonic_oscillator_conserves_energy() {
+        // y'' = -y as a 2-state system; energy drift of RK4 stays tiny.
+        let (_, y) = rk4([1.0, 0.0], 1e-3, 10.0, |_, y| [y[1], -y[0]], |_, _| true);
+        let energy = y[0] * y[0] + y[1] * y[1];
+        assert!((energy - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn early_stop_via_observer() {
+        let (t, _) = rk4([1.0], 0.01, 100.0, |_, y| [-y[0]], |t, _| t < 1.0);
+        assert!(t < 1.5);
+    }
+
+    #[test]
+    fn crossing_of_known_exponential() {
+        // y = e^-t crosses 0.5 at t = ln 2.
+        let t = first_crossing([1.0], 1e-3, 10.0, |_, y| [-y[0]], |y| y[0], 0.5).unwrap();
+        assert!((t - std::f64::consts::LN_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn crossing_none_when_out_of_horizon() {
+        let t = first_crossing([1.0], 1e-2, 0.1, |_, y| [-y[0]], |y| y[0], 0.5);
+        assert!(t.is_none());
+    }
+
+    #[test]
+    fn crossing_at_start_returns_zero() {
+        let t = first_crossing([0.1], 1e-2, 1.0, |_, y| [-y[0]], |y| y[0], 0.5).unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let _ = rk4([0.0], 0.0, 1.0, |_, _| [0.0], |_, _| true);
+    }
+
+    #[test]
+    fn partial_final_step_lands_exactly_on_horizon() {
+        let (t, _) = rk4([1.0], 0.3, 1.0, |_, y| [-y[0]], |_, _| true);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests for the electrical models.
+
+use proptest::prelude::*;
+
+use iddq_analog::network::{delay_degradation, SwitchNetwork};
+use iddq_analog::settle::{settle_time_ps, simulated_settle_time_ps, DecayModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// δ is always ≥ 1 and monotone in activity and bypass resistance.
+    #[test]
+    fn delta_monotonic(n in 1.0f64..128.0, rs in 0.5f64..100.0, cs in 10.0f64..20_000.0) {
+        let d = delay_degradation(n, rs, cs, 1.8, 60.0);
+        prop_assert!(d >= 1.0);
+        prop_assert!(delay_degradation(n + 1.0, rs, cs, 1.8, 60.0) >= d);
+        prop_assert!(delay_degradation(n, rs * 1.5, cs, 1.8, 60.0) >= d);
+        // More rail capacitance shields the gate.
+        prop_assert!(delay_degradation(n, rs, cs * 2.0, 1.8, 60.0) <= d + 1e-12);
+    }
+
+    /// δ is bounded by its quasi-static worst case 1 + n·Rs/Rg.
+    #[test]
+    fn delta_bounded_by_quasi_static(n in 1.0f64..64.0, rs in 0.5f64..50.0, cs in 1.0f64..50_000.0) {
+        let d = delay_degradation(n, rs, cs, 1.8, 60.0);
+        prop_assert!(d <= 1.0 + n * rs / 1800.0 + 1e-12);
+    }
+
+    /// The analytic settle time matches the simulated exponential decay
+    /// within integrator tolerance for any RC in the practical range.
+    #[test]
+    fn settle_analytic_matches_simulation(rs in 1.0f64..100.0, cs in 50.0f64..20_000.0, i0 in 2.0f64..10_000.0) {
+        let tau = rs * cs / 1000.0;
+        let a = settle_time_ps(tau, i0, 1.0);
+        let s = simulated_settle_time_ps(rs, cs, i0, 1.0);
+        prop_assert!((a - s).abs() <= a.max(1.0) * 5e-3, "{a} vs {s}");
+    }
+
+    /// Δ(τ) is monotone in τ and in the peak current.
+    #[test]
+    fn decay_model_monotone(tau in 0.0f64..10_000.0, peak in 2.0f64..1e6) {
+        let m = DecayModel::default();
+        let d = m.delta_ps(tau, peak, 1.0);
+        prop_assert!(d >= m.sense_time_ps);
+        prop_assert!(m.delta_ps(tau + 100.0, peak, 1.0) >= d);
+        prop_assert!(m.delta_ps(tau, peak * 2.0, 1.0) >= d);
+    }
+
+    /// The transient rail peak never exceeds the quasi-static bound the
+    /// partitioner's constraint uses — i.e. `R_s·î` is a safe (over-)
+    /// approximation of the real perturbation.
+    #[test]
+    fn rail_peak_bounded(n in 1.0f64..64.0, rs in 1.0f64..40.0, cs in 20.0f64..5_000.0) {
+        let net = SwitchNetwork { n, rs_ohm: rs, cs_ff: cs, rg_kohm: 1.8, cg_ff: 60.0, vdd_v: 5.0 };
+        let peak = net.peak_rail_perturbation_v();
+        prop_assert!(peak >= 0.0);
+        prop_assert!(peak <= net.quasi_static_rail_v() * 1.02);
+    }
+}

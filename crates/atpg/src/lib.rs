@@ -1,0 +1,223 @@
+//! IDDQ test-pattern generation.
+//!
+//! The paper assumes "a precomputed test vector set of the global CUT"
+//! (§3.4) — partitioning never changes the vectors, only the per-vector
+//! application time. This crate builds such a set: pseudo-random patterns
+//! fault-simulated against the IDDQ defect universe, greedily compacted to
+//! the vectors that first-detect at least one new fault.
+//!
+//! IDDQ ATPG is much easier than stuck-at ATPG because a defect only needs
+//! *activation* (a conducting state), not propagation to an output, so
+//! random patterns reach high coverage quickly; the value of compaction is
+//! cutting test *time*, which is exactly the `c_4` cost the partitioner
+//! estimates per vector.
+//!
+//! # Example
+//!
+//! ```rust
+//! use iddq_atpg::{generate, AtpgConfig};
+//! use iddq_logicsim::faults::{enumerate, FaultUniverseConfig};
+//! use iddq_netlist::data;
+//!
+//! let nl = data::ripple_adder(4);
+//! let faults = enumerate(&nl, &FaultUniverseConfig::default(), 7);
+//! let t = generate(&nl, &faults, &AtpgConfig::default(), 7);
+//! assert!(t.coverage > 0.9);
+//! assert!(t.vectors.len() < 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use iddq_logicsim::faults::IddqFault;
+use iddq_logicsim::Simulator;
+use iddq_netlist::Netlist;
+
+/// Generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtpgConfig {
+    /// Stop once this fraction of the fault universe is activated.
+    pub target_coverage: f64,
+    /// Give up after this many random 64-pattern batches without
+    /// improvement.
+    pub stagnation_batches: usize,
+    /// Hard cap on total batches.
+    pub max_batches: usize,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            target_coverage: 0.99,
+            stagnation_batches: 16,
+            max_batches: 512,
+        }
+    }
+}
+
+/// A compacted IDDQ test set.
+#[derive(Debug, Clone)]
+pub struct TestSet {
+    /// The kept vectors, in application order (one `bool` per primary
+    /// input, netlist input order).
+    pub vectors: Vec<Vec<bool>>,
+    /// Activation coverage achieved over the fault universe.
+    pub coverage: f64,
+    /// Per-fault: was it activated by some kept vector.
+    pub activated: Vec<bool>,
+}
+
+/// Generates a compacted vector set activating the given fault universe.
+///
+/// Deterministic for a fixed `(netlist, faults, config, seed)`.
+///
+/// The inner loop fault-simulates 64 random patterns at a time and keeps,
+/// per batch, the patterns that activate at least one not-yet-covered
+/// fault (greedy first-fit compaction, scanning patterns in index order).
+#[must_use]
+pub fn generate(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    config: &AtpgConfig,
+    seed: u64,
+) -> TestSet {
+    let sim = Simulator::new(netlist);
+    let num_inputs = netlist.num_inputs();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xa7b6);
+    let mut activated = vec![false; faults.len()];
+    let mut vectors: Vec<Vec<bool>> = Vec::new();
+    let mut remaining = faults.len();
+    let mut stagnant = 0usize;
+
+    for _batch in 0..config.max_batches {
+        if faults.is_empty()
+            || 1.0 - remaining as f64 / faults.len() as f64 >= config.target_coverage
+            || stagnant >= config.stagnation_batches
+        {
+            break;
+        }
+        let words: Vec<u64> = (0..num_inputs).map(|_| rng.gen()).collect();
+        let values = sim.eval(&words);
+        // Activation masks of still-uncovered faults.
+        let masks: Vec<(usize, u64)> = faults
+            .iter()
+            .enumerate()
+            .filter(|(fi, _)| !activated[*fi])
+            .map(|(fi, f)| (fi, f.activation(netlist, &values)))
+            .collect();
+        let mut batch_progress = false;
+        for k in 0..64u32 {
+            let bit = 1u64 << k;
+            let mut keep = false;
+            for &(fi, mask) in &masks {
+                if !activated[fi] && mask & bit != 0 {
+                    activated[fi] = true;
+                    remaining -= 1;
+                    keep = true;
+                }
+            }
+            if keep {
+                batch_progress = true;
+                vectors.push((0..num_inputs).map(|i| words[i] & bit != 0).collect());
+            }
+        }
+        stagnant = if batch_progress { 0 } else { stagnant + 1 };
+    }
+
+    let coverage = if faults.is_empty() {
+        1.0
+    } else {
+        activated.iter().filter(|&&a| a).count() as f64 / faults.len() as f64
+    };
+    TestSet { vectors, coverage, activated }
+}
+
+/// Estimates a test-set *size* without keeping the vectors — the
+/// partitioner's `c_4` estimator only needs the count (§3.4).
+#[must_use]
+pub fn estimate_vector_count(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    config: &AtpgConfig,
+    seed: u64,
+) -> usize {
+    generate(netlist, faults, config, seed).vectors.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_logicsim::faults::{enumerate, FaultUniverseConfig};
+    use iddq_netlist::data;
+
+    fn universe(nl: &Netlist, seed: u64) -> Vec<IddqFault> {
+        enumerate(nl, &FaultUniverseConfig::default(), seed)
+    }
+
+    #[test]
+    fn reaches_high_coverage_on_adder() {
+        let nl = data::ripple_adder(8);
+        let faults = universe(&nl, 3);
+        let t = generate(&nl, &faults, &AtpgConfig::default(), 3);
+        assert!(t.coverage >= 0.95, "coverage {}", t.coverage);
+        assert!(!t.vectors.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let nl = data::ripple_adder(4);
+        let faults = universe(&nl, 9);
+        let a = generate(&nl, &faults, &AtpgConfig::default(), 5);
+        let b = generate(&nl, &faults, &AtpgConfig::default(), 5);
+        assert_eq!(a.vectors, b.vectors);
+        assert_eq!(a.coverage, b.coverage);
+    }
+
+    #[test]
+    fn compaction_keeps_only_useful_vectors() {
+        // Every kept vector must newly activate ≥ 1 fault, so the count
+        // can never exceed the fault count.
+        let nl = data::ripple_adder(6);
+        let faults = universe(&nl, 11);
+        let t = generate(&nl, &faults, &AtpgConfig::default(), 11);
+        assert!(t.vectors.len() <= faults.len());
+    }
+
+    #[test]
+    fn empty_fault_list_no_vectors_full_coverage() {
+        let nl = data::c17();
+        let t = generate(&nl, &[], &AtpgConfig::default(), 1);
+        assert!(t.vectors.is_empty());
+        assert_eq!(t.coverage, 1.0);
+    }
+
+    #[test]
+    fn activated_flags_consistent_with_coverage() {
+        let nl = data::c17();
+        let faults = universe(&nl, 2);
+        let t = generate(&nl, &faults, &AtpgConfig::default(), 2);
+        let frac = t.activated.iter().filter(|&&a| a).count() as f64 / faults.len() as f64;
+        assert!((frac - t.coverage).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_count_estimator_matches_generate() {
+        let nl = data::ripple_adder(4);
+        let faults = universe(&nl, 4);
+        let n = estimate_vector_count(&nl, &faults, &AtpgConfig::default(), 4);
+        let t = generate(&nl, &faults, &AtpgConfig::default(), 4);
+        assert_eq!(n, t.vectors.len());
+    }
+
+    #[test]
+    fn hard_batch_cap_respected() {
+        let nl = data::ripple_adder(4);
+        let faults = universe(&nl, 8);
+        let cfg = AtpgConfig { max_batches: 1, ..AtpgConfig::default() };
+        let t = generate(&nl, &faults, &cfg, 8);
+        assert!(t.vectors.len() <= 64);
+    }
+}

@@ -1,0 +1,84 @@
+//! Scaling of the §3 estimators: transition-time analysis, separation
+//! oracle construction and module-statistics evaluation.
+//!
+//! The paper's feasibility argument rests on the estimators being "a good
+//! trade-off between accuracy and computation complexity"; these benches
+//! record the actual costs across circuit sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use iddq_bench::{experiment_config, experiment_library, table1_circuit};
+use iddq_celllib::NodeTables;
+use iddq_core::{EvalContext, Evaluated, Partition};
+use iddq_gen::iscas::IscasProfile;
+use iddq_netlist::separation::SeparationOracle;
+use iddq_netlist::{levelize, Netlist};
+
+fn circuits() -> Vec<(&'static str, Netlist)> {
+    ["c432", "c880", "c1908"]
+        .iter()
+        .map(|n| {
+            let p = IscasProfile::by_name(n).expect("known circuit");
+            (*n, table1_circuit(p))
+        })
+        .collect()
+}
+
+fn bench_transition_times(c: &mut Criterion) {
+    let lib = experiment_library();
+    let mut group = c.benchmark_group("transition_times");
+    for (name, nl) in circuits() {
+        let tables = NodeTables::new(&nl, &lib);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            b.iter(|| levelize::transition_times(nl, &tables.grid_delay));
+        });
+    }
+    group.finish();
+}
+
+fn bench_separation_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("separation_oracle_build");
+    for (name, nl) in circuits() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            b.iter(|| SeparationOracle::new(nl, 6));
+        });
+    }
+    group.finish();
+}
+
+fn bench_module_stats(c: &mut Criterion) {
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let mut group = c.benchmark_group("module_stats_full");
+    for (name, nl) in circuits() {
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let gates: Vec<_> = nl.gate_ids().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &gates, |b, gates| {
+            b.iter(|| Evaluated::stats_for(&ctx, gates));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_evaluation(c: &mut Criterion) {
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let mut group = c.benchmark_group("cost_breakdown");
+    for (name, nl) in circuits() {
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let eval = Evaluated::new(&ctx, Partition::single_module(&nl));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &eval, |b, eval| {
+            b.iter(|| eval.cost());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transition_times,
+    bench_separation_oracle,
+    bench_module_stats,
+    bench_cost_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Incremental vs from-scratch partition evaluation.
+//!
+//! §4.2: "costs are recomputed just for the modified modules … the
+//! partitions generated this way can be evaluated very efficiently". The
+//! `gate_move_incremental` / `gate_move_full_recompute` pair quantifies
+//! that design decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use iddq_bench::{experiment_config, experiment_library, table1_circuit};
+use iddq_core::{standard, EvalContext, Evaluated, Partition};
+use iddq_gen::iscas::IscasProfile;
+
+fn bench_incremental_move(c: &mut Criterion) {
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let mut group = c.benchmark_group("gate_move_incremental");
+    for (name, k) in [("c432", 2), ("c1908", 4)] {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let sizes = standard::equal_sizes(nl.gate_count(), k);
+        let part = standard::standard_partition(&ctx, &sizes);
+        let eval = Evaluated::new(&ctx, part);
+        let gate = eval.partition().module(0)[0];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &eval, |b, eval| {
+            b.iter_batched(
+                || eval.clone(),
+                |mut e| {
+                    e.move_gate(gate, 1);
+                    e.cost()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_recompute_move(c: &mut Criterion) {
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let mut group = c.benchmark_group("gate_move_full_recompute");
+    for (name, k) in [("c432", 2), ("c1908", 4)] {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let sizes = standard::equal_sizes(nl.gate_count(), k);
+        let part = standard::standard_partition(&ctx, &sizes);
+        let gate = part.module(0)[0];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &part, |b, part| {
+            b.iter_batched(
+                || part.clone(),
+                |mut p| {
+                    p.move_gate(gate, 1);
+                    // From-scratch evaluation after the move.
+                    Evaluated::new(&ctx, p).cost()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_standard_partitioning(c: &mut Criterion) {
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let mut group = c.benchmark_group("standard_partitioning");
+    group.sample_size(10);
+    for name in ["c432", "c880"] {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let sizes = standard::equal_sizes(nl.gate_count(), 3);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sizes, |b, sizes| {
+            b.iter(|| standard::standard_partition(&ctx, sizes));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_validate(c: &mut Criterion) {
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let p = IscasProfile::by_name("c1908").expect("known circuit");
+    let nl = table1_circuit(p);
+    let ctx = EvalContext::new(&nl, &lib, cfg);
+    let sizes = standard::equal_sizes(nl.gate_count(), 4);
+    let part = standard::standard_partition(&ctx, &sizes);
+    c.bench_function("partition_validate_c1908", |b| {
+        b.iter(|| part.validate(&nl).expect("valid"));
+    });
+    let _ = Partition::single_module(&nl);
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_move,
+    bench_full_recompute_move,
+    bench_standard_partitioning,
+    bench_partition_validate
+);
+criterion_main!(benches);

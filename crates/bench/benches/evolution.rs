@@ -1,0 +1,64 @@
+//! Throughput of the evolution strategy (§4) — generations per second and
+//! full-run latency on small circuits, plus the chain-start construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use iddq_bench::{experiment_config, experiment_library, table1_circuit};
+use iddq_core::evolution::{self, EvolutionConfig};
+use iddq_core::{start, EvalContext};
+use iddq_gen::iscas::IscasProfile;
+
+fn bench_short_run(c: &mut Criterion) {
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let evo = EvolutionConfig {
+        generations: 10,
+        stagnation: 10,
+        ..EvolutionConfig::default()
+    };
+    let mut group = c.benchmark_group("evolution_10_generations");
+    group.sample_size(10);
+    for name in ["c432", "c880"] {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ctx, |b, ctx| {
+            b.iter(|| evolution::optimize(ctx, &evo, 42));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_start(c: &mut Criterion) {
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let mut group = c.benchmark_group("chain_start_partition");
+    for name in ["c880", "c2670"] {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let size = start::estimate_module_size(&ctx).min(nl.gate_count() / 2).max(1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ctx, |b, ctx| {
+            b.iter(|| start::chain_partition(ctx, size, 3));
+        });
+    }
+    group.finish();
+}
+
+fn bench_context_build(c: &mut Criterion) {
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let mut group = c.benchmark_group("eval_context_build");
+    group.sample_size(10);
+    for name in ["c1908", "c7552"] {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            b.iter(|| EvalContext::new(nl, &lib, cfg.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_short_run, bench_chain_start, bench_context_build);
+criterion_main!(benches);

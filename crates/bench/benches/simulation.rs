@@ -1,0 +1,78 @@
+//! Substrate throughput: 64-way parallel logic simulation, IDDQ fault
+//! simulation, ATPG and the analog transient solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use iddq_analog::network::SwitchNetwork;
+use iddq_atpg::AtpgConfig;
+use iddq_bench::table1_circuit;
+use iddq_gen::iscas::IscasProfile;
+use iddq_logicsim::faults::{enumerate, FaultUniverseConfig};
+use iddq_logicsim::Simulator;
+
+fn bench_logic_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_sim_64_patterns");
+    for name in ["c432", "c1908", "c7552"] {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        let sim = Simulator::new(&nl);
+        let inputs: Vec<u64> = (0..nl.num_inputs() as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
+            b.iter(|| sim.eval(&inputs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_enumeration");
+    group.sample_size(10);
+    for name in ["c432", "c1908"] {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        let cfg = FaultUniverseConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            b.iter(|| enumerate(nl, &cfg, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg_generate");
+    group.sample_size(10);
+    for name in ["c432", "c880"] {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        let faults = enumerate(&nl, &FaultUniverseConfig::default(), 7);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &faults, |b, faults| {
+            b.iter(|| iddq_atpg::generate(&nl, faults, &AtpgConfig::default(), 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let net = SwitchNetwork {
+        n: 16.0,
+        rs_ohm: 10.0,
+        cs_ff: 500.0,
+        rg_kohm: 1.8,
+        cg_ff: 60.0,
+        vdd_v: 5.0,
+    };
+    c.bench_function("transient_delay_rk4", |b| b.iter(|| net.delay_ps()));
+    c.bench_function("transient_rail_peak_rk4", |b| {
+        b.iter(|| net.peak_rail_perturbation_v())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_logic_sim,
+    bench_fault_enumeration,
+    bench_atpg,
+    bench_transient
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablations beyond Table 1:
+//!
+//! 1. **IDDQ-aware resynthesis** (the conclusions' "next step"): original
+//!    vs balanced-decomposed vs chain-decomposed vs fanout-buffered
+//!    netlists, all partitioned with the same flow — does structuring the
+//!    logic with the cost function in mind pay?
+//! 2. **Sensing-device families** (§1's refs \[7\]–\[12\]): the same
+//!    partition plan sized for diode-drop, proportional and
+//!    current-mirror sensors.
+//!
+//! Usage: `synth_ablation [--circuit NAME] [--seed N]`
+
+use iddq_bench::{circuit_seed, experiment_config, experiment_library, quick_evolution, table1_circuit};
+use iddq_bic::device::SensingDevice;
+use iddq_core::flow;
+use iddq_gen::iscas::IscasProfile;
+use iddq_netlist::Netlist;
+use iddq_synth::{decompose, fanout_buffer, DecompositionStyle};
+
+fn main() {
+    let mut name = "c880".to_owned();
+    let mut seed = 42u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--circuit" => name = it.next().expect("--circuit NAME"),
+            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).expect("--seed N"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let profile = IscasProfile::by_name(&name).expect("known circuit");
+    let nl = table1_circuit(profile);
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let evo = quick_evolution();
+    let s = seed ^ circuit_seed(&name);
+
+    println!("== resynthesis ablation on {} ({} gates) ==", name, nl.gate_count());
+    let variants: Vec<(&str, Netlist)> = vec![
+        ("original", nl.clone()),
+        ("balanced 2-input", decompose(&nl, DecompositionStyle::Balanced, 2)),
+        ("chain 2-input", decompose(&nl, DecompositionStyle::Chain, 2)),
+        ("fanout-buffered (4)", fanout_buffer(&nl, 4)),
+    ];
+    println!(
+        "{:<22} {:>8} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "variant", "gates", "K", "cost", "area", "delay c2", "feasible"
+    );
+    for (label, variant) in &variants {
+        let r = flow::synthesize_with(variant, &lib, &cfg, &evo, s);
+        println!(
+            "{:<22} {:>8} {:>6} {:>12.1} {:>12.3e} {:>12.3e} {:>10}",
+            label,
+            variant.gate_count(),
+            r.report.modules.len(),
+            r.report.total_cost,
+            r.report.cost.sensor_area,
+            r.report.cost.c2_delay,
+            r.report.feasible
+        );
+    }
+
+    println!("\n== sensing-device families on {} ==", name);
+    println!(
+        "{:<16} {:>6} {:>12} {:>12} {:>14} {:>14}",
+        "device", "K", "cost", "area", "per-vec (ns)", "feasible"
+    );
+    for device in SensingDevice::ALL {
+        let mut dcfg = cfg.clone();
+        dcfg.sizing = device.sizing_spec(cfg.sizing.r_star_mv);
+        let r = flow::synthesize_with(&nl, &lib, &dcfg, &evo, s);
+        println!(
+            "{:<16} {:>6} {:>12.1} {:>12.3e} {:>14.1} {:>14}",
+            device.name(),
+            r.report.modules.len(),
+            r.report.total_cost,
+            r.report.cost.sensor_area,
+            r.report.cost.vector_time_ps / 1000.0,
+            r.report.feasible
+        );
+    }
+}

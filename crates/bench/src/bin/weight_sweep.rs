@@ -1,0 +1,81 @@
+//! Design-space exploration over the weight factors α₁…α₅.
+//!
+//! §2: "The parameters defined above allow establishing the global cost
+//! function for optimization in the design space Speed-Area-Testability
+//! according to different priorities reflected on the values of the
+//! weight factors αᵢ." This binary re-runs the synthesis flow with each
+//! weight scaled up and down and reports how the resulting design shifts
+//! (module count, sensor area, delay overhead, test time) — the knob a
+//! user of the flow actually turns.
+//!
+//! Usage: `weight_sweep [--circuit NAME] [--seed N]`
+
+use iddq_bench::{circuit_seed, experiment_config, experiment_library, quick_evolution, table1_circuit};
+use iddq_core::config::Weights;
+use iddq_core::flow;
+use iddq_gen::iscas::IscasProfile;
+
+fn main() {
+    let mut name = "c880".to_owned();
+    let mut seed = 42u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--circuit" => name = it.next().expect("--circuit NAME"),
+            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).expect("--seed N"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let profile = IscasProfile::by_name(&name).expect("known circuit");
+    let nl = table1_circuit(profile);
+    let lib = experiment_library();
+    let base = experiment_config();
+    let evo = quick_evolution();
+    let s = seed ^ circuit_seed(&name);
+
+    type Knob = (&'static str, fn(&mut Weights, f64));
+    let knobs: [Knob; 5] = [
+        ("area (a1)", |w, f| w.area *= f),
+        ("delay (a2)", |w, f| w.delay *= f),
+        ("wiring (a3)", |w, f| w.interconnect *= f),
+        ("test time (a4)", |w, f| w.test_time *= f),
+        ("modules (a5)", |w, f| w.module_count *= f),
+    ];
+
+    println!("== weight sensitivity on {} ({} gates) ==", name, nl.gate_count());
+    println!("(the x1e5 delay weight of §5.1 dominates by design; ±100x scales expose the trade-offs)");
+    println!(
+        "{:<16} {:>8} {:>6} {:>12} {:>12} {:>14}",
+        "weight", "scale", "K", "area", "delay c2", "per-vec (ns)"
+    );
+    // Baseline row.
+    let r = flow::synthesize_with(&nl, &lib, &base, &evo, s);
+    println!(
+        "{:<16} {:>8} {:>6} {:>12.3e} {:>12.3e} {:>14.1}",
+        "baseline",
+        "1x",
+        r.report.modules.len(),
+        r.report.cost.sensor_area,
+        r.report.cost.c2_delay,
+        r.report.cost.vector_time_ps / 1000.0
+    );
+    for (label, apply) in knobs {
+        for scale in [0.01, 100.0] {
+            let mut cfg = base.clone();
+            apply(&mut cfg.weights, scale);
+            let r = flow::synthesize_with(&nl, &lib, &cfg, &evo, s);
+            println!(
+                "{:<16} {:>7}x {:>6} {:>12.3e} {:>12.3e} {:>14.1}",
+                label,
+                scale,
+                r.report.modules.len(),
+                r.report.cost.sensor_area,
+                r.report.cost.c2_delay,
+                r.report.cost.vector_time_ps / 1000.0
+            );
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared experiment plumbing for the table/figure regeneration binaries
+//! and the Criterion benches.
+//!
+//! Experiment index (see `DESIGN.md` §2 and `EXPERIMENTS.md` for
+//! paper-vs-measured records):
+//!
+//! | id | binary | paper artefact |
+//! |----|--------|----------------|
+//! | T1 | `table1` | Table 1 — evolution vs standard partitioning on the ISCAS-85 suite |
+//! | F2 | `fig2_shape` | Figure 2 — partition shape vs sensor area on a 2-D cell array |
+//! | F3–F5 | `fig_c17_trace` | Figures 3–5 — the C17 mutation trace to the optimum |
+//! | X1 | `table1 --converge` | §5 convergence claim |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use iddq_celllib::Library;
+use iddq_core::config::PartitionConfig;
+use iddq_core::evolution::EvolutionConfig;
+use iddq_gen::iscas::IscasProfile;
+use iddq_netlist::Netlist;
+
+/// Fixed per-circuit generation seed so every run of every binary sees the
+/// same synthetic netlists.
+#[must_use]
+pub fn circuit_seed(name: &str) -> u64 {
+    // Stable tiny hash (FNV-1a) of the circuit name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Generates the Table-1 circuit for `profile` with the canonical seed.
+#[must_use]
+pub fn table1_circuit(profile: &IscasProfile) -> Netlist {
+    iddq_gen::iscas::generate(profile, circuit_seed(profile.name))
+}
+
+/// The canonical experiment configuration (paper §5.1 weights and
+/// constraints).
+#[must_use]
+pub fn experiment_config() -> PartitionConfig {
+    PartitionConfig::paper_default()
+}
+
+/// The canonical cell library.
+#[must_use]
+pub fn experiment_library() -> Library {
+    Library::generic_1um()
+}
+
+/// Optimizer parameters for the full Table-1 run.
+#[must_use]
+pub fn full_evolution() -> EvolutionConfig {
+    EvolutionConfig {
+        generations: 250,
+        stagnation: 60,
+        threads: 4,
+        ..EvolutionConfig::default()
+    }
+}
+
+/// Optimizer parameters for quick smoke runs (`--quick`).
+#[must_use]
+pub fn quick_evolution() -> EvolutionConfig {
+    EvolutionConfig {
+        generations: 60,
+        stagnation: 25,
+        ..EvolutionConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_seed_is_stable_and_distinct() {
+        assert_eq!(circuit_seed("c1908"), circuit_seed("c1908"));
+        assert_ne!(circuit_seed("c1908"), circuit_seed("c2670"));
+    }
+
+    #[test]
+    fn table1_circuits_match_profiles() {
+        let p = IscasProfile::by_name("c432").unwrap();
+        let nl = table1_circuit(p);
+        assert_eq!(nl.gate_count(), p.gates);
+    }
+}

@@ -1,0 +1,109 @@
+//! Behavioural PASS/FAIL detection.
+//!
+//! The detection circuitry of Figure 1 compares the sensed quiescent
+//! current against `I_DDQ,th` after the bypass turns off. Real comparators
+//! have an uncertainty band; measurements inside it are reported as
+//! [`Verdict::Marginal`] so callers can model retest policies.
+
+use crate::sensor::BicSensor;
+
+/// Outcome of one quiescent measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Measured current safely below threshold.
+    Pass,
+    /// Measured current safely above threshold — defect present.
+    Fail,
+    /// Within the comparator's uncertainty band.
+    Marginal,
+}
+
+/// Evaluates a measurement of `i_measured_ua` against the sensor's
+/// threshold, with a relative comparator uncertainty `band` (e.g. `0.05`
+/// for ±5 %).
+///
+/// # Panics
+///
+/// Panics if `band` is negative or ≥ 1.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_analog::settle::DecayModel;
+/// use iddq_bic::{detect::{verdict, Verdict}, BicSensor};
+///
+/// let s = BicSensor { rs_ohm: 10.0, area: 1.0, rail_cap_ff: 100.0,
+///                     threshold_ua: 1.0, decay: DecayModel::default() };
+/// assert_eq!(verdict(&s, 0.1, 0.05), Verdict::Pass);
+/// assert_eq!(verdict(&s, 50.0, 0.05), Verdict::Fail);
+/// assert_eq!(verdict(&s, 1.0, 0.05), Verdict::Marginal);
+/// ```
+#[must_use]
+pub fn verdict(sensor: &BicSensor, i_measured_ua: f64, band: f64) -> Verdict {
+    assert!((0.0..1.0).contains(&band), "band must be in [0, 1)");
+    let th = sensor.threshold_ua;
+    if i_measured_ua < th * (1.0 - band) {
+        Verdict::Pass
+    } else if i_measured_ua > th * (1.0 + band) {
+        Verdict::Fail
+    } else {
+        Verdict::Marginal
+    }
+}
+
+/// Discriminability of a module under this sensor: `d = I_DDQ,th /
+/// I_DDQ,nd` (paper §2). A feasible IDDQ test needs `d > 1`; the paper
+/// uses `d ≥ 10` as the typical requirement.
+///
+/// # Panics
+///
+/// Panics if `fault_free_ua <= 0`.
+#[must_use]
+pub fn discriminability(sensor: &BicSensor, fault_free_ua: f64) -> f64 {
+    assert!(fault_free_ua > 0.0, "fault-free current must be positive");
+    sensor.threshold_ua / fault_free_ua
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_analog::settle::DecayModel;
+
+    fn sensor() -> BicSensor {
+        BicSensor {
+            rs_ohm: 10.0,
+            area: 1.0,
+            rail_cap_ff: 100.0,
+            threshold_ua: 1.0,
+            decay: DecayModel::default(),
+        }
+    }
+
+    #[test]
+    fn verdict_bands() {
+        let s = sensor();
+        assert_eq!(verdict(&s, 0.94, 0.05), Verdict::Pass);
+        assert_eq!(verdict(&s, 0.97, 0.05), Verdict::Marginal);
+        assert_eq!(verdict(&s, 1.06, 0.05), Verdict::Fail);
+    }
+
+    #[test]
+    fn zero_band_is_sharp() {
+        let s = sensor();
+        assert_eq!(verdict(&s, 0.999, 0.0), Verdict::Pass);
+        assert_eq!(verdict(&s, 1.001, 0.0), Verdict::Fail);
+    }
+
+    #[test]
+    fn discriminability_definition() {
+        let s = sensor();
+        assert!((discriminability(&s, 0.1) - 10.0).abs() < 1e-12);
+        assert!(discriminability(&s, 0.05) > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "band must be in")]
+    fn bad_band_panics() {
+        let _ = verdict(&sensor(), 1.0, 1.5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Sensing-device families.
+//!
+//! The paper surveys several BIC sensing devices (refs \[7\]–\[12\]): pn
+//! junctions / bipolar devices that develop a diode drop, proportional
+//! resistive sensors (Rius & Figueras), and current-mirror style
+//! detectors (Carley/Maly). "Some BIC sensors (i.e. pn junctions or
+//! bipolar devices) introduce a voltage drop during transient switching
+//! which can be unacceptable … the BIC sensors have to incorporate a
+//! bypass element"; others trade detection speed against area.
+//!
+//! [`SensingDevice`] captures the first-order differences as parameters
+//! of the sizing model, so the whole synthesis flow can be re-run per
+//! device family (see the `sensor_devices` rows of `table1 --ablate` and
+//! the `device_comparison` test).
+
+use iddq_analog::settle::DecayModel;
+
+use crate::sizing::SizingSpec;
+
+/// First-order models of the sensing-device families the paper cites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensingDevice {
+    /// pn-junction / bipolar drop sensor (Maly & Nigh style): small and
+    /// fast, but develops a full diode drop — it *requires* the bypass
+    /// switch and a conservative rail budget.
+    DiodeDrop,
+    /// Proportional resistive sensor (Rius & Figueras JETTA'92): linear
+    /// readout, moderate area, slower comparator.
+    ProportionalResistive,
+    /// Current-mirror sensor (Carley/Feltham/Maly ICCD'88): fastest
+    /// decision, largest detection circuitry.
+    CurrentMirror,
+}
+
+impl SensingDevice {
+    /// All families, for sweeps.
+    pub const ALL: [SensingDevice; 3] = [
+        SensingDevice::DiodeDrop,
+        SensingDevice::ProportionalResistive,
+        SensingDevice::CurrentMirror,
+    ];
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SensingDevice::DiodeDrop => "diode-drop",
+            SensingDevice::ProportionalResistive => "proportional",
+            SensingDevice::CurrentMirror => "current-mirror",
+        }
+    }
+
+    /// Fixed detection-circuitry area `A_0`.
+    #[must_use]
+    pub fn a0(self) -> f64 {
+        match self {
+            SensingDevice::DiodeDrop => 1.2e4,
+            SensingDevice::ProportionalResistive => 2.0e4,
+            SensingDevice::CurrentMirror => 3.5e4,
+        }
+    }
+
+    /// Bypass/sensing area coefficient `A_1` (area·Ω).
+    #[must_use]
+    pub fn a1(self) -> f64 {
+        match self {
+            // The diode sensor needs the widest bypass for a given rail
+            // budget (the diode eats most of the margin).
+            SensingDevice::DiodeDrop => 8.0e6,
+            SensingDevice::ProportionalResistive => 5.0e6,
+            SensingDevice::CurrentMirror => 4.0e6,
+        }
+    }
+
+    /// Comparator strobe/sense time in picoseconds.
+    #[must_use]
+    pub fn sense_time_ps(self) -> f64 {
+        match self {
+            SensingDevice::DiodeDrop => 15_000.0,
+            SensingDevice::ProportionalResistive => 30_000.0,
+            SensingDevice::CurrentMirror => 8_000.0,
+        }
+    }
+
+    /// Decay margin (fraction of `I_DDQ,th` the current must fall below
+    /// before the strobe).
+    #[must_use]
+    pub fn margin(self) -> f64 {
+        match self {
+            SensingDevice::DiodeDrop => 0.05,
+            SensingDevice::ProportionalResistive => 0.2,
+            SensingDevice::CurrentMirror => 0.1,
+        }
+    }
+
+    /// Builds the sizing spec for this device at a given rail budget.
+    #[must_use]
+    pub fn sizing_spec(self, r_star_mv: f64) -> SizingSpec {
+        SizingSpec {
+            r_star_mv,
+            a0: self.a0(),
+            a1: self.a1(),
+            decay: DecayModel { sense_time_ps: self.sense_time_ps(), margin: self.margin() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizing::size_sensor;
+    use iddq_celllib::Technology;
+
+    #[test]
+    fn specs_are_distinct_and_positive() {
+        for d in SensingDevice::ALL {
+            let s = d.sizing_spec(200.0);
+            assert!(s.a0 > 0.0 && s.a1 > 0.0);
+            assert!(s.decay.sense_time_ps > 0.0);
+            assert!((0.0..1.0).contains(&s.decay.margin));
+        }
+        assert_ne!(
+            SensingDevice::DiodeDrop.sizing_spec(200.0),
+            SensingDevice::CurrentMirror.sizing_spec(200.0)
+        );
+    }
+
+    #[test]
+    fn device_comparison_tradeoffs_hold() {
+        // Same module sized under each family: the mirror is the largest
+        // but fastest; the diode is the smallest detection circuit but
+        // needs the widest bypass per ohm.
+        let tech = Technology::generic_1um();
+        let peak_ua = 20_000.0;
+        let cs_ff = 800.0;
+        let mk = |d: SensingDevice| {
+            size_sensor(peak_ua, cs_ff, &d.sizing_spec(200.0), &tech).expect("sizeable")
+        };
+        let diode = mk(SensingDevice::DiodeDrop);
+        let prop = mk(SensingDevice::ProportionalResistive);
+        let mirror = mk(SensingDevice::CurrentMirror);
+        // Same rail budget → same Rs for all.
+        assert_eq!(diode.rs_ohm, prop.rs_ohm);
+        // Per-vector time: mirror fastest, proportional slowest.
+        let t = |s: &crate::BicSensor| s.delta_ps(peak_ua);
+        assert!(t(&mirror) < t(&diode));
+        assert!(t(&diode) < t(&prop));
+        // Diode pays the most for the bypass (largest A1/Rs term).
+        assert!(diode.area - SensingDevice::DiodeDrop.a0() > prop.area - SensingDevice::ProportionalResistive.a0());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SensingDevice::DiodeDrop.name(), "diode-drop");
+        assert_eq!(SensingDevice::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! The sized per-module sensor instance.
+
+use iddq_analog::settle::DecayModel;
+
+/// A sized BIC sensor attached to one module.
+///
+/// Produced by [`sizing::size_sensor`](crate::sizing::size_sensor); holds
+/// every electrical figure the cost estimators and the behavioural
+/// detector need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BicSensor {
+    /// Bypass ON resistance in ohms (`R_s,i`).
+    pub rs_ohm: f64,
+    /// Layout area in technology units (`A_0 + A_1/R_s`).
+    pub area: f64,
+    /// Virtual-rail parasitic capacitance of the module, fF (`C_s,i`).
+    pub rail_cap_ff: f64,
+    /// Detection threshold `I_DDQ,th` in µA.
+    pub threshold_ua: f64,
+    /// Decay/sense-time model.
+    pub decay: DecayModel,
+}
+
+impl BicSensor {
+    /// Sensor time constant `τ_s = R_s · C_s`, in picoseconds.
+    #[must_use]
+    pub fn tau_ps(&self) -> f64 {
+        self.rs_ohm * self.rail_cap_ff / 1000.0
+    }
+
+    /// Per-vector decay + sensing time `Δ(τ_s)` in picoseconds, given the
+    /// module's peak transient current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_current_ua <= 0` (an empty module is never sized).
+    #[must_use]
+    pub fn delta_ps(&self, peak_current_ua: f64) -> f64 {
+        self.decay
+            .delta_ps(self.tau_ps(), peak_current_ua, self.threshold_ua)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor(rs_ohm: f64, rail_cap_ff: f64) -> BicSensor {
+        BicSensor {
+            rs_ohm,
+            area: 1.0,
+            rail_cap_ff,
+            threshold_ua: 1.0,
+            decay: DecayModel::default(),
+        }
+    }
+
+    #[test]
+    fn tau_units() {
+        // 10 Ω · 500 fF = 5 ps
+        assert!((sensor(10.0, 500.0).tau_ps() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_grows_with_tau_and_peak() {
+        let small = sensor(10.0, 500.0);
+        let big = sensor(100.0, 50_000.0);
+        assert!(big.delta_ps(1000.0) > small.delta_ps(1000.0));
+        assert!(small.delta_ps(10_000.0) > small.delta_ps(100.0));
+    }
+}

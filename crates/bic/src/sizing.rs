@@ -1,0 +1,164 @@
+//! Bypass-device sizing from the virtual-rail perturbation constraint.
+//!
+//! §3.1 of the paper: "the maximum virtual rail perturbation of each
+//! module is limited to a given predefined value r*", and "since the
+//! requirements for r* are typically very stringent (between 100 mV and
+//! 300 mV), the impact of the feasible R_s,i on the delay of the CUT
+//! tends to be small. Then, to simplify the optimization problem we take
+//! R_s,i = r*/î_DD,max,i".
+
+use iddq_analog::settle::DecayModel;
+use iddq_celllib::Technology;
+
+use crate::sensor::BicSensor;
+
+/// Sensor sizing parameters shared by all modules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingSpec {
+    /// Maximum allowed virtual-rail perturbation `r*`, in millivolts.
+    pub r_star_mv: f64,
+    /// Fixed area of the detection circuitry (`A_0` in the paper's
+    /// `A_0 + A_1/R_s` model), in technology area units.
+    pub a0: f64,
+    /// Bypass/sensing area coefficient `A_1`, in area-units·Ω — a wider
+    /// (lower-resistance) bypass device costs proportionally more area.
+    pub a1: f64,
+    /// Decay/sense-time model for `Δ(τ)`.
+    pub decay: DecayModel,
+}
+
+impl SizingSpec {
+    /// The defaults used by the Table-1 reproduction: `r* = 200 mV`
+    /// (mid-range of the 100–300 mV the paper quotes), with area
+    /// coefficients calibrated so per-sensor areas land in the
+    /// `10^5–10^6` unit range the paper reports.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SizingSpec {
+            r_star_mv: 200.0,
+            a0: 2.0e4,
+            a1: 5.0e6,
+            decay: DecayModel::default(),
+        }
+    }
+}
+
+/// Why a module cannot be fitted with a sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizingError {
+    /// The required `R_s = r*/î` is below the technology's minimum
+    /// realizable bypass resistance: the module draws too much transient
+    /// current for any sensor to keep the rail within `r*`.
+    RailPerturbation,
+    /// The module draws no current (empty module) — nothing to sense.
+    EmptyModule,
+}
+
+impl std::fmt::Display for SizingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizingError::RailPerturbation => {
+                write!(f, "peak current exceeds the rail-perturbation limit for any realizable bypass device")
+            }
+            SizingError::EmptyModule => write!(f, "module draws no current"),
+        }
+    }
+}
+
+impl std::error::Error for SizingError {}
+
+/// Sizes the BIC sensor of one module.
+///
+/// * `peak_current_ua` — the module's `î_DD,max,i` (from the §3.1
+///   estimator),
+/// * `rail_cap_ff` — the module's virtual-rail parasitic `C_s,i`,
+/// * clamps `R_s` into the technology's `[r_bypass_min, r_bypass_max]`
+///   window; a clamp *down* to the maximum is free (an even smaller
+///   device would suffice), a clamp *up* from below the minimum is a
+///   constraint violation.
+///
+/// # Errors
+///
+/// [`SizingError::RailPerturbation`] when `r*/î < r_bypass_min`;
+/// [`SizingError::EmptyModule`] when `peak_current_ua ≤ 0`.
+pub fn size_sensor(
+    peak_current_ua: f64,
+    rail_cap_ff: f64,
+    spec: &SizingSpec,
+    tech: &Technology,
+) -> Result<BicSensor, SizingError> {
+    if peak_current_ua <= 0.0 {
+        return Err(SizingError::EmptyModule);
+    }
+    // r*[V]/î[A]: (mV·1e-3) / (µA·1e-6) = mV/µA · 1e3 Ω
+    let rs_needed_ohm = spec.r_star_mv * 1000.0 / peak_current_ua;
+    if rs_needed_ohm < tech.r_bypass_min_ohm {
+        return Err(SizingError::RailPerturbation);
+    }
+    let rs_ohm = rs_needed_ohm.min(tech.r_bypass_max_ohm);
+    let area = spec.a0 + spec.a1 / rs_ohm;
+    Ok(BicSensor {
+        rs_ohm,
+        area,
+        rail_cap_ff,
+        threshold_ua: tech.iddq_threshold_ua,
+        decay: spec.decay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::generic_1um()
+    }
+
+    #[test]
+    fn rs_is_rstar_over_peak() {
+        let s = size_sensor(10_000.0, 100.0, &SizingSpec::paper_default(), &tech()).unwrap();
+        // 200 mV / 10 mA = 20 Ω
+        assert!((s.rs_ohm - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_modules_need_bigger_sensors() {
+        let spec = SizingSpec::paper_default();
+        let small = size_sensor(1_000.0, 100.0, &spec, &tech()).unwrap();
+        let large = size_sensor(50_000.0, 100.0, &spec, &tech()).unwrap();
+        assert!(large.rs_ohm < small.rs_ohm);
+        assert!(large.area > small.area);
+    }
+
+    #[test]
+    fn excessive_current_is_infeasible() {
+        let spec = SizingSpec::paper_default();
+        // 200 mV / 0.25 Ω = 800 mA limit.
+        let err = size_sensor(1e9, 100.0, &spec, &tech()).unwrap_err();
+        assert_eq!(err, SizingError::RailPerturbation);
+        assert!(err.to_string().contains("rail"));
+    }
+
+    #[test]
+    fn tiny_current_clamps_to_max_device() {
+        let spec = SizingSpec::paper_default();
+        let s = size_sensor(0.001, 100.0, &spec, &tech()).unwrap();
+        assert_eq!(s.rs_ohm, tech().r_bypass_max_ohm);
+    }
+
+    #[test]
+    fn empty_module_rejected() {
+        let spec = SizingSpec::paper_default();
+        assert_eq!(
+            size_sensor(0.0, 100.0, &spec, &tech()).unwrap_err(),
+            SizingError::EmptyModule
+        );
+    }
+
+    #[test]
+    fn area_model_components() {
+        let spec = SizingSpec::paper_default();
+        let s = size_sensor(20_000.0, 100.0, &spec, &tech()).unwrap();
+        assert!((s.area - (spec.a0 + spec.a1 / s.rs_ohm)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,73 @@
+use iddq_netlist::CellKind;
+
+/// Electrical characterization of one library cell (a logic function at a
+/// specific fan-in).
+///
+/// All quantities are per-instance; module-level figures are sums over the
+/// gates of the module.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Cell {
+    /// Library cell name, e.g. `"NAND3"`.
+    pub name: String,
+    /// Logic function.
+    pub kind: CellKind,
+    /// Number of inputs.
+    pub fanin: usize,
+    /// Layout area in equivalent-transistor units.
+    pub area: f64,
+    /// Nominal (sensor-free) propagation delay `D(g)` in picoseconds.
+    pub delay_ps: f64,
+    /// Maximum transient supply current `î_DD,max(g)` drawn while the gate
+    /// switches, in microamps (load displacement + short-circuit current).
+    pub peak_current_ua: f64,
+    /// `R_g` — average equivalent ON resistance of the discharge network,
+    /// in kilo-ohms. Series NMOS stacks (NAND) scale it up with fan-in.
+    pub r_on_kohm: f64,
+    /// `C_g` — equivalent capacitance at the gate output, in femtofarads.
+    pub c_out_ff: f64,
+    /// Input capacitance per pin, in femtofarads.
+    pub c_in_ff: f64,
+    /// Parasitic capacitance the cell contributes to the virtual rail
+    /// (source/drain junctions of the pull-down network), in femtofarads.
+    /// Summed over a module this is `C_s,i`.
+    pub c_rail_ff: f64,
+    /// Fault-free quiescent (leakage) current in nanoamps; summed over a
+    /// module this is `I_DDQ,nd,i`.
+    pub leakage_na: f64,
+}
+
+impl Cell {
+    /// Intrinsic RC time constant `R_g · C_g` in picoseconds.
+    ///
+    /// The δ(g,t) degradation model of §3.2 compares the sensor network's
+    /// time constant against this.
+    #[must_use]
+    pub fn rc_ps(&self) -> f64 {
+        // kΩ · fF = ps
+        self.r_on_kohm * self.c_out_ff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_units() {
+        let c = Cell {
+            name: "X".into(),
+            kind: CellKind::Not,
+            fanin: 1,
+            area: 1.0,
+            delay_ps: 100.0,
+            peak_current_ua: 100.0,
+            r_on_kohm: 2.0,
+            c_out_ff: 50.0,
+            c_in_ff: 10.0,
+            c_rail_ff: 5.0,
+            leakage_na: 0.1,
+        };
+        assert!((c.rc_ps() - 100.0).abs() < 1e-12);
+    }
+}

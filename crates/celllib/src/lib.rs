@@ -1,0 +1,47 @@
+//! Parameterized CMOS cell library, "fully characterized at electrical
+//! level" in the sense of §3 of the paper.
+//!
+//! The IDDQ-partitioning estimators consume a handful of per-cell scalars:
+//!
+//! | symbol (paper) | field | used by |
+//! |---|---|---|
+//! | `î_DD,max(g)` | [`Cell::peak_current_ua`] | peak-current estimator (§3.1) |
+//! | `R_g` | [`Cell::r_on_kohm`] | delay degradation δ(g,t) (§3.2) |
+//! | `C_g` | [`Cell::c_out_ff`] | delay degradation δ(g,t) (§3.2) |
+//! | `D(g)` | [`Cell::delay_ps`] | nominal longest path (§3.2) |
+//! | — | [`Cell::c_rail_ff`] | virtual-rail parasitic `C_s,i` (§3.4) |
+//! | — | [`Cell::leakage_na`] | fault-free `I_DDQ,nd,i` (discriminability, §2) |
+//! | — | [`Cell::area`] | reporting |
+//!
+//! The original work used a proprietary industrial library; [`Library::generic_1um`]
+//! provides a self-consistent generic 1 µm / 5 V CMOS characterization whose
+//! *ratios* (stack resistance grows with NAND fan-in, peak current grows
+//! with load, junction leakage in the tens of pA per gate) follow the
+//! standard first-order models, so every trade-off the paper's cost
+//! function explores is exercised with realistic shape.
+//!
+//! # Example
+//!
+//! ```rust
+//! use iddq_celllib::Library;
+//! use iddq_netlist::CellKind;
+//!
+//! let lib = Library::generic_1um();
+//! let nand2 = lib.cell(CellKind::Nand, 2);
+//! let nand4 = lib.cell(CellKind::Nand, 4);
+//! // A longer NMOS stack discharges more slowly:
+//! assert!(nand4.r_on_kohm > nand2.r_on_kohm);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod library;
+mod tables;
+mod technology;
+
+pub use cell::Cell;
+pub use library::Library;
+pub use tables::NodeTables;
+pub use technology::Technology;

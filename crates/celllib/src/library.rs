@@ -1,0 +1,253 @@
+use std::collections::HashMap;
+
+use iddq_netlist::CellKind;
+
+use crate::cell::Cell;
+use crate::technology::Technology;
+
+/// A complete target cell library: one [`Cell`] per `(kind, fan-in)` pair,
+/// plus the [`Technology`] it is characterized in.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_celllib::Library;
+/// use iddq_netlist::CellKind;
+///
+/// let lib = Library::generic_1um();
+/// assert!(lib.cell(CellKind::Nand, 2).peak_current_ua > 0.0);
+/// assert!(lib.try_cell(CellKind::Nand, 1).is_none()); // illegal fan-in
+/// ```
+#[derive(Debug, Clone)]
+pub struct Library {
+    technology: Technology,
+    cells: HashMap<(CellKind, usize), Cell>,
+}
+
+impl Library {
+    /// Builds the generic 1 µm / 5 V characterization (see crate docs).
+    ///
+    /// The first-order models behind the numbers:
+    ///
+    /// * *delay* grows with fan-in (series stack) — `D = D0 + Dfi·(n-1)`,
+    ///   inverting kinds slightly faster than their AOI complements at
+    ///   equal fan-in, XOR/XNOR (transmission-gate style) slowest;
+    /// * *peak current* ≈ `C·V/t_r` for the output swing plus a
+    ///   short-circuit component, growing with load (fan-in as proxy);
+    /// * *`R_g`*: NAND pull-down stacks are `n` devices in series (×n),
+    ///   NOR pull-downs are parallel (×1), XOR in between;
+    /// * *leakage*: tens of picoamps per gate — reverse-biased junction
+    ///   leakage dominates at 1 µm, scaling with transistor count;
+    /// * *rail capacitance*: junction capacitance of the devices tied to
+    ///   the (virtual) ground rail.
+    #[must_use]
+    pub fn generic_1um() -> Self {
+        let technology = Technology::generic_1um();
+        let mut cells = HashMap::new();
+        for kind in CellKind::ALL {
+            let (lo, hi) = kind.fanin_range();
+            for n in lo..=hi {
+                cells.insert((kind, n), synth_cell(kind, n));
+            }
+        }
+        Library { technology, cells }
+    }
+
+    /// The library's technology parameters.
+    #[must_use]
+    pub fn technology(&self) -> &Technology {
+        &self.technology
+    }
+
+    /// Looks up the cell for `(kind, fanin)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fan-in is illegal for `kind`; use
+    /// [`Library::try_cell`] for fallible lookup.
+    #[must_use]
+    pub fn cell(&self, kind: CellKind, fanin: usize) -> &Cell {
+        self.try_cell(kind, fanin)
+            .unwrap_or_else(|| panic!("no {kind} cell with fan-in {fanin}"))
+    }
+
+    /// Fallible cell lookup.
+    #[must_use]
+    pub fn try_cell(&self, kind: CellKind, fanin: usize) -> Option<&Cell> {
+        self.cells.get(&(kind, fanin))
+    }
+
+    /// Iterates over all cells in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.values()
+    }
+
+    /// Number of cells in the library.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the library has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Replaces a cell's characterization (for experiments with modified
+    /// libraries, e.g. the Figure-2 array with three distinct cell types).
+    pub fn override_cell(&mut self, cell: Cell) {
+        self.cells.insert((cell.kind, cell.fanin), cell);
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::generic_1um()
+    }
+}
+
+/// First-order electrical synthesis of one generic cell.
+fn synth_cell(kind: CellKind, n: usize) -> Cell {
+    let nf = n as f64;
+    // Transistor count: CMOS complementary gate = 2n devices; XOR-family
+    // costs roughly double; BUF is two inverters.
+    let devices = match kind {
+        CellKind::Buf => 4.0,
+        CellKind::Not => 2.0,
+        CellKind::Xor | CellKind::Xnor => 4.0 * nf + 2.0,
+        _ => 2.0 * nf,
+    };
+    // Stack factor for the discharge network.
+    let stack = match kind {
+        CellKind::Nand | CellKind::And => nf,
+        CellKind::Nor | CellKind::Or | CellKind::Buf | CellKind::Not => 1.0,
+        CellKind::Xor | CellKind::Xnor => 1.0 + 0.5 * nf,
+    };
+    // Non-inverting kinds carry an output inverter: extra delay/area.
+    let noninv_extra = if kind.is_inverting() { 0.0 } else { 1.0 };
+    let xor_extra = matches!(kind, CellKind::Xor | CellKind::Xnor) as u8 as f64;
+
+    let delay_ps = 180.0 + 120.0 * (nf - 1.0) + 140.0 * noninv_extra + 220.0 * xor_extra;
+    let area = 8.0 * devices + 6.0 * noninv_extra;
+    let c_out_ff = 40.0 + 9.0 * nf;
+    let c_in_ff = 12.0;
+    // Peak transient current: output swing C·V over an edge ~ 1 ns plus a
+    // short-circuit term per input stage.
+    let peak_current_ua = c_out_ff * 5.0 / 1.0 + 60.0 * nf;
+    let r_on_kohm = 1.8 * stack / (1.0 + 0.1 * (nf - 1.0));
+    let c_rail_ff = 4.0 + 2.5 * nf;
+    // Junction leakage ≈ 16 pA per device: a ~550-gate module reaches the
+    // 0.1 µA fault-free budget that discriminability 10 against a 1 µA
+    // threshold allows, which is the module size regime of the paper's
+    // Table 1 (2–6 modules for 880–3512 gates).
+    let leakage_na = 0.033 * devices;
+
+    Cell {
+        name: format!(
+            "{}{}",
+            kind.mnemonic(),
+            if n > 1 { n.to_string() } else { String::new() }
+        ),
+        kind,
+        fanin: n,
+        area,
+        delay_ps,
+        peak_current_ua,
+        r_on_kohm,
+        c_out_ff,
+        c_in_ff,
+        c_rail_ff,
+        leakage_na,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_legal_fanin() {
+        let lib = Library::generic_1um();
+        for kind in CellKind::ALL {
+            let (lo, hi) = kind.fanin_range();
+            for n in lo..=hi {
+                assert!(lib.try_cell(kind, n).is_some(), "{kind}/{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_fanin_absent() {
+        let lib = Library::generic_1um();
+        assert!(lib.try_cell(CellKind::Not, 2).is_none());
+        assert!(lib.try_cell(CellKind::And, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no NAND cell with fan-in 1")]
+    fn cell_panics_on_illegal_fanin() {
+        let lib = Library::generic_1um();
+        let _ = lib.cell(CellKind::Nand, 1);
+    }
+
+    #[test]
+    fn monotone_trends() {
+        let lib = Library::generic_1um();
+        // Delay, area, peak current and leakage all grow with fan-in.
+        for kind in [CellKind::Nand, CellKind::Nor, CellKind::And] {
+            for n in 2..8 {
+                let a = lib.cell(kind, n);
+                let b = lib.cell(kind, n + 1);
+                assert!(b.delay_ps > a.delay_ps);
+                assert!(b.area > a.area);
+                assert!(b.peak_current_ua > a.peak_current_ua);
+                assert!(b.leakage_na > a.leakage_na);
+            }
+        }
+        // NAND stacks resist more than NOR at the same fan-in.
+        assert!(
+            lib.cell(CellKind::Nand, 4).r_on_kohm > lib.cell(CellKind::Nor, 4).r_on_kohm
+        );
+    }
+
+    #[test]
+    fn leakage_is_sub_nanoamp() {
+        // 1 µm junction leakage: tens of pA per gate, so thousands of
+        // gates stay below the 1 µA threshold / discriminability 10.
+        let lib = Library::generic_1um();
+        for cell in lib.iter() {
+            assert!(cell.leakage_na < 3.0, "{} leaks {}", cell.name, cell.leakage_na);
+            assert!(cell.leakage_na > 0.0);
+        }
+    }
+
+    #[test]
+    fn cell_names_follow_convention() {
+        let lib = Library::generic_1um();
+        assert_eq!(lib.cell(CellKind::Nand, 3).name, "NAND3");
+        assert_eq!(lib.cell(CellKind::Not, 1).name, "NOT");
+    }
+
+    #[test]
+    fn override_replaces() {
+        let mut lib = Library::generic_1um();
+        let mut c = lib.cell(CellKind::Buf, 1).clone();
+        c.peak_current_ua = 9999.0;
+        lib.override_cell(c);
+        assert_eq!(lib.cell(CellKind::Buf, 1).peak_current_ua, 9999.0);
+    }
+
+    #[test]
+    fn all_parameters_positive() {
+        let lib = Library::generic_1um();
+        for c in lib.iter() {
+            assert!(c.area > 0.0);
+            assert!(c.delay_ps > 0.0);
+            assert!(c.peak_current_ua > 0.0);
+            assert!(c.r_on_kohm > 0.0);
+            assert!(c.c_out_ff > 0.0);
+            assert!(c.c_rail_ff > 0.0);
+        }
+    }
+}

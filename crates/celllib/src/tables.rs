@@ -1,0 +1,130 @@
+use iddq_netlist::{Netlist, NodeId};
+
+use crate::library::Library;
+
+/// Per-node electrical tables for one netlist bound to one library.
+///
+/// The partitioner's inner loop must not chase hash maps, so this struct
+/// flattens every per-gate quantity into dense vectors indexed by
+/// [`NodeId::index`]. Primary-input entries are zero.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_celllib::{Library, NodeTables};
+/// use iddq_netlist::data;
+///
+/// let c17 = data::c17();
+/// let lib = Library::generic_1um();
+/// let t = NodeTables::new(&c17, &lib);
+/// let g10 = c17.find("10").unwrap();
+/// assert!(t.peak_current_ua[g10.index()] > 0.0);
+/// assert_eq!(t.peak_current_ua[c17.inputs()[0].index()], 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeTables {
+    /// Nominal delay `D(g)` in picoseconds.
+    pub delay_ps: Vec<f64>,
+    /// Delay quantized to technology grid steps (≥ 1 for gates, 0 for PIs).
+    pub grid_delay: Vec<u32>,
+    /// `î_DD,max(g)` in microamps.
+    pub peak_current_ua: Vec<f64>,
+    /// `R_g` in kilo-ohms.
+    pub r_on_kohm: Vec<f64>,
+    /// `C_g` in femtofarads.
+    pub c_out_ff: Vec<f64>,
+    /// Virtual-rail parasitic contribution in femtofarads.
+    pub c_rail_ff: Vec<f64>,
+    /// Fault-free leakage in nanoamps.
+    pub leakage_na: Vec<f64>,
+    /// Cell layout area.
+    pub area: Vec<f64>,
+}
+
+impl NodeTables {
+    /// Flattens `library` data over `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some gate's `(kind, fan-in)` pair has no cell in the
+    /// library (the generic library covers all legal pairs).
+    #[must_use]
+    pub fn new(netlist: &Netlist, library: &Library) -> Self {
+        let n = netlist.node_count();
+        let mut t = NodeTables {
+            delay_ps: vec![0.0; n],
+            grid_delay: vec![0; n],
+            peak_current_ua: vec![0.0; n],
+            r_on_kohm: vec![0.0; n],
+            c_out_ff: vec![0.0; n],
+            c_rail_ff: vec![0.0; n],
+            leakage_na: vec![0.0; n],
+            area: vec![0.0; n],
+        };
+        for id in netlist.gate_ids() {
+            let node = netlist.node(id);
+            let kind = node.kind().cell_kind().expect("gate_ids yields gates");
+            let cell = library.cell(kind, node.fanin().len());
+            let i = id.index();
+            t.delay_ps[i] = cell.delay_ps;
+            t.grid_delay[i] = library.technology().to_grid(cell.delay_ps);
+            t.peak_current_ua[i] = cell.peak_current_ua;
+            t.r_on_kohm[i] = cell.r_on_kohm;
+            t.c_out_ff[i] = cell.c_out_ff;
+            t.c_rail_ff[i] = cell.c_rail_ff;
+            t.leakage_na[i] = cell.leakage_na;
+            t.area[i] = cell.area;
+        }
+        t
+    }
+
+    /// Sum of a table over a set of gates — the module-level aggregation
+    /// primitive.
+    #[must_use]
+    pub fn sum_over(table: &[f64], gates: &[NodeId]) -> f64 {
+        gates.iter().map(|g| table[g.index()]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_netlist::data;
+
+    #[test]
+    fn inputs_are_zero_gates_positive() {
+        let nl = data::c17();
+        let t = NodeTables::new(&nl, &Library::generic_1um());
+        for &i in nl.inputs() {
+            assert_eq!(t.delay_ps[i.index()], 0.0);
+            assert_eq!(t.grid_delay[i.index()], 0);
+        }
+        for g in nl.gate_ids() {
+            assert!(t.delay_ps[g.index()] > 0.0);
+            assert!(t.grid_delay[g.index()] >= 1);
+            assert!(t.leakage_na[g.index()] > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_gates_uniform_tables() {
+        // c17 is all NAND2: every gate row must be identical.
+        let nl = data::c17();
+        let t = NodeTables::new(&nl, &Library::generic_1um());
+        let gates: Vec<_> = nl.gate_ids().collect();
+        let first = gates[0].index();
+        for g in &gates[1..] {
+            assert_eq!(t.delay_ps[g.index()], t.delay_ps[first]);
+            assert_eq!(t.peak_current_ua[g.index()], t.peak_current_ua[first]);
+        }
+    }
+
+    #[test]
+    fn sum_over_helper() {
+        let nl = data::c17();
+        let t = NodeTables::new(&nl, &Library::generic_1um());
+        let gates: Vec<_> = nl.gate_ids().collect();
+        let total = NodeTables::sum_over(&t.leakage_na, &gates);
+        assert!((total - 6.0 * t.leakage_na[gates[0].index()]).abs() < 1e-9);
+    }
+}

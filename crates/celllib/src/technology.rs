@@ -1,0 +1,92 @@
+/// Global technology parameters shared by every cell of a [`Library`].
+///
+/// [`Library`]: crate::Library
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_celllib::Technology;
+///
+/// let t = Technology::generic_1um();
+/// assert_eq!(t.vdd_v, 5.0);
+/// assert!(t.iddq_threshold_ua >= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Technology {
+    /// Human-readable name, e.g. `"generic-1um-cmos"`.
+    pub name: String,
+    /// Supply voltage in volts.
+    pub vdd_v: f64,
+    /// Duration of one grid step of the transition-time analysis, in
+    /// picoseconds. All gate delays are quantized to this grid when the
+    /// §3.1 simultaneity analysis runs.
+    pub grid_ps: f64,
+    /// `I_DDQ,th` — the minimum defective quiescent current that must be
+    /// detected, in microamps. The paper quotes ≈ 1 µA as typical for
+    /// effective defect coverage.
+    pub iddq_threshold_ua: f64,
+    /// Smallest realizable bypass-switch ON resistance in ohms (a huge
+    /// device); bounds sensor sizing from below.
+    pub r_bypass_min_ohm: f64,
+    /// Largest useful bypass ON resistance in ohms (a minimal device).
+    pub r_bypass_max_ohm: f64,
+}
+
+impl Technology {
+    /// Generic 1 µm, 5 V CMOS process, the vintage the 1995 paper targets.
+    #[must_use]
+    pub fn generic_1um() -> Self {
+        Technology {
+            name: "generic-1um-cmos".to_owned(),
+            vdd_v: 5.0,
+            grid_ps: 250.0,
+            iddq_threshold_ua: 1.0,
+            r_bypass_min_ohm: 0.25,
+            r_bypass_max_ohm: 5_000.0,
+        }
+    }
+
+    /// Converts a delay in picoseconds to (ceiled, at least 1) grid steps.
+    ///
+    /// Gate delays are strictly positive, so a gate always advances the
+    /// transition time — this keeps the §3.1 sets finite on reconvergent
+    /// fan-out.
+    #[must_use]
+    pub fn to_grid(&self, delay_ps: f64) -> u32 {
+        ((delay_ps / self.grid_ps).ceil() as u32).max(1)
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::generic_1um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_quantization_rounds_up_and_floors_at_one() {
+        let t = Technology::generic_1um();
+        assert_eq!(t.to_grid(0.0), 1);
+        assert_eq!(t.to_grid(1.0), 1);
+        assert_eq!(t.to_grid(250.0), 1);
+        assert_eq!(t.to_grid(251.0), 2);
+        assert_eq!(t.to_grid(1000.0), 4);
+    }
+
+    #[test]
+    fn default_is_generic() {
+        assert_eq!(Technology::default(), Technology::generic_1um());
+    }
+
+    #[test]
+    fn bypass_resistance_window_is_sane() {
+        let t = Technology::generic_1um();
+        assert!(t.r_bypass_min_ohm < t.r_bypass_max_ohm);
+        assert!(t.r_bypass_min_ohm > 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the cell library's physical consistency.
+
+use proptest::prelude::*;
+
+use iddq_celllib::{Library, Technology};
+use iddq_netlist::CellKind;
+
+proptest! {
+    /// Grid quantization is monotone and never rounds a positive delay to
+    /// zero steps.
+    #[test]
+    fn to_grid_monotone(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let t = Technology::generic_1um();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.to_grid(lo) <= t.to_grid(hi));
+        prop_assert!(t.to_grid(a) >= 1);
+    }
+
+    /// Grid quantization is conservative: the grid time never undershoots
+    /// the true delay by a full step.
+    #[test]
+    fn to_grid_is_a_ceiling(d in 0.0f64..1e6) {
+        let t = Technology::generic_1um();
+        let steps = f64::from(t.to_grid(d));
+        prop_assert!(steps * t.grid_ps >= d - 1e-9);
+        prop_assert!((steps - 1.0) * t.grid_ps < d + t.grid_ps);
+    }
+}
+
+#[test]
+fn every_cell_is_self_consistent() {
+    // The estimators assume: delay covers at least the intrinsic RC, and
+    // the peak current can actually discharge the output load within the
+    // delay (order of magnitude).
+    let lib = Library::generic_1um();
+    for cell in lib.iter() {
+        assert!(
+            cell.delay_ps >= 0.3 * cell.rc_ps(),
+            "{}: delay {} vs RC {}",
+            cell.name,
+            cell.delay_ps,
+            cell.rc_ps()
+        );
+        // I ≈ C·V/t within a factor of ten.
+        let needed_ua = cell.c_out_ff * 5.0 / (cell.delay_ps / 1000.0);
+        assert!(
+            cell.peak_current_ua > needed_ua / 10.0,
+            "{}: {} vs needed {}",
+            cell.name,
+            cell.peak_current_ua,
+            needed_ua
+        );
+    }
+}
+
+#[test]
+fn inverting_pairs_are_cheaper_than_noninverting() {
+    // CMOS reality the library must reflect: NAND beats AND (which carries
+    // an output inverter) in delay and area at equal fan-in.
+    let lib = Library::generic_1um();
+    for n in 2..=8 {
+        let nand = lib.cell(CellKind::Nand, n);
+        let and = lib.cell(CellKind::And, n);
+        assert!(nand.delay_ps < and.delay_ps);
+        assert!(nand.area < and.area);
+        let nor = lib.cell(CellKind::Nor, n);
+        let or = lib.cell(CellKind::Or, n);
+        assert!(nor.delay_ps < or.delay_ps);
+        assert!(nor.area < or.area);
+    }
+}

@@ -1,0 +1,249 @@
+//! `iddq` — command-line front end for the IDDQ-testability synthesis
+//! flow.
+//!
+//! ```text
+//! iddq synth <netlist.bench> [--seed N] [--generations N] [--d N]
+//!            [--rstar MV] [--json PATH] [--dot PATH] [--modules PATH]
+//!            [--resynth]
+//! iddq gen   <circuit> [--seed N] [--out PATH]
+//! iddq test  <netlist.bench> [--seed N] [--vectors N]
+//! iddq stats <netlist.bench>
+//! ```
+
+use std::process::ExitCode;
+
+use iddq_celllib::Library;
+use iddq_core::evolution::EvolutionConfig;
+use iddq_core::{config::PartitionConfig, flow};
+use iddq_netlist::{bench, dot, Netlist};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "synth" => cmd_synth(rest),
+        "gen" => cmd_gen(rest),
+        "test" => cmd_test(rest),
+        "stats" => cmd_stats(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "\
+iddq — synthesis of IDDQ-testable circuits (Wunderlich et al., DATE 1995)
+
+commands:
+  synth <netlist.bench>   partition a circuit and size its BIC sensors
+      --seed N            optimizer seed (default 42)
+      --generations N     evolution generations (default 250)
+      --d N               required discriminability (default 10)
+      --rstar MV          virtual-rail budget in mV (default 200)
+      --resynth           run cost-aware resynthesis first
+      --json PATH         write the full report as JSON
+      --dot PATH          write a module-coloured Graphviz graph
+      --modules PATH      write `gate module` assignment lines
+  gen <circuit>           emit a synthetic ISCAS-85-like netlist
+      --seed N            generation seed (default 42)
+      --out PATH          output path (default stdout)
+  test <netlist.bench>    run the IDDQ defect-detection experiment
+      --seed N            defect/ATPG seed (default 42)
+  stats <netlist.bench>   print structural statistics
+";
+
+fn parse_flag(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .cloned()
+}
+
+fn parse_num<T: std::str::FromStr>(rest: &[String], flag: &str, default: T) -> Result<T, String> {
+    match parse_flag(rest, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{flag} expects a number, got `{v}`")),
+    }
+}
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("netlist")
+        .to_owned();
+    bench::parse(name, &text).map_err(|e| format!("parse `{path}`: {e}"))
+}
+
+fn cmd_synth(rest: &[String]) -> Result<(), String> {
+    let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let mut cut = load(path)?;
+    let seed: u64 = parse_num(rest, "--seed", 42)?;
+    let generations: usize = parse_num(rest, "--generations", 250)?;
+    let mut config = PartitionConfig::paper_default();
+    config.d_min = parse_num(rest, "--d", config.d_min)?;
+    config.sizing.r_star_mv = parse_num(rest, "--rstar", config.sizing.r_star_mv)?;
+    let library = Library::generic_1um();
+
+    if rest.iter().any(|a| a == "--resynth") {
+        let (out, report) = iddq_synth::cost_aware(&cut, &library, &config);
+        eprintln!(
+            "resynthesis: original {:.1} / balanced {:.1} / chain {:.1} -> {:?}",
+            report.original_cost, report.balanced_cost, report.chain_cost, report.chosen
+        );
+        cut = out;
+    }
+
+    let evo = EvolutionConfig { generations, ..Default::default() };
+    let result = flow::synthesize_with(&cut, &library, &config, &evo, seed);
+    let r = &result.report;
+    println!(
+        "{}: {} gates -> {} modules, feasible: {}, cost {:.1}",
+        r.circuit,
+        r.gates,
+        r.modules.len(),
+        r.feasible,
+        r.total_cost
+    );
+    println!(
+        "sensor area {:.3e}; delay {:.0} -> {:.0} ps; per-vector test {:.1} ns",
+        r.cost.sensor_area,
+        r.nominal_delay_ps,
+        r.cost.dbic_ps,
+        r.cost.vector_time_ps / 1000.0
+    );
+    for m in &r.modules {
+        println!(
+            "  M{}: {} gates, i_max {:.0} uA, d {:.0}, Rs {} ohm, area {}",
+            m.index,
+            m.gates,
+            m.peak_current_ua,
+            m.discriminability,
+            m.rs_ohm.map_or("--".into(), |v| format!("{v:.2}")),
+            m.sensor_area.map_or("--".into(), |v| format!("{v:.2e}")),
+        );
+    }
+
+    if let Some(json) = parse_flag(rest, "--json") {
+        let payload = serde_json::to_string_pretty(r).map_err(|e| e.to_string())?;
+        std::fs::write(&json, payload).map_err(|e| format!("write `{json}`: {e}"))?;
+        eprintln!("wrote {json}");
+    }
+    if let Some(dot_path) = parse_flag(rest, "--dot") {
+        let part = result.partition.clone();
+        let colour = move |id: iddq_netlist::NodeId| part.module_of(id).unwrap_or(0);
+        std::fs::write(&dot_path, dot::to_dot(&cut, Some(&colour)))
+            .map_err(|e| format!("write `{dot_path}`: {e}"))?;
+        eprintln!("wrote {dot_path}");
+    }
+    if let Some(mods) = parse_flag(rest, "--modules") {
+        let mut lines = String::new();
+        for g in cut.gate_ids() {
+            lines.push_str(&format!(
+                "{} {}\n",
+                cut.node_name(g),
+                result.partition.module_of(g).expect("gates assigned")
+            ));
+        }
+        std::fs::write(&mods, lines).map_err(|e| format!("write `{mods}`: {e}"))?;
+        eprintln!("wrote {mods}");
+    }
+    Ok(())
+}
+
+fn cmd_gen(rest: &[String]) -> Result<(), String> {
+    let name = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let profile = iddq_gen::iscas::IscasProfile::by_name(name)
+        .ok_or_else(|| format!("unknown circuit `{name}` (c432..c7552)"))?;
+    let seed: u64 = parse_num(rest, "--seed", 42)?;
+    let nl = iddq_gen::iscas::generate(profile, seed);
+    let text = bench::to_bench(&nl);
+    match parse_flag(rest, "--out") {
+        Some(path) => {
+            std::fs::write(&path, text).map_err(|e| format!("write `{path}`: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_test(rest: &[String]) -> Result<(), String> {
+    let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let cut = load(path)?;
+    let seed: u64 = parse_num(rest, "--seed", 42)?;
+    let library = Library::generic_1um();
+    let config = PartitionConfig::paper_default();
+
+    let faults = iddq_logicsim::faults::enumerate(
+        &cut,
+        &iddq_logicsim::faults::FaultUniverseConfig::default(),
+        seed,
+    );
+    let tests = iddq_atpg::generate(&cut, &faults, &iddq_atpg::AtpgConfig::default(), seed);
+    let evo = EvolutionConfig { generations: 60, stagnation: 25, ..Default::default() };
+    let result = flow::synthesize_with(&cut, &library, &config, &evo, seed);
+    let leaks: Vec<f64> = result
+        .report
+        .modules
+        .iter()
+        .map(|m| m.leakage_na / 1000.0)
+        .collect();
+    let sim = iddq_logicsim::iddq::simulate(
+        &cut,
+        &faults,
+        &tests.vectors,
+        result.partition.assignment(),
+        &leaks,
+        library.technology().iddq_threshold_ua,
+    );
+    println!(
+        "{}: {} defects, {} vectors, coverage {:.1}% under {} BIC sensors",
+        cut.name(),
+        faults.len(),
+        tests.vectors.len(),
+        sim.coverage * 100.0,
+        leaks.len()
+    );
+    Ok(())
+}
+
+fn cmd_stats(rest: &[String]) -> Result<(), String> {
+    let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let cut = load(path)?;
+    let depth = iddq_netlist::levelize::depth(&cut);
+    println!(
+        "{}: {} inputs, {} outputs, {} gates, depth {}",
+        cut.name(),
+        cut.num_inputs(),
+        cut.num_outputs(),
+        cut.gate_count(),
+        depth
+    );
+    let mut by_kind: std::collections::BTreeMap<String, usize> = Default::default();
+    for g in cut.gate_ids() {
+        let node = cut.node(g);
+        let kind = node.kind().cell_kind().expect("gate");
+        let n = node.fanin().len();
+        let cell = if n > 1 { format!("{kind}{n}") } else { kind.to_string() };
+        *by_kind.entry(cell).or_default() += 1;
+    }
+    for (cell, count) in by_kind {
+        println!("  {cell:<8} {count}");
+    }
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! End-to-end tests of the `iddq` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_iddq"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("iddq-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("synth"));
+    assert!(text.contains("gen"));
+}
+
+#[test]
+fn unknown_command_fails_with_code_1() {
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn no_args_fails_with_code_2() {
+    let out = bin().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn gen_stats_synth_test_pipeline() {
+    let bench_path = tmp("c432.bench");
+    let json_path = tmp("c432.json");
+
+    // gen
+    let out = bin()
+        .args(["gen", "c432", "--seed", "7", "--out"])
+        .arg(&bench_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // stats
+    let out = bin().arg("stats").arg(&bench_path).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("160 gates"), "{text}");
+
+    // synth with JSON dump
+    let out = bin()
+        .args(["synth"])
+        .arg(&bench_path)
+        .args(["--generations", "20", "--json"])
+        .arg(&json_path)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("modules"), "{text}");
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json_path).expect("json written"))
+            .expect("valid json");
+    assert_eq!(json["gates"], 160);
+    assert!(json["feasible"].as_bool().expect("bool"));
+
+    // iddq test experiment
+    let out = bin().arg("test").arg(&bench_path).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("coverage"), "{text}");
+
+    let _ = std::fs::remove_file(bench_path);
+    let _ = std::fs::remove_file(json_path);
+}
+
+#[test]
+fn gen_unknown_circuit_is_an_error() {
+    let out = bin().args(["gen", "c9999"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown circuit"));
+}
+
+#[test]
+fn synth_missing_file_is_an_error() {
+    let out = bin().args(["synth", "/nonexistent.bench"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn resynth_flag_runs() {
+    let bench_path = tmp("resynth.bench");
+    bin()
+        .args(["gen", "c432", "--out"])
+        .arg(&bench_path)
+        .output()
+        .expect("runs");
+    let out = bin()
+        .args(["synth"])
+        .arg(&bench_path)
+        .args(["--generations", "10", "--resynth"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("resynthesis"));
+    let _ = std::fs::remove_file(bench_path);
+}

@@ -1,0 +1,125 @@
+//! The feasibility function `r(Π)` of §2.
+//!
+//! Two constraints make an IDDQ test physically meaningful:
+//!
+//! * **Discriminability** `d(M_i) = I_DDQ,th / I_DDQ,nd,i ≥ d` — a sensor
+//!   whose module leaks close to the threshold cannot distinguish a
+//!   defective from a fault-free measurement ("For the feasibility of an
+//!   IDDQ test, d > 1 is required, and a typical value is 10").
+//! * **Rail perturbation** `R_s,i · î_DD,max,i ≤ r*` with a realizable
+//!   `R_s,i` — the bypass device must hold the virtual ground within the
+//!   noise margin during normal operation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::evaluator::Evaluated;
+
+/// Per-module constraint evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleConstraint {
+    /// Module index.
+    pub module: usize,
+    /// Discriminability `d(M_i)`.
+    pub discriminability: f64,
+    /// Whether the discriminability constraint holds.
+    pub discriminability_ok: bool,
+    /// Whether a rail-compliant bypass device is realizable.
+    pub rail_ok: bool,
+}
+
+/// Whole-partition constraint report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintReport {
+    /// Per-module details.
+    pub modules: Vec<ModuleConstraint>,
+    /// `r(Π)`: all constraints satisfied.
+    pub feasible: bool,
+}
+
+/// Evaluates `r(Π)` over an evaluated partition.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_celllib::Library;
+/// use iddq_core::{config::PartitionConfig, constraints, Evaluated, EvalContext, Partition};
+/// use iddq_netlist::data;
+///
+/// let c17 = data::c17();
+/// let lib = Library::generic_1um();
+/// let ctx = EvalContext::new(&c17, &lib, PartitionConfig::paper_default());
+/// let e = Evaluated::new(&ctx, Partition::single_module(&c17));
+/// let r = constraints::evaluate(&e);
+/// assert!(r.feasible);
+/// assert!(r.modules[0].discriminability > 10.0);
+/// ```
+#[must_use]
+pub fn evaluate(eval: &Evaluated<'_>) -> ConstraintReport {
+    let ctx = eval.context();
+    let mut modules = Vec::with_capacity(eval.stats().len());
+    let mut feasible = true;
+    for (m, s) in eval.stats().iter().enumerate() {
+        let leak_ua = s.leakage_na / 1000.0;
+        let discriminability = if leak_ua > 0.0 {
+            ctx.technology.iddq_threshold_ua / leak_ua
+        } else {
+            f64::INFINITY
+        };
+        let discriminability_ok = discriminability >= ctx.config.d_min;
+        let rail_ok = eval.sensor(m).is_ok();
+        feasible &= discriminability_ok && rail_ok;
+        modules.push(ModuleConstraint {
+            module: m,
+            discriminability,
+            discriminability_ok,
+            rail_ok,
+        });
+    }
+    ConstraintReport { modules, feasible }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionConfig;
+    use crate::context::EvalContext;
+    use crate::partition::Partition;
+    use iddq_celllib::Library;
+    use iddq_netlist::data;
+
+    #[test]
+    fn c17_single_module_feasible() {
+        let nl = data::c17();
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let e = Evaluated::new(&ctx, Partition::single_module(&nl));
+        let r = evaluate(&e);
+        assert!(r.feasible);
+        assert_eq!(r.modules.len(), 1);
+    }
+
+    #[test]
+    fn strict_d_min_fails() {
+        let nl = data::c17();
+        let lib = Library::generic_1um();
+        let mut cfg = PartitionConfig::paper_default();
+        cfg.d_min = 1e12;
+        let ctx = EvalContext::new(&nl, &lib, cfg);
+        let e = Evaluated::new(&ctx, Partition::single_module(&nl));
+        let r = evaluate(&e);
+        assert!(!r.feasible);
+        assert!(!r.modules[0].discriminability_ok);
+        assert!(r.modules[0].rail_ok, "rail constraint independent of d");
+    }
+
+    #[test]
+    fn report_agrees_with_cost_violations() {
+        let nl = data::ripple_adder(16);
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let e = Evaluated::new(&ctx, Partition::single_module(&nl));
+        let r = evaluate(&e);
+        let c = e.cost();
+        assert_eq!(r.feasible, c.feasible());
+    }
+}

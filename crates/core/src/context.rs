@@ -1,0 +1,147 @@
+//! One-time analysis context shared by every partition evaluation.
+
+use iddq_celllib::{Library, NodeTables, Technology};
+use iddq_netlist::separation::SeparationOracle;
+use iddq_netlist::{levelize, Netlist, TimeSet};
+
+use crate::config::PartitionConfig;
+
+/// Precomputed, partition-independent analysis of one `(netlist, library,
+/// config)` triple.
+///
+/// Everything the cost estimators need repeatedly — transition-time sets
+/// (§3.1), the separation oracle (§3.3), nominal critical-path timing
+/// (§3.2) and flattened cell tables — is computed once here; evaluating or
+/// mutating a partition then never touches the netlist text again.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_celllib::Library;
+/// use iddq_core::{config::PartitionConfig, EvalContext};
+/// use iddq_netlist::data;
+///
+/// let c17 = data::c17();
+/// let lib = Library::generic_1um();
+/// let ctx = EvalContext::new(&c17, &lib, PartitionConfig::paper_default());
+/// assert!(ctx.nominal_delay_ps > 0.0);
+/// assert_eq!(ctx.gates.len(), 6);
+/// ```
+#[derive(Debug)]
+pub struct EvalContext<'a> {
+    /// The circuit under test.
+    pub netlist: &'a Netlist,
+    /// Configuration (weights, constraints, sizing).
+    pub config: PartitionConfig,
+    /// Technology snapshot from the library.
+    pub technology: Technology,
+    /// Flattened per-node electrical tables.
+    pub tables: NodeTables,
+    /// §3.1 transition-time sets per node, on the technology grid.
+    pub times: Vec<TimeSet>,
+    /// One past the largest transition time over all nodes (histogram
+    /// length for the per-module activity analysis).
+    pub horizon: usize,
+    /// Bounded-BFS separation oracle (§3.3).
+    pub separation: SeparationOracle,
+    /// Nominal (sensor-free) critical path delay `D`, picoseconds.
+    pub nominal_delay_ps: f64,
+    /// All gate ids, in topological order.
+    pub gates: Vec<iddq_netlist::NodeId>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Runs the one-time analyses.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, library: &Library, config: PartitionConfig) -> Self {
+        let tables = NodeTables::new(netlist, library);
+        let times = levelize::transition_times(netlist, &tables.grid_delay);
+        let horizon = times
+            .iter()
+            .filter_map(TimeSet::max)
+            .max()
+            .map(|t| t as usize + 1)
+            .unwrap_or(1);
+        let separation = SeparationOracle::new(netlist, config.rho);
+        let nominal_delay_ps = levelize::critical_path_delay(netlist, &tables.delay_ps);
+        let gates = netlist
+            .topo_order()
+            .iter()
+            .copied()
+            .filter(|&id| netlist.is_gate(id))
+            .collect();
+        EvalContext {
+            netlist,
+            config,
+            technology: library.technology().clone(),
+            tables,
+            times,
+            horizon,
+            separation,
+            nominal_delay_ps,
+            gates,
+        }
+    }
+
+    /// Average per-gate leakage in nanoamps — used by the §4.2 module-size
+    /// estimate.
+    #[must_use]
+    pub fn mean_gate_leakage_na(&self) -> f64 {
+        if self.gates.is_empty() {
+            return 0.0;
+        }
+        self.gates
+            .iter()
+            .map(|g| self.tables.leakage_na[g.index()])
+            .sum::<f64>()
+            / self.gates.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_netlist::data;
+
+    fn ctx_for(netlist: &Netlist) -> EvalContext<'_> {
+        EvalContext::new(netlist, &Library::generic_1um(), PartitionConfig::paper_default())
+    }
+
+    #[test]
+    fn horizon_covers_all_transition_times() {
+        let nl = data::c17();
+        let ctx = ctx_for(&nl);
+        for id in nl.node_ids() {
+            if let Some(t) = ctx.times[id.index()].max() {
+                assert!((t as usize) < ctx.horizon);
+            }
+        }
+    }
+
+    #[test]
+    fn nominal_delay_is_three_nand_levels() {
+        let nl = data::c17();
+        let ctx = ctx_for(&nl);
+        let nand_delay = ctx.tables.delay_ps[nl.find("10").unwrap().index()];
+        assert!((ctx.nominal_delay_ps - 3.0 * nand_delay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gates_in_topological_order() {
+        let nl = data::ripple_adder(4);
+        let ctx = ctx_for(&nl);
+        let mut pos = vec![0usize; nl.node_count()];
+        for (i, id) in nl.topo_order().iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for w in ctx.gates.windows(2) {
+            assert!(pos[w[0].index()] < pos[w[1].index()]);
+        }
+    }
+
+    #[test]
+    fn mean_leakage_positive() {
+        let nl = data::c17();
+        assert!(ctx_for(&nl).mean_gate_leakage_na() > 0.0);
+    }
+}

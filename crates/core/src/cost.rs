@@ -1,0 +1,98 @@
+//! The global cost function `C(Π) = Σ αᵢ·cᵢ(Π)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Weights;
+
+/// All cost terms of one partition evaluation, before and after
+/// weighting.
+///
+/// Terms follow §3 of the paper:
+///
+/// * `c1 = log A` — total BIC sensor area (log-compressed "so all
+///   components of the objective function have similar range"),
+/// * `c2 = (D_BIC − D)/D` — relative critical-path delay overhead,
+/// * `c3 = log S(Π)` — intra-module separation (wiring difficulty),
+/// * `c4` — relative test-application-time overhead (logic settle plus
+///   the slowest sensor's decay+sense window, per vector),
+/// * `c5 = K` — module count (test clock/output routing).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// `c₁`: log of total sensor area.
+    pub c1_area: f64,
+    /// `c₂`: relative delay overhead.
+    pub c2_delay: f64,
+    /// `c₃`: log of total separation.
+    pub c3_interconnect: f64,
+    /// `c₄`: relative test-time overhead.
+    pub c4_test_time: f64,
+    /// `c₅`: module count.
+    pub c5_modules: f64,
+    /// Number of violated constraints (discriminability + rail
+    /// perturbation, counted per module).
+    pub violations: usize,
+    /// Raw (un-logged) total sensor area, for reporting — the figure the
+    /// paper's Table 1 prints.
+    pub sensor_area: f64,
+    /// Absolute degraded critical path `D_BIC`, ps.
+    pub dbic_ps: f64,
+    /// Absolute per-vector test time `D_BIC + max_i Δ(τᵢ)`, ps.
+    pub vector_time_ps: f64,
+}
+
+impl CostBreakdown {
+    /// The constraint evaluation function `r(Π)`: 1 iff all constraints
+    /// hold.
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// Weighted total `Σ αᵢ·cᵢ` plus the violation penalty.
+    #[must_use]
+    pub fn total(&self, weights: &Weights, violation_penalty: f64) -> f64 {
+        weights.area * self.c1_area
+            + weights.delay * self.c2_delay
+            + weights.interconnect * self.c3_interconnect
+            + weights.test_time * self.c4_test_time
+            + weights.module_count * self.c5_modules
+            + violation_penalty * self.violations as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CostBreakdown {
+        CostBreakdown {
+            c1_area: 14.0,
+            c2_delay: 0.06,
+            c3_interconnect: 8.0,
+            c4_test_time: 4.0,
+            c5_modules: 3.0,
+            violations: 0,
+            sensor_area: 1.2e6,
+            dbic_ps: 5000.0,
+            vector_time_ps: 30_000.0,
+        }
+    }
+
+    #[test]
+    fn weighted_total_matches_paper_formula() {
+        let c = sample();
+        let w = Weights::paper();
+        let want = 9.0 * 14.0 + 1e5 * 0.06 + 8.0 + 4.0 + 10.0 * 3.0;
+        assert!((c.total(&w, 1e7) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violations_dominate() {
+        let mut c = sample();
+        let w = Weights::paper();
+        let ok = c.total(&w, 1e7);
+        c.violations = 2;
+        assert!(c.total(&w, 1e7) > ok + 1.9e7);
+        assert!(!c.feasible());
+    }
+}

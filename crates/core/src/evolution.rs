@@ -1,0 +1,435 @@
+//! The evolution-based partitioning algorithm (§4).
+//!
+//! One cycle of the strategy (adapted from Rechenberg/Schwefel via Saab &
+//! Rao, as the paper describes):
+//!
+//! 1. **Recombination** — "just one parent is sufficient for a child, and
+//!    recombination is just duplication": each of the μ parents is copied
+//!    λ times.
+//! 2. **Mutation** — per child, a random module `M_start` is selected, its
+//!    boundary gates are determined, `m_move ∈ {1, …, min(m,
+//!    m_boundary)}` gates are chosen uniformly and each moves into a
+//!    connected target module. Additionally χ *Monte-Carlo* descendants
+//!    per parent move a random number of random gates of a random module
+//!    into a random module — the high-variance step that "reduces the
+//!    probability of being caught in a local minimum". Emptied modules
+//!    are deleted.
+//! 3. **Step-width adaptation** — each descendant's `m` is redrawn from a
+//!    normal distribution with variance ε around its parent's `m`.
+//! 4. **Selection** — parents older than the maximum lifetime `o` are
+//!    deleted; the μ best of the remaining individuals become the next
+//!    parents.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use iddq_netlist::NodeId;
+
+use crate::context::EvalContext;
+use crate::evaluator::Evaluated;
+use crate::partition::Partition;
+use crate::start;
+
+/// Strategy parameters (the glossary's `μ, λ, χ, o, m, ε`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionConfig {
+    /// μ — number of parents.
+    pub mu: usize,
+    /// λ — mutated children per parent.
+    pub lambda: usize,
+    /// χ — Monte-Carlo descendants per parent.
+    pub chi: usize,
+    /// o — maximum lifetime in generations.
+    pub max_lifetime: u32,
+    /// Initial mutation step width `m` (max gates moved per mutation).
+    pub m_init: f64,
+    /// ε — standard deviation of the step-width adaptation.
+    pub epsilon: f64,
+    /// Maximum number of generations.
+    pub generations: usize,
+    /// Stop early after this many generations without best-cost
+    /// improvement.
+    pub stagnation: usize,
+    /// Worker threads for descendant evaluation (1 = sequential). The
+    /// result is identical for any thread count: every descendant draws
+    /// from its own seeded RNG stream.
+    pub threads: usize,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            mu: 6,
+            lambda: 4,
+            chi: 2,
+            max_lifetime: 8,
+            m_init: 4.0,
+            epsilon: 1.0,
+            generations: 400,
+            stagnation: 60,
+            threads: 1,
+        }
+    }
+}
+
+/// One individual of the population.
+#[derive(Debug, Clone)]
+struct Individual<'a> {
+    eval: Evaluated<'a>,
+    cost: f64,
+    m: f64,
+    age: u32,
+}
+
+/// Progress record per generation (for convergence plots).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationLog {
+    /// Generation index.
+    pub generation: usize,
+    /// Best cost in the population.
+    pub best_cost: f64,
+    /// Population mean cost.
+    pub mean_cost: f64,
+    /// Module count of the best individual.
+    pub best_modules: usize,
+}
+
+/// Result of an optimization run.
+#[derive(Debug, Clone)]
+pub struct EvolutionOutcome {
+    /// The best partition found.
+    pub best: Partition,
+    /// Its weighted cost.
+    pub best_cost: f64,
+    /// Convergence trace.
+    pub log: Vec<GenerationLog>,
+    /// Total partitions evaluated.
+    pub evaluations: usize,
+}
+
+/// Runs the evolution strategy from chain-grown start partitions.
+///
+/// Deterministic for fixed `(ctx, config, seed)`.
+///
+/// # Panics
+///
+/// Panics if `config.mu == 0` or the netlist has no gates.
+#[must_use]
+pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> EvolutionOutcome {
+    assert!(config.mu > 0, "need at least one parent");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xe501);
+    let module_size = start::estimate_module_size(ctx);
+    let module_count = start::estimate_module_count(ctx);
+    // Chain partitions target a size that yields the estimated count.
+    let size_for_count = ctx.gates.len().div_ceil(module_count).max(1);
+    let _ = module_size;
+
+    let mut population: Vec<Individual<'_>> = (0..config.mu)
+        .map(|i| {
+            let p = start::chain_partition(ctx, size_for_count, seed.wrapping_add(i as u64));
+            let eval = Evaluated::new(ctx, p);
+            let cost = eval.total_cost();
+            Individual { eval, cost, m: config.m_init, age: 0 }
+        })
+        .collect();
+    let mut evaluations = population.len();
+
+    let mut log = Vec::new();
+    let mut best_cost = f64::INFINITY;
+    let mut best: Option<Partition> = None;
+    let mut stagnant = 0usize;
+
+    for generation in 0..config.generations {
+        // Descendant tasks: (parent index, Monte-Carlo?, private seed).
+        // Each task gets its own RNG derived from the master stream, so
+        // the outcome is identical whatever the thread count.
+        let tasks: Vec<(usize, bool, u64)> = population
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, _)| {
+                (0..config.lambda)
+                    .map(move |_| (pi, false))
+                    .chain((0..config.chi).map(move |_| (pi, true)))
+            })
+            .map(|(pi, mc)| (pi, mc, rng.gen::<u64>()))
+            .collect();
+        let run_task = |&(pi, mc, s): &(usize, bool, u64)| {
+            let mut child_rng = SmallRng::seed_from_u64(s);
+            let parent = &population[pi];
+            if mc {
+                monte_carlo(parent, config, &mut child_rng)
+            } else {
+                mutate(parent, config, &mut child_rng)
+            }
+        };
+        let results: Vec<Option<Individual<'_>>> = if config.threads > 1 && tasks.len() > 1 {
+            let chunk = tasks.len().div_ceil(config.threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = tasks
+                    .chunks(chunk)
+                    .map(|slice| scope.spawn(move || slice.iter().map(run_task).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("descendant worker never panics"))
+                    .collect()
+            })
+        } else {
+            tasks.iter().map(run_task).collect()
+        };
+        let mut offspring: Vec<Individual<'_>> = results.into_iter().flatten().collect();
+        evaluations += offspring.len();
+        // Selection pool: aged parents + all descendants.
+        for p in &mut population {
+            p.age += 1;
+        }
+        population.retain(|p| p.age <= config.max_lifetime);
+        population.append(&mut offspring);
+        population.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        population.truncate(config.mu);
+        if population.is_empty() {
+            // All parents aged out with no offspring (degenerate tiny
+            // circuits): restart from chains.
+            let p = start::chain_partition(ctx, size_for_count, seed ^ generation as u64);
+            let eval = Evaluated::new(ctx, p);
+            let cost = eval.total_cost();
+            evaluations += 1;
+            population.push(Individual { eval, cost, m: config.m_init, age: 0 });
+        }
+
+        let gen_best = &population[0];
+        let mean_cost =
+            population.iter().map(|i| i.cost).sum::<f64>() / population.len() as f64;
+        log.push(GenerationLog {
+            generation,
+            best_cost: gen_best.cost,
+            mean_cost,
+            best_modules: gen_best.eval.partition().module_count(),
+        });
+        if gen_best.cost + 1e-12 < best_cost {
+            best_cost = gen_best.cost;
+            best = Some(gen_best.eval.partition().clone());
+            stagnant = 0;
+        } else {
+            stagnant += 1;
+            if stagnant >= config.stagnation {
+                break;
+            }
+        }
+    }
+
+    let best = best.expect("at least one generation ran");
+    EvolutionOutcome { best, best_cost, log, evaluations }
+}
+
+/// The §4.2 mutation: move up to `m` boundary gates of a random module
+/// into connected modules. Returns `None` when no move is possible
+/// (single-module partitions have no boundary).
+fn mutate<'a>(
+    parent: &Individual<'a>,
+    config: &EvolutionConfig,
+    rng: &mut SmallRng,
+) -> Option<Individual<'a>> {
+    let k = parent.eval.partition().module_count();
+    if k < 2 {
+        return None;
+    }
+    let mut child = parent.eval.clone();
+    let m_start = rng.gen_range(0..k);
+    let boundary = child.boundary_gates(m_start);
+    if boundary.is_empty() {
+        return None;
+    }
+    let m_step = adapt_step(parent.m, config.epsilon, rng);
+    let cap = (m_step.round() as usize).clamp(1, boundary.len());
+    let m_move = rng.gen_range(1..=cap);
+    let mut moved = 0usize;
+    let mut candidates = boundary;
+    while moved < m_move && !candidates.is_empty() {
+        let gi = rng.gen_range(0..candidates.len());
+        let gate = candidates.swap_remove(gi);
+        // Gate may have been re-homed indirectly by module removal; the
+        // connected-target list is computed against the current state.
+        let targets = child.connected_modules(gate);
+        if targets.is_empty() {
+            continue;
+        }
+        let target = targets[rng.gen_range(0..targets.len())];
+        child.move_gate(gate, target);
+        moved += 1;
+        if child.partition().module_count() < 2 {
+            break;
+        }
+    }
+    if moved == 0 {
+        return None;
+    }
+    let cost = child.total_cost();
+    Some(Individual { eval: child, cost, m: m_step, age: 0 })
+}
+
+/// The Monte-Carlo descendant: a random number of random gates of a random
+/// module moves into a random module ("the random variation of these
+/// descendants is higher compared with mutations").
+fn monte_carlo<'a>(
+    parent: &Individual<'a>,
+    config: &EvolutionConfig,
+    rng: &mut SmallRng,
+) -> Option<Individual<'a>> {
+    let k = parent.eval.partition().module_count();
+    if k < 2 {
+        return None;
+    }
+    let mut child = parent.eval.clone();
+    let source = rng.gen_range(0..k);
+    let target = {
+        let mut t = rng.gen_range(0..k - 1);
+        if t >= source {
+            t += 1;
+        }
+        t
+    };
+    let size = child.partition().module(source).len();
+    let count = rng.gen_range(1..=size);
+    let gates: Vec<NodeId> = {
+        let mut pool: Vec<NodeId> = child.partition().module(source).to_vec();
+        (0..count)
+            .map(|_| pool.swap_remove(rng.gen_range(0..pool.len())))
+            .collect()
+    };
+    // Module indices shift when `source` empties; track the target by a
+    // representative gate instead.
+    let target_rep = child.partition().module(target)[0];
+    for g in gates {
+        let t = child
+            .partition()
+            .module_of(target_rep)
+            .expect("representative stays assigned");
+        child.move_gate(g, t);
+    }
+    let m_step = adapt_step(parent.m, config.epsilon, rng);
+    let cost = child.total_cost();
+    Some(Individual { eval: child, cost, m: m_step, age: 0 })
+}
+
+/// Redraws the mutation step width from `N(m, ε²)`, floored at 1.
+fn adapt_step(m: f64, epsilon: f64, rng: &mut SmallRng) -> f64 {
+    // Box–Muller transform; `rand` ships no normal distribution and the
+    // approved crate set excludes rand_distr.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (m + epsilon * z).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionConfig;
+    use iddq_celllib::Library;
+    use iddq_netlist::data;
+
+    fn quick_config() -> EvolutionConfig {
+        EvolutionConfig {
+            mu: 4,
+            lambda: 3,
+            chi: 1,
+            max_lifetime: 6,
+            m_init: 2.0,
+            epsilon: 1.0,
+            generations: 60,
+            stagnation: 20,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn optimizes_c17_to_feasible_two_modules_or_fewer() {
+        let nl = data::c17();
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let out = optimize(&ctx, &quick_config(), 1);
+        out.best.validate(&nl).unwrap();
+        let eval = Evaluated::new(&ctx, out.best.clone());
+        assert!(eval.cost().feasible());
+        assert!(out.best_cost.is_finite());
+    }
+
+    #[test]
+    fn best_cost_never_increases_in_log() {
+        let nl = data::ripple_adder(12);
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let out = optimize(&ctx, &quick_config(), 3);
+        let mut best = f64::INFINITY;
+        for entry in &out.log {
+            best = best.min(entry.best_cost);
+            // The running best observed so far must be reflected.
+            assert!(entry.best_cost >= best - 1e-9);
+        }
+        assert!(out.evaluations > quick_config().mu);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let nl = data::ripple_adder(8);
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let a = optimize(&ctx, &quick_config(), 42);
+        let b = optimize(&ctx, &quick_config(), 42);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_cost, b.best_cost);
+    }
+
+    #[test]
+    fn improves_over_start_partitions() {
+        let nl = data::ripple_adder(24);
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let size = crate::start::estimate_module_size(&ctx);
+        let count = crate::start::estimate_module_count(&ctx);
+        let chain = crate::start::chain_partition(
+            &ctx,
+            ctx.gates.len().div_ceil(count).max(1),
+            42,
+        );
+        let start_cost = Evaluated::new(&ctx, chain).total_cost();
+        let out = optimize(&ctx, &quick_config(), 42);
+        assert!(out.best_cost <= start_cost, "{} vs {start_cost}", out.best_cost);
+        let _ = size;
+    }
+
+    #[test]
+    fn step_width_adaptation_floors_at_one() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            assert!(adapt_step(1.0, 10.0, &mut rng) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let nl = data::ripple_adder(10);
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let seq = optimize(&ctx, &quick_config(), 11);
+        let par_cfg = EvolutionConfig { threads: 4, ..quick_config() };
+        let par = optimize(&ctx, &par_cfg, 11);
+        assert_eq!(seq.best, par.best);
+        assert_eq!(seq.best_cost, par.best_cost);
+        assert_eq!(seq.evaluations, par.evaluations);
+    }
+
+    #[test]
+    fn mutation_returns_none_for_single_module() {
+        let nl = data::c17();
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let eval = Evaluated::new(&ctx, Partition::single_module(&nl));
+        let cost = eval.total_cost();
+        let parent = Individual { eval, cost, m: 2.0, age: 0 };
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(mutate(&parent, &quick_config(), &mut rng).is_none());
+        assert!(monte_carlo(&parent, &quick_config(), &mut rng).is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's contribution: partitioning a CMOS circuit into BIC-sensed
+//! modules for IDDQ testability.
+//!
+//! The **PART-IDDQ** problem (paper §2): find a partition `Π* = {M_1, …,
+//! M_K}` of the gates that satisfies
+//!
+//! * *discriminability* — `d(M_i) = I_DDQ,th / I_DDQ,nd,i ≥ d` for every
+//!   module (typically `d = 10`), and
+//! * *virtual-rail perturbation* — `R_s,i · î_DD,max,i ≤ r*` for a
+//!   realizable bypass device,
+//!
+//! while minimizing the weighted cost
+//!
+//! ```text
+//! C(Π) = α₁·c₁ + α₂·c₂ + α₃·c₃ + α₄·c₄ + α₅·c₅
+//!        (area)  (delay) (wiring) (test time) (module count)
+//! ```
+//!
+//! The problem is NP-hard; the paper optimizes it with an evolution
+//! strategy (μ parents, λ children each, χ Monte-Carlo descendants,
+//! maximum lifetime o, adaptive mutation width m with variance ε).
+//!
+//! Module map:
+//!
+//! * [`config`] — weights and parameters (paper defaults included),
+//! * [`context`] — one-time analysis of a netlist + library
+//!   (transition-time sets, separation oracle, nominal timing),
+//! * [`partition`] — the plain partition data type,
+//! * [`evaluator`] — incremental cost evaluation ([`Evaluated`]),
+//! * [`constraints`] — the feasibility function `r(Π)`,
+//! * [`start`] — §4.2 chain-grown start partitions,
+//! * [`evolution`] — §4 the evolution strategy,
+//! * [`optimizers`] — simulated-annealing / greedy baselines for
+//!   ablation (the alternatives §4 lists),
+//! * [`standard`] — §5 the straightforward baseline partitioner,
+//! * [`flow`] — end-to-end synthesis entry points and reporting.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use iddq_celllib::Library;
+//! use iddq_core::{config::PartitionConfig, flow};
+//! use iddq_netlist::data;
+//!
+//! let c17 = data::c17();
+//! let lib = Library::generic_1um();
+//! let cfg = PartitionConfig::paper_default();
+//! let result = flow::synthesize(&c17, &lib, &cfg, 42);
+//! assert!(result.report.feasible);
+//! assert!(result.report.modules.len() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod constraints;
+pub mod context;
+pub mod cost;
+pub mod evaluator;
+pub mod evolution;
+pub mod flow;
+pub mod optimizers;
+pub mod partition;
+pub mod standard;
+pub mod start;
+
+pub use config::{PartitionConfig, Weights};
+pub use context::EvalContext;
+pub use cost::CostBreakdown;
+pub use evaluator::Evaluated;
+pub use partition::Partition;

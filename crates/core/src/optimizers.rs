@@ -1,0 +1,311 @@
+//! Alternative optimizers for PART-IDDQ.
+//!
+//! §4 of the paper motivates the evolution strategy by noting that "a
+//! variety of algorithms has been proposed for such kind of problems
+//! (force-driven, simulated annealing, Monte Carlo, genetic, e.g.)". This
+//! module implements the two classic baselines from that list over the
+//! *same* incremental evaluator and the same neighbourhood moves, so the
+//! optimizer choice can be ablated cleanly:
+//!
+//! * [`simulated_annealing`] — Metropolis acceptance with geometric
+//!   cooling,
+//! * [`greedy_local_search`] — first-improvement hill climbing with
+//!   random restarts (degenerates to the pure Monte-Carlo-free limit of
+//!   the evolution strategy).
+//!
+//! Both start from the same §4.2 chain partitions as the evolution
+//! strategy. The `optimizer_compare` binary in `iddq-bench` runs the
+//! head-to-head.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::context::EvalContext;
+use crate::evaluator::Evaluated;
+use crate::partition::Partition;
+use crate::start;
+
+/// Result of a baseline optimizer run.
+#[derive(Debug, Clone)]
+pub struct OptimizerOutcome {
+    /// Best partition found.
+    pub best: Partition,
+    /// Its weighted cost.
+    pub best_cost: f64,
+    /// Partitions evaluated.
+    pub evaluations: usize,
+}
+
+/// One random neighbourhood move, shared by all optimizers: with
+/// probability `mc_prob` a high-variance Monte-Carlo move (random gates of
+/// a random module to a random module), otherwise a §4.2 boundary move.
+/// Returns `false` if no move was possible (single-module partition).
+fn random_move(eval: &mut Evaluated<'_>, mc_prob: f64, rng: &mut SmallRng) -> bool {
+    let k = eval.partition().module_count();
+    if k < 2 {
+        return false;
+    }
+    if rng.gen_bool(mc_prob) {
+        // Monte-Carlo: a random run of gates from one module to another.
+        let source = rng.gen_range(0..k);
+        let mut target = rng.gen_range(0..k - 1);
+        if target >= source {
+            target += 1;
+        }
+        let size = eval.partition().module(source).len();
+        let count = rng.gen_range(1..=size.min(8));
+        // Module indices shift when the source empties (swap-remove), so
+        // track the target through a representative gate and stop as soon
+        // as a module disappears.
+        let target_rep = eval.partition().module(target)[0];
+        for _ in 0..count {
+            let t = eval
+                .partition()
+                .module_of(target_rep)
+                .expect("representative stays assigned");
+            if t == source || t >= eval.partition().module_count() {
+                break;
+            }
+            let pool = eval.partition().module(source);
+            if pool.is_empty() {
+                break;
+            }
+            let gate = pool[rng.gen_range(0..pool.len())];
+            let outcome = eval.move_gate(gate, t);
+            if outcome.removed_module.is_some() {
+                break;
+            }
+        }
+        true
+    } else {
+        // Boundary move.
+        let m = rng.gen_range(0..k);
+        let boundary = eval.boundary_gates(m);
+        if boundary.is_empty() {
+            return false;
+        }
+        let gate = boundary[rng.gen_range(0..boundary.len())];
+        let targets = eval.connected_modules(gate);
+        if targets.is_empty() {
+            return false;
+        }
+        let target = targets[rng.gen_range(0..targets.len())];
+        eval.move_gate(gate, target);
+        true
+    }
+}
+
+/// Simulated-annealing parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealingConfig {
+    /// Initial temperature (in cost units). Choose around the typical
+    /// cost delta of a single move; [`AnnealingConfig::default`] works for
+    /// the paper's §5.1 weights.
+    pub t_initial: f64,
+    /// Geometric cooling factor per temperature step.
+    pub alpha: f64,
+    /// Moves attempted per temperature step.
+    pub moves_per_temperature: usize,
+    /// Stop when the temperature falls below this.
+    pub t_final: f64,
+    /// Probability of a Monte-Carlo (vs boundary) move.
+    pub mc_prob: f64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            t_initial: 200.0,
+            alpha: 0.92,
+            moves_per_temperature: 60,
+            t_final: 0.5,
+            mc_prob: 0.15,
+        }
+    }
+}
+
+/// Classic simulated annealing over the PART-IDDQ neighbourhood.
+///
+/// # Panics
+///
+/// Panics if the netlist has no gates or the configuration is degenerate
+/// (`alpha` outside `(0, 1)`).
+#[must_use]
+pub fn simulated_annealing(
+    ctx: &EvalContext<'_>,
+    config: &AnnealingConfig,
+    seed: u64,
+) -> OptimizerOutcome {
+    assert!(config.alpha > 0.0 && config.alpha < 1.0, "alpha in (0,1)");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5a5a);
+    let count = start::estimate_module_count(ctx);
+    let size = ctx.gates.len().div_ceil(count).max(1);
+    let mut current = Evaluated::new(ctx, start::chain_partition(ctx, size, seed));
+    let mut current_cost = current.total_cost();
+    let mut best = current.partition().clone();
+    let mut best_cost = current_cost;
+    let mut evaluations = 1usize;
+
+    let mut t = config.t_initial;
+    while t > config.t_final {
+        for _ in 0..config.moves_per_temperature {
+            let mut candidate = current.clone();
+            if !random_move(&mut candidate, config.mc_prob, &mut rng) {
+                continue;
+            }
+            let cost = candidate.total_cost();
+            evaluations += 1;
+            let accept = cost <= current_cost
+                || rng.gen_bool(((current_cost - cost) / t).exp().clamp(0.0, 1.0));
+            if accept {
+                current = candidate;
+                current_cost = cost;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = current.partition().clone();
+                }
+            }
+        }
+        t *= config.alpha;
+    }
+    OptimizerOutcome { best, best_cost, evaluations }
+}
+
+/// Greedy first-improvement local search with random restarts.
+///
+/// Each restart walks from a fresh chain partition, accepting only
+/// strictly improving random moves, until `patience` consecutive
+/// non-improving proposals.
+///
+/// # Panics
+///
+/// Panics if the netlist has no gates or `restarts == 0`.
+#[must_use]
+pub fn greedy_local_search(
+    ctx: &EvalContext<'_>,
+    restarts: usize,
+    patience: usize,
+    seed: u64,
+) -> OptimizerOutcome {
+    assert!(restarts > 0, "need at least one restart");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6eed);
+    let count = start::estimate_module_count(ctx);
+    let size = ctx.gates.len().div_ceil(count).max(1);
+    let mut best: Option<(f64, Partition)> = None;
+    let mut evaluations = 0usize;
+
+    for r in 0..restarts {
+        let mut current =
+            Evaluated::new(ctx, start::chain_partition(ctx, size, seed.wrapping_add(r as u64)));
+        let mut current_cost = current.total_cost();
+        evaluations += 1;
+        let mut stale = 0usize;
+        while stale < patience {
+            let mut candidate = current.clone();
+            if !random_move(&mut candidate, 0.1, &mut rng) {
+                break;
+            }
+            let cost = candidate.total_cost();
+            evaluations += 1;
+            if cost < current_cost {
+                current = candidate;
+                current_cost = cost;
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+        }
+        if best.as_ref().map(|(c, _)| current_cost < *c).unwrap_or(true) {
+            best = Some((current_cost, current.partition().clone()));
+        }
+    }
+    let (best_cost, best) = best.expect("restarts > 0");
+    OptimizerOutcome { best, best_cost, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionConfig;
+    use iddq_celllib::Library;
+    use iddq_netlist::data;
+
+    fn ctx_of(nl: &iddq_netlist::Netlist) -> EvalContext<'_> {
+        EvalContext::new(nl, &Library::generic_1um(), PartitionConfig::paper_default())
+    }
+
+    fn quick_sa() -> AnnealingConfig {
+        AnnealingConfig {
+            t_initial: 100.0,
+            alpha: 0.85,
+            moves_per_temperature: 20,
+            t_final: 1.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn annealing_produces_valid_feasible_partition() {
+        let nl = data::ripple_adder(12);
+        let ctx = ctx_of(&nl);
+        let out = simulated_annealing(&ctx, &quick_sa(), 1);
+        out.best.validate(&nl).unwrap();
+        assert!(out.best_cost.is_finite());
+        assert!(out.evaluations > 10);
+    }
+
+    #[test]
+    fn annealing_improves_over_start() {
+        let nl = data::ripple_adder(16);
+        let ctx = ctx_of(&nl);
+        let count = start::estimate_module_count(&ctx);
+        let size = ctx.gates.len().div_ceil(count).max(1);
+        let start_cost =
+            Evaluated::new(&ctx, start::chain_partition(&ctx, size, 2)).total_cost();
+        let out = simulated_annealing(&ctx, &quick_sa(), 2);
+        assert!(out.best_cost <= start_cost);
+    }
+
+    #[test]
+    fn greedy_produces_valid_partition_and_improves() {
+        let nl = data::ripple_adder(12);
+        let ctx = ctx_of(&nl);
+        let count = start::estimate_module_count(&ctx);
+        let size = ctx.gates.len().div_ceil(count).max(1);
+        let start_cost =
+            Evaluated::new(&ctx, start::chain_partition(&ctx, size, 3)).total_cost();
+        let out = greedy_local_search(&ctx, 3, 40, 3);
+        out.best.validate(&nl).unwrap();
+        assert!(out.best_cost <= start_cost);
+    }
+
+    #[test]
+    fn both_are_deterministic() {
+        let nl = data::ripple_adder(8);
+        let ctx = ctx_of(&nl);
+        let a = simulated_annealing(&ctx, &quick_sa(), 9);
+        let b = simulated_annealing(&ctx, &quick_sa(), 9);
+        assert_eq!(a.best, b.best);
+        let g1 = greedy_local_search(&ctx, 2, 20, 9);
+        let g2 = greedy_local_search(&ctx, 2, 20, 9);
+        assert_eq!(g1.best, g2.best);
+    }
+
+    #[test]
+    fn single_gate_module_handles_degenerate_moves() {
+        // Tiny circuit: moves may be impossible; must not panic.
+        let nl = data::c17();
+        let ctx = ctx_of(&nl);
+        let out = greedy_local_search(&ctx, 2, 10, 0);
+        out.best.validate(&nl).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in (0,1)")]
+    fn bad_alpha_panics() {
+        let nl = data::c17();
+        let ctx = ctx_of(&nl);
+        let cfg = AnnealingConfig { alpha: 1.5, ..Default::default() };
+        let _ = simulated_annealing(&ctx, &cfg, 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! The plain partition data type `Π = {M₁, …, M_K}`.
+
+use std::fmt;
+
+use iddq_netlist::{Netlist, NodeId};
+
+/// Marker for nodes outside any module (primary inputs).
+pub const NO_MODULE: u32 = u32::MAX;
+
+/// A partition of the netlist's gates into disjoint modules.
+///
+/// Invariants (checked by [`Partition::validate`], maintained by the
+/// mutation operations):
+///
+/// * every gate belongs to exactly one module,
+/// * primary inputs belong to none,
+/// * `module_of` and `modules` agree,
+/// * no module is empty (empty modules are dropped, as in the paper's
+///   Monte-Carlo step: "if all gates of `M` are moved, this module is
+///   deleted").
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_core::Partition;
+/// use iddq_netlist::data;
+///
+/// let c17 = data::c17();
+/// let gs = data::c17_paper_gates(&c17);
+/// // The paper's optimum: {(g1,g3,g5), (g2,g4,g6)}.
+/// let p = Partition::from_groups(&c17, vec![
+///     vec![gs[0], gs[2], gs[4]],
+///     vec![gs[1], gs[3], gs[5]],
+/// ]).unwrap();
+/// assert_eq!(p.module_count(), 2);
+/// assert_eq!(p.module_of(gs[2]), Some(0));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Partition {
+    module_of: Vec<u32>,
+    modules: Vec<Vec<NodeId>>,
+}
+
+/// Errors from partition construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A gate appears in more than one group.
+    Duplicated(NodeId),
+    /// A gate is missing from every group.
+    Uncovered(NodeId),
+    /// A group references a primary input.
+    InputInGroup(NodeId),
+    /// A group is empty.
+    EmptyGroup,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Duplicated(g) => write!(f, "gate {g} assigned twice"),
+            PartitionError::Uncovered(g) => write!(f, "gate {g} not covered by any module"),
+            PartitionError::InputInGroup(g) => write!(f, "primary input {g} listed in a module"),
+            PartitionError::EmptyGroup => write!(f, "empty module in group list"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl Partition {
+    /// Builds a partition from explicit gate groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PartitionError`] if the groups are not a disjoint,
+    /// exhaustive, input-free cover of the gates.
+    pub fn from_groups(
+        netlist: &Netlist,
+        groups: Vec<Vec<NodeId>>,
+    ) -> Result<Self, PartitionError> {
+        let mut module_of = vec![NO_MODULE; netlist.node_count()];
+        for (mi, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                return Err(PartitionError::EmptyGroup);
+            }
+            for &g in group {
+                if !netlist.is_gate(g) {
+                    return Err(PartitionError::InputInGroup(g));
+                }
+                if module_of[g.index()] != NO_MODULE {
+                    return Err(PartitionError::Duplicated(g));
+                }
+                module_of[g.index()] = mi as u32;
+            }
+        }
+        for g in netlist.gate_ids() {
+            if module_of[g.index()] == NO_MODULE {
+                return Err(PartitionError::Uncovered(g));
+            }
+        }
+        Ok(Partition { module_of, modules: groups })
+    }
+
+    /// The trivial single-module partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no gates.
+    #[must_use]
+    pub fn single_module(netlist: &Netlist) -> Self {
+        let gates: Vec<NodeId> = netlist.gate_ids().collect();
+        assert!(!gates.is_empty(), "netlist has no gates");
+        Partition::from_groups(netlist, vec![gates]).expect("single cover is valid")
+    }
+
+    /// Number of (non-empty) modules `K`.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// The gates of module `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    #[must_use]
+    pub fn module(&self, m: usize) -> &[NodeId] {
+        &self.modules[m]
+    }
+
+    /// All modules.
+    #[must_use]
+    pub fn modules(&self) -> &[Vec<NodeId>] {
+        &self.modules
+    }
+
+    /// The module index of a gate (`None` for primary inputs).
+    #[must_use]
+    pub fn module_of(&self, id: NodeId) -> Option<usize> {
+        match self.module_of[id.index()] {
+            NO_MODULE => None,
+            m => Some(m as usize),
+        }
+    }
+
+    /// Dense assignment vector (one entry per node, [`NO_MODULE`] for
+    /// primary inputs) — the representation `iddq-logicsim` consumes.
+    #[must_use]
+    pub fn assignment(&self) -> &[u32] {
+        &self.module_of
+    }
+
+    /// Moves `gate` into module `target`, dropping its old module if it
+    /// becomes empty. Returns the old module index.
+    ///
+    /// When a module is dropped, the *last* module is renumbered into its
+    /// slot (swap-remove semantics); callers tracking module indices must
+    /// use the returned [`MoveOutcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is a primary input or `target` is out of range.
+    pub fn move_gate(&mut self, gate: NodeId, target: usize) -> MoveOutcome {
+        let source = self.module_of[gate.index()];
+        assert!(source != NO_MODULE, "cannot move a primary input");
+        assert!(target < self.modules.len(), "target module out of range");
+        let source = source as usize;
+        if source == target {
+            return MoveOutcome { source, removed_module: None };
+        }
+        let pos = self.modules[source]
+            .iter()
+            .position(|&g| g == gate)
+            .expect("module lists consistent with assignment");
+        self.modules[source].swap_remove(pos);
+        self.modules[target].push(gate);
+        self.module_of[gate.index()] = target as u32;
+
+        if self.modules[source].is_empty() {
+            let last = self.modules.len() - 1;
+            self.modules.swap_remove(source);
+            if source != last {
+                // The old `last` now lives at `source`: renumber its gates.
+                for &g in &self.modules[source] {
+                    self.module_of[g.index()] = source as u32;
+                }
+            }
+            MoveOutcome { source, removed_module: Some(ModuleRemoval { removed: source, moved_from: last }) }
+        } else {
+            MoveOutcome { source, removed_module: None }
+        }
+    }
+
+    /// Checks all structural invariants against `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self, netlist: &Netlist) -> Result<(), PartitionError> {
+        Partition::from_groups(netlist, self.modules.clone()).map(|_| ())
+    }
+
+    /// Sizes of all modules (handy for balance assertions in tests).
+    #[must_use]
+    pub fn module_sizes(&self) -> Vec<usize> {
+        self.modules.iter().map(Vec::len).collect()
+    }
+}
+
+/// Result of a [`Partition::move_gate`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveOutcome {
+    /// Module the gate came from (index *before* any removal).
+    pub source: usize,
+    /// Set when the source module became empty and was removed.
+    pub removed_module: Option<ModuleRemoval>,
+}
+
+/// Renumbering information after an empty module was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleRemoval {
+    /// Index the empty module occupied.
+    pub removed: usize,
+    /// Index the (former) last module moved from — it now occupies
+    /// `removed`. Equal to `removed` when the last module itself emptied.
+    pub moved_from: usize,
+}
+
+impl fmt::Debug for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Partition")
+            .field("modules", &self.modules)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_netlist::data;
+
+    fn c17_halves() -> (iddq_netlist::Netlist, Partition) {
+        let nl = data::c17();
+        let gs = data::c17_paper_gates(&nl);
+        let p = Partition::from_groups(
+            &nl,
+            vec![vec![gs[0], gs[2], gs[4]], vec![gs[1], gs[3], gs[5]]],
+        )
+        .unwrap();
+        (nl, p)
+    }
+
+    #[test]
+    fn from_groups_valid() {
+        let (nl, p) = c17_halves();
+        assert_eq!(p.module_count(), 2);
+        p.validate(&nl).unwrap();
+        assert_eq!(p.module_sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn duplicate_gate_rejected() {
+        let nl = data::c17();
+        let gs = data::c17_paper_gates(&nl);
+        let err = Partition::from_groups(&nl, vec![vec![gs[0]], vec![gs[0]]]).unwrap_err();
+        assert_eq!(err, PartitionError::Duplicated(gs[0]));
+    }
+
+    #[test]
+    fn uncovered_gate_rejected() {
+        let nl = data::c17();
+        let gs = data::c17_paper_gates(&nl);
+        let err =
+            Partition::from_groups(&nl, vec![vec![gs[0], gs[1], gs[2], gs[3], gs[4]]]).unwrap_err();
+        assert_eq!(err, PartitionError::Uncovered(gs[5]));
+    }
+
+    #[test]
+    fn input_in_group_rejected() {
+        let nl = data::c17();
+        let pi = nl.inputs()[0];
+        let err = Partition::from_groups(&nl, vec![vec![pi]]).unwrap_err();
+        assert_eq!(err, PartitionError::InputInGroup(pi));
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        let nl = data::c17();
+        let err = Partition::from_groups(&nl, vec![vec![]]).unwrap_err();
+        assert_eq!(err, PartitionError::EmptyGroup);
+    }
+
+    #[test]
+    fn move_gate_updates_both_views() {
+        let (nl, mut p) = c17_halves();
+        let gs = data::c17_paper_gates(&nl);
+        let out = p.move_gate(gs[0], 1);
+        assert_eq!(out.source, 0);
+        assert!(out.removed_module.is_none());
+        assert_eq!(p.module_of(gs[0]), Some(1));
+        assert_eq!(p.module_sizes(), vec![2, 4]);
+        p.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn emptying_a_module_removes_it() {
+        let (nl, mut p) = c17_halves();
+        let gs = data::c17_paper_gates(&nl);
+        p.move_gate(gs[0], 1);
+        p.move_gate(gs[2], 1);
+        let out = p.move_gate(gs[4], 1);
+        assert!(out.removed_module.is_some());
+        assert_eq!(p.module_count(), 1);
+        p.validate(&nl).unwrap();
+        // All six gates in the surviving module.
+        assert_eq!(p.module_sizes(), vec![6]);
+    }
+
+    #[test]
+    fn swap_remove_renumbers_last_module() {
+        let nl = data::c17();
+        let gs = data::c17_paper_gates(&nl);
+        let mut p = Partition::from_groups(
+            &nl,
+            vec![
+                vec![gs[0], gs[1]],
+                vec![gs[2]],
+                vec![gs[3], gs[4], gs[5]],
+            ],
+        )
+        .unwrap();
+        // Empty module 1: gs[2] moves to module 0; module 2 renumbers to 1.
+        let out = p.move_gate(gs[2], 0);
+        let removal = out.removed_module.unwrap();
+        assert_eq!(removal.removed, 1);
+        assert_eq!(removal.moved_from, 2);
+        assert_eq!(p.module_of(gs[3]), Some(1));
+        p.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn move_to_same_module_is_noop() {
+        let (nl, mut p) = c17_halves();
+        let gs = data::c17_paper_gates(&nl);
+        let before = p.clone();
+        p.move_gate(gs[0], 0);
+        assert_eq!(p, before);
+        p.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn single_module_covers_everything() {
+        let nl = data::ripple_adder(3);
+        let p = Partition::single_module(&nl);
+        assert_eq!(p.module_count(), 1);
+        assert_eq!(p.module(0).len(), nl.gate_count());
+        p.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn assignment_vector_matches() {
+        let (nl, p) = c17_halves();
+        for g in nl.gate_ids() {
+            assert_eq!(p.assignment()[g.index()] as usize, p.module_of(g).unwrap());
+        }
+        for &i in nl.inputs() {
+            assert_eq!(p.assignment()[i.index()], NO_MODULE);
+        }
+    }
+}

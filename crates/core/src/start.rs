@@ -1,0 +1,209 @@
+//! Start-partition construction (§4.2).
+//!
+//! "The start partitions are determined by simplifying the cost function
+//! such that just c₁ (area overhead) and c₂ (delay overhead) are
+//! considered. First the appropriate module size is estimated … Then gates
+//! are clustered to modules as follows: starting from a gate close to a
+//! primary input gate, chains are formed towards a primary output. The
+//! process stops if this path reaches a primary output, or if there is no
+//! free gate anymore, or if the maximum module size is reached. Modules
+//! are formed as long as there are free gates. Using different chains the
+//! required number of start partitions is constructed."
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use iddq_netlist::{levelize, NodeId};
+
+use crate::context::EvalContext;
+use crate::partition::Partition;
+
+/// Estimates the target module size from the constraints and average
+/// electrical parameters (the paper's "evaluating c₁ and c₂ by average
+/// numbers … by abstraction from structural information").
+///
+/// The binding bound in practice is discriminability: a module may leak at
+/// most `I_DDQ,th / d`, so at the mean per-gate leakage it may contain at
+/// most that many gates; a 10 % safety margin absorbs leakage variance
+/// between cell types.
+#[must_use]
+pub fn estimate_module_size(ctx: &EvalContext<'_>) -> usize {
+    let n = ctx.gates.len();
+    let mean_leak_na = ctx.mean_gate_leakage_na();
+    if mean_leak_na <= 0.0 {
+        return n.max(1);
+    }
+    let budget_na = ctx.technology.iddq_threshold_ua * 1000.0 / ctx.config.d_min;
+    let by_leakage = (0.9 * budget_na / mean_leak_na).floor() as usize;
+    by_leakage.clamp(1, n.max(1))
+}
+
+/// Number of modules implied by [`estimate_module_size`], with head-room
+/// for the evolution algorithm (which can merge modules by emptying them
+/// but never split one).
+#[must_use]
+pub fn estimate_module_count(ctx: &EvalContext<'_>) -> usize {
+    let n = ctx.gates.len();
+    let size = estimate_module_size(ctx);
+    let needed = n.div_ceil(size);
+    // The evolution strategy can *merge* modules (a Monte-Carlo move that
+    // empties a module deletes it) but never split one, so start with
+    // head-room above the constrained minimum: ~30 % extra modules, and
+    // never fewer than three (when the circuit has ≥ 3 gates) so small
+    // CUTs still explore K > 1 — the paper's own C17 example starts from
+    // three modules.
+    let with_headroom = (needed + 1).max(3);
+    with_headroom.min(n.max(1))
+}
+
+/// Builds one chain-grown start partition.
+///
+/// Chains start at the free gate closest to the primary inputs (random
+/// tie-break) and repeatedly step to a free fanout gate, preferring steps
+/// that lead towards a primary output; gates along the way join the
+/// current module until `module_size` is reached, whereupon a new module
+/// opens. Every gate ends up in exactly one module.
+///
+/// # Panics
+///
+/// Panics if the netlist has no gates or `module_size == 0`.
+#[must_use]
+pub fn chain_partition(ctx: &EvalContext<'_>, module_size: usize, seed: u64) -> Partition {
+    assert!(module_size > 0, "module size must be positive");
+    let netlist = ctx.netlist;
+    assert!(netlist.gate_count() > 0, "netlist has no gates");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5a17);
+    let levels = levelize::levels(netlist);
+
+    let mut free: Vec<bool> = netlist.node_ids().map(|id| netlist.is_gate(id)).collect();
+    let mut remaining = netlist.gate_count();
+    // Free gates sorted by level (shallow first); random jitter for
+    // diversity between start partitions.
+    let mut order: Vec<NodeId> = netlist.gate_ids().collect();
+    order.sort_by_cached_key(|g| (levels[g.index()], rng.gen::<u32>()));
+
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    let mut current: Vec<NodeId> = Vec::new();
+
+    while remaining > 0 {
+        // Start a chain at the shallowest free gate.
+        let start = *order
+            .iter()
+            .find(|g| free[g.index()])
+            .expect("remaining > 0 implies a free gate exists");
+        let mut walker = Some(start);
+        while let Some(g) = walker {
+            free[g.index()] = false;
+            remaining -= 1;
+            current.push(g);
+            if current.len() >= module_size {
+                groups.push(std::mem::take(&mut current));
+            }
+            // Step towards an output through a free fanout gate.
+            let mut candidates: Vec<NodeId> = netlist
+                .fanout(g)
+                .iter()
+                .copied()
+                .filter(|s| free[s.index()])
+                .collect();
+            walker = if candidates.is_empty() {
+                None
+            } else {
+                // Prefer deeper successors (towards POs); random among the
+                // deepest for diversity.
+                let deepest = candidates
+                    .iter()
+                    .map(|c| levels[c.index()])
+                    .max()
+                    .expect("non-empty");
+                candidates.retain(|c| levels[c.index()] == deepest);
+                Some(candidates[rng.gen_range(0..candidates.len())])
+            };
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    Partition::from_groups(netlist, groups).expect("chain clustering covers all gates once")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionConfig;
+    use iddq_celllib::Library;
+    use iddq_netlist::data;
+
+    fn ctx_of(nl: &iddq_netlist::Netlist) -> EvalContext<'_> {
+        EvalContext::new(nl, &Library::generic_1um(), PartitionConfig::paper_default())
+    }
+
+    #[test]
+    fn module_size_bounded_by_discriminability() {
+        let nl = data::ripple_adder(32);
+        let ctx = ctx_of(&nl);
+        let size = estimate_module_size(&ctx);
+        let mean = ctx.mean_gate_leakage_na();
+        assert!(size as f64 * mean <= 100.0, "module leakage within budget");
+        assert!(size >= 1);
+    }
+
+    #[test]
+    fn chain_partition_is_valid_cover() {
+        let nl = data::ripple_adder(16);
+        let ctx = ctx_of(&nl);
+        let p = chain_partition(&ctx, 10, 3);
+        p.validate(&nl).unwrap();
+        assert!(p.module_count() >= nl.gate_count() / 10);
+        for size in p.module_sizes() {
+            assert!(size <= 10);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let nl = data::ripple_adder(16);
+        let ctx = ctx_of(&nl);
+        let a = chain_partition(&ctx, 10, 1);
+        let b = chain_partition(&ctx, 10, 2);
+        assert_ne!(a, b);
+        let a2 = chain_partition(&ctx, 10, 1);
+        assert_eq!(a, a2, "same seed reproduces");
+    }
+
+    #[test]
+    fn module_count_has_headroom() {
+        let nl = data::ripple_adder(64);
+        let ctx = ctx_of(&nl);
+        let size = estimate_module_size(&ctx);
+        let needed = nl.gate_count().div_ceil(size);
+        if needed > 1 {
+            assert!(estimate_module_count(&ctx) > needed);
+        }
+    }
+
+    #[test]
+    fn chains_prefer_connected_runs() {
+        // In a pure chain circuit the partition must consist of contiguous
+        // runs: every module's gates form a path.
+        let mut b = iddq_netlist::NetlistBuilder::new("chain");
+        let mut prev = b.add_input("i");
+        for k in 0..30 {
+            prev = b
+                .add_gate(format!("g{k}"), iddq_netlist::CellKind::Not, vec![prev])
+                .unwrap();
+        }
+        b.mark_output(prev);
+        let nl = b.build().unwrap();
+        let ctx = ctx_of(&nl);
+        let p = chain_partition(&ctx, 10, 0);
+        assert_eq!(p.module_count(), 3);
+        for m in 0..3 {
+            let mut idx: Vec<usize> = p.module(m).iter().map(|g| g.index()).collect();
+            idx.sort_unstable();
+            for w in idx.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "contiguous chain expected");
+            }
+        }
+    }
+}

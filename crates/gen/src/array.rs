@@ -1,0 +1,156 @@
+//! The two-dimensional cell-array CUT of the paper's Figure 2.
+//!
+//! Figure 2 shows a CUT with an array structure built from three cell
+//! types `C1, C2, C3`. Signals flow left to right, so all cells of one
+//! *column* switch simultaneously while the cells of one *row* switch at
+//! staggered times. Partition 1 (row-wise groups) therefore has a smaller
+//! per-group maximum transient current than Partition 2 (column-wise
+//! groups): the bypass devices can be smaller for the same virtual-rail
+//! perturbation limit, and the total BIC sensor area shrinks.
+//!
+//! [`cell_array`] builds the netlist; [`row_partition`] / [`col_partition`]
+//! build the two partitions as gate-id groups.
+
+use iddq_netlist::{CellKind, Netlist, NetlistBuilder, NodeId};
+
+/// Cell kinds used for the three row-repeating cell types `C1, C2, C3`.
+///
+/// They are chosen to have clearly different electrical weight in the
+/// generic library (a 2-input NAND, a 3-input NOR, a 2-input XOR).
+pub const ARRAY_CELL_KINDS: [CellKind; 3] = [CellKind::Nand, CellKind::Nor, CellKind::Xor];
+
+/// Builds a `rows × cols` cell array.
+///
+/// Row `r` is a horizontal pipeline: its column-`c` cell consumes the
+/// row's previous cell plus the neighbouring row's previous cell (wrapping
+/// vertically), mimicking the dense local routing of a datapath array. The
+/// cell *type* cycles per row as `C1, C2, C3` (so rows are homogeneous,
+/// like a bit-slice), matching Figure 2's drawing where each row repeats
+/// one cell type.
+///
+/// # Panics
+///
+/// Panics if `rows < 2` or `cols < 1`.
+#[must_use]
+pub fn cell_array(rows: usize, cols: usize) -> Netlist {
+    assert!(rows >= 2, "need at least two rows");
+    assert!(cols >= 1, "need at least one column");
+    let mut b = NetlistBuilder::new(format!("array{rows}x{cols}"));
+    let pis: Vec<NodeId> = (0..rows).map(|r| b.add_input(format!("in{r}"))).collect();
+    let mut prev_col = pis.clone();
+    let mut all: Vec<Vec<NodeId>> = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let mut this_col = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let kind = ARRAY_CELL_KINDS[r % ARRAY_CELL_KINDS.len()];
+            let up = prev_col[(r + rows - 1) % rows];
+            let fanin = match kind {
+                CellKind::Nor => vec![prev_col[r], up, prev_col[(r + 1) % rows]],
+                _ => vec![prev_col[r], up],
+            };
+            let id = b
+                .add_gate(format!("c{r}_{c}"), kind, fanin)
+                .expect("array names unique");
+            this_col.push(id);
+        }
+        prev_col = this_col.clone();
+        all.push(this_col);
+    }
+    for &o in &prev_col {
+        b.mark_output(o);
+    }
+    b.build().expect("array is structurally valid")
+}
+
+/// Gate id at `(row, col)` of an array built by [`cell_array`].
+///
+/// # Panics
+///
+/// Panics if the coordinates are out of range for `netlist`.
+#[must_use]
+pub fn cell_at(netlist: &Netlist, row: usize, col: usize) -> NodeId {
+    netlist
+        .find(&format!("c{row}_{col}"))
+        .expect("coordinates within the generated array")
+}
+
+/// Partition 1 of Figure 2: one group per *row* (cells that switch at
+/// staggered times — different columns — share a sensor).
+#[must_use]
+pub fn row_partition(netlist: &Netlist, rows: usize, cols: usize) -> Vec<Vec<NodeId>> {
+    (0..rows)
+        .map(|r| (0..cols).map(|c| cell_at(netlist, r, c)).collect())
+        .collect()
+}
+
+/// Partition 2 of Figure 2: one group per *column* (cells that switch
+/// simultaneously share a sensor).
+#[must_use]
+pub fn col_partition(netlist: &Netlist, rows: usize, cols: usize) -> Vec<Vec<NodeId>> {
+    (0..cols)
+        .map(|c| (0..rows).map(|r| cell_at(netlist, r, c)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_netlist::levelize;
+
+    #[test]
+    fn array_counts() {
+        let nl = cell_array(6, 9);
+        assert_eq!(nl.gate_count(), 54);
+        assert_eq!(nl.num_inputs(), 6);
+        assert_eq!(nl.num_outputs(), 6);
+    }
+
+    #[test]
+    fn array_depth_equals_cols() {
+        let nl = cell_array(4, 7);
+        assert_eq!(levelize::depth(&nl), 7);
+    }
+
+    #[test]
+    fn column_cells_share_level() {
+        let nl = cell_array(5, 4);
+        let lv = levelize::levels(&nl);
+        for c in 0..4 {
+            let expect = lv[cell_at(&nl, 0, c).index()];
+            for r in 1..5 {
+                assert_eq!(lv[cell_at(&nl, r, c).index()], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_all_gates_disjointly() {
+        let nl = cell_array(6, 6);
+        for part in [row_partition(&nl, 6, 6), col_partition(&nl, 6, 6)] {
+            let mut seen = std::collections::HashSet::new();
+            for group in &part {
+                for &g in group {
+                    assert!(seen.insert(g));
+                }
+            }
+            assert_eq!(seen.len(), nl.gate_count());
+        }
+    }
+
+    #[test]
+    fn rows_are_homogeneous_in_kind() {
+        let nl = cell_array(6, 5);
+        for r in 0..6 {
+            let want = nl.node(cell_at(&nl, r, 0)).kind();
+            for c in 1..5 {
+                assert_eq!(nl.node(cell_at(&nl, r, c)).kind(), want);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two rows")]
+    fn one_row_rejected() {
+        let _ = cell_array(1, 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! Deterministic synthetic circuit generators.
+//!
+//! The paper evaluates on the ISCAS-85 benchmark set (Brglez et al. 1985).
+//! Those netlists are not redistributable inside this repository, so this
+//! crate provides:
+//!
+//! * [`iscas`] — a seeded random-DAG generator matched, circuit by
+//!   circuit, to the published ISCAS-85 statistics (primary inputs,
+//!   primary outputs, gate count, approximate logic depth, gate-type mix),
+//!   exposed through [`iscas::IscasProfile`] and [`iscas::generate`];
+//! * [`mod@array`] — the two-dimensional cell-array CUT of the paper's
+//!   Figure 2, with three cell types and column-staggered switching times,
+//!   used to demonstrate the influence of partition *shape* on BIC sensor
+//!   area.
+//!
+//! Generation is fully deterministic given `(profile, seed)`, so every
+//! table in `EXPERIMENTS.md` regenerates bit-identically.
+//!
+//! # Example
+//!
+//! ```rust
+//! use iddq_gen::iscas;
+//!
+//! let profile = iscas::IscasProfile::by_name("c1908").unwrap();
+//! let nl = iscas::generate(profile, 42);
+//! assert_eq!(nl.gate_count(), 880);
+//! assert_eq!(nl.num_inputs(), 33);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod iscas;

@@ -1,0 +1,281 @@
+//! IDDQ defect models.
+//!
+//! The defect classes follow the literature the paper builds on: bridging
+//! shorts between nets (Malaiya et al.), gate-oxide shorts (Hawkins &
+//! Soden) and stuck-on transistors. Every defect is characterized by
+//!
+//! * an *activation condition* — a predicate over the fault-free logic
+//!   values that establishes a conducting VDD→GND path, and
+//! * a *defect current* — the steady-state current the activated defect
+//!   draws, which a BIC sensor can compare against `I_DDQ,th`.
+//!
+//! Activation is evaluated on the *fault-free* values: IDDQ defects in
+//! their activating state typically leave intermediate analogue voltages
+//! on the shorted nets rather than flipping downstream logic, which is
+//! exactly why logic testing misses them and current testing does not.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use iddq_netlist::{Netlist, NodeId};
+
+/// One modelled IDDQ defect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IddqFault {
+    /// Resistive short between two nets; conducts when the nets carry
+    /// opposite values.
+    Bridge {
+        /// First shorted net (driver node id).
+        a: NodeId,
+        /// Second shorted net.
+        b: NodeId,
+        /// Current drawn when activated, in µA.
+        current_ua: f64,
+    },
+    /// Short through the gate oxide of one transistor of `gate`: conducts
+    /// whenever the shorted input disagrees with the gate's output node
+    /// voltage (a path from the driving stage through the oxide).
+    GateOxideShort {
+        /// The defective gate.
+        gate: NodeId,
+        /// Which input pin's oxide is shorted.
+        pin: usize,
+        /// Current drawn when activated, in µA.
+        current_ua: f64,
+    },
+    /// A pull-down transistor that conducts regardless of its gate
+    /// voltage: a VDD→GND path exists whenever the gate output is high
+    /// (the pull-up network fights the stuck-on device).
+    StuckOn {
+        /// The defective gate.
+        gate: NodeId,
+        /// Current drawn when activated, in µA.
+        current_ua: f64,
+    },
+}
+
+impl IddqFault {
+    /// The gates electrically involved in the defect: the site whose
+    /// module's BIC sensor sees the current, plus (for bridges) the
+    /// second site — the defect current flows between both drivers'
+    /// supply paths, so *either* sensor can flag it.
+    #[must_use]
+    pub fn sites(&self) -> (NodeId, Option<NodeId>) {
+        match *self {
+            IddqFault::Bridge { a, b, .. } => (a, Some(b)),
+            IddqFault::GateOxideShort { gate, .. } | IddqFault::StuckOn { gate, .. } => {
+                (gate, None)
+            }
+        }
+    }
+
+    /// Defect current when activated, in µA.
+    #[must_use]
+    pub fn current_ua(&self) -> f64 {
+        match *self {
+            IddqFault::Bridge { current_ua, .. }
+            | IddqFault::GateOxideShort { current_ua, .. }
+            | IddqFault::StuckOn { current_ua, .. } => current_ua,
+        }
+    }
+
+    /// Packed activation mask over 64 patterns: bit *k* set iff pattern
+    /// *k*'s fault-free values activate the defect.
+    ///
+    /// `values` must come from [`Simulator::eval`](crate::Simulator::eval)
+    /// on the same netlist.
+    #[must_use]
+    pub fn activation(&self, netlist: &Netlist, values: &[u64]) -> u64 {
+        match *self {
+            IddqFault::Bridge { a, b, .. } => values[a.index()] ^ values[b.index()],
+            IddqFault::GateOxideShort { gate, pin, .. } => {
+                let input = netlist.node(gate).fanin()[pin];
+                values[input.index()] ^ values[gate.index()]
+            }
+            IddqFault::StuckOn { gate, .. } => values[gate.index()],
+        }
+    }
+}
+
+/// Parameters for random defect-universe enumeration.
+#[derive(Debug, Clone)]
+pub struct FaultUniverseConfig {
+    /// Number of bridge defects to sample.
+    pub bridges: usize,
+    /// Maximum undirected distance between bridged drivers — bridges are
+    /// physically local, so only nearby nets short together.
+    pub bridge_locality: u32,
+    /// Fraction of gates given a gate-oxide-short defect (one random pin).
+    pub gos_fraction: f64,
+    /// Fraction of gates given a stuck-on defect.
+    pub stuck_on_fraction: f64,
+    /// Defect current range in µA (uniform).
+    pub current_range_ua: (f64, f64),
+}
+
+impl Default for FaultUniverseConfig {
+    fn default() -> Self {
+        FaultUniverseConfig {
+            bridges: 64,
+            bridge_locality: 4,
+            gos_fraction: 0.15,
+            stuck_on_fraction: 0.10,
+            current_range_ua: (50.0, 500.0),
+        }
+    }
+}
+
+/// Enumerates a reproducible random defect universe for `netlist`.
+///
+/// Bridges are drawn between gate outputs within `bridge_locality` in the
+/// undirected circuit graph (using a truncated BFS), mirroring the
+/// layout-locality of real shorts. Gate-oxide shorts and stuck-on defects
+/// are sampled per gate.
+#[must_use]
+pub fn enumerate(netlist: &Netlist, config: &FaultUniverseConfig, seed: u64) -> Vec<IddqFault> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xfau64 << 32);
+    let gates: Vec<NodeId> = netlist.gate_ids().collect();
+    let mut faults = Vec::new();
+    if gates.is_empty() {
+        return faults;
+    }
+    let current =
+        |rng: &mut SmallRng| rng.gen_range(config.current_range_ua.0..=config.current_range_ua.1);
+
+    // Bridges between nearby drivers.
+    let sep = iddq_netlist::separation::SeparationOracle::new(netlist, config.bridge_locality + 1);
+    let mut attempts = 0;
+    while faults.len() < config.bridges && attempts < config.bridges * 20 {
+        attempts += 1;
+        let a = gates[rng.gen_range(0..gates.len())];
+        // Collect gate neighbours within the locality bound.
+        let nearby: Vec<NodeId> = gates
+            .iter()
+            .copied()
+            .filter(|&g| g != a && sep.distance(a, g) <= config.bridge_locality)
+            .collect();
+        if nearby.is_empty() {
+            continue;
+        }
+        let b = nearby[rng.gen_range(0..nearby.len())];
+        let current_ua = current(&mut rng);
+        let fault = IddqFault::Bridge { a, b, current_ua };
+        faults.push(fault);
+    }
+
+    // Gate-oxide shorts.
+    for &g in &gates {
+        if rng.gen_bool(config.gos_fraction) {
+            let pins = netlist.node(g).fanin().len();
+            let pin = rng.gen_range(0..pins);
+            let current_ua = current(&mut rng);
+            faults.push(IddqFault::GateOxideShort { gate: g, pin, current_ua });
+        }
+    }
+
+    // Stuck-on transistors.
+    for &g in &gates {
+        if rng.gen_bool(config.stuck_on_fraction) {
+            let current_ua = current(&mut rng);
+            faults.push(IddqFault::StuckOn { gate: g, current_ua });
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use iddq_netlist::data;
+
+    #[test]
+    fn bridge_activates_on_opposite_values() {
+        let nl = data::c17();
+        let sim = Simulator::new(&nl);
+        let g10 = nl.find("10").unwrap();
+        let g11 = nl.find("11").unwrap();
+        let f = IddqFault::Bridge { a: g10, b: g11, current_ua: 100.0 };
+        // inputs all 1: 10 = NAND(1,3) = 0, 11 = NAND(3,6) = 0 → same → inactive
+        let v = sim.eval(&[!0u64; 5]);
+        assert_eq!(f.activation(&nl, &v) & 1, 0);
+        // inputs 1=0 others 1: 10 = NAND(0,1) = 1, 11 = 0 → opposite → active
+        let v = sim.eval(&[0, !0, !0, !0, !0]);
+        assert_eq!(f.activation(&nl, &v) & 1, 1);
+    }
+
+    #[test]
+    fn gos_activates_on_input_output_disagreement() {
+        let nl = data::c17();
+        let sim = Simulator::new(&nl);
+        let g10 = nl.find("10").unwrap(); // NAND(1, 3)
+        let f = IddqFault::GateOxideShort { gate: g10, pin: 0, current_ua: 80.0 };
+        // inputs all 1: in0 = 1, out = 0 → disagree → active
+        let v = sim.eval(&[!0u64; 5]);
+        assert_eq!(f.activation(&nl, &v) & 1, 1);
+        // input 1 = 0: in0 = 0, out = 1 → disagree → still active
+        let v = sim.eval(&[0, !0, !0, !0, !0]);
+        assert_eq!(f.activation(&nl, &v) & 1, 1);
+        // inputs 3 = 0, 1 = 0: in0 = 0... out = NAND(0,0) = 1 → active.
+        // Inactive case needs in0 == out: in0 = 1, out = 1 → input 3 = 0.
+        let v = sim.eval(&[!0, !0, 0, !0, !0]);
+        assert_eq!(f.activation(&nl, &v) & 1, 0);
+    }
+
+    #[test]
+    fn stuck_on_activates_when_output_high() {
+        let nl = data::c17();
+        let sim = Simulator::new(&nl);
+        let g22 = nl.find("22").unwrap();
+        let f = IddqFault::StuckOn { gate: g22, current_ua: 120.0 };
+        let v = sim.eval(&[!0u64; 5]); // 22 = 1
+        assert_eq!(f.activation(&nl, &v) & 1, 1);
+        let v = sim.eval(&[0u64; 5]); // 22 = 0
+        assert_eq!(f.activation(&nl, &v) & 1, 0);
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_local() {
+        let nl = data::ripple_adder(8);
+        let cfg = FaultUniverseConfig::default();
+        let a = enumerate(&nl, &cfg, 42);
+        let b = enumerate(&nl, &cfg, 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let sep = iddq_netlist::separation::SeparationOracle::new(&nl, cfg.bridge_locality + 1);
+        for f in &a {
+            if let IddqFault::Bridge { a, b, .. } = f {
+                assert!(sep.distance(*a, *b) <= cfg.bridge_locality);
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn currents_within_configured_range() {
+        let nl = data::ripple_adder(4);
+        let cfg = FaultUniverseConfig {
+            current_range_ua: (10.0, 20.0),
+            ..FaultUniverseConfig::default()
+        };
+        for f in enumerate(&nl, &cfg, 7) {
+            let c = f.current_ua();
+            assert!((10.0..=20.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn empty_universe_for_gateless_netlist() {
+        // A netlist must have outputs, so the smallest "gateless" case is
+        // impossible; instead check a tiny circuit with zero sampling
+        // fractions and zero bridges.
+        let nl = data::c17();
+        let cfg = FaultUniverseConfig {
+            bridges: 0,
+            gos_fraction: 0.0,
+            stuck_on_fraction: 0.0,
+            ..FaultUniverseConfig::default()
+        };
+        assert!(enumerate(&nl, &cfg, 1).is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Sensor-level IDDQ detection: which defects does each test vector expose
+//! to which BIC sensor.
+//!
+//! A partitioned CUT has one current sensor per module. After a vector is
+//! applied and the transient decays, sensor *i* measures the module's
+//! fault-free leakage `I_DDQ,nd,i` plus the current of any *activated*
+//! defect sited in the module; it flags FAIL when the measurement exceeds
+//! `I_DDQ,th`. Detection therefore requires both the logical activation
+//! condition (from [`faults`](crate::faults)) and an electrically sane
+//! sensor: `I_DDQ,nd,i < I_DDQ,th` — the discriminability constraint the
+//! partitioner enforces.
+
+use iddq_netlist::Netlist;
+
+use crate::faults::IddqFault;
+use crate::sim::Simulator;
+
+/// Module assignment marker for nodes outside any module (primary inputs).
+pub const NO_MODULE: u32 = u32::MAX;
+
+/// Outcome of an IDDQ test experiment.
+#[derive(Debug, Clone)]
+pub struct IddqSimulation {
+    /// Per-fault: was it detected by any vector/sensor.
+    pub detected: Vec<bool>,
+    /// Per-fault: index of the first detecting vector, if any.
+    pub first_detection: Vec<Option<usize>>,
+    /// Fraction of faults detected.
+    pub coverage: f64,
+    /// Number of vectors applied.
+    pub vectors_applied: usize,
+}
+
+/// Packs boolean vectors into 64-wide batches for [`Simulator::eval`].
+///
+/// Returns `(batches, used)` where each batch holds one `u64` per primary
+/// input; the last batch may be partially filled.
+///
+/// # Panics
+///
+/// Panics if any vector's length differs from `num_inputs`.
+#[must_use]
+pub fn pack_vectors(vectors: &[Vec<bool>], num_inputs: usize) -> Vec<(Vec<u64>, usize)> {
+    let mut out = Vec::new();
+    for chunk in vectors.chunks(64) {
+        let mut words = vec![0u64; num_inputs];
+        for (k, v) in chunk.iter().enumerate() {
+            assert_eq!(v.len(), num_inputs, "vector arity mismatch");
+            for (i, &bit) in v.iter().enumerate() {
+                if bit {
+                    words[i] |= 1u64 << k;
+                }
+            }
+        }
+        out.push((words, chunk.len()));
+    }
+    out
+}
+
+/// Runs the full IDDQ test experiment.
+///
+/// * `module_of[node]` — module index per node ([`NO_MODULE`] for primary
+///   inputs),
+/// * `module_leakage_ua[m]` — fault-free quiescent current of module `m`,
+/// * `threshold_ua` — the sensors' common `I_DDQ,th`.
+///
+/// A fault is *detected* by a vector iff it is activated and at least one
+/// of its site modules has a sane sensor (`leakage < threshold`) whose
+/// measurement `leakage + defect current` reaches the threshold.
+///
+/// # Panics
+///
+/// Panics if `module_of.len() != netlist.node_count()` or a gate maps to a
+/// module index out of range of `module_leakage_ua`.
+#[must_use]
+pub fn simulate(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    vectors: &[Vec<bool>],
+    module_of: &[u32],
+    module_leakage_ua: &[f64],
+    threshold_ua: f64,
+) -> IddqSimulation {
+    assert_eq!(module_of.len(), netlist.node_count());
+    let sim = Simulator::new(netlist);
+    let mut detected = vec![false; faults.len()];
+    let mut first_detection = vec![None; faults.len()];
+
+    let sensor_sees = |module: u32, current_ua: f64| -> bool {
+        if module == NO_MODULE {
+            return false;
+        }
+        let leak = module_leakage_ua[module as usize];
+        leak < threshold_ua && leak + current_ua >= threshold_ua
+    };
+
+    for (batch_idx, (words, used)) in pack_vectors(vectors, netlist.num_inputs())
+        .into_iter()
+        .enumerate()
+    {
+        let values = sim.eval(&words);
+        let used_mask = if used == 64 { !0u64 } else { (1u64 << used) - 1 };
+        for (fi, fault) in faults.iter().enumerate() {
+            if detected[fi] {
+                continue;
+            }
+            let act = fault.activation(netlist, &values) & used_mask;
+            if act == 0 {
+                continue;
+            }
+            let (site_a, site_b) = fault.sites();
+            let seen = sensor_sees(module_of[site_a.index()], fault.current_ua())
+                || site_b
+                    .map(|s| sensor_sees(module_of[s.index()], fault.current_ua()))
+                    .unwrap_or(false);
+            if seen {
+                detected[fi] = true;
+                first_detection[fi] = Some(batch_idx * 64 + act.trailing_zeros() as usize);
+            }
+        }
+    }
+
+    let coverage = if faults.is_empty() {
+        1.0
+    } else {
+        detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64
+    };
+    IddqSimulation {
+        detected,
+        first_detection,
+        coverage,
+        vectors_applied: vectors.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_netlist::data;
+
+    fn one_module_assignment(nl: &Netlist) -> Vec<u32> {
+        nl.node_ids()
+            .map(|id| if nl.is_gate(id) { 0 } else { NO_MODULE })
+            .collect()
+    }
+
+    #[test]
+    fn activated_fault_is_detected_with_good_sensor() {
+        let nl = data::c17();
+        let g22 = nl.find("22").unwrap();
+        let faults = vec![IddqFault::StuckOn { gate: g22, current_ua: 50.0 }];
+        let vectors = vec![vec![true; 5]]; // 22 = 1 → activated
+        let module_of = one_module_assignment(&nl);
+        let r = simulate(&nl, &faults, &vectors, &module_of, &[0.1], 1.0);
+        assert_eq!(r.detected, vec![true]);
+        assert_eq!(r.first_detection, vec![Some(0)]);
+        assert_eq!(r.coverage, 1.0);
+    }
+
+    #[test]
+    fn unactivated_fault_is_missed() {
+        let nl = data::c17();
+        let g22 = nl.find("22").unwrap();
+        let faults = vec![IddqFault::StuckOn { gate: g22, current_ua: 50.0 }];
+        let vectors = vec![vec![false; 5]]; // 22 = 0 → not activated
+        let module_of = one_module_assignment(&nl);
+        let r = simulate(&nl, &faults, &vectors, &module_of, &[0.1], 1.0);
+        assert_eq!(r.detected, vec![false]);
+        assert_eq!(r.coverage, 0.0);
+    }
+
+    #[test]
+    fn saturated_sensor_cannot_detect() {
+        // Module leakage above threshold: the sensor always fails, so the
+        // measurement carries no defect information — the discriminability
+        // constraint exists precisely to rule this out.
+        let nl = data::c17();
+        let g22 = nl.find("22").unwrap();
+        let faults = vec![IddqFault::StuckOn { gate: g22, current_ua: 50.0 }];
+        let vectors = vec![vec![true; 5]];
+        let module_of = one_module_assignment(&nl);
+        let r = simulate(&nl, &faults, &vectors, &module_of, &[5.0], 1.0);
+        assert_eq!(r.detected, vec![false]);
+    }
+
+    #[test]
+    fn tiny_defect_current_below_threshold_missed() {
+        let nl = data::c17();
+        let g22 = nl.find("22").unwrap();
+        let faults = vec![IddqFault::StuckOn { gate: g22, current_ua: 0.5 }];
+        let vectors = vec![vec![true; 5]];
+        let module_of = one_module_assignment(&nl);
+        // leakage 0.1 + defect 0.5 = 0.6 < 1.0 → missed
+        let r = simulate(&nl, &faults, &vectors, &module_of, &[0.1], 1.0);
+        assert_eq!(r.detected, vec![false]);
+    }
+
+    #[test]
+    fn bridge_detected_via_either_module() {
+        let nl = data::c17();
+        let g10 = nl.find("10").unwrap();
+        let g11 = nl.find("11").unwrap();
+        let faults = vec![IddqFault::Bridge { a: g10, b: g11, current_ua: 100.0 }];
+        // Put g10 in module 0 (saturated sensor) and g11 in module 1 (good).
+        let mut module_of = vec![NO_MODULE; nl.node_count()];
+        for g in nl.gate_ids() {
+            module_of[g.index()] = u32::from(g == g11);
+        }
+        // input "1" = 0 → 10 = 1, 11 = 0 → bridge active.
+        let vectors = vec![vec![false, true, true, true, true]];
+        let r = simulate(&nl, &faults, &vectors, &module_of, &[10.0, 0.1], 1.0);
+        assert_eq!(r.detected, vec![true]);
+    }
+
+    #[test]
+    fn first_detection_vector_index_across_batches() {
+        let nl = data::c17();
+        let g22 = nl.find("22").unwrap();
+        let faults = vec![IddqFault::StuckOn { gate: g22, current_ua: 50.0 }];
+        // 70 inactive vectors then one activating one (index 70).
+        let mut vectors = vec![vec![false; 5]; 70];
+        vectors.push(vec![true; 5]);
+        let module_of = one_module_assignment(&nl);
+        let r = simulate(&nl, &faults, &vectors, &module_of, &[0.1], 1.0);
+        assert_eq!(r.first_detection, vec![Some(70)]);
+    }
+
+    #[test]
+    fn empty_fault_list_full_coverage() {
+        let nl = data::c17();
+        let module_of = one_module_assignment(&nl);
+        let r = simulate(&nl, &[], &[vec![false; 5]], &module_of, &[0.1], 1.0);
+        assert_eq!(r.coverage, 1.0);
+    }
+
+    #[test]
+    fn pack_vectors_shapes() {
+        let vectors = vec![vec![true, false]; 130];
+        let packed = pack_vectors(&vectors, 2);
+        assert_eq!(packed.len(), 3);
+        assert_eq!(packed[0].1, 64);
+        assert_eq!(packed[2].1, 2);
+        assert_eq!(packed[0].0[0], !0u64);
+        assert_eq!(packed[0].0[1], 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Logic simulation and IDDQ defect modelling.
+//!
+//! IDDQ testing observes the *quiescent* supply current after the circuit
+//! settles: a large class of CMOS defects (bridging shorts, gate-oxide
+//! shorts, stuck-on transistors) conduct steady-state current when — and
+//! only when — the logic values around the defect *activate* it. The test
+//! vector therefore only has to set up the activating condition; no
+//! propagation to an output is needed, which is why IDDQ complements
+//! voltage testing (paper §1, refs [1–6]).
+//!
+//! This crate supplies:
+//!
+//! * [`Simulator`] — a levelized, 64-way pattern-parallel evaluator for
+//!   the combinational netlists of `iddq-netlist`,
+//! * [`faults`] — the defect universe: [`faults::IddqFault`] variants with
+//!   activation conditions and defect-current magnitudes,
+//! * [`iddq`] — sensor-level detection: given a partition of the gates
+//!   into BIC-sensed modules, which faults does each vector expose to
+//!   which sensor ([`iddq::IddqSimulation`]),
+//! * [`logic_test`] — the voltage-test view of the same defects
+//!   (stuck-at faults, wired-AND bridges), demonstrating the class that
+//!   escapes logic test.
+//!
+//! # Example
+//!
+//! ```rust
+//! use iddq_logicsim::Simulator;
+//! use iddq_netlist::data;
+//!
+//! let c17 = data::c17();
+//! let sim = Simulator::new(&c17);
+//! // All-ones input pattern in bit 0:
+//! let values = sim.eval(&[1, 1, 1, 1, 1]);
+//! let g22 = c17.find("22").unwrap();
+//! // 22 = NAND(10, 16); with all inputs 1: 10 = NAND(1,3) = 0, 16 = 1 → 22 = 1.
+//! assert_eq!(values[g22.index()] & 1, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod iddq;
+pub mod logic_test;
+mod sim;
+
+pub use sim::Simulator;

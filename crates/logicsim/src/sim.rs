@@ -1,0 +1,204 @@
+use iddq_netlist::Netlist;
+
+/// Levelized 64-way pattern-parallel logic simulator.
+///
+/// Each node value is a `u64` whose bit *k* carries pattern *k*; one sweep
+/// over the topological order evaluates 64 input vectors at once. The
+/// simulator borrows nothing from the netlist after construction, so it can
+/// be reused across pattern batches.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_logicsim::Simulator;
+/// use iddq_netlist::data;
+///
+/// let adder = data::ripple_adder(2);
+/// let sim = Simulator::new(&adder);
+/// // a = 01, b = 01, cin = 0 → sum = 10, cout = 0 (1 + 1 = 2).
+/// let v = sim.eval_bool(&[true, false, true, false, false]);
+/// let sum0 = adder.find("sum0").unwrap();
+/// let sum1 = adder.find("sum1").unwrap();
+/// assert!(!v[sum0.index()]);
+/// assert!(v[sum1.index()]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    /// Flattened evaluation program: (node index, kind, fanin indices).
+    program: Vec<Step>,
+    node_count: usize,
+    input_indices: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Step {
+    target: usize,
+    kind: iddq_netlist::CellKind,
+    fanin: Vec<usize>,
+}
+
+impl Simulator {
+    /// Compiles the netlist into a levelized evaluation program.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut program = Vec::with_capacity(netlist.gate_count());
+        for &id in netlist.topo_order() {
+            let node = netlist.node(id);
+            if let Some(kind) = node.kind().cell_kind() {
+                program.push(Step {
+                    target: id.index(),
+                    kind,
+                    fanin: node.fanin().iter().map(|f| f.index()).collect(),
+                });
+            }
+        }
+        Simulator {
+            program,
+            node_count: netlist.node_count(),
+            input_indices: netlist.inputs().iter().map(|i| i.index()).collect(),
+        }
+    }
+
+    /// Number of primary inputs expected by [`Simulator::eval`].
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.input_indices.len()
+    }
+
+    /// Evaluates 64 packed patterns.
+    ///
+    /// `inputs[k]` carries the 64 values of the *k*-th primary input (in
+    /// the netlist's input order). Returns one packed word per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    #[must_use]
+    pub fn eval(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            inputs.len(),
+            self.input_indices.len(),
+            "one packed word per primary input required"
+        );
+        let mut values = vec![0u64; self.node_count];
+        for (&idx, &word) in self.input_indices.iter().zip(inputs) {
+            values[idx] = word;
+        }
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for step in &self.program {
+            fanin_buf.clear();
+            fanin_buf.extend(step.fanin.iter().map(|&f| values[f]));
+            values[step.target] = step.kind.eval_packed(&fanin_buf);
+        }
+        values
+    }
+
+    /// Evaluates a single boolean vector (convenience wrapper over
+    /// [`Simulator::eval`] using bit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    #[must_use]
+    pub fn eval_bool(&self, inputs: &[bool]) -> Vec<bool> {
+        let packed: Vec<u64> = inputs.iter().map(|&b| u64::from(b)).collect();
+        self.eval(&packed).into_iter().map(|w| w & 1 != 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_netlist::data;
+
+    #[test]
+    fn c17_truth_spot_checks() {
+        // c17: 22 = NAND(10,16), 23 = NAND(16,19)
+        // 10 = NAND(1,3), 11 = NAND(3,6), 16 = NAND(2,11), 19 = NAND(11,7)
+        let nl = data::c17();
+        let sim = Simulator::new(&nl);
+        // inputs (1,2,3,6,7) = all zeros: 10=1, 11=1, 16=1, 19=1, 22=0, 23=0
+        let v = sim.eval_bool(&[false; 5]);
+        assert!(!v[nl.find("22").unwrap().index()]);
+        assert!(!v[nl.find("23").unwrap().index()]);
+        // all ones: 10=0, 11=0, 16=1, 19=1, 22=1, 23=0
+        let v = sim.eval_bool(&[true; 5]);
+        assert!(v[nl.find("22").unwrap().index()]);
+        assert!(!v[nl.find("23").unwrap().index()]);
+    }
+
+    #[test]
+    fn ripple_adder_exhaustive_4bit() {
+        let n = 4;
+        let nl = data::ripple_adder(n);
+        let sim = Simulator::new(&nl);
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                for cin in 0u32..2 {
+                    let mut ins = Vec::new();
+                    for i in 0..n {
+                        ins.push(a >> i & 1 == 1);
+                    }
+                    for i in 0..n {
+                        ins.push(b >> i & 1 == 1);
+                    }
+                    ins.push(cin == 1);
+                    let v = sim.eval_bool(&ins);
+                    let mut got = 0u32;
+                    for i in 0..n {
+                        let s = nl.find(&format!("sum{i}")).unwrap();
+                        got |= u32::from(v[s.index()]) << i;
+                    }
+                    let cout = nl.find(&format!("cout{}", n - 1)).unwrap();
+                    got |= u32::from(v[cout.index()]) << n;
+                    assert_eq!(got, a + b + cin, "a={a} b={b} cin={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_parallelism_matches_serial() {
+        let nl = data::c17();
+        let sim = Simulator::new(&nl);
+        // Pack all 32 input combinations into one word.
+        let mut packed = vec![0u64; 5];
+        for pat in 0u64..32 {
+            for i in 0..5 {
+                if pat >> i & 1 == 1 {
+                    packed[i] |= 1 << pat;
+                }
+            }
+        }
+        let pv = sim.eval(&packed);
+        for pat in 0u64..32 {
+            let ins: Vec<bool> = (0..5).map(|i| pat >> i & 1 == 1).collect();
+            let sv = sim.eval_bool(&ins);
+            for id in nl.node_ids() {
+                assert_eq!(
+                    pv[id.index()] >> pat & 1 == 1,
+                    sv[id.index()],
+                    "pattern {pat}, node {}",
+                    nl.node_name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one packed word per primary input")]
+    fn wrong_input_arity_panics() {
+        let nl = data::c17();
+        let sim = Simulator::new(&nl);
+        let _ = sim.eval(&[0, 0]);
+    }
+
+    #[test]
+    fn simulator_is_reusable() {
+        let nl = data::c17();
+        let sim = Simulator::new(&nl);
+        let a = sim.eval_bool(&[true; 5]);
+        let b = sim.eval_bool(&[true; 5]);
+        assert_eq!(a, b);
+    }
+}

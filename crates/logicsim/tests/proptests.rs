@@ -1,0 +1,69 @@
+//! Property-based tests for the simulator and defect machinery.
+
+use proptest::prelude::*;
+
+use iddq_logicsim::faults::IddqFault;
+use iddq_logicsim::{iddq, Simulator};
+use iddq_netlist::data;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Packed evaluation equals 64 independent scalar evaluations.
+    #[test]
+    fn packed_equals_scalar(words in prop::collection::vec(any::<u64>(), 9)) {
+        let nl = data::ripple_adder(4); // 9 inputs
+        let sim = Simulator::new(&nl);
+        let packed = sim.eval(&words);
+        for bit in [0u32, 17, 63] {
+            let scalar: Vec<bool> = words.iter().map(|w| w >> bit & 1 == 1).collect();
+            let values = sim.eval_bool(&scalar);
+            for id in nl.node_ids() {
+                prop_assert_eq!(packed[id.index()] >> bit & 1 == 1, values[id.index()]);
+            }
+        }
+    }
+
+    /// Bridge activation is symmetric in its two nets.
+    #[test]
+    fn bridge_activation_symmetric(words in prop::collection::vec(any::<u64>(), 5)) {
+        let nl = data::c17();
+        let sim = Simulator::new(&nl);
+        let values = sim.eval(&words);
+        let gs = data::c17_paper_gates(&nl);
+        for i in 0..gs.len() {
+            for j in i + 1..gs.len() {
+                let ab = IddqFault::Bridge { a: gs[i], b: gs[j], current_ua: 1.0 };
+                let ba = IddqFault::Bridge { a: gs[j], b: gs[i], current_ua: 1.0 };
+                prop_assert_eq!(ab.activation(&nl, &values), ba.activation(&nl, &values));
+            }
+        }
+    }
+
+    /// More vectors can only help: detection is monotone in the vector
+    /// set.
+    #[test]
+    fn detection_monotone_in_vectors(n1 in 1usize..20, n2 in 1usize..20, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let nl = data::ripple_adder(3);
+        let (small, large) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let vectors: Vec<Vec<bool>> = (0..large)
+            .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+            .collect();
+        let faults: Vec<IddqFault> = nl
+            .gate_ids()
+            .map(|g| IddqFault::StuckOn { gate: g, current_ua: 100.0 })
+            .collect();
+        let module_of: Vec<u32> = nl
+            .node_ids()
+            .map(|id| if nl.is_gate(id) { 0 } else { iddq::NO_MODULE })
+            .collect();
+        let few = iddq::simulate(&nl, &faults, &vectors[..small], &module_of, &[0.01], 1.0);
+        let many = iddq::simulate(&nl, &faults, &vectors, &module_of, &[0.01], 1.0);
+        prop_assert!(many.coverage >= few.coverage);
+        for (a, b) in few.detected.iter().zip(&many.detected) {
+            prop_assert!(!a || *b, "a detected fault stays detected");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Reader and writer for the ISCAS-85 `.bench` interchange format.
+//!
+//! The format, introduced with the Brglez–Fujiwara benchmark set the paper
+//! evaluates on, is line oriented:
+//!
+//! ```text
+//! # c17 — comment
+//! INPUT(1)
+//! INPUT(2)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! ```
+//!
+//! Only combinational primitives are supported (`AND`, `NAND`, `OR`, `NOR`,
+//! `XOR`, `XNOR`, `NOT`/`INV`, `BUF`/`BUFF`); a `DFF` raises a parse error
+//! since the 1995 flow partitions combinational CUTs.
+
+use crate::graph::{Netlist, NetlistBuilder, NetlistError, NodeId};
+use crate::kind::CellKind;
+
+/// Parses a `.bench` document into a validated [`Netlist`].
+///
+/// Gate definitions may reference signals defined later in the file; all
+/// references are resolved in a second pass.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::UndefinedSignal`] / [`NetlistError::UnknownOutput`] for
+/// dangling references and the usual structural errors from
+/// [`NetlistBuilder::build`].
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_netlist::bench;
+///
+/// # fn main() -> Result<(), iddq_netlist::NetlistError> {
+/// let nl = bench::parse("and2", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// assert_eq!(nl.gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(name: impl Into<String>, text: &str) -> Result<Netlist, NetlistError> {
+    enum Decl {
+        Input(String),
+        Gate {
+            name: String,
+            kind: CellKind,
+            fanin_names: Vec<String>,
+        },
+    }
+
+    let mut decls: Vec<Decl> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| NetlistError::Parse {
+            line: lineno + 1,
+            message,
+        };
+
+        if let Some(rest) = strip_call(line, "INPUT") {
+            decls.push(Decl::Input(rest.trim().to_owned()));
+        } else if let Some(rest) = strip_call(line, "OUTPUT") {
+            outputs.push(rest.trim().to_owned());
+        } else if let Some(eq) = line.find('=') {
+            let lhs = line[..eq].trim();
+            let rhs = line[eq + 1..].trim();
+            if lhs.is_empty() {
+                return Err(err("missing signal name before `=`".into()));
+            }
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err(format!("expected GATE(...) after `=`, got `{rhs}`")))?;
+            if !rhs.ends_with(')') {
+                return Err(err(format!("missing `)` in `{rhs}`")));
+            }
+            let mnemonic = rhs[..open].trim();
+            let kind: CellKind = mnemonic
+                .parse()
+                .map_err(|e| err(format!("{e} (only combinational primitives supported)")))?;
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let fanin_names: Vec<String> = args
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if fanin_names.is_empty() {
+                return Err(err(format!("gate `{lhs}` has no inputs")));
+            }
+            decls.push(Decl::Gate {
+                name: lhs.to_owned(),
+                kind,
+                fanin_names,
+            });
+        } else {
+            return Err(err(format!("unrecognized line `{line}`")));
+        }
+    }
+
+    // Ids follow declaration order, so every name can be resolved before
+    // any gate is added (the format allows forward references).
+    let mut ids: std::collections::HashMap<String, NodeId> = std::collections::HashMap::new();
+    for (i, decl) in decls.iter().enumerate() {
+        let declared = match decl {
+            Decl::Input(n) => n,
+            Decl::Gate { name, .. } => name,
+        };
+        if ids.insert(declared.clone(), NodeId(i as u32)).is_some() {
+            return Err(NetlistError::DuplicateName(declared.clone()));
+        }
+    }
+
+    let mut resolved = NetlistBuilder::new(name);
+    for decl in &decls {
+        match decl {
+            Decl::Input(n) => {
+                resolved.try_add_input(n)?;
+            }
+            Decl::Gate {
+                name,
+                kind,
+                fanin_names,
+            } => {
+                let fanin: Result<Vec<NodeId>, NetlistError> = fanin_names
+                    .iter()
+                    .map(|f| {
+                        ids.get(f)
+                            .copied()
+                            .ok_or_else(|| NetlistError::UndefinedSignal(f.clone()))
+                    })
+                    .collect();
+                resolved.add_gate(name, *kind, fanin?)?;
+            }
+        }
+    }
+    for out in &outputs {
+        let id = ids
+            .get(out)
+            .copied()
+            .ok_or_else(|| NetlistError::UnknownOutput(out.clone()))?;
+        resolved.mark_output(id);
+    }
+    resolved.build()
+}
+
+fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+/// Serializes a netlist to `.bench` text.
+///
+/// The output parses back to an identical netlist (same names, kinds,
+/// fan-in order, inputs and outputs) — see the round-trip property test.
+#[must_use]
+pub fn to_bench(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    out.push_str(&format!(
+        "# {} inputs, {} outputs, {} gates\n",
+        netlist.num_inputs(),
+        netlist.num_outputs(),
+        netlist.gate_count()
+    ));
+    for &i in netlist.inputs() {
+        out.push_str(&format!("INPUT({})\n", netlist.node_name(i)));
+    }
+    for &o in netlist.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", netlist.node_name(o)));
+    }
+    for id in netlist.node_ids() {
+        let node = netlist.node(id);
+        if let Some(kind) = node.kind().cell_kind() {
+            let args: Vec<&str> = node
+                .fanin()
+                .iter()
+                .map(|f| netlist.node_name(*f))
+                .collect();
+            out.push_str(&format!(
+                "{} = {}({})\n",
+                netlist.node_name(id),
+                kind.mnemonic(),
+                args.join(", ")
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn parse_c17_text() {
+        let nl = data::c17();
+        assert_eq!(nl.gate_count(), 6);
+        assert_eq!(nl.num_inputs(), 5);
+        assert_eq!(nl.num_outputs(), 2);
+    }
+
+    #[test]
+    fn roundtrip_c17() {
+        let nl = data::c17();
+        let text = to_bench(&nl);
+        let again = parse("c17", &text).unwrap();
+        assert_eq!(again.gate_count(), nl.gate_count());
+        assert_eq!(again.num_inputs(), nl.num_inputs());
+        assert_eq!(again.num_outputs(), nl.num_outputs());
+        for id in nl.node_ids() {
+            let other = again.find(nl.node_name(id)).unwrap();
+            assert_eq!(again.node(other).kind(), nl.node(id).kind());
+        }
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let text = "OUTPUT(y)\ny = NOT(x)\nINPUT(x)\n";
+        let nl = parse("fwd", text).unwrap();
+        assert_eq!(nl.gate_count(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# hello\n\nINPUT(a) # trailing comment\nOUTPUT(y)\ny = BUF(a)\n";
+        let nl = parse("c", text).unwrap();
+        assert_eq!(nl.gate_count(), 1);
+    }
+
+    #[test]
+    fn dff_rejected_with_line_number() {
+        let text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+        let err = parse("seq", text).unwrap_err();
+        match err {
+            NetlistError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("DFF"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn garbage_line_rejected() {
+        let err = parse("bad", "INPUT(a)\nwat\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_output_rejected() {
+        let err = parse("bad", "INPUT(a)\nOUTPUT(zz)\ny = BUF(a)\n").unwrap_err();
+        assert_eq!(err, NetlistError::UnknownOutput("zz".into()));
+    }
+
+    #[test]
+    fn undefined_fanin_rejected() {
+        let err = parse("bad", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").unwrap_err();
+        assert_eq!(err, NetlistError::UndefinedSignal("ghost".into()));
+    }
+
+    #[test]
+    fn empty_gate_args_rejected() {
+        let err = parse("bad", "INPUT(a)\nOUTPUT(y)\ny = AND()\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn buff_alias_accepted() {
+        let nl = parse("b", "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n").unwrap();
+        let y = nl.find("y").unwrap();
+        assert_eq!(nl.node(y).kind().cell_kind(), Some(CellKind::Buf));
+    }
+}

@@ -1,0 +1,139 @@
+//! Embedded reference circuits.
+//!
+//! * [`c17`] — the exact ISCAS-85 C17 netlist, the running example of the
+//!   paper's §4.3 (figures 3–5). Gates are numbered as in the benchmark
+//!   (`10, 11, 16, 19, 22, 23`); the paper's short labels `g1..g6` map to
+//!   them in that order.
+//! * [`ripple_adder`] — a parameterized ripple-carry adder, a convenient
+//!   structured mid-size circuit for tests and examples.
+
+use crate::bench;
+use crate::graph::{Netlist, NetlistBuilder, NodeId};
+use crate::kind::CellKind;
+
+/// The ISCAS-85 C17 benchmark in `.bench` form.
+pub const C17_BENCH: &str = "\
+# c17 — ISCAS-85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// Parses the embedded [`C17_BENCH`] netlist.
+///
+/// # Panics
+///
+/// Never in practice; the embedded text is valid (covered by tests).
+#[must_use]
+pub fn c17() -> Netlist {
+    bench::parse("c17", C17_BENCH).expect("embedded c17 is valid")
+}
+
+/// The paper's short gate labels `g1..g6` for C17, in order, resolved to
+/// node ids: `g1 = 10, g2 = 11, g3 = 16, g4 = 19, g5 = 22, g6 = 23`.
+///
+/// The optimum partition of §4.3 is `{(g1,g3,g5), (g2,g4,g6)}`.
+#[must_use]
+pub fn c17_paper_gates(netlist: &Netlist) -> [NodeId; 6] {
+    ["10", "11", "16", "19", "22", "23"]
+        .map(|n| netlist.find(n).expect("c17 gate names present"))
+}
+
+/// Builds an `n`-bit ripple-carry adder (2·n inputs plus carry-in, n+1
+/// outputs, 5·n gates: XOR/XOR/AND/AND/OR per full adder).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn ripple_adder(n: usize) -> Netlist {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = NetlistBuilder::new(format!("rca{n}"));
+    let a: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("a{i}"))).collect();
+    let bb: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("b{i}"))).collect();
+    let mut carry = b.add_input("cin");
+    for i in 0..n {
+        let axb = b
+            .add_gate(format!("axb{i}"), CellKind::Xor, vec![a[i], bb[i]])
+            .expect("fresh name");
+        let sum = b
+            .add_gate(format!("sum{i}"), CellKind::Xor, vec![axb, carry])
+            .expect("fresh name");
+        let and1 = b
+            .add_gate(format!("and1_{i}"), CellKind::And, vec![a[i], bb[i]])
+            .expect("fresh name");
+        let and2 = b
+            .add_gate(format!("and2_{i}"), CellKind::And, vec![axb, carry])
+            .expect("fresh name");
+        carry = b
+            .add_gate(format!("cout{i}"), CellKind::Or, vec![and1, and2])
+            .expect("fresh name");
+        b.mark_output(sum);
+    }
+    b.mark_output(carry);
+    b.build().expect("ripple adder is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levelize;
+
+    #[test]
+    fn c17_shape() {
+        let nl = c17();
+        assert_eq!(nl.num_inputs(), 5);
+        assert_eq!(nl.num_outputs(), 2);
+        assert_eq!(nl.gate_count(), 6);
+        assert_eq!(levelize::depth(&nl), 3);
+    }
+
+    #[test]
+    fn c17_all_nand() {
+        let nl = c17();
+        for g in nl.gate_ids() {
+            assert_eq!(nl.node(g).kind().cell_kind(), Some(CellKind::Nand));
+        }
+    }
+
+    #[test]
+    fn paper_gate_labels_resolve() {
+        let nl = c17();
+        let gs = c17_paper_gates(&nl);
+        assert_eq!(nl.node_name(gs[0]), "10");
+        assert_eq!(nl.node_name(gs[5]), "23");
+    }
+
+    #[test]
+    fn ripple_adder_structure() {
+        for n in [1usize, 4, 8] {
+            let nl = ripple_adder(n);
+            assert_eq!(nl.num_inputs(), 2 * n + 1);
+            assert_eq!(nl.num_outputs(), n + 1);
+            assert_eq!(nl.gate_count(), 5 * n);
+        }
+    }
+
+    #[test]
+    fn ripple_adder_depth_grows_linearly() {
+        let d4 = levelize::depth(&ripple_adder(4));
+        let d8 = levelize::depth(&ripple_adder(8));
+        assert!(d8 > d4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_adder_panics() {
+        let _ = ripple_adder(0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz DOT export, optionally colouring a partition.
+//!
+//! Handy for visually inspecting partitions the way figures 3–5 of the
+//! paper do for C17.
+
+use crate::graph::{Netlist, NodeId};
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// If `module_of` is given it must map every *gate* id to a module index;
+/// gates of the same module share a fill colour and are grouped in a
+/// cluster. Primary inputs are drawn as plain ovals.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_netlist::{data, dot};
+///
+/// let c17 = data::c17();
+/// let text = dot::to_dot(&c17, None);
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("NAND"));
+/// ```
+#[must_use]
+pub fn to_dot(netlist: &Netlist, module_of: Option<&dyn Fn(NodeId) -> usize>) -> String {
+    const PALETTE: [&str; 8] = [
+        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+    ];
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", netlist.name()));
+    out.push_str("  rankdir=LR;\n  node [shape=box, style=filled, fillcolor=white];\n");
+
+    for id in netlist.node_ids() {
+        let name = netlist.node_name(id);
+        match netlist.node(id).kind().cell_kind() {
+            None => {
+                out.push_str(&format!(
+                    "  \"{name}\" [shape=oval, label=\"{name}\"];\n"
+                ));
+            }
+            Some(kind) => {
+                let fill = module_of
+                    .map(|f| PALETTE[f(id) % PALETTE.len()])
+                    .unwrap_or("white");
+                out.push_str(&format!(
+                    "  \"{name}\" [label=\"{name}\\n{kind}\", fillcolor=\"{fill}\"];\n"
+                ));
+            }
+        }
+    }
+    for id in netlist.node_ids() {
+        for &f in netlist.node(id).fanin() {
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\";\n",
+                netlist.node_name(f),
+                netlist.node_name(id)
+            ));
+        }
+    }
+    for &o in netlist.outputs() {
+        out.push_str(&format!(
+            "  \"{}\" [peripheries=2];\n",
+            netlist.node_name(o)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn plain_export_contains_all_nodes_and_edges() {
+        let nl = data::c17();
+        let text = to_dot(&nl, None);
+        for id in nl.node_ids() {
+            assert!(text.contains(&format!("\"{}\"", nl.node_name(id))));
+        }
+        // 6 gates × 2 fanins = 12 edges
+        assert_eq!(text.matches(" -> ").count(), 12);
+    }
+
+    #[test]
+    fn partition_colouring_uses_palette() {
+        let nl = data::c17();
+        let f = |id: crate::NodeId| id.index() % 2;
+        let text = to_dot(&nl, Some(&f));
+        assert!(text.contains("#a6cee3"));
+        assert!(text.contains("#b2df8a"));
+    }
+
+    #[test]
+    fn outputs_get_double_border() {
+        let nl = data::c17();
+        let text = to_dot(&nl, None);
+        assert!(text.contains("peripheries=2"));
+    }
+}

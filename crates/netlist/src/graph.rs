@@ -1,0 +1,613 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::kind::CellKind;
+
+/// Index of a node (primary input or gate) inside a [`Netlist`].
+///
+/// `NodeId`s are dense: a netlist with *n* nodes uses ids `0..n`. They are
+/// only meaningful for the netlist that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node *is*: a primary input or a gate computing a [`CellKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeKind {
+    /// Primary input; carries no logic function and has no fan-in.
+    Input,
+    /// Combinational gate with the given logic function.
+    Gate(CellKind),
+}
+
+impl NodeKind {
+    /// The cell kind if this node is a gate, `None` for primary inputs.
+    #[must_use]
+    pub fn cell_kind(self) -> Option<CellKind> {
+        match self {
+            NodeKind::Input => None,
+            NodeKind::Gate(k) => Some(k),
+        }
+    }
+
+    /// Returns `true` for gate nodes.
+    #[must_use]
+    pub fn is_gate(self) -> bool {
+        matches!(self, NodeKind::Gate(_))
+    }
+}
+
+/// A single node of the netlist: its kind plus the ordered fan-in list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Node {
+    kind: NodeKind,
+    fanin: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's kind.
+    #[must_use]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The ordered fan-in (driver) list; empty for primary inputs.
+    #[must_use]
+    pub fn fanin(&self) -> &[NodeId] {
+        &self.fanin
+    }
+}
+
+/// Errors raised while building or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A signal name was defined twice.
+    DuplicateName(String),
+    /// A gate references a signal that was never defined.
+    UndefinedSignal(String),
+    /// A gate was declared with an illegal number of inputs.
+    BadFanin {
+        /// Name of the offending gate.
+        gate: String,
+        /// The gate's logic function.
+        kind: CellKind,
+        /// The number of fan-ins it was declared with.
+        got: usize,
+    },
+    /// The connection graph contains a combinational cycle.
+    Cycle {
+        /// Name of one node on the cycle.
+        on: String,
+    },
+    /// An output was declared for an unknown signal.
+    UnknownOutput(String),
+    /// The netlist has no primary output.
+    NoOutputs,
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "signal `{n}` defined twice"),
+            NetlistError::UndefinedSignal(n) => write!(f, "signal `{n}` is referenced but never defined"),
+            NetlistError::BadFanin { gate, kind, got } => {
+                write!(f, "gate `{gate}` of kind {kind} declared with illegal fan-in {got}")
+            }
+            NetlistError::Cycle { on } => write!(f, "combinational cycle through `{on}`"),
+            NetlistError::UnknownOutput(n) => write!(f, "OUTPUT declared for unknown signal `{n}`"),
+            NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
+            NetlistError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// An immutable, validated combinational netlist.
+///
+/// Invariants guaranteed by construction:
+///
+/// * every fan-in reference resolves to an existing node,
+/// * every gate's fan-in count is legal for its [`CellKind`],
+/// * the graph is acyclic; [`Netlist::topo_order`] lists nodes so that
+///   every gate appears after all of its drivers,
+/// * fanout lists are consistent with fan-in lists,
+/// * there is at least one primary output.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_netlist::{CellKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), iddq_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("half-adder");
+/// let a = b.add_input("a");
+/// let c = b.add_input("b");
+/// let sum = b.add_gate("sum", CellKind::Xor, vec![a, c])?;
+/// let carry = b.add_gate("carry", CellKind::And, vec![a, c])?;
+/// b.mark_output(sum);
+/// b.mark_output(carry);
+/// let nl = b.build()?;
+/// assert_eq!(nl.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<String>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    fanouts: Vec<Vec<NodeId>>,
+    topo: Vec<NodeId>,
+    name_index: HashMap<String, NodeId>,
+}
+
+impl Netlist {
+    /// The circuit name (e.g. `"c17"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total node count (primary inputs + gates).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of gate nodes (`n` in the paper's notation).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.nodes.len() - self.inputs.len()
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Primary input ids in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary output ids in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The declared name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks a node up by its declared name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Fanout (consumer) list of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn fanout(&self, id: NodeId) -> &[NodeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Nodes in a topological order (drivers before consumers).
+    #[must_use]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Iterator over all node ids, `0..node_count()`.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over the ids of gate nodes only.
+    pub fn gate_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|id| self.is_gate(*id))
+    }
+
+    /// Returns `true` if the node is a gate (not a primary input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn is_gate(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].kind.is_gate()
+    }
+
+    /// Returns `true` if the node is a primary output.
+    #[must_use]
+    pub fn is_output(&self, id: NodeId) -> bool {
+        self.outputs.contains(&id)
+    }
+
+    /// Undirected neighbours of a node: the union of fan-in and fanout.
+    ///
+    /// This is the adjacency used by the separation metric of §3.3 of the
+    /// paper ("the undirected graph of the logic circuit").
+    pub fn undirected_neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let node = &self.nodes[id.index()];
+        node.fanin.iter().copied().chain(self.fanouts[id.index()].iter().copied())
+    }
+
+    /// Dense gate indexing: maps a gate's [`NodeId`] to `0..gate_count()`.
+    ///
+    /// Many per-gate tables in the partitioner are indexed by this compact
+    /// id rather than the node id. Returns `None` for primary inputs.
+    #[must_use]
+    pub fn gate_index(&self, id: NodeId) -> Option<usize> {
+        if !self.is_gate(id) {
+            return None;
+        }
+        // Gates and inputs can interleave in id space; count gates below.
+        Some(
+            self.nodes[..id.index()]
+                .iter()
+                .filter(|n| n.kind.is_gate())
+                .count(),
+        )
+    }
+}
+
+/// Incremental builder for [`Netlist`].
+///
+/// See [`Netlist`] for a usage example.
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<String>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    name_index: HashMap<String, NodeId>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            names: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            name_index: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &str, node: Node) -> Result<NodeId, NetlistError> {
+        if self.name_index.contains_key(name) {
+            return Err(NetlistError::DuplicateName(name.to_owned()));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.names.push(name.to_owned());
+        self.name_index.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken (inputs are normally added
+    /// first; use [`NetlistBuilder::try_add_input`] when names come from
+    /// untrusted data).
+    pub fn add_input(&mut self, name: impl AsRef<str>) -> NodeId {
+        self.try_add_input(name).expect("duplicate input name")
+    }
+
+    /// Adds a primary input, reporting duplicate names as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn try_add_input(&mut self, name: impl AsRef<str>) -> Result<NodeId, NetlistError> {
+        let id = self.intern(
+            name.as_ref(),
+            Node { kind: NodeKind::Input, fanin: Vec::new() },
+        )?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a gate with the given function and fan-in list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken and
+    /// [`NetlistError::BadFanin`] if the fan-in count is illegal for
+    /// `kind`. (Dangling fan-in ids are caught at [`NetlistBuilder::build`]
+    /// time.)
+    pub fn add_gate(
+        &mut self,
+        name: impl AsRef<str>,
+        kind: CellKind,
+        fanin: Vec<NodeId>,
+    ) -> Result<NodeId, NetlistError> {
+        if !kind.accepts_fanin(fanin.len()) {
+            return Err(NetlistError::BadFanin {
+                gate: name.as_ref().to_owned(),
+                kind,
+                got: fanin.len(),
+            });
+        }
+        self.intern(name.as_ref(), Node { kind: NodeKind::Gate(kind), fanin })
+    }
+
+    /// Declares an existing node as a primary output (idempotent).
+    pub fn mark_output(&mut self, id: NodeId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Number of nodes added so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finalizes the netlist, validating all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UndefinedSignal`] for dangling fan-in references,
+    /// * [`NetlistError::Cycle`] if the graph is not a DAG,
+    /// * [`NetlistError::NoOutputs`] if no output was marked.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        let n = self.nodes.len();
+        for node in &self.nodes {
+            for &f in &node.fanin {
+                if f.index() >= n {
+                    return Err(NetlistError::UndefinedSignal(format!("{f}")));
+                }
+            }
+        }
+        if self.outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+
+        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &f in &node.fanin {
+                fanouts[f.index()].push(NodeId(i as u32));
+            }
+        }
+
+        // Kahn's algorithm for a topological order / cycle check.
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|nd| nd.fanin.len()).collect();
+        let mut stack: Vec<NodeId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(id) = stack.pop() {
+            topo.push(id);
+            for &succ in &fanouts[id.index()] {
+                indeg[succ.index()] -= 1;
+                if indeg[succ.index()] == 0 {
+                    stack.push(succ);
+                }
+            }
+        }
+        if topo.len() != n {
+            let on = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| self.names[i].clone())
+                .unwrap_or_default();
+            return Err(NetlistError::Cycle { on });
+        }
+
+        Ok(Netlist {
+            name: self.name,
+            nodes: self.nodes,
+            names: self.names,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            fanouts,
+            topo,
+            name_index: self.name_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("ha");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let s = b.add_gate("s", CellKind::Xor, vec![a, c]).unwrap();
+        let k = b.add_gate("k", CellKind::And, vec![a, c]).unwrap();
+        b.mark_output(s);
+        b.mark_output(k);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let nl = half_adder();
+        assert_eq!(nl.node_count(), 4);
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.num_inputs(), 2);
+        assert_eq!(nl.num_outputs(), 2);
+        assert_eq!(nl.name(), "ha");
+    }
+
+    #[test]
+    fn fanouts_are_inverse_of_fanins() {
+        let nl = half_adder();
+        let a = nl.find("a").unwrap();
+        let s = nl.find("s").unwrap();
+        let k = nl.find("k").unwrap();
+        let mut fo = nl.fanout(a).to_vec();
+        fo.sort();
+        assert_eq!(fo, vec![s, k]);
+        assert!(nl.fanout(s).is_empty());
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let nl = half_adder();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; nl.node_count()];
+            for (i, id) in nl.topo_order().iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for id in nl.node_ids() {
+            for &f in nl.node(id).fanin() {
+                assert!(pos[f.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = NetlistBuilder::new("x");
+        b.add_input("a");
+        assert_eq!(
+            b.try_add_input("a").unwrap_err(),
+            NetlistError::DuplicateName("a".into())
+        );
+    }
+
+    #[test]
+    fn bad_fanin_rejected() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.add_input("a");
+        let err = b.add_gate("g", CellKind::Nand, vec![a]).unwrap_err();
+        assert!(matches!(err, NetlistError::BadFanin { got: 1, .. }));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        // Two gates feeding each other. We must construct fanin ids ahead
+        // of definition, which the builder only checks at build() time.
+        let mut b = NetlistBuilder::new("cyc");
+        let a = b.add_input("a");
+        // g1 = AND(a, g2) where g2 = AND(a, g1): ids 1 and 2.
+        let g1 = b.add_gate("g1", CellKind::And, vec![a, NodeId(2)]).unwrap();
+        let _g2 = b.add_gate("g2", CellKind::And, vec![a, g1]).unwrap();
+        b.mark_output(g1);
+        assert!(matches!(b.build().unwrap_err(), NetlistError::Cycle { .. }));
+    }
+
+    #[test]
+    fn dangling_reference_rejected() {
+        let mut b = NetlistBuilder::new("dang");
+        let a = b.add_input("a");
+        let g = b
+            .add_gate("g", CellKind::And, vec![a, NodeId(99)])
+            .unwrap();
+        b.mark_output(g);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetlistError::UndefinedSignal(_)
+        ));
+    }
+
+    #[test]
+    fn no_outputs_rejected() {
+        let mut b = NetlistBuilder::new("noout");
+        b.add_input("a");
+        assert_eq!(b.build().unwrap_err(), NetlistError::NoOutputs);
+    }
+
+    #[test]
+    fn gate_index_is_dense_over_gates() {
+        let nl = half_adder();
+        let mut seen = vec![false; nl.gate_count()];
+        for g in nl.gate_ids() {
+            let gi = nl.gate_index(g).unwrap();
+            assert!(!seen[gi]);
+            seen[gi] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(nl.gate_index(nl.inputs()[0]), None);
+    }
+
+    #[test]
+    fn undirected_neighbors_union() {
+        let nl = half_adder();
+        let a = nl.find("a").unwrap();
+        let s = nl.find("s").unwrap();
+        let n: Vec<NodeId> = nl.undirected_neighbors(s).collect();
+        assert!(n.contains(&a));
+        let n: Vec<NodeId> = nl.undirected_neighbors(a).collect();
+        assert!(n.contains(&s));
+    }
+
+    #[test]
+    fn mark_output_idempotent() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.add_input("a");
+        let g = b.add_gate("g", CellKind::Not, vec![a]).unwrap();
+        b.mark_output(g);
+        b.mark_output(g);
+        let nl = b.build().unwrap();
+        assert_eq!(nl.num_outputs(), 1);
+    }
+}

@@ -1,0 +1,277 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// The logic function implemented by a gate node.
+///
+/// `CellKind` captures only the *logical* view of a cell; the electrical
+/// characterization (peak switching current, ON resistance, capacitances,
+/// delay, area, leakage) lives in `iddq-celllib`, keyed by `(CellKind,
+/// fan-in)`.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_netlist::CellKind;
+///
+/// assert!(CellKind::Nand.eval(&[true, false]));
+/// assert!(!CellKind::Nand.eval(&[true, true]));
+/// assert_eq!("NAND".parse::<CellKind>().unwrap(), CellKind::Nand);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CellKind {
+    /// Non-inverting buffer (fan-in 1).
+    Buf,
+    /// Inverter (fan-in 1).
+    Not,
+    /// Logical AND (fan-in ≥ 2).
+    And,
+    /// Inverted AND (fan-in ≥ 2).
+    Nand,
+    /// Logical OR (fan-in ≥ 2).
+    Or,
+    /// Inverted OR (fan-in ≥ 2).
+    Nor,
+    /// Exclusive OR (fan-in ≥ 2).
+    Xor,
+    /// Inverted exclusive OR (fan-in ≥ 2).
+    Xnor,
+}
+
+/// Maximum fan-in accepted for multi-input gates.
+///
+/// ISCAS-85 circuits use fan-ins up to 9 (C2670 contains a 9-input gate in
+/// some translations); we accept a little headroom.
+pub(crate) const MAX_FANIN: usize = 12;
+
+impl CellKind {
+    /// All kinds, in a fixed order (useful for exhaustive tests and tables).
+    pub const ALL: [CellKind; 8] = [
+        CellKind::Buf,
+        CellKind::Not,
+        CellKind::And,
+        CellKind::Nand,
+        CellKind::Or,
+        CellKind::Nor,
+        CellKind::Xor,
+        CellKind::Xnor,
+    ];
+
+    /// Inclusive range of legal fan-ins for this kind.
+    #[must_use]
+    pub fn fanin_range(self) -> (usize, usize) {
+        match self {
+            CellKind::Buf | CellKind::Not => (1, 1),
+            _ => (2, MAX_FANIN),
+        }
+    }
+
+    /// Returns `true` if `n` is a legal fan-in for this kind.
+    #[must_use]
+    pub fn accepts_fanin(self, n: usize) -> bool {
+        let (lo, hi) = self.fanin_range();
+        (lo..=hi).contains(&n)
+    }
+
+    /// Whether the gate output is the complement of the underlying
+    /// monotone function (NAND/NOR/XNOR/NOT).
+    #[must_use]
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            CellKind::Not | CellKind::Nand | CellKind::Nor | CellKind::Xnor
+        )
+    }
+
+    /// Evaluates the logic function over boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a legal fan-in for this kind; the
+    /// [`Netlist`](crate::Netlist) invariants guarantee legal fan-ins for
+    /// every stored gate.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert!(
+            self.accepts_fanin(inputs.len()),
+            "illegal fan-in {} for {self}",
+            inputs.len()
+        );
+        match self {
+            CellKind::Buf => inputs[0],
+            CellKind::Not => !inputs[0],
+            CellKind::And => inputs.iter().all(|&b| b),
+            CellKind::Nand => !inputs.iter().all(|&b| b),
+            CellKind::Or => inputs.iter().any(|&b| b),
+            CellKind::Nor => !inputs.iter().any(|&b| b),
+            CellKind::Xor => inputs.iter().fold(false, |a, &b| a ^ b),
+            CellKind::Xnor => !inputs.iter().fold(false, |a, &b| a ^ b),
+        }
+    }
+
+    /// Evaluates the logic function over 64 parallel patterns packed in
+    /// `u64` words (bit *k* of every word belongs to pattern *k*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a legal fan-in for this kind.
+    #[must_use]
+    pub fn eval_packed(self, inputs: &[u64]) -> u64 {
+        assert!(
+            self.accepts_fanin(inputs.len()),
+            "illegal fan-in {} for {self}",
+            inputs.len()
+        );
+        match self {
+            CellKind::Buf => inputs[0],
+            CellKind::Not => !inputs[0],
+            CellKind::And => inputs.iter().fold(!0u64, |a, &b| a & b),
+            CellKind::Nand => !inputs.iter().fold(!0u64, |a, &b| a & b),
+            CellKind::Or => inputs.iter().fold(0u64, |a, &b| a | b),
+            CellKind::Nor => !inputs.iter().fold(0u64, |a, &b| a | b),
+            CellKind::Xor => inputs.iter().fold(0u64, |a, &b| a ^ b),
+            CellKind::Xnor => !inputs.iter().fold(0u64, |a, &b| a ^ b),
+        }
+    }
+
+    /// The canonical upper-case mnemonic used by the `.bench` format.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CellKind::Buf => "BUF",
+            CellKind::Not => "NOT",
+            CellKind::And => "AND",
+            CellKind::Nand => "NAND",
+            CellKind::Or => "OR",
+            CellKind::Nor => "NOR",
+            CellKind::Xor => "XOR",
+            CellKind::Xnor => "XNOR",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an unknown gate mnemonic.
+///
+/// ```rust
+/// use iddq_netlist::CellKind;
+/// assert!("FROB".parse::<CellKind>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCellKindError(pub(crate) String);
+
+impl fmt::Display for ParseCellKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseCellKindError {}
+
+impl FromStr for CellKind {
+    type Err = ParseCellKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "BUF" | "BUFF" => Ok(CellKind::Buf),
+            "NOT" | "INV" => Ok(CellKind::Not),
+            "AND" => Ok(CellKind::And),
+            "NAND" => Ok(CellKind::Nand),
+            "OR" => Ok(CellKind::Or),
+            "NOR" => Ok(CellKind::Nor),
+            "XOR" => Ok(CellKind::Xor),
+            "XNOR" => Ok(CellKind::Xnor),
+            other => Err(ParseCellKindError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_ranges() {
+        assert_eq!(CellKind::Buf.fanin_range(), (1, 1));
+        assert_eq!(CellKind::Not.fanin_range(), (1, 1));
+        for k in [CellKind::And, CellKind::Nand, CellKind::Or, CellKind::Nor] {
+            assert!(k.accepts_fanin(2));
+            assert!(k.accepts_fanin(MAX_FANIN));
+            assert!(!k.accepts_fanin(1));
+            assert!(!k.accepts_fanin(MAX_FANIN + 1));
+        }
+    }
+
+    #[test]
+    fn truth_tables_two_input() {
+        let cases = [
+            (CellKind::And, [false, false, false, true]),
+            (CellKind::Nand, [true, true, true, false]),
+            (CellKind::Or, [false, true, true, true]),
+            (CellKind::Nor, [true, false, false, false]),
+            (CellKind::Xor, [false, true, true, false]),
+            (CellKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, table) in cases {
+            for (i, want) in table.iter().enumerate() {
+                let a = i & 1 != 0;
+                let b = i & 2 != 0;
+                assert_eq!(kind.eval(&[a, b]), *want, "{kind} ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_kinds() {
+        assert!(CellKind::Buf.eval(&[true]));
+        assert!(!CellKind::Buf.eval(&[false]));
+        assert!(!CellKind::Not.eval(&[true]));
+        assert!(CellKind::Not.eval(&[false]));
+    }
+
+    #[test]
+    fn packed_matches_scalar() {
+        for kind in CellKind::ALL {
+            let n = if kind.accepts_fanin(1) { 1 } else { 3 };
+            for word in 0..(1u64 << n) {
+                let ins: Vec<bool> = (0..n).map(|i| word & (1 << i) != 0).collect();
+                let packed: Vec<u64> = ins.iter().map(|&b| if b { !0 } else { 0 }).collect();
+                let want = if kind.eval(&ins) { !0u64 } else { 0u64 };
+                assert_eq!(kind.eval_packed(&packed), want, "{kind} {ins:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip_and_aliases() {
+        for kind in CellKind::ALL {
+            assert_eq!(kind.mnemonic().parse::<CellKind>().unwrap(), kind);
+        }
+        assert_eq!("buff".parse::<CellKind>().unwrap(), CellKind::Buf);
+        assert_eq!("inv".parse::<CellKind>().unwrap(), CellKind::Not);
+        let err = "DFF".parse::<CellKind>().unwrap_err();
+        assert!(err.to_string().contains("DFF"));
+    }
+
+    #[test]
+    fn inverting_classification() {
+        assert!(CellKind::Nand.is_inverting());
+        assert!(CellKind::Nor.is_inverting());
+        assert!(CellKind::Not.is_inverting());
+        assert!(CellKind::Xnor.is_inverting());
+        assert!(!CellKind::And.is_inverting());
+        assert!(!CellKind::Buf.is_inverting());
+    }
+
+    #[test]
+    fn xor_parity_many_inputs() {
+        let ins = [true, true, true, false, true];
+        assert_eq!(CellKind::Xor.eval(&ins), false);
+        assert_eq!(CellKind::Xnor.eval(&ins), true);
+    }
+}

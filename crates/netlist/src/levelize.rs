@@ -1,0 +1,297 @@
+//! Topological levelization, weighted longest paths and transition-time
+//! sets.
+//!
+//! These are the structural analyses behind two of the paper's estimators:
+//!
+//! * the **peak-current estimator** of §3.1 needs, for each gate, the set of
+//!   grid times at which a transition can arrive over *any* path
+//!   ([`transition_times`]),
+//! * the **delay estimators** of §3.2/§3.4 need nominal and degraded
+//!   longest-path delays ([`longest_path`], and the weighted variant used by
+//!   `iddq-core`).
+
+use crate::graph::{Netlist, NodeId};
+use crate::timeset::TimeSet;
+
+/// Per-node topological level: `0` for primary inputs, `1 + max(fanin)` for
+/// gates.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_netlist::{data, levelize};
+///
+/// let c17 = data::c17();
+/// let levels = levelize::levels(&c17);
+/// let depth = levels.iter().copied().max().unwrap();
+/// assert_eq!(depth, 3); // c17 is three NAND levels deep
+/// ```
+#[must_use]
+pub fn levels(netlist: &Netlist) -> Vec<u32> {
+    let mut lv = vec![0u32; netlist.node_count()];
+    for &id in netlist.topo_order() {
+        let node = netlist.node(id);
+        if node.kind().is_gate() {
+            lv[id.index()] = node
+                .fanin()
+                .iter()
+                .map(|f| lv[f.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+        }
+    }
+    lv
+}
+
+/// Logic depth of the circuit: the maximum level over all nodes.
+#[must_use]
+pub fn depth(netlist: &Netlist) -> u32 {
+    levels(netlist).into_iter().max().unwrap_or(0)
+}
+
+/// Weighted longest-path arrival time per node.
+///
+/// `weight[i]` is the delay contributed by node `i` (zero for primary
+/// inputs). The returned vector holds, per node, the latest arrival time of
+/// a transition at that node's *output*: `arr(g) = weight(g) +
+/// max(arr(fanin))`.
+///
+/// # Panics
+///
+/// Panics if `weight.len() != netlist.node_count()`.
+#[must_use]
+pub fn longest_path(netlist: &Netlist, weight: &[f64]) -> Vec<f64> {
+    assert_eq!(weight.len(), netlist.node_count(), "weight per node required");
+    let mut arr = vec![0.0f64; netlist.node_count()];
+    for &id in netlist.topo_order() {
+        let node = netlist.node(id);
+        let in_max = node
+            .fanin()
+            .iter()
+            .map(|f| arr[f.index()])
+            .fold(0.0f64, f64::max);
+        arr[id.index()] = in_max + weight[id.index()];
+    }
+    arr
+}
+
+/// Critical-path delay: the maximum arrival over all primary outputs.
+///
+/// # Panics
+///
+/// Panics if `weight.len() != netlist.node_count()`.
+#[must_use]
+pub fn critical_path_delay(netlist: &Netlist, weight: &[f64]) -> f64 {
+    let arr = longest_path(netlist, weight);
+    netlist
+        .outputs()
+        .iter()
+        .map(|o| arr[o.index()])
+        .fold(0.0f64, f64::max)
+}
+
+/// Computes the transition-time set of every node on an integer grid.
+///
+/// `grid_delay[i]` is node *i*'s delay in grid units (use `0` for primary
+/// inputs). A primary input transitions at time `0`; a gate can transition
+/// at `t + grid_delay(g)` for every arrival time `t` of any fan-in. The
+/// result is exactly the paper's `{t_i^1, …, t_i^{L_i}}` per gate, but
+/// computed by dynamic programming over the DAG instead of path
+/// enumeration — the union over `L_i` (possibly exponentially many) paths
+/// collapses to a per-node bitset.
+///
+/// # Panics
+///
+/// Panics if `grid_delay.len() != netlist.node_count()`.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_netlist::{data, levelize};
+///
+/// let c17 = data::c17();
+/// let unit = vec![1u32; c17.node_count()];
+/// let times = levelize::transition_times(&c17, &unit);
+/// // With unit delays, a gate's transition times span its min..=max level.
+/// let g22 = c17.find("22").unwrap();
+/// assert_eq!(times[g22.index()].iter().collect::<Vec<_>>(), vec![2, 3]);
+/// ```
+#[must_use]
+pub fn transition_times(netlist: &Netlist, grid_delay: &[u32]) -> Vec<TimeSet> {
+    assert_eq!(
+        grid_delay.len(),
+        netlist.node_count(),
+        "grid delay per node required"
+    );
+    let mut times: Vec<TimeSet> = vec![TimeSet::new(); netlist.node_count()];
+    for &id in netlist.topo_order() {
+        let node = netlist.node(id);
+        if node.kind().is_gate() {
+            let d = grid_delay[id.index()];
+            // Union of fanin arrival sets, shifted by this gate's delay.
+            let mut acc = TimeSet::new();
+            for &f in node.fanin() {
+                acc.union_with_shifted(&times[f.index()], d);
+            }
+            times[id.index()] = acc;
+        } else {
+            times[id.index()] = TimeSet::singleton(0);
+        }
+    }
+    times
+}
+
+/// Reverse-topological *required time slack* helper: for every node, the
+/// longest path from that node to any primary output, in grid units.
+///
+/// Used by chain-growing start partitions to prefer paths that reach
+/// outputs.
+///
+/// # Panics
+///
+/// Panics if `grid_delay.len() != netlist.node_count()`.
+#[must_use]
+pub fn longest_path_to_output(netlist: &Netlist, grid_delay: &[u32]) -> Vec<u32> {
+    assert_eq!(grid_delay.len(), netlist.node_count());
+    let mut dist = vec![0u32; netlist.node_count()];
+    for &id in netlist.topo_order().iter().rev() {
+        let best_succ = netlist
+            .fanout(id)
+            .iter()
+            .map(|s| dist[s.index()] + grid_delay[s.index()])
+            .max()
+            .unwrap_or(0);
+        dist[id.index()] = best_succ;
+    }
+    dist
+}
+
+/// Groups node ids by level, index 0 = primary inputs.
+#[must_use]
+pub fn nodes_by_level(netlist: &Netlist) -> Vec<Vec<NodeId>> {
+    let lv = levels(netlist);
+    let depth = lv.iter().copied().max().unwrap_or(0) as usize;
+    let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); depth + 1];
+    for id in netlist.node_ids() {
+        out[lv[id.index()] as usize].push(id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use crate::graph::NetlistBuilder;
+    use crate::kind::CellKind;
+
+    fn chain(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let mut prev = b.add_input("i");
+        for k in 0..n {
+            prev = b
+                .add_gate(format!("g{k}"), CellKind::Not, vec![prev])
+                .unwrap();
+        }
+        b.mark_output(prev);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_levels_and_depth() {
+        let nl = chain(5);
+        let lv = levels(&nl);
+        assert_eq!(lv.iter().copied().max(), Some(5));
+        assert_eq!(depth(&nl), 5);
+    }
+
+    #[test]
+    fn c17_depth_is_three() {
+        assert_eq!(depth(&data::c17()), 3);
+    }
+
+    #[test]
+    fn longest_path_weighted() {
+        let nl = chain(4);
+        let mut w = vec![0.0; nl.node_count()];
+        for g in nl.gate_ids() {
+            w[g.index()] = 2.5;
+        }
+        assert!((critical_path_delay(&nl, &w) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_times_chain_are_singletons() {
+        let nl = chain(4);
+        let grid = vec![1u32; nl.node_count()];
+        let times = transition_times(&nl, &grid);
+        for (k, g) in nl.gate_ids().enumerate() {
+            assert_eq!(
+                times[g.index()].iter().collect::<Vec<_>>(),
+                vec![k as u32 + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn reconvergent_paths_union_times() {
+        // i -> a(NOT) -> c(AND) and i -> c directly: c sees arrivals {1+1, 0+1}
+        let mut b = NetlistBuilder::new("reconv");
+        let i = b.add_input("i");
+        let a = b.add_gate("a", CellKind::Not, vec![i]).unwrap();
+        let c = b.add_gate("c", CellKind::And, vec![i, a]).unwrap();
+        b.mark_output(c);
+        let nl = b.build().unwrap();
+        let grid = vec![1u32; nl.node_count()];
+        let times = transition_times(&nl, &grid);
+        let c = nl.find("c").unwrap();
+        assert_eq!(times[c.index()].iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn c17_transition_times_match_hand_analysis() {
+        // c17 NAND levels: gates 10,11 level 1; 16,19 level 2; 22,23 level 3.
+        // Gate 16 = NAND(2, 11): arrivals {0,1}+1 = {1,2}.
+        let nl = data::c17();
+        let grid = vec![1u32; nl.node_count()];
+        let times = transition_times(&nl, &grid);
+        let g16 = nl.find("16").unwrap();
+        assert_eq!(times[g16.index()].iter().collect::<Vec<_>>(), vec![1, 2]);
+        let g23 = nl.find("23").unwrap();
+        assert_eq!(times[g23.index()].iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn nodes_by_level_partitions_all_nodes() {
+        let nl = data::c17();
+        let by = nodes_by_level(&nl);
+        let total: usize = by.iter().map(Vec::len).sum();
+        assert_eq!(total, nl.node_count());
+        assert_eq!(by[0].len(), nl.num_inputs());
+    }
+
+    #[test]
+    fn longest_path_to_output_chain() {
+        let nl = chain(3);
+        let grid = vec![1u32; nl.node_count()];
+        let d = longest_path_to_output(&nl, &grid);
+        let i = nl.find("i").unwrap();
+        assert_eq!(d[i.index()], 3);
+        let last = nl.find("g2").unwrap();
+        assert_eq!(d[last.index()], 0);
+    }
+
+    #[test]
+    fn nonuniform_grid_delays() {
+        let nl = chain(2);
+        let mut grid = vec![0u32; nl.node_count()];
+        let g0 = nl.find("g0").unwrap();
+        let g1 = nl.find("g1").unwrap();
+        grid[g0.index()] = 3;
+        grid[g1.index()] = 5;
+        let times = transition_times(&nl, &grid);
+        assert_eq!(times[g0.index()].iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(times[g1.index()].iter().collect::<Vec<_>>(), vec![8]);
+    }
+}

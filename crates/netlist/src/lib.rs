@@ -1,0 +1,57 @@
+//! Gate-level netlist substrate for the IDDQ-testability synthesis flow.
+//!
+//! This crate models a combinational Circuit Under Test (CUT) as a directed
+//! acyclic graph `C = (G, T)` of gates and interconnections, exactly as the
+//! partitioning formulation of Wunderlich et al. (DATE 1995) requires. It
+//! provides:
+//!
+//! * [`Netlist`] — an immutable, validated gate-level DAG with primary
+//!   inputs, primary outputs and precomputed fanout lists,
+//! * [`NetlistBuilder`] — the only way to construct a [`Netlist`]; it
+//!   validates arity, connectivity and acyclicity,
+//! * [`CellKind`] — the logic function vocabulary (the electrical view of a
+//!   cell lives in `iddq-celllib`),
+//! * [`mod@bench`] — a reader/writer for the ISCAS-85 `.bench` interchange
+//!   format,
+//! * [`levelize`] — topological levels, weighted longest paths and the
+//!   *transition-time sets* `t_i^1, …, t_i^{L_i}` of §3.1 of the paper,
+//! * [`separation`] — the bounded undirected separation metric `S(g_i, g_j)`
+//!   of §3.3,
+//! * [`stats`] — structural circuit statistics (fan-in/fan-out mixes,
+//!   depth, widest level),
+//! * [`data`] — embedded reference circuits (the exact ISCAS-85 C17 used in
+//!   the paper's running example, plus a small ripple-carry adder).
+//!
+//! # Example
+//!
+//! ```rust
+//! use iddq_netlist::{data, CellKind};
+//!
+//! # fn main() -> Result<(), iddq_netlist::NetlistError> {
+//! let c17 = data::c17();
+//! assert_eq!(c17.num_inputs(), 5);
+//! assert_eq!(c17.num_outputs(), 2);
+//! assert_eq!(c17.gate_count(), 6);
+//! for g in c17.gate_ids() {
+//!     assert_eq!(c17.node(g).kind().cell_kind(), Some(CellKind::Nand));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod data;
+pub mod dot;
+mod graph;
+mod kind;
+pub mod levelize;
+pub mod separation;
+pub mod stats;
+mod timeset;
+
+pub use graph::{Netlist, NetlistBuilder, NetlistError, Node, NodeId, NodeKind};
+pub use kind::CellKind;
+pub use timeset::TimeSet;

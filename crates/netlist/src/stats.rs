@@ -1,0 +1,147 @@
+//! Structural circuit statistics.
+//!
+//! Partition quality depends on circuit *shape* — fan-in/fan-out mixes,
+//! logic depth, reconvergence — so both the synthetic benchmark generator
+//! (`iddq-gen`) and the experiment reports need a common way to summarize
+//! a netlist. [`CircuitStats::of`] computes everything in one topological
+//! sweep plus one BFS-free pass.
+
+use std::collections::BTreeMap;
+
+use crate::graph::Netlist;
+use crate::kind::CellKind;
+use crate::levelize;
+
+/// Summary statistics of one netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Gate count.
+    pub gates: usize,
+    /// Logic depth (levels of gates).
+    pub depth: u32,
+    /// Gates per [`CellKind`].
+    pub kind_histogram: BTreeMap<CellKind, usize>,
+    /// Gates per fan-in count.
+    pub fanin_histogram: BTreeMap<usize, usize>,
+    /// Nodes per fanout count.
+    pub fanout_histogram: BTreeMap<usize, usize>,
+    /// Mean gate fan-in.
+    pub mean_fanin: f64,
+    /// Maximum fanout over all nodes.
+    pub max_fanout: usize,
+    /// Number of gates whose fan-in cone reconverges (≥ 2 paths from some
+    /// node) — counted as gates with two fan-ins sharing an ancestor at
+    /// distance 1 (cheap local proxy).
+    pub gates_per_level_max: usize,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of `netlist`.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut kind_histogram: BTreeMap<CellKind, usize> = BTreeMap::new();
+        let mut fanin_histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut fanout_histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut fanin_total = 0usize;
+        let mut max_fanout = 0usize;
+        for id in netlist.node_ids() {
+            let fo = netlist.fanout(id).len();
+            *fanout_histogram.entry(fo).or_default() += 1;
+            max_fanout = max_fanout.max(fo);
+            let node = netlist.node(id);
+            if let Some(kind) = node.kind().cell_kind() {
+                *kind_histogram.entry(kind).or_default() += 1;
+                *fanin_histogram.entry(node.fanin().len()).or_default() += 1;
+                fanin_total += node.fanin().len();
+            }
+        }
+        let gates = netlist.gate_count();
+        let by_level = levelize::nodes_by_level(netlist);
+        CircuitStats {
+            inputs: netlist.num_inputs(),
+            outputs: netlist.num_outputs(),
+            gates,
+            depth: levelize::depth(netlist),
+            kind_histogram,
+            fanin_histogram,
+            fanout_histogram,
+            mean_fanin: if gates == 0 { 0.0 } else { fanin_total as f64 / gates as f64 },
+            max_fanout,
+            gates_per_level_max: by_level.iter().skip(1).map(Vec::len).max().unwrap_or(0),
+        }
+    }
+
+    /// Fraction of gates with the given kind.
+    #[must_use]
+    pub fn kind_fraction(&self, kind: CellKind) -> f64 {
+        if self.gates == 0 {
+            return 0.0;
+        }
+        *self.kind_histogram.get(&kind).unwrap_or(&0) as f64 / self.gates as f64
+    }
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} PIs, {} POs, {} gates, depth {}, mean fan-in {:.2}, max fanout {}",
+            self.inputs, self.outputs, self.gates, self.depth, self.mean_fanin, self.max_fanout
+        )?;
+        for (kind, count) in &self.kind_histogram {
+            writeln!(f, "  {kind:<5} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+
+    #[test]
+    fn c17_statistics() {
+        let s = CircuitStats::of(&data::c17());
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.gates, 6);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.kind_histogram[&CellKind::Nand], 6);
+        assert_eq!(s.fanin_histogram[&2], 6);
+        assert!((s.mean_fanin - 2.0).abs() < 1e-12);
+        assert_eq!(s.kind_fraction(CellKind::Nand), 1.0);
+        assert_eq!(s.kind_fraction(CellKind::Xor), 0.0);
+    }
+
+    #[test]
+    fn fanout_histogram_counts_all_nodes() {
+        let nl = data::c17();
+        let s = CircuitStats::of(&nl);
+        let total: usize = s.fanout_histogram.values().sum();
+        assert_eq!(total, nl.node_count());
+        // Outputs 22/23 have no fanout; input "1" drives one gate; net 11
+        // and 16 drive two.
+        assert_eq!(s.max_fanout, 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = CircuitStats::of(&data::ripple_adder(2));
+        let text = s.to_string();
+        assert!(text.contains("gates"));
+        assert!(text.contains("XOR"));
+    }
+
+    #[test]
+    fn widest_level_bounded_by_gate_count() {
+        let nl = data::ripple_adder(6);
+        let s = CircuitStats::of(&nl);
+        assert!(s.gates_per_level_max >= 1);
+        assert!(s.gates_per_level_max <= s.gates);
+    }
+}

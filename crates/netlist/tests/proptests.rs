@@ -1,0 +1,107 @@
+//! Property-based tests for the netlist substrate's algebraic laws.
+
+use proptest::prelude::*;
+
+use iddq_netlist::separation::SeparationOracle;
+use iddq_netlist::{data, CellKind, NetlistBuilder, NodeId, TimeSet};
+
+fn times_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..500, 0..40)
+}
+
+proptest! {
+    /// Set semantics: FromIterator + iter round-trips as a sorted dedup.
+    #[test]
+    fn timeset_roundtrip(times in times_strategy()) {
+        let set: TimeSet = times.iter().copied().collect();
+        let mut want = times.clone();
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), want);
+        prop_assert_eq!(set.len(), set.iter().count());
+    }
+
+    /// Shifting distributes over membership: t ∈ S ⇔ t+δ ∈ S≫δ.
+    #[test]
+    fn timeset_shift_membership(times in times_strategy(), delta in 0u32..300) {
+        let set: TimeSet = times.iter().copied().collect();
+        let shifted = set.shifted(delta);
+        for t in set.iter() {
+            prop_assert!(shifted.contains(t + delta));
+        }
+        prop_assert_eq!(set.len(), shifted.len());
+        prop_assert_eq!(set.min().map(|t| t + delta), shifted.min());
+        prop_assert_eq!(set.max().map(|t| t + delta), shifted.max());
+    }
+
+    /// Union is commutative, associative and idempotent.
+    #[test]
+    fn timeset_union_laws(a in times_strategy(), b in times_strategy()) {
+        let sa: TimeSet = a.iter().copied().collect();
+        let sb: TimeSet = b.iter().copied().collect();
+        let mut ab = sa.clone();
+        ab.union_with(&sb);
+        let mut ba = sb.clone();
+        ba.union_with(&sa);
+        prop_assert_eq!(&ab, &ba);
+        let mut aa = sa.clone();
+        aa.union_with(&sa);
+        prop_assert_eq!(&aa, &sa);
+        // Shifted union equals union of shifts.
+        let mut left = sa.clone();
+        left.union_with_shifted(&sb, 7);
+        let mut right = sa.clone();
+        right.union_with(&sb.shifted(7));
+        prop_assert_eq!(left, right);
+    }
+
+    /// The separation oracle is a symmetric, ρ-saturated premetric on any
+    /// generated chain-with-taps circuit.
+    #[test]
+    fn separation_is_symmetric_and_saturated(n in 3usize..30, rho in 1u32..8) {
+        let mut b = NetlistBuilder::new("chain");
+        let mut prev = b.add_input("i");
+        let mut gates: Vec<NodeId> = Vec::new();
+        for k in 0..n {
+            prev = b.add_gate(format!("g{k}"), CellKind::Not, vec![prev]).unwrap();
+            gates.push(prev);
+        }
+        b.mark_output(prev);
+        let nl = b.build().unwrap();
+        let sep = SeparationOracle::new(&nl, rho);
+        for &a in &gates {
+            prop_assert_eq!(sep.distance(a, a), 0);
+            for &c in &gates {
+                let d = sep.distance(a, c);
+                prop_assert_eq!(d, sep.distance(c, a));
+                prop_assert!(d <= rho);
+                if a != c {
+                    // True chain distance, saturated.
+                    let want = (a.index() as i64 - c.index() as i64).unsigned_abs() as u32;
+                    prop_assert_eq!(d, want.min(rho));
+                }
+            }
+        }
+    }
+
+    /// Module separation equals the pairwise sum definition for arbitrary
+    /// gate subsets of c17.
+    #[test]
+    fn module_separation_matches_pairwise_sum(mask in 1u8..63) {
+        let nl = data::c17();
+        let sep = SeparationOracle::new(&nl, 5);
+        let gates: Vec<NodeId> = data::c17_paper_gates(&nl)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, g)| g)
+            .collect();
+        let mut want = 0u64;
+        for (i, &a) in gates.iter().enumerate() {
+            for &b in &gates[i + 1..] {
+                want += u64::from(sep.distance(a, b));
+            }
+        }
+        prop_assert_eq!(sep.module_separation(&gates), want);
+    }
+}

@@ -1,0 +1,468 @@
+//! IDDQ-aware resynthesis — the paper's stated next step.
+//!
+//! The conclusions of the paper: "So far only resynthesis for including
+//! BIC sensors has been considered. Next step is controlling the logic
+//! synthesis procedure such that the presented cost function is
+//! considered at the early beginning."
+//!
+//! This crate implements that step for two classic structural choices:
+//!
+//! * [`decompose`] — wide gates are decomposed into 2-input trees, either
+//!   **balanced** (minimum depth — the timing-driven default of ordinary
+//!   synthesis) or **chain** (linear). Which shape the §3.1 peak-current
+//!   estimator prefers is *not* obvious: a chain stage always keeps one
+//!   direct (early-arriving) input, so under the pessimistic
+//!   simultaneity analysis every stage of a flat wide gate is *also*
+//!   reachable at the earliest grid step and chains can pile up instead
+//!   of staggering — exactly the kind of interaction that motivates
+//!   measuring with the real cost function instead of assuming.
+//! * [`fanout_buffer`] — high-fanout nets get buffer trees, bounding the
+//!   load a single driver discharges at once.
+//! * [`cost_aware`] — evaluates the candidates under the *partitioning*
+//!   cost function of `iddq-core` and returns the cheapest, i.e. logic
+//!   synthesis steered by the IDDQ-testability objective.
+//!
+//! All transforms preserve logic function (property-tested against the
+//! 64-way simulator).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use iddq_celllib::Library;
+use iddq_core::{config::PartitionConfig, EvalContext, Evaluated, Partition};
+use iddq_netlist::{CellKind, Netlist, NetlistBuilder, NodeId};
+
+/// Topology used when a wide gate is decomposed into 2-input stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompositionStyle {
+    /// Minimum-depth tree: all leaves switch in lock-step — fast, but the
+    /// whole tree draws current at once.
+    Balanced,
+    /// Linear chain: deeper, with stage arrivals spread over many grid
+    /// steps — but each stage keeps one direct leaf input, so the
+    /// pessimistic §3.1 analysis also admits early switching for every
+    /// stage. See the crate docs for why this usually *loses* on flat
+    /// wide gates.
+    Chain,
+}
+
+/// Decomposes every gate with more than `max_fanin` inputs into a tree of
+/// `max_fanin`-input (in practice 2-input) stages of the same logic
+/// family, preserving the overall function.
+///
+/// Inverting kinds (`NAND`, `NOR`, `XNOR`) become a tree of their
+/// non-inverting base function with the inversion folded into the final
+/// stage, so the output polarity is untouched.
+///
+/// # Panics
+///
+/// Panics if `max_fanin < 2`.
+#[must_use]
+pub fn decompose(netlist: &Netlist, style: DecompositionStyle, max_fanin: usize) -> Netlist {
+    assert!(max_fanin >= 2, "stages need at least two inputs");
+    let mut b = NetlistBuilder::new(format!("{}_{}", netlist.name(), style_tag(style)));
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.node_count()];
+    let mut fresh = 0usize;
+
+    // Primary inputs keep their declaration order (the simulator and any
+    // vector set index inputs by position).
+    for &i in netlist.inputs() {
+        map[i.index()] = Some(
+            b.try_add_input(netlist.node_name(i))
+                .expect("names unique in source"),
+        );
+    }
+    for &id in netlist.topo_order() {
+        let node = netlist.node(id);
+        let name = netlist.node_name(id);
+        let new_id = match node.kind().cell_kind() {
+            None => continue,
+            Some(kind) => {
+                let fanin: Vec<NodeId> = node
+                    .fanin()
+                    .iter()
+                    .map(|f| map[f.index()].expect("topological order maps drivers first"))
+                    .collect();
+                if fanin.len() <= max_fanin {
+                    b.add_gate(name, kind, fanin).expect("source names unique")
+                } else {
+                    build_tree(&mut b, name, kind, &fanin, style, &mut fresh)
+                }
+            }
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for &o in netlist.outputs() {
+        b.mark_output(map[o.index()].expect("all nodes mapped"));
+    }
+    b.build().expect("decomposition preserves structural validity")
+}
+
+fn style_tag(style: DecompositionStyle) -> &'static str {
+    match style {
+        DecompositionStyle::Balanced => "bal",
+        DecompositionStyle::Chain => "chain",
+    }
+}
+
+/// The non-inverting base function of a kind, plus whether the final
+/// stage must invert.
+fn base_kind(kind: CellKind) -> (CellKind, bool) {
+    match kind {
+        CellKind::Nand => (CellKind::And, true),
+        CellKind::Nor => (CellKind::Or, true),
+        CellKind::Xnor => (CellKind::Xor, true),
+        other => (other, false),
+    }
+}
+
+fn build_tree(
+    b: &mut NetlistBuilder,
+    out_name: &str,
+    kind: CellKind,
+    leaves: &[NodeId],
+    style: DecompositionStyle,
+    fresh: &mut usize,
+) -> NodeId {
+    let (base, invert_last) = base_kind(kind);
+    // Reduce the leaves to exactly two operands with `base`, then emit the
+    // final (possibly inverting) 2-input stage under the original name.
+    let mut frontier: Vec<NodeId> = leaves.to_vec();
+    let intermediate = |b: &mut NetlistBuilder, fanin: Vec<NodeId>, fresh: &mut usize| {
+        *fresh += 1;
+        b.add_gate(format!("{out_name}__d{fresh}"), base, fanin)
+            .expect("generated names unique")
+    };
+    match style {
+        DecompositionStyle::Chain => {
+            // ((a ∘ b) ∘ c) ∘ d …, keeping the last two for the final
+            // stage.
+            while frontier.len() > 2 {
+                let a = frontier.remove(0);
+                let c = frontier.remove(0);
+                let g = intermediate(b, vec![a, c], fresh);
+                frontier.insert(0, g);
+            }
+        }
+        DecompositionStyle::Balanced => {
+            // Pairwise rounds until two operands remain.
+            while frontier.len() > 2 {
+                let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+                let mut it = frontier.chunks(2);
+                for chunk in &mut it {
+                    if chunk.len() == 2 {
+                        next.push(intermediate(b, vec![chunk[0], chunk[1]], fresh));
+                    } else {
+                        next.push(chunk[0]);
+                    }
+                }
+                frontier = next;
+            }
+        }
+    }
+    let final_kind = if invert_last {
+        match base {
+            CellKind::And => CellKind::Nand,
+            CellKind::Or => CellKind::Nor,
+            CellKind::Xor => CellKind::Xnor,
+            _ => unreachable!("inverting kinds reduce to And/Or/Xor"),
+        }
+    } else {
+        base
+    };
+    b.add_gate(out_name, final_kind, frontier)
+        .expect("source names unique")
+}
+
+/// Inserts buffer trees on nets driving more than `max_fanout` consumers,
+/// splitting the load into groups.
+///
+/// Primary-output markers stay on the original net (observability is
+/// unchanged); only gate fan-ins are rerouted through the buffers.
+///
+/// # Panics
+///
+/// Panics if `max_fanout == 0`.
+#[must_use]
+pub fn fanout_buffer(netlist: &Netlist, max_fanout: usize) -> Netlist {
+    assert!(max_fanout > 0, "fanout bound must be positive");
+    let mut b = NetlistBuilder::new(format!("{}_buf", netlist.name()));
+    let mut map: Vec<Option<NodeId>> = vec![None; netlist.node_count()];
+    // Per original node: the rotation of buffer copies consumers draw
+    // from ([0] is the original node itself).
+    let mut taps: Vec<Vec<NodeId>> = vec![Vec::new(); netlist.node_count()];
+    let mut served: Vec<usize> = vec![0; netlist.node_count()];
+
+    for &i in netlist.inputs() {
+        map[i.index()] = Some(
+            b.try_add_input(netlist.node_name(i)).expect("names unique"),
+        );
+    }
+    for &id in netlist.topo_order() {
+        let node = netlist.node(id);
+        let name = netlist.node_name(id);
+        let new_id = match node.kind().cell_kind() {
+            None => {
+                // Input already added; still set up its fanout taps below.
+                map[id.index()].expect("inputs pre-mapped")
+            }
+            Some(kind) => {
+                let fanin: Vec<NodeId> = node
+                    .fanin()
+                    .iter()
+                    .map(|f| {
+                        let fi = f.index();
+                        let tap_list = &taps[fi];
+                        let tap = tap_list[(served[fi] / max_fanout) % tap_list.len()];
+                        served[fi] += 1;
+                        tap
+                    })
+                    .collect();
+                b.add_gate(name, kind, fanin).expect("names unique")
+            }
+        };
+        map[id.index()] = Some(new_id);
+        // Prepare taps: original plus ⌈fanout/max⌉−1 buffers.
+        let fanout = netlist.fanout(id).len();
+        let mut tap_list = vec![new_id];
+        if fanout > max_fanout {
+            let extra = fanout.div_ceil(max_fanout) - 1;
+            for k in 0..extra {
+                let buf = b
+                    .add_gate(format!("{name}__buf{k}"), CellKind::Buf, vec![new_id])
+                    .expect("generated names unique");
+                tap_list.push(buf);
+            }
+        }
+        taps[id.index()] = tap_list;
+    }
+    for &o in netlist.outputs() {
+        b.mark_output(map[o.index()].expect("all nodes mapped"));
+    }
+    b.build().expect("buffering preserves structural validity")
+}
+
+/// Outcome of [`cost_aware`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResynthesisReport {
+    /// Single-module partition cost of the original netlist.
+    pub original_cost: f64,
+    /// … of the balanced decomposition.
+    pub balanced_cost: f64,
+    /// … of the chain decomposition.
+    pub chain_cost: f64,
+    /// Which candidate won.
+    pub chosen: Candidate,
+}
+
+/// The candidate netlists [`cost_aware`] arbitrates between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Candidate {
+    /// Keep the original structure.
+    Original,
+    /// Balanced 2-input decomposition.
+    Balanced,
+    /// Chain 2-input decomposition.
+    Chain,
+}
+
+/// Synthesis steered by the IDDQ cost function: decompose both ways,
+/// score every candidate with the paper's cost model (single-module
+/// evaluation — the partition-independent part of the objective) and
+/// return the winner.
+#[must_use]
+pub fn cost_aware(
+    netlist: &Netlist,
+    library: &Library,
+    config: &PartitionConfig,
+) -> (Netlist, ResynthesisReport) {
+    let balanced = decompose(netlist, DecompositionStyle::Balanced, 2);
+    let chain = decompose(netlist, DecompositionStyle::Chain, 2);
+    let score = |nl: &Netlist| {
+        let ctx = EvalContext::new(nl, library, config.clone());
+        Evaluated::new(&ctx, Partition::single_module(nl)).total_cost()
+    };
+    let original_cost = score(netlist);
+    let balanced_cost = score(&balanced);
+    let chain_cost = score(&chain);
+    let (chosen, out) = if chain_cost <= balanced_cost && chain_cost <= original_cost {
+        (Candidate::Chain, chain)
+    } else if balanced_cost <= original_cost {
+        (Candidate::Balanced, balanced)
+    } else {
+        (Candidate::Original, netlist.clone())
+    };
+    (
+        out,
+        ResynthesisReport { original_cost, balanced_cost, chain_cost, chosen },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_logicsim::Simulator;
+    use iddq_netlist::data;
+
+    /// Logic equivalence of two netlists over packed pseudo-random
+    /// vectors, matching outputs by name.
+    fn assert_equivalent(a: &Netlist, b: &Netlist) {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert_eq!(a.num_outputs(), b.num_outputs());
+        let sim_a = Simulator::new(a);
+        let sim_b = Simulator::new(b);
+        for round in 0u64..4 {
+            let inputs: Vec<u64> = (0..a.num_inputs() as u64)
+                .map(|i| (round + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left((i % 63) as u32))
+                .collect();
+            let va = sim_a.eval(&inputs);
+            let vb = sim_b.eval(&inputs);
+            for &o in a.outputs() {
+                let ob = b.find(a.node_name(o)).expect("outputs share names");
+                assert_eq!(va[o.index()], vb[ob.index()], "output {}", a.node_name(o));
+            }
+        }
+    }
+
+    fn wide_gate_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("wide");
+        let ins: Vec<NodeId> = (0..6).map(|i| b.add_input(format!("i{i}"))).collect();
+        let n = b.add_gate("n6", CellKind::Nand, ins.clone()).unwrap();
+        let o = b.add_gate("o5", CellKind::Nor, ins[..5].to_vec()).unwrap();
+        let x = b.add_gate("x6", CellKind::Xnor, ins.clone()).unwrap();
+        let a = b.add_gate("a4", CellKind::And, ins[2..6].to_vec()).unwrap();
+        for g in [n, o, x, a] {
+            b.mark_output(g);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn balanced_decomposition_preserves_logic() {
+        let nl = wide_gate_circuit();
+        let dec = decompose(&nl, DecompositionStyle::Balanced, 2);
+        assert_equivalent(&nl, &dec);
+        // All gates now 2-input.
+        for g in dec.gate_ids() {
+            assert!(dec.node(g).fanin().len() <= 2);
+        }
+    }
+
+    #[test]
+    fn chain_decomposition_preserves_logic() {
+        let nl = wide_gate_circuit();
+        let dec = decompose(&nl, DecompositionStyle::Chain, 2);
+        assert_equivalent(&nl, &dec);
+    }
+
+    #[test]
+    fn chain_is_deeper_than_balanced() {
+        let nl = wide_gate_circuit();
+        let bal = decompose(&nl, DecompositionStyle::Balanced, 2);
+        let ch = decompose(&nl, DecompositionStyle::Chain, 2);
+        assert!(
+            iddq_netlist::levelize::depth(&ch) > iddq_netlist::levelize::depth(&bal),
+            "chains trade depth for staggered switching"
+        );
+        assert_eq!(bal.gate_count(), ch.gate_count(), "same stage count either way");
+    }
+
+    #[test]
+    fn narrow_gates_untouched() {
+        let nl = data::c17(); // all NAND2
+        let dec = decompose(&nl, DecompositionStyle::Balanced, 2);
+        assert_eq!(dec.gate_count(), nl.gate_count());
+        assert_equivalent(&nl, &dec);
+    }
+
+    #[test]
+    fn generated_circuit_decomposition_equivalence() {
+        let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
+        let nl = iddq_gen::iscas::generate(p, 5);
+        for style in [DecompositionStyle::Balanced, DecompositionStyle::Chain] {
+            let dec = decompose(&nl, style, 2);
+            assert_equivalent(&nl, &dec);
+        }
+    }
+
+    #[test]
+    fn fanout_buffering_preserves_logic_and_bounds_fanout() {
+        let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
+        let nl = iddq_gen::iscas::generate(p, 8);
+        let buffered = fanout_buffer(&nl, 4);
+        assert_equivalent(&nl, &buffered);
+        for id in buffered.node_ids() {
+            // Original nets now drive at most max_fanout gates... modulo
+            // their buffer taps, which share the load.
+            let gate_fanout = buffered
+                .fanout(id)
+                .iter()
+                .filter(|f| {
+                    buffered.node(**f).kind().cell_kind() != Some(CellKind::Buf)
+                        || !buffered.node_name(**f).contains("__buf")
+                })
+                .count();
+            assert!(gate_fanout <= 4 + 1, "net {} over-loaded", buffered.node_name(id));
+        }
+    }
+
+    #[test]
+    fn pessimistic_estimator_penalizes_chains_on_flat_gates() {
+        // Every chain stage keeps a direct primary-input fan-in, so the
+        // §3.1 union-over-paths analysis lets *all* stages switch at the
+        // earliest grid step too — the chain accumulates both the early
+        // pile-up and the staggered copies, and the balanced tree wins.
+        // This is the measured fact the cost-aware chooser relies on.
+        let mut b = NetlistBuilder::new("trees");
+        let ins: Vec<NodeId> = (0..8).map(|i| b.add_input(format!("i{i}"))).collect();
+        for k in 0..24 {
+            let g = b
+                .add_gate(format!("w{k}"), CellKind::Nand, ins.clone())
+                .unwrap();
+            b.mark_output(g);
+        }
+        let nl = b.build().unwrap();
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let peak = |nl: &Netlist| {
+            let ctx = EvalContext::new(nl, &lib, cfg.clone());
+            let gates: Vec<NodeId> = nl.gate_ids().collect();
+            Evaluated::stats_for(&ctx, &gates).peak_current_ua
+        };
+        let bal = decompose(&nl, DecompositionStyle::Balanced, 2);
+        let ch = decompose(&nl, DecompositionStyle::Chain, 2);
+        assert!(
+            peak(&ch) > peak(&bal),
+            "flat-gate chain {} expected to exceed balanced {}",
+            peak(&ch),
+            peak(&bal)
+        );
+    }
+
+    #[test]
+    fn cost_aware_picks_a_candidate_and_preserves_logic() {
+        let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
+        let nl = iddq_gen::iscas::generate(p, 2);
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let (out, report) = cost_aware(&nl, &lib, &cfg);
+        let best = report
+            .original_cost
+            .min(report.balanced_cost)
+            .min(report.chain_cost);
+        let chosen_cost = match report.chosen {
+            Candidate::Original => report.original_cost,
+            Candidate::Balanced => report.balanced_cost,
+            Candidate::Chain => report.chain_cost,
+        };
+        assert_eq!(chosen_cost, best);
+        assert_equivalent(&nl, &out);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two inputs")]
+    fn max_fanin_one_panics() {
+        let nl = data::c17();
+        let _ = decompose(&nl, DecompositionStyle::Balanced, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Electrical design-space exploration of the BIC sensor itself.
+//!
+//! ```text
+//! cargo run --release --example sensor_sizing
+//! ```
+//!
+//! Sweeps the virtual-rail perturbation limit `r*` (the paper quotes
+//! 100–300 mV as typical) for one module and shows the trade-off the
+//! partitioner's cost function encodes: a tighter rail budget needs a
+//! wider bypass device (smaller `R_s`), which costs area but shortens the
+//! sensor time constant. The closed-form delay-degradation model δ is
+//! cross-checked against the RK4 transient reference at every point —
+//! the validation the original authors did with SPICE.
+
+use iddq::analog::network::{delay_degradation, SwitchNetwork};
+use iddq::bic::sizing::{size_sensor, SizingSpec};
+use iddq::celllib::Library;
+use iddq::core::{config::PartitionConfig, EvalContext, Evaluated, Partition};
+use iddq::gen::iscas::{self, IscasProfile};
+
+fn main() {
+    // One representative module: half of a c432-class circuit.
+    let profile = IscasProfile::by_name("c432").expect("known");
+    let cut = iscas::generate(profile, 3);
+    let library = Library::generic_1um();
+    let ctx = EvalContext::new(&cut, &library, PartitionConfig::paper_default());
+    let gates: Vec<_> = cut.gate_ids().collect();
+    let half: Vec<_> = gates[..gates.len() / 2].to_vec();
+    let stats = Evaluated::stats_for(&ctx, &half);
+    println!(
+        "module under study: {} gates, i_dd_max = {:.0} uA, Cs = {:.0} fF, peak activity n = {}",
+        half.len(),
+        stats.peak_current_ua,
+        stats.rail_cap_ff,
+        stats.peak_activity
+    );
+
+    // Representative gate electrical figures for the δ model.
+    let rg_kohm = 1.8;
+    let cg_ff = 60.0;
+
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "r* (mV)", "Rs (ohm)", "area", "tau (ps)", "delta-fast", "delta-RK4", "err %"
+    );
+    for r_star in [100.0, 150.0, 200.0, 250.0, 300.0] {
+        let spec = SizingSpec { r_star_mv: r_star, ..SizingSpec::paper_default() };
+        let sensor = size_sensor(
+            stats.peak_current_ua,
+            stats.rail_cap_ff,
+            &spec,
+            library.technology(),
+        )
+        .expect("module sizeable across the r* sweep");
+
+        let fast = delay_degradation(
+            f64::from(stats.peak_activity),
+            sensor.rs_ohm,
+            stats.rail_cap_ff,
+            rg_kohm,
+            cg_ff,
+        );
+        let net = SwitchNetwork {
+            n: f64::from(stats.peak_activity),
+            rs_ohm: sensor.rs_ohm,
+            cs_ff: stats.rail_cap_ff,
+            rg_kohm,
+            cg_ff,
+            vdd_v: library.technology().vdd_v,
+        };
+        let reference = net.delay_ps() / net.nominal_delay_ps();
+        println!(
+            "{:>8.0} {:>10.2} {:>12.3e} {:>10.1} {:>12.4} {:>12.4} {:>10.2}",
+            r_star,
+            sensor.rs_ohm,
+            sensor.area,
+            sensor.tau_ps(),
+            fast,
+            reference,
+            (fast - reference).abs() / reference * 100.0
+        );
+    }
+
+    // The partition-level view: how the whole-CUT cost reacts to r*.
+    println!("\nwhole-CUT cost sensitivity to r*:");
+    for r_star in [100.0, 200.0, 300.0] {
+        let mut cfg = PartitionConfig::paper_default();
+        cfg.sizing.r_star_mv = r_star;
+        let ctx = EvalContext::new(&cut, &library, cfg);
+        let eval = Evaluated::new(&ctx, Partition::single_module(&cut));
+        let c = eval.cost();
+        println!(
+            "  r* = {r_star:>3.0} mV: sensor area {:.3e}, delay overhead {:.3e}, per-vector {:.1} ns",
+            c.sensor_area,
+            c.c2_delay,
+            c.vector_time_ps / 1000.0
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Facade crate re-exporting the whole IDDQ-testability workspace.
+//!
+//! Reproduction of Wunderlich et al., "Synthesis of IDDQ-Testable
+//! Circuits: Integrating Built-In Current Sensors" (DATE 1995).
+//!
+//! See the individual crates for details:
+//! [`netlist`], [`celllib`], [`gen`], [`logicsim`], [`analog`], [`bic`],
+//! [`atpg`] and [`core`] (the paper's partitioning contribution).
+
+pub use iddq_analog as analog;
+pub use iddq_atpg as atpg;
+pub use iddq_bic as bic;
+pub use iddq_celllib as celllib;
+pub use iddq_core as core;
+pub use iddq_gen as gen;
+pub use iddq_logicsim as logicsim;
+pub use iddq_netlist as netlist;
+pub use iddq_synth as synth;

@@ -1,0 +1,162 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use iddq::celllib::Library;
+use iddq::core::{config::PartitionConfig, standard, EvalContext, Evaluated};
+use iddq::gen::iscas::{self, IscasProfile};
+use iddq::logicsim::Simulator;
+use iddq::netlist::{bench, data, levelize};
+
+fn small_circuit(seed: u64) -> iddq::netlist::Netlist {
+    let profile = IscasProfile::by_name("c432").unwrap();
+    iscas::generate(profile, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any generated circuit survives a `.bench` round trip with identical
+    /// structure.
+    #[test]
+    fn bench_roundtrip_structure(seed in 0u64..1000) {
+        let nl = small_circuit(seed);
+        let text = bench::to_bench(&nl);
+        let back = bench::parse("rt", &text).unwrap();
+        prop_assert_eq!(back.gate_count(), nl.gate_count());
+        prop_assert_eq!(back.num_inputs(), nl.num_inputs());
+        prop_assert_eq!(back.num_outputs(), nl.num_outputs());
+        for id in nl.node_ids() {
+            let other = back.find(nl.node_name(id)).unwrap();
+            prop_assert_eq!(back.node(other).kind(), nl.node(id).kind());
+            prop_assert_eq!(back.node(other).fanin().len(), nl.node(id).fanin().len());
+        }
+    }
+
+    /// The incremental evaluator never drifts from a from-scratch
+    /// evaluation, no matter the move sequence.
+    #[test]
+    fn incremental_eval_matches_fresh(seed in 0u64..500, moves in prop::collection::vec((0usize..4096, 0usize..8), 1..60)) {
+        let nl = data::ripple_adder(10);
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let gates: Vec<_> = nl.gate_ids().collect();
+        let k = 4;
+        let sizes = standard::equal_sizes(gates.len(), k);
+        let start = standard::standard_partition(&ctx, &sizes);
+        let mut eval = Evaluated::new(&ctx, start);
+        let _ = seed;
+        for (gi, t) in moves {
+            let gate = gates[gi % gates.len()];
+            let target = t % eval.partition().module_count();
+            eval.move_gate(gate, target);
+        }
+        eval.verify_consistency();
+        let fresh = Evaluated::new(&ctx, eval.partition().clone());
+        let a = eval.cost();
+        let b = fresh.cost();
+        prop_assert!((a.c1_area - b.c1_area).abs() < 1e-9);
+        prop_assert!((a.c2_delay - b.c2_delay).abs() < 1e-9);
+        prop_assert!((a.c3_interconnect - b.c3_interconnect).abs() < 1e-9);
+        prop_assert!((a.c4_test_time - b.c4_test_time).abs() < 1e-9);
+        prop_assert_eq!(a.c5_modules as usize, b.c5_modules as usize);
+        prop_assert_eq!(a.violations, b.violations);
+    }
+
+    /// The §3.1 peak-current estimator is a true upper bound: for any pair
+    /// of vectors, the gates that actually change value — each placed at
+    /// one of its legal transition times — never out-draw the estimate.
+    #[test]
+    fn peak_current_estimate_is_pessimistic(seed in 0u64..200, v1 in any::<u64>(), v2 in any::<u64>()) {
+        let nl = small_circuit(seed % 7);
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let all_gates: Vec<_> = nl.gate_ids().collect();
+        let stats = Evaluated::stats_for(&ctx, &all_gates);
+
+        let sim = Simulator::new(&nl);
+        let ins1: Vec<u64> = (0..nl.num_inputs() as u64).map(|i| v1.rotate_left(i as u32)).collect();
+        let ins2: Vec<u64> = (0..nl.num_inputs() as u64).map(|i| v2.rotate_left(i as u32)).collect();
+        let a = sim.eval(&ins1);
+        let b = sim.eval(&ins2);
+
+        // Place each switching gate at its latest legal transition time.
+        let mut actual = vec![0.0f64; ctx.horizon];
+        for &g in &all_gates {
+            if (a[g.index()] ^ b[g.index()]) & 1 != 0 {
+                let t = ctx.times[g.index()].max().unwrap() as usize;
+                actual[t] += ctx.tables.peak_current_ua[g.index()];
+            }
+        }
+        for (t, &cur) in actual.iter().enumerate() {
+            prop_assert!(cur <= stats.current_hist[t] + 1e-9, "time {t}");
+        }
+        let actual_peak = actual.iter().copied().fold(0.0, f64::max);
+        prop_assert!(actual_peak <= stats.peak_current_ua + 1e-9);
+    }
+
+    /// Partition invariants hold under arbitrary valid move sequences.
+    #[test]
+    fn partition_moves_preserve_invariants(moves in prop::collection::vec((0usize..64, 0usize..6), 1..40)) {
+        let nl = data::ripple_adder(6);
+        let gates: Vec<_> = nl.gate_ids().collect();
+        let sizes = standard::equal_sizes(gates.len(), 3);
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let mut p = standard::standard_partition(&ctx, &sizes);
+        for (gi, t) in moves {
+            let gate = gates[gi % gates.len()];
+            let target = t % p.module_count();
+            p.move_gate(gate, target);
+            p.validate(&nl).unwrap();
+        }
+        // All gates still covered exactly once.
+        let total: usize = p.module_sizes().iter().sum();
+        prop_assert_eq!(total, gates.len());
+    }
+
+    /// Transition-time sets respect path structure: a gate's earliest
+    /// transition is at least its shortest-path gate depth (every grid
+    /// delay ≥ 1) and its latest is exactly the weighted longest path.
+    #[test]
+    fn transition_times_bounded_by_path_depths(seed in 0u64..100) {
+        let nl = small_circuit(seed % 5);
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        // Shortest-path gate depth: 1 + min over fan-ins.
+        let mut min_depth = vec![0u32; nl.node_count()];
+        for &id in nl.topo_order() {
+            let node = nl.node(id);
+            if node.kind().is_gate() {
+                min_depth[id.index()] = 1 + node
+                    .fanin()
+                    .iter()
+                    .map(|f| min_depth[f.index()])
+                    .min()
+                    .unwrap_or(0);
+            }
+        }
+        let grid_f64: Vec<f64> = ctx.tables.grid_delay.iter().map(|&d| f64::from(d)).collect();
+        let arrivals = levelize::longest_path(&nl, &grid_f64);
+        for g in nl.gate_ids() {
+            let min_t = ctx.times[g.index()].min().unwrap();
+            let max_t = ctx.times[g.index()].max().unwrap();
+            prop_assert!(min_t >= min_depth[g.index()]);
+            prop_assert_eq!(f64::from(max_t), arrivals[g.index()]);
+        }
+    }
+
+    /// Sensor sizing is antitone in peak current (more current → smaller
+    /// resistance → larger area) across the library's operating range.
+    #[test]
+    fn sizing_monotonicity(i1 in 10.0f64..1e5, i2 in 10.0f64..1e5) {
+        use iddq::bic::sizing::{size_sensor, SizingSpec};
+        let tech = iddq::celllib::Technology::generic_1um();
+        let spec = SizingSpec::paper_default();
+        let (lo, hi) = if i1 < i2 { (i1, i2) } else { (i2, i1) };
+        let a = size_sensor(lo, 100.0, &spec, &tech).unwrap();
+        let b = size_sensor(hi, 100.0, &spec, &tech).unwrap();
+        prop_assert!(b.rs_ohm <= a.rs_ohm);
+        prop_assert!(b.area >= a.area);
+    }
+}
