@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: formatting, lints, build, full test suite, and a
+# sub-second perf smoke of the simulation kernel (which also regenerates
+# BENCH_sim.json and fails if the c7552 CSR/wide speedup regresses below
+# the 3x acceptance threshold).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test (workspace)"
+cargo test --workspace -q
+
+echo "== perf smoke"
+cargo run --release -q -p iddq-bench --bin bench -- --smoke --out BENCH_sim.json
+
+echo "CI OK"

@@ -106,7 +106,8 @@ impl SwitchNetwork {
             let r_eff_kohm = self.rg_kohm + self.n * self.rs_ohm / 1000.0;
             return std::f64::consts::LN_2 * r_eff_kohm * self.cg_ff;
         }
-        let horizon = 200.0 * self.gate_rc_ps() * (1.0 + self.n * self.rs_ohm / (self.rg_kohm * 1000.0));
+        let horizon =
+            200.0 * self.gate_rc_ps() * (1.0 + self.n * self.rs_ohm / (self.rg_kohm * 1000.0));
         let dt = self.gate_rc_ps().min(self.rail_rc_ps() * 4.0) / 400.0;
         first_crossing(
             [self.vdd_v, 0.0],
@@ -132,10 +133,16 @@ impl SwitchNetwork {
         let horizon = 40.0 * self.gate_rc_ps().max(self.rail_rc_ps());
         let dt = (self.gate_rc_ps().min(self.rail_rc_ps() * 4.0) / 400.0).min(horizon / 4_000.0);
         let mut peak = 0.0f64;
-        rk4([self.vdd_v, 0.0], dt, horizon, self.derivatives(), |_, y| {
-            peak = peak.max(y[1]);
-            true
-        });
+        rk4(
+            [self.vdd_v, 0.0],
+            dt,
+            horizon,
+            self.derivatives(),
+            |_, y| {
+                peak = peak.max(y[1]);
+                true
+            },
+        );
         peak
     }
 
@@ -279,7 +286,10 @@ mod tests {
     #[test]
     fn transient_rail_peak_bounded_by_quasi_static() {
         for cs in [50.0, 500.0, 5000.0] {
-            let net = SwitchNetwork { cs_ff: cs, ..base() };
+            let net = SwitchNetwork {
+                cs_ff: cs,
+                ..base()
+            };
             let peak = net.peak_rail_perturbation_v();
             assert!(peak <= net.quasi_static_rail_v() * 1.02, "cs={cs}");
             assert!(peak > 0.0);
@@ -289,7 +299,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn invalid_parameters_panic() {
-        let net = SwitchNetwork { rs_ohm: -1.0, ..base() };
+        let net = SwitchNetwork {
+            rs_ohm: -1.0,
+            ..base()
+        };
         let _ = net.delay_ps();
     }
 }

@@ -141,8 +141,14 @@ mod tests {
 
     #[test]
     fn margin_lengthens_decay() {
-        let tight = DecayModel { margin: 0.01, ..DecayModel::default() };
-        let loose = DecayModel { margin: 0.5, ..DecayModel::default() };
+        let tight = DecayModel {
+            margin: 0.01,
+            ..DecayModel::default()
+        };
+        let loose = DecayModel {
+            margin: 0.5,
+            ..DecayModel::default()
+        };
         assert!(tight.delta_ps(100.0, 100.0, 1.0) > loose.delta_ps(100.0, 100.0, 1.0));
     }
 

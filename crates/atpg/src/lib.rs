@@ -34,7 +34,7 @@ use rand::{Rng, SeedableRng};
 
 use iddq_logicsim::faults::IddqFault;
 use iddq_logicsim::Simulator;
-use iddq_netlist::Netlist;
+use iddq_netlist::{Netlist, PackedWord, W256};
 
 /// Generation parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,9 +74,11 @@ pub struct TestSet {
 ///
 /// Deterministic for a fixed `(netlist, faults, config, seed)`.
 ///
-/// The inner loop fault-simulates 64 random patterns at a time and keeps,
-/// per batch, the patterns that activate at least one not-yet-covered
-/// fault (greedy first-fit compaction, scanning patterns in index order).
+/// The inner loop fault-simulates 256 random patterns at a time (one
+/// [`W256`] sweep of the CSR-compiled simulator, into reused buffers) and
+/// keeps, per batch, the patterns that activate at least one
+/// not-yet-covered fault (greedy first-fit compaction, scanning patterns
+/// in index order).
 #[must_use]
 pub fn generate(
     netlist: &Netlist,
@@ -91,6 +93,9 @@ pub fn generate(
     let mut vectors: Vec<Vec<bool>> = Vec::new();
     let mut remaining = faults.len();
     let mut stagnant = 0usize;
+    let mut words = vec![W256::zeros(); num_inputs];
+    let mut values = vec![W256::zeros(); sim.node_count()];
+    let mut masks: Vec<(usize, W256)> = Vec::new();
 
     for _batch in 0..config.max_batches {
         if faults.is_empty()
@@ -99,21 +104,24 @@ pub fn generate(
         {
             break;
         }
-        let words: Vec<u64> = (0..num_inputs).map(|_| rng.gen()).collect();
-        let values = sim.eval(&words);
+        for w in &mut words {
+            *w = W256::from_limbs(|_| rng.gen());
+        }
+        sim.eval_into(&words, &mut values);
         // Activation masks of still-uncovered faults.
-        let masks: Vec<(usize, u64)> = faults
-            .iter()
-            .enumerate()
-            .filter(|(fi, _)| !activated[*fi])
-            .map(|(fi, f)| (fi, f.activation(netlist, &values)))
-            .collect();
+        masks.clear();
+        masks.extend(
+            faults
+                .iter()
+                .enumerate()
+                .filter(|(fi, _)| !activated[*fi])
+                .map(|(fi, f)| (fi, f.activation(netlist, &values))),
+        );
         let mut batch_progress = false;
-        for k in 0..64u32 {
-            let bit = 1u64 << k;
+        for k in 0..W256::LANES {
             let mut keep = false;
             for &(fi, mask) in &masks {
-                if !activated[fi] && mask & bit != 0 {
+                if !activated[fi] && mask.bit(k) {
                     activated[fi] = true;
                     remaining -= 1;
                     keep = true;
@@ -121,7 +129,7 @@ pub fn generate(
             }
             if keep {
                 batch_progress = true;
-                vectors.push((0..num_inputs).map(|i| words[i] & bit != 0).collect());
+                vectors.push((0..num_inputs).map(|i| words[i].bit(k)).collect());
             }
         }
         stagnant = if batch_progress { 0 } else { stagnant + 1 };
@@ -132,7 +140,11 @@ pub fn generate(
     } else {
         activated.iter().filter(|&&a| a).count() as f64 / faults.len() as f64
     };
-    TestSet { vectors, coverage, activated }
+    TestSet {
+        vectors,
+        coverage,
+        activated,
+    }
 }
 
 /// Estimates a test-set *size* without keeping the vectors — the
@@ -216,8 +228,13 @@ mod tests {
     fn hard_batch_cap_respected() {
         let nl = data::ripple_adder(4);
         let faults = universe(&nl, 8);
-        let cfg = AtpgConfig { max_batches: 1, ..AtpgConfig::default() };
+        let cfg = AtpgConfig {
+            max_batches: 1,
+            ..AtpgConfig::default()
+        };
         let t = generate(&nl, &faults, &cfg, 8);
-        assert!(t.vectors.len() <= 64);
+        // One batch is one 256-wide sweep, and compaction can keep at most
+        // one vector per newly covered fault.
+        assert!(t.vectors.len() <= 256.min(faults.len()));
     }
 }

@@ -37,7 +37,9 @@ fn bench_chain_start(c: &mut Criterion) {
         let p = IscasProfile::by_name(name).expect("known circuit");
         let nl = table1_circuit(p);
         let ctx = EvalContext::new(&nl, &lib, cfg.clone());
-        let size = start::estimate_module_size(&ctx).min(nl.gate_count() / 2).max(1);
+        let size = start::estimate_module_size(&ctx)
+            .min(nl.gate_count() / 2)
+            .max(1);
         group.bench_with_input(BenchmarkId::from_parameter(name), &ctx, |b, ctx| {
             b.iter(|| start::chain_partition(ctx, size, 3));
         });
@@ -60,5 +62,10 @@ fn bench_context_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_short_run, bench_chain_start, bench_context_build);
+criterion_group!(
+    benches,
+    bench_short_run,
+    bench_chain_start,
+    bench_context_build
+);
 criterion_main!(benches);

@@ -1,5 +1,6 @@
-//! Substrate throughput: 64-way parallel logic simulation, IDDQ fault
-//! simulation, ATPG and the analog transient solver.
+//! Substrate throughput: wide-word parallel logic simulation (naive
+//! baseline vs CSR kernel vs 256-bit lanes), IDDQ fault simulation, ATPG
+//! and the analog transient solver.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -8,18 +9,61 @@ use iddq_atpg::AtpgConfig;
 use iddq_bench::table1_circuit;
 use iddq_gen::iscas::IscasProfile;
 use iddq_logicsim::faults::{enumerate, FaultUniverseConfig};
+use iddq_logicsim::reference::NaiveSimulator;
 use iddq_logicsim::Simulator;
+use iddq_netlist::{PackedWord, W256};
 
-fn bench_logic_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("logic_sim_64_patterns");
-    for name in ["c432", "c1908", "c7552"] {
+const SIM_CIRCUITS: [&str; 3] = ["c432", "c1908", "c7552"];
+
+/// Pre-CSR baseline: per-gate `Vec` program, fresh allocation per batch.
+fn bench_logic_sim_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_sim_naive_64_patterns");
+    for name in SIM_CIRCUITS {
         let p = IscasProfile::by_name(name).expect("known circuit");
         let nl = table1_circuit(p);
-        let sim = Simulator::new(&nl);
-        let inputs: Vec<u64> = (0..nl.num_inputs() as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+        let sim = NaiveSimulator::new(&nl);
+        let inputs: Vec<u64> = (0..nl.num_inputs() as u64)
+            .map(|i| i.wrapping_mul(0x9e37))
+            .collect();
         group.throughput(Throughput::Elements(64));
         group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
             b.iter(|| sim.eval(&inputs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_logic_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_sim_csr_64_patterns");
+    for name in SIM_CIRCUITS {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        let sim = Simulator::new(&nl);
+        let inputs: Vec<u64> = (0..nl.num_inputs() as u64)
+            .map(|i| i.wrapping_mul(0x9e37))
+            .collect();
+        let mut values = vec![0u64; sim.node_count()];
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
+            b.iter(|| sim.eval_into(&inputs, &mut values));
+        });
+    }
+    group.finish();
+}
+
+fn bench_logic_sim_wide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_sim_csr_256_patterns");
+    for name in SIM_CIRCUITS {
+        let p = IscasProfile::by_name(name).expect("known circuit");
+        let nl = table1_circuit(p);
+        let sim = Simulator::new(&nl);
+        let inputs: Vec<W256> = (0..nl.num_inputs() as u64)
+            .map(|i| W256::from_limbs(|l| (i + 1).wrapping_mul(0x9e37 + l as u64)))
+            .collect();
+        let mut values = vec![W256::zeros(); sim.node_count()];
+        group.throughput(Throughput::Elements(256));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
+            b.iter(|| sim.eval_into(&inputs, &mut values));
         });
     }
     group.finish();
@@ -70,7 +114,9 @@ fn bench_transient(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_logic_sim_naive,
     bench_logic_sim,
+    bench_logic_sim_wide,
     bench_fault_enumeration,
     bench_atpg,
     bench_transient

@@ -39,8 +39,14 @@ fn main() {
     let ctx = EvalContext::new(&nl, &lib, cfg);
 
     let partitions = [
-        ("Partition 1 (rows: staggered switching)", array::row_partition(&nl, rows, cols)),
-        ("Partition 2 (columns: simultaneous switching)", array::col_partition(&nl, rows, cols)),
+        (
+            "Partition 1 (rows: staggered switching)",
+            array::row_partition(&nl, rows, cols),
+        ),
+        (
+            "Partition 2 (columns: simultaneous switching)",
+            array::col_partition(&nl, rows, cols),
+        ),
     ];
 
     println!("== Figure 2: group shape vs BIC sensor area ({rows}x{cols} array) ==");
@@ -54,8 +60,8 @@ fn main() {
             .iter()
             .map(|s| s.peak_current_ua)
             .fold(0.0f64, f64::max);
-        let peak_mean = e.stats().iter().map(|s| s.peak_current_ua).sum::<f64>()
-            / e.stats().len() as f64;
+        let peak_mean =
+            e.stats().iter().map(|s| s.peak_current_ua).sum::<f64>() / e.stats().len() as f64;
         println!("\n{label}");
         println!("  groups:                 {}", e.stats().len());
         println!("  mean group i_dd_max:    {peak_mean:.0} uA");

@@ -64,10 +64,22 @@ fn main() {
 
     println!("== Figures 3-5: the paper's C17 mutation trace ==");
     let steps: Vec<(&str, Vec<Vec<NodeId>>)> = vec![
-        ("P1 {(1,5)(2,3)(4,6)}", vec![vec![g[0], g[4]], vec![g[1], g[2]], vec![g[3], g[5]]]),
-        ("P2 {(1,5)(2,3,4)(6)}", vec![vec![g[0], g[4]], vec![g[1], g[2], g[3]], vec![g[5]]]),
-        ("P3 {(1,5)(2,4)(3,6)}", vec![vec![g[0], g[4]], vec![g[1], g[3]], vec![g[2], g[5]]]),
-        ("Pf {(1,3,5)(2,4,6)}", vec![vec![g[0], g[2], g[4]], vec![g[1], g[3], g[5]]]),
+        (
+            "P1 {(1,5)(2,3)(4,6)}",
+            vec![vec![g[0], g[4]], vec![g[1], g[2]], vec![g[3], g[5]]],
+        ),
+        (
+            "P2 {(1,5)(2,3,4)(6)}",
+            vec![vec![g[0], g[4]], vec![g[1], g[2], g[3]], vec![g[5]]],
+        ),
+        (
+            "P3 {(1,5)(2,4)(3,6)}",
+            vec![vec![g[0], g[4]], vec![g[1], g[3]], vec![g[2], g[5]]],
+        ),
+        (
+            "Pf {(1,3,5)(2,4,6)}",
+            vec![vec![g[0], g[2], g[4]], vec![g[1], g[3], g[5]]],
+        ),
     ];
     let mut costs = Vec::new();
     for (label, groups) in &steps {
@@ -105,13 +117,24 @@ fn main() {
         names.join(" ")
     };
     println!("\nenumerated {count} partitions of C17");
-    println!("global optimum: {} at cost {best_cost:.1}", fmt(&best_parts));
-    println!("paper's  Pf:    {} at cost {:.1}", fmt(&steps[3].1), costs[3]);
+    println!(
+        "global optimum: {} at cost {best_cost:.1}",
+        fmt(&best_parts)
+    );
+    println!(
+        "paper's  Pf:    {} at cost {:.1}",
+        fmt(&steps[3].1),
+        costs[3]
+    );
 
     // Free-running evolution must reach the enumerated optimum.
     let out = evolution::optimize(
         &ctx,
-        &EvolutionConfig { generations: 200, stagnation: 80, ..Default::default() },
+        &EvolutionConfig {
+            generations: 200,
+            stagnation: 80,
+            ..Default::default()
+        },
         7,
     );
     println!(

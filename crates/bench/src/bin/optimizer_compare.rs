@@ -9,7 +9,7 @@
 use iddq_bench::{circuit_seed, experiment_config, experiment_library, table1_circuit};
 use iddq_core::evolution::{self, EvolutionConfig};
 use iddq_core::optimizers::{greedy_local_search, simulated_annealing, AnnealingConfig};
-use iddq_core::{Evaluated, EvalContext};
+use iddq_core::{EvalContext, Evaluated};
 use iddq_gen::iscas::IscasProfile;
 
 fn main() {
@@ -29,7 +29,11 @@ fn main() {
 
     let lib = experiment_library();
     let cfg = experiment_config();
-    let circuits = if quick { vec!["c432"] } else { vec!["c432", "c880", "c1908"] };
+    let circuits = if quick {
+        vec!["c432"]
+    } else {
+        vec!["c432", "c880", "c1908"]
+    };
     let evo = EvolutionConfig {
         generations: if quick { 40 } else { 150 },
         stagnation: if quick { 20 } else { 50 },
@@ -51,19 +55,42 @@ fn main() {
         let ctx = EvalContext::new(&nl, &lib, cfg.clone());
         let s = seed ^ circuit_seed(name);
 
-        let mut results: Vec<(String, f64, usize, iddq_core::Partition, std::time::Duration)> =
-            Vec::new();
+        let mut results: Vec<(
+            String,
+            f64,
+            usize,
+            iddq_core::Partition,
+            std::time::Duration,
+        )> = Vec::new();
         let t0 = std::time::Instant::now();
         let es = evolution::optimize(&ctx, &evo, s);
-        results.push(("evolution strategy".into(), es.best_cost, es.evaluations, es.best, t0.elapsed()));
+        results.push((
+            "evolution strategy".into(),
+            es.best_cost,
+            es.evaluations,
+            es.best,
+            t0.elapsed(),
+        ));
 
         let t0 = std::time::Instant::now();
         let an = simulated_annealing(&ctx, &sa, s);
-        results.push(("simulated annealing".into(), an.best_cost, an.evaluations, an.best, t0.elapsed()));
+        results.push((
+            "simulated annealing".into(),
+            an.best_cost,
+            an.evaluations,
+            an.best,
+            t0.elapsed(),
+        ));
 
         let t0 = std::time::Instant::now();
         let gr = greedy_local_search(&ctx, greedy_restarts, 200, s);
-        results.push(("greedy local search".into(), gr.best_cost, gr.evaluations, gr.best, t0.elapsed()));
+        results.push((
+            "greedy local search".into(),
+            gr.best_cost,
+            gr.evaluations,
+            gr.best,
+            t0.elapsed(),
+        ));
 
         for (label, cost, evals, part, time) in &results {
             let eval = Evaluated::new(&ctx, part.clone());

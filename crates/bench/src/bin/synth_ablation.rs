@@ -10,7 +10,9 @@
 //!
 //! Usage: `synth_ablation [--circuit NAME] [--seed N]`
 
-use iddq_bench::{circuit_seed, experiment_config, experiment_library, quick_evolution, table1_circuit};
+use iddq_bench::{
+    circuit_seed, experiment_config, experiment_library, quick_evolution, table1_circuit,
+};
 use iddq_bic::device::SensingDevice;
 use iddq_core::flow;
 use iddq_gen::iscas::IscasProfile;
@@ -38,11 +40,21 @@ fn main() {
     let evo = quick_evolution();
     let s = seed ^ circuit_seed(&name);
 
-    println!("== resynthesis ablation on {} ({} gates) ==", name, nl.gate_count());
+    println!(
+        "== resynthesis ablation on {} ({} gates) ==",
+        name,
+        nl.gate_count()
+    );
     let variants: Vec<(&str, Netlist)> = vec![
         ("original", nl.clone()),
-        ("balanced 2-input", decompose(&nl, DecompositionStyle::Balanced, 2)),
-        ("chain 2-input", decompose(&nl, DecompositionStyle::Chain, 2)),
+        (
+            "balanced 2-input",
+            decompose(&nl, DecompositionStyle::Balanced, 2),
+        ),
+        (
+            "chain 2-input",
+            decompose(&nl, DecompositionStyle::Chain, 2),
+        ),
         ("fanout-buffered (4)", fanout_buffer(&nl, 4)),
     ];
     println!(

@@ -37,7 +37,13 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { quick: false, converge: false, ablate: false, json: None, seed: 42 };
+    let mut args = Args {
+        quick: false,
+        converge: false,
+        ablate: false,
+        json: None,
+        seed: 42,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -64,14 +70,24 @@ fn main() {
     let args = parse_args();
     let lib = experiment_library();
     let cfg = experiment_config();
-    let evo = if args.quick { quick_evolution() } else { full_evolution() };
+    let evo = if args.quick {
+        quick_evolution()
+    } else {
+        full_evolution()
+    };
 
     let suite = IscasProfile::table1_suite();
     let mut comparisons: Vec<(String, Comparison)> = Vec::new();
     for profile in &suite {
         let nl = table1_circuit(profile);
         let t0 = std::time::Instant::now();
-        let cmp = flow::compare_standard(&nl, &lib, &cfg, &evo, args.seed ^ circuit_seed(profile.name));
+        let cmp = flow::compare_standard(
+            &nl,
+            &lib,
+            &cfg,
+            &evo,
+            args.seed ^ circuit_seed(profile.name),
+        );
         eprintln!(
             "[{}] {} gates, {} evaluations, {:.1?}",
             profile.name,
@@ -113,8 +129,11 @@ fn main() {
                 }),
             );
         }
-        std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
-            .expect("writable json path");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&out).expect("serializable"),
+        )
+        .expect("writable json path");
         eprintln!("wrote {path}");
     }
 }
@@ -160,11 +179,7 @@ fn print_table(comparisons: &[(String, Comparison)]) {
     });
 }
 
-fn row(
-    comparisons: &[(String, Comparison)],
-    label: &str,
-    f: impl Fn(&Comparison) -> String,
-) {
+fn row(comparisons: &[(String, Comparison)], label: &str, f: impl Fn(&Comparison) -> String) {
     print!("{label:<38}");
     for (_, c) in comparisons {
         print!("{:>12}", f(c));
@@ -190,7 +205,10 @@ fn run_ablations(args: &Args, evo: &EvolutionConfig) {
         base.report.modules.len()
     );
 
-    let no_mc = EvolutionConfig { chi: 0, ..evo.clone() };
+    let no_mc = EvolutionConfig {
+        chi: 0,
+        ..evo.clone()
+    };
     let r = flow::synthesize_with(&nl, &lib, &cfg, &no_mc, seed);
     println!(
         "no Monte-Carlo (chi=0):    cost {:.0}, area {:.2e}, K={}",
@@ -199,7 +217,11 @@ fn run_ablations(args: &Args, evo: &EvolutionConfig) {
         r.report.modules.len()
     );
 
-    let lazy = EvolutionConfig { lambda: evo.lambda + evo.chi, chi: 0, ..evo.clone() };
+    let lazy = EvolutionConfig {
+        lambda: evo.lambda + evo.chi,
+        chi: 0,
+        ..evo.clone()
+    };
     let r = flow::synthesize_with(&nl, &lib, &cfg, &lazy, seed);
     println!(
         "equal-budget mutation-only: cost {:.0}, area {:.2e}, K={}",

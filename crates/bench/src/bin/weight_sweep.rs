@@ -10,7 +10,9 @@
 //!
 //! Usage: `weight_sweep [--circuit NAME] [--seed N]`
 
-use iddq_bench::{circuit_seed, experiment_config, experiment_library, quick_evolution, table1_circuit};
+use iddq_bench::{
+    circuit_seed, experiment_config, experiment_library, quick_evolution, table1_circuit,
+};
 use iddq_core::config::Weights;
 use iddq_core::flow;
 use iddq_gen::iscas::IscasProfile;
@@ -45,8 +47,14 @@ fn main() {
         ("modules (a5)", |w, f| w.module_count *= f),
     ];
 
-    println!("== weight sensitivity on {} ({} gates) ==", name, nl.gate_count());
-    println!("(the x1e5 delay weight of §5.1 dominates by design; ±100x scales expose the trade-offs)");
+    println!(
+        "== weight sensitivity on {} ({} gates) ==",
+        name,
+        nl.gate_count()
+    );
+    println!(
+        "(the x1e5 delay weight of §5.1 dominates by design; ±100x scales expose the trade-offs)"
+    );
     println!(
         "{:<16} {:>8} {:>6} {:>12} {:>12} {:>14}",
         "weight", "scale", "K", "area", "delay c2", "per-vec (ns)"

@@ -100,7 +100,10 @@ impl SensingDevice {
             r_star_mv,
             a0: self.a0(),
             a1: self.a1(),
-            decay: DecayModel { sense_time_ps: self.sense_time_ps(), margin: self.margin() },
+            decay: DecayModel {
+                sense_time_ps: self.sense_time_ps(),
+                margin: self.margin(),
+            },
         }
     }
 }
@@ -146,7 +149,10 @@ mod tests {
         assert!(t(&mirror) < t(&diode));
         assert!(t(&diode) < t(&prop));
         // Diode pays the most for the bypass (largest A1/Rs term).
-        assert!(diode.area - SensingDevice::DiodeDrop.a0() > prop.area - SensingDevice::ProportionalResistive.a0());
+        assert!(
+            diode.area - SensingDevice::DiodeDrop.a0()
+                > prop.area - SensingDevice::ProportionalResistive.a0()
+        );
     }
 
     #[test]

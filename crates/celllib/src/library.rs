@@ -206,9 +206,7 @@ mod tests {
             }
         }
         // NAND stacks resist more than NOR at the same fan-in.
-        assert!(
-            lib.cell(CellKind::Nand, 4).r_on_kohm > lib.cell(CellKind::Nor, 4).r_on_kohm
-        );
+        assert!(lib.cell(CellKind::Nand, 4).r_on_kohm > lib.cell(CellKind::Nor, 4).r_on_kohm);
     }
 
     #[test]
@@ -217,7 +215,12 @@ mod tests {
         // gates stay below the 1 µA threshold / discriminability 10.
         let lib = Library::generic_1um();
         for cell in lib.iter() {
-            assert!(cell.leakage_na < 3.0, "{} leaks {}", cell.name, cell.leakage_na);
+            assert!(
+                cell.leakage_na < 3.0,
+                "{} leaks {}",
+                cell.name,
+                cell.leakage_na
+            );
             assert!(cell.leakage_na > 0.0);
         }
     }

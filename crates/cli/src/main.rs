@@ -7,6 +7,7 @@
 //!            [--resynth]
 //! iddq gen   <circuit> [--seed N] [--out PATH]
 //! iddq test  <netlist.bench> [--seed N] [--vectors N]
+//! iddq sim   <netlist.bench> [--patterns N] [--seed N]
 //! iddq stats <netlist.bench>
 //! ```
 
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(rest),
         "gen" => cmd_gen(rest),
         "test" => cmd_test(rest),
+        "sim" => cmd_sim(rest),
         "stats" => cmd_stats(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -61,6 +63,9 @@ commands:
       --out PATH          output path (default stdout)
   test <netlist.bench>    run the IDDQ defect-detection experiment
       --seed N            defect/ATPG seed (default 42)
+  sim <netlist.bench>     measure logic-simulation throughput (256-wide kernel)
+      --patterns N        number of random patterns (default 1048576)
+      --seed N            pattern seed (default 42)
   stats <netlist.bench>   print structural statistics
 ";
 
@@ -74,13 +79,14 @@ fn parse_flag(rest: &[String], flag: &str) -> Option<String> {
 fn parse_num<T: std::str::FromStr>(rest: &[String], flag: &str, default: T) -> Result<T, String> {
     match parse_flag(rest, flag) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("{flag} expects a number, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects a number, got `{v}`")),
     }
 }
 
 fn load(path: &str) -> Result<Netlist, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -108,7 +114,10 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
         cut = out;
     }
 
-    let evo = EvolutionConfig { generations, ..Default::default() };
+    let evo = EvolutionConfig {
+        generations,
+        ..Default::default()
+    };
     let result = flow::synthesize_with(&cut, &library, &config, &evo, seed);
     let r = &result.report;
     println!(
@@ -195,7 +204,11 @@ fn cmd_test(rest: &[String]) -> Result<(), String> {
         seed,
     );
     let tests = iddq_atpg::generate(&cut, &faults, &iddq_atpg::AtpgConfig::default(), seed);
-    let evo = EvolutionConfig { generations: 60, stagnation: 25, ..Default::default() };
+    let evo = EvolutionConfig {
+        generations: 60,
+        stagnation: 25,
+        ..Default::default()
+    };
     let result = flow::synthesize_with(&cut, &library, &config, &evo, seed);
     let leaks: Vec<f64> = result
         .report
@@ -222,6 +235,60 @@ fn cmd_test(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sim(rest: &[String]) -> Result<(), String> {
+    use iddq_netlist::{PackedWord, W256};
+    let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let cut = load(path)?;
+    let patterns: u64 = parse_num(rest, "--patterns", 1u64 << 20)?;
+    if patterns == 0 {
+        return Err("--patterns must be at least 1".into());
+    }
+    let seed: u64 = parse_num(rest, "--seed", 42)?;
+    let sim = iddq_logicsim::Simulator::new(&cut);
+
+    let mut state = seed;
+    let mut next = move || {
+        // SplitMix64-style stream for reproducible pattern words.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 31)
+    };
+    let mut inputs = vec![W256::zeros(); cut.num_inputs()];
+    let mut values = vec![W256::zeros(); sim.node_count()];
+    // Fingerprint every node value, not just the primary outputs: the deep
+    // outputs of the synthetic profiles are near-constant under random
+    // stimuli and would make a poor discriminator. Four independent limb
+    // accumulators keep the fold off the measured loop's critical path.
+    let mut acc = [0u64; 4];
+    let batches = patterns.div_ceil(u64::from(W256::LANES));
+    let start = std::time::Instant::now();
+    for _ in 0..batches {
+        for w in &mut inputs {
+            *w = W256::from_limbs(|_| next());
+        }
+        sim.eval_into(&inputs, &mut values);
+        for v in &values {
+            for (a, limb) in acc.iter_mut().zip(v.0) {
+                *a = a.rotate_left(1) ^ limb;
+            }
+        }
+    }
+    let checksum =
+        acc[0] ^ acc[1].rotate_left(16) ^ acc[2].rotate_left(32) ^ acc[3].rotate_left(48);
+    let elapsed = start.elapsed().as_secs_f64();
+    let evaluated = batches * u64::from(W256::LANES);
+    println!(
+        "{}: {} gates, {evaluated} patterns in {elapsed:.3} s = {:.3e} patterns/s \
+         ({:.3e} gate-evals/s), value checksum {checksum:#018x}",
+        cut.name(),
+        cut.gate_count(),
+        evaluated as f64 / elapsed,
+        evaluated as f64 * cut.gate_count() as f64 / elapsed,
+    );
+    Ok(())
+}
+
 fn cmd_stats(rest: &[String]) -> Result<(), String> {
     let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
     let cut = load(path)?;
@@ -239,7 +306,11 @@ fn cmd_stats(rest: &[String]) -> Result<(), String> {
         let node = cut.node(g);
         let kind = node.kind().cell_kind().expect("gate");
         let n = node.fanin().len();
-        let cell = if n > 1 { format!("{kind}{n}") } else { kind.to_string() };
+        let cell = if n > 1 {
+            format!("{kind}{n}")
+        } else {
+            kind.to_string()
+        };
         *by_kind.entry(cell).or_default() += 1;
     }
     for (cell, count) in by_kind {

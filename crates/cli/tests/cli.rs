@@ -45,7 +45,11 @@ fn gen_stats_synth_test_pipeline() {
         .arg(&bench_path)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // stats
     let out = bin().arg("stats").arg(&bench_path).output().expect("runs");
@@ -61,7 +65,11 @@ fn gen_stats_synth_test_pipeline() {
         .arg(&json_path)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("modules"), "{text}");
     let json: serde_json::Value =
@@ -89,7 +97,10 @@ fn gen_unknown_circuit_is_an_error() {
 
 #[test]
 fn synth_missing_file_is_an_error() {
-    let out = bin().args(["synth", "/nonexistent.bench"]).output().expect("runs");
+    let out = bin()
+        .args(["synth", "/nonexistent.bench"])
+        .output()
+        .expect("runs");
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
@@ -108,7 +119,51 @@ fn resynth_flag_runs() {
         .args(["--generations", "10", "--resynth"])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("resynthesis"));
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
+fn sim_reports_throughput_and_checksum() {
+    let bench_path = tmp("c432-sim.bench");
+    let out = bin()
+        .args(["gen", "c432", "--seed", "3", "--out"])
+        .arg(&bench_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    let run = |seed: &str| {
+        let out = bin()
+            .arg("sim")
+            .arg(&bench_path)
+            .args(["--patterns", "4096", "--seed", seed])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let text = run("9");
+    assert!(text.contains("patterns/s"), "{text}");
+    let checksum = |t: &str| {
+        t.split("checksum ")
+            .nth(1)
+            .expect("checksum printed")
+            .trim()
+            .to_string()
+    };
+    // Same seed → same packed pattern stream → same output checksum.
+    assert_eq!(checksum(&run("9")), checksum(&text));
+    assert_ne!(checksum(&run("10")), checksum(&text));
+
     let _ = std::fs::remove_file(bench_path);
 }

@@ -104,7 +104,11 @@ mod tests {
     use iddq_netlist::data;
 
     fn ctx_for(netlist: &Netlist) -> EvalContext<'_> {
-        EvalContext::new(netlist, &Library::generic_1um(), PartitionConfig::paper_default())
+        EvalContext::new(
+            netlist,
+            &Library::generic_1um(),
+            PartitionConfig::paper_default(),
+        )
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl<'a> Evaluated<'a> {
             .iter()
             .map(|gates| Self::stats_for(ctx, gates))
             .collect();
-        Evaluated { ctx, partition, stats }
+        Evaluated {
+            ctx,
+            partition,
+            stats,
+        }
     }
 
     /// Full (non-incremental) statistics of one gate set.
@@ -145,7 +149,10 @@ impl<'a> Evaluated<'a> {
             None => panic!("cannot move a primary input"),
         };
         if source == target {
-            return MoveOutcome { source, removed_module: None };
+            return MoveOutcome {
+                source,
+                removed_module: None,
+            };
         }
         // Separation deltas need the membership *before* the move.
         let gi = gate.index();
@@ -216,9 +223,10 @@ impl<'a> Evaluated<'a> {
             .iter()
             .copied()
             .filter(|&g| {
-                self.ctx.netlist.undirected_neighbors(g).any(|n| {
-                    self.ctx.netlist.is_gate(n) && self.partition.module_of(n) != Some(m)
-                })
+                self.ctx
+                    .netlist
+                    .undirected_neighbors(g)
+                    .any(|n| self.ctx.netlist.is_gate(n) && self.partition.module_of(n) != Some(m))
             })
             .collect()
     }
@@ -260,9 +268,7 @@ impl<'a> Evaluated<'a> {
         for (m, s) in self.stats.iter().enumerate() {
             total_separation += s.separation;
             let leak_ua = s.leakage_na / 1000.0;
-            if leak_ua <= 0.0
-                || ctx.technology.iddq_threshold_ua / leak_ua < ctx.config.d_min
-            {
+            if leak_ua <= 0.0 || ctx.technology.iddq_threshold_ua / leak_ua < ctx.config.d_min {
                 violations += 1;
             }
             match self.sensor(m) {
@@ -364,7 +370,10 @@ impl<'a> Evaluated<'a> {
                 (fresh.peak_current_ua - cached.peak_current_ua).abs() < 1e-6,
                 "module {m} peak current"
             );
-            assert_eq!(fresh.peak_activity, cached.peak_activity, "module {m} activity");
+            assert_eq!(
+                fresh.peak_activity, cached.peak_activity,
+                "module {m} activity"
+            );
         }
     }
 }
@@ -416,11 +425,8 @@ mod tests {
         let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
         let gates: Vec<_> = nl.gate_ids().collect();
         let half = gates.len() / 2;
-        let p = Partition::from_groups(
-            &nl,
-            vec![gates[..half].to_vec(), gates[half..].to_vec()],
-        )
-        .unwrap();
+        let p = Partition::from_groups(&nl, vec![gates[..half].to_vec(), gates[half..].to_vec()])
+            .unwrap();
         let mut e = Evaluated::new(&ctx, p);
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..200 {

@@ -129,7 +129,12 @@ pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> E
             let p = start::chain_partition(ctx, size_for_count, seed.wrapping_add(i as u64));
             let eval = Evaluated::new(ctx, p);
             let cost = eval.total_cost();
-            Individual { eval, cost, m: config.m_init, age: 0 }
+            Individual {
+                eval,
+                cost,
+                m: config.m_init,
+                age: 0,
+            }
         })
         .collect();
     let mut evaluations = population.len();
@@ -167,7 +172,9 @@ pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> E
             std::thread::scope(|scope| {
                 let handles: Vec<_> = tasks
                     .chunks(chunk)
-                    .map(|slice| scope.spawn(move || slice.iter().map(run_task).collect::<Vec<_>>()))
+                    .map(|slice| {
+                        scope.spawn(move || slice.iter().map(run_task).collect::<Vec<_>>())
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -194,12 +201,16 @@ pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> E
             let eval = Evaluated::new(ctx, p);
             let cost = eval.total_cost();
             evaluations += 1;
-            population.push(Individual { eval, cost, m: config.m_init, age: 0 });
+            population.push(Individual {
+                eval,
+                cost,
+                m: config.m_init,
+                age: 0,
+            });
         }
 
         let gen_best = &population[0];
-        let mean_cost =
-            population.iter().map(|i| i.cost).sum::<f64>() / population.len() as f64;
+        let mean_cost = population.iter().map(|i| i.cost).sum::<f64>() / population.len() as f64;
         log.push(GenerationLog {
             generation,
             best_cost: gen_best.cost,
@@ -219,7 +230,12 @@ pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> E
     }
 
     let best = best.expect("at least one generation ran");
-    EvolutionOutcome { best, best_cost, log, evaluations }
+    EvolutionOutcome {
+        best,
+        best_cost,
+        log,
+        evaluations,
+    }
 }
 
 /// The §4.2 mutation: move up to `m` boundary gates of a random module
@@ -265,7 +281,12 @@ fn mutate<'a>(
         return None;
     }
     let cost = child.total_cost();
-    Some(Individual { eval: child, cost, m: m_step, age: 0 })
+    Some(Individual {
+        eval: child,
+        cost,
+        m: m_step,
+        age: 0,
+    })
 }
 
 /// The Monte-Carlo descendant: a random number of random gates of a random
@@ -309,7 +330,12 @@ fn monte_carlo<'a>(
     }
     let m_step = adapt_step(parent.m, config.epsilon, rng);
     let cost = child.total_cost();
-    Some(Individual { eval: child, cost, m: m_step, age: 0 })
+    Some(Individual {
+        eval: child,
+        cost,
+        m: m_step,
+        age: 0,
+    })
 }
 
 /// Redraws the mutation step width from `N(m, ε²)`, floored at 1.
@@ -388,14 +414,14 @@ mod tests {
         let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
         let size = crate::start::estimate_module_size(&ctx);
         let count = crate::start::estimate_module_count(&ctx);
-        let chain = crate::start::chain_partition(
-            &ctx,
-            ctx.gates.len().div_ceil(count).max(1),
-            42,
-        );
+        let chain = crate::start::chain_partition(&ctx, ctx.gates.len().div_ceil(count).max(1), 42);
         let start_cost = Evaluated::new(&ctx, chain).total_cost();
         let out = optimize(&ctx, &quick_config(), 42);
-        assert!(out.best_cost <= start_cost, "{} vs {start_cost}", out.best_cost);
+        assert!(
+            out.best_cost <= start_cost,
+            "{} vs {start_cost}",
+            out.best_cost
+        );
         let _ = size;
     }
 
@@ -413,7 +439,10 @@ mod tests {
         let lib = Library::generic_1um();
         let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
         let seq = optimize(&ctx, &quick_config(), 11);
-        let par_cfg = EvolutionConfig { threads: 4, ..quick_config() };
+        let par_cfg = EvolutionConfig {
+            threads: 4,
+            ..quick_config()
+        };
         let par = optimize(&ctx, &par_cfg, 11);
         assert_eq!(seq.best, par.best);
         assert_eq!(seq.best_cost, par.best_cost);
@@ -427,7 +456,12 @@ mod tests {
         let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
         let eval = Evaluated::new(&ctx, Partition::single_module(&nl));
         let cost = eval.total_cost();
-        let parent = Individual { eval, cost, m: 2.0, age: 0 };
+        let parent = Individual {
+            eval,
+            cost,
+            m: 2.0,
+            age: 0,
+        };
         let mut rng = SmallRng::seed_from_u64(0);
         assert!(mutate(&parent, &quick_config(), &mut rng).is_none());
         assert!(monte_carlo(&parent, &quick_config(), &mut rng).is_none());

@@ -168,7 +168,11 @@ pub fn simulated_annealing(
         }
         t *= config.alpha;
     }
-    OptimizerOutcome { best, best_cost, evaluations }
+    OptimizerOutcome {
+        best,
+        best_cost,
+        evaluations,
+    }
 }
 
 /// Greedy first-improvement local search with random restarts.
@@ -195,8 +199,10 @@ pub fn greedy_local_search(
     let mut evaluations = 0usize;
 
     for r in 0..restarts {
-        let mut current =
-            Evaluated::new(ctx, start::chain_partition(ctx, size, seed.wrapping_add(r as u64)));
+        let mut current = Evaluated::new(
+            ctx,
+            start::chain_partition(ctx, size, seed.wrapping_add(r as u64)),
+        );
         let mut current_cost = current.total_cost();
         evaluations += 1;
         let mut stale = 0usize;
@@ -215,12 +221,20 @@ pub fn greedy_local_search(
                 stale += 1;
             }
         }
-        if best.as_ref().map(|(c, _)| current_cost < *c).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(c, _)| current_cost < *c)
+            .unwrap_or(true)
+        {
             best = Some((current_cost, current.partition().clone()));
         }
     }
     let (best_cost, best) = best.expect("restarts > 0");
-    OptimizerOutcome { best, best_cost, evaluations }
+    OptimizerOutcome {
+        best,
+        best_cost,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +245,11 @@ mod tests {
     use iddq_netlist::data;
 
     fn ctx_of(nl: &iddq_netlist::Netlist) -> EvalContext<'_> {
-        EvalContext::new(nl, &Library::generic_1um(), PartitionConfig::paper_default())
+        EvalContext::new(
+            nl,
+            &Library::generic_1um(),
+            PartitionConfig::paper_default(),
+        )
     }
 
     fn quick_sa() -> AnnealingConfig {
@@ -260,8 +278,7 @@ mod tests {
         let ctx = ctx_of(&nl);
         let count = start::estimate_module_count(&ctx);
         let size = ctx.gates.len().div_ceil(count).max(1);
-        let start_cost =
-            Evaluated::new(&ctx, start::chain_partition(&ctx, size, 2)).total_cost();
+        let start_cost = Evaluated::new(&ctx, start::chain_partition(&ctx, size, 2)).total_cost();
         let out = simulated_annealing(&ctx, &quick_sa(), 2);
         assert!(out.best_cost <= start_cost);
     }
@@ -272,8 +289,7 @@ mod tests {
         let ctx = ctx_of(&nl);
         let count = start::estimate_module_count(&ctx);
         let size = ctx.gates.len().div_ceil(count).max(1);
-        let start_cost =
-            Evaluated::new(&ctx, start::chain_partition(&ctx, size, 3)).total_cost();
+        let start_cost = Evaluated::new(&ctx, start::chain_partition(&ctx, size, 3)).total_cost();
         let out = greedy_local_search(&ctx, 3, 40, 3);
         out.best.validate(&nl).unwrap();
         assert!(out.best_cost <= start_cost);
@@ -305,7 +321,10 @@ mod tests {
     fn bad_alpha_panics() {
         let nl = data::c17();
         let ctx = ctx_of(&nl);
-        let cfg = AnnealingConfig { alpha: 1.5, ..Default::default() };
+        let cfg = AnnealingConfig {
+            alpha: 1.5,
+            ..Default::default()
+        };
         let _ = simulated_annealing(&ctx, &cfg, 0);
     }
 }

@@ -98,7 +98,10 @@ impl Partition {
                 return Err(PartitionError::Uncovered(g));
             }
         }
-        Ok(Partition { module_of, modules: groups })
+        Ok(Partition {
+            module_of,
+            modules: groups,
+        })
     }
 
     /// The trivial single-module partition.
@@ -167,7 +170,10 @@ impl Partition {
         assert!(target < self.modules.len(), "target module out of range");
         let source = source as usize;
         if source == target {
-            return MoveOutcome { source, removed_module: None };
+            return MoveOutcome {
+                source,
+                removed_module: None,
+            };
         }
         let pos = self.modules[source]
             .iter()
@@ -186,9 +192,18 @@ impl Partition {
                     self.module_of[g.index()] = source as u32;
                 }
             }
-            MoveOutcome { source, removed_module: Some(ModuleRemoval { removed: source, moved_from: last }) }
+            MoveOutcome {
+                source,
+                removed_module: Some(ModuleRemoval {
+                    removed: source,
+                    moved_from: last,
+                }),
+            }
         } else {
-            MoveOutcome { source, removed_module: None }
+            MoveOutcome {
+                source,
+                removed_module: None,
+            }
         }
     }
 
@@ -323,11 +338,7 @@ mod tests {
         let gs = data::c17_paper_gates(&nl);
         let mut p = Partition::from_groups(
             &nl,
-            vec![
-                vec![gs[0], gs[1]],
-                vec![gs[2]],
-                vec![gs[3], gs[4], gs[5]],
-            ],
+            vec![vec![gs[0], gs[1]], vec![gs[2]], vec![gs[3], gs[4], gs[5]]],
         )
         .unwrap();
         // Empty module 1: gs[2] moves to module 0; module 2 renumbers to 1.

@@ -32,7 +32,10 @@ pub fn standard_partition(ctx: &EvalContext<'_>, module_sizes: &[usize]) -> Part
     let netlist = ctx.netlist;
     let n_gates = netlist.gate_count();
     assert!(!module_sizes.is_empty(), "need at least one module");
-    assert!(module_sizes.iter().all(|&s| s > 0), "module sizes must be positive");
+    assert!(
+        module_sizes.iter().all(|&s| s > 0),
+        "module sizes must be positive"
+    );
     assert_eq!(
         module_sizes.iter().sum::<usize>(),
         n_gates,
@@ -145,7 +148,11 @@ mod tests {
     use iddq_netlist::data;
 
     fn ctx_of(nl: &iddq_netlist::Netlist) -> EvalContext<'_> {
-        EvalContext::new(nl, &Library::generic_1um(), PartitionConfig::paper_default())
+        EvalContext::new(
+            nl,
+            &Library::generic_1um(),
+            PartitionConfig::paper_default(),
+        )
     }
 
     #[test]
@@ -210,7 +217,10 @@ mod tests {
         let nl = data::ripple_adder(8);
         let ctx = ctx_of(&nl);
         let sizes = equal_sizes(nl.gate_count(), 3);
-        assert_eq!(standard_partition(&ctx, &sizes), standard_partition(&ctx, &sizes));
+        assert_eq!(
+            standard_partition(&ctx, &sizes),
+            standard_partition(&ctx, &sizes)
+        );
     }
 
     #[test]
@@ -260,12 +270,7 @@ mod edge_tests {
         let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
         let p = standard_partition(&ctx, &[3, 3]);
         let lv = iddq_netlist::levelize::levels(&nl);
-        let min_level_in_first = p
-            .module(0)
-            .iter()
-            .map(|g| lv[g.index()])
-            .min()
-            .unwrap();
+        let min_level_in_first = p.module(0).iter().map(|g| lv[g.index()]).min().unwrap();
         assert_eq!(min_level_in_first, 1);
     }
 }

@@ -135,7 +135,11 @@ mod tests {
     use iddq_netlist::data;
 
     fn ctx_of(nl: &iddq_netlist::Netlist) -> EvalContext<'_> {
-        EvalContext::new(nl, &Library::generic_1um(), PartitionConfig::paper_default())
+        EvalContext::new(
+            nl,
+            &Library::generic_1um(),
+            PartitionConfig::paper_default(),
+        )
     }
 
     #[test]

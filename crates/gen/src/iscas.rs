@@ -32,16 +32,76 @@ impl IscasProfile {
     #[must_use]
     pub fn all() -> &'static [IscasProfile] {
         &[
-            IscasProfile { name: "c432", inputs: 36, outputs: 7, gates: 160, depth: 17 },
-            IscasProfile { name: "c499", inputs: 41, outputs: 32, gates: 202, depth: 11 },
-            IscasProfile { name: "c880", inputs: 60, outputs: 26, gates: 383, depth: 24 },
-            IscasProfile { name: "c1355", inputs: 41, outputs: 32, gates: 546, depth: 24 },
-            IscasProfile { name: "c1908", inputs: 33, outputs: 25, gates: 880, depth: 40 },
-            IscasProfile { name: "c2670", inputs: 233, outputs: 140, gates: 1193, depth: 32 },
-            IscasProfile { name: "c3540", inputs: 50, outputs: 22, gates: 1669, depth: 47 },
-            IscasProfile { name: "c5315", inputs: 178, outputs: 123, gates: 2307, depth: 49 },
-            IscasProfile { name: "c6288", inputs: 32, outputs: 32, gates: 2416, depth: 124 },
-            IscasProfile { name: "c7552", inputs: 207, outputs: 108, gates: 3512, depth: 43 },
+            IscasProfile {
+                name: "c432",
+                inputs: 36,
+                outputs: 7,
+                gates: 160,
+                depth: 17,
+            },
+            IscasProfile {
+                name: "c499",
+                inputs: 41,
+                outputs: 32,
+                gates: 202,
+                depth: 11,
+            },
+            IscasProfile {
+                name: "c880",
+                inputs: 60,
+                outputs: 26,
+                gates: 383,
+                depth: 24,
+            },
+            IscasProfile {
+                name: "c1355",
+                inputs: 41,
+                outputs: 32,
+                gates: 546,
+                depth: 24,
+            },
+            IscasProfile {
+                name: "c1908",
+                inputs: 33,
+                outputs: 25,
+                gates: 880,
+                depth: 40,
+            },
+            IscasProfile {
+                name: "c2670",
+                inputs: 233,
+                outputs: 140,
+                gates: 1193,
+                depth: 32,
+            },
+            IscasProfile {
+                name: "c3540",
+                inputs: 50,
+                outputs: 22,
+                gates: 1669,
+                depth: 47,
+            },
+            IscasProfile {
+                name: "c5315",
+                inputs: 178,
+                outputs: 123,
+                gates: 2307,
+                depth: 49,
+            },
+            IscasProfile {
+                name: "c6288",
+                inputs: 32,
+                outputs: 32,
+                gates: 2416,
+                depth: 124,
+            },
+            IscasProfile {
+                name: "c7552",
+                inputs: 207,
+                outputs: 108,
+                gates: 3512,
+                depth: 43,
+            },
         ]
     }
 
@@ -114,7 +174,10 @@ fn weighted<T: Copy>(rng: &mut SmallRng, table: &[(T, u32)]) -> T {
 /// inputs/outputs) — the published profiles never are.
 #[must_use]
 pub fn generate(profile: &IscasProfile, seed: u64) -> Netlist {
-    assert!(profile.gates >= profile.depth, "need at least one gate per level");
+    assert!(
+        profile.gates >= profile.depth,
+        "need at least one gate per level"
+    );
     assert!(profile.inputs > 0 && profile.outputs > 0);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x1dd9_c0de);
 
@@ -144,7 +207,11 @@ pub fn generate(profile: &IscasProfile, seed: u64) -> Netlist {
     // -- 2. build nodes level by level -------------------------------------
     let mut b = NetlistBuilder::new(profile.name);
     let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(depth + 1);
-    levels.push((0..profile.inputs).map(|i| b.add_input(format!("i{i}"))).collect());
+    levels.push(
+        (0..profile.inputs)
+            .map(|i| b.add_input(format!("i{i}")))
+            .collect(),
+    );
 
     // Nodes not yet consumed by any fan-in; drained preferentially so that
     // nothing dangles.
@@ -241,7 +308,11 @@ pub fn generate(profile: &IscasProfile, seed: u64) -> Netlist {
 
 fn pick_first(rng: &mut SmallRng, prev: &[NodeId], unused: &[NodeId]) -> NodeId {
     // Prefer an unconsumed node of the previous level when one exists.
-    let fresh: Vec<NodeId> = prev.iter().copied().filter(|n| unused.contains(n)).collect();
+    let fresh: Vec<NodeId> = prev
+        .iter()
+        .copied()
+        .filter(|n| unused.contains(n))
+        .collect();
     if !fresh.is_empty() && rng.gen_bool(0.85) {
         fresh[rng.gen_range(0..fresh.len())]
     } else {

@@ -79,13 +79,14 @@ impl IddqFault {
         }
     }
 
-    /// Packed activation mask over 64 patterns: bit *k* set iff pattern
-    /// *k*'s fault-free values activate the defect.
+    /// Packed activation mask: bit *k* set iff pattern *k*'s fault-free
+    /// values activate the defect. Generic over the packed word, so one
+    /// call covers 64 (`u64`) or 256 ([`iddq_netlist::W256`]) patterns.
     ///
     /// `values` must come from [`Simulator::eval`](crate::Simulator::eval)
-    /// on the same netlist.
+    /// (or [`eval_into`](crate::Simulator::eval_into)) on the same netlist.
     #[must_use]
-    pub fn activation(&self, netlist: &Netlist, values: &[u64]) -> u64 {
+    pub fn activation<W: iddq_netlist::PackedWord>(&self, netlist: &Netlist, values: &[W]) -> W {
         match *self {
             IddqFault::Bridge { a, b, .. } => values[a.index()] ^ values[b.index()],
             IddqFault::GateOxideShort { gate, pin, .. } => {
@@ -142,25 +143,36 @@ pub fn enumerate(netlist: &Netlist, config: &FaultUniverseConfig, seed: u64) -> 
     let current =
         |rng: &mut SmallRng| rng.gen_range(config.current_range_ua.0..=config.current_range_ua.1);
 
-    // Bridges between nearby drivers.
-    let sep = iddq_netlist::separation::SeparationOracle::new(netlist, config.bridge_locality + 1);
-    let mut attempts = 0;
-    while faults.len() < config.bridges && attempts < config.bridges * 20 {
-        attempts += 1;
-        let a = gates[rng.gen_range(0..gates.len())];
-        // Collect gate neighbours within the locality bound.
-        let nearby: Vec<NodeId> = gates
+    // Bridges between nearby drivers. One truncated-BFS pass (inside the
+    // oracle) precomputes each gate's neighbourhood; per-gate candidate
+    // lists are then read off directly instead of re-filtering all gates
+    // per sampling attempt, which was O(G²) per bridge on large circuits.
+    if config.bridges > 0 {
+        let sep =
+            iddq_netlist::separation::SeparationOracle::new(netlist, config.bridge_locality + 1);
+        let nearby_gates: Vec<Vec<NodeId>> = gates
             .iter()
-            .copied()
-            .filter(|&g| g != a && sep.distance(a, g) <= config.bridge_locality)
+            .map(|&a| {
+                sep.neighbors_within(a)
+                    .into_iter()
+                    .filter(|&(g, d)| g != a && d <= config.bridge_locality && netlist.is_gate(g))
+                    .map(|(g, _)| g)
+                    .collect()
+            })
             .collect();
-        if nearby.is_empty() {
-            continue;
+        let mut attempts = 0;
+        while faults.len() < config.bridges && attempts < config.bridges * 20 {
+            attempts += 1;
+            let ai = rng.gen_range(0..gates.len());
+            let nearby = &nearby_gates[ai];
+            if nearby.is_empty() {
+                continue;
+            }
+            let a = gates[ai];
+            let b = nearby[rng.gen_range(0..nearby.len())];
+            let current_ua = current(&mut rng);
+            faults.push(IddqFault::Bridge { a, b, current_ua });
         }
-        let b = nearby[rng.gen_range(0..nearby.len())];
-        let current_ua = current(&mut rng);
-        let fault = IddqFault::Bridge { a, b, current_ua };
-        faults.push(fault);
     }
 
     // Gate-oxide shorts.
@@ -169,7 +181,11 @@ pub fn enumerate(netlist: &Netlist, config: &FaultUniverseConfig, seed: u64) -> 
             let pins = netlist.node(g).fanin().len();
             let pin = rng.gen_range(0..pins);
             let current_ua = current(&mut rng);
-            faults.push(IddqFault::GateOxideShort { gate: g, pin, current_ua });
+            faults.push(IddqFault::GateOxideShort {
+                gate: g,
+                pin,
+                current_ua,
+            });
         }
     }
 
@@ -177,7 +193,10 @@ pub fn enumerate(netlist: &Netlist, config: &FaultUniverseConfig, seed: u64) -> 
     for &g in &gates {
         if rng.gen_bool(config.stuck_on_fraction) {
             let current_ua = current(&mut rng);
-            faults.push(IddqFault::StuckOn { gate: g, current_ua });
+            faults.push(IddqFault::StuckOn {
+                gate: g,
+                current_ua,
+            });
         }
     }
     faults
@@ -195,7 +214,11 @@ mod tests {
         let sim = Simulator::new(&nl);
         let g10 = nl.find("10").unwrap();
         let g11 = nl.find("11").unwrap();
-        let f = IddqFault::Bridge { a: g10, b: g11, current_ua: 100.0 };
+        let f = IddqFault::Bridge {
+            a: g10,
+            b: g11,
+            current_ua: 100.0,
+        };
         // inputs all 1: 10 = NAND(1,3) = 0, 11 = NAND(3,6) = 0 → same → inactive
         let v = sim.eval(&[!0u64; 5]);
         assert_eq!(f.activation(&nl, &v) & 1, 0);
@@ -209,7 +232,11 @@ mod tests {
         let nl = data::c17();
         let sim = Simulator::new(&nl);
         let g10 = nl.find("10").unwrap(); // NAND(1, 3)
-        let f = IddqFault::GateOxideShort { gate: g10, pin: 0, current_ua: 80.0 };
+        let f = IddqFault::GateOxideShort {
+            gate: g10,
+            pin: 0,
+            current_ua: 80.0,
+        };
         // inputs all 1: in0 = 1, out = 0 → disagree → active
         let v = sim.eval(&[!0u64; 5]);
         assert_eq!(f.activation(&nl, &v) & 1, 1);
@@ -227,7 +254,10 @@ mod tests {
         let nl = data::c17();
         let sim = Simulator::new(&nl);
         let g22 = nl.find("22").unwrap();
-        let f = IddqFault::StuckOn { gate: g22, current_ua: 120.0 };
+        let f = IddqFault::StuckOn {
+            gate: g22,
+            current_ua: 120.0,
+        };
         let v = sim.eval(&[!0u64; 5]); // 22 = 1
         assert_eq!(f.activation(&nl, &v) & 1, 1);
         let v = sim.eval(&[0u64; 5]); // 22 = 0

@@ -9,8 +9,17 @@
 //! condition (from [`faults`](crate::faults)) and an electrically sane
 //! sensor: `I_DDQ,nd,i < I_DDQ,th` — the discriminability constraint the
 //! partitioner enforces.
+//!
+//! The fault sweep is the system's hottest loop: every partition the
+//! optimizer scores implies re-running it. It is organized for
+//! throughput — vectors are packed 256 at a time into
+//! [`W256`](iddq_netlist::W256) words, evaluated by the CSR-compiled
+//! [`Simulator`] into a reused buffer, and the (embarrassingly parallel)
+//! batches are spread over worker threads. The result is bit-identical for
+//! any thread count: workers only report each fault's earliest activating
+//! vector index inside their own slice, and the merge takes the minimum.
 
-use iddq_netlist::Netlist;
+use iddq_netlist::{Netlist, PackedWord, W256};
 
 use crate::faults::IddqFault;
 use crate::sim::Simulator;
@@ -31,30 +40,73 @@ pub struct IddqSimulation {
     pub vectors_applied: usize,
 }
 
-/// Packs boolean vectors into 64-wide batches for [`Simulator::eval`].
+/// Packs one chunk of boolean vectors (at most `W::LANES`) into a reused
+/// word buffer, one word per primary input.
 ///
-/// Returns `(batches, used)` where each batch holds one `u64` per primary
-/// input; the last batch may be partially filled.
+/// # Panics
+///
+/// Panics if the chunk exceeds the lane count, any vector's arity differs
+/// from `words.len()`, or `words` is shorter than the vectors.
+pub fn pack_chunk_into<W: PackedWord>(chunk: &[Vec<bool>], words: &mut [W]) {
+    assert!(chunk.len() <= W::LANES as usize, "chunk exceeds lane count");
+    words.fill(W::zeros());
+    for (k, v) in chunk.iter().enumerate() {
+        assert_eq!(v.len(), words.len(), "vector arity mismatch");
+        for (i, &bit) in v.iter().enumerate() {
+            if bit {
+                words[i].set_bit(k as u32);
+            }
+        }
+    }
+}
+
+/// Streams boolean vectors as packed `W::LANES`-wide batches without
+/// materializing them all up front.
+///
+/// Yields `(words, used)` pairs: one word per primary input, with the last
+/// batch possibly partially filled (`used < W::LANES`).
+///
+/// # Panics
+///
+/// The returned iterator panics on arity mismatches, as
+/// [`pack_chunk_into`] does.
+pub fn pack_batches<W: PackedWord>(
+    vectors: &[Vec<bool>],
+    num_inputs: usize,
+) -> impl Iterator<Item = (Vec<W>, usize)> + '_ {
+    vectors.chunks(W::LANES as usize).map(move |chunk| {
+        let mut words = vec![W::zeros(); num_inputs];
+        pack_chunk_into(chunk, &mut words);
+        (words, chunk.len())
+    })
+}
+
+/// Packs boolean vectors into `W::LANES`-wide batches for
+/// [`Simulator::eval`] (64 per batch for `u64`).
+///
+/// Returns `(batches, used)` where each batch holds one word per primary
+/// input; the last batch may be partially filled. Streaming callers should
+/// prefer [`pack_batches`], which avoids materializing the whole list.
 ///
 /// # Panics
 ///
 /// Panics if any vector's length differs from `num_inputs`.
 #[must_use]
-pub fn pack_vectors(vectors: &[Vec<bool>], num_inputs: usize) -> Vec<(Vec<u64>, usize)> {
-    let mut out = Vec::new();
-    for chunk in vectors.chunks(64) {
-        let mut words = vec![0u64; num_inputs];
-        for (k, v) in chunk.iter().enumerate() {
-            assert_eq!(v.len(), num_inputs, "vector arity mismatch");
-            for (i, &bit) in v.iter().enumerate() {
-                if bit {
-                    words[i] |= 1u64 << k;
-                }
-            }
-        }
-        out.push((words, chunk.len()));
-    }
-    out
+pub fn pack_vectors<W: PackedWord>(
+    vectors: &[Vec<bool>],
+    num_inputs: usize,
+) -> Vec<(Vec<W>, usize)> {
+    pack_batches(vectors, num_inputs).collect()
+}
+
+/// Worker threads used for the fault sweep: every core, but never more
+/// than one per batch of work.
+fn sweep_threads(batches: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(batches)
+        .max(1)
 }
 
 /// Runs the full IDDQ test experiment.
@@ -67,6 +119,9 @@ pub fn pack_vectors(vectors: &[Vec<bool>], num_inputs: usize) -> Vec<(Vec<u64>, 
 /// A fault is *detected* by a vector iff it is activated and at least one
 /// of its site modules has a sane sensor (`leakage < threshold`) whose
 /// measurement `leakage + defect current` reaches the threshold.
+///
+/// Parallelises over pattern batches internally; the result is identical
+/// for any machine parallelism.
 ///
 /// # Panics
 ///
@@ -81,11 +136,42 @@ pub fn simulate(
     module_leakage_ua: &[f64],
     threshold_ua: f64,
 ) -> IddqSimulation {
+    let batches = vectors.len().div_ceil(W256::LANES as usize);
+    simulate_with_threads(
+        netlist,
+        faults,
+        vectors,
+        module_of,
+        module_leakage_ua,
+        threshold_ua,
+        sweep_threads(batches),
+    )
+}
+
+/// [`simulate`] with an explicit worker-thread count (1 = sequential).
+///
+/// Exposed so tests can assert thread-count invariance and callers can pin
+/// parallelism.
+///
+/// # Panics
+///
+/// As [`simulate`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_with_threads(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    vectors: &[Vec<bool>],
+    module_of: &[u32],
+    module_leakage_ua: &[f64],
+    threshold_ua: f64,
+    threads: usize,
+) -> IddqSimulation {
     assert_eq!(module_of.len(), netlist.node_count());
     let sim = Simulator::new(netlist);
-    let mut detected = vec![false; faults.len()];
-    let mut first_detection = vec![None; faults.len()];
 
+    // Sensor sanity is a property of the partition, not of the vector:
+    // precompute it per fault instead of re-deriving it per batch.
     let sensor_sees = |module: u32, current_ua: f64| -> bool {
         if module == NO_MODULE {
             return false;
@@ -93,33 +179,76 @@ pub fn simulate(
         let leak = module_leakage_ua[module as usize];
         leak < threshold_ua && leak + current_ua >= threshold_ua
     };
-
-    for (batch_idx, (words, used)) in pack_vectors(vectors, netlist.num_inputs())
-        .into_iter()
-        .enumerate()
-    {
-        let values = sim.eval(&words);
-        let used_mask = if used == 64 { !0u64 } else { (1u64 << used) - 1 };
-        for (fi, fault) in faults.iter().enumerate() {
-            if detected[fi] {
-                continue;
-            }
-            let act = fault.activation(netlist, &values) & used_mask;
-            if act == 0 {
-                continue;
-            }
+    let seen: Vec<bool> = faults
+        .iter()
+        .map(|fault| {
             let (site_a, site_b) = fault.sites();
-            let seen = sensor_sees(module_of[site_a.index()], fault.current_ua())
+            sensor_sees(module_of[site_a.index()], fault.current_ua())
                 || site_b
                     .map(|s| sensor_sees(module_of[s.index()], fault.current_ua()))
-                    .unwrap_or(false);
-            if seen {
-                detected[fi] = true;
-                first_detection[fi] = Some(batch_idx * 64 + act.trailing_zeros() as usize);
+                    .unwrap_or(false)
+        })
+        .collect();
+
+    let lanes = W256::LANES as usize;
+    let num_batches = vectors.len().div_ceil(lanes);
+    let threads = threads.clamp(1, num_batches.max(1));
+
+    // Each worker sweeps a contiguous range of batches and reports, per
+    // fault, the earliest activating vector index it saw (or None).
+    let sweep_range = |batch_range: std::ops::Range<usize>| -> Vec<Option<usize>> {
+        let mut first = vec![None; faults.len()];
+        let mut remaining = seen.iter().filter(|&&s| s).count();
+        let mut words = vec![W256::zeros(); netlist.num_inputs()];
+        let mut values = vec![W256::zeros(); sim.node_count()];
+        for batch_idx in batch_range {
+            if remaining == 0 {
+                break;
+            }
+            let chunk = &vectors[batch_idx * lanes..vectors.len().min((batch_idx + 1) * lanes)];
+            pack_chunk_into(chunk, &mut words);
+            sim.eval_into(&words, &mut values);
+            for (fi, fault) in faults.iter().enumerate() {
+                if !seen[fi] || first[fi].is_some() {
+                    continue;
+                }
+                let act = fault
+                    .activation(netlist, &values)
+                    .mask_lanes(chunk.len() as u32);
+                if let Some(bit) = act.first_set() {
+                    first[fi] = Some(batch_idx * lanes + bit as usize);
+                    remaining -= 1;
+                }
             }
         }
-    }
+        first
+    };
 
+    let first_detection: Vec<Option<usize>> = if threads <= 1 || num_batches <= 1 {
+        sweep_range(0..num_batches)
+    } else {
+        let per = num_batches.div_ceil(threads);
+        let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+            .map(|t| t * per..num_batches.min((t + 1) * per))
+            .filter(|r| !r.is_empty())
+            .collect();
+        let partials: Vec<Vec<Option<usize>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| scope.spawn(|| sweep_range(r)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker never panics"))
+                .collect()
+        });
+        // Deterministic merge: earliest detection across all slices.
+        (0..faults.len())
+            .map(|fi| partials.iter().filter_map(|p| p[fi]).min())
+            .collect()
+    };
+
+    let detected: Vec<bool> = first_detection.iter().map(Option::is_some).collect();
     let coverage = if faults.is_empty() {
         1.0
     } else {
@@ -148,7 +277,10 @@ mod tests {
     fn activated_fault_is_detected_with_good_sensor() {
         let nl = data::c17();
         let g22 = nl.find("22").unwrap();
-        let faults = vec![IddqFault::StuckOn { gate: g22, current_ua: 50.0 }];
+        let faults = vec![IddqFault::StuckOn {
+            gate: g22,
+            current_ua: 50.0,
+        }];
         let vectors = vec![vec![true; 5]]; // 22 = 1 → activated
         let module_of = one_module_assignment(&nl);
         let r = simulate(&nl, &faults, &vectors, &module_of, &[0.1], 1.0);
@@ -161,7 +293,10 @@ mod tests {
     fn unactivated_fault_is_missed() {
         let nl = data::c17();
         let g22 = nl.find("22").unwrap();
-        let faults = vec![IddqFault::StuckOn { gate: g22, current_ua: 50.0 }];
+        let faults = vec![IddqFault::StuckOn {
+            gate: g22,
+            current_ua: 50.0,
+        }];
         let vectors = vec![vec![false; 5]]; // 22 = 0 → not activated
         let module_of = one_module_assignment(&nl);
         let r = simulate(&nl, &faults, &vectors, &module_of, &[0.1], 1.0);
@@ -176,7 +311,10 @@ mod tests {
         // constraint exists precisely to rule this out.
         let nl = data::c17();
         let g22 = nl.find("22").unwrap();
-        let faults = vec![IddqFault::StuckOn { gate: g22, current_ua: 50.0 }];
+        let faults = vec![IddqFault::StuckOn {
+            gate: g22,
+            current_ua: 50.0,
+        }];
         let vectors = vec![vec![true; 5]];
         let module_of = one_module_assignment(&nl);
         let r = simulate(&nl, &faults, &vectors, &module_of, &[5.0], 1.0);
@@ -187,7 +325,10 @@ mod tests {
     fn tiny_defect_current_below_threshold_missed() {
         let nl = data::c17();
         let g22 = nl.find("22").unwrap();
-        let faults = vec![IddqFault::StuckOn { gate: g22, current_ua: 0.5 }];
+        let faults = vec![IddqFault::StuckOn {
+            gate: g22,
+            current_ua: 0.5,
+        }];
         let vectors = vec![vec![true; 5]];
         let module_of = one_module_assignment(&nl);
         // leakage 0.1 + defect 0.5 = 0.6 < 1.0 → missed
@@ -200,7 +341,11 @@ mod tests {
         let nl = data::c17();
         let g10 = nl.find("10").unwrap();
         let g11 = nl.find("11").unwrap();
-        let faults = vec![IddqFault::Bridge { a: g10, b: g11, current_ua: 100.0 }];
+        let faults = vec![IddqFault::Bridge {
+            a: g10,
+            b: g11,
+            current_ua: 100.0,
+        }];
         // Put g10 in module 0 (saturated sensor) and g11 in module 1 (good).
         let mut module_of = vec![NO_MODULE; nl.node_count()];
         for g in nl.gate_ids() {
@@ -216,13 +361,44 @@ mod tests {
     fn first_detection_vector_index_across_batches() {
         let nl = data::c17();
         let g22 = nl.find("22").unwrap();
-        let faults = vec![IddqFault::StuckOn { gate: g22, current_ua: 50.0 }];
-        // 70 inactive vectors then one activating one (index 70).
-        let mut vectors = vec![vec![false; 5]; 70];
+        let faults = vec![IddqFault::StuckOn {
+            gate: g22,
+            current_ua: 50.0,
+        }];
+        // 300 inactive vectors then one activating one (index 300) — spans
+        // more than one 256-wide batch.
+        let mut vectors = vec![vec![false; 5]; 300];
         vectors.push(vec![true; 5]);
         let module_of = one_module_assignment(&nl);
         let r = simulate(&nl, &faults, &vectors, &module_of, &[0.1], 1.0);
-        assert_eq!(r.first_detection, vec![Some(70)]);
+        assert_eq!(r.first_detection, vec![Some(300)]);
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_results() {
+        let nl = data::ripple_adder(6);
+        let faults =
+            crate::faults::enumerate(&nl, &crate::faults::FaultUniverseConfig::default(), 13);
+        // Enough vectors for several batches; alternate activation-rich
+        // and all-zero vectors.
+        let vectors: Vec<Vec<bool>> = (0..1100)
+            .map(|k| {
+                (0..nl.num_inputs())
+                    .map(|i| (k * 31 + i * 7) % 3 == 0)
+                    .collect()
+            })
+            .collect();
+        let module_of = one_module_assignment(&nl);
+        let base = simulate_with_threads(&nl, &faults, &vectors, &module_of, &[0.1], 1.0, 1);
+        for threads in [2, 3, 8] {
+            let par =
+                simulate_with_threads(&nl, &faults, &vectors, &module_of, &[0.1], 1.0, threads);
+            assert_eq!(base.detected, par.detected, "threads = {threads}");
+            assert_eq!(
+                base.first_detection, par.first_detection,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]
@@ -236,11 +412,30 @@ mod tests {
     #[test]
     fn pack_vectors_shapes() {
         let vectors = vec![vec![true, false]; 130];
-        let packed = pack_vectors(&vectors, 2);
+        let packed = pack_vectors::<u64>(&vectors, 2);
         assert_eq!(packed.len(), 3);
         assert_eq!(packed[0].1, 64);
         assert_eq!(packed[2].1, 2);
         assert_eq!(packed[0].0[0], !0u64);
         assert_eq!(packed[0].0[1], 0);
+    }
+
+    #[test]
+    fn wide_packing_matches_narrow() {
+        let vectors: Vec<Vec<bool>> = (0..300)
+            .map(|k| (0..3).map(|i| (k + i) % 5 == 0).collect())
+            .collect();
+        let narrow = pack_vectors::<u64>(&vectors, 3);
+        let wide = pack_vectors::<W256>(&vectors, 3);
+        assert_eq!(narrow.len(), 5);
+        assert_eq!(wide.len(), 2);
+        assert_eq!(wide[0].1, 256);
+        assert_eq!(wide[1].1, 44);
+        // Limb 1 of the first wide batch is narrow batch 1, etc.
+        for input in 0..3 {
+            assert_eq!(wide[0].0[input].0[0], narrow[0].0[input]);
+            assert_eq!(wide[0].0[input].0[3], narrow[3].0[input]);
+            assert_eq!(wide[1].0[input].0[0], narrow[4].0[input]);
+        }
     }
 }

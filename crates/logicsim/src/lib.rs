@@ -10,8 +10,11 @@
 //!
 //! This crate supplies:
 //!
-//! * [`Simulator`] — a levelized, 64-way pattern-parallel evaluator for
-//!   the combinational netlists of `iddq-netlist`,
+//! * [`Simulator`] — a CSR-compiled, wide-word pattern-parallel evaluator
+//!   for the combinational netlists of `iddq-netlist` (64 patterns per
+//!   sweep over `u64`, 256 over [`iddq_netlist::W256`]),
+//! * [`reference`] — the seed's naive evaluator, kept as the golden
+//!   baseline for differential tests and speedup measurements,
 //! * [`faults`] — the defect universe: [`faults::IddqFault`] variants with
 //!   activation conditions and defect-current magnitudes,
 //! * [`iddq`] — sensor-level detection: given a partition of the gates
@@ -42,6 +45,7 @@
 pub mod faults;
 pub mod iddq;
 pub mod logic_test;
+pub mod reference;
 mod sim;
 
 pub use sim::Simulator;

@@ -19,8 +19,11 @@
 //!   visibility: gate-oxide shorts and stuck-on transistors leave
 //!   intermediate analogue voltages and (to first order) *no* logic
 //!   change, which is precisely why they escape voltage testing.
+//!
+//! All detection masks are generic over the packed word, so the same code
+//! scores 64 (`u64`) or 256 ([`iddq_netlist::W256`]) patterns per call.
 
-use iddq_netlist::{Netlist, NodeId};
+use iddq_netlist::{Netlist, NodeId, PackedWord};
 
 use crate::faults::IddqFault;
 use crate::sim::Simulator;
@@ -34,41 +37,55 @@ pub struct StuckAtFault {
     pub stuck_at_one: bool,
 }
 
-/// Packed detection mask for a stuck-at fault over 64 patterns: bit *k*
-/// set iff pattern *k* produces a different value on some primary output.
+/// Packed detection mask for a stuck-at fault: bit *k* set iff pattern *k*
+/// produces a different value on some primary output.
 ///
 /// # Panics
 ///
 /// Panics if `inputs.len()` differs from the netlist's primary-input
 /// count.
 #[must_use]
-pub fn stuck_at_detection(netlist: &Netlist, fault: StuckAtFault, inputs: &[u64]) -> u64 {
+pub fn stuck_at_detection<W: PackedWord>(
+    netlist: &Netlist,
+    fault: StuckAtFault,
+    inputs: &[W],
+) -> W {
     let sim = Simulator::new(netlist);
+    stuck_at_detection_with(netlist, &sim, fault, inputs)
+}
+
+/// [`stuck_at_detection`] against a pre-built simulator, so sweeps over
+/// many faults compile the netlist once.
+#[must_use]
+pub fn stuck_at_detection_with<W: PackedWord>(
+    netlist: &Netlist,
+    sim: &Simulator,
+    fault: StuckAtFault,
+    inputs: &[W],
+) -> W {
     let good = sim.eval(inputs);
-    let bad = eval_forced(netlist, inputs, &[(
-        fault.node,
-        if fault.stuck_at_one { !0u64 } else { 0u64 },
-    )]);
-    let mut diff = 0u64;
+    let bad = eval_forced(
+        netlist,
+        inputs,
+        &[(fault.node, W::splat(fault.stuck_at_one))],
+    );
+    let mut diff = W::zeros();
     for &o in netlist.outputs() {
-        diff |= good[o.index()] ^ bad[o.index()];
+        diff = diff | (good[o.index()] ^ bad[o.index()]);
     }
     diff
 }
 
 /// Evaluates the circuit with some nodes forced to fixed packed values.
-fn eval_forced(netlist: &Netlist, inputs: &[u64], forced: &[(NodeId, u64)]) -> Vec<u64> {
+fn eval_forced<W: PackedWord>(netlist: &Netlist, inputs: &[W], forced: &[(NodeId, W)]) -> Vec<W> {
     assert_eq!(inputs.len(), netlist.num_inputs());
-    let mut values = vec![0u64; netlist.node_count()];
+    let mut values = vec![W::zeros(); netlist.node_count()];
     for (&id, &w) in netlist.inputs().iter().zip(inputs) {
         values[id.index()] = w;
     }
-    let force = |values: &mut Vec<u64>| {
-        for &(n, v) in forced {
-            values[n.index()] = v;
-        }
-    };
-    force(&mut values);
+    for &(n, v) in forced {
+        values[n.index()] = v;
+    }
     let mut buf = Vec::with_capacity(8);
     for &id in netlist.topo_order() {
         if forced.iter().any(|&(n, _)| n == id) {
@@ -85,7 +102,7 @@ fn eval_forced(netlist: &Netlist, inputs: &[u64], forced: &[(NodeId, u64)]) -> V
 }
 
 /// Logic detection mask of a bridging short between nets `a` and `b`
-/// under the wired-AND (ground-dominant) model, over 64 packed patterns.
+/// under the wired-AND (ground-dominant) model, over packed patterns.
 ///
 /// The bridged value `v(a) ∧ v(b)` replaces both nets and the corruption
 /// is propagated; since the composition stays monotone in the bridged
@@ -95,9 +112,41 @@ fn eval_forced(netlist: &Netlist, inputs: &[u64], forced: &[(NodeId, u64)]) -> V
 ///
 /// Panics if `inputs.len()` differs from the primary-input count.
 #[must_use]
-pub fn bridge_logic_detection(netlist: &Netlist, a: NodeId, b: NodeId, inputs: &[u64]) -> u64 {
+pub fn bridge_logic_detection<W: PackedWord>(
+    netlist: &Netlist,
+    a: NodeId,
+    b: NodeId,
+    inputs: &[W],
+) -> W {
     let sim = Simulator::new(netlist);
+    bridge_logic_detection_with(netlist, &sim, a, b, inputs)
+}
+
+/// [`bridge_logic_detection`] against a pre-built simulator.
+#[must_use]
+pub fn bridge_logic_detection_with<W: PackedWord>(
+    netlist: &Netlist,
+    sim: &Simulator,
+    a: NodeId,
+    b: NodeId,
+    inputs: &[W],
+) -> W {
     let good = sim.eval(inputs);
+    bridge_logic_detection_from(netlist, &good, a, b, inputs)
+}
+
+/// [`bridge_logic_detection`] against precomputed fault-free values, so a
+/// sweep over many bridges re-uses one evaluation per batch.
+///
+/// `good` must be the fault-free evaluation of `inputs` on `netlist`.
+#[must_use]
+pub fn bridge_logic_detection_from<W: PackedWord>(
+    netlist: &Netlist,
+    good: &[W],
+    a: NodeId,
+    b: NodeId,
+    inputs: &[W],
+) -> W {
     // Iterate the wired value to a fixpoint (the second sweep re-reads the
     // downstream-updated driver values; a could feed b's cone or vice
     // versa).
@@ -114,18 +163,18 @@ pub fn bridge_logic_detection(netlist: &Netlist, a: NodeId, b: NodeId, inputs: &
         }
         wired = next;
     }
-    let mut diff = 0u64;
+    let mut diff = W::zeros();
     for &o in netlist.outputs() {
-        diff |= good[o.index()] ^ bad[o.index()];
+        diff = diff | (good[o.index()] ^ bad[o.index()]);
     }
     diff
 }
 
-fn recompute_driver(netlist: &Netlist, values: &[u64], node: NodeId) -> u64 {
+fn recompute_driver<W: PackedWord>(netlist: &Netlist, values: &[W], node: NodeId) -> W {
     match netlist.node(node).kind().cell_kind() {
         None => values[node.index()], // primary input drives itself
         Some(kind) => {
-            let ins: Vec<u64> = netlist
+            let ins: Vec<W> = netlist
                 .node(node)
                 .fanin()
                 .iter()
@@ -144,17 +193,19 @@ fn recompute_driver(netlist: &Netlist, values: &[u64], node: NodeId) -> u64 {
 /// they are reported logic-silent — the class the paper's §1 says escapes
 /// voltage test.
 #[must_use]
-pub fn logic_observability(
+pub fn logic_observability<W: PackedWord>(
     netlist: &Netlist,
     faults: &[IddqFault],
-    vector_batches: &[Vec<u64>],
+    vector_batches: &[Vec<W>],
 ) -> Vec<bool> {
+    // One compiled simulator shared across the whole fault × batch sweep.
+    let sim = Simulator::new(netlist);
     faults
         .iter()
         .map(|f| match *f {
             IddqFault::Bridge { a, b, .. } => vector_batches
                 .iter()
-                .any(|ins| bridge_logic_detection(netlist, a, b, ins) != 0),
+                .any(|ins| !bridge_logic_detection_with(netlist, &sim, a, b, ins).is_zero()),
             IddqFault::GateOxideShort { .. } | IddqFault::StuckOn { .. } => false,
         })
         .collect()
@@ -163,19 +214,25 @@ pub fn logic_observability(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iddq_netlist::data;
+    use iddq_netlist::{data, W256};
 
     #[test]
     fn stuck_at_on_output_always_detected_by_sensitizing_vector() {
         let nl = data::c17();
         let g22 = nl.find("22").unwrap();
         // All-ones: 22 = 1, so stuck-at-0 flips it.
-        let sa0 = StuckAtFault { node: g22, stuck_at_one: false };
+        let sa0 = StuckAtFault {
+            node: g22,
+            stuck_at_one: false,
+        };
         let det = stuck_at_detection(&nl, sa0, &[!0u64; 5]);
         assert_ne!(det & 1, 1 ^ 1); // bit 0 set
         assert_eq!(det & 1, 1);
         // Stuck-at-1 is silent on that vector.
-        let sa1 = StuckAtFault { node: g22, stuck_at_one: true };
+        let sa1 = StuckAtFault {
+            node: g22,
+            stuck_at_one: true,
+        };
         assert_eq!(stuck_at_detection(&nl, sa1, &[!0u64; 5]) & 1, 0);
     }
 
@@ -187,7 +244,10 @@ mod tests {
         // So all-zeros does NOT detect s-a-0 on 11.
         let nl = data::c17();
         let g11 = nl.find("11").unwrap();
-        let sa0 = StuckAtFault { node: g11, stuck_at_one: false };
+        let sa0 = StuckAtFault {
+            node: g11,
+            stuck_at_one: false,
+        };
         assert_eq!(stuck_at_detection(&nl, sa0, &[0u64; 5]) & 1, 0);
         // With 2 = 1, 7 = 1 the flip propagates.
         // inputs order (1,2,3,6,7) = (0,1,0,0,1)
@@ -204,9 +264,9 @@ mod tests {
         // find a vector where the bridge corrupts an output: sweep all 32.
         let mut packed = vec![0u64; 5];
         for pat in 0u64..32 {
-            for i in 0..5 {
+            for (i, word) in packed.iter_mut().enumerate() {
                 if pat >> i & 1 == 1 {
-                    packed[i] |= 1 << pat;
+                    *word |= 1 << pat;
                 }
             }
         }
@@ -223,9 +283,9 @@ mod tests {
         let g10 = nl.find("10").unwrap();
         let mut packed = vec![0u64; 5];
         for pat in 0u64..32 {
-            for i in 0..5 {
+            for (i, word) in packed.iter_mut().enumerate() {
                 if pat >> i & 1 == 1 {
-                    packed[i] |= 1 << pat;
+                    *word |= 1 << pat;
                 }
             }
         }
@@ -237,8 +297,15 @@ mod tests {
         let nl = data::c17();
         let g22 = nl.find("22").unwrap();
         let faults = vec![
-            IddqFault::GateOxideShort { gate: g22, pin: 0, current_ua: 100.0 },
-            IddqFault::StuckOn { gate: g22, current_ua: 100.0 },
+            IddqFault::GateOxideShort {
+                gate: g22,
+                pin: 0,
+                current_ua: 100.0,
+            },
+            IddqFault::StuckOn {
+                gate: g22,
+                current_ua: 100.0,
+            },
         ];
         let batches = vec![vec![!0u64; 5], vec![0u64; 5]];
         let vis = logic_observability(&nl, &faults, &batches);
@@ -249,7 +316,25 @@ mod tests {
     fn forced_eval_matches_plain_eval_without_forces() {
         let nl = data::ripple_adder(3);
         let sim = Simulator::new(&nl);
-        let inputs: Vec<u64> = (0..nl.num_inputs() as u64).map(|i| 0x55aa << (i % 8)).collect();
+        let inputs: Vec<u64> = (0..nl.num_inputs() as u64)
+            .map(|i| 0x55aa << (i % 8))
+            .collect();
         assert_eq!(sim.eval(&inputs), eval_forced(&nl, &inputs, &[]));
+    }
+
+    #[test]
+    fn wide_stuck_at_matches_narrow_lanes() {
+        let nl = data::c17();
+        let g11 = nl.find("11").unwrap();
+        let fault = StuckAtFault {
+            node: g11,
+            stuck_at_one: false,
+        };
+        let narrow: Vec<u64> = vec![0x0123_4567_89ab_cdef, !0, 0, 0xff00_ff00, 0x55aa];
+        let wide: Vec<W256> = narrow.iter().map(|&w| W256([w, 0, !0, w])).collect();
+        let dn = stuck_at_detection(&nl, fault, &narrow);
+        let dw = stuck_at_detection(&nl, fault, &wide);
+        assert_eq!(dw.0[0], dn);
+        assert_eq!(dw.0[3], dn);
     }
 }

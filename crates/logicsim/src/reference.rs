@@ -1,0 +1,95 @@
+//! Naive reference evaluator.
+//!
+//! This reproduces the pre-CSR simulator exactly as the seed shipped it:
+//! one heap-allocated fan-in `Vec` per gate, a scratch gather buffer per
+//! step, and a freshly allocated value vector per 64-pattern batch. It
+//! exists for two reasons:
+//!
+//! * **correctness** — the differential property tests assert the compiled
+//!   CSR kernel agrees with it bit-for-bit on random netlists;
+//! * **benchmarking** — the `bench` binary's `BENCH_sim.json` reports the
+//!   CSR/wide-word speedup against this baseline, so the comparison stays
+//!   honest across future refactors.
+
+use iddq_netlist::Netlist;
+
+/// The seed's levelized 64-way simulator, kept as a golden reference.
+#[derive(Debug, Clone)]
+pub struct NaiveSimulator {
+    program: Vec<Step>,
+    node_count: usize,
+    input_indices: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Step {
+    target: usize,
+    kind: iddq_netlist::CellKind,
+    fanin: Vec<usize>,
+}
+
+impl NaiveSimulator {
+    /// Compiles the netlist into the per-gate-`Vec` program.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut program = Vec::with_capacity(netlist.gate_count());
+        for &id in netlist.topo_order() {
+            let node = netlist.node(id);
+            if let Some(kind) = node.kind().cell_kind() {
+                program.push(Step {
+                    target: id.index(),
+                    kind,
+                    fanin: node.fanin().iter().map(|f| f.index()).collect(),
+                });
+            }
+        }
+        NaiveSimulator {
+            program,
+            node_count: netlist.node_count(),
+            input_indices: netlist.inputs().iter().map(|i| i.index()).collect(),
+        }
+    }
+
+    /// Evaluates 64 packed patterns, allocating the result (the seed's
+    /// `Simulator::eval`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    #[must_use]
+    pub fn eval(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            inputs.len(),
+            self.input_indices.len(),
+            "one packed word per primary input required"
+        );
+        let mut values = vec![0u64; self.node_count];
+        for (&idx, &word) in self.input_indices.iter().zip(inputs) {
+            values[idx] = word;
+        }
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for step in &self.program {
+            fanin_buf.clear();
+            fanin_buf.extend(step.fanin.iter().map(|&f| values[f]));
+            values[step.target] = step.kind.eval_packed(&fanin_buf);
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_netlist::data;
+
+    #[test]
+    fn reference_evaluates_c17() {
+        let nl = data::c17();
+        let sim = NaiveSimulator::new(&nl);
+        let v = sim.eval(&[!0u64; 5]);
+        let g22 = nl.find("22").unwrap();
+        let g23 = nl.find("23").unwrap();
+        assert_eq!(v[g22.index()] & 1, 1);
+        assert_eq!(v[g23.index()] & 1, 0);
+    }
+}

@@ -1,11 +1,21 @@
-use iddq_netlist::Netlist;
+use iddq_netlist::{CellKind, Netlist, PackedWord};
 
-/// Levelized 64-way pattern-parallel logic simulator.
+/// Levelized wide-word pattern-parallel logic simulator.
 ///
-/// Each node value is a `u64` whose bit *k* carries pattern *k*; one sweep
-/// over the topological order evaluates 64 input vectors at once. The
-/// simulator borrows nothing from the netlist after construction, so it can
-/// be reused across pattern batches.
+/// The netlist is compiled once into a flat CSR *program*: all fan-in
+/// indices live in one shared `u32` pool addressed by per-gate offsets, so
+/// an evaluation sweep is a linear walk over three dense arrays with no
+/// per-gate allocation or pointer chasing. Gates are grouped (within their
+/// topological level, which preserves dependencies) into runs of identical
+/// `(kind, fan-in)` so the inner loop dispatches once per run, with
+/// specialized loops for the 1- and 2-input forms that dominate ISCAS
+/// circuits.
+///
+/// Each node value is a [`PackedWord`] whose bit *k* carries pattern *k*:
+/// one sweep evaluates 64 input vectors for `u64` or 256 for
+/// [`W256`](iddq_netlist::W256). The simulator borrows nothing from the
+/// netlist after construction and [`Simulator::eval_into`] performs no
+/// allocation, so batched sweeps can reuse one values buffer.
 ///
 /// # Example
 ///
@@ -24,38 +34,89 @@ use iddq_netlist::Netlist;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    /// Flattened evaluation program: (node index, kind, fanin indices).
-    program: Vec<Step>,
+    /// Evaluated node per step, in dependency-safe order.
+    targets: Vec<u32>,
+    /// Per-step fan-in slice bounds: step `s` reads
+    /// `pool[offsets[s]..offsets[s + 1]]`.
+    offsets: Vec<u32>,
+    /// Shared fan-in index pool.
+    pool: Vec<u32>,
+    /// Maximal same-shape step runs, in step order.
+    runs: Vec<Run>,
     node_count: usize,
-    input_indices: Vec<usize>,
+    input_indices: Vec<u32>,
 }
 
-#[derive(Debug, Clone)]
-struct Step {
-    target: usize,
-    kind: iddq_netlist::CellKind,
-    fanin: Vec<usize>,
+/// A maximal run of consecutive steps sharing `(kind, arity)`.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    kind: CellKind,
+    /// Fan-in count of every step in the run.
+    arity: u32,
+    /// Step range `start..end`.
+    start: u32,
+    end: u32,
 }
 
 impl Simulator {
-    /// Compiles the netlist into a levelized evaluation program.
+    /// Compiles the netlist into the CSR evaluation program.
     #[must_use]
     pub fn new(netlist: &Netlist) -> Self {
-        let mut program = Vec::with_capacity(netlist.gate_count());
+        // Topological level per node: gates of one level are mutually
+        // independent, so steps may be freely reordered inside a level.
+        // Sorting by (level, kind, arity) maximizes run length while
+        // keeping every driver evaluated before its consumers.
+        let mut level = vec![0u32; netlist.node_count()];
+        let mut order: Vec<(u32, CellKind, u32, u32)> = Vec::with_capacity(netlist.gate_count());
         for &id in netlist.topo_order() {
             let node = netlist.node(id);
             if let Some(kind) = node.kind().cell_kind() {
-                program.push(Step {
-                    target: id.index(),
-                    kind,
-                    fanin: node.fanin().iter().map(|f| f.index()).collect(),
-                });
+                let lv = 1 + node
+                    .fanin()
+                    .iter()
+                    .map(|f| level[f.index()])
+                    .max()
+                    .unwrap_or(0);
+                level[id.index()] = lv;
+                order.push((lv, kind, node.fanin().len() as u32, id.index() as u32));
             }
         }
+        order.sort_unstable();
+
+        let mut targets = Vec::with_capacity(order.len());
+        let mut offsets = Vec::with_capacity(order.len() + 1);
+        let mut pool = Vec::new();
+        let mut runs: Vec<Run> = Vec::new();
+        offsets.push(0u32);
+        for &(_, kind, arity, target) in &order {
+            let step = targets.len() as u32;
+            targets.push(target);
+            pool.extend(
+                netlist
+                    .node(iddq_netlist::NodeId(target))
+                    .fanin()
+                    .iter()
+                    .map(|f| f.index() as u32),
+            );
+            offsets.push(pool.len() as u32);
+            match runs.last_mut() {
+                Some(run) if run.kind == kind && run.arity == arity => run.end = step + 1,
+                _ => runs.push(Run {
+                    kind,
+                    arity,
+                    start: step,
+                    end: step + 1,
+                }),
+            }
+        }
+
         Simulator {
-            program,
+            targets,
+            offsets,
+            pool,
+            runs,
             node_count: netlist.node_count(),
-            input_indices: netlist.inputs().iter().map(|i| i.index()).collect(),
+            input_indices: netlist.inputs().iter().map(|i| i.index() as u32).collect(),
         }
     }
 
@@ -65,51 +126,179 @@ impl Simulator {
         self.input_indices.len()
     }
 
-    /// Evaluates 64 packed patterns.
+    /// Length required of the output buffer of [`Simulator::eval_into`]:
+    /// one packed word per netlist node.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Evaluates one packed batch into a caller-provided buffer without
+    /// allocating: `values` receives one packed word per node.
     ///
-    /// `inputs[k]` carries the 64 values of the *k*-th primary input (in
-    /// the netlist's input order). Returns one packed word per node.
+    /// `inputs[k]` carries the packed values of the *k*-th primary input
+    /// (netlist input order).
     ///
     /// # Panics
     ///
-    /// Panics if `inputs.len()` differs from the number of primary inputs.
-    #[must_use]
-    pub fn eval(&self, inputs: &[u64]) -> Vec<u64> {
+    /// Panics if `inputs.len()` differs from the number of primary inputs
+    /// or `values.len()` differs from [`Simulator::node_count`].
+    pub fn eval_into<W: PackedWord>(&self, inputs: &[W], values: &mut [W]) {
         assert_eq!(
             inputs.len(),
             self.input_indices.len(),
             "one packed word per primary input required"
         );
-        let mut values = vec![0u64; self.node_count];
+        assert_eq!(
+            values.len(),
+            self.node_count,
+            "one packed word per node required"
+        );
+        values.fill(W::zeros());
         for (&idx, &word) in self.input_indices.iter().zip(inputs) {
-            values[idx] = word;
+            values[idx as usize] = word;
         }
-        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
-        for step in &self.program {
-            fanin_buf.clear();
-            fanin_buf.extend(step.fanin.iter().map(|&f| values[f]));
-            values[step.target] = step.kind.eval_packed(&fanin_buf);
+        for run in &self.runs {
+            self.eval_run(run, values);
         }
+    }
+
+    /// One dispatch per run: the specialized loops keep the per-gate work
+    /// at two indexed loads, one logic op and one store for the dominant
+    /// 2-input NAND/NOR/AND/OR forms.
+    fn eval_run<W: PackedWord>(&self, run: &Run, values: &mut [W]) {
+        let steps = run.start as usize..run.end as usize;
+        match (run.kind, run.arity) {
+            (CellKind::Buf, 1) => self.run1(steps, values, |a| a),
+            (CellKind::Not, 1) => self.run1(steps, values, |a: W| !a),
+            (CellKind::Nand, 2) => self.run2(steps, values, |a, b| !(a & b)),
+            (CellKind::Nor, 2) => self.run2(steps, values, |a, b| !(a | b)),
+            (CellKind::And, 2) => self.run2(steps, values, |a, b| a & b),
+            (CellKind::Or, 2) => self.run2(steps, values, |a, b| a | b),
+            (CellKind::Xor, 2) => self.run2(steps, values, |a, b| a ^ b),
+            (CellKind::Xnor, 2) => self.run2(steps, values, |a, b| !(a ^ b)),
+            (CellKind::And, _) => self.run_fold(steps, values, W::ones(), |a, b| a & b, false),
+            (CellKind::Nand, _) => self.run_fold(steps, values, W::ones(), |a, b| a & b, true),
+            (CellKind::Or, _) => self.run_fold(steps, values, W::zeros(), |a, b| a | b, false),
+            (CellKind::Nor, _) => self.run_fold(steps, values, W::zeros(), |a, b| a | b, true),
+            (CellKind::Xor, _) => self.run_fold(steps, values, W::zeros(), |a, b| a ^ b, false),
+            (CellKind::Xnor, _) => self.run_fold(steps, values, W::zeros(), |a, b| a ^ b, true),
+            (CellKind::Buf | CellKind::Not, _) => {
+                unreachable!("netlist invariants force arity 1 for Buf/Not")
+            }
+        }
+    }
+
+    #[inline]
+    fn run1<W: PackedWord>(
+        &self,
+        steps: std::ops::Range<usize>,
+        values: &mut [W],
+        op: impl Fn(W) -> W,
+    ) {
+        for s in steps {
+            let a = values[self.pool[self.offsets[s] as usize] as usize];
+            values[self.targets[s] as usize] = op(a);
+        }
+    }
+
+    #[inline]
+    fn run2<W: PackedWord>(
+        &self,
+        steps: std::ops::Range<usize>,
+        values: &mut [W],
+        op: impl Fn(W, W) -> W,
+    ) {
+        for s in steps {
+            let base = self.offsets[s] as usize;
+            let a = values[self.pool[base] as usize];
+            let b = values[self.pool[base + 1] as usize];
+            values[self.targets[s] as usize] = op(a, b);
+        }
+    }
+
+    #[inline]
+    fn run_fold<W: PackedWord>(
+        &self,
+        steps: std::ops::Range<usize>,
+        values: &mut [W],
+        unit: W,
+        op: impl Fn(W, W) -> W,
+        invert: bool,
+    ) {
+        for s in steps {
+            let fanin = &self.pool[self.offsets[s] as usize..self.offsets[s + 1] as usize];
+            let mut acc = unit;
+            for &f in fanin {
+                acc = op(acc, values[f as usize]);
+            }
+            values[self.targets[s] as usize] = if invert { !acc } else { acc };
+        }
+    }
+
+    /// Evaluates one packed batch (64 patterns for `u64`, 256 for
+    /// [`W256`](iddq_netlist::W256)), allocating the result vector.
+    ///
+    /// `inputs[k]` carries the packed values of the *k*-th primary input
+    /// (in the netlist's input order). Returns one packed word per node.
+    /// Hot paths should prefer [`Simulator::eval_into`] with a reused
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    #[must_use]
+    pub fn eval<W: PackedWord>(&self, inputs: &[W]) -> Vec<W> {
+        let mut values = vec![W::zeros(); self.node_count];
+        self.eval_into(inputs, &mut values);
         values
     }
 
     /// Evaluates a single boolean vector (convenience wrapper over
-    /// [`Simulator::eval`] using bit 0).
+    /// [`Simulator::eval`] using bit 0 of a `u64` batch).
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the number of primary inputs.
     #[must_use]
     pub fn eval_bool(&self, inputs: &[bool]) -> Vec<bool> {
-        let packed: Vec<u64> = inputs.iter().map(|&b| u64::from(b)).collect();
-        self.eval(&packed).into_iter().map(|w| w & 1 != 0).collect()
+        let mut packed = vec![0u64; inputs.len()];
+        let mut values = vec![0u64; self.node_count];
+        self.eval_bool_into(inputs, &mut packed, &mut values)
+            .iter()
+            .map(|&w| w & 1 != 0)
+            .collect()
+    }
+
+    /// Allocation-free core of [`Simulator::eval_bool`]: packs `inputs`
+    /// into bit 0 of `packed` and evaluates into `values`, returning
+    /// `values` for chaining. Both buffers are caller-owned and reusable
+    /// across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != inputs.len()`, or on the
+    /// [`Simulator::eval_into`] arity conditions.
+    pub fn eval_bool_into<'v>(
+        &self,
+        inputs: &[bool],
+        packed: &mut [u64],
+        values: &'v mut [u64],
+    ) -> &'v [u64] {
+        assert_eq!(packed.len(), inputs.len(), "one packed word per input bit");
+        for (w, &b) in packed.iter_mut().zip(inputs) {
+            *w = u64::from(b);
+        }
+        self.eval_into(packed, values);
+        values
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iddq_netlist::data;
+    use crate::reference::NaiveSimulator;
+    use iddq_netlist::{data, W256};
 
     #[test]
     fn c17_truth_spot_checks() {
@@ -164,9 +353,9 @@ mod tests {
         // Pack all 32 input combinations into one word.
         let mut packed = vec![0u64; 5];
         for pat in 0u64..32 {
-            for i in 0..5 {
+            for (i, word) in packed.iter_mut().enumerate() {
                 if pat >> i & 1 == 1 {
-                    packed[i] |= 1 << pat;
+                    *word |= 1 << pat;
                 }
             }
         }
@@ -186,11 +375,59 @@ mod tests {
     }
 
     #[test]
+    fn wide_word_matches_u64_lanes() {
+        // The same 64 patterns replicated into each W256 limb must produce
+        // the 64-bit result in each limb.
+        let nl = data::ripple_adder(6);
+        let sim = Simulator::new(&nl);
+        let narrow: Vec<u64> = (0..nl.num_inputs() as u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
+        let wide: Vec<W256> = narrow.iter().map(|&w| W256([w, !w, w ^ 0xff, 0])).collect();
+        let nv = sim.eval(&narrow);
+        let wv = sim.eval(&wide);
+        for id in nl.node_ids() {
+            assert_eq!(wv[id.index()].0[0], nv[id.index()], "limb 0, node {id}");
+        }
+        // Limb 3 carries the all-zero-input patterns: must equal eval of 0s.
+        let zeros = sim.eval(&vec![0u64; nl.num_inputs()]);
+        for id in nl.node_ids() {
+            assert_eq!(wv[id.index()].0[3], zeros[id.index()], "limb 3, node {id}");
+        }
+    }
+
+    #[test]
+    fn csr_matches_naive_reference() {
+        let nl = data::ripple_adder(8);
+        let sim = Simulator::new(&nl);
+        let naive = NaiveSimulator::new(&nl);
+        let inputs: Vec<u64> = (0..nl.num_inputs() as u64)
+            .map(|i| 0xdead_beef_u64.rotate_left(i as u32).wrapping_mul(i | 1))
+            .collect();
+        assert_eq!(sim.eval(&inputs), naive.eval(&inputs));
+    }
+
+    #[test]
+    fn eval_into_reuses_buffer() {
+        let nl = data::c17();
+        let sim = Simulator::new(&nl);
+        let mut buf = vec![0u64; sim.node_count()];
+        sim.eval_into(&[!0u64; 5], &mut buf);
+        let first = buf.clone();
+        // A second, different evaluation must fully overwrite the buffer …
+        sim.eval_into(&[0u64; 5], &mut buf);
+        assert_ne!(first, buf);
+        // … and evaluating the first inputs again restores the result.
+        sim.eval_into(&[!0u64; 5], &mut buf);
+        assert_eq!(first, buf);
+    }
+
+    #[test]
     #[should_panic(expected = "one packed word per primary input")]
     fn wrong_input_arity_panics() {
         let nl = data::c17();
         let sim = Simulator::new(&nl);
-        let _ = sim.eval(&[0, 0]);
+        let _ = sim.eval(&[0u64, 0]);
     }
 
     #[test]

@@ -178,11 +178,7 @@ pub fn to_bench(netlist: &Netlist) -> String {
     for id in netlist.node_ids() {
         let node = netlist.node(id);
         if let Some(kind) = node.kind().cell_kind() {
-            let args: Vec<&str> = node
-                .fanin()
-                .iter()
-                .map(|f| netlist.node_name(*f))
-                .collect();
+            let args: Vec<&str> = node.fanin().iter().map(|f| netlist.node_name(*f)).collect();
             out.push_str(&format!(
                 "{} = {}({})\n",
                 netlist.node_name(id),

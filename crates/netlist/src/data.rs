@@ -45,8 +45,7 @@ pub fn c17() -> Netlist {
 /// The optimum partition of §4.3 is `{(g1,g3,g5), (g2,g4,g6)}`.
 #[must_use]
 pub fn c17_paper_gates(netlist: &Netlist) -> [NodeId; 6] {
-    ["10", "11", "16", "19", "22", "23"]
-        .map(|n| netlist.find(n).expect("c17 gate names present"))
+    ["10", "11", "16", "19", "22", "23"].map(|n| netlist.find(n).expect("c17 gate names present"))
 }
 
 /// Builds an `n`-bit ripple-carry adder (2·n inputs plus carry-in, n+1

@@ -34,9 +34,7 @@ pub fn to_dot(netlist: &Netlist, module_of: Option<&dyn Fn(NodeId) -> usize>) ->
         let name = netlist.node_name(id);
         match netlist.node(id).kind().cell_kind() {
             None => {
-                out.push_str(&format!(
-                    "  \"{name}\" [shape=oval, label=\"{name}\"];\n"
-                ));
+                out.push_str(&format!("  \"{name}\" [shape=oval, label=\"{name}\"];\n"));
             }
             Some(kind) => {
                 let fill = module_of

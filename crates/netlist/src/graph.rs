@@ -112,14 +112,21 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::DuplicateName(n) => write!(f, "signal `{n}` defined twice"),
-            NetlistError::UndefinedSignal(n) => write!(f, "signal `{n}` is referenced but never defined"),
+            NetlistError::UndefinedSignal(n) => {
+                write!(f, "signal `{n}` is referenced but never defined")
+            }
             NetlistError::BadFanin { gate, kind, got } => {
-                write!(f, "gate `{gate}` of kind {kind} declared with illegal fan-in {got}")
+                write!(
+                    f,
+                    "gate `{gate}` of kind {kind} declared with illegal fan-in {got}"
+                )
             }
             NetlistError::Cycle { on } => write!(f, "combinational cycle through `{on}`"),
             NetlistError::UnknownOutput(n) => write!(f, "OUTPUT declared for unknown signal `{n}`"),
             NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
-            NetlistError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -284,7 +291,10 @@ impl Netlist {
     /// paper ("the undirected graph of the logic circuit").
     pub fn undirected_neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         let node = &self.nodes[id.index()];
-        node.fanin.iter().copied().chain(self.fanouts[id.index()].iter().copied())
+        node.fanin
+            .iter()
+            .copied()
+            .chain(self.fanouts[id.index()].iter().copied())
     }
 
     /// Dense gate indexing: maps a gate's [`NodeId`] to `0..gate_count()`.
@@ -363,7 +373,10 @@ impl NetlistBuilder {
     pub fn try_add_input(&mut self, name: impl AsRef<str>) -> Result<NodeId, NetlistError> {
         let id = self.intern(
             name.as_ref(),
-            Node { kind: NodeKind::Input, fanin: Vec::new() },
+            Node {
+                kind: NodeKind::Input,
+                fanin: Vec::new(),
+            },
         )?;
         self.inputs.push(id);
         Ok(id)
@@ -390,7 +403,13 @@ impl NetlistBuilder {
                 got: fanin.len(),
             });
         }
-        self.intern(name.as_ref(), Node { kind: NodeKind::Gate(kind), fanin })
+        self.intern(
+            name.as_ref(),
+            Node {
+                kind: NodeKind::Gate(kind),
+                fanin,
+            },
+        )
     }
 
     /// Declares an existing node as a primary output (idempotent).
@@ -559,9 +578,7 @@ mod tests {
     fn dangling_reference_rejected() {
         let mut b = NetlistBuilder::new("dang");
         let a = b.add_input("a");
-        let g = b
-            .add_gate("g", CellKind::And, vec![a, NodeId(99)])
-            .unwrap();
+        let g = b.add_gate("g", CellKind::And, vec![a, NodeId(99)]).unwrap();
         b.mark_output(g);
         assert!(matches!(
             b.build().unwrap_err(),

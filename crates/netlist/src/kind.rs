@@ -109,14 +109,16 @@ impl CellKind {
         }
     }
 
-    /// Evaluates the logic function over 64 parallel patterns packed in
-    /// `u64` words (bit *k* of every word belongs to pattern *k*).
+    /// Evaluates the logic function over parallel patterns packed in
+    /// [`PackedWord`](crate::PackedWord)s (bit *k* of every word belongs to
+    /// pattern *k*): 64 patterns at a time for `u64`, 256 for
+    /// [`W256`](crate::W256).
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len()` is not a legal fan-in for this kind.
     #[must_use]
-    pub fn eval_packed(self, inputs: &[u64]) -> u64 {
+    pub fn eval_packed<W: crate::PackedWord>(self, inputs: &[W]) -> W {
         assert!(
             self.accepts_fanin(inputs.len()),
             "illegal fan-in {} for {self}",
@@ -125,12 +127,12 @@ impl CellKind {
         match self {
             CellKind::Buf => inputs[0],
             CellKind::Not => !inputs[0],
-            CellKind::And => inputs.iter().fold(!0u64, |a, &b| a & b),
-            CellKind::Nand => !inputs.iter().fold(!0u64, |a, &b| a & b),
-            CellKind::Or => inputs.iter().fold(0u64, |a, &b| a | b),
-            CellKind::Nor => !inputs.iter().fold(0u64, |a, &b| a | b),
-            CellKind::Xor => inputs.iter().fold(0u64, |a, &b| a ^ b),
-            CellKind::Xnor => !inputs.iter().fold(0u64, |a, &b| a ^ b),
+            CellKind::And => inputs.iter().fold(W::ones(), |a, &b| a & b),
+            CellKind::Nand => !inputs.iter().fold(W::ones(), |a, &b| a & b),
+            CellKind::Or => inputs.iter().fold(W::zeros(), |a, &b| a | b),
+            CellKind::Nor => !inputs.iter().fold(W::zeros(), |a, &b| a | b),
+            CellKind::Xor => inputs.iter().fold(W::zeros(), |a, &b| a ^ b),
+            CellKind::Xnor => !inputs.iter().fold(W::zeros(), |a, &b| a ^ b),
         }
     }
 
@@ -271,7 +273,7 @@ mod tests {
     #[test]
     fn xor_parity_many_inputs() {
         let ins = [true, true, true, false, true];
-        assert_eq!(CellKind::Xor.eval(&ins), false);
-        assert_eq!(CellKind::Xnor.eval(&ins), true);
+        assert!(!CellKind::Xor.eval(&ins));
+        assert!(CellKind::Xnor.eval(&ins));
     }
 }

@@ -62,7 +62,11 @@ pub fn depth(netlist: &Netlist) -> u32 {
 /// Panics if `weight.len() != netlist.node_count()`.
 #[must_use]
 pub fn longest_path(netlist: &Netlist, weight: &[f64]) -> Vec<f64> {
-    assert_eq!(weight.len(), netlist.node_count(), "weight per node required");
+    assert_eq!(
+        weight.len(),
+        netlist.node_count(),
+        "weight per node required"
+    );
     let mut arr = vec![0.0f64; netlist.node_count()];
     for &id in netlist.topo_order() {
         let node = netlist.node(id);

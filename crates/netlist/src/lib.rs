@@ -48,10 +48,12 @@ pub mod dot;
 mod graph;
 mod kind;
 pub mod levelize;
+pub mod packed;
 pub mod separation;
 pub mod stats;
 mod timeset;
 
 pub use graph::{Netlist, NetlistBuilder, NetlistError, Node, NodeId, NodeKind};
 pub use kind::CellKind;
+pub use packed::{PackedWord, W256};
 pub use timeset::TimeSet;

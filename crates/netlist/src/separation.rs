@@ -125,6 +125,22 @@ impl SeparationOracle {
         sum
     }
 
+    /// All nodes strictly within the saturation bound of `a` (distance
+    /// `1..rho`), in ascending node-id order with their distances.
+    ///
+    /// This exposes the BFS neighbourhoods the oracle already computed, so
+    /// callers sampling "nearby" nodes (e.g. bridge-defect enumeration) can
+    /// iterate candidates directly instead of testing every node pair. The
+    /// sort makes the order deterministic — the underlying map is a
+    /// `HashMap`, whose iteration order is not.
+    #[must_use]
+    pub fn neighbors_within(&self, a: NodeId) -> Vec<(NodeId, u32)> {
+        let mut out: Vec<(NodeId, u32)> =
+            self.near[a.index()].iter().map(|(&n, &d)| (n, d)).collect();
+        out.sort_unstable_by_key(|&(n, _)| n);
+        out
+    }
+
     /// Sum of saturated distances from `gate` to every member of `module`
     /// (skipping `gate` itself if present).
     ///

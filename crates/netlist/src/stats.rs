@@ -69,7 +69,11 @@ impl CircuitStats {
             kind_histogram,
             fanin_histogram,
             fanout_histogram,
-            mean_fanin: if gates == 0 { 0.0 } else { fanin_total as f64 / gates as f64 },
+            mean_fanin: if gates == 0 {
+                0.0
+            } else {
+                fanin_total as f64 / gates as f64
+            },
             max_fanout,
             gates_per_level_max: by_level.iter().skip(1).map(Vec::len).max().unwrap_or(0),
         }

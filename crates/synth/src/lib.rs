@@ -95,7 +95,8 @@ pub fn decompose(netlist: &Netlist, style: DecompositionStyle, max_fanin: usize)
     for &o in netlist.outputs() {
         b.mark_output(map[o.index()].expect("all nodes mapped"));
     }
-    b.build().expect("decomposition preserves structural validity")
+    b.build()
+        .expect("decomposition preserves structural validity")
 }
 
 fn style_tag(style: DecompositionStyle) -> &'static str {
@@ -194,9 +195,7 @@ pub fn fanout_buffer(netlist: &Netlist, max_fanout: usize) -> Netlist {
     let mut served: Vec<usize> = vec![0; netlist.node_count()];
 
     for &i in netlist.inputs() {
-        map[i.index()] = Some(
-            b.try_add_input(netlist.node_name(i)).expect("names unique"),
-        );
+        map[i.index()] = Some(b.try_add_input(netlist.node_name(i)).expect("names unique"));
     }
     for &id in netlist.topo_order() {
         let node = netlist.node(id);
@@ -294,7 +293,12 @@ pub fn cost_aware(
     };
     (
         out,
-        ResynthesisReport { original_cost, balanced_cost, chain_cost, chosen },
+        ResynthesisReport {
+            original_cost,
+            balanced_cost,
+            chain_cost,
+            chosen,
+        },
     )
 }
 
@@ -313,7 +317,11 @@ mod tests {
         let sim_b = Simulator::new(b);
         for round in 0u64..4 {
             let inputs: Vec<u64> = (0..a.num_inputs() as u64)
-                .map(|i| (round + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left((i % 63) as u32))
+                .map(|i| {
+                    (round + 1)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .rotate_left((i % 63) as u32)
+                })
                 .collect();
             let va = sim_a.eval(&inputs);
             let vb = sim_b.eval(&inputs);
@@ -364,7 +372,11 @@ mod tests {
             iddq_netlist::levelize::depth(&ch) > iddq_netlist::levelize::depth(&bal),
             "chains trade depth for staggered switching"
         );
-        assert_eq!(bal.gate_count(), ch.gate_count(), "same stage count either way");
+        assert_eq!(
+            bal.gate_count(),
+            ch.gate_count(),
+            "same stage count either way"
+        );
     }
 
     #[test]
@@ -402,7 +414,11 @@ mod tests {
                         || !buffered.node_name(**f).contains("__buf")
                 })
                 .count();
-            assert!(gate_fanout <= 4 + 1, "net {} over-loaded", buffered.node_name(id));
+            assert!(
+                gate_fanout <= 4 + 1,
+                "net {} over-loaded",
+                buffered.node_name(id)
+            );
         }
     }
 

@@ -81,7 +81,11 @@ fn main() {
     );
 
     // (b) Partitioned CUT with one BIC sensor per module.
-    let evo = EvolutionConfig { generations: 40, stagnation: 20, ..Default::default() };
+    let evo = EvolutionConfig {
+        generations: 40,
+        stagnation: 20,
+        ..Default::default()
+    };
     let result = flow::synthesize_with(&cut, &library, &config, &evo, 7);
     let module_leaks: Vec<f64> = result
         .report
@@ -98,7 +102,10 @@ fn main() {
         threshold_ua,
     );
 
-    println!("\n                       single sensor   {} BIC sensors", module_leaks.len());
+    println!(
+        "\n                       single sensor   {} BIC sensors",
+        module_leaks.len()
+    );
     println!(
         "defect coverage        {:>12.1}%   {:>12.1}%",
         single.coverage * 100.0,

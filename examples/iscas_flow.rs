@@ -37,7 +37,11 @@ fn main() {
 
     let library = Library::generic_1um();
     let config = PartitionConfig::paper_default();
-    let evo = EvolutionConfig { generations: 120, stagnation: 40, ..Default::default() };
+    let evo = EvolutionConfig {
+        generations: 120,
+        stagnation: 40,
+        ..Default::default()
+    };
 
     let t0 = std::time::Instant::now();
     let cmp = flow::compare_standard(&cut, &library, &config, &evo, seed);
@@ -50,7 +54,11 @@ fn main() {
     let e = &cmp.evolution.report;
     let s = &cmp.standard;
     println!("\n              {:>14} {:>14}", "evolution", "standard");
-    println!("modules       {:>14} {:>14}", e.modules.len(), s.modules.len());
+    println!(
+        "modules       {:>14} {:>14}",
+        e.modules.len(),
+        s.modules.len()
+    );
     println!(
         "sensor area   {:>14.3e} {:>14.3e}",
         e.cost.sensor_area, s.cost.sensor_area
@@ -76,7 +84,10 @@ fn main() {
         .iter()
         .step_by((cmp.evolution.log.len() / 10).max(1))
     {
-        println!("  g{:>4}: {:>12.1} (K={})", g.generation, g.best_cost, g.best_modules);
+        println!(
+            "  g{:>4}: {:>12.1} (K={})",
+            g.generation, g.best_cost, g.best_modules
+        );
     }
 
     // DOT export with module colouring for small circuits.

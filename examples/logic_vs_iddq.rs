@@ -47,9 +47,18 @@ fn main() {
     let logic = logic_test::logic_observability(&cut, &faults, &batches);
 
     // IDDQ verdict per defect under the synthesized sensor plan.
-    let evo = EvolutionConfig { generations: 60, stagnation: 25, ..Default::default() };
+    let evo = EvolutionConfig {
+        generations: 60,
+        stagnation: 25,
+        ..Default::default()
+    };
     let result = flow::synthesize_with(&cut, &library, &config, &evo, 13);
-    let leaks: Vec<f64> = result.report.modules.iter().map(|m| m.leakage_na / 1000.0).collect();
+    let leaks: Vec<f64> = result
+        .report
+        .modules
+        .iter()
+        .map(|m| m.leakage_na / 1000.0)
+        .collect();
     let iddq = iddq_sim::simulate(
         &cut,
         &faults,
@@ -71,8 +80,14 @@ fn main() {
         kinds(&|f| matches!(f, IddqFault::StuckOn { .. })),
     );
     println!("\n                      IDDQ miss   IDDQ detect");
-    println!("logic miss          {:>10} {:>13}", table[0][0], table[0][1]);
-    println!("logic detect        {:>10} {:>13}", table[1][0], table[1][1]);
+    println!(
+        "logic miss          {:>10} {:>13}",
+        table[0][0], table[0][1]
+    );
+    println!(
+        "logic detect        {:>10} {:>13}",
+        table[1][0], table[1][1]
+    );
 
     let logic_cov = logic.iter().filter(|&&d| d).count() as f64 / faults.len() as f64;
     println!(

@@ -12,7 +12,9 @@
 //! discovers on its own.
 
 use iddq::celllib::Library;
-use iddq::core::{config::PartitionConfig, evolution::EvolutionConfig, flow, EvalContext, Evaluated, Partition};
+use iddq::core::{
+    config::PartitionConfig, evolution::EvolutionConfig, flow, EvalContext, Evaluated, Partition,
+};
 use iddq::gen::array;
 
 fn main() {
@@ -23,8 +25,14 @@ fn main() {
     let ctx = EvalContext::new(&cut, &library, config.clone());
 
     let shapes = [
-        ("rows (staggered switching)", array::row_partition(&cut, rows, cols)),
-        ("columns (simultaneous switching)", array::col_partition(&cut, rows, cols)),
+        (
+            "rows (staggered switching)",
+            array::row_partition(&cut, rows, cols),
+        ),
+        (
+            "columns (simultaneous switching)",
+            array::col_partition(&cut, rows, cols),
+        ),
     ];
     let mut area = Vec::new();
     println!("== hand-built partitions of the {rows}x{cols} array ==");
@@ -36,7 +44,10 @@ fn main() {
             "{label:<36} K={} total sensor area {:.3e}, worst group i_max {:.0} uA",
             e.stats().len(),
             c.sensor_area,
-            e.stats().iter().map(|s| s.peak_current_ua).fold(0.0f64, f64::max),
+            e.stats()
+                .iter()
+                .map(|s| s.peak_current_ua)
+                .fold(0.0f64, f64::max),
         );
         area.push(c.sensor_area);
     }
@@ -46,7 +57,11 @@ fn main() {
     );
 
     // Does the optimizer discover the row-ish shape by itself?
-    let evo = EvolutionConfig { generations: 150, stagnation: 60, ..Default::default() };
+    let evo = EvolutionConfig {
+        generations: 150,
+        stagnation: 60,
+        ..Default::default()
+    };
     let result = flow::synthesize_with(&cut, &library, &config, &evo, 5);
     println!("== evolution result ==");
     println!(

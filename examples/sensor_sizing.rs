@@ -44,7 +44,10 @@ fn main() {
         "r* (mV)", "Rs (ohm)", "area", "tau (ps)", "delta-fast", "delta-RK4", "err %"
     );
     for r_star in [100.0, 150.0, 200.0, 250.0, 300.0] {
-        let spec = SizingSpec { r_star_mv: r_star, ..SizingSpec::paper_default() };
+        let spec = SizingSpec {
+            r_star_mv: r_star,
+            ..SizingSpec::paper_default()
+        };
         let sensor = size_sensor(
             stats.peak_current_ua,
             stats.rail_cap_ff,

@@ -10,7 +10,11 @@ use iddq::logicsim::iddq as iddq_sim;
 use iddq::netlist::bench;
 
 fn quick_evo() -> EvolutionConfig {
-    EvolutionConfig { generations: 40, stagnation: 20, ..Default::default() }
+    EvolutionConfig {
+        generations: 40,
+        stagnation: 20,
+        ..Default::default()
+    }
 }
 
 #[test]

@@ -7,10 +7,7 @@ use iddq::gen::array;
 use iddq::gen::iscas::{self, IscasProfile};
 use iddq::netlist::data;
 
-fn ctx_for<'a>(
-    nl: &'a iddq::netlist::Netlist,
-    lib: &Library,
-) -> EvalContext<'a> {
+fn ctx_for<'a>(nl: &'a iddq::netlist::Netlist, lib: &Library) -> EvalContext<'a> {
     EvalContext::new(nl, lib, PartitionConfig::paper_default())
 }
 
@@ -43,13 +40,16 @@ fn evolution_reaches_paper_optimum_cost_on_c17() {
     let g = data::c17_paper_gates(&nl);
     let pf = Evaluated::new(
         &ctx,
-        Partition::from_groups(&nl, vec![vec![g[0], g[2], g[4]], vec![g[1], g[3], g[5]]])
-            .unwrap(),
+        Partition::from_groups(&nl, vec![vec![g[0], g[2], g[4]], vec![g[1], g[3], g[5]]]).unwrap(),
     )
     .total_cost();
     let out = evolution::optimize(
         &ctx,
-        &EvolutionConfig { generations: 150, stagnation: 60, ..Default::default() },
+        &EvolutionConfig {
+            generations: 150,
+            stagnation: 60,
+            ..Default::default()
+        },
         3,
     );
     assert!(
@@ -85,12 +85,21 @@ fn figure2_shape_ordering() {
 /// modules of a leaky CUT is infeasible.
 #[test]
 fn discriminability_binds_module_count() {
-    let profile = IscasProfile { name: "leaky", inputs: 64, outputs: 32, gates: 4000, depth: 40 };
+    let profile = IscasProfile {
+        name: "leaky",
+        inputs: 64,
+        outputs: 32,
+        gates: 4000,
+        depth: 40,
+    };
     let nl = iscas::generate(&profile, 1);
     let lib = Library::generic_1um();
     let ctx = ctx_for(&nl, &lib);
     let single = Evaluated::new(&ctx, Partition::single_module(&nl)).cost();
-    assert!(!single.feasible(), "4000 gates in one module must violate d >= 10");
+    assert!(
+        !single.feasible(),
+        "4000 gates in one module must violate d >= 10"
+    );
 }
 
 /// §5: "computing time depends on the start population, and is not
@@ -104,7 +113,11 @@ fn convergence_is_monotone() {
     let nl = iscas::generate(profile, 3);
     let lib = Library::generic_1um();
     let cfg = PartitionConfig::paper_default();
-    let evo = EvolutionConfig { generations: 50, stagnation: 50, ..Default::default() };
+    let evo = EvolutionConfig {
+        generations: 50,
+        stagnation: 50,
+        ..Default::default()
+    };
     let r = flow::synthesize_with(&nl, &lib, &cfg, &evo, 3);
     let mut best = f64::INFINITY;
     for g in &r.log {
@@ -127,7 +140,10 @@ fn granularity_tradeoff() {
     let gates: Vec<_> = nl.gate_ids().collect();
 
     let coarse = Evaluated::new(&ctx, Partition::single_module(&nl));
-    let fine_groups: Vec<Vec<_>> = gates.chunks(gates.len() / 8 + 1).map(<[_]>::to_vec).collect();
+    let fine_groups: Vec<Vec<_>> = gates
+        .chunks(gates.len() / 8 + 1)
+        .map(<[_]>::to_vec)
+        .collect();
     let fine = Evaluated::new(&ctx, Partition::from_groups(&nl, fine_groups).unwrap());
 
     // Higher discriminability per module in the fine partition.

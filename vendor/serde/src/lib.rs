@@ -1,0 +1,361 @@
+//! Offline, dependency-free subset of the `serde` API.
+//!
+//! Real serde separates serialization from its data formats through the
+//! visitor pattern; this vendored replacement collapses that onto one
+//! in-memory [`Value`] tree (JSON data model), which is all the workspace
+//! needs: `#[derive(Serialize, Deserialize)]` on report/config structs plus
+//! JSON emission/parsing in the vendored `serde_json`. The derive macros
+//! are re-exported from `serde_derive` exactly like upstream's `derive`
+//! feature, so user code keeps writing
+//! `use serde::{Serialize, Deserialize};`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-model value tree.
+///
+/// Numbers are stored as `f64`: every integral value the workspace
+/// serializes (counts, indices) is well below 2^53, so the representation
+/// is lossless in practice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with deterministically ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object field lookup; returns [`Value::Null`] for missing keys or
+    /// non-objects (so optional fields deserialize to `None`).
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(name).unwrap_or(&Value::Null),
+            _ => &Value::Null,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer, when exactly integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Number(n) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.field(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(*self, Value::Number(n) if n == *other as f64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_value_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(*self, Value::Bool(b) if b == *other)
+    }
+}
+
+/// Error produced when a [`Value`] does not match the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError(format!("expected {what}, got {kind}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", v))
+    }
+}
+
+macro_rules! impl_serde_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = *self as f64;
+                if n.is_finite() { Value::Number(n) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| DeError::expected("number", v))
+            }
+        }
+    )*};
+}
+impl_serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", v))?
+            .iter()
+            .map(|(k, x)| Ok((k.clone(), V::deserialize_value(x)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<f64> = None;
+        assert_eq!(none.serialize_value(), Value::Null);
+        assert_eq!(
+            Option::<f64>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<f64>::deserialize_value(&Value::Number(2.5)).unwrap(),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn index_and_eq_sugar() {
+        let mut m = BTreeMap::new();
+        m.insert("gates".to_string(), Value::Number(160.0));
+        m.insert("ok".to_string(), Value::Bool(true));
+        let v = Value::Object(m);
+        assert_eq!(v["gates"], 160);
+        assert!(v["ok"].as_bool().unwrap());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::INFINITY.serialize_value(), Value::Null);
+        assert_eq!(1.5f64.serialize_value(), Value::Number(1.5));
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let xs = vec![1usize, 2, 3];
+        let v = xs.serialize_value();
+        assert_eq!(Vec::<usize>::deserialize_value(&v).unwrap(), xs);
+    }
+}

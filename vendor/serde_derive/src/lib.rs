@@ -1,0 +1,372 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the image has no
+//! `syn`/`quote`): the input item is parsed just far enough to extract the
+//! type's shape — named-field struct, tuple struct, or enum — and the impl
+//! is emitted as source text. Generic types are not supported; nothing in
+//! the workspace derives serde on a generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    Named(Vec<String>),
+    /// `struct S(T, U);` — field count only.
+    Tuple(usize),
+    /// `enum E { A, B(T), C { x: T } }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skips `#[...]` attribute groups at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Splits a field-list token stream on top-level commas (commas inside
+/// `<...>` belong to a type and are not separators; bracketed groups are
+/// already atomic token trees).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field name from one named-field segment
+/// (`[attrs] [vis] name : Type`).
+fn field_name(segment: &[TokenTree]) -> String {
+    let mut i = skip_attrs(segment, 0);
+    i = skip_vis(segment, i);
+    match &segment[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected field name, found `{other}`"),
+    }
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_level_commas(tokens)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let mut i = skip_attrs(seg, 0);
+            let name = match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde derive: expected variant name, found `{other}`"),
+            };
+            i += 1;
+            let fields = match seg.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantFields::Tuple(split_top_level_commas(&inner).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantFields::Named(
+                        split_top_level_commas(&inner)
+                            .iter()
+                            .map(|s| field_name(s))
+                            .collect(),
+                    )
+                }
+                _ => VariantFields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+/// Parses the derive input into `(type name, shape)`.
+fn parse(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!(
+            "serde derive supports structs and enums, found `{}`",
+            tokens[i]
+        );
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde derive: generic types are not supported by the vendored serde");
+    }
+    let body = tokens[i..].iter().find_map(|t| match t {
+        TokenTree::Group(g) => Some(g),
+        _ => None,
+    });
+    let shape = if is_enum {
+        let g = body.expect("enum body");
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        Shape::Enum(parse_variants(&inner))
+    } else {
+        match body {
+            Some(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Named(
+                    split_top_level_commas(&inner)
+                        .iter()
+                        .filter(|seg| !seg.is_empty())
+                        .map(|seg| field_name(seg))
+                        .collect(),
+                )
+            }
+            Some(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Tuple(split_top_level_commas(&inner).len())
+            }
+            _ => Shape::Named(Vec::new()), // unit struct
+        }
+    };
+    (name, shape)
+}
+
+/// Derives `serde::Serialize` (Value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\
+                             let mut m = ::std::collections::BTreeMap::new();\
+                             m.insert(::std::string::String::from(\"{vn}\"), {payload});\
+                             ::serde::Value::Object(m) }},\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("let mut fm = ::std::collections::BTreeMap::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\
+                             {inner}\
+                             let mut m = ::std::collections::BTreeMap::new();\
+                             m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(fm));\
+                             ::serde::Value::Object(m) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (Value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize_value(v.field(\"{f}\"))?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::deserialize_value(\
+                         &::std::ops::Index::index(v, {k}usize).clone())?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Array(_) => \
+                 ::std::result::Result::Ok({name}({})), \
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"array\", other)) }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let inits: Vec<String> = if *n == 1 {
+                            vec!["::serde::Deserialize::deserialize_value(payload)?".into()]
+                        } else {
+                            (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_value(\
+                                         &payload[{k}usize])?"
+                                    )
+                                })
+                                .collect()
+                        };
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({})),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize_value(\
+                                     payload.field(\"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (key, payload) = m.iter().next().expect(\"len checked\");\n\
+                 match key.as_str() {{\n{keyed_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum representation\", other)),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
