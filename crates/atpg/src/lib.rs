@@ -33,7 +33,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use iddq_logicsim::faults::IddqFault;
-use iddq_logicsim::Simulator;
+use iddq_logicsim::{BackendKind, SimBackend};
 use iddq_netlist::{Netlist, PackedWord, W256};
 
 /// Generation parameters.
@@ -86,7 +86,23 @@ pub fn generate(
     config: &AtpgConfig,
     seed: u64,
 ) -> TestSet {
-    let sim = Simulator::new(netlist);
+    generate_with_backend(netlist, faults, config, seed, BackendKind::Csr)
+}
+
+/// [`generate`] on a chosen simulation engine ([`BackendKind`]).
+///
+/// Both engines produce bit-identical pattern evaluations, so the
+/// resulting test set is backend-invariant; the parameter exists so the
+/// whole pipeline can be exercised end-to-end on either engine.
+#[must_use]
+pub fn generate_with_backend(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    config: &AtpgConfig,
+    seed: u64,
+    backend: BackendKind,
+) -> TestSet {
+    let mut sim = SimBackend::<W256>::new(netlist, backend);
     let num_inputs = netlist.num_inputs();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xa7b6);
     let mut activated = vec![false; faults.len()];
@@ -176,6 +192,17 @@ mod tests {
         let t = generate(&nl, &faults, &AtpgConfig::default(), 3);
         assert!(t.coverage >= 0.95, "coverage {}", t.coverage);
         assert!(!t.vectors.is_empty());
+    }
+
+    #[test]
+    fn backend_invariant() {
+        let nl = data::ripple_adder(4);
+        let faults = universe(&nl, 9);
+        let csr = generate_with_backend(&nl, &faults, &AtpgConfig::default(), 5, BackendKind::Csr);
+        let delta =
+            generate_with_backend(&nl, &faults, &AtpgConfig::default(), 5, BackendKind::Delta);
+        assert_eq!(csr.vectors, delta.vectors);
+        assert_eq!(csr.activated, delta.activated);
     }
 
     #[test]

@@ -66,6 +66,8 @@ commands:
   sim <netlist.bench>     measure logic-simulation throughput (256-wide kernel)
       --patterns N        number of random patterns (default 1048576)
       --seed N            pattern seed (default 42)
+      --threads N         worker threads sharing the pattern stream (default 1)
+      --backend B         simulation engine: csr | delta (default csr)
   stats <netlist.bench>   print structural statistics
 ";
 
@@ -236,6 +238,7 @@ fn cmd_test(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_sim(rest: &[String]) -> Result<(), String> {
+    use iddq_logicsim::{BackendKind, SimBackend};
     use iddq_netlist::{PackedWord, W256};
     let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
     let cut = load(path)?;
@@ -244,43 +247,79 @@ fn cmd_sim(rest: &[String]) -> Result<(), String> {
         return Err("--patterns must be at least 1".into());
     }
     let seed: u64 = parse_num(rest, "--seed", 42)?;
-    let sim = iddq_logicsim::Simulator::new(&cut);
-
-    let mut state = seed;
-    let mut next = move || {
-        // SplitMix64-style stream for reproducible pattern words.
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z ^ (z >> 31)
+    let threads: usize = parse_num(rest, "--threads", 1usize)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let backend: BackendKind = match parse_flag(rest, "--backend") {
+        None => BackendKind::Csr,
+        Some(v) => v.parse().map_err(|e| format!("{e}"))?,
     };
-    let mut inputs = vec![W256::zeros(); cut.num_inputs()];
-    let mut values = vec![W256::zeros(); sim.node_count()];
-    // Fingerprint every node value, not just the primary outputs: the deep
-    // outputs of the synthetic profiles are near-constant under random
-    // stimuli and would make a poor discriminator. Four independent limb
-    // accumulators keep the fold off the measured loop's critical path.
-    let mut acc = [0u64; 4];
+
     let batches = patterns.div_ceil(u64::from(W256::LANES));
-    let start = std::time::Instant::now();
-    for _ in 0..batches {
-        for w in &mut inputs {
-            *w = W256::from_limbs(|_| next());
-        }
-        sim.eval_into(&inputs, &mut values);
-        for v in &values {
-            for (a, limb) in acc.iter_mut().zip(v.0) {
-                *a = a.rotate_left(1) ^ limb;
+    let threads = threads.min(batches as usize);
+    // Each worker owns one engine instance and a disjoint slice of the
+    // seeded pattern stream; the per-worker fingerprints are folded in
+    // worker order, so the checksum is deterministic for a fixed
+    // (seed, threads, backend) triple.
+    let worker = |t: usize| -> [u64; 4] {
+        let mut state = seed ^ (t as u64).wrapping_mul(0xa076_1d64_78bd_642f);
+        let mut next = move || {
+            // SplitMix64-style stream for reproducible pattern words.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z ^ (z >> 31)
+        };
+        let mut sim = SimBackend::<W256>::new(&cut, backend);
+        let mut inputs = vec![W256::zeros(); cut.num_inputs()];
+        let mut values = vec![W256::zeros(); sim.node_count()];
+        // Fingerprint every node value, not just the primary outputs: the
+        // deep outputs of the synthetic profiles are near-constant under
+        // random stimuli and would make a poor discriminator. Four
+        // independent limb accumulators keep the fold off the measured
+        // loop's critical path.
+        let mut acc = [0u64; 4];
+        let my_batches = batches as usize / threads + usize::from(t < batches as usize % threads);
+        for _ in 0..my_batches {
+            for w in &mut inputs {
+                *w = W256::from_limbs(|_| next());
+            }
+            sim.eval_into(&inputs, &mut values);
+            for v in &values {
+                for (a, limb) in acc.iter_mut().zip(v.0) {
+                    *a = a.rotate_left(1) ^ limb;
+                }
             }
         }
+        acc
+    };
+    let start = std::time::Instant::now();
+    let accs: Vec<[u64; 4]> = if threads <= 1 {
+        vec![worker(0)]
+    } else {
+        std::thread::scope(|scope| {
+            let worker = &worker;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| scope.spawn(move || worker(t)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sim worker never panics"))
+                .collect()
+        })
+    };
+    let mut checksum = 0u64;
+    for acc in &accs {
+        let c = acc[0] ^ acc[1].rotate_left(16) ^ acc[2].rotate_left(32) ^ acc[3].rotate_left(48);
+        checksum = checksum.rotate_left(8) ^ c;
     }
-    let checksum =
-        acc[0] ^ acc[1].rotate_left(16) ^ acc[2].rotate_left(32) ^ acc[3].rotate_left(48);
     let elapsed = start.elapsed().as_secs_f64();
     let evaluated = batches * u64::from(W256::LANES);
     println!(
         "{}: {} gates, {evaluated} patterns in {elapsed:.3} s = {:.3e} patterns/s \
-         ({:.3e} gate-evals/s), value checksum {checksum:#018x}",
+         ({:.3e} gate-evals/s), backend {backend}, {threads} thread(s), \
+         value checksum {checksum:#018x}",
         cut.name(),
         cut.gate_count(),
         evaluated as f64 / elapsed,

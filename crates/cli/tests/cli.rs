@@ -129,6 +129,65 @@ fn resynth_flag_runs() {
 }
 
 #[test]
+fn sim_backend_and_threads_flags() {
+    let bench_path = tmp("c432-backend.bench");
+    let out = bin()
+        .args(["gen", "c432", "--seed", "5", "--out"])
+        .arg(&bench_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    let run = |extra: &[&str]| {
+        let out = bin()
+            .arg("sim")
+            .arg(&bench_path)
+            .args(["--patterns", "2048", "--seed", "7"])
+            .args(extra)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let checksum = |t: &str| {
+        t.split("checksum ")
+            .nth(1)
+            .expect("checksum printed")
+            .trim()
+            .to_string()
+    };
+
+    // Both engines evaluate the same pattern stream bit-for-bit.
+    let csr = run(&["--backend", "csr"]);
+    let delta = run(&["--backend", "delta"]);
+    assert!(csr.contains("backend csr"), "{csr}");
+    assert!(delta.contains("backend delta"), "{delta}");
+    assert_eq!(checksum(&csr), checksum(&delta));
+
+    // Threaded sharding is deterministic for a fixed thread count.
+    let t2a = run(&["--threads", "2"]);
+    let t2b = run(&["--threads", "2", "--backend", "delta"]);
+    assert!(t2a.contains("2 thread(s)"), "{t2a}");
+    assert_eq!(checksum(&t2a), checksum(&t2b));
+
+    // An unknown backend is a usage error.
+    let out = bin()
+        .arg("sim")
+        .arg(&bench_path)
+        .args(["--backend", "warp"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown backend"));
+
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
 fn sim_reports_throughput_and_checksum() {
     let bench_path = tmp("c432-sim.bench");
     let out = bin()

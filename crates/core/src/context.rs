@@ -1,6 +1,7 @@
 //! One-time analysis context shared by every partition evaluation.
 
 use iddq_celllib::{Library, NodeTables, Technology};
+use iddq_netlist::cone::ConeIndex;
 use iddq_netlist::separation::SeparationOracle;
 use iddq_netlist::{levelize, Netlist, TimeSet};
 
@@ -44,6 +45,8 @@ pub struct EvalContext<'a> {
     pub horizon: usize,
     /// Bounded-BFS separation oracle (§3.3).
     pub separation: SeparationOracle,
+    /// Fanout-cone index driving the incremental delay re-simulation.
+    pub cones: ConeIndex,
     /// Nominal (sensor-free) critical path delay `D`, picoseconds.
     pub nominal_delay_ps: f64,
     /// All gate ids, in topological order.
@@ -63,6 +66,7 @@ impl<'a> EvalContext<'a> {
             .map(|t| t as usize + 1)
             .unwrap_or(1);
         let separation = SeparationOracle::new(netlist, config.rho);
+        let cones = ConeIndex::new(netlist);
         let nominal_delay_ps = levelize::critical_path_delay(netlist, &tables.delay_ps);
         let gates = netlist
             .topo_order()
@@ -78,6 +82,7 @@ impl<'a> EvalContext<'a> {
             times,
             horizon,
             separation,
+            cones,
             nominal_delay_ps,
             gates,
         }

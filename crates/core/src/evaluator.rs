@@ -3,19 +3,50 @@
 //! The evolution algorithm evaluates thousands of neighbouring partitions;
 //! the paper notes that "after gate moving, costs are recomputed just for
 //! the modified modules, and the global costs of the partition are
-//! updated" (§4.2). [`Evaluated`] implements exactly that: per-module
-//! activity histograms, leakage/capacitance sums and separation totals are
-//! maintained under [`Evaluated::move_gate`], and [`Evaluated::cost`]
-//! derives the five cost terms from the cached statistics.
+//! updated" (§4.2). [`Evaluated`] implements exactly that, at *two*
+//! levels:
+//!
+//! * **Module statistics** — per-module activity histograms,
+//!   leakage/capacitance sums and separation totals are maintained under
+//!   [`Evaluated::move_gate`], and per-module sensor figures (sizing,
+//!   area, decay time, violations) are re-derived eagerly for the touched
+//!   modules only.
+//! * **Delay re-simulation** — the degraded longest-path sweep (`D_BIC`,
+//!   the only `O(V + E)` term of the cost) is maintained *incrementally*:
+//!   each gate's degraded delay weight and arrival time persist across
+//!   moves, and [`Evaluated::settle`] re-propagates arrivals only through
+//!   the fanout cones of the gates whose weight actually changed, in
+//!   level order via the netlist's [`ConeIndex`]. When a batch of moves
+//!   re-weights more gates than
+//!   [`incremental_delay_limit`](crate::config::PartitionConfig::incremental_delay_limit)
+//!   allows, settling falls back to one full batch sweep — the
+//!   Monte-Carlo descendants, which move whole modules, routinely take
+//!   that path.
+//!
+//! [`Evaluated::cost`] assembles the five cost terms from the cached
+//! statistics in `O(K)` plus an `O(outputs)` max over the settled arrival
+//! state.
+//!
+//! # Transactions
+//!
+//! [`Evaluated::begin_txn`] arms an undo log: every subsequent move and
+//! settle records exact inverse information, and
+//! [`Evaluated::rollback_txn`] restores the evaluator — partition, module
+//! statistics, sensor figures, weights, arrivals, dirty set —
+//! *bit-for-bit* to the state at `begin_txn`. The evolution strategy
+//! scores every descendant on a per-worker scratch evaluator through
+//! apply → settle → score → rollback, and only materializes the
+//! descendants that survive selection.
 
 use iddq_analog::network::delay_degradation;
 use iddq_bic::sizing::{size_sensor, SizingError};
 use iddq_bic::BicSensor;
+use iddq_netlist::cone::{ConeStep, ConeWalker};
 use iddq_netlist::NodeId;
 
 use crate::context::EvalContext;
 use crate::cost::CostBreakdown;
-use crate::partition::{MoveOutcome, Partition};
+use crate::partition::{MoveOutcome, MoveUndo, Partition};
 
 /// Cached per-module statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +90,130 @@ impl ModuleStats {
     }
 }
 
+/// Derived per-module sensor figures, re-computed eagerly whenever the
+/// module's statistics change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ModuleSensor {
+    /// Sized (or fallback) bypass resistance, Ω.
+    rs_ohm: f64,
+    /// Contribution to the global sensor area.
+    area: f64,
+    /// Per-vector decay+sense time Δ(τ) in ps (0 when infeasible).
+    delta_ps: f64,
+    /// Constraint violations charged to this module (0–2).
+    violations: usize,
+}
+
+fn sensor_figures(ctx: &EvalContext<'_>, s: &ModuleStats) -> ModuleSensor {
+    let mut violations = 0usize;
+    let leak_ua = s.leakage_na / 1000.0;
+    if leak_ua <= 0.0 || ctx.technology.iddq_threshold_ua / leak_ua < ctx.config.d_min {
+        violations += 1;
+    }
+    match size_sensor(
+        s.peak_current_ua,
+        s.rail_cap_ff,
+        &ctx.config.sizing,
+        &ctx.technology,
+    ) {
+        Ok(sensor) => ModuleSensor {
+            rs_ohm: sensor.rs_ohm,
+            area: sensor.area,
+            delta_ps: sensor.delta_ps(s.peak_current_ua),
+            violations,
+        },
+        // Rail-infeasible modules fall back to the most conductive
+        // realizable bypass for delay purposes.
+        Err(SizingError::RailPerturbation) => {
+            let rs = ctx.technology.r_bypass_min_ohm;
+            ModuleSensor {
+                rs_ohm: rs,
+                area: ctx.config.sizing.a0 + ctx.config.sizing.a1 / rs,
+                delta_ps: 0.0,
+                violations: violations + 1,
+            }
+        }
+        // Cannot happen: Partition never keeps empty modules.
+        Err(SizingError::EmptyModule) => ModuleSensor {
+            rs_ohm: 0.0,
+            area: 0.0,
+            delta_ps: 0.0,
+            violations: violations + 1,
+        },
+    }
+}
+
+/// Degraded delay weight of one gate under its module's sensor (§3.2).
+fn gate_weight(ctx: &EvalContext<'_>, gate: NodeId, s: &ModuleStats, sens: &ModuleSensor) -> f64 {
+    let gi = gate.index();
+    let delta = delay_degradation(
+        f64::from(s.peak_activity),
+        sens.rs_ohm,
+        s.rail_cap_ff,
+        ctx.tables.r_on_kohm[gi],
+        ctx.tables.c_out_ff[gi],
+    );
+    ctx.tables.delay_ps[gi] * delta
+}
+
+/// Full weighted longest-path sweep into `arr` (the batch path).
+fn full_arrival_sweep(ctx: &EvalContext<'_>, weight: &[f64], arr: &mut [f64]) {
+    for &id in ctx.netlist.topo_order() {
+        let node = ctx.netlist.node(id);
+        let in_max = node
+            .fanin()
+            .iter()
+            .map(|f| arr[f.index()])
+            .fold(0.0f64, f64::max);
+        arr[id.index()] = in_max + weight[id.index()];
+    }
+}
+
+/// One entry of the transactional undo log.
+#[derive(Debug, Clone)]
+enum TxnOp {
+    /// Snapshot of one module's statistics + sensor figures before a
+    /// mutation (indices are valid at that point of the, strictly
+    /// reversed, replay).
+    Stats {
+        index: usize,
+        stats: ModuleStats,
+        sensor: ModuleSensor,
+    },
+    /// One partition gate move.
+    Move(MoveUndo),
+    /// Mirror of the `swap_remove` performed on the stats/sensor vectors
+    /// when a module emptied, carrying the discarded values.
+    Removed {
+        index: usize,
+        moved_from: usize,
+        stats: ModuleStats,
+        sensor: ModuleSensor,
+    },
+    /// One overwritten per-module sensor figure (written by settles).
+    Sensor { index: usize, old: ModuleSensor },
+    /// One overwritten gate weight.
+    Weight { node: u32, old: f64 },
+    /// One overwritten arrival time.
+    Arr { node: u32, old: f64 },
+}
+
+#[derive(Debug, Clone, Default)]
+struct TxnLog {
+    ops: Vec<TxnOp>,
+    dirty_at_begin: Vec<usize>,
+    /// Module indices whose pre-transaction state is already captured by
+    /// a [`TxnOp::Stats`] entry, under the *current* numbering — kept in
+    /// sync with swap-remove renumbering exactly like the dirty list, so
+    /// each touched module pays one snapshot per transaction, not one
+    /// per move.
+    snapshotted: Vec<usize>,
+    /// A settle fell back to the full batch sweep: rollback recomputes
+    /// the arrival state from the restored weights instead of replaying
+    /// per-node entries.
+    arr_rewritten: bool,
+}
+
 /// A partition plus its incrementally maintained statistics, bound to an
 /// [`EvalContext`].
 ///
@@ -82,21 +237,45 @@ pub struct Evaluated<'a> {
     ctx: &'a EvalContext<'a>,
     partition: Partition,
     stats: Vec<ModuleStats>,
+    sensors: Vec<ModuleSensor>,
+    /// Per-node degraded delay weight (0 for primary inputs).
+    weight: Vec<f64>,
+    /// Per-node arrival time under `weight` (valid when `dirty` is
+    /// empty).
+    arr: Vec<f64>,
+    /// Modules whose gate weights are stale (deduplicated).
+    dirty: Vec<usize>,
+    txn: Option<TxnLog>,
 }
 
 impl<'a> Evaluated<'a> {
     /// Evaluates `partition` from scratch.
     #[must_use]
     pub fn new(ctx: &'a EvalContext<'a>, partition: Partition) -> Self {
-        let stats = partition
+        let stats: Vec<ModuleStats> = partition
             .modules()
             .iter()
             .map(|gates| Self::stats_for(ctx, gates))
             .collect();
+        let sensors: Vec<ModuleSensor> = stats.iter().map(|s| sensor_figures(ctx, s)).collect();
+        let n = ctx.netlist.node_count();
+        let mut weight = vec![0.0f64; n];
+        for (m, gates) in partition.modules().iter().enumerate() {
+            for &g in gates {
+                weight[g.index()] = gate_weight(ctx, g, &stats[m], &sensors[m]);
+            }
+        }
+        let mut arr = vec![0.0f64; n];
+        full_arrival_sweep(ctx, &weight, &mut arr);
         Evaluated {
             ctx,
             partition,
             stats,
+            sensors,
+            weight,
+            arr,
+            dirty: Vec::new(),
+            txn: None,
         }
     }
 
@@ -138,7 +317,16 @@ impl<'a> Evaluated<'a> {
         &self.stats
     }
 
-    /// Moves one gate to `target`, updating statistics incrementally.
+    fn mark_dirty(&mut self, m: usize) {
+        if !self.dirty.contains(&m) {
+            self.dirty.push(m);
+        }
+    }
+
+    /// Moves one gate to `target`, updating statistics and sensor figures
+    /// incrementally and marking the delay state stale for the touched
+    /// modules (settled lazily by [`Evaluated::settle`] /
+    /// [`Evaluated::cost`]).
     ///
     /// # Panics
     ///
@@ -154,18 +342,35 @@ impl<'a> Evaluated<'a> {
                 removed_module: None,
             };
         }
-        // Separation deltas need the membership *before* the move.
+        // Separation deltas need the membership *before* the move. The
+        // membership form scans the gate's bounded neighbourhood once per
+        // module with O(1) assignment tests — module-size independent,
+        // which is what keeps Monte-Carlo (whole-module) move sequences
+        // affordable.
         let gi = gate.index();
-        let sep_out = self
-            .ctx
-            .separation
-            .separation_to_module(gate, self.partition.module(source));
-        let sep_in = self
-            .ctx
-            .separation
-            .separation_to_module(gate, self.partition.module(target));
+        let assignment = self.partition.assignment();
+        let sep_out = self.ctx.separation.separation_to_members(
+            gate,
+            self.partition.module(source).len(),
+            true,
+            |n| assignment[n.index()] == source as u32,
+        );
+        let sep_in = self.ctx.separation.separation_to_members(
+            gate,
+            self.partition.module(target).len(),
+            false,
+            |n| assignment[n.index()] == target as u32,
+        );
 
-        let outcome = self.partition.move_gate(gate, target);
+        if self.txn.is_some() {
+            self.snapshot_module(source);
+            self.snapshot_module(target);
+        }
+
+        let (outcome, undo) = self.partition.move_gate_undoable(gate, target);
+        if let Some(log) = self.txn.as_mut() {
+            log.ops.push(TxnOp::Move(undo));
+        }
 
         // Histogram and sum updates.
         {
@@ -192,10 +397,237 @@ impl<'a> Evaluated<'a> {
             s.separation += sep_in;
             s.rescan_peaks();
         }
-        if outcome.removed_module.is_some() {
-            self.stats.swap_remove(outcome.source);
+        if let Some(removal) = outcome.removed_module {
+            let removed_stats = self.stats.swap_remove(removal.removed);
+            let removed_sensor = self.sensors.swap_remove(removal.removed);
+            if let Some(log) = self.txn.as_mut() {
+                log.ops.push(TxnOp::Removed {
+                    index: removal.removed,
+                    moved_from: removal.moved_from,
+                    stats: removed_stats,
+                    sensor: removed_sensor,
+                });
+                // Snapshot and dirty bookkeeping follow the swap-remove
+                // renumbering.
+                log.snapshotted.retain(|&m| m != removal.removed);
+                for m in &mut log.snapshotted {
+                    if *m == removal.moved_from {
+                        *m = removal.removed;
+                    }
+                }
+            }
+            self.dirty.retain(|&m| m != removal.removed);
+            for m in &mut self.dirty {
+                if *m == removal.moved_from {
+                    *m = removal.removed;
+                }
+            }
+            let final_target = if target == removal.moved_from {
+                removal.removed
+            } else {
+                target
+            };
+            self.mark_dirty(final_target);
+        } else {
+            self.mark_dirty(source);
+            self.mark_dirty(target);
         }
         outcome
+    }
+
+    /// Captures module `m`'s pre-transaction statistics and sensor
+    /// figures once per transaction (under the current numbering).
+    fn snapshot_module(&mut self, m: usize) {
+        let log = self.txn.as_mut().expect("only called inside a txn");
+        if log.snapshotted.contains(&m) {
+            return;
+        }
+        log.snapshotted.push(m);
+        log.ops.push(TxnOp::Stats {
+            index: m,
+            stats: self.stats[m].clone(),
+            sensor: self.sensors[m],
+        });
+    }
+
+    /// Whether the cached delay state is stale (some moves not yet
+    /// settled).
+    #[must_use]
+    pub fn needs_settle(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Brings the persistent delay-simulation state (gate weights and
+    /// arrival times) up to date with the current statistics, allocating
+    /// a fresh cone walker. Hot paths should reuse one walker via
+    /// [`Evaluated::settle_with`].
+    pub fn settle(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let mut walker = ConeWalker::new(&self.ctx.cones);
+        self.settle_with(&mut walker);
+    }
+
+    /// [`Evaluated::settle`] with a caller-owned [`ConeWalker`] (bound to
+    /// this context's [`ConeIndex`](iddq_netlist::cone::ConeIndex)), so
+    /// repeated settles are allocation-free.
+    ///
+    /// Gate weights are recomputed for the gates of the touched modules;
+    /// arrival times are then re-propagated *event-driven* through the
+    /// fanout cones of the gates whose weight actually changed, in level
+    /// order, stopping wherever the recomputed arrival is bit-identical.
+    /// If more gates changed weight than the configured
+    /// `incremental_delay_limit` fraction of the circuit, one full batch
+    /// sweep runs instead.
+    pub fn settle_with(&mut self, walker: &mut ConeWalker) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let ctx = self.ctx;
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut seeds: Vec<NodeId> = Vec::new();
+        for &m in &dirty {
+            // Sensor figures re-derive once per touched module per
+            // settle, not once per move.
+            let sensor = sensor_figures(ctx, &self.stats[m]);
+            let old_sensor = std::mem::replace(&mut self.sensors[m], sensor);
+            if let Some(log) = self.txn.as_mut() {
+                log.ops.push(TxnOp::Sensor {
+                    index: m,
+                    old: old_sensor,
+                });
+            }
+            for &g in self.partition.module(m) {
+                let w = gate_weight(ctx, g, &self.stats[m], &self.sensors[m]);
+                let old = self.weight[g.index()];
+                if w.to_bits() != old.to_bits() {
+                    if let Some(log) = self.txn.as_mut() {
+                        log.ops.push(TxnOp::Weight { node: g.0, old });
+                    }
+                    self.weight[g.index()] = w;
+                    seeds.push(g);
+                }
+            }
+        }
+        let limit = (ctx.config.incremental_delay_limit * ctx.netlist.node_count() as f64) as usize;
+        if seeds.len() > limit {
+            // Batch fallback: one full sweep, logged wholesale.
+            if let Some(log) = self.txn.as_mut() {
+                log.arr_rewritten = true;
+            }
+            full_arrival_sweep(ctx, &self.weight, &mut self.arr);
+        } else {
+            let Evaluated {
+                ref weight,
+                ref mut arr,
+                ref mut txn,
+                ..
+            } = *self;
+            let log_arr = txn
+                .as_mut()
+                .filter(|t| !t.arr_rewritten)
+                .map(|t| &mut t.ops);
+            let mut log_arr = log_arr;
+            walker.walk(&ctx.cones, seeds.iter().copied(), |id| {
+                let node = ctx.netlist.node(id);
+                let in_max = node
+                    .fanin()
+                    .iter()
+                    .map(|f| arr[f.index()])
+                    .fold(0.0f64, f64::max);
+                let new = in_max + weight[id.index()];
+                let old = arr[id.index()];
+                if new.to_bits() == old.to_bits() {
+                    ConeStep::Stop
+                } else {
+                    if let Some(ops) = log_arr.as_deref_mut() {
+                        ops.push(TxnOp::Arr { node: id.0, old });
+                    }
+                    arr[id.index()] = new;
+                    ConeStep::Propagate
+                }
+            });
+        }
+    }
+
+    /// Arms the transactional undo log. Every subsequent
+    /// [`Evaluated::move_gate`] and settle records inverse information
+    /// until [`Evaluated::rollback_txn`] or [`Evaluated::commit_txn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already active (transactions do not
+    /// nest).
+    pub fn begin_txn(&mut self) {
+        assert!(self.txn.is_none(), "transactions do not nest");
+        self.txn = Some(TxnLog {
+            ops: Vec::new(),
+            dirty_at_begin: self.dirty.clone(),
+            snapshotted: Vec::new(),
+            arr_rewritten: false,
+        });
+    }
+
+    /// Restores the evaluator bit-for-bit to the state at
+    /// [`Evaluated::begin_txn`] and closes the transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn rollback_txn(&mut self) {
+        let log = self.txn.take().expect("no active transaction");
+        for op in log.ops.into_iter().rev() {
+            match op {
+                TxnOp::Stats {
+                    index,
+                    stats,
+                    sensor,
+                } => {
+                    self.stats[index] = stats;
+                    self.sensors[index] = sensor;
+                }
+                TxnOp::Move(undo) => self.partition.undo_move(&undo),
+                TxnOp::Removed {
+                    index,
+                    moved_from,
+                    stats,
+                    sensor,
+                } => {
+                    // Mirror of Partition::undo_move step 1 on the stats
+                    // and sensor vectors.
+                    if index == moved_from {
+                        self.stats.push(stats);
+                        self.sensors.push(sensor);
+                    } else {
+                        let displaced = std::mem::replace(&mut self.stats[index], stats);
+                        self.stats.push(displaced);
+                        let displaced = std::mem::replace(&mut self.sensors[index], sensor);
+                        self.sensors.push(displaced);
+                    }
+                }
+                TxnOp::Sensor { index, old } => self.sensors[index] = old,
+                TxnOp::Weight { node, old } => self.weight[node as usize] = old,
+                TxnOp::Arr { node, old } => self.arr[node as usize] = old,
+            }
+        }
+        if log.arr_rewritten {
+            // The arrival state is a pure function of the (now restored)
+            // weights: one sweep reproduces the pre-transaction values
+            // bit-for-bit.
+            full_arrival_sweep(self.ctx, &self.weight, &mut self.arr);
+        }
+        self.dirty = log.dirty_at_begin;
+    }
+
+    /// Keeps all changes made during the transaction and drops the undo
+    /// log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn commit_txn(&mut self) {
+        assert!(self.txn.take().is_some(), "no active transaction");
     }
 
     /// Sizes the BIC sensor of module `m` from its cached statistics.
@@ -251,77 +683,62 @@ impl<'a> Evaluated<'a> {
 
     /// Evaluates the full cost breakdown from the cached statistics.
     ///
-    /// Complexity: `O(K)` sensor sizing + one `O(V + E)` longest-path
-    /// sweep for the delay terms.
+    /// Complexity: `O(K)` term assembly plus `O(outputs)` over the
+    /// settled arrival state. If moves are pending (see
+    /// [`Evaluated::needs_settle`]), a temporary full sweep runs instead
+    /// — call [`Evaluated::settle`] first on hot paths.
     #[must_use]
     pub fn cost(&self) -> CostBreakdown {
         let ctx = self.ctx;
         let k = self.stats.len();
+        // Sensor figures of modules touched since the last settle are
+        // stale; re-derive them into a (small) side list.
+        let fresh: Vec<(usize, ModuleSensor)> = self
+            .dirty
+            .iter()
+            .map(|&m| (m, sensor_figures(ctx, &self.stats[m])))
+            .collect();
+        let sensor_at = |m: usize| -> ModuleSensor {
+            fresh
+                .iter()
+                .find(|(i, _)| *i == m)
+                .map_or(self.sensors[m], |(_, s)| *s)
+        };
         let mut violations = 0usize;
         let mut sensor_area = 0.0f64;
         let mut total_separation = 0u64;
         let mut max_delta_ps = 0.0f64;
-
-        // Per-module sensor figures; rail-infeasible modules fall back to
-        // the most conductive realizable bypass for delay purposes.
-        let mut rs_ohm = vec![0.0f64; k];
         for (m, s) in self.stats.iter().enumerate() {
+            let sens = sensor_at(m);
             total_separation += s.separation;
-            let leak_ua = s.leakage_na / 1000.0;
-            if leak_ua <= 0.0 || ctx.technology.iddq_threshold_ua / leak_ua < ctx.config.d_min {
-                violations += 1;
-            }
-            match self.sensor(m) {
-                Ok(sensor) => {
-                    sensor_area += sensor.area;
-                    rs_ohm[m] = sensor.rs_ohm;
-                    max_delta_ps = max_delta_ps.max(sensor.delta_ps(s.peak_current_ua));
-                }
-                Err(SizingError::RailPerturbation) => {
-                    violations += 1;
-                    let rs = ctx.technology.r_bypass_min_ohm;
-                    rs_ohm[m] = rs;
-                    sensor_area += ctx.config.sizing.a0 + ctx.config.sizing.a1 / rs;
-                }
-                Err(SizingError::EmptyModule) => {
-                    // Cannot happen: Partition never keeps empty modules.
-                    violations += 1;
-                }
-            }
+            violations += sens.violations;
+            sensor_area += sens.area;
+            max_delta_ps = max_delta_ps.max(sens.delta_ps);
         }
 
-        // Degraded longest path D_BIC: every gate's delay is scaled by the
-        // δ of its module's worst simultaneous activity (§3.2, with the
-        // per-module peak n(t) as a pessimistic simplification consistent
-        // with the §3.1 simultaneity assumption).
-        let mut arr = vec![0.0f64; ctx.netlist.node_count()];
-        let mut dbic_ps = 0.0f64;
-        for &id in ctx.netlist.topo_order() {
-            let node = ctx.netlist.node(id);
-            let in_max = node
-                .fanin()
+        // Degraded longest path D_BIC from the persistent arrival state —
+        // or a temporary sweep when moves have not been settled.
+        let dbic_ps = if self.dirty.is_empty() {
+            ctx.netlist
+                .outputs()
                 .iter()
-                .map(|f| arr[f.index()])
-                .fold(0.0f64, f64::max);
-            let w = if node.kind().is_gate() {
-                let m = self.partition.module_of(id).expect("gates are assigned");
-                let s = &self.stats[m];
-                let delta = delay_degradation(
-                    f64::from(s.peak_activity),
-                    rs_ohm[m],
-                    s.rail_cap_ff,
-                    ctx.tables.r_on_kohm[id.index()],
-                    ctx.tables.c_out_ff[id.index()],
-                );
-                ctx.tables.delay_ps[id.index()] * delta
-            } else {
-                0.0
-            };
-            arr[id.index()] = in_max + w;
-        }
-        for &o in ctx.netlist.outputs() {
-            dbic_ps = dbic_ps.max(arr[o.index()]);
-        }
+                .map(|o| self.arr[o.index()])
+                .fold(0.0f64, f64::max)
+        } else {
+            let mut arr = vec![0.0f64; ctx.netlist.node_count()];
+            let mut weight = self.weight.clone();
+            for &(m, sens) in &fresh {
+                for &g in self.partition.module(m) {
+                    weight[g.index()] = gate_weight(ctx, g, &self.stats[m], &sens);
+                }
+            }
+            full_arrival_sweep(ctx, &weight, &mut arr);
+            ctx.netlist
+                .outputs()
+                .iter()
+                .map(|o| arr[o.index()])
+                .fold(0.0f64, f64::max)
+        };
 
         let d = ctx.nominal_delay_ps.max(f64::MIN_POSITIVE);
         let vector_time_ps = dbic_ps + max_delta_ps;
@@ -347,7 +764,9 @@ impl<'a> Evaluated<'a> {
 
     /// Recomputes all statistics from scratch and asserts they match the
     /// incremental state — the correctness oracle for the incremental
-    /// updates (used by tests and debug assertions).
+    /// updates (used by tests and debug assertions). With a settled delay
+    /// state, also cross-checks sensor figures, gate weights and arrival
+    /// times against a fresh batch computation.
     ///
     /// # Panics
     ///
@@ -374,6 +793,27 @@ impl<'a> Evaluated<'a> {
                 fresh.peak_activity, cached.peak_activity,
                 "module {m} activity"
             );
+        }
+        if self.dirty.is_empty() {
+            for (m, s) in self.stats.iter().enumerate() {
+                let fresh = sensor_figures(self.ctx, s);
+                let cached = self.sensors[m];
+                assert_eq!(fresh.violations, cached.violations, "module {m} violations");
+                assert!((fresh.rs_ohm - cached.rs_ohm).abs() < 1e-9, "module {m} rs");
+                assert!((fresh.area - cached.area).abs() < 1e-9, "module {m} area");
+                for &g in self.partition.module(m) {
+                    let w = gate_weight(self.ctx, g, s, &cached);
+                    assert!((w - self.weight[g.index()]).abs() < 1e-9, "gate {g} weight");
+                }
+            }
+            let mut arr = vec![0.0f64; self.ctx.netlist.node_count()];
+            full_arrival_sweep(self.ctx, &self.weight, &mut arr);
+            for id in self.ctx.netlist.node_ids() {
+                assert!(
+                    (arr[id.index()] - self.arr[id.index()]).abs() < 1e-9,
+                    "node {id} arrival"
+                );
+            }
         }
     }
 }
@@ -437,6 +877,7 @@ mod tests {
             }
             let target = rng.gen_range(0..k);
             e.move_gate(g, target);
+            e.settle();
             e.verify_consistency();
         }
     }
@@ -464,13 +905,187 @@ mod tests {
             let target = rng.gen_range(0..e.partition().module_count());
             e.move_gate(g, target);
         }
+        // Unsettled (temporary-sweep) and settled (persistent-state) cost
+        // must both agree with a from-scratch evaluation.
+        let unsettled = e.cost();
+        e.settle();
         let incremental = e.cost();
         let fresh = Evaluated::new(&ctx, e.partition().clone()).cost();
-        assert!((incremental.c1_area - fresh.c1_area).abs() < 1e-9);
-        assert!((incremental.c2_delay - fresh.c2_delay).abs() < 1e-9);
-        assert!((incremental.c3_interconnect - fresh.c3_interconnect).abs() < 1e-9);
-        assert!((incremental.c4_test_time - fresh.c4_test_time).abs() < 1e-9);
-        assert_eq!(incremental.c5_modules, fresh.c5_modules);
+        for (label, got) in [("unsettled", unsettled), ("settled", incremental)] {
+            assert!((got.c1_area - fresh.c1_area).abs() < 1e-9, "{label}");
+            assert!((got.c2_delay - fresh.c2_delay).abs() < 1e-9, "{label}");
+            assert!(
+                (got.c3_interconnect - fresh.c3_interconnect).abs() < 1e-9,
+                "{label}"
+            );
+            assert!(
+                (got.c4_test_time - fresh.c4_test_time).abs() < 1e-9,
+                "{label}"
+            );
+            assert_eq!(got.c5_modules, fresh.c5_modules, "{label}");
+        }
+    }
+
+    #[test]
+    fn txn_rollback_restores_bitwise() {
+        let lib = Library::generic_1um();
+        let nl = data::ripple_adder(8);
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let gates: Vec<_> = nl.gate_ids().collect();
+        let third = gates.len() / 3;
+        let p = Partition::from_groups(
+            &nl,
+            vec![
+                gates[..third].to_vec(),
+                gates[third..2 * third].to_vec(),
+                gates[2 * third..].to_vec(),
+            ],
+        )
+        .unwrap();
+        let mut e = Evaluated::new(&ctx, p);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for round in 0..60 {
+            let snap_partition = e.partition().clone();
+            let snap_stats = e.stats.clone();
+            let snap_sensors = e.sensors.clone();
+            let snap_weight = e.weight.clone();
+            let snap_arr = e.arr.clone();
+            let snap_cost = e.total_cost();
+
+            e.begin_txn();
+            for _ in 0..rng.gen_range(1..8) {
+                let g = gates[rng.gen_range(0..gates.len())];
+                let target = rng.gen_range(0..e.partition().module_count());
+                e.move_gate(g, target);
+            }
+            e.settle();
+            let _ = e.total_cost();
+            e.rollback_txn();
+
+            assert_eq!(e.partition(), &snap_partition, "round {round}");
+            assert_eq!(e.stats, snap_stats, "round {round}");
+            assert_eq!(e.sensors, snap_sensors, "round {round}");
+            assert_eq!(
+                e.weight.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                snap_weight.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                "round {round} weights"
+            );
+            assert_eq!(
+                e.arr.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                snap_arr.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                "round {round} arrivals"
+            );
+            assert_eq!(
+                e.total_cost().to_bits(),
+                snap_cost.to_bits(),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn txn_rollback_through_batch_fallback() {
+        // Force the full-sweep path (limit 0) and check rollback still
+        // restores the arrival state bit-for-bit.
+        let lib = Library::generic_1um();
+        let nl = data::ripple_adder(8);
+        let mut cfg = PartitionConfig::paper_default();
+        cfg.incremental_delay_limit = 0.0;
+        let ctx = EvalContext::new(&nl, &lib, cfg);
+        let gates: Vec<_> = nl.gate_ids().collect();
+        let half = gates.len() / 2;
+        let p = Partition::from_groups(&nl, vec![gates[..half].to_vec(), gates[half..].to_vec()])
+            .unwrap();
+        let mut e = Evaluated::new(&ctx, p);
+        let snap_arr = e.arr.clone();
+        let snap_cost = e.total_cost();
+        e.begin_txn();
+        e.move_gate(gates[0], 1);
+        e.settle();
+        let _ = e.total_cost();
+        e.rollback_txn();
+        assert_eq!(
+            e.arr.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            snap_arr.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+        );
+        assert_eq!(e.total_cost().to_bits(), snap_cost.to_bits());
+    }
+
+    #[test]
+    fn txn_commit_keeps_changes() {
+        let lib = Library::generic_1um();
+        let nl = data::c17();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let gs = data::c17_paper_gates(&nl);
+        let p = Partition::from_groups(
+            &nl,
+            vec![vec![gs[0], gs[2], gs[4]], vec![gs[1], gs[3], gs[5]]],
+        )
+        .unwrap();
+        let mut e = Evaluated::new(&ctx, p);
+        e.begin_txn();
+        e.move_gate(gs[0], 1);
+        e.settle();
+        e.commit_txn();
+        assert_eq!(e.partition().module_of(gs[0]), Some(1));
+        e.verify_consistency();
+    }
+
+    #[test]
+    fn scored_rollback_equals_clone_scoring() {
+        // The evolution pattern: scoring on a scratch with rollback must
+        // produce the same cost as scoring on a fresh clone.
+        let lib = Library::generic_1um();
+        let nl = data::ripple_adder(10);
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let gates: Vec<_> = nl.gate_ids().collect();
+        let third = gates.len() / 3;
+        let p = Partition::from_groups(
+            &nl,
+            vec![
+                gates[..third].to_vec(),
+                gates[third..2 * third].to_vec(),
+                gates[2 * third..].to_vec(),
+            ],
+        )
+        .unwrap();
+        let parent = Evaluated::new(&ctx, p);
+        let mut scratch = parent.clone();
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..40 {
+            let moves: Vec<(NodeId, usize)> = (0..rng.gen_range(1..5))
+                .map(|_| {
+                    (
+                        gates[rng.gen_range(0..gates.len())],
+                        rng.gen_range(0..parent.partition().module_count()),
+                    )
+                })
+                .collect();
+            scratch.begin_txn();
+            let mut aborted = false;
+            for &(g, t) in &moves {
+                if t >= scratch.partition().module_count() {
+                    aborted = true;
+                    break;
+                }
+                scratch.move_gate(g, t);
+            }
+            let scored = if aborted {
+                None
+            } else {
+                scratch.settle();
+                Some(scratch.total_cost())
+            };
+            scratch.rollback_txn();
+            if let Some(scored) = scored {
+                let mut clone = parent.clone();
+                for &(g, t) in &moves {
+                    clone.move_gate(g, t);
+                }
+                clone.settle();
+                assert_eq!(scored.to_bits(), clone.total_cost().to_bits());
+            }
+        }
     }
 
     #[test]
@@ -544,6 +1159,7 @@ mod tests {
         // Empty module 0; module 2 renumbers into slot 0.
         e.move_gate(gs[0], 1);
         assert_eq!(e.partition().module_count(), 2);
+        e.settle();
         e.verify_consistency();
         let c = e.cost();
         assert_eq!(c.c5_modules, 2.0);

@@ -19,10 +19,24 @@
 //! 4. **Selection** — parents older than the maximum lifetime `o` are
 //!    deleted; the μ best of the remaining individuals become the next
 //!    parents.
+//!
+//! # Scoring through patch + rollback
+//!
+//! Descendants are *scored*, not built: each worker keeps one scratch
+//! [`Evaluated`] per parent and, per descendant, applies the mutation
+//! moves inside a transaction, settles the incremental delay state
+//! (event-driven cone propagation for the small mutation steps, batch
+//! fallback for the module-sized Monte-Carlo steps), reads the cost and
+//! rolls back. Only the descendants that survive selection are
+//! materialized by replaying their recorded moves on a parent clone —
+//! the `μ(λ+χ) − μ` losers per generation never pay for a full
+//! evaluator construction. Rollback is bit-exact, so results are
+//! identical for any thread count.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use iddq_netlist::cone::ConeWalker;
 use iddq_netlist::NodeId;
 
 use crate::context::EvalContext;
@@ -50,9 +64,9 @@ pub struct EvolutionConfig {
     /// Stop early after this many generations without best-cost
     /// improvement.
     pub stagnation: usize,
-    /// Worker threads for descendant evaluation (1 = sequential). The
+    /// Worker threads for descendant scoring (1 = sequential). The
     /// result is identical for any thread count: every descendant draws
-    /// from its own seeded RNG stream.
+    /// from its own seeded RNG stream and scratch rollback is bit-exact.
     pub threads: usize,
 }
 
@@ -80,6 +94,20 @@ struct Individual<'a> {
     m: f64,
     age: u32,
 }
+
+/// A scored-but-not-materialized descendant: parent index plus the exact
+/// move list to replay if it survives selection.
+#[derive(Debug, Clone)]
+struct ScoredChild {
+    parent: usize,
+    moves: Vec<(NodeId, usize)>,
+    cost: f64,
+    m: f64,
+}
+
+/// What scoring one descendant yields: its recorded `(gate, target)`
+/// moves, its settled cost, and its adapted step width.
+type Scored = (Vec<(NodeId, usize)>, f64, f64);
 
 /// Progress record per generation (for convergence plots).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -158,23 +186,42 @@ pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> E
             })
             .map(|(pi, mc)| (pi, mc, rng.gen::<u64>()))
             .collect();
-        let run_task = |&(pi, mc, s): &(usize, bool, u64)| {
-            let mut child_rng = SmallRng::seed_from_u64(s);
-            let parent = &population[pi];
-            if mc {
-                monte_carlo(parent, config, &mut child_rng)
-            } else {
-                mutate(parent, config, &mut child_rng)
-            }
+        // One worker: one cone walker, one scratch evaluator reused
+        // across all consecutive descendants of the same parent —
+        // apply → settle → score → rollback, no per-loser clones.
+        let run_chunk = |slice: &[(usize, bool, u64)]| -> Vec<Option<ScoredChild>> {
+            let mut walker = ConeWalker::new(&ctx.cones);
+            let mut scratch: Option<(usize, Evaluated<'_>)> = None;
+            slice
+                .iter()
+                .map(|&(pi, mc, s)| {
+                    let mut child_rng = SmallRng::seed_from_u64(s);
+                    if scratch.as_ref().map(|(owner, _)| *owner) != Some(pi) {
+                        scratch = Some((pi, population[pi].eval.clone()));
+                    }
+                    let (_, eval) = scratch.as_mut().expect("scratch just ensured");
+                    let parent_m = population[pi].m;
+                    let scored = if mc {
+                        monte_carlo(eval, parent_m, config, &mut child_rng, &mut walker)
+                    } else {
+                        mutate(eval, parent_m, config, &mut child_rng, &mut walker)
+                    };
+                    scored.map(|(moves, cost, m)| ScoredChild {
+                        parent: pi,
+                        moves,
+                        cost,
+                        m,
+                    })
+                })
+                .collect()
         };
-        let results: Vec<Option<Individual<'_>>> = if config.threads > 1 && tasks.len() > 1 {
+        let scored: Vec<Option<ScoredChild>> = if config.threads > 1 && tasks.len() > 1 {
             let chunk = tasks.len().div_ceil(config.threads);
             std::thread::scope(|scope| {
+                let run_chunk = &run_chunk;
                 let handles: Vec<_> = tasks
                     .chunks(chunk)
-                    .map(|slice| {
-                        scope.spawn(move || slice.iter().map(run_task).collect::<Vec<_>>())
-                    })
+                    .map(|slice| scope.spawn(move || run_chunk(slice)))
                     .collect();
                 handles
                     .into_iter()
@@ -182,18 +229,74 @@ pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> E
                     .collect()
             })
         } else {
-            tasks.iter().map(run_task).collect()
+            run_chunk(&tasks)
         };
-        let mut offspring: Vec<Individual<'_>> = results.into_iter().flatten().collect();
-        evaluations += offspring.len();
-        // Selection pool: aged parents + all descendants.
+        let children: Vec<ScoredChild> = scored.into_iter().flatten().collect();
+        evaluations += children.len();
+
+        // Selection pool: aged parents + all descendants, in that order
+        // (stable sort keeps it deterministic under cost ties).
         for p in &mut population {
             p.age += 1;
         }
-        population.retain(|p| p.age <= config.max_lifetime);
-        population.append(&mut offspring);
-        population.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-        population.truncate(config.mu);
+        enum Cand {
+            Parent(usize),
+            Child(usize),
+        }
+        let mut pool: Vec<(f64, Cand)> = population
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.age <= config.max_lifetime)
+            .map(|(i, p)| (p.cost, Cand::Parent(i)))
+            .collect();
+        pool.extend(
+            children
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.cost, Cand::Child(i))),
+        );
+        pool.sort_by(|a, b| a.0.total_cmp(&b.0));
+        pool.truncate(config.mu);
+
+        // Materialize the survivors: children replay their recorded
+        // moves on a clone of their parent; parents move over directly.
+        let mut next: Vec<Individual<'_>> = Vec::with_capacity(pool.len());
+        {
+            let mut walker = ConeWalker::new(&ctx.cones);
+            for (_, cand) in &pool {
+                if let Cand::Child(ci) = cand {
+                    let child = &children[*ci];
+                    let mut eval = population[child.parent].eval.clone();
+                    for &(g, t) in &child.moves {
+                        eval.move_gate(g, t);
+                    }
+                    eval.settle_with(&mut walker);
+                    debug_assert_eq!(
+                        eval.total_cost().to_bits(),
+                        child.cost.to_bits(),
+                        "materialized cost must equal scored cost"
+                    );
+                    next.push(Individual {
+                        eval,
+                        cost: child.cost,
+                        m: child.m,
+                        age: 0,
+                    });
+                }
+            }
+        }
+        // Second pass: move surviving parents in pool order, interleaving
+        // with the materialized children to preserve the sorted order.
+        let mut parents: Vec<Option<Individual<'_>>> = population.into_iter().map(Some).collect();
+        let mut materialized = next.into_iter();
+        population = pool
+            .iter()
+            .map(|(_, cand)| match cand {
+                Cand::Parent(i) => parents[*i].take().expect("each parent selected once"),
+                Cand::Child(_) => materialized.next().expect("one materialization per child"),
+            })
+            .collect();
+
         if population.is_empty() {
             // All parents aged out with no offspring (degenerate tiny
             // circuits): restart from chains.
@@ -238,70 +341,75 @@ pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> E
     }
 }
 
-/// The §4.2 mutation: move up to `m` boundary gates of a random module
-/// into connected modules. Returns `None` when no move is possible
-/// (single-module partitions have no boundary).
-fn mutate<'a>(
-    parent: &Individual<'a>,
+/// Scores one §4.2 mutation on the scratch evaluator: move up to `m`
+/// boundary gates of a random module into connected modules, settle,
+/// read the cost, roll back. Returns `None` when no move is possible
+/// (single-module partitions have no boundary); the scratch is always
+/// restored to the parent state.
+fn mutate(
+    scratch: &mut Evaluated<'_>,
+    parent_m: f64,
     config: &EvolutionConfig,
     rng: &mut SmallRng,
-) -> Option<Individual<'a>> {
-    let k = parent.eval.partition().module_count();
+    walker: &mut ConeWalker,
+) -> Option<Scored> {
+    let k = scratch.partition().module_count();
     if k < 2 {
         return None;
     }
-    let mut child = parent.eval.clone();
     let m_start = rng.gen_range(0..k);
-    let boundary = child.boundary_gates(m_start);
+    let boundary = scratch.boundary_gates(m_start);
     if boundary.is_empty() {
         return None;
     }
-    let m_step = adapt_step(parent.m, config.epsilon, rng);
+    let m_step = adapt_step(parent_m, config.epsilon, rng);
     let cap = (m_step.round() as usize).clamp(1, boundary.len());
     let m_move = rng.gen_range(1..=cap);
-    let mut moved = 0usize;
+    scratch.begin_txn();
+    let mut moves: Vec<(NodeId, usize)> = Vec::with_capacity(m_move);
     let mut candidates = boundary;
-    while moved < m_move && !candidates.is_empty() {
+    while moves.len() < m_move && !candidates.is_empty() {
         let gi = rng.gen_range(0..candidates.len());
         let gate = candidates.swap_remove(gi);
         // Gate may have been re-homed indirectly by module removal; the
         // connected-target list is computed against the current state.
-        let targets = child.connected_modules(gate);
+        let targets = scratch.connected_modules(gate);
         if targets.is_empty() {
             continue;
         }
         let target = targets[rng.gen_range(0..targets.len())];
-        child.move_gate(gate, target);
-        moved += 1;
-        if child.partition().module_count() < 2 {
+        scratch.move_gate(gate, target);
+        moves.push((gate, target));
+        if scratch.partition().module_count() < 2 {
             break;
         }
     }
-    if moved == 0 {
+    if moves.is_empty() {
+        scratch.rollback_txn();
         return None;
     }
-    let cost = child.total_cost();
-    Some(Individual {
-        eval: child,
-        cost,
-        m: m_step,
-        age: 0,
-    })
+    scratch.settle_with(walker);
+    let cost = scratch.total_cost();
+    scratch.rollback_txn();
+    Some((moves, cost, m_step))
 }
 
-/// The Monte-Carlo descendant: a random number of random gates of a random
-/// module moves into a random module ("the random variation of these
-/// descendants is higher compared with mutations").
-fn monte_carlo<'a>(
-    parent: &Individual<'a>,
+/// Scores one Monte-Carlo descendant: a random number of random gates of
+/// a random module moves into a random module ("the random variation of
+/// these descendants is higher compared with mutations"). Module-sized
+/// move sets exceed the incremental dirty-cone budget, so settling takes
+/// the batch full-sweep path.
+fn monte_carlo(
+    scratch: &mut Evaluated<'_>,
+    parent_m: f64,
     config: &EvolutionConfig,
     rng: &mut SmallRng,
-) -> Option<Individual<'a>> {
-    let k = parent.eval.partition().module_count();
+    walker: &mut ConeWalker,
+) -> Option<Scored> {
+    let k = scratch.partition().module_count();
     if k < 2 {
         return None;
     }
-    let mut child = parent.eval.clone();
     let source = rng.gen_range(0..k);
     let target = {
         let mut t = rng.gen_range(0..k - 1);
@@ -310,32 +418,32 @@ fn monte_carlo<'a>(
         }
         t
     };
-    let size = child.partition().module(source).len();
+    let size = scratch.partition().module(source).len();
     let count = rng.gen_range(1..=size);
     let gates: Vec<NodeId> = {
-        let mut pool: Vec<NodeId> = child.partition().module(source).to_vec();
+        let mut pool: Vec<NodeId> = scratch.partition().module(source).to_vec();
         (0..count)
             .map(|_| pool.swap_remove(rng.gen_range(0..pool.len())))
             .collect()
     };
     // Module indices shift when `source` empties; track the target by a
     // representative gate instead.
-    let target_rep = child.partition().module(target)[0];
+    let target_rep = scratch.partition().module(target)[0];
+    scratch.begin_txn();
+    let mut moves: Vec<(NodeId, usize)> = Vec::with_capacity(gates.len());
     for g in gates {
-        let t = child
+        let t = scratch
             .partition()
             .module_of(target_rep)
             .expect("representative stays assigned");
-        child.move_gate(g, t);
+        scratch.move_gate(g, t);
+        moves.push((g, t));
     }
-    let m_step = adapt_step(parent.m, config.epsilon, rng);
-    let cost = child.total_cost();
-    Some(Individual {
-        eval: child,
-        cost,
-        m: m_step,
-        age: 0,
-    })
+    let m_step = adapt_step(parent_m, config.epsilon, rng);
+    scratch.settle_with(walker);
+    let cost = scratch.total_cost();
+    scratch.rollback_txn();
+    Some((moves, cost, m_step))
 }
 
 /// Redraws the mutation step width from `N(m, ε²)`, floored at 1.
@@ -450,20 +558,31 @@ mod tests {
     }
 
     #[test]
+    fn incremental_limit_does_not_change_the_search() {
+        // Forcing every settle onto the batch path must reproduce the
+        // incremental run exactly — the two paths are bit-equal.
+        let nl = data::ripple_adder(10);
+        let lib = Library::generic_1um();
+        let ctx_inc = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let mut batch_cfg = PartitionConfig::paper_default();
+        batch_cfg.incremental_delay_limit = 0.0;
+        let ctx_batch = EvalContext::new(&nl, &lib, batch_cfg);
+        let a = optimize(&ctx_inc, &quick_config(), 17);
+        let b = optimize(&ctx_batch, &quick_config(), 17);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
     fn mutation_returns_none_for_single_module() {
         let nl = data::c17();
         let lib = Library::generic_1um();
         let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
-        let eval = Evaluated::new(&ctx, Partition::single_module(&nl));
-        let cost = eval.total_cost();
-        let parent = Individual {
-            eval,
-            cost,
-            m: 2.0,
-            age: 0,
-        };
+        let mut eval = Evaluated::new(&ctx, Partition::single_module(&nl));
+        let mut walker = ConeWalker::new(&ctx.cones);
         let mut rng = SmallRng::seed_from_u64(0);
-        assert!(mutate(&parent, &quick_config(), &mut rng).is_none());
-        assert!(monte_carlo(&parent, &quick_config(), &mut rng).is_none());
+        assert!(mutate(&mut eval, 2.0, &quick_config(), &mut rng, &mut walker).is_none());
+        assert!(monte_carlo(&mut eval, 2.0, &quick_config(), &mut rng, &mut walker).is_none());
     }
 }

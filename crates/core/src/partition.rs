@@ -165,15 +165,36 @@ impl Partition {
     ///
     /// Panics if `gate` is a primary input or `target` is out of range.
     pub fn move_gate(&mut self, gate: NodeId, target: usize) -> MoveOutcome {
+        self.move_gate_undoable(gate, target).0
+    }
+
+    /// [`Partition::move_gate`] that additionally returns an exact undo
+    /// record for [`Partition::undo_move`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Partition::move_gate`].
+    pub fn move_gate_undoable(&mut self, gate: NodeId, target: usize) -> (MoveOutcome, MoveUndo) {
         let source = self.module_of[gate.index()];
         assert!(source != NO_MODULE, "cannot move a primary input");
         assert!(target < self.modules.len(), "target module out of range");
         let source = source as usize;
         if source == target {
-            return MoveOutcome {
+            let outcome = MoveOutcome {
                 source,
                 removed_module: None,
             };
+            return (
+                outcome,
+                MoveUndo {
+                    gate,
+                    source,
+                    source_pos: 0,
+                    target,
+                    noop: true,
+                    removal: None,
+                },
+            );
         }
         let pos = self.modules[source]
             .iter()
@@ -183,7 +204,7 @@ impl Partition {
         self.modules[target].push(gate);
         self.module_of[gate.index()] = target as u32;
 
-        if self.modules[source].is_empty() {
+        let removal = if self.modules[source].is_empty() {
             let last = self.modules.len() - 1;
             self.modules.swap_remove(source);
             if source != last {
@@ -192,19 +213,63 @@ impl Partition {
                     self.module_of[g.index()] = source as u32;
                 }
             }
-            MoveOutcome {
-                source,
-                removed_module: Some(ModuleRemoval {
-                    removed: source,
-                    moved_from: last,
-                }),
-            }
+            Some(ModuleRemoval {
+                removed: source,
+                moved_from: last,
+            })
         } else {
+            None
+        };
+        (
             MoveOutcome {
                 source,
-                removed_module: None,
+                removed_module: removal,
+            },
+            MoveUndo {
+                gate,
+                source,
+                source_pos: pos,
+                target,
+                noop: false,
+                removal,
+            },
+        )
+    }
+
+    /// Exactly reverts one [`Partition::move_gate_undoable`], including
+    /// gate-list order and module renumbering.
+    ///
+    /// Undo records must be applied in strict reverse order of the moves
+    /// they came from: each undo assumes the partition is in the state
+    /// immediately following its move.
+    pub fn undo_move(&mut self, undo: &MoveUndo) {
+        if undo.noop {
+            return;
+        }
+        // 1. Re-create the emptied source module, pushing the module that
+        //    was swapped into its slot back to the end.
+        if let Some(removal) = undo.removal {
+            if removal.removed == removal.moved_from {
+                self.modules.push(Vec::new());
+            } else {
+                let displaced = std::mem::take(&mut self.modules[removal.removed]);
+                self.modules.push(displaced);
+                for &g in &self.modules[removal.moved_from] {
+                    self.module_of[g.index()] = removal.moved_from as u32;
+                }
             }
         }
+        // 2. The gate is the most recent push into the target module.
+        let popped = self.modules[undo.target].pop();
+        debug_assert_eq!(popped, Some(undo.gate), "undo out of order");
+        // 3. Restore the gate at its exact old position (inverting the
+        //    swap_remove: the displaced old-last element returns to the
+        //    end).
+        let src = &mut self.modules[undo.source];
+        src.push(undo.gate);
+        let last = src.len() - 1;
+        src.swap(undo.source_pos, last);
+        self.module_of[undo.gate.index()] = undo.source as u32;
     }
 
     /// Checks all structural invariants against `netlist`.
@@ -220,6 +285,29 @@ impl Partition {
     #[must_use]
     pub fn module_sizes(&self) -> Vec<usize> {
         self.modules.iter().map(Vec::len).collect()
+    }
+}
+
+/// Exact inverse of one gate move (see [`Partition::undo_move`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveUndo {
+    gate: NodeId,
+    /// Module the gate came from.
+    source: usize,
+    /// Exact position of the gate inside the source gate list.
+    source_pos: usize,
+    /// Module the gate went to.
+    target: usize,
+    /// Source equalled target: nothing changed.
+    noop: bool,
+    removal: Option<ModuleRemoval>,
+}
+
+impl MoveUndo {
+    /// Whether the move removed (emptied) its source module.
+    #[must_use]
+    pub fn removed_module(&self) -> Option<ModuleRemoval> {
+        self.removal
     }
 }
 
@@ -366,6 +454,89 @@ mod tests {
         let p = Partition::single_module(&nl);
         assert_eq!(p.module_count(), 1);
         assert_eq!(p.module(0).len(), nl.gate_count());
+        p.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn undo_move_restores_exact_state() {
+        let (nl, mut p) = c17_halves();
+        let gs = data::c17_paper_gates(&nl);
+        let before = p.clone();
+        let (_, undo) = p.move_gate_undoable(gs[0], 1);
+        assert_ne!(p, before);
+        p.undo_move(&undo);
+        assert_eq!(p, before);
+        p.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn undo_move_restores_through_module_removal() {
+        let nl = data::c17();
+        let gs = data::c17_paper_gates(&nl);
+        let mut p = Partition::from_groups(
+            &nl,
+            vec![vec![gs[0], gs[1]], vec![gs[2]], vec![gs[3], gs[4], gs[5]]],
+        )
+        .unwrap();
+        let before = p.clone();
+        // Empties module 1; module 2 renumbers into its slot.
+        let (out, undo) = p.move_gate_undoable(gs[2], 0);
+        assert!(out.removed_module.is_some());
+        assert_eq!(undo.removed_module(), out.removed_module);
+        p.undo_move(&undo);
+        assert_eq!(p, before);
+        p.validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn undo_move_sequence_in_reverse_order() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let nl = data::ripple_adder(6);
+        let gates: Vec<NodeId> = nl.gate_ids().collect();
+        let third = gates.len() / 3;
+        let mut p = Partition::from_groups(
+            &nl,
+            vec![
+                gates[..third].to_vec(),
+                gates[third..2 * third].to_vec(),
+                gates[2 * third..].to_vec(),
+            ],
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let before = p.clone();
+            let mut undos = Vec::new();
+            for _ in 0..rng.gen_range(1..6) {
+                let g = gates[rng.gen_range(0..gates.len())];
+                let t = rng.gen_range(0..p.module_count());
+                undos.push(p.move_gate_undoable(g, t).1);
+            }
+            for u in undos.iter().rev() {
+                p.undo_move(u);
+            }
+            assert_eq!(p, before);
+            p.validate(&nl).unwrap();
+        }
+    }
+
+    #[test]
+    fn undo_of_last_module_self_removal() {
+        // Source is the *last* module: removal.removed == moved_from.
+        let nl = data::c17();
+        let gs = data::c17_paper_gates(&nl);
+        let mut p = Partition::from_groups(
+            &nl,
+            vec![vec![gs[0], gs[1], gs[2], gs[3], gs[4]], vec![gs[5]]],
+        )
+        .unwrap();
+        let before = p.clone();
+        let (out, undo) = p.move_gate_undoable(gs[5], 0);
+        let removal = out.removed_module.unwrap();
+        assert_eq!(removal.removed, removal.moved_from);
+        p.undo_move(&undo);
+        assert_eq!(p, before);
         p.validate(&nl).unwrap();
     }
 

@@ -1,0 +1,1042 @@
+//! Event-driven incremental simulation.
+//!
+//! The batch [`Simulator`](crate::Simulator) re-evaluates the whole
+//! circuit per sweep — ideal when every node is needed, wasteful when the
+//! question is *"this circuit, but with one gate changed"*. [`DeltaSim`]
+//! answers that question incrementally: it owns a persistent copy of the
+//! packed node values plus a mutable copy of the circuit structure, and a
+//! [`Patch`] of gate changes triggers re-evaluation of only the *dirty
+//! cone* — the gates whose packed value actually changes — via a
+//! level-bucketed worklist that visits each node at most once, drivers
+//! before consumers.
+//!
+//! # Patch lifecycle
+//!
+//! 1. [`DeltaSim::set_inputs`] establishes the baseline state (one full
+//!    sweep over the current structure).
+//! 2. [`DeltaSim::apply`] validates and applies a [`Patch`] (gate kind
+//!    and/or fan-in edge changes), re-levelizes the affected region
+//!    (rejecting cycles and illegal arities with the state unchanged),
+//!    propagates values through the dirty cone, and pushes the *inverse*
+//!    patch onto an undo stack.
+//! 3. [`DeltaSim::rollback`] pops the undo stack and applies the inverse
+//!    through the same machinery, restoring the previous structure and
+//!    values exactly; [`DeltaSim::commit`] forgets the undo history
+//!    instead, making the mutations permanent.
+//!
+//! Because rollback is itself a patch application, inputs may be changed
+//! *between* apply and rollback: values are always recomputed from the
+//! current inputs, never replayed from a log.
+//!
+//! # Dirty-cone semantics
+//!
+//! Propagation is event-driven, not structural: a re-evaluated gate whose
+//! packed value is bit-identical to before stops the wave, so the visited
+//! set is usually much smaller than the structural fanout cone. The
+//! [`PatchReport`] returned by apply/rollback counts both the visited and
+//! the actually-changed nodes — callers batching mutations can use it to
+//! fall back to a full batch sweep when a patch dirties most of the
+//! circuit.
+
+use iddq_netlist::{CellKind, Netlist, NodeId, PackedWord};
+
+/// One structural change to a gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchOp {
+    /// Replace the logic function of `gate` (the new kind must accept the
+    /// gate's fan-in count at application time).
+    SetKind {
+        /// The gate to change.
+        gate: NodeId,
+        /// Its new logic function.
+        kind: CellKind,
+    },
+    /// Rewire the ordered fan-in list of `gate` (the gate's kind at
+    /// application time must accept the new arity; the rewiring must not
+    /// create a cycle).
+    SetFanin {
+        /// The gate to rewire.
+        gate: NodeId,
+        /// Its new ordered driver list.
+        fanin: Vec<NodeId>,
+    },
+}
+
+impl PatchOp {
+    /// The gate this op targets.
+    #[must_use]
+    pub fn gate(&self) -> NodeId {
+        match *self {
+            PatchOp::SetKind { gate, .. } | PatchOp::SetFanin { gate, .. } => gate,
+        }
+    }
+}
+
+/// An ordered set of structural changes applied (and rolled back)
+/// atomically.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Patch {
+    /// The changes, applied in order.
+    pub ops: Vec<PatchOp>,
+}
+
+impl Patch {
+    /// Single-op convenience constructor.
+    #[must_use]
+    pub fn single(op: PatchOp) -> Self {
+        Patch { ops: vec![op] }
+    }
+}
+
+/// Why a [`Patch`] was rejected. Rejection is atomic: the simulator state
+/// is exactly as before the [`DeltaSim::apply`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// The targeted node is a primary input, not a gate.
+    NotAGate(NodeId),
+    /// A fan-in reference is out of range for this circuit.
+    UnknownNode(NodeId),
+    /// The gate's kind does not accept the fan-in count.
+    BadArity {
+        /// The offending gate.
+        gate: NodeId,
+        /// Its logic function at the point of failure.
+        kind: CellKind,
+        /// The illegal fan-in count.
+        got: usize,
+    },
+    /// The rewiring would create a combinational cycle through this node.
+    Cycle(NodeId),
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchError::NotAGate(g) => write!(f, "node {g} is not a gate"),
+            PatchError::UnknownNode(g) => write!(f, "fan-in reference {g} is out of range"),
+            PatchError::BadArity { gate, kind, got } => {
+                write!(f, "gate {gate} of kind {kind} cannot take {got} fan-ins")
+            }
+            PatchError::Cycle(g) => write!(f, "patch creates a combinational cycle through {g}"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// Work accounting of one apply/rollback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchReport {
+    /// Nodes re-evaluated by the worklist (the dirty-cone walk length).
+    pub reevaluated: usize,
+    /// Nodes whose packed value actually changed.
+    pub changed: usize,
+}
+
+/// Mutable flat (CSR-style) adjacency: per-node slots in one shared index
+/// pool, with per-slot capacity so rewires that fit in place cost a copy
+/// and oversized ones relocate to the pool tail. The initial layout is in
+/// node order, so cone walks touch the pool near-sequentially.
+#[derive(Debug, Clone)]
+struct Adjacency {
+    off: Vec<u32>,
+    len: Vec<u32>,
+    cap: Vec<u32>,
+    pool: Vec<u32>,
+}
+
+impl Adjacency {
+    fn from_lists(lists: impl Iterator<Item = Vec<u32>>, slack: u32) -> Self {
+        let mut off = Vec::new();
+        let mut len = Vec::new();
+        let mut cap = Vec::new();
+        let mut pool = Vec::new();
+        for list in lists {
+            let c = list.len() as u32 + slack;
+            off.push(pool.len() as u32);
+            len.push(list.len() as u32);
+            cap.push(c);
+            pool.extend_from_slice(&list);
+            pool.extend(std::iter::repeat_n(0, slack as usize));
+        }
+        Adjacency {
+            off,
+            len,
+            cap,
+            pool,
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &[u32] {
+        let o = self.off[i] as usize;
+        &self.pool[o..o + self.len[i] as usize]
+    }
+
+    fn set(&mut self, i: usize, new: &[u32]) {
+        if new.len() as u32 > self.cap[i] {
+            // Relocate to the tail with doubled capacity; the old slot
+            // becomes dead pool space (bounded by total rewrite volume).
+            let c = (new.len() * 2) as u32;
+            self.off[i] = self.pool.len() as u32;
+            self.cap[i] = c;
+            self.pool.extend(std::iter::repeat_n(0, c as usize));
+        }
+        let o = self.off[i] as usize;
+        self.pool[o..o + new.len()].copy_from_slice(new);
+        self.len[i] = new.len() as u32;
+    }
+
+    fn push(&mut self, i: usize, v: u32) {
+        if self.len[i] == self.cap[i] {
+            let current = self.get(i).to_vec();
+            let c = (current.len() as u32 + 1) * 2;
+            self.off[i] = self.pool.len() as u32;
+            self.cap[i] = c;
+            self.pool.extend(std::iter::repeat_n(0, c as usize));
+            let o = self.off[i] as usize;
+            self.pool[o..o + current.len()].copy_from_slice(&current);
+        }
+        let o = self.off[i] as usize + self.len[i] as usize;
+        self.pool[o] = v;
+        self.len[i] += 1;
+    }
+
+    /// Removes one occurrence of `v` (order not preserved).
+    fn remove_one(&mut self, i: usize, v: u32) {
+        let o = self.off[i] as usize;
+        let n = self.len[i] as usize;
+        let slot = &mut self.pool[o..o + n];
+        let pos = slot
+            .iter()
+            .position(|&x| x == v)
+            .expect("adjacency consistent");
+        slot.swap(pos, n - 1);
+        self.len[i] -= 1;
+    }
+}
+
+/// Event-driven incremental simulator with persistent per-node packed
+/// state.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_logicsim::delta::{DeltaSim, Patch, PatchOp};
+/// use iddq_netlist::{data, CellKind};
+///
+/// let c17 = data::c17();
+/// let mut sim = DeltaSim::<u64>::new(&c17);
+/// sim.set_inputs(&[!0u64; 5]);
+/// let g22 = c17.find("22").unwrap();
+/// assert_eq!(sim.value(g22) & 1, 1); // 22 = NAND(10, 16) = 1
+///
+/// // Mutate 22 into an AND: only its (empty) fanout cone re-evaluates.
+/// let patch = Patch::single(PatchOp::SetKind { gate: g22, kind: CellKind::And });
+/// sim.apply(&patch).unwrap();
+/// assert_eq!(sim.value(g22) & 1, 0);
+/// sim.rollback();
+/// assert_eq!(sim.value(g22) & 1, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaSim<W: PackedWord> {
+    /// `None` for primary inputs.
+    kinds: Vec<Option<CellKind>>,
+    fanin: Adjacency,
+    fanout: Adjacency,
+    level: Vec<u32>,
+    values: Vec<W>,
+    input_words: Vec<W>,
+    input_indices: Vec<u32>,
+    /// Inverse patches, innermost last.
+    undo: Vec<Patch>,
+    // Worklist / re-levelization scratch (all node-count sized, epoch
+    // stamped so walks are allocation-free).
+    stamp: Vec<u64>,
+    generation: u64,
+    buckets: Vec<Vec<u32>>,
+    affected: Vec<u32>,
+    indeg: Vec<u32>,
+    tmp_level: Vec<u32>,
+    gather: Vec<W>,
+}
+
+impl<W: PackedWord> DeltaSim<W> {
+    /// Copies the netlist structure and establishes the all-zero-input
+    /// baseline state.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let n = netlist.node_count();
+        let kinds = netlist
+            .node_ids()
+            .map(|id| netlist.node(id).kind().cell_kind())
+            .collect();
+        // Fan-in slots carry no slack (rewires keep or relocate); fanout
+        // slots get a little headroom so consumer churn stays in place.
+        let fanin = Adjacency::from_lists(
+            netlist
+                .node_ids()
+                .map(|id| netlist.node(id).fanin().iter().map(|f| f.0).collect()),
+            0,
+        );
+        let fanout = Adjacency::from_lists(
+            netlist
+                .node_ids()
+                .map(|id| netlist.fanout(id).iter().map(|f| f.0).collect()),
+            2,
+        );
+        let level = iddq_netlist::levelize::levels(netlist);
+        let max_level = level.iter().copied().max().unwrap_or(0) as usize;
+        let mut sim = DeltaSim {
+            kinds,
+            fanin,
+            fanout,
+            level,
+            values: vec![W::zeros(); n],
+            input_words: vec![W::zeros(); netlist.num_inputs()],
+            input_indices: netlist.inputs().iter().map(|i| i.0).collect(),
+            undo: Vec::new(),
+            stamp: vec![0; n],
+            generation: 0,
+            buckets: vec![Vec::new(); max_level + 1],
+            affected: Vec::new(),
+            indeg: vec![0; n],
+            tmp_level: vec![0; n],
+            gather: Vec::new(),
+        };
+        let zeros = vec![W::zeros(); sim.input_words.len()];
+        sim.set_inputs(&zeros);
+        sim
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.input_indices.len()
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The persistent packed value of every node under the current inputs
+    /// and structure.
+    #[must_use]
+    pub fn values(&self) -> &[W] {
+        &self.values
+    }
+
+    /// Packed value of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn value(&self, id: NodeId) -> W {
+        self.values[id.index()]
+    }
+
+    /// Current logic function of a node (`None` for primary inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn kind(&self, id: NodeId) -> Option<CellKind> {
+        self.kinds[id.index()]
+    }
+
+    /// Current ordered fan-in of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn fanin(&self, id: NodeId) -> Vec<NodeId> {
+        self.fanin
+            .get(id.index())
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect()
+    }
+
+    /// Number of applied-but-uncommitted patches on the undo stack.
+    #[must_use]
+    pub fn pending_patches(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Loads a packed input batch and fully re-evaluates the circuit over
+    /// the current (possibly patched) structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn set_inputs(&mut self, inputs: &[W]) {
+        assert_eq!(
+            inputs.len(),
+            self.input_indices.len(),
+            "one packed word per primary input required"
+        );
+        self.input_words.copy_from_slice(inputs);
+        for (&idx, &w) in self.input_indices.iter().zip(inputs) {
+            self.values[idx as usize] = w;
+        }
+        // Forced full sweep: seed every input, never stop the wave.
+        let seeds: Vec<u32> = self.input_indices.clone();
+        self.sweep(&seeds, true);
+    }
+
+    /// Applies a patch: structural edit, local re-levelization, dirty-cone
+    /// value propagation. The inverse lands on the undo stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PatchError`] (state unchanged) when an op targets a
+    /// non-gate, uses an illegal arity, references an unknown node, or
+    /// would create a combinational cycle.
+    pub fn apply(&mut self, patch: &Patch) -> Result<PatchReport, PatchError> {
+        let (inverse, report) = self.apply_inner(patch)?;
+        self.undo.push(inverse);
+        Ok(report)
+    }
+
+    /// Rolls the most recent uncommitted patch back, restoring structure
+    /// and re-propagating values. Returns the rollback's own dirty-cone
+    /// accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no patch to roll back.
+    pub fn rollback(&mut self) -> PatchReport {
+        let inverse = self.undo.pop().expect("no patch to roll back");
+        let (_, report) = self
+            .apply_inner(&inverse)
+            .expect("inverse of an accepted patch is always valid");
+        report
+    }
+
+    /// Makes all applied patches permanent by clearing the undo stack.
+    pub fn commit(&mut self) {
+        self.undo.clear();
+    }
+
+    fn apply_inner(&mut self, patch: &Patch) -> Result<(Patch, PatchReport), PatchError> {
+        let inverse = self.apply_structure(patch)?;
+        let seeds: Vec<u32> = {
+            // Deduplicated set of edited gates (a patch may touch a gate
+            // twice, e.g. kind + fan-in).
+            let mut s: Vec<u32> = patch.ops.iter().map(|op| op.gate().0).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        // Levels can only change — and a cycle can only appear — when a
+        // rewired gate's locally recomputed level moved: kind flips and
+        // level-preserving rewires skip the (fanout-cone-sized)
+        // re-levelization entirely. The prune is airtight for cycles:
+        // wiring a gate's own (transitive) successor in as a driver
+        // necessarily raises its local level, because levels strictly
+        // increase along every edge.
+        let relevel_seeds: Vec<u32> = patch
+            .ops
+            .iter()
+            .filter(|op| matches!(op, PatchOp::SetFanin { .. }))
+            .map(|op| op.gate().0)
+            .filter(|&g| self.local_level(g as usize) != self.level[g as usize])
+            .collect();
+        if !relevel_seeds.is_empty() {
+            if let Err(cycle) = self.relevel(&relevel_seeds) {
+                let _ = self
+                    .apply_structure(&inverse)
+                    .expect("restoring the previous structure cannot fail");
+                return Err(cycle);
+            }
+        }
+        let report = self.sweep(&seeds, false);
+        Ok((inverse, report))
+    }
+
+    /// Level a gate would get from its current fan-in (`0` for inputs).
+    fn local_level(&self, i: usize) -> u32 {
+        if self.kinds[i].is_none() {
+            return 0;
+        }
+        1 + self
+            .fanin
+            .get(i)
+            .iter()
+            .map(|&f| self.level[f as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Applies the structural ops in order, returning the inverse patch.
+    /// On mid-patch validation failure the already-applied prefix is
+    /// reverted, leaving the structure untouched.
+    fn apply_structure(&mut self, patch: &Patch) -> Result<Patch, PatchError> {
+        let mut inverse: Vec<PatchOp> = Vec::with_capacity(patch.ops.len());
+        for op in &patch.ops {
+            let gate = op.gate();
+            let gi = gate.index();
+            let valid = (|| {
+                if gi >= self.kinds.len() {
+                    return Err(PatchError::UnknownNode(gate));
+                }
+                let Some(kind) = self.kinds[gi] else {
+                    return Err(PatchError::NotAGate(gate));
+                };
+                match op {
+                    PatchOp::SetKind { kind: new_kind, .. } => {
+                        let arity = self.fanin.get(gi).len();
+                        if !new_kind.accepts_fanin(arity) {
+                            return Err(PatchError::BadArity {
+                                gate,
+                                kind: *new_kind,
+                                got: arity,
+                            });
+                        }
+                    }
+                    PatchOp::SetFanin { fanin, .. } => {
+                        if !kind.accepts_fanin(fanin.len()) {
+                            return Err(PatchError::BadArity {
+                                gate,
+                                kind,
+                                got: fanin.len(),
+                            });
+                        }
+                        for &f in fanin {
+                            if f.index() >= self.kinds.len() {
+                                return Err(PatchError::UnknownNode(f));
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            if let Err(e) = valid {
+                // Revert the applied prefix, innermost first.
+                for inv in inverse.iter().rev() {
+                    self.apply_op_unchecked(inv);
+                }
+                return Err(e);
+            }
+            inverse.push(self.apply_op_unchecked(op));
+        }
+        inverse.reverse();
+        Ok(Patch { ops: inverse })
+    }
+
+    /// Applies one validated op, returning its inverse.
+    fn apply_op_unchecked(&mut self, op: &PatchOp) -> PatchOp {
+        match op {
+            PatchOp::SetKind { gate, kind } => {
+                let gi = gate.index();
+                let old = self.kinds[gi].expect("validated as gate");
+                self.kinds[gi] = Some(*kind);
+                PatchOp::SetKind {
+                    gate: *gate,
+                    kind: old,
+                }
+            }
+            PatchOp::SetFanin { gate, fanin } => {
+                let gi = gate.index();
+                let new: Vec<u32> = fanin.iter().map(|f| f.0).collect();
+                let old = self.fanin.get(gi).to_vec();
+                self.fanin.set(gi, &new);
+                // Fanout maintenance preserves occurrence counts (a driver
+                // may feed the same gate on several pins).
+                for &f in &old {
+                    self.fanout.remove_one(f as usize, gate.0);
+                }
+                for &f in &new {
+                    self.fanout.push(f as usize, gate.0);
+                }
+                PatchOp::SetFanin {
+                    gate: *gate,
+                    fanin: old.into_iter().map(NodeId).collect(),
+                }
+            }
+        }
+    }
+
+    /// Recomputes levels over the transitive fanout of `seeds`, detecting
+    /// cycles. On `Err` no level has been modified.
+    fn relevel(&mut self, seeds: &[u32]) -> Result<(), PatchError> {
+        // Affected region: transitive fanout of the edited gates over the
+        // *new* adjacency (any node whose level can change has an edited
+        // ancestor, hence is reachable).
+        self.generation += 1;
+        let generation = self.generation;
+        self.affected.clear();
+        let mut head = 0usize;
+        for &s in seeds {
+            if self.stamp[s as usize] != generation {
+                self.stamp[s as usize] = generation;
+                self.affected.push(s);
+            }
+        }
+        while head < self.affected.len() {
+            let i = self.affected[head] as usize;
+            head += 1;
+            for &succ in self.fanout.get(i) {
+                let succ = succ as usize;
+                if self.stamp[succ] != generation {
+                    self.stamp[succ] = generation;
+                    self.affected.push(succ as u32);
+                }
+            }
+        }
+        // Kahn inside the region; levels of outside drivers are final.
+        for &i in &self.affected {
+            self.indeg[i as usize] = 0;
+        }
+        for k in 0..self.affected.len() {
+            let i = self.affected[k] as usize;
+            for &f in self.fanin.get(i) {
+                if self.stamp[f as usize] == generation {
+                    self.indeg[i] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<u32> = self
+            .affected
+            .iter()
+            .copied()
+            .filter(|&i| self.indeg[i as usize] == 0)
+            .collect();
+        let mut new_level: Vec<(u32, u32)> = Vec::with_capacity(self.affected.len());
+        let mut head = 0usize;
+        // Defer writes into `self.level` until the whole region is proven
+        // acyclic: `tmp_level` (epoch-stamped scratch, `MAX` = not yet
+        // computed) tracks in-region updates meanwhile. Kahn order
+        // guarantees an in-region driver is computed before its readers.
+        for &i in &self.affected {
+            self.tmp_level[i as usize] = u32::MAX;
+        }
+        while head < queue.len() {
+            let i = queue[head] as usize;
+            head += 1;
+            let lv = if self.kinds[i].is_some() {
+                1 + self
+                    .fanin
+                    .get(i)
+                    .iter()
+                    .map(|&f| {
+                        if self.stamp[f as usize] == generation {
+                            self.tmp_level[f as usize]
+                        } else {
+                            self.level[f as usize]
+                        }
+                    })
+                    .max()
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            self.tmp_level[i] = lv;
+            new_level.push((i as u32, lv));
+            for &succ in self.fanout.get(i) {
+                let succ = succ as usize;
+                if self.stamp[succ] == generation {
+                    self.indeg[succ] -= 1;
+                    if self.indeg[succ] == 0 {
+                        queue.push(succ as u32);
+                    }
+                }
+            }
+        }
+        if new_level.len() != self.affected.len() {
+            let on = self
+                .affected
+                .iter()
+                .copied()
+                .find(|&i| self.indeg[i as usize] > 0)
+                .expect("unprocessed node has positive in-degree");
+            return Err(PatchError::Cycle(NodeId(on)));
+        }
+        for (i, lv) in new_level {
+            self.level[i as usize] = lv;
+        }
+        let max_level = self.level.iter().copied().max().unwrap_or(0) as usize;
+        if self.buckets.len() <= max_level {
+            self.buckets.resize_with(max_level + 1, Vec::new);
+        }
+        Ok(())
+    }
+
+    /// Level-ordered worklist sweep from `seeds`. With `force`, every
+    /// reached node is re-evaluated and always propagates (full sweep);
+    /// without, propagation stops at nodes whose value did not change.
+    fn sweep(&mut self, seeds: &[u32], force: bool) -> PatchReport {
+        self.generation += 1;
+        let generation = self.generation;
+        let mut lowest = self.buckets.len();
+        for &s in seeds {
+            if self.stamp[s as usize] != generation {
+                self.stamp[s as usize] = generation;
+                let lv = self.level[s as usize] as usize;
+                self.buckets[lv].push(s);
+                lowest = lowest.min(lv);
+            }
+        }
+        let mut reevaluated = 0usize;
+        let mut changed = 0usize;
+        for lv in lowest..self.buckets.len() {
+            let mut k = 0usize;
+            while k < self.buckets[lv].len() {
+                let i = self.buckets[lv][k] as usize;
+                k += 1;
+                reevaluated += 1;
+                let delta = match self.kinds[i] {
+                    Some(kind) => {
+                        // Direct-op fast paths for the 1/2-input forms
+                        // that dominate ISCAS circuits (no fold, no
+                        // gather); larger gates take the generic path.
+                        let new = match *self.fanin.get(i) {
+                            [a] => {
+                                let a = self.values[a as usize];
+                                match kind {
+                                    CellKind::Not => !a,
+                                    _ => a,
+                                }
+                            }
+                            [a, b] => {
+                                let a = self.values[a as usize];
+                                let b = self.values[b as usize];
+                                match kind {
+                                    CellKind::Nand => !(a & b),
+                                    CellKind::Nor => !(a | b),
+                                    CellKind::And => a & b,
+                                    CellKind::Or => a | b,
+                                    CellKind::Xor => a ^ b,
+                                    CellKind::Xnor => !(a ^ b),
+                                    CellKind::Buf | CellKind::Not => {
+                                        unreachable!("arity 1 kinds never take two fan-ins")
+                                    }
+                                }
+                            }
+                            _ => {
+                                self.gather.clear();
+                                for &f in self.fanin.get(i) {
+                                    self.gather.push(self.values[f as usize]);
+                                }
+                                kind.eval_packed(&self.gather)
+                            }
+                        };
+                        let old = std::mem::replace(&mut self.values[i], new);
+                        new != old
+                    }
+                    // Inputs were written by the caller; treat as changed
+                    // so the wave starts.
+                    None => true,
+                };
+                if delta {
+                    changed += 1;
+                }
+                if delta || force {
+                    for &succ in self.fanout.get(i) {
+                        let succ = succ as usize;
+                        if self.stamp[succ] != generation {
+                            self.stamp[succ] = generation;
+                            self.buckets[self.level[succ] as usize].push(succ as u32);
+                        }
+                    }
+                }
+            }
+            self.buckets[lv].clear();
+        }
+        PatchReport {
+            reevaluated,
+            changed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use iddq_netlist::data;
+
+    #[test]
+    fn matches_csr_on_baseline() {
+        let nl = data::ripple_adder(6);
+        let sim = Simulator::new(&nl);
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        let inputs: Vec<u64> = (0..nl.num_inputs() as u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
+        delta.set_inputs(&inputs);
+        assert_eq!(delta.values(), &sim.eval(&inputs)[..]);
+    }
+
+    #[test]
+    fn kind_flip_propagates_and_rolls_back() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[!0u64; 5]);
+        let baseline = delta.values().to_vec();
+        let g10 = nl.find("10").unwrap();
+        // 10: NAND -> AND flips it from 0 to 1 under all-ones inputs,
+        // rippling through 16, 22, 23.
+        let r = delta
+            .apply(&Patch::single(PatchOp::SetKind {
+                gate: g10,
+                kind: CellKind::And,
+            }))
+            .unwrap();
+        assert!(r.changed >= 1);
+        assert_eq!(delta.value(g10) & 1, 1);
+        assert_eq!(delta.pending_patches(), 1);
+        let r = delta.rollback();
+        assert!(r.changed >= 1);
+        assert_eq!(delta.values(), &baseline[..]);
+        assert_eq!(delta.pending_patches(), 0);
+    }
+
+    #[test]
+    fn silent_patch_stops_immediately() {
+        // Under all-zero inputs a NAND and a NOR of zeros both read 1: the
+        // flip re-evaluates only the patched gate and nothing downstream.
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[0u64; 5]);
+        let g10 = nl.find("10").unwrap();
+        let r = delta
+            .apply(&Patch::single(PatchOp::SetKind {
+                gate: g10,
+                kind: CellKind::Nor,
+            }))
+            .unwrap();
+        assert_eq!(r.reevaluated, 1);
+        assert_eq!(r.changed, 0);
+        delta.rollback();
+    }
+
+    #[test]
+    fn rewire_matches_rebuilt_netlist() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        let inputs = [0x0123_4567_89ab_cdefu64, !0, 0x55aa, 0, 0xff00_ff00];
+        delta.set_inputs(&inputs);
+        // Rewire 22 = NAND(10, 16) to NAND(11, 19).
+        let g22 = nl.find("22").unwrap();
+        let g11 = nl.find("11").unwrap();
+        let g19 = nl.find("19").unwrap();
+        delta
+            .apply(&Patch::single(PatchOp::SetFanin {
+                gate: g22,
+                fanin: vec![g11, g19],
+            }))
+            .unwrap();
+        // Reference: rebuild the mutated circuit from scratch.
+        let mut b = iddq_netlist::NetlistBuilder::new("c17-mut");
+        let mut map = std::collections::HashMap::new();
+        for &i in nl.inputs() {
+            map.insert(i, b.add_input(nl.node_name(i)));
+        }
+        for &id in nl.topo_order() {
+            if let Some(kind) = nl.node(id).kind().cell_kind() {
+                let fanin: Vec<NodeId> = if id == g22 {
+                    vec![map[&g11], map[&g19]]
+                } else {
+                    nl.node(id).fanin().iter().map(|f| map[f]).collect()
+                };
+                map.insert(id, b.add_gate(nl.node_name(id), kind, fanin).unwrap());
+            }
+        }
+        for &o in nl.outputs() {
+            b.mark_output(map[&o]);
+        }
+        let mutated = b.build().unwrap();
+        let reference = Simulator::new(&mutated).eval(&inputs);
+        for id in nl.node_ids() {
+            assert_eq!(
+                delta.value(id),
+                reference[map[&id].index()],
+                "node {}",
+                nl.node_name(id)
+            );
+        }
+        delta.rollback();
+        assert_eq!(delta.values(), &Simulator::new(&nl).eval(&inputs)[..]);
+    }
+
+    #[test]
+    fn cycle_is_rejected_atomically() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[!0u64; 5]);
+        let before = delta.values().to_vec();
+        let g10 = nl.find("10").unwrap();
+        let g22 = nl.find("22").unwrap();
+        // 10 feeds 16 feeds 22; feeding 22 back into 10 is a cycle.
+        let err = delta
+            .apply(&Patch::single(PatchOp::SetFanin {
+                gate: g10,
+                fanin: vec![g22, nl.find("3").unwrap()],
+            }))
+            .unwrap_err();
+        assert!(matches!(err, PatchError::Cycle(_)));
+        assert_eq!(delta.values(), &before[..]);
+        assert_eq!(delta.fanin(g10), nl.node(g10).fanin().to_vec());
+        assert_eq!(delta.pending_patches(), 0);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        let g10 = nl.find("10").unwrap();
+        let err = delta
+            .apply(&Patch::single(PatchOp::SetFanin {
+                gate: g10,
+                fanin: vec![g10, nl.find("3").unwrap()],
+            }))
+            .unwrap_err();
+        assert!(matches!(err, PatchError::Cycle(_)));
+    }
+
+    #[test]
+    fn bad_arity_and_non_gate_rejected() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        let g10 = nl.find("10").unwrap();
+        let pi = nl.inputs()[0];
+        assert!(matches!(
+            delta
+                .apply(&Patch::single(PatchOp::SetKind {
+                    gate: g10,
+                    kind: CellKind::Not,
+                }))
+                .unwrap_err(),
+            PatchError::BadArity { got: 2, .. }
+        ));
+        assert!(matches!(
+            delta
+                .apply(&Patch::single(PatchOp::SetKind {
+                    gate: pi,
+                    kind: CellKind::Not,
+                }))
+                .unwrap_err(),
+            PatchError::NotAGate(_)
+        ));
+    }
+
+    #[test]
+    fn failed_op_mid_patch_reverts_prefix() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[!0u64; 5]);
+        let before = delta.values().to_vec();
+        let g10 = nl.find("10").unwrap();
+        let patch = Patch {
+            ops: vec![
+                PatchOp::SetKind {
+                    gate: g10,
+                    kind: CellKind::And,
+                },
+                PatchOp::SetKind {
+                    gate: nl.inputs()[0],
+                    kind: CellKind::Not,
+                },
+            ],
+        };
+        assert!(delta.apply(&patch).is_err());
+        assert_eq!(delta.kind(g10), Some(CellKind::Nand));
+        assert_eq!(delta.values(), &before[..]);
+    }
+
+    #[test]
+    fn stacked_patches_roll_back_in_order() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[!0u64; 5]);
+        let base = delta.values().to_vec();
+        let g10 = nl.find("10").unwrap();
+        let g11 = nl.find("11").unwrap();
+        delta
+            .apply(&Patch::single(PatchOp::SetKind {
+                gate: g10,
+                kind: CellKind::And,
+            }))
+            .unwrap();
+        let after_first = delta.values().to_vec();
+        delta
+            .apply(&Patch::single(PatchOp::SetKind {
+                gate: g11,
+                kind: CellKind::Or,
+            }))
+            .unwrap();
+        delta.rollback();
+        assert_eq!(delta.values(), &after_first[..]);
+        delta.rollback();
+        assert_eq!(delta.values(), &base[..]);
+    }
+
+    #[test]
+    fn inputs_can_change_between_apply_and_rollback() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[!0u64; 5]);
+        let g10 = nl.find("10").unwrap();
+        delta
+            .apply(&Patch::single(PatchOp::SetKind {
+                gate: g10,
+                kind: CellKind::And,
+            }))
+            .unwrap();
+        // New inputs while mutated, then rollback: state must equal the
+        // pristine circuit under the *new* inputs.
+        delta.set_inputs(&[0u64; 5]);
+        delta.rollback();
+        assert_eq!(delta.values(), &Simulator::new(&nl).eval(&[0u64; 5])[..]);
+    }
+
+    #[test]
+    fn commit_clears_undo() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        let g10 = nl.find("10").unwrap();
+        delta
+            .apply(&Patch::single(PatchOp::SetKind {
+                gate: g10,
+                kind: CellKind::And,
+            }))
+            .unwrap();
+        delta.commit();
+        assert_eq!(delta.pending_patches(), 0);
+        assert_eq!(delta.kind(g10), Some(CellKind::And));
+    }
+
+    #[test]
+    fn deepening_rewire_extends_levels() {
+        // Chain i -> g0 -> g1 -> g2, plus a parallel g3(i). Rewiring g3 to
+        // read g2 deepens it from level 1 to level 4.
+        let mut b = iddq_netlist::NetlistBuilder::new("deepen");
+        let i = b.add_input("i");
+        let g0 = b.add_gate("g0", CellKind::Not, vec![i]).unwrap();
+        let g1 = b.add_gate("g1", CellKind::Not, vec![g0]).unwrap();
+        let g2 = b.add_gate("g2", CellKind::Not, vec![g1]).unwrap();
+        let g3 = b.add_gate("g3", CellKind::Not, vec![i]).unwrap();
+        b.mark_output(g2);
+        b.mark_output(g3);
+        let nl = b.build().unwrap();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[0x5555_5555_5555_5555]);
+        delta
+            .apply(&Patch::single(PatchOp::SetFanin {
+                gate: g3,
+                fanin: vec![g2],
+            }))
+            .unwrap();
+        // g3 = NOT(g2), and g2 = NOT(NOT(NOT(i))) = NOT(i), so g3 = i.
+        assert_eq!(delta.value(g3), delta.value(i));
+        delta.rollback();
+        // Pristine again: g3 = NOT(i).
+        assert_eq!(delta.value(g3), !delta.value(i));
+    }
+}

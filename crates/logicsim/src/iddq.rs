@@ -19,10 +19,12 @@
 //! any thread count: workers only report each fault's earliest activating
 //! vector index inside their own slice, and the merge takes the minimum.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use iddq_netlist::{Netlist, PackedWord, W256};
 
+use crate::backend::{BackendKind, SimBackend};
 use crate::faults::IddqFault;
-use crate::sim::Simulator;
 
 /// Module assignment marker for nodes outside any module (primary inputs).
 pub const NO_MODULE: u32 = u32::MAX;
@@ -100,13 +102,35 @@ pub fn pack_vectors<W: PackedWord>(
 }
 
 /// Worker threads used for the fault sweep: every core, but never more
-/// than one per batch of work.
-fn sweep_threads(batches: usize) -> usize {
+/// than one per unit of work.
+fn sweep_threads(units: usize) -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
-        .min(batches)
+        .min(units)
         .max(1)
+}
+
+/// Tuning knobs of the fault sweep.
+///
+/// The sweep parallelizes over a two-level task grid: the *fault list* is
+/// split into shards and the *pattern batches* into ranges, and every
+/// `(fault shard, batch range)` cell is an independent task. Batch-level
+/// parallelism is free (each range evaluates its own patterns); fault
+/// sharding re-evaluates the same patterns once per shard, so it only
+/// pays when the universe is so large that activation checks dominate —
+/// the auto policy shards faults only when there are fewer batches than
+/// workers.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; `0` = one per available core (capped by the task
+    /// count).
+    pub threads: usize,
+    /// Fault-list shards; `0` = automatic (shard only when pattern
+    /// batches cannot keep all workers busy).
+    pub fault_shards: usize,
+    /// Simulation engine evaluating the pattern batches.
+    pub backend: BackendKind,
 }
 
 /// Runs the full IDDQ test experiment.
@@ -136,15 +160,14 @@ pub fn simulate(
     module_leakage_ua: &[f64],
     threshold_ua: f64,
 ) -> IddqSimulation {
-    let batches = vectors.len().div_ceil(W256::LANES as usize);
-    simulate_with_threads(
+    simulate_with_options(
         netlist,
         faults,
         vectors,
         module_of,
         module_leakage_ua,
         threshold_ua,
-        sweep_threads(batches),
+        &SweepOptions::default(),
     )
 }
 
@@ -167,8 +190,51 @@ pub fn simulate_with_threads(
     threshold_ua: f64,
     threads: usize,
 ) -> IddqSimulation {
+    simulate_with_options(
+        netlist,
+        faults,
+        vectors,
+        module_of,
+        module_leakage_ua,
+        threshold_ua,
+        &SweepOptions {
+            threads,
+            ..SweepOptions::default()
+        },
+    )
+}
+
+/// One cell of the two-level task grid.
+struct SweepTask {
+    fault_range: std::ops::Range<usize>,
+    batch_range: std::ops::Range<usize>,
+}
+
+/// [`simulate`] with explicit [`SweepOptions`] (thread count, fault
+/// sharding, simulation backend).
+///
+/// The task grid, the shared fault-dropping state and the final merge are
+/// all designed so the result is bit-identical for any thread count and
+/// shard count: workers only report each fault's earliest activating
+/// vector index inside their own grid cell, cross-cell dropping only
+/// skips a fault when a *strictly earlier* detection already exists (which
+/// would win the merge anyway), and the merge takes the minimum index.
+///
+/// # Panics
+///
+/// As [`simulate`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_with_options(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    vectors: &[Vec<bool>],
+    module_of: &[u32],
+    module_leakage_ua: &[f64],
+    threshold_ua: f64,
+    options: &SweepOptions,
+) -> IddqSimulation {
     assert_eq!(module_of.len(), netlist.node_count());
-    let sim = Simulator::new(netlist);
 
     // Sensor sanity is a property of the partition, not of the vector:
     // precompute it per fault instead of re-deriving it per batch.
@@ -192,61 +258,148 @@ pub fn simulate_with_threads(
 
     let lanes = W256::LANES as usize;
     let num_batches = vectors.len().div_ceil(lanes);
-    let threads = threads.clamp(1, num_batches.max(1));
+    let threads = if options.threads == 0 {
+        sweep_threads(num_batches.max(1) * faults.len().div_ceil(256).max(1))
+    } else {
+        options.threads.max(1)
+    };
+    // Fault sharding re-evaluates each pattern batch once per shard, so
+    // the auto policy only shards when batch-level parallelism alone
+    // cannot feed the workers (few batches, huge universe).
+    let shards = match options.fault_shards {
+        0 if num_batches >= threads => 1,
+        0 => threads
+            .div_ceil(num_batches.max(1))
+            .min(faults.len().div_ceil(64).max(1)),
+        s => s.min(faults.len().max(1)),
+    };
+    let batch_chunks = threads.div_ceil(shards).min(num_batches.max(1)).max(1);
 
-    // Each worker sweeps a contiguous range of batches and reports, per
-    // fault, the earliest activating vector index it saw (or None).
-    let sweep_range = |batch_range: std::ops::Range<usize>| -> Vec<Option<usize>> {
-        let mut first = vec![None; faults.len()];
-        let mut remaining = seen.iter().filter(|&&s| s).count();
-        let mut words = vec![W256::zeros(); netlist.num_inputs()];
-        let mut values = vec![W256::zeros(); sim.node_count()];
-        for batch_idx in batch_range {
-            if remaining == 0 {
-                break;
-            }
-            let chunk = &vectors[batch_idx * lanes..vectors.len().min((batch_idx + 1) * lanes)];
-            pack_chunk_into(chunk, &mut words);
-            sim.eval_into(&words, &mut values);
-            for (fi, fault) in faults.iter().enumerate() {
-                if !seen[fi] || first[fi].is_some() {
-                    continue;
-                }
-                let act = fault
-                    .activation(netlist, &values)
-                    .mask_lanes(chunk.len() as u32);
-                if let Some(bit) = act.first_set() {
-                    first[fi] = Some(batch_idx * lanes + bit as usize);
-                    remaining -= 1;
-                }
-            }
+    let mut tasks: Vec<SweepTask> = Vec::with_capacity(shards * batch_chunks);
+    let per_shard = faults.len().div_ceil(shards).max(1);
+    let per_chunk = num_batches.div_ceil(batch_chunks).max(1);
+    for s in 0..shards {
+        let fault_range = s * per_shard..faults.len().min((s + 1) * per_shard);
+        if fault_range.is_empty() && !faults.is_empty() {
+            continue;
         }
-        first
+        for c in 0..batch_chunks {
+            let batch_range = c * per_chunk..num_batches.min((c + 1) * per_chunk);
+            if batch_range.is_empty() && num_batches > 0 {
+                continue;
+            }
+            tasks.push(SweepTask {
+                fault_range: fault_range.clone(),
+                batch_range,
+            });
+        }
+    }
+
+    // Cross-cell fault dropping: the earliest detection index published so
+    // far, per fault. A worker skips a fault only when the published index
+    // precedes every vector of its own cell — such a detection wins the
+    // min-merge regardless, so timing cannot change the result.
+    let best: Vec<AtomicUsize> = (0..faults.len())
+        .map(|_| AtomicUsize::new(usize::MAX))
+        .collect();
+
+    // One worker: its own backend instance and buffers, a live-fault
+    // bit set per task so fully-dropped 64-fault blocks cost one word
+    // test, and earliest-detection records per task cell.
+    let run_tasks = |my_tasks: &[SweepTask]| -> Vec<(usize, Vec<Option<usize>>)> {
+        let mut backend = SimBackend::<W256>::new(netlist, options.backend);
+        let mut words = vec![W256::zeros(); netlist.num_inputs()];
+        let mut values = vec![W256::zeros(); backend.node_count()];
+        let mut out = Vec::with_capacity(my_tasks.len());
+        for task in my_tasks {
+            let flen = task.fault_range.len();
+            let mut first: Vec<Option<usize>> = vec![None; flen];
+            // Bit k of word w = fault `fault_range.start + 64w + k` still
+            // undetected and worth checking.
+            let mut live: Vec<u64> = vec![!0u64; flen.div_ceil(64)];
+            if flen % 64 != 0 {
+                if let Some(last) = live.last_mut() {
+                    *last &= (1u64 << (flen % 64)) - 1;
+                }
+            }
+            for (k, fi) in task.fault_range.clone().enumerate() {
+                if !seen[fi] {
+                    live[k / 64] &= !(1u64 << (k % 64));
+                }
+            }
+            let mut remaining: usize = live.iter().map(|w| w.count_ones() as usize).sum();
+            for batch_idx in task.batch_range.clone() {
+                if remaining == 0 {
+                    break;
+                }
+                let start_vec = batch_idx * lanes;
+                let chunk = &vectors[start_vec..vectors.len().min(start_vec + lanes)];
+                pack_chunk_into(chunk, &mut words);
+                backend.eval_into(&words, &mut values);
+                for (w, word) in live.iter_mut().enumerate() {
+                    let mut bits = *word;
+                    while bits != 0 {
+                        let k = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let fi = task.fault_range.start + k;
+                        // Drop if an earlier cell already detected it.
+                        if best[fi].load(Ordering::Relaxed) < start_vec {
+                            *word &= !(1u64 << (k % 64));
+                            remaining -= 1;
+                            continue;
+                        }
+                        let act = faults[fi]
+                            .activation(netlist, &values)
+                            .mask_lanes(chunk.len() as u32);
+                        if let Some(bit) = act.first_set() {
+                            let v = start_vec + bit as usize;
+                            first[k] = Some(v);
+                            best[fi].fetch_min(v, Ordering::Relaxed);
+                            *word &= !(1u64 << (k % 64));
+                            remaining -= 1;
+                        }
+                    }
+                }
+            }
+            out.push((task.fault_range.start, first));
+        }
+        out
     };
 
-    let first_detection: Vec<Option<usize>> = if threads <= 1 || num_batches <= 1 {
-        sweep_range(0..num_batches)
+    let partials: Vec<(usize, Vec<Option<usize>>)> = if threads <= 1 || tasks.len() <= 1 {
+        run_tasks(&tasks)
     } else {
-        let per = num_batches.div_ceil(threads);
-        let ranges: Vec<std::ops::Range<usize>> = (0..threads)
-            .map(|t| t * per..num_batches.min((t + 1) * per))
-            .filter(|r| !r.is_empty())
-            .collect();
-        let partials: Vec<Vec<Option<usize>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|r| scope.spawn(|| sweep_range(r)))
+        // Round-robin task assignment over the workers.
+        let assignments: Vec<Vec<SweepTask>> = {
+            let mut a: Vec<Vec<SweepTask>> = (0..threads).map(|_| Vec::new()).collect();
+            for (i, t) in tasks.into_iter().enumerate() {
+                a[i % threads].push(t);
+            }
+            a.into_iter().filter(|v| !v.is_empty()).collect()
+        };
+        std::thread::scope(|scope| {
+            let run_tasks = &run_tasks;
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|mine| scope.spawn(move || run_tasks(mine)))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("sweep worker never panics"))
+                .flat_map(|h| h.join().expect("sweep worker never panics"))
                 .collect()
-        });
-        // Deterministic merge: earliest detection across all slices.
-        (0..faults.len())
-            .map(|fi| partials.iter().filter_map(|p| p[fi]).min())
-            .collect()
+        })
     };
+
+    // Deterministic merge: earliest detection across all grid cells.
+    let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
+    for (start, partial) in partials {
+        for (k, v) in partial.into_iter().enumerate() {
+            if let Some(v) = v {
+                let slot = &mut first_detection[start + k];
+                *slot = Some(slot.map_or(v, |cur| cur.min(v)));
+            }
+        }
+    }
 
     let detected: Vec<bool> = first_detection.iter().map(Option::is_some).collect();
     let coverage = if faults.is_empty() {
@@ -397,6 +550,44 @@ mod tests {
             assert_eq!(
                 base.first_detection, par.first_detection,
                 "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_shards_and_backend_are_invisible_in_results() {
+        let nl = data::ripple_adder(6);
+        let faults =
+            crate::faults::enumerate(&nl, &crate::faults::FaultUniverseConfig::default(), 13);
+        let vectors: Vec<Vec<bool>> = (0..900)
+            .map(|k| {
+                (0..nl.num_inputs())
+                    .map(|i| (k * 31 + i * 7) % 3 == 0)
+                    .collect()
+            })
+            .collect();
+        let module_of = one_module_assignment(&nl);
+        let base = simulate_with_threads(&nl, &faults, &vectors, &module_of, &[0.1], 1.0, 1);
+        for (shards, threads, backend) in [
+            (1, 4, crate::BackendKind::Csr),
+            (3, 4, crate::BackendKind::Csr),
+            (7, 2, crate::BackendKind::Csr),
+            (faults.len(), 8, crate::BackendKind::Csr),
+            (2, 3, crate::BackendKind::Delta),
+        ] {
+            let opts = SweepOptions {
+                threads,
+                fault_shards: shards,
+                backend,
+            };
+            let r = simulate_with_options(&nl, &faults, &vectors, &module_of, &[0.1], 1.0, &opts);
+            assert_eq!(
+                base.detected, r.detected,
+                "shards={shards} threads={threads}"
+            );
+            assert_eq!(
+                base.first_detection, r.first_detection,
+                "shards={shards} threads={threads} backend={backend}"
             );
         }
     }

@@ -13,16 +13,36 @@
 //! * [`Simulator`] — a CSR-compiled, wide-word pattern-parallel evaluator
 //!   for the combinational netlists of `iddq-netlist` (64 patterns per
 //!   sweep over `u64`, 256 over [`iddq_netlist::W256`]),
+//! * [`delta`] — the event-driven incremental engine
+//!   ([`delta::DeltaSim`]): persistent packed per-node state, structural
+//!   [`delta::Patch`]es (gate kind / fan-in edge changes) with atomic
+//!   apply/rollback, and dirty-cone-only re-evaluation,
+//! * [`SimBackend`] — one batch-evaluation API over both engines,
+//!   selected by [`BackendKind`] (`csr` | `delta`), consumed by the fault
+//!   sweep, logic testing and ATPG,
 //! * [`reference`] — the seed's naive evaluator, kept as the golden
 //!   baseline for differential tests and speedup measurements,
 //! * [`faults`] — the defect universe: [`faults::IddqFault`] variants with
 //!   activation conditions and defect-current magnitudes,
 //! * [`iddq`] — sensor-level detection: given a partition of the gates
 //!   into BIC-sensed modules, which faults does each vector expose to
-//!   which sensor ([`iddq::IddqSimulation`]),
+//!   which sensor ([`iddq::IddqSimulation`]), with two-level (fault-shard
+//!   × pattern-batch) parallelism,
 //! * [`logic_test`] — the voltage-test view of the same defects
 //!   (stuck-at faults, wired-AND bridges), demonstrating the class that
 //!   escapes logic test.
+//!
+//! # Choosing a backend
+//!
+//! The CSR kernel is stateless and wins whenever every pattern batch is
+//! fresh (full sweeps, the fault sweep, ATPG batch generation). The delta
+//! engine owns its state and wins whenever consecutive evaluations differ
+//! by a small structural change: apply a [`delta::Patch`], read the new
+//! values (only the dirty cone was recomputed), then
+//! [`delta::DeltaSim::rollback`] to the previous circuit — the
+//! apply/rollback pair costs two cone walks instead of two full sweeps.
+//! Both engines are bit-for-bit identical on the same inputs (enforced by
+//! the differential proptests in `tests/proptests.rs`).
 //!
 //! # Example
 //!
@@ -42,10 +62,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod delta;
 pub mod faults;
 pub mod iddq;
 pub mod logic_test;
 pub mod reference;
 mod sim;
 
+pub use backend::{BackendKind, SimBackend};
 pub use sim::Simulator;

@@ -25,6 +25,7 @@
 
 use iddq_netlist::{Netlist, NodeId, PackedWord};
 
+use crate::backend::{BackendKind, SimBackend};
 use crate::faults::IddqFault;
 use crate::sim::Simulator;
 
@@ -63,7 +64,37 @@ pub fn stuck_at_detection_with<W: PackedWord>(
     fault: StuckAtFault,
     inputs: &[W],
 ) -> W {
-    let good = sim.eval(inputs);
+    stuck_at_detection_from(netlist, &sim.eval(inputs), fault, inputs)
+}
+
+/// [`stuck_at_detection`] through a caller-chosen [`SimBackend`], so the
+/// same sweep runs on the batch CSR kernel or the incremental engine.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the primary-input count.
+#[must_use]
+pub fn stuck_at_detection_with_backend<W: PackedWord>(
+    netlist: &Netlist,
+    backend: &mut SimBackend<W>,
+    fault: StuckAtFault,
+    inputs: &[W],
+) -> W {
+    let mut good = vec![W::zeros(); backend.node_count()];
+    backend.eval_into(inputs, &mut good);
+    stuck_at_detection_from(netlist, &good, fault, inputs)
+}
+
+/// [`stuck_at_detection`] against precomputed fault-free values.
+///
+/// `good` must be the fault-free evaluation of `inputs` on `netlist`.
+#[must_use]
+pub fn stuck_at_detection_from<W: PackedWord>(
+    netlist: &Netlist,
+    good: &[W],
+    fault: StuckAtFault,
+    inputs: &[W],
+) -> W {
     let bad = eval_forced(
         netlist,
         inputs,
@@ -198,14 +229,39 @@ pub fn logic_observability<W: PackedWord>(
     faults: &[IddqFault],
     vector_batches: &[Vec<W>],
 ) -> Vec<bool> {
-    // One compiled simulator shared across the whole fault × batch sweep.
-    let sim = Simulator::new(netlist);
+    logic_observability_with_backend(netlist, faults, vector_batches, BackendKind::Csr)
+}
+
+/// [`logic_observability`] on a chosen simulation engine.
+///
+/// One backend instance evaluates each batch's fault-free values once;
+/// bridge corruption is then propagated from those values per fault.
+#[must_use]
+pub fn logic_observability_with_backend<W: PackedWord>(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    vector_batches: &[Vec<W>],
+    kind: BackendKind,
+) -> Vec<bool> {
+    // One engine instance shared across the whole fault × batch sweep,
+    // and one fault-free evaluation per batch shared across its faults.
+    let mut backend = SimBackend::<W>::new(netlist, kind);
+    let goods: Vec<Vec<W>> = vector_batches
+        .iter()
+        .map(|ins| {
+            let mut good = vec![W::zeros(); backend.node_count()];
+            backend.eval_into(ins, &mut good);
+            good
+        })
+        .collect();
     faults
         .iter()
         .map(|f| match *f {
-            IddqFault::Bridge { a, b, .. } => vector_batches
-                .iter()
-                .any(|ins| !bridge_logic_detection_with(netlist, &sim, a, b, ins).is_zero()),
+            IddqFault::Bridge { a, b, .. } => {
+                vector_batches.iter().zip(&goods).any(|(ins, good)| {
+                    !bridge_logic_detection_from(netlist, good, a, b, ins).is_zero()
+                })
+            }
             IddqFault::GateOxideShort { .. } | IddqFault::StuckOn { .. } => false,
         })
         .collect()
@@ -310,6 +366,51 @@ mod tests {
         let batches = vec![vec![!0u64; 5], vec![0u64; 5]];
         let vis = logic_observability(&nl, &faults, &batches);
         assert_eq!(vis, vec![false, false]);
+    }
+
+    #[test]
+    fn backends_agree_on_stuck_at_and_observability() {
+        let nl = data::c17();
+        let gs = data::c17_paper_gates(&nl);
+        let mut packed = vec![0u64; 5];
+        for pat in 0u64..32 {
+            for (i, word) in packed.iter_mut().enumerate() {
+                if pat >> i & 1 == 1 {
+                    *word |= 1 << pat;
+                }
+            }
+        }
+        let mut delta = SimBackend::<u64>::new(&nl, BackendKind::Delta);
+        for &g in &gs {
+            for stuck_at_one in [false, true] {
+                let fault = StuckAtFault {
+                    node: g,
+                    stuck_at_one,
+                };
+                assert_eq!(
+                    stuck_at_detection(&nl, fault, &packed),
+                    stuck_at_detection_with_backend(&nl, &mut delta, fault, &packed),
+                    "node {g} sa{}",
+                    u8::from(stuck_at_one)
+                );
+            }
+        }
+        let faults = vec![
+            IddqFault::Bridge {
+                a: gs[0],
+                b: gs[3],
+                current_ua: 1.0,
+            },
+            IddqFault::StuckOn {
+                gate: gs[1],
+                current_ua: 1.0,
+            },
+        ];
+        let batches = vec![packed];
+        assert_eq!(
+            logic_observability(&nl, &faults, &batches),
+            logic_observability_with_backend(&nl, &faults, &batches, BackendKind::Delta)
+        );
     }
 
     #[test]

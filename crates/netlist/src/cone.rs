@@ -1,0 +1,368 @@
+//! Fanout-cone indexing: forward adjacency plus level-ordered transitive
+//! cone traversal.
+//!
+//! Incremental engines (event-driven simulation, incremental longest-path
+//! timing) all answer the same structural question: *given that these
+//! nodes changed, which nodes downstream can be affected, in an order that
+//! evaluates every driver before its consumers?* [`ConeIndex`] answers it
+//! once per netlist — topological levels plus a flat CSR copy of the
+//! fanout lists — and [`ConeWalker`] walks dirty cones over that index
+//! with a level-bucketed worklist, visiting each reached node exactly once
+//! in non-decreasing level order.
+//!
+//! The walk is *event-driven*: the visitor decides per node whether the
+//! change actually propagated ([`ConeStep::Propagate`]) or died out
+//! ([`ConeStep::Stop`]), so a cone walk touches only the nodes whose
+//! inputs really changed, not the full structural fanout cone.
+//!
+//! # Example
+//!
+//! ```rust
+//! use iddq_netlist::cone::{ConeIndex, ConeStep, ConeWalker};
+//! use iddq_netlist::data;
+//!
+//! let c17 = data::c17();
+//! let index = ConeIndex::new(&c17);
+//! let g10 = c17.find("10").unwrap();
+//! // Full structural cone of gate 10: itself plus gate 22.
+//! let cone = index.cone(g10);
+//! assert_eq!(cone.len(), 2);
+//! // Levels never decrease along the walk.
+//! let mut walker = ConeWalker::new(&index);
+//! let mut last = 0;
+//! walker.walk(&index, [g10], |id| {
+//!     assert!(index.level(id) >= last);
+//!     last = index.level(id);
+//!     ConeStep::Propagate
+//! });
+//! ```
+
+use crate::graph::{Netlist, NodeId};
+use crate::levelize;
+
+/// Per-netlist structural index for fanout-cone traversals.
+///
+/// Holds the topological level of every node and a flat (CSR) copy of the
+/// fanout adjacency, so repeated cone walks are cache-friendly and never
+/// touch the netlist's per-node `Vec`s.
+#[derive(Debug, Clone)]
+pub struct ConeIndex {
+    level: Vec<u32>,
+    offsets: Vec<u32>,
+    pool: Vec<u32>,
+    max_level: u32,
+}
+
+impl ConeIndex {
+    /// Builds the index (one levelization pass + one adjacency copy).
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let level = levelize::levels(netlist);
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let n = netlist.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut pool = Vec::new();
+        offsets.push(0u32);
+        for id in netlist.node_ids() {
+            pool.extend(netlist.fanout(id).iter().map(|f| f.index() as u32));
+            offsets.push(pool.len() as u32);
+        }
+        ConeIndex {
+            level,
+            offsets,
+            pool,
+            max_level,
+        }
+    }
+
+    /// Number of nodes covered by the index.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Topological level of a node (`0` for primary inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Deepest level in the circuit.
+    #[must_use]
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Direct fanout of a node, as raw indices into the node id space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn fanout(&self, id: NodeId) -> &[u32] {
+        let i = id.index();
+        &self.pool[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The full transitive fanout cone of `seed` (including the seed), in
+    /// level order. Allocates; hot paths should reuse a [`ConeWalker`].
+    #[must_use]
+    pub fn cone(&self, seed: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut walker = ConeWalker::new(self);
+        walker.walk(self, [seed], |id| {
+            out.push(id);
+            ConeStep::Propagate
+        });
+        out
+    }
+
+    /// Size of every node's transitive fanout cone (including the node).
+    ///
+    /// One full walk per node — an `O(V·E)` diagnostic used for cone-size
+    /// statistics and threshold calibration, not for hot paths.
+    #[must_use]
+    pub fn cone_sizes(&self) -> Vec<usize> {
+        let mut walker = ConeWalker::new(self);
+        (0..self.level.len())
+            .map(|i| {
+                let mut n = 0usize;
+                walker.walk(self, [NodeId(i as u32)], |_| {
+                    n += 1;
+                    ConeStep::Propagate
+                });
+                n
+            })
+            .collect()
+    }
+}
+
+/// Visitor verdict for one node of a cone walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConeStep {
+    /// The node's value/attribute changed: enqueue its fanout.
+    Propagate,
+    /// The change died out here: do not enqueue the fanout.
+    Stop,
+}
+
+/// Reusable level-bucketed worklist for [`ConeIndex`] walks.
+///
+/// Construction sizes the scratch buffers once; every subsequent
+/// [`ConeWalker::walk`] is allocation-free (buckets keep their capacity).
+/// Each reached node is visited exactly once, and nodes are visited in
+/// non-decreasing level order, so a visitor that recomputes a node from
+/// its fan-ins always sees fully updated drivers.
+#[derive(Debug)]
+pub struct ConeWalker {
+    /// Per-node stamp of the walk that last visited it.
+    stamp: Vec<u64>,
+    generation: u64,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl ConeWalker {
+    /// Creates a walker sized for `index`.
+    #[must_use]
+    pub fn new(index: &ConeIndex) -> Self {
+        ConeWalker {
+            stamp: vec![0; index.node_count()],
+            generation: 0,
+            buckets: vec![Vec::new(); index.max_level as usize + 1],
+        }
+    }
+
+    /// Walks the union of the seeds' cones in level order.
+    ///
+    /// Every node reached through [`ConeStep::Propagate`] verdicts
+    /// (including each seed) is passed to `visit` exactly once. Returns
+    /// the number of visited nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the walker was built for a smaller index than the one
+    /// passed (reuse it only with the index it was created for).
+    pub fn walk(
+        &mut self,
+        index: &ConeIndex,
+        seeds: impl IntoIterator<Item = NodeId>,
+        mut visit: impl FnMut(NodeId) -> ConeStep,
+    ) -> usize {
+        assert_eq!(
+            self.stamp.len(),
+            index.node_count(),
+            "walker bound to a different index"
+        );
+        self.generation += 1;
+        let generation = self.generation;
+        let mut lowest = self.buckets.len();
+        for seed in seeds {
+            let i = seed.index();
+            if self.stamp[i] != generation {
+                self.stamp[i] = generation;
+                let lv = index.level[i] as usize;
+                self.buckets[lv].push(i as u32);
+                lowest = lowest.min(lv);
+            }
+        }
+        // Stamps now mean "enqueued or visited in this generation": a node
+        // is enqueued at most once, and since fanout edges strictly
+        // increase the level, a bucket is complete by the time the walk
+        // reaches it.
+        let mut visited = 0usize;
+        for lv in lowest..self.buckets.len() {
+            let mut k = 0usize;
+            while k < self.buckets[lv].len() {
+                let i = self.buckets[lv][k] as usize;
+                k += 1;
+                visited += 1;
+                if visit(NodeId(i as u32)) == ConeStep::Propagate {
+                    let fo = index.offsets[i] as usize..index.offsets[i + 1] as usize;
+                    for f in fo {
+                        let succ = index.pool[f] as usize;
+                        if self.stamp[succ] != generation {
+                            self.stamp[succ] = generation;
+                            self.buckets[index.level[succ] as usize].push(succ as u32);
+                        }
+                    }
+                }
+            }
+            self.buckets[lv].clear();
+        }
+        visited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use crate::graph::NetlistBuilder;
+    use crate::kind::CellKind;
+
+    #[test]
+    fn cone_of_c17_gate11() {
+        // 11 feeds 16 and 19; 16 feeds 22, 23; 19 feeds 23.
+        let nl = data::c17();
+        let index = ConeIndex::new(&nl);
+        let g11 = nl.find("11").unwrap();
+        let cone = index.cone(g11);
+        let names: Vec<&str> = cone.iter().map(|&id| nl.node_name(id)).collect();
+        assert_eq!(names, vec!["11", "16", "19", "22", "23"]);
+    }
+
+    #[test]
+    fn cone_of_output_is_itself() {
+        let nl = data::c17();
+        let index = ConeIndex::new(&nl);
+        let g23 = nl.find("23").unwrap();
+        assert_eq!(index.cone(g23), vec![g23]);
+    }
+
+    #[test]
+    fn levels_match_levelize() {
+        let nl = data::ripple_adder(4);
+        let index = ConeIndex::new(&nl);
+        let lv = levelize::levels(&nl);
+        for id in nl.node_ids() {
+            assert_eq!(index.level(id), lv[id.index()]);
+        }
+        assert_eq!(index.max_level(), lv.iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn fanout_matches_netlist() {
+        let nl = data::c17();
+        let index = ConeIndex::new(&nl);
+        for id in nl.node_ids() {
+            let want: Vec<u32> = nl.fanout(id).iter().map(|f| f.0).collect();
+            assert_eq!(index.fanout(id), &want[..]);
+        }
+    }
+
+    #[test]
+    fn walk_visits_level_ordered_and_once() {
+        let nl = data::ripple_adder(6);
+        let index = ConeIndex::new(&nl);
+        let mut walker = ConeWalker::new(&index);
+        let seeds: Vec<NodeId> = nl.gate_ids().take(3).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut last = 0u32;
+        let visited = walker.walk(&index, seeds.iter().copied(), |id| {
+            assert!(seen.insert(id), "node {id} visited twice");
+            assert!(index.level(id) >= last, "level order violated at {id}");
+            last = index.level(id);
+            ConeStep::Propagate
+        });
+        assert_eq!(visited, seen.len());
+        for s in seeds {
+            assert!(seen.contains(&s));
+        }
+    }
+
+    #[test]
+    fn stop_prunes_downstream() {
+        // A chain: stopping at the first gate must keep the walk from ever
+        // reaching deeper gates.
+        let mut b = NetlistBuilder::new("chain");
+        let mut prev = b.add_input("i");
+        for k in 0..5 {
+            prev = b
+                .add_gate(format!("g{k}"), CellKind::Not, vec![prev])
+                .unwrap();
+        }
+        b.mark_output(prev);
+        let nl = b.build().unwrap();
+        let index = ConeIndex::new(&nl);
+        let mut walker = ConeWalker::new(&index);
+        let g0 = nl.find("g0").unwrap();
+        let visited = walker.walk(&index, [g0], |_| ConeStep::Stop);
+        assert_eq!(visited, 1);
+    }
+
+    #[test]
+    fn walker_is_reusable_across_generations() {
+        let nl = data::c17();
+        let index = ConeIndex::new(&nl);
+        let mut walker = ConeWalker::new(&index);
+        let g10 = nl.find("10").unwrap();
+        let a = walker.walk(&index, [g10], |_| ConeStep::Propagate);
+        let b = walker.walk(&index, [g10], |_| ConeStep::Propagate);
+        assert_eq!(a, b);
+        // 10 feeds only gate 22.
+        assert_eq!(a, 2);
+    }
+
+    #[test]
+    fn reconvergence_visits_join_once() {
+        // i -> a, i -> b, (a, b) -> o: seeding {a, b} must visit o once.
+        let mut b = NetlistBuilder::new("reconv");
+        let i = b.add_input("i");
+        let ga = b.add_gate("a", CellKind::Not, vec![i]).unwrap();
+        let gb = b.add_gate("b", CellKind::Buf, vec![i]).unwrap();
+        let o = b.add_gate("o", CellKind::And, vec![ga, gb]).unwrap();
+        b.mark_output(o);
+        let nl = b.build().unwrap();
+        let index = ConeIndex::new(&nl);
+        let mut walker = ConeWalker::new(&index);
+        let visited = walker.walk(&index, [ga, gb], |_| ConeStep::Propagate);
+        assert_eq!(visited, 3);
+    }
+
+    #[test]
+    fn cone_sizes_count_reachability() {
+        let nl = data::c17();
+        let index = ConeIndex::new(&nl);
+        let sizes = index.cone_sizes();
+        assert_eq!(sizes[nl.find("10").unwrap().index()], 2);
+        assert_eq!(sizes[nl.find("11").unwrap().index()], 5);
+        assert_eq!(sizes[nl.find("23").unwrap().index()], 1);
+        // Input 3 feeds gates 10 and 11, reaching everything but input
+        // nodes: 3, 10, 11, 16, 19, 22, 23.
+        assert_eq!(sizes[nl.find("3").unwrap().index()], 7);
+    }
+}

@@ -15,6 +15,8 @@
 //!   format,
 //! * [`levelize`] — topological levels, weighted longest paths and the
 //!   *transition-time sets* `t_i^1, …, t_i^{L_i}` of §3.1 of the paper,
+//! * [`cone`] — fanout-cone index with level-ordered, event-driven cone
+//!   walking (the substrate of every incremental engine downstream),
 //! * [`separation`] — the bounded undirected separation metric `S(g_i, g_j)`
 //!   of §3.3,
 //! * [`stats`] — structural circuit statistics (fan-in/fan-out mixes,
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cone;
 pub mod data;
 pub mod dot;
 mod graph;

@@ -41,6 +41,10 @@ pub struct SeparationOracle {
     /// For each node, distances (1..rho-1) to nodes within its bounded
     /// neighbourhood. Distance 0 (self) and ≥ rho (saturated) are implicit.
     near: Vec<HashMap<NodeId, u32>>,
+    /// The same neighbourhoods as flat `(node, distance)` slices sorted by
+    /// node id (CSR layout), for cache-friendly full-neighbourhood scans.
+    flat: Vec<(u32, u32)>,
+    offsets: Vec<u32>,
 }
 
 impl SeparationOracle {
@@ -90,7 +94,29 @@ impl SeparationOracle {
             }
             near.push(map);
         }
-        SeparationOracle { rho, near }
+        let mut flat = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for map in &near {
+            let start = flat.len();
+            flat.extend(map.iter().map(|(&node, &d)| (node.0, d)));
+            flat[start..].sort_unstable_by_key(|&(node, _)| node);
+            offsets.push(flat.len() as u32);
+        }
+        SeparationOracle {
+            rho,
+            near,
+            flat,
+            offsets,
+        }
+    }
+
+    /// The precomputed neighbourhood of `a` as a flat slice of
+    /// `(node index, distance)` pairs, sorted by node index.
+    #[must_use]
+    pub fn near_slice(&self, a: NodeId) -> &[(u32, u32)] {
+        let i = a.index();
+        &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// The saturation bound ρ.
@@ -135,10 +161,10 @@ impl SeparationOracle {
     /// `HashMap`, whose iteration order is not.
     #[must_use]
     pub fn neighbors_within(&self, a: NodeId) -> Vec<(NodeId, u32)> {
-        let mut out: Vec<(NodeId, u32)> =
-            self.near[a.index()].iter().map(|(&n, &d)| (n, d)).collect();
-        out.sort_unstable_by_key(|&(n, _)| n);
-        out
+        self.near_slice(a)
+            .iter()
+            .map(|&(n, d)| (NodeId(n), d))
+            .collect()
     }
 
     /// Sum of saturated distances from `gate` to every member of `module`
@@ -154,6 +180,33 @@ impl SeparationOracle {
             .filter(|&&m| m != gate)
             .map(|&m| u64::from(self.distance(gate, m)))
             .sum()
+    }
+
+    /// [`SeparationOracle::separation_to_module`] by membership test
+    /// instead of member list: every member outside the gate's bounded
+    /// neighbourhood contributes the saturated ρ, so the sum is
+    /// `ρ·(members − [gate is one]) − Σ_{near ∩ module}(ρ − d)` — one
+    /// cache-friendly scan of the precomputed neighbourhood with O(1)
+    /// membership tests, independent of the module size.
+    ///
+    /// `member_count` is the module's size and `includes_gate` whether
+    /// `gate` itself is currently a member (it contributes 0 either way,
+    /// matching [`SeparationOracle::separation_to_module`]).
+    #[must_use]
+    pub fn separation_to_members(
+        &self,
+        gate: NodeId,
+        member_count: usize,
+        includes_gate: bool,
+        mut is_member: impl FnMut(NodeId) -> bool,
+    ) -> u64 {
+        let mut sum = u64::from(self.rho) * (member_count as u64 - u64::from(includes_gate));
+        for &(n, d) in self.near_slice(gate) {
+            if n != gate.0 && is_member(NodeId(n)) {
+                sum -= u64::from(self.rho - d);
+            }
+        }
+        sum
     }
 }
 
@@ -241,6 +294,41 @@ mod tests {
         let full_without = sep.module_separation(rest);
         let delta = sep.separation_to_module(*g, rest);
         assert_eq!(full_with, full_without + delta);
+    }
+
+    #[test]
+    fn membership_form_matches_member_list_form() {
+        let nl = data::ripple_adder(6);
+        let sep = SeparationOracle::new(&nl, 6);
+        let gates: Vec<NodeId> = nl.gate_ids().collect();
+        let (inside, outside) = gates.split_at(gates.len() / 2);
+        for &g in &gates {
+            let includes = inside.contains(&g);
+            let by_list = sep.separation_to_module(g, inside);
+            let by_membership =
+                sep.separation_to_members(g, inside.len(), includes, |n| inside.contains(&n));
+            assert_eq!(by_list, by_membership, "gate {g} vs inside");
+            let by_list = sep.separation_to_module(g, outside);
+            let by_membership =
+                sep.separation_to_members(g, outside.len(), outside.contains(&g), |n| {
+                    outside.contains(&n)
+                });
+            assert_eq!(by_list, by_membership, "gate {g} vs outside");
+        }
+    }
+
+    #[test]
+    fn near_slice_matches_neighbors_within() {
+        let nl = data::c17();
+        let sep = SeparationOracle::new(&nl, 5);
+        for id in nl.node_ids() {
+            let slice: Vec<(NodeId, u32)> = sep
+                .near_slice(id)
+                .iter()
+                .map(|&(n, d)| (NodeId(n), d))
+                .collect();
+            assert_eq!(slice, sep.neighbors_within(id));
+        }
     }
 
     #[test]
