@@ -2,19 +2,26 @@
 //! hot path, emitting `BENCH_sim.json`.
 //!
 //! Measures patterns/second of logic simulation on synthetic c432 / c1908
-//! / c7552 circuits for three kernels:
+//! / c7552 circuits for four kernels:
 //!
 //! * `naive64` — the seed's evaluator (per-gate fan-in `Vec`s, scratch
 //!   gather buffer, fresh value vector per 64-pattern batch), kept in
 //!   `iddq_logicsim::reference` as the comparison baseline;
 //! * `csr64` — the CSR-compiled kernel, 64 patterns/sweep, zero-allocation
 //!   `eval_into`;
-//! * `csr256` — the same kernel over 256-bit [`W256`] words.
+//! * `csr256` / `csr512` — the same kernel over 256-bit [`W256`] /
+//!   512-bit [`W512`] words (the `--lanes` widths of the CLI).
 //!
 //! It also measures:
 //!
-//! * the parallel IDDQ fault sweep (vectors/second, sequential vs all
-//!   cores),
+//! * the parallel IDDQ fault sweep (vectors/second, sequential vs ≥ 4
+//!   worker threads; the > 1.5× gate applies only when the machine
+//!   actually has ≥ 4 cores),
+//! * the fault-patch engine (`fault_patch`): stuck-at + bridge sweep on
+//!   the persistent delta state (force patch → dirty-cone diff →
+//!   rollback, fault dropping) against the per-fault full re-simulation
+//!   oracle — detection results are asserted identical, and the speedup
+//!   gate requires ≥ 5× (full) / ≥ 3× (smoke) on the largest benchmark,
 //! * the event-driven incremental engine (`delta`): single-gate-mutation
 //!   re-evaluation throughput (apply or rollback of one structural patch,
 //!   dirty-cone-only propagation) against a full CSR re-simulation of the
@@ -40,10 +47,12 @@ use iddq_core::evolution::{self, EvolutionConfig};
 use iddq_core::EvalContext;
 use iddq_gen::iscas::IscasProfile;
 use iddq_logicsim::delta::{DeltaSim, Patch, PatchOp};
-use iddq_logicsim::faults::{enumerate, FaultUniverseConfig};
+use iddq_logicsim::fault_sweep::{self, FaultSweepOptions, LogicFault};
+use iddq_logicsim::faults::{enumerate, FaultUniverseConfig, IddqFault};
+use iddq_logicsim::logic_test::StuckAtFault;
 use iddq_logicsim::reference::NaiveSimulator;
-use iddq_logicsim::{iddq, Simulator};
-use iddq_netlist::{CellKind, Netlist, NodeId, PackedWord, W256};
+use iddq_logicsim::{iddq, BackendKind, Simulator};
+use iddq_netlist::{CellKind, Netlist, NodeId, PackedWord, W256, W512};
 
 const CIRCUITS: [&str; 3] = ["c432", "c1908", "c7552"];
 /// Circuit the acceptance criterion is pinned to.
@@ -110,8 +119,13 @@ fn main() {
             .iter()
             .map(|&w| W256::from_limbs(|l| w.rotate_left(l as u32 * 7)))
             .collect();
+        let inputs512: Vec<W512> = inputs64
+            .iter()
+            .map(|&w| W512::from_limbs(|l| w.rotate_left(l as u32 * 5)))
+            .collect();
         let mut values64 = vec![0u64; sim.node_count()];
         let mut values256 = vec![W256::zeros(); sim.node_count()];
+        let mut values512 = vec![W512::zeros(); sim.node_count()];
 
         let t_naive = secs_per_iter(window_ms, || {
             std::hint::black_box(naive.eval(&inputs64));
@@ -122,18 +136,24 @@ fn main() {
         let t_csr256 = secs_per_iter(window_ms, || {
             sim.eval_into(std::hint::black_box(&inputs256), &mut values256);
         });
+        let t_csr512 = secs_per_iter(window_ms, || {
+            sim.eval_into(std::hint::black_box(&inputs512), &mut values512);
+        });
 
         let naive_pps = 64.0 / t_naive;
         let csr64_pps = 64.0 / t_csr64;
         let csr256_pps = 256.0 / t_csr256;
+        let csr512_pps = 512.0 / t_csr512;
         let speedup = csr256_pps / naive_pps;
         if name == HEADLINE {
             headline_speedup = speedup;
         }
         println!(
             "{name:>8}: naive64 {naive_pps:10.3e} pat/s | csr64 {csr64_pps:10.3e} \
-             ({:4.2}x) | csr256 {csr256_pps:10.3e} ({speedup:4.2}x vs seed)",
+             ({:4.2}x) | csr256 {csr256_pps:10.3e} ({speedup:4.2}x) | \
+             csr512 {csr512_pps:10.3e} ({:4.2}x vs seed)",
             csr64_pps / naive_pps,
+            csr512_pps / naive_pps,
         );
         circuits.insert(
             name.to_string(),
@@ -142,8 +162,10 @@ fn main() {
                 "naive64_patterns_per_sec": naive_pps,
                 "csr64_patterns_per_sec": csr64_pps,
                 "csr256_patterns_per_sec": csr256_pps,
+                "csr512_patterns_per_sec": csr512_pps,
                 "csr64_speedup_vs_seed": csr64_pps / naive_pps,
                 "csr256_speedup_vs_seed": speedup,
+                "csr512_speedup_vs_seed": csr512_pps / naive_pps,
             }),
         );
         csr256_rates.insert(name, csr256_pps);
@@ -243,10 +265,116 @@ fn main() {
         );
     }
 
+    // Fault-patch engine: stuck-at + bridge sweep on the persistent delta
+    // state vs the per-fault full re-simulation oracle. Both runs use the
+    // same fault-dropping semantics and are asserted to produce identical
+    // detections, so the wall-clock ratio isolates the dirty-cone win.
+    println!("== fault-patch engine: stuck-at/bridge sweep ==");
+    let fp_nl = &netlists[HEADLINE];
+    let fp_gates: Vec<NodeId> = fp_nl.gate_ids().collect();
+    let num_sa = if opts.smoke { 40 } else { 192 };
+    let sa_stride = (fp_gates.len() / num_sa).max(1);
+    let mut fp_faults: Vec<LogicFault> = fp_gates
+        .iter()
+        .step_by(sa_stride)
+        .take(num_sa)
+        .flat_map(|&g| {
+            [false, true].map(|stuck_at_one| {
+                LogicFault::StuckAt(StuckAtFault {
+                    node: g,
+                    stuck_at_one,
+                })
+            })
+        })
+        .collect();
+    let stuck_at_count = fp_faults.len();
+    let num_bridges = if opts.smoke { 16 } else { 64 };
+    fp_faults.extend(
+        enumerate(fp_nl, &FaultUniverseConfig::default(), 7)
+            .into_iter()
+            .filter_map(|f| match f {
+                IddqFault::Bridge { a, b, .. } => Some(LogicFault::Bridge { a, b }),
+                _ => None,
+            })
+            .take(num_bridges),
+    );
+    let bridge_count = fp_faults.len() - stuck_at_count;
+    let fp_num_vectors = if opts.smoke { 256 } else { 512 };
+    let fp_vectors: Vec<Vec<bool>> = (0..fp_num_vectors)
+        .map(|k| {
+            (0..fp_nl.num_inputs())
+                .map(|i| (k * 37 + i * 11) % 3 == 0)
+                .collect()
+        })
+        .collect();
+    let patch_opts = FaultSweepOptions {
+        threads: 1,
+        backend: BackendKind::Delta,
+        ..FaultSweepOptions::default()
+    };
+    let oracle_opts = FaultSweepOptions {
+        threads: 1,
+        backend: BackendKind::Csr,
+        ..FaultSweepOptions::default()
+    };
+    let patch_outcome = fault_sweep::sweep::<W256>(fp_nl, &fp_faults, &fp_vectors, &patch_opts);
+    let oracle_outcome = fault_sweep::sweep::<W256>(fp_nl, &fp_faults, &fp_vectors, &oracle_opts);
+    assert_eq!(
+        patch_outcome.first_detection, oracle_outcome.first_detection,
+        "fault-patch engine must match the per-fault full re-simulation oracle"
+    );
+    let t_patch = secs_per_iter(window_ms, || {
+        std::hint::black_box(fault_sweep::sweep::<W256>(
+            fp_nl,
+            &fp_faults,
+            &fp_vectors,
+            &patch_opts,
+        ));
+    });
+    let t_oracle = secs_per_iter(window_ms, || {
+        std::hint::black_box(fault_sweep::sweep::<W256>(
+            fp_nl,
+            &fp_faults,
+            &fp_vectors,
+            &oracle_opts,
+        ));
+    });
+    let fault_patterns = (fp_faults.len() * fp_num_vectors) as f64;
+    let patch_fpps = fault_patterns / t_patch;
+    let oracle_fpps = fault_patterns / t_oracle;
+    let fault_patch_speedup = t_oracle / t_patch;
+    let fault_patch_threshold = if opts.smoke { 3.0 } else { 5.0 };
+    println!(
+        "{HEADLINE:>8}: {stuck_at_count} stuck-at + {bridge_count} bridges x {fp_num_vectors} \
+         vectors: patch {patch_fpps:10.3e} fault-pat/s | per-fault resim {oracle_fpps:10.3e} \
+         ({fault_patch_speedup:5.2}x), mean dirty cone {:6.1} of {} nodes, coverage {:.1}%",
+        patch_outcome.mean_dirty_nodes,
+        fp_nl.node_count(),
+        patch_outcome.coverage * 100.0,
+    );
+    let fault_patch = serde_json::json!({
+        "circuit": HEADLINE,
+        "stuck_at_faults": stuck_at_count,
+        "bridge_faults": bridge_count,
+        "vectors": fp_num_vectors,
+        "patch_fault_patterns_per_sec": patch_fpps,
+        "oracle_fault_patterns_per_sec": oracle_fpps,
+        "speedup_vs_per_fault_resim": fault_patch_speedup,
+        "mean_dirty_nodes": patch_outcome.mean_dirty_nodes,
+        "coverage": patch_outcome.coverage,
+        "results_match_oracle": true,
+        "acceptance_threshold": fault_patch_threshold,
+        "pass": fault_patch_speedup >= fault_patch_threshold,
+    });
+
     // Parallel fault-sweep throughput (vectors/second through the full
-    // activation + detection pipeline).
+    // activation + detection pipeline). The parallel leg always runs at
+    // >= 4 workers so the recorded speedup is the one the acceptance
+    // criterion talks about; on machines with fewer cores it degenerates
+    // to ~1x and is reported (not gated).
     println!("== IDDQ fault sweep ==");
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads = cores.max(4);
     let sweep_circuit = if opts.smoke { "c432" } else { "c1908" };
     let nl = &netlists[sweep_circuit];
     let faults = enumerate(nl, &FaultUniverseConfig::default(), 7);
@@ -290,7 +418,7 @@ fn main() {
     let par_vps = num_vectors as f64 / t_par;
     println!(
         "{sweep_circuit:>8}: {} faults x {num_vectors} vectors: seq {seq_vps:10.3e} vec/s | \
-         {threads} threads {par_vps:10.3e} vec/s ({:4.2}x)",
+         {threads} threads {par_vps:10.3e} vec/s ({:4.2}x) on {cores} core(s)",
         faults.len(),
         par_vps / seq_vps,
     );
@@ -359,14 +487,17 @@ fn main() {
         "batch_secs": t_batch,
         "speedup": t_batch / t_inc,
     });
+    let fault_sweep_speedup = par_vps / seq_vps;
     let fault_sweep = serde_json::json!({
         "circuit": sweep_circuit,
         "faults": faults.len(),
         "vectors": num_vectors,
+        "cores": cores,
         "threads": threads,
         "seq_vectors_per_sec": seq_vps,
         "par_vectors_per_sec": par_vps,
-        "parallel_speedup": par_vps / seq_vps,
+        "parallel_speedup": fault_sweep_speedup,
+        "speedup_gated": cores >= 4,
     });
     let payload = serde_json::json!({
         "mode": mode,
@@ -375,6 +506,7 @@ fn main() {
         "delta": delta,
         "evolution": evolution_entry,
         "fault_sweep": fault_sweep,
+        "fault_patch": fault_patch,
     });
     std::fs::write(
         &opts.out,
@@ -399,6 +531,32 @@ fn main() {
         // The dirty-cone/full-sweep ratio is a work ratio, far less
         // noise-sensitive than absolute rates: smoke gates on it too.
         failed = true;
+    }
+    if fault_patch_speedup < fault_patch_threshold {
+        eprintln!(
+            "ERROR: {HEADLINE} fault-patch speedup {fault_patch_speedup:.2}x is below the \
+             {fault_patch_threshold}x gate vs per-fault full re-simulation"
+        );
+        // Like the delta gate, this is a work ratio: smoke gates on it too
+        // (at the lower 3x threshold).
+        failed = true;
+    }
+    if fault_sweep_speedup < 1.5 {
+        if cores >= 4 {
+            // Parallel scaling is only meaningful with real cores; gate in
+            // full mode where the windows are long enough to trust.
+            let severity = if opts.smoke { "WARNING" } else { "ERROR" };
+            eprintln!(
+                "{severity}: fault-sweep parallel speedup {fault_sweep_speedup:.2}x at {threads} \
+                 threads is below the 1.5x gate ({cores} cores available)"
+            );
+            failed |= !opts.smoke;
+        } else {
+            println!(
+                "note: fault-sweep parallel speedup {fault_sweep_speedup:.2}x not gated — only \
+                 {cores} core(s) available (gate applies at >= 4 cores)"
+            );
+        }
     }
     if failed {
         std::process::exit(1);

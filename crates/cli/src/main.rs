@@ -2,13 +2,17 @@
 //! flow.
 //!
 //! ```text
-//! iddq synth <netlist.bench> [--seed N] [--generations N] [--d N]
-//!            [--rstar MV] [--json PATH] [--dot PATH] [--modules PATH]
-//!            [--resynth]
-//! iddq gen   <circuit> [--seed N] [--out PATH]
-//! iddq test  <netlist.bench> [--seed N] [--vectors N]
-//! iddq sim   <netlist.bench> [--patterns N] [--seed N]
-//! iddq stats <netlist.bench>
+//! iddq synth  <netlist.bench> [--seed N] [--generations N] [--d N]
+//!             [--rstar MV] [--json PATH] [--dot PATH] [--modules PATH]
+//!             [--resynth]
+//! iddq gen    <circuit> [--seed N] [--out PATH]
+//! iddq test   <netlist.bench> [--seed N] [--vectors N]
+//! iddq sim    <netlist.bench> [--patterns N] [--seed N] [--threads N]
+//!             [--backend csr|delta] [--lanes 64|256|512]
+//! iddq faults <netlist.bench> [--seed N] [--vectors N] [--bridges N]
+//!             [--backend csr|delta] [--lanes 64|256|512] [--threads N]
+//!             [--shards N] [--no-drop]
+//! iddq stats  <netlist.bench>
 //! ```
 
 use std::process::ExitCode;
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(rest),
         "test" => cmd_test(rest),
         "sim" => cmd_sim(rest),
+        "faults" => cmd_faults(rest),
         "stats" => cmd_stats(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -63,11 +68,22 @@ commands:
       --out PATH          output path (default stdout)
   test <netlist.bench>    run the IDDQ defect-detection experiment
       --seed N            defect/ATPG seed (default 42)
-  sim <netlist.bench>     measure logic-simulation throughput (256-wide kernel)
+  sim <netlist.bench>     measure logic-simulation throughput (wide kernel)
       --patterns N        number of random patterns (default 1048576)
       --seed N            pattern seed (default 42)
       --threads N         worker threads sharing the pattern stream (default 1)
       --backend B         simulation engine: csr | delta (default csr)
+      --lanes L           patterns per sweep: 64 | 256 | 512 (default 256)
+  faults <netlist.bench>  run the stuck-at/bridge fault-patch sweep
+      --seed N            vector/bridge seed (default 42)
+      --vectors N         number of random test vectors (default 256)
+      --bridges N         number of sampled bridge faults (default 32)
+      --backend B         delta = fault-patch engine, csr = per-fault full
+                          re-simulation oracle (default delta)
+      --lanes L           patterns per sweep: 64 | 256 | 512 (default 256)
+      --threads N         worker threads (default 1, 0 = all cores)
+      --shards N          fault-list shards (default auto)
+      --no-drop           disable earliest-detection fault dropping
   stats <netlist.bench>   print structural statistics
 ";
 
@@ -237,9 +253,16 @@ fn cmd_test(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_lanes(rest: &[String]) -> Result<iddq_netlist::LaneWidth, String> {
+    match parse_flag(rest, "--lanes") {
+        None => Ok(iddq_netlist::LaneWidth::default()),
+        Some(v) => v.parse().map_err(|e| format!("{e}")),
+    }
+}
+
 fn cmd_sim(rest: &[String]) -> Result<(), String> {
-    use iddq_logicsim::{BackendKind, SimBackend};
-    use iddq_netlist::{PackedWord, W256};
+    use iddq_logicsim::BackendKind;
+    use iddq_netlist::LaneWidth;
     let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
     let cut = load(path)?;
     let patterns: u64 = parse_num(rest, "--patterns", 1u64 << 20)?;
@@ -255,13 +278,34 @@ fn cmd_sim(rest: &[String]) -> Result<(), String> {
         None => BackendKind::Csr,
         Some(v) => v.parse().map_err(|e| format!("{e}"))?,
     };
+    let lanes = parse_lanes(rest)?;
+    match lanes {
+        LaneWidth::L64 => run_sim::<u64>(&cut, patterns, seed, threads, backend, lanes),
+        LaneWidth::L256 => {
+            run_sim::<iddq_netlist::W256>(&cut, patterns, seed, threads, backend, lanes)
+        }
+        LaneWidth::L512 => {
+            run_sim::<iddq_netlist::W512>(&cut, patterns, seed, threads, backend, lanes)
+        }
+    }
+    Ok(())
+}
 
-    let batches = patterns.div_ceil(u64::from(W256::LANES));
+fn run_sim<W: iddq_netlist::PackedWord>(
+    cut: &Netlist,
+    patterns: u64,
+    seed: u64,
+    threads: usize,
+    backend: iddq_logicsim::BackendKind,
+    lanes: iddq_netlist::LaneWidth,
+) {
+    use iddq_logicsim::SimBackend;
+    let batches = patterns.div_ceil(u64::from(W::LANES));
     let threads = threads.min(batches as usize);
     // Each worker owns one engine instance and a disjoint slice of the
     // seeded pattern stream; the per-worker fingerprints are folded in
     // worker order, so the checksum is deterministic for a fixed
-    // (seed, threads, backend) triple.
+    // (seed, threads, backend, lanes) tuple.
     let worker = |t: usize| -> [u64; 4] {
         let mut state = seed ^ (t as u64).wrapping_mul(0xa076_1d64_78bd_642f);
         let mut next = move || {
@@ -271,9 +315,9 @@ fn cmd_sim(rest: &[String]) -> Result<(), String> {
             z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
             z ^ (z >> 31)
         };
-        let mut sim = SimBackend::<W256>::new(&cut, backend);
-        let mut inputs = vec![W256::zeros(); cut.num_inputs()];
-        let mut values = vec![W256::zeros(); sim.node_count()];
+        let mut sim = SimBackend::<W>::new(cut, backend);
+        let mut inputs = vec![W::zeros(); cut.num_inputs()];
+        let mut values = vec![W::zeros(); sim.node_count()];
         // Fingerprint every node value, not just the primary outputs: the
         // deep outputs of the synthetic profiles are near-constant under
         // random stimuli and would make a poor discriminator. Four
@@ -283,12 +327,13 @@ fn cmd_sim(rest: &[String]) -> Result<(), String> {
         let my_batches = batches as usize / threads + usize::from(t < batches as usize % threads);
         for _ in 0..my_batches {
             for w in &mut inputs {
-                *w = W256::from_limbs(|_| next());
+                *w = W::from_limbs(|_| next());
             }
             sim.eval_into(&inputs, &mut values);
             for v in &values {
-                for (a, limb) in acc.iter_mut().zip(v.0) {
-                    *a = a.rotate_left(1) ^ limb;
+                for i in 0..W::LIMBS {
+                    let a = &mut acc[i % 4];
+                    *a = a.rotate_left(1) ^ v.limb(i);
                 }
             }
         }
@@ -315,15 +360,104 @@ fn cmd_sim(rest: &[String]) -> Result<(), String> {
         checksum = checksum.rotate_left(8) ^ c;
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let evaluated = batches * u64::from(W256::LANES);
+    let evaluated = batches * u64::from(W::LANES);
     println!(
         "{}: {} gates, {evaluated} patterns in {elapsed:.3} s = {:.3e} patterns/s \
-         ({:.3e} gate-evals/s), backend {backend}, {threads} thread(s), \
+         ({:.3e} gate-evals/s), backend {backend}, lanes {lanes}, {threads} thread(s), \
          value checksum {checksum:#018x}",
         cut.name(),
         cut.gate_count(),
         evaluated as f64 / elapsed,
         evaluated as f64 * cut.gate_count() as f64 / elapsed,
+    );
+}
+
+fn cmd_faults(rest: &[String]) -> Result<(), String> {
+    use iddq_logicsim::fault_sweep::{sweep, FaultSweepOptions, LogicFault};
+    use iddq_logicsim::logic_test::StuckAtFault;
+    use iddq_logicsim::BackendKind;
+    use iddq_netlist::LaneWidth;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let cut = load(path)?;
+    let seed: u64 = parse_num(rest, "--seed", 42)?;
+    let num_vectors: usize = parse_num(rest, "--vectors", 256usize)?;
+    if num_vectors == 0 {
+        return Err("--vectors must be at least 1".into());
+    }
+    let bridges: usize = parse_num(rest, "--bridges", 32usize)?;
+    let backend: BackendKind = match parse_flag(rest, "--backend") {
+        None => BackendKind::Delta,
+        Some(v) => v.parse().map_err(|e| format!("{e}"))?,
+    };
+    let lanes = parse_lanes(rest)?;
+    let options = FaultSweepOptions {
+        threads: parse_num(rest, "--threads", 1usize)?,
+        fault_shards: parse_num(rest, "--shards", 0usize)?,
+        fault_dropping: !rest.iter().any(|a| a == "--no-drop"),
+        backend,
+    };
+
+    // Fault universe: both stuck-at polarities on every node, plus bridges
+    // sampled with the IDDQ enumerator's locality model.
+    let mut faults: Vec<LogicFault> = cut
+        .node_ids()
+        .flat_map(|node| {
+            [false, true]
+                .map(|stuck_at_one| LogicFault::StuckAt(StuckAtFault { node, stuck_at_one }))
+        })
+        .collect();
+    let stuck_at_count = faults.len();
+    faults.extend(
+        iddq_logicsim::faults::enumerate(
+            &cut,
+            &iddq_logicsim::faults::FaultUniverseConfig {
+                bridges,
+                gos_fraction: 0.0,
+                stuck_on_fraction: 0.0,
+                ..Default::default()
+            },
+            seed,
+        )
+        .into_iter()
+        .filter_map(|f| match f {
+            iddq_logicsim::faults::IddqFault::Bridge { a, b, .. } => {
+                Some(LogicFault::Bridge { a, b })
+            }
+            _ => None,
+        }),
+    );
+    let bridge_count = faults.len() - stuck_at_count;
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa17);
+    let vectors: Vec<Vec<bool>> = (0..num_vectors)
+        .map(|_| (0..cut.num_inputs()).map(|_| rng.gen()).collect())
+        .collect();
+
+    let start = std::time::Instant::now();
+    let outcome = match lanes {
+        LaneWidth::L64 => sweep::<u64>(&cut, &faults, &vectors, &options),
+        LaneWidth::L256 => sweep::<iddq_netlist::W256>(&cut, &faults, &vectors, &options),
+        LaneWidth::L512 => sweep::<iddq_netlist::W512>(&cut, &faults, &vectors, &options),
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    let detected = outcome.detected.iter().filter(|&&d| d).count();
+    println!(
+        "{}: {stuck_at_count} stuck-at + {bridge_count} bridge faults x {num_vectors} vectors: \
+         {detected} detected ({:.1}% coverage) in {elapsed:.3} s, backend {backend}, \
+         lanes {lanes}, {} thread(s), dropping {}, mean dirty cone {:.1} of {} nodes",
+        cut.name(),
+        outcome.coverage * 100.0,
+        if options.threads == 0 {
+            "auto".to_owned()
+        } else {
+            options.threads.to_string()
+        },
+        if options.fault_dropping { "on" } else { "off" },
+        outcome.mean_dirty_nodes,
+        cut.node_count(),
     );
     Ok(())
 }

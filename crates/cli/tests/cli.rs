@@ -188,6 +188,109 @@ fn sim_backend_and_threads_flags() {
 }
 
 #[test]
+fn sim_lanes_flag_selects_width() {
+    let bench_path = tmp("c432-lanes.bench");
+    let out = bin()
+        .args(["gen", "c432", "--seed", "11", "--out"])
+        .arg(&bench_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    for lanes in ["64", "256", "512"] {
+        let out = bin()
+            .arg("sim")
+            .arg(&bench_path)
+            .args(["--patterns", "1024", "--lanes", lanes])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(&format!("lanes {lanes}")), "{text}");
+    }
+
+    let out = bin()
+        .arg("sim")
+        .arg(&bench_path)
+        .args(["--lanes", "128"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown lane width"));
+
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
+fn faults_backends_lanes_and_dropping_agree() {
+    let bench_path = tmp("c432-faults.bench");
+    let out = bin()
+        .args(["gen", "c432", "--seed", "13", "--out"])
+        .arg(&bench_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    let run = |extra: &[&str]| {
+        let out = bin()
+            .arg("faults")
+            .arg(&bench_path)
+            .args(["--seed", "9", "--vectors", "96", "--bridges", "8"])
+            .args(extra)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let coverage = |t: &str| {
+        t.split(" detected (")
+            .nth(1)
+            .expect("coverage printed")
+            .split(')')
+            .next()
+            .unwrap()
+            .to_string()
+    };
+
+    // The fault-patch engine and the per-fault full re-simulation oracle
+    // score the same universe identically, at every lane width, with and
+    // without fault dropping, and under threading.
+    let delta = run(&["--backend", "delta"]);
+    assert!(delta.contains("backend delta"), "{delta}");
+    assert!(delta.contains("mean dirty cone"), "{delta}");
+    let csr = run(&["--backend", "csr"]);
+    assert!(csr.contains("backend csr"), "{csr}");
+    assert_eq!(coverage(&delta), coverage(&csr));
+    for extra in [
+        &["--lanes", "64"][..],
+        &["--lanes", "512"][..],
+        &["--no-drop"][..],
+        &["--threads", "3", "--shards", "2"][..],
+    ] {
+        assert_eq!(coverage(&run(extra)), coverage(&delta), "{extra:?}");
+    }
+
+    // Unknown backend is a usage error.
+    let out = bin()
+        .arg("faults")
+        .arg(&bench_path)
+        .args(["--backend", "warp"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
 fn sim_reports_throughput_and_checksum() {
     let bench_path = tmp("c432-sim.bench");
     let out = bin()

@@ -2,7 +2,7 @@
 
 use iddq_celllib::{Library, NodeTables, Technology};
 use iddq_netlist::cone::ConeIndex;
-use iddq_netlist::separation::SeparationOracle;
+use iddq_netlist::separation::{GateSeparationTable, SeparationOracle};
 use iddq_netlist::{levelize, Netlist, TimeSet};
 
 use crate::config::PartitionConfig;
@@ -45,6 +45,12 @@ pub struct EvalContext<'a> {
     pub horizon: usize,
     /// Bounded-BFS separation oracle (§3.3).
     pub separation: SeparationOracle,
+    /// Gate-only neighbour-weight table distilled from the oracle: the
+    /// per-move separation delta in [`crate::evaluator::Evaluated`] is one
+    /// contiguous scan of this table against the dense assignment vector,
+    /// instead of a hash/closure walk over the full (input-polluted)
+    /// neighbourhood.
+    pub sep_table: GateSeparationTable,
     /// Fanout-cone index driving the incremental delay re-simulation.
     pub cones: ConeIndex,
     /// Nominal (sensor-free) critical path delay `D`, picoseconds.
@@ -66,6 +72,7 @@ impl<'a> EvalContext<'a> {
             .map(|t| t as usize + 1)
             .unwrap_or(1);
         let separation = SeparationOracle::new(netlist, config.rho);
+        let sep_table = separation.gate_table(netlist);
         let cones = ConeIndex::new(netlist);
         let nominal_delay_ps = levelize::critical_path_delay(netlist, &tables.delay_ps);
         let gates = netlist
@@ -82,6 +89,7 @@ impl<'a> EvalContext<'a> {
             times,
             horizon,
             separation,
+            sep_table,
             cones,
             nominal_delay_ps,
             gates,

@@ -343,23 +343,25 @@ impl<'a> Evaluated<'a> {
             };
         }
         // Separation deltas need the membership *before* the move. The
-        // membership form scans the gate's bounded neighbourhood once per
-        // module with O(1) assignment tests — module-size independent,
-        // which is what keeps Monte-Carlo (whole-module) move sequences
-        // affordable.
+        // cached gate-table form scans the gate's precomputed gate-only
+        // neighbour weights once per module with direct assignment-vector
+        // tests — module-size independent, which is what keeps Monte-Carlo
+        // (whole-module) move sequences affordable.
         let gi = gate.index();
         let assignment = self.partition.assignment();
-        let sep_out = self.ctx.separation.separation_to_members(
+        let sep_out = self.ctx.sep_table.separation_to_members(
             gate,
             self.partition.module(source).len(),
             true,
-            |n| assignment[n.index()] == source as u32,
+            assignment,
+            source as u32,
         );
-        let sep_in = self.ctx.separation.separation_to_members(
+        let sep_in = self.ctx.sep_table.separation_to_members(
             gate,
             self.partition.module(target).len(),
             false,
-            |n| assignment[n.index()] == target as u32,
+            assignment,
+            target as u32,
         );
 
         if self.txn.is_some() {

@@ -37,6 +37,19 @@
 //! the actually-changed nodes — callers batching mutations can use it to
 //! fall back to a full batch sweep when a patch dirties most of the
 //! circuit.
+//!
+//! # Value forces
+//!
+//! Besides structural edits, a node (gate *or* primary input) can be
+//! *forced*: its packed value is pinned to a constant and it is never
+//! recomputed from its fan-in until the force is lifted. Stuck-at faults
+//! are exactly [`PatchOp::SetForce`] patches (all lanes pinned to the same
+//! bit, full apply/rollback/undo support); bridging faults need per-lane
+//! force words, which [`DeltaSim::force_word`] / [`DeltaSim::unforce_word`]
+//! provide outside the undo stack (the fault-patch engine pairs them
+//! manually). Do not mix the two on one node: the inverse of a `SetForce`
+//! records the previous force as a *bool*, which cannot represent an
+//! arbitrary word force.
 
 use iddq_netlist::{CellKind, Netlist, NodeId, PackedWord};
 
@@ -60,14 +73,25 @@ pub enum PatchOp {
         /// Its new ordered driver list.
         fanin: Vec<NodeId>,
     },
+    /// Pin `node` (gate or primary input) to a constant across all lanes
+    /// (`Some(bit)`), or lift the pin (`None`). A forced node is never
+    /// recomputed from its fan-in, and propagation stops at it — the
+    /// stuck-at fault model as a one-node patch.
+    SetForce {
+        /// The node to pin.
+        node: NodeId,
+        /// `Some(stuck_at_value)` to pin, `None` to release.
+        force: Option<bool>,
+    },
 }
 
 impl PatchOp {
-    /// The gate this op targets.
+    /// The node this op targets.
     #[must_use]
     pub fn gate(&self) -> NodeId {
         match *self {
             PatchOp::SetKind { gate, .. } | PatchOp::SetFanin { gate, .. } => gate,
+            PatchOp::SetForce { node, .. } => node,
         }
     }
 }
@@ -246,8 +270,12 @@ pub struct DeltaSim<W: PackedWord> {
     fanout: Adjacency,
     level: Vec<u32>,
     values: Vec<W>,
+    /// Per-node value pin (`None` = evaluate normally).
+    forced: Vec<Option<W>>,
     input_words: Vec<W>,
     input_indices: Vec<u32>,
+    /// Primary-input position per node (`u32::MAX` for gates).
+    input_pos: Vec<u32>,
     /// Inverse patches, innermost last.
     undo: Vec<Patch>,
     // Worklist / re-levelization scratch (all node-count sized, epoch
@@ -287,14 +315,20 @@ impl<W: PackedWord> DeltaSim<W> {
         );
         let level = iddq_netlist::levelize::levels(netlist);
         let max_level = level.iter().copied().max().unwrap_or(0) as usize;
+        let mut input_pos = vec![u32::MAX; n];
+        for (k, &i) in netlist.inputs().iter().enumerate() {
+            input_pos[i.index()] = k as u32;
+        }
         let mut sim = DeltaSim {
             kinds,
             fanin,
             fanout,
             level,
             values: vec![W::zeros(); n],
+            forced: vec![None; n],
             input_words: vec![W::zeros(); netlist.num_inputs()],
             input_indices: netlist.inputs().iter().map(|i| i.0).collect(),
+            input_pos,
             undo: Vec::new(),
             stamp: vec![0; n],
             generation: 0,
@@ -362,6 +396,16 @@ impl<W: PackedWord> DeltaSim<W> {
             .collect()
     }
 
+    /// Current ordered fan-in as raw node indices, without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub(crate) fn fanin_indices(&self, id: NodeId) -> &[u32] {
+        self.fanin.get(id.index())
+    }
+
     /// Number of applied-but-uncommitted patches on the undo stack.
     #[must_use]
     pub fn pending_patches(&self) -> usize {
@@ -381,12 +425,45 @@ impl<W: PackedWord> DeltaSim<W> {
             "one packed word per primary input required"
         );
         self.input_words.copy_from_slice(inputs);
-        for (&idx, &w) in self.input_indices.iter().zip(inputs) {
-            self.values[idx as usize] = w;
-        }
-        // Forced full sweep: seed every input, never stop the wave.
+        // Forced full sweep: seed every input, never stop the wave. The
+        // sweep itself reads each input's word (or its force) on visit.
         let seeds: Vec<u32> = self.input_indices.clone();
         self.sweep(&seeds, true);
+    }
+
+    /// Pins `node` to a per-lane packed constant and propagates the dirty
+    /// cone. Unlike [`PatchOp::SetForce`] this supports lane-dependent
+    /// values (bridge wired words) but bypasses the undo stack: callers
+    /// pair it with [`DeltaSim::unforce_word`] themselves and must not mix
+    /// it with patch-level forces on the same node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn force_word(&mut self, node: NodeId, value: W) -> PatchReport {
+        self.forced[node.index()] = Some(value);
+        self.sweep(&[node.0], false)
+    }
+
+    /// Lifts a [`DeltaSim::force_word`] pin: the node is recomputed from
+    /// its fan-in (or its loaded input word) and the change propagates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn unforce_word(&mut self, node: NodeId) -> PatchReport {
+        self.forced[node.index()] = None;
+        self.sweep(&[node.0], false)
+    }
+
+    /// The current force pin of a node, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn forced_value(&self, node: NodeId) -> Option<W> {
+        self.forced[node.index()]
     }
 
     /// Applies a patch: structural edit, local re-levelization, dirty-cone
@@ -485,10 +562,15 @@ impl<W: PackedWord> DeltaSim<W> {
                 if gi >= self.kinds.len() {
                     return Err(PatchError::UnknownNode(gate));
                 }
+                // Forces apply to any node, including primary inputs.
+                if matches!(op, PatchOp::SetForce { .. }) {
+                    return Ok(());
+                }
                 let Some(kind) = self.kinds[gi] else {
                     return Err(PatchError::NotAGate(gate));
                 };
                 match op {
+                    PatchOp::SetForce { .. } => unreachable!("handled above"),
                     PatchOp::SetKind { kind: new_kind, .. } => {
                         let arity = self.fanin.get(gi).len();
                         if !new_kind.accepts_fanin(arity) {
@@ -557,6 +639,17 @@ impl<W: PackedWord> DeltaSim<W> {
                 PatchOp::SetFanin {
                     gate: *gate,
                     fanin: old.into_iter().map(NodeId).collect(),
+                }
+            }
+            PatchOp::SetForce { node, force } => {
+                let i = node.index();
+                let old = self.forced[i];
+                self.forced[i] = force.map(W::splat);
+                PatchOp::SetForce {
+                    node: *node,
+                    // Splat forces round-trip exactly; word forces (set via
+                    // `force_word`) are documented as not mixable here.
+                    force: old.map(|w| w == W::ones()),
                 }
             }
         }
@@ -690,49 +783,53 @@ impl<W: PackedWord> DeltaSim<W> {
                 let i = self.buckets[lv][k] as usize;
                 k += 1;
                 reevaluated += 1;
-                let delta = match self.kinds[i] {
-                    Some(kind) => {
-                        // Direct-op fast paths for the 1/2-input forms
-                        // that dominate ISCAS circuits (no fold, no
-                        // gather); larger gates take the generic path.
-                        let new = match *self.fanin.get(i) {
-                            [a] => {
-                                let a = self.values[a as usize];
-                                match kind {
-                                    CellKind::Not => !a,
-                                    _ => a,
-                                }
-                            }
-                            [a, b] => {
-                                let a = self.values[a as usize];
-                                let b = self.values[b as usize];
-                                match kind {
-                                    CellKind::Nand => !(a & b),
-                                    CellKind::Nor => !(a | b),
-                                    CellKind::And => a & b,
-                                    CellKind::Or => a | b,
-                                    CellKind::Xor => a ^ b,
-                                    CellKind::Xnor => !(a ^ b),
-                                    CellKind::Buf | CellKind::Not => {
-                                        unreachable!("arity 1 kinds never take two fan-ins")
+                let new = if let Some(pin) = self.forced[i] {
+                    // A forced node holds its pin regardless of structure.
+                    pin
+                } else {
+                    match self.kinds[i] {
+                        Some(kind) => {
+                            // Direct-op fast paths for the 1/2-input forms
+                            // that dominate ISCAS circuits (no fold, no
+                            // gather); larger gates take the generic path.
+                            match *self.fanin.get(i) {
+                                [a] => {
+                                    let a = self.values[a as usize];
+                                    match kind {
+                                        CellKind::Not => !a,
+                                        _ => a,
                                     }
                                 }
-                            }
-                            _ => {
-                                self.gather.clear();
-                                for &f in self.fanin.get(i) {
-                                    self.gather.push(self.values[f as usize]);
+                                [a, b] => {
+                                    let a = self.values[a as usize];
+                                    let b = self.values[b as usize];
+                                    match kind {
+                                        CellKind::Nand => !(a & b),
+                                        CellKind::Nor => !(a | b),
+                                        CellKind::And => a & b,
+                                        CellKind::Or => a | b,
+                                        CellKind::Xor => a ^ b,
+                                        CellKind::Xnor => !(a ^ b),
+                                        CellKind::Buf | CellKind::Not => {
+                                            unreachable!("arity 1 kinds never take two fan-ins")
+                                        }
+                                    }
                                 }
-                                kind.eval_packed(&self.gather)
+                                _ => {
+                                    self.gather.clear();
+                                    for &f in self.fanin.get(i) {
+                                        self.gather.push(self.values[f as usize]);
+                                    }
+                                    kind.eval_packed(&self.gather)
+                                }
                             }
-                        };
-                        let old = std::mem::replace(&mut self.values[i], new);
-                        new != old
+                        }
+                        // Primary inputs re-read their loaded word.
+                        None => self.input_words[self.input_pos[i] as usize],
                     }
-                    // Inputs were written by the caller; treat as changed
-                    // so the wave starts.
-                    None => true,
                 };
+                let old = std::mem::replace(&mut self.values[i], new);
+                let delta = new != old;
                 if delta {
                     changed += 1;
                 }
@@ -1010,6 +1107,144 @@ mod tests {
         delta.commit();
         assert_eq!(delta.pending_patches(), 0);
         assert_eq!(delta.kind(g10), Some(CellKind::And));
+    }
+
+    #[test]
+    fn stuck_at_force_patch_propagates_and_rolls_back() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[!0u64; 5]);
+        let baseline = delta.values().to_vec();
+        // 10 = NAND(1,3) = 0 under all-ones; pin it to 1 and the flip
+        // ripples into 22.
+        let g10 = nl.find("10").unwrap();
+        let g22 = nl.find("22").unwrap();
+        let r = delta
+            .apply(&Patch::single(PatchOp::SetForce {
+                node: g10,
+                force: Some(true),
+            }))
+            .unwrap();
+        assert!(r.changed >= 1);
+        assert_eq!(delta.value(g10), !0);
+        assert_ne!(delta.value(g22), baseline[g22.index()]);
+        assert_eq!(delta.forced_value(g10), Some(!0u64));
+        delta.rollback();
+        assert_eq!(delta.values(), &baseline[..]);
+        assert_eq!(delta.forced_value(g10), None);
+    }
+
+    #[test]
+    fn force_on_primary_input_and_release() {
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[0u64; 5]);
+        let pi = nl.inputs()[0];
+        let baseline = delta.values().to_vec();
+        delta
+            .apply(&Patch::single(PatchOp::SetForce {
+                node: pi,
+                force: Some(true),
+            }))
+            .unwrap();
+        assert_eq!(delta.value(pi), !0);
+        // New inputs while forced: the pin survives the full sweep.
+        delta.set_inputs(&[0x55u64; 5]);
+        assert_eq!(delta.value(pi), !0);
+        delta.rollback();
+        // Released: the PI reads its *current* loaded word, not the one
+        // from force time.
+        assert_eq!(delta.value(pi), 0x55);
+        delta.set_inputs(&[0u64; 5]);
+        assert_eq!(delta.values(), &baseline[..]);
+    }
+
+    #[test]
+    fn silent_force_stops_immediately() {
+        // Forcing a node to the value it already has re-evaluates only the
+        // node itself.
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[!0u64; 5]);
+        let g22 = nl.find("22").unwrap();
+        assert_eq!(delta.value(g22), !0);
+        let r = delta
+            .apply(&Patch::single(PatchOp::SetForce {
+                node: g22,
+                force: Some(true),
+            }))
+            .unwrap();
+        assert_eq!(r.reevaluated, 1);
+        assert_eq!(r.changed, 0);
+        delta.rollback();
+    }
+
+    #[test]
+    fn word_force_matches_forced_reference_eval() {
+        // force_word with a lane-dependent word equals a per-lane forced
+        // evaluation; unforce restores the baseline exactly.
+        let nl = data::ripple_adder(4);
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        let inputs: Vec<u64> = (0..nl.num_inputs() as u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
+        delta.set_inputs(&inputs);
+        let baseline = delta.values().to_vec();
+        let gate = nl.gate_ids().nth(2).unwrap();
+        let pin = 0x0f0f_1234_5678_9abc;
+        delta.force_word(gate, pin);
+        assert_eq!(delta.value(gate), pin);
+        // Reference: naive topo eval skipping the forced node.
+        let mut want = vec![0u64; nl.node_count()];
+        for (&id, &w) in nl.inputs().iter().zip(&inputs) {
+            want[id.index()] = w;
+        }
+        want[gate.index()] = pin;
+        for &id in nl.topo_order() {
+            if id == gate {
+                continue;
+            }
+            if let Some(kind) = nl.node(id).kind().cell_kind() {
+                let ins: Vec<u64> = nl
+                    .node(id)
+                    .fanin()
+                    .iter()
+                    .map(|f| want[f.index()])
+                    .collect();
+                want[id.index()] = kind.eval_packed(&ins);
+            }
+        }
+        assert_eq!(delta.values(), &want[..]);
+        delta.unforce_word(gate);
+        assert_eq!(delta.values(), &baseline[..]);
+    }
+
+    #[test]
+    fn structural_patch_respects_active_force() {
+        // A kind flip on a forced gate changes nothing until the force is
+        // lifted.
+        let nl = data::c17();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[!0u64; 5]);
+        let g10 = nl.find("10").unwrap();
+        delta
+            .apply(&Patch::single(PatchOp::SetForce {
+                node: g10,
+                force: Some(false),
+            }))
+            .unwrap();
+        let forced_state = delta.values().to_vec();
+        let r = delta
+            .apply(&Patch::single(PatchOp::SetKind {
+                gate: g10,
+                kind: CellKind::And,
+            }))
+            .unwrap();
+        assert_eq!(r.changed, 0);
+        assert_eq!(delta.values(), &forced_state[..]);
+        delta.rollback(); // kind
+        delta.rollback(); // force
+        assert_eq!(delta.value(g10) & 1, 0); // NAND(1,1) = 0
     }
 
     #[test]

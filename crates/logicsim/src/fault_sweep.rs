@@ -1,0 +1,644 @@
+//! Fault-patch sweep engine: pattern-parallel stuck-at / bridge fault
+//! simulation on the incremental [`DeltaSim`].
+//!
+//! The classical way to score a logic fault is to re-simulate the whole
+//! circuit with the fault injected, once per fault per pattern batch —
+//! what [`logic_test`](crate::logic_test)'s `*_from` functions do and what
+//! this module keeps as its differential oracle ([`BackendKind::Csr`]).
+//! But a stuck-at fault is exactly a one-node *patch* whose effect is
+//! confined to the node's fanout cone, and a persistent [`DeltaSim`]
+//! already holds the good-machine packed state for the current batch. The
+//! engine therefore runs the PPSFP-style loop (single fault propagation,
+//! pattern-parallel words, fault dropping):
+//!
+//! 1. **good-state snapshot** — [`FaultPatchSim::load`] runs one full
+//!    sweep per pattern batch and caches the good primary-output words;
+//! 2. **patch** — per fault, a [`PatchOp::SetForce`] patch (stuck-at) or a
+//!    wired-AND [`DeltaSim::force_word`] fixpoint (bridge) is applied to
+//!    the persistent state, re-evaluating only the dirty cone;
+//! 3. **diff** — the outputs are XORed against the cached good words,
+//!    giving the detection mask for all `W::LANES` patterns at once;
+//! 4. **rollback** — the patch is rolled back (or the forces lifted),
+//!    which again walks only the dirty cone, restoring the good state for
+//!    the next fault.
+//!
+//! [`sweep`] wraps the per-fault loop in the same two-level
+//! (fault-shard × pattern-batch) task grid as
+//! [`iddq::simulate_with_options`](crate::iddq::simulate_with_options),
+//! with earliest-detection **fault dropping**: once a fault is detected,
+//! later batches skip it, and a shared atomic earliest-detection array
+//! lets grid cells drop faults another cell already caught — results stay
+//! bit-identical for any thread count, shard count and dropping setting,
+//! because a fault is only ever skipped when a strictly earlier detection
+//! (which wins the min-merge) already exists.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use iddq_netlist::{Netlist, NodeId, PackedWord};
+
+use crate::backend::BackendKind;
+use crate::delta::{DeltaSim, Patch, PatchOp};
+use crate::iddq::pack_chunk_into;
+use crate::logic_test::{bridge_logic_detection_from, stuck_at_detection_from, StuckAtFault};
+use crate::sim::Simulator;
+
+/// One logic (voltage-test) fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicFault {
+    /// A classical stuck-at fault on a node.
+    StuckAt(StuckAtFault),
+    /// A wired-AND (ground-dominant) bridging short between two nets.
+    Bridge {
+        /// First shorted net.
+        a: NodeId,
+        /// Second shorted net.
+        b: NodeId,
+    },
+}
+
+/// Persistent per-worker state of the fault-patch engine: one [`DeltaSim`]
+/// holding the good-machine values of the current batch, plus the cached
+/// good output words the detection diff compares against.
+#[derive(Debug, Clone)]
+pub struct FaultPatchSim<W: PackedWord> {
+    sim: DeltaSim<W>,
+    outputs: Vec<NodeId>,
+    good_out: Vec<W>,
+    /// Driver-recompute scratch (keeps the bridge fixpoint allocation-free).
+    gather: Vec<W>,
+    reevaluated: u64,
+    detects: u64,
+}
+
+impl<W: PackedWord> FaultPatchSim<W> {
+    /// Builds the engine for `netlist` (all-zero-input baseline).
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let outputs = netlist.outputs().to_vec();
+        let mut this = FaultPatchSim {
+            sim: DeltaSim::new(netlist),
+            good_out: vec![W::zeros(); outputs.len()],
+            outputs,
+            gather: Vec::new(),
+            reevaluated: 0,
+            detects: 0,
+        };
+        this.snapshot_outputs();
+        this
+    }
+
+    /// Loads a packed pattern batch: one full sweep establishes the
+    /// good-machine state, and the good output words are snapshotted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn load(&mut self, inputs: &[W]) {
+        self.sim.set_inputs(inputs);
+        self.snapshot_outputs();
+    }
+
+    fn snapshot_outputs(&mut self) {
+        for (g, &o) in self.good_out.iter_mut().zip(&self.outputs) {
+            *g = self.sim.value(o);
+        }
+    }
+
+    fn output_diff(&self) -> W {
+        let mut diff = W::zeros();
+        for (&g, &o) in self.good_out.iter().zip(&self.outputs) {
+            diff = diff | (g ^ self.sim.value(o));
+        }
+        diff
+    }
+
+    /// Detection mask of one fault against the loaded batch: bit *k* set
+    /// iff pattern *k* flips some primary output. The good state is
+    /// restored before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault references nodes outside the netlist.
+    pub fn detect(&mut self, fault: LogicFault) -> W {
+        self.detects += 1;
+        match fault {
+            LogicFault::StuckAt(f) => {
+                let patch = Patch::single(PatchOp::SetForce {
+                    node: f.node,
+                    force: Some(f.stuck_at_one),
+                });
+                let r = self.sim.apply(&patch).expect("force patches are valid");
+                let diff = self.output_diff();
+                let rb = self.sim.rollback();
+                self.reevaluated += (r.reevaluated + rb.reevaluated) as u64;
+                diff
+            }
+            LogicFault::Bridge { a, b } => {
+                if a == b {
+                    // A net bridged to itself never changes logic.
+                    return W::zeros();
+                }
+                // Wired-AND fixpoint, mirroring `bridge_logic_detection_from`
+                // iteration for iteration: each round pins both nets to the
+                // current wired word and re-derives it from the corrupted
+                // driver values.
+                let mut wired = self.sim.value(a) & self.sim.value(b);
+                for _ in 0..3 {
+                    let ra = self.sim.force_word(a, wired);
+                    let rb = self.sim.force_word(b, wired);
+                    self.reevaluated += (ra.reevaluated + rb.reevaluated) as u64;
+                    let next = self.recompute_driver(a) & self.recompute_driver(b);
+                    if next == wired {
+                        break;
+                    }
+                    wired = next;
+                }
+                let diff = self.output_diff();
+                let ra = self.sim.unforce_word(a);
+                let rb = self.sim.unforce_word(b);
+                self.reevaluated += (ra.reevaluated + rb.reevaluated) as u64;
+                diff
+            }
+        }
+    }
+
+    /// What the forced net's driver would output given the current
+    /// (corrupted) fan-in values; primary inputs drive their forced value.
+    fn recompute_driver(&mut self, node: NodeId) -> W {
+        match self.sim.kind(node) {
+            None => self.sim.value(node),
+            Some(kind) => {
+                self.gather.clear();
+                for &f in self.sim.fanin_indices(node) {
+                    self.gather.push(self.sim.values()[f as usize]);
+                }
+                kind.eval_packed(&self.gather)
+            }
+        }
+    }
+
+    /// Mean nodes re-evaluated per [`FaultPatchSim::detect`] call
+    /// (apply + rollback walks combined) — the dirty-cone work metric the
+    /// bench reports.
+    #[must_use]
+    pub fn mean_dirty_nodes(&self) -> f64 {
+        if self.detects == 0 {
+            0.0
+        } else {
+            self.reevaluated as f64 / self.detects as f64
+        }
+    }
+
+    /// Total nodes re-evaluated and detect calls so far.
+    #[must_use]
+    pub fn dirty_totals(&self) -> (u64, u64) {
+        (self.reevaluated, self.detects)
+    }
+}
+
+/// Tuning knobs of the fault-patch sweep, mirroring
+/// [`SweepOptions`](crate::iddq::SweepOptions)' two-level task grid.
+#[derive(Debug, Clone)]
+pub struct FaultSweepOptions {
+    /// Worker threads; `0` = one per available core (capped by tasks).
+    pub threads: usize,
+    /// Fault-list shards; `0` = automatic (shard only when pattern batches
+    /// cannot keep all workers busy).
+    pub fault_shards: usize,
+    /// Skip faults whose earliest detection is already known (never
+    /// changes results, only work).
+    pub fault_dropping: bool,
+    /// [`BackendKind::Delta`] = the fault-patch engine;
+    /// [`BackendKind::Csr`] = per-fault full re-simulation (the
+    /// differential oracle and speedup baseline).
+    pub backend: BackendKind,
+}
+
+impl Default for FaultSweepOptions {
+    fn default() -> Self {
+        FaultSweepOptions {
+            threads: 0,
+            fault_shards: 0,
+            fault_dropping: true,
+            backend: BackendKind::Delta,
+        }
+    }
+}
+
+/// Outcome of a [`sweep`].
+#[derive(Debug, Clone)]
+pub struct FaultSweepOutcome {
+    /// Per-fault: was it detected by any vector.
+    pub detected: Vec<bool>,
+    /// Per-fault: index of the first detecting vector, if any.
+    pub first_detection: Vec<Option<usize>>,
+    /// Fraction of faults detected.
+    pub coverage: f64,
+    /// Number of vectors applied.
+    pub vectors_applied: usize,
+    /// Mean nodes re-evaluated per fault application (0 on the CSR
+    /// oracle, which has no dirty-cone notion).
+    pub mean_dirty_nodes: f64,
+}
+
+/// One cell of the two-level task grid.
+struct GridTask {
+    fault_range: std::ops::Range<usize>,
+    batch_range: std::ops::Range<usize>,
+}
+
+fn auto_threads(units: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(units)
+        .max(1)
+}
+
+/// Sweeps a fault list against a vector set, `W::LANES` patterns at a
+/// time, returning per-fault earliest detections.
+///
+/// Results are bit-identical for any `threads`, `fault_shards`,
+/// `fault_dropping` and backend choice (enforced by the differential
+/// proptests); only the work differs.
+///
+/// # Panics
+///
+/// Panics if a vector's arity differs from the netlist's primary-input
+/// count or a fault references nodes outside the netlist.
+#[must_use]
+pub fn sweep<W: PackedWord>(
+    netlist: &Netlist,
+    faults: &[LogicFault],
+    vectors: &[Vec<bool>],
+    options: &FaultSweepOptions,
+) -> FaultSweepOutcome {
+    let lanes = W::LANES as usize;
+    let num_batches = vectors.len().div_ceil(lanes);
+    let threads = if options.threads == 0 {
+        auto_threads(num_batches.max(1) * faults.len().div_ceil(64).max(1))
+    } else {
+        options.threads.max(1)
+    };
+    let shards = match options.fault_shards {
+        0 if num_batches >= threads => 1,
+        0 => threads
+            .div_ceil(num_batches.max(1))
+            .min(faults.len().div_ceil(16).max(1)),
+        s => s.min(faults.len().max(1)),
+    };
+    let batch_chunks = threads.div_ceil(shards).min(num_batches.max(1)).max(1);
+
+    let mut tasks: Vec<GridTask> = Vec::with_capacity(shards * batch_chunks);
+    let per_shard = faults.len().div_ceil(shards).max(1);
+    let per_chunk = num_batches.div_ceil(batch_chunks).max(1);
+    for s in 0..shards {
+        let fault_range = s * per_shard..faults.len().min((s + 1) * per_shard);
+        if fault_range.is_empty() && !faults.is_empty() {
+            continue;
+        }
+        for c in 0..batch_chunks {
+            let batch_range = c * per_chunk..num_batches.min((c + 1) * per_chunk);
+            if batch_range.is_empty() && num_batches > 0 {
+                continue;
+            }
+            tasks.push(GridTask {
+                fault_range: fault_range.clone(),
+                batch_range,
+            });
+        }
+    }
+
+    // Cross-cell fault dropping: earliest published detection per fault. A
+    // cell skips a fault only when the published index precedes every
+    // vector it could contribute — such a detection wins the min-merge
+    // regardless, so worker timing cannot change the result.
+    let best: Vec<AtomicUsize> = (0..faults.len())
+        .map(|_| AtomicUsize::new(usize::MAX))
+        .collect();
+
+    struct Partial {
+        fault_start: usize,
+        first: Vec<Option<usize>>,
+        reevaluated: u64,
+        detects: u64,
+    }
+
+    let run_tasks = |my_tasks: &[GridTask]| -> Vec<Partial> {
+        // One engine per worker: either the fault-patch DeltaSim or the
+        // CSR full-sweep oracle.
+        let mut patch_sim = match options.backend {
+            BackendKind::Delta => Some(FaultPatchSim::<W>::new(netlist)),
+            BackendKind::Csr => None,
+        };
+        let csr = match options.backend {
+            BackendKind::Csr => Some(Simulator::new(netlist)),
+            BackendKind::Delta => None,
+        };
+        let mut words = vec![W::zeros(); netlist.num_inputs()];
+        let mut good = vec![W::zeros(); netlist.node_count()];
+        let mut out = Vec::with_capacity(my_tasks.len());
+        for task in my_tasks {
+            let flen = task.fault_range.len();
+            let mut first: Vec<Option<usize>> = vec![None; flen];
+            let mut live = vec![true; flen];
+            let mut remaining = flen;
+            let mut reeval0 = 0u64;
+            let mut detects0 = 0u64;
+            if let Some(ps) = patch_sim.as_ref() {
+                (reeval0, detects0) = ps.dirty_totals();
+            }
+            for batch_idx in task.batch_range.clone() {
+                if options.fault_dropping && remaining == 0 {
+                    break;
+                }
+                let start_vec = batch_idx * lanes;
+                let chunk = &vectors[start_vec..vectors.len().min(start_vec + lanes)];
+                pack_chunk_into(chunk, &mut words);
+                if let Some(ps) = patch_sim.as_mut() {
+                    ps.load(&words);
+                } else if let Some(sim) = csr.as_ref() {
+                    sim.eval_into(&words, &mut good);
+                }
+                for k in 0..flen {
+                    if options.fault_dropping && !live[k] {
+                        continue;
+                    }
+                    let fi = task.fault_range.start + k;
+                    if options.fault_dropping && best[fi].load(Ordering::Relaxed) < start_vec {
+                        live[k] = false;
+                        remaining -= 1;
+                        continue;
+                    }
+                    let mask = match (patch_sim.as_mut(), faults[fi]) {
+                        (Some(ps), fault) => ps.detect(fault),
+                        (None, LogicFault::StuckAt(f)) => {
+                            stuck_at_detection_from(netlist, &good, f, &words)
+                        }
+                        (None, LogicFault::Bridge { a, b }) => {
+                            bridge_logic_detection_from(netlist, &good, a, b, &words)
+                        }
+                    }
+                    .mask_lanes(chunk.len() as u32);
+                    if let Some(bit) = mask.first_set() {
+                        let v = start_vec + bit as usize;
+                        first[k] = Some(first[k].map_or(v, |cur| cur.min(v)));
+                        best[fi].fetch_min(v, Ordering::Relaxed);
+                        if options.fault_dropping {
+                            live[k] = false;
+                            remaining -= 1;
+                        }
+                    }
+                }
+            }
+            let (reevaluated, detects) = match patch_sim.as_ref() {
+                Some(ps) => {
+                    let (r, d) = ps.dirty_totals();
+                    (r - reeval0, d - detects0)
+                }
+                None => (0, 0),
+            };
+            out.push(Partial {
+                fault_start: task.fault_range.start,
+                first,
+                reevaluated,
+                detects,
+            });
+        }
+        out
+    };
+
+    let partials: Vec<Partial> = if threads <= 1 || tasks.len() <= 1 {
+        run_tasks(&tasks)
+    } else {
+        let assignments: Vec<Vec<GridTask>> = {
+            let mut a: Vec<Vec<GridTask>> = (0..threads).map(|_| Vec::new()).collect();
+            for (i, t) in tasks.into_iter().enumerate() {
+                a[i % threads].push(t);
+            }
+            a.into_iter().filter(|v| !v.is_empty()).collect()
+        };
+        std::thread::scope(|scope| {
+            let run_tasks = &run_tasks;
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|mine| scope.spawn(move || run_tasks(mine)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker never panics"))
+                .collect()
+        })
+    };
+
+    let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut reevaluated = 0u64;
+    let mut detects = 0u64;
+    for p in partials {
+        reevaluated += p.reevaluated;
+        detects += p.detects;
+        for (k, v) in p.first.into_iter().enumerate() {
+            if let Some(v) = v {
+                let slot = &mut first_detection[p.fault_start + k];
+                *slot = Some(slot.map_or(v, |cur| cur.min(v)));
+            }
+        }
+    }
+
+    let detected: Vec<bool> = first_detection.iter().map(Option::is_some).collect();
+    let coverage = if faults.is_empty() {
+        1.0
+    } else {
+        detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64
+    };
+    FaultSweepOutcome {
+        detected,
+        first_detection,
+        coverage,
+        vectors_applied: vectors.len(),
+        mean_dirty_nodes: if detects == 0 {
+            0.0
+        } else {
+            reevaluated as f64 / detects as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic_test::{bridge_logic_detection, stuck_at_detection};
+    use iddq_netlist::{data, W256, W512};
+
+    fn all_packed_c17() -> Vec<u64> {
+        let mut packed = vec![0u64; 5];
+        for pat in 0u64..32 {
+            for (i, word) in packed.iter_mut().enumerate() {
+                if pat >> i & 1 == 1 {
+                    *word |= 1 << pat;
+                }
+            }
+        }
+        packed
+    }
+
+    #[test]
+    fn patch_stuck_at_matches_full_resim_on_c17() {
+        let nl = data::c17();
+        let packed = all_packed_c17();
+        let mut ps = FaultPatchSim::<u64>::new(&nl);
+        ps.load(&packed);
+        for node in nl.node_ids() {
+            for stuck_at_one in [false, true] {
+                let fault = StuckAtFault { node, stuck_at_one };
+                assert_eq!(
+                    ps.detect(LogicFault::StuckAt(fault)),
+                    stuck_at_detection(&nl, fault, &packed),
+                    "node {node} sa{}",
+                    u8::from(stuck_at_one)
+                );
+            }
+        }
+        assert!(ps.mean_dirty_nodes() > 0.0);
+    }
+
+    #[test]
+    fn patch_bridge_matches_full_resim_on_c17() {
+        let nl = data::c17();
+        let packed = all_packed_c17();
+        let mut ps = FaultPatchSim::<u64>::new(&nl);
+        ps.load(&packed);
+        let nodes: Vec<_> = nl.node_ids().collect();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i..] {
+                assert_eq!(
+                    ps.detect(LogicFault::Bridge { a, b }),
+                    bridge_logic_detection(&nl, a, b, &packed),
+                    "bridge {a}-{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_state_survives_fault_interleaving() {
+        // detect() must leave the good state untouched — interleave faults
+        // and re-run one: same answer.
+        let nl = data::c17();
+        let packed = all_packed_c17();
+        let mut ps = FaultPatchSim::<u64>::new(&nl);
+        ps.load(&packed);
+        let g10 = nl.find("10").unwrap();
+        let g22 = nl.find("22").unwrap();
+        let f = LogicFault::StuckAt(StuckAtFault {
+            node: g10,
+            stuck_at_one: true,
+        });
+        let before = ps.detect(f);
+        ps.detect(LogicFault::Bridge { a: g10, b: g22 });
+        ps.detect(LogicFault::StuckAt(StuckAtFault {
+            node: g22,
+            stuck_at_one: false,
+        }));
+        assert_eq!(ps.detect(f), before);
+    }
+
+    fn c17_fault_list(nl: &iddq_netlist::Netlist) -> Vec<LogicFault> {
+        let mut faults: Vec<LogicFault> = Vec::new();
+        for node in nl.node_ids() {
+            for stuck_at_one in [false, true] {
+                faults.push(LogicFault::StuckAt(StuckAtFault { node, stuck_at_one }));
+            }
+        }
+        let gs = data::c17_paper_gates(nl);
+        faults.push(LogicFault::Bridge { a: gs[0], b: gs[3] });
+        faults.push(LogicFault::Bridge { a: gs[1], b: gs[2] });
+        faults
+    }
+
+    fn c17_vectors(n: usize) -> Vec<Vec<bool>> {
+        (0..n)
+            .map(|k| (0..5).map(|i| (k >> i) & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn sweep_backends_and_knobs_agree() {
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(200);
+        let base = sweep::<u64>(
+            &nl,
+            &faults,
+            &vectors,
+            &FaultSweepOptions {
+                threads: 1,
+                fault_shards: 1,
+                fault_dropping: false,
+                backend: BackendKind::Csr,
+            },
+        );
+        assert!(base.coverage > 0.5);
+        for (threads, shards, dropping, backend) in [
+            (1, 1, true, BackendKind::Delta),
+            (1, 1, false, BackendKind::Delta),
+            (3, 2, true, BackendKind::Delta),
+            (4, 1, true, BackendKind::Csr),
+            (2, 3, true, BackendKind::Csr),
+        ] {
+            let r = sweep::<u64>(
+                &nl,
+                &faults,
+                &vectors,
+                &FaultSweepOptions {
+                    threads,
+                    fault_shards: shards,
+                    fault_dropping: dropping,
+                    backend,
+                },
+            );
+            assert_eq!(
+                base.first_detection, r.first_detection,
+                "threads={threads} shards={shards} dropping={dropping} backend={backend}"
+            );
+            assert_eq!(base.detected, r.detected);
+        }
+    }
+
+    #[test]
+    fn sweep_lane_width_invariant() {
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(300);
+        let opts = FaultSweepOptions::default();
+        let narrow = sweep::<u64>(&nl, &faults, &vectors, &opts);
+        let wide = sweep::<W256>(&nl, &faults, &vectors, &opts);
+        let wider = sweep::<W512>(&nl, &faults, &vectors, &opts);
+        assert_eq!(narrow.first_detection, wide.first_detection);
+        assert_eq!(narrow.first_detection, wider.first_detection);
+    }
+
+    #[test]
+    fn empty_fault_list_full_coverage() {
+        let nl = data::c17();
+        let r = sweep::<u64>(&nl, &[], &c17_vectors(8), &FaultSweepOptions::default());
+        assert_eq!(r.coverage, 1.0);
+        assert_eq!(r.vectors_applied, 8);
+    }
+
+    #[test]
+    fn undetectable_fault_reported_undetected() {
+        // A bridge of a net with itself is logically silent.
+        let nl = data::c17();
+        let g10 = nl.find("10").unwrap();
+        let faults = vec![LogicFault::Bridge { a: g10, b: g10 }];
+        let r = sweep::<u64>(
+            &nl,
+            &faults,
+            &c17_vectors(32),
+            &FaultSweepOptions::default(),
+        );
+        assert_eq!(r.detected, vec![false]);
+        assert_eq!(r.coverage, 0.0);
+    }
+}

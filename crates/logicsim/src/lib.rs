@@ -30,7 +30,10 @@
 //!   × pattern-batch) parallelism,
 //! * [`logic_test`] — the voltage-test view of the same defects
 //!   (stuck-at faults, wired-AND bridges), demonstrating the class that
-//!   escapes logic test.
+//!   escapes logic test,
+//! * [`fault_sweep`] — the fault-patch sweep engine: PPSFP-style stuck-at
+//!   / bridge fault simulation on the incremental engine, with fault
+//!   dropping and two-level parallelism.
 //!
 //! # Choosing a backend
 //!
@@ -43,6 +46,28 @@
 //! apply/rollback pair costs two cone walks instead of two full sweeps.
 //! Both engines are bit-for-bit identical on the same inputs (enforced by
 //! the differential proptests in `tests/proptests.rs`).
+//!
+//! # Fault-patch lifecycle
+//!
+//! Per-fault logic simulation rides the delta engine through a fixed
+//! four-step lifecycle (see [`fault_sweep`] for the full story):
+//!
+//! 1. **good-state snapshot** — one full sweep per pattern batch loads the
+//!    fault-free packed values into the persistent [`delta::DeltaSim`] and
+//!    caches the good primary-output words;
+//! 2. **patch** — the fault is injected as a one-node change: stuck-at as
+//!    a [`delta::PatchOp::SetForce`] patch, a bridge as a wired-AND
+//!    [`delta::DeltaSim::force_word`] fixpoint;
+//! 3. **dirty-cone diff** — only the fault's dirty cone re-evaluates, and
+//!    XORing the outputs against the cached good words yields the
+//!    detection mask for all packed patterns at once;
+//! 4. **rollback** — the inverse patch (or force release) walks the same
+//!    cone back, restoring the good state for the next fault.
+//!
+//! Fault *dropping* composes with this: a fault whose earliest detection
+//! is already known is skipped entirely, which never changes results (the
+//! recorded index is the minimum over all detections) but skips both cone
+//! walks.
 //!
 //! # Example
 //!
@@ -64,6 +89,7 @@
 
 pub mod backend;
 pub mod delta;
+pub mod fault_sweep;
 pub mod faults;
 pub mod iddq;
 pub mod logic_test;

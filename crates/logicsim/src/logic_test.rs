@@ -67,8 +67,11 @@ pub fn stuck_at_detection_with<W: PackedWord>(
     stuck_at_detection_from(netlist, &sim.eval(inputs), fault, inputs)
 }
 
-/// [`stuck_at_detection`] through a caller-chosen [`SimBackend`], so the
-/// same sweep runs on the batch CSR kernel or the incremental engine.
+/// [`stuck_at_detection`] through a caller-chosen [`SimBackend`]: the CSR
+/// arm re-simulates the whole forced circuit (the differential oracle);
+/// the delta arm injects the fault as a stuck-at force patch and
+/// re-evaluates only its dirty cone (the fault-patch engine,
+/// [`crate::fault_sweep`]).
 ///
 /// # Panics
 ///
@@ -80,6 +83,21 @@ pub fn stuck_at_detection_with_backend<W: PackedWord>(
     fault: StuckAtFault,
     inputs: &[W],
 ) -> W {
+    if let Some(delta) = backend.as_delta_mut() {
+        delta.set_inputs(inputs);
+        let good_out: Vec<W> = netlist.outputs().iter().map(|&o| delta.value(o)).collect();
+        let patch = crate::delta::Patch::single(crate::delta::PatchOp::SetForce {
+            node: fault.node,
+            force: Some(fault.stuck_at_one),
+        });
+        delta.apply(&patch).expect("force patches are always valid");
+        let mut diff = W::zeros();
+        for (&o, &g) in netlist.outputs().iter().zip(&good_out) {
+            diff = diff | (g ^ delta.value(o));
+        }
+        delta.rollback();
+        return diff;
+    }
     let mut good = vec![W::zeros(); backend.node_count()];
     backend.eval_into(inputs, &mut good);
     stuck_at_detection_from(netlist, &good, fault, inputs)
@@ -234,8 +252,12 @@ pub fn logic_observability<W: PackedWord>(
 
 /// [`logic_observability`] on a chosen simulation engine.
 ///
-/// One backend instance evaluates each batch's fault-free values once;
-/// bridge corruption is then propagated from those values per fault.
+/// On the CSR oracle, one backend instance evaluates each batch's
+/// fault-free values once and bridge corruption is re-propagated from
+/// scratch per fault. On the delta engine, the fault-patch sweep
+/// ([`crate::fault_sweep::FaultPatchSim`]) loads each batch once and
+/// scores every bridge by a dirty-cone force/diff/rollback instead —
+/// identical results, cone-sized work.
 #[must_use]
 pub fn logic_observability_with_backend<W: PackedWord>(
     netlist: &Netlist,
@@ -243,6 +265,25 @@ pub fn logic_observability_with_backend<W: PackedWord>(
     vector_batches: &[Vec<W>],
     kind: BackendKind,
 ) -> Vec<bool> {
+    if kind == BackendKind::Delta {
+        let mut ps = crate::fault_sweep::FaultPatchSim::<W>::new(netlist);
+        let mut visible = vec![false; faults.len()];
+        for ins in vector_batches {
+            ps.load(ins);
+            for (v, f) in visible.iter_mut().zip(faults) {
+                if let IddqFault::Bridge { a, b, .. } = *f {
+                    if !*v
+                        && !ps
+                            .detect(crate::fault_sweep::LogicFault::Bridge { a, b })
+                            .is_zero()
+                    {
+                        *v = true;
+                    }
+                }
+            }
+        }
+        return visible;
+    }
     // One engine instance shared across the whole fault × batch sweep,
     // and one fault-free evaluation per batch shared across its faults.
     let mut backend = SimBackend::<W>::new(netlist, kind);

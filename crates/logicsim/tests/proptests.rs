@@ -7,10 +7,12 @@ use proptest::prelude::*;
 use rand::Rng;
 
 use iddq_logicsim::delta::{DeltaSim, Patch, PatchOp};
+use iddq_logicsim::fault_sweep::{self, FaultSweepOptions, LogicFault};
 use iddq_logicsim::faults::IddqFault;
+use iddq_logicsim::logic_test::StuckAtFault;
 use iddq_logicsim::reference::NaiveSimulator;
-use iddq_logicsim::{iddq, Simulator};
-use iddq_netlist::{data, CellKind, Netlist, NetlistBuilder, NodeId, PackedWord, W256};
+use iddq_logicsim::{iddq, BackendKind, Simulator};
+use iddq_netlist::{data, CellKind, Netlist, NetlistBuilder, NodeId, PackedWord, W256, W512};
 
 /// A random ISCAS-like netlist, sized to exercise every gate kind, long
 /// same-kind runs and multi-level reordering in the CSR compiler.
@@ -54,6 +56,9 @@ impl Model {
                 PatchOp::SetKind { gate, kind } => self.kinds[gate.index()] = Some(*kind),
                 PatchOp::SetFanin { gate, fanin } => {
                     self.fanins[gate.index()] = fanin.clone();
+                }
+                PatchOp::SetForce { .. } => {
+                    unreachable!("structural mutation sequences never draw forces")
                 }
             }
         }
@@ -304,6 +309,112 @@ proptest! {
         prop_assert!(matches!(err, iddq_logicsim::delta::PatchError::Cycle(_)));
         prop_assert_eq!(delta.values(), &before[..]);
         prop_assert_eq!(delta.pending_patches(), 0);
+    }
+
+    /// A 512-wide sweep equals eight independent 64-wide sweeps, limb by
+    /// limb, on random netlists.
+    #[test]
+    fn w512_sweep_matches_eight_narrow_sweeps(seed in 0u64..500, salt in any::<u64>()) {
+        let nl = random_netlist(seed);
+        let sim = Simulator::new(&nl);
+        let narrow: Vec<Vec<u64>> = (0..8u64)
+            .map(|limb| {
+                (0..nl.num_inputs() as u64)
+                    .map(|i| {
+                        (salt ^ (limb << 13)).rotate_left(((limb + 5) * i % 59) as u32)
+                    })
+                    .collect()
+            })
+            .collect();
+        let wide: Vec<W512> = (0..nl.num_inputs())
+            .map(|i| W512::from_limbs(|limb| narrow[limb][i]))
+            .collect();
+        let wv = sim.eval(&wide);
+        for (limb, inputs) in narrow.iter().enumerate() {
+            let nv = sim.eval(inputs);
+            for id in nl.node_ids() {
+                prop_assert_eq!(wv[id.index()].limb(limb), nv[id.index()],
+                    "limb {}, node {}", limb, id);
+            }
+        }
+    }
+
+    /// The fault-patch sweep engine reproduces the per-fault full CSR
+    /// re-simulation oracle bit-for-bit on random netlists and random
+    /// stuck-at/bridge fault lists — with fault dropping on or off, for
+    /// any thread count and fault sharding.
+    #[test]
+    fn fault_patch_sweep_matches_csr_oracle(seed in 0u64..100, salt in any::<u64>()) {
+        use rand::SeedableRng;
+        let nl = random_netlist(seed);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(salt ^ 0xfa17);
+        let nodes: Vec<NodeId> = nl.node_ids().collect();
+        let mut faults: Vec<LogicFault> = (0..24)
+            .map(|_| LogicFault::StuckAt(StuckAtFault {
+                node: nodes[rng.gen_range(0..nodes.len())],
+                stuck_at_one: rng.gen(),
+            }))
+            .collect();
+        faults.extend((0..8).map(|_| LogicFault::Bridge {
+            a: nodes[rng.gen_range(0..nodes.len())],
+            b: nodes[rng.gen_range(0..nodes.len())],
+        }));
+        let vectors: Vec<Vec<bool>> = (0..300)
+            .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+            .collect();
+        let oracle = fault_sweep::sweep::<W256>(&nl, &faults, &vectors, &FaultSweepOptions {
+            threads: 1,
+            fault_shards: 1,
+            fault_dropping: false,
+            backend: BackendKind::Csr,
+        });
+        for (threads, shards, dropping, backend) in [
+            (1, 1, true, BackendKind::Delta),
+            (1, 1, false, BackendKind::Delta),
+            (3, 2, true, BackendKind::Delta),
+            (4, 3, false, BackendKind::Delta),
+            (2, 2, true, BackendKind::Csr),
+        ] {
+            let r = fault_sweep::sweep::<W256>(&nl, &faults, &vectors, &FaultSweepOptions {
+                threads,
+                fault_shards: shards,
+                fault_dropping: dropping,
+                backend,
+            });
+            prop_assert_eq!(&oracle.first_detection, &r.first_detection,
+                "threads={} shards={} dropping={} backend={}",
+                threads, shards, dropping, backend);
+            prop_assert_eq!(&oracle.detected, &r.detected);
+        }
+    }
+
+    /// The fault-patch sweep is lane-width invariant: u64, W256 and W512
+    /// batching produce identical earliest detections.
+    #[test]
+    fn fault_patch_sweep_lane_invariant(seed in 0u64..60, salt in any::<u64>()) {
+        use rand::SeedableRng;
+        let nl = random_netlist(seed);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(salt ^ 0x1a9e);
+        let nodes: Vec<NodeId> = nl.node_ids().collect();
+        let mut faults: Vec<LogicFault> = (0..12)
+            .map(|_| LogicFault::StuckAt(StuckAtFault {
+                node: nodes[rng.gen_range(0..nodes.len())],
+                stuck_at_one: rng.gen(),
+            }))
+            .collect();
+        faults.extend((0..4).map(|_| LogicFault::Bridge {
+            a: nodes[rng.gen_range(0..nodes.len())],
+            b: nodes[rng.gen_range(0..nodes.len())],
+        }));
+        let vectors: Vec<Vec<bool>> = (0..520)
+            .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+            .collect();
+        let opts = FaultSweepOptions::default();
+        let narrow = fault_sweep::sweep::<u64>(&nl, &faults, &vectors, &opts);
+        let wide = fault_sweep::sweep::<W256>(&nl, &faults, &vectors, &opts);
+        let wider = fault_sweep::sweep::<W512>(&nl, &faults, &vectors, &opts);
+        prop_assert_eq!(&narrow.first_detection, &wide.first_detection);
+        prop_assert_eq!(&narrow.first_detection, &wider.first_detection);
     }
 
     /// Packed evaluation equals 64 independent scalar evaluations.

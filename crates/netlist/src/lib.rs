@@ -58,5 +58,5 @@ mod timeset;
 
 pub use graph::{Netlist, NetlistBuilder, NetlistError, Node, NodeId, NodeKind};
 pub use kind::CellKind;
-pub use packed::{PackedWord, W256};
+pub use packed::{LaneWidth, PackedWord, W256, W512};
 pub use timeset::TimeSet;

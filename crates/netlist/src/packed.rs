@@ -2,11 +2,27 @@
 //!
 //! Pattern-parallel logic simulation evaluates one test pattern per bit of
 //! a machine word. [`PackedWord`] abstracts the word so the same kernel
-//! runs 64 patterns per sweep on a plain `u64` or 256 patterns per sweep on
-//! [`W256`] (four `u64` lanes, which the compiler auto-vectorizes on any
-//! target with 128/256-bit SIMD). Everything downstream — fault
-//! activation, IDDQ detection, ATPG, logic testing — is generic over this
-//! trait.
+//! runs 64 patterns per sweep on a plain `u64`, 256 patterns per sweep on
+//! [`W256`] (four `u64` limbs) or 512 on [`W512`] (eight limbs). The
+//! limbed ops are fixed-length straight-line loops, which the compiler
+//! auto-vectorizes on any target with 128/256/512-bit SIMD. Everything
+//! downstream — fault activation, IDDQ detection, ATPG, logic testing,
+//! the fault-patch sweep — is generic over this trait; [`LaneWidth`] is
+//! the runtime selector the CLI and bench front ends thread through
+//! (`--lanes {64,256,512}`).
+//!
+//! # Lane-width trade-offs
+//!
+//! Wider lanes amortize the per-gate loop overhead (index arithmetic,
+//! loads of fan-in offsets) over more patterns, so throughput grows until
+//! the word stops fitting the target's vector registers: `W256` is four
+//! `u64`s (two 128-bit or one 256-bit vector op), `W512` eight (one
+//! 512-bit op on AVX-512, two 256-bit ops elsewhere — still profitable
+//! because the loop overhead halves again). The cost is footprint: the
+//! per-node value arrays grow linearly with the lane count, so on large
+//! circuits the widest lane can fall out of cache on machines with small
+//! L2. Measure with `bench` (`csr64/csr256/csr512` rates) before pinning
+//! a default.
 
 use std::fmt::Debug;
 use std::ops::{BitAnd, BitOr, BitXor, Not};
@@ -30,6 +46,12 @@ pub trait PackedWord:
 {
     /// Number of patterns one word carries.
     const LANES: u32;
+
+    /// Number of 64-bit limbs (`LANES / 64`).
+    const LIMBS: usize;
+
+    /// The `i`-th 64-bit limb (pattern bits `64·i .. 64·i + 64`).
+    fn limb(self, i: usize) -> u64;
 
     /// The all-zeros word.
     fn zeros() -> Self;
@@ -68,6 +90,13 @@ pub trait PackedWord:
 
 impl PackedWord for u64 {
     const LANES: u32 = 64;
+    const LIMBS: usize = 1;
+
+    fn limb(self, i: usize) -> u64 {
+        // Same out-of-range contract as the array-backed wide words: panic.
+        assert_eq!(i, 0, "u64 has a single limb");
+        self
+    }
 
     fn zeros() -> Self {
         0
@@ -110,98 +139,203 @@ impl PackedWord for u64 {
     }
 }
 
-/// 256 patterns per word: four `u64` lanes evaluated in lock-step.
+/// Defines a multi-limb packed word: a `#[repr(transparent)]` array of
+/// `u64`s whose bitwise ops are fixed-length limb loops (branch-free,
+/// reliably lowered to vector instructions where available).
+macro_rules! limbed_word {
+    ($(#[$doc:meta])* $name:ident, $limbs:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(transparent)]
+        pub struct $name(pub [u64; $limbs]);
+
+        impl BitAnd for $name {
+            type Output = $name;
+
+            #[inline(always)]
+            fn bitand(self, rhs: $name) -> $name {
+                let mut out = self.0;
+                for (a, b) in out.iter_mut().zip(rhs.0) {
+                    *a &= b;
+                }
+                $name(out)
+            }
+        }
+
+        impl BitOr for $name {
+            type Output = $name;
+
+            #[inline(always)]
+            fn bitor(self, rhs: $name) -> $name {
+                let mut out = self.0;
+                for (a, b) in out.iter_mut().zip(rhs.0) {
+                    *a |= b;
+                }
+                $name(out)
+            }
+        }
+
+        impl BitXor for $name {
+            type Output = $name;
+
+            #[inline(always)]
+            fn bitxor(self, rhs: $name) -> $name {
+                let mut out = self.0;
+                for (a, b) in out.iter_mut().zip(rhs.0) {
+                    *a ^= b;
+                }
+                $name(out)
+            }
+        }
+
+        impl Not for $name {
+            type Output = $name;
+
+            #[inline(always)]
+            fn not(self) -> $name {
+                let mut out = self.0;
+                for a in out.iter_mut() {
+                    *a = !*a;
+                }
+                $name(out)
+            }
+        }
+
+        impl PackedWord for $name {
+            const LANES: u32 = $limbs * 64;
+            const LIMBS: usize = $limbs;
+
+            fn limb(self, i: usize) -> u64 {
+                self.0[i]
+            }
+
+            fn zeros() -> Self {
+                $name([0; $limbs])
+            }
+
+            fn ones() -> Self {
+                $name([!0; $limbs])
+            }
+
+            fn is_zero(self) -> bool {
+                self.0 == [0; $limbs]
+            }
+
+            fn bit(self, k: u32) -> bool {
+                self.0[(k / 64) as usize] >> (k % 64) & 1 == 1
+            }
+
+            fn set_bit(&mut self, k: u32) {
+                self.0[(k / 64) as usize] |= 1u64 << (k % 64);
+            }
+
+            fn first_set(self) -> Option<u32> {
+                for (i, limb) in self.0.iter().enumerate() {
+                    if *limb != 0 {
+                        return Some(i as u32 * 64 + limb.trailing_zeros());
+                    }
+                }
+                None
+            }
+
+            fn mask_lanes(self, n: u32) -> Self {
+                let mut out = self.0;
+                for (i, limb) in out.iter_mut().enumerate() {
+                    let lo = (i as u32) * 64;
+                    if n <= lo {
+                        *limb = 0;
+                    } else if n < lo + 64 {
+                        *limb &= (1u64 << (n - lo)) - 1;
+                    }
+                }
+                $name(out)
+            }
+
+            fn from_limbs(mut f: impl FnMut(usize) -> u64) -> Self {
+                $name(std::array::from_fn(&mut f))
+            }
+        }
+    };
+}
+
+limbed_word! {
+    /// 256 patterns per word: four `u64` limbs evaluated in lock-step.
+    ///
+    /// The bitwise ops are straight-line 4-limb loops, which LLVM lowers to
+    /// vector instructions where available; on scalar-only targets they are
+    /// still branch-free and cache-friendly.
+    W256, 4
+}
+
+limbed_word! {
+    /// 512 patterns per word: eight `u64` limbs evaluated in lock-step.
+    ///
+    /// One op per gate input covers 512 patterns — a single 512-bit vector
+    /// instruction on AVX-512 targets, two 256-bit ops elsewhere. The wider
+    /// value arrays cost cache footprint on large circuits; see the module
+    /// docs for the trade-off.
+    W512, 8
+}
+
+/// Runtime-selectable pattern-parallel lane width.
 ///
-/// The bitwise ops are straight-line 4-lane loops, which LLVM lowers to
-/// vector instructions where available; on scalar-only targets they are
-/// still branch-free and cache-friendly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(transparent)]
-pub struct W256(pub [u64; 4]);
-
-impl BitAnd for W256 {
-    type Output = W256;
-
-    fn bitand(self, rhs: W256) -> W256 {
-        let (a, b) = (self.0, rhs.0);
-        W256([a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]])
-    }
+/// CLI and bench front ends parse `--lanes {64,256,512}` into this and
+/// dispatch to the matching [`PackedWord`] monomorphization; results are
+/// lane-width invariant bit-for-bit (each lane carries one pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneWidth {
+    /// 64 patterns per sweep (`u64`).
+    L64,
+    /// 256 patterns per sweep ([`W256`]).
+    #[default]
+    L256,
+    /// 512 patterns per sweep ([`W512`]).
+    L512,
 }
 
-impl BitOr for W256 {
-    type Output = W256;
+impl LaneWidth {
+    /// Every selectable width, narrowest first.
+    pub const ALL: [LaneWidth; 3] = [LaneWidth::L64, LaneWidth::L256, LaneWidth::L512];
 
-    fn bitor(self, rhs: W256) -> W256 {
-        let (a, b) = (self.0, rhs.0);
-        W256([a[0] | b[0], a[1] | b[1], a[2] | b[2], a[3] | b[3]])
-    }
-}
-
-impl BitXor for W256 {
-    type Output = W256;
-
-    fn bitxor(self, rhs: W256) -> W256 {
-        let (a, b) = (self.0, rhs.0);
-        W256([a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]])
-    }
-}
-
-impl Not for W256 {
-    type Output = W256;
-
-    fn not(self) -> W256 {
-        let a = self.0;
-        W256([!a[0], !a[1], !a[2], !a[3]])
-    }
-}
-
-impl PackedWord for W256 {
-    const LANES: u32 = 256;
-
-    fn zeros() -> Self {
-        W256([0; 4])
-    }
-
-    fn ones() -> Self {
-        W256([!0; 4])
-    }
-
-    fn is_zero(self) -> bool {
-        self.0 == [0; 4]
-    }
-
-    fn bit(self, k: u32) -> bool {
-        self.0[(k / 64) as usize] >> (k % 64) & 1 == 1
-    }
-
-    fn set_bit(&mut self, k: u32) {
-        self.0[(k / 64) as usize] |= 1u64 << (k % 64);
-    }
-
-    fn first_set(self) -> Option<u32> {
-        for (i, limb) in self.0.iter().enumerate() {
-            if *limb != 0 {
-                return Some(i as u32 * 64 + limb.trailing_zeros());
-            }
+    /// Patterns per sweep at this width.
+    #[must_use]
+    pub fn lanes(self) -> u32 {
+        match self {
+            LaneWidth::L64 => 64,
+            LaneWidth::L256 => 256,
+            LaneWidth::L512 => 512,
         }
-        None
     }
+}
 
-    fn mask_lanes(self, n: u32) -> Self {
-        let mut out = self.0;
-        for (i, limb) in out.iter_mut().enumerate() {
-            let lo = (i as u32) * 64;
-            if n <= lo {
-                *limb = 0;
-            } else if n < lo + 64 {
-                *limb &= (1u64 << (n - lo)) - 1;
-            }
+impl std::fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.lanes())
+    }
+}
+
+/// Error for unknown lane widths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLaneError(String);
+
+impl std::fmt::Display for ParseLaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown lane width `{}` (expected 64|256|512)", self.0)
+    }
+}
+
+impl std::error::Error for ParseLaneError {}
+
+impl std::str::FromStr for LaneWidth {
+    type Err = ParseLaneError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "64" => Ok(LaneWidth::L64),
+            "256" => Ok(LaneWidth::L256),
+            "512" => Ok(LaneWidth::L512),
+            other => Err(ParseLaneError(other.to_owned())),
         }
-        W256(out)
-    }
-
-    fn from_limbs(mut f: impl FnMut(usize) -> u64) -> Self {
-        W256([f(0), f(1), f(2), f(3)])
     }
 }
 
@@ -228,6 +362,11 @@ mod tests {
             assert_eq!(w.mask_lanes(k + 1), w);
         }
         assert_eq!(W::ones().mask_lanes(W::LANES), W::ones());
+        assert_eq!(W::LIMBS as u32 * 64, W::LANES);
+        let w = W::from_limbs(|i| i as u64 + 7);
+        for i in 0..W::LIMBS {
+            assert_eq!(w.limb(i), i as u64 + 7, "limb {i}");
+        }
     }
 
     #[test]
@@ -241,10 +380,46 @@ mod tests {
     }
 
     #[test]
+    fn w512_word_laws() {
+        check_word::<W512>();
+    }
+
+    #[test]
     fn w256_limbs_are_little_endian_in_pattern_order() {
         let w = W256::from_limbs(|i| if i == 2 { 0b10 } else { 0 });
         assert_eq!(w.first_set(), Some(129));
         assert!(w.bit(129));
         assert!(!w.bit(128));
+    }
+
+    #[test]
+    fn w512_limbs_are_little_endian_in_pattern_order() {
+        let w = W512::from_limbs(|i| if i == 7 { 0b100 } else { 0 });
+        assert_eq!(w.first_set(), Some(450));
+        assert!(w.bit(450));
+        assert!(!w.bit(449));
+        assert!(!w.bit(386));
+    }
+
+    #[test]
+    fn w512_low_limbs_match_w256() {
+        let w512 = W512::from_limbs(|i| (i as u64 + 1) * 0x0101);
+        let w256 = W256::from_limbs(|i| (i as u64 + 1) * 0x0101);
+        for k in 0..256 {
+            assert_eq!(w512.bit(k), w256.bit(k), "bit {k}");
+        }
+    }
+
+    #[test]
+    fn lane_width_parses_and_displays() {
+        assert_eq!("64".parse::<LaneWidth>().unwrap(), LaneWidth::L64);
+        assert_eq!("256".parse::<LaneWidth>().unwrap(), LaneWidth::L256);
+        assert_eq!("512".parse::<LaneWidth>().unwrap(), LaneWidth::L512);
+        assert!("128".parse::<LaneWidth>().is_err());
+        assert_eq!(LaneWidth::default(), LaneWidth::L256);
+        assert_eq!(LaneWidth::L512.to_string(), "512");
+        for w in LaneWidth::ALL {
+            assert_eq!(w.to_string().parse::<LaneWidth>().unwrap(), w);
+        }
     }
 }

@@ -182,6 +182,32 @@ impl SeparationOracle {
             .sum()
     }
 
+    /// Distills the oracle into a gate-only neighbour-weight table for the
+    /// optimizer's incremental separation deltas (see
+    /// [`GateSeparationTable`]).
+    #[must_use]
+    pub fn gate_table(&self, netlist: &Netlist) -> GateSeparationTable {
+        let mut entries = Vec::new();
+        let mut offsets = Vec::with_capacity(netlist.node_count() + 1);
+        offsets.push(0u32);
+        for id in netlist.node_ids() {
+            if netlist.is_gate(id) {
+                entries.extend(
+                    self.near_slice(id)
+                        .iter()
+                        .filter(|&&(n, _)| n != id.0 && netlist.is_gate(NodeId(n)))
+                        .map(|&(n, d)| (n, self.rho - d)),
+                );
+            }
+            offsets.push(entries.len() as u32);
+        }
+        GateSeparationTable {
+            rho: u64::from(self.rho),
+            offsets,
+            entries,
+        }
+    }
+
     /// [`SeparationOracle::separation_to_module`] by membership test
     /// instead of member list: every member outside the gate's bounded
     /// neighbourhood contributes the saturated ρ, so the sum is
@@ -204,6 +230,59 @@ impl SeparationOracle {
         for &(n, d) in self.near_slice(gate) {
             if n != gate.0 && is_member(NodeId(n)) {
                 sum -= u64::from(self.rho - d);
+            }
+        }
+        sum
+    }
+}
+
+/// Flattened gate-to-gate neighbour weights for O(neighbourhood)
+/// separation deltas against a dense module-assignment vector.
+///
+/// Built once per netlist from a [`SeparationOracle`]; each gate's row
+/// holds only its *gate* neighbours within the bound, pre-weighted as
+/// `ρ − d`, so the incremental primitive
+///
+/// `S(gate → module) = ρ·(|module| − [gate ∈ module]) − Σ_{near ∩ module}(ρ − d)`
+///
+/// becomes one contiguous scan with direct `assignment[n] == module` tests
+/// — no hashing, no primary-input entries to skip, no closure dispatch.
+/// Results are bit-identical to
+/// [`SeparationOracle::separation_to_members`].
+#[derive(Debug, Clone)]
+pub struct GateSeparationTable {
+    rho: u64,
+    offsets: Vec<u32>,
+    /// `(gate node index, rho - distance)` per in-bound gate neighbour.
+    entries: Vec<(u32, u32)>,
+}
+
+impl GateSeparationTable {
+    /// Sum of saturated distances from `gate` to every gate assigned to
+    /// `module` in `assignment` (one entry per node; `gate` itself
+    /// contributes 0).
+    ///
+    /// `member_count` is the module's size and `includes_gate` whether
+    /// `gate` is currently a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range of the table's netlist.
+    #[must_use]
+    pub fn separation_to_members(
+        &self,
+        gate: NodeId,
+        member_count: usize,
+        includes_gate: bool,
+        assignment: &[u32],
+        module: u32,
+    ) -> u64 {
+        let i = gate.index();
+        let row = &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize];
+        let mut sum = self.rho * (member_count as u64 - u64::from(includes_gate));
+        for &(n, w) in row {
+            if assignment[n as usize] == module {
+                sum -= u64::from(w);
             }
         }
         sum
@@ -314,6 +393,35 @@ mod tests {
                     outside.contains(&n)
                 });
             assert_eq!(by_list, by_membership, "gate {g} vs outside");
+        }
+    }
+
+    #[test]
+    fn gate_table_matches_membership_form() {
+        let nl = data::ripple_adder(6);
+        let sep = SeparationOracle::new(&nl, 6);
+        let table = sep.gate_table(&nl);
+        let gates: Vec<NodeId> = nl.gate_ids().collect();
+        // Assign gates round-robin to three modules; inputs stay u32::MAX.
+        let mut assignment = vec![u32::MAX; nl.node_count()];
+        for (k, &g) in gates.iter().enumerate() {
+            assignment[g.index()] = (k % 3) as u32;
+        }
+        for module in 0..3u32 {
+            let members: Vec<NodeId> = gates
+                .iter()
+                .copied()
+                .filter(|g| assignment[g.index()] == module)
+                .collect();
+            for &g in &gates {
+                let includes = assignment[g.index()] == module;
+                let want = sep.separation_to_members(g, members.len(), includes, |n| {
+                    assignment[n.index()] == module
+                });
+                let got =
+                    table.separation_to_members(g, members.len(), includes, &assignment, module);
+                assert_eq!(want, got, "gate {g} module {module}");
+            }
         }
     }
 
