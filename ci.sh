@@ -2,11 +2,14 @@
 # CI entry point: formatting, lints, build, full test suite, and a perf
 # smoke of the simulation engines (which also regenerates BENCH_sim.json).
 # The smoke fails if, on c7552, the delta-engine single-gate-mutation
-# speedup drops below 3x full CSR re-evaluation or the fault-patch engine
-# drops below 3x vs per-fault full re-simulation; the full bench run
-# additionally gates the CSR/wide kernel at 3x vs seed, the delta engine
-# and the fault-patch engine at 5x, and (on machines with >= 4 cores) the
-# parallel fault sweep at 1.5x.
+# speedup drops below 3x full CSR re-evaluation, the fault-patch engine
+# drops below 3x vs per-fault full re-simulation, or (on c1908) the
+# patch-scored resynthesis candidates drop below 2x vs rebuild scoring at
+# bit-identical costs; the full bench run additionally gates the CSR/wide
+# kernel at 3x vs seed, the delta engine and the fault-patch engine at 5x,
+# resynthesis patch scoring at 3x on c7552, and (on machines with >= 4
+# cores, announced explicitly either way) the parallel fault sweep at
+# 1.5x.
 set -euo pipefail
 cd "$(dirname "$0")"
 

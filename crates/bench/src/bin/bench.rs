@@ -27,6 +27,12 @@
 //!   dirty-cone-only propagation) against a full CSR re-simulation of the
 //!   mutated circuit — the acceptance gate requires ≥ 5× (full mode) /
 //!   ≥ 3× (smoke) on the largest benchmark,
+//! * resynthesis candidate scoring (`resynth_patch`): the three
+//!   `cost_aware` candidates scored by patch apply→score→rollback on one
+//!   persistent `ResynthEval` vs materializing each candidate and
+//!   rebuilding a fresh `EvalContext`/`Evaluated` — chosen candidate and
+//!   costs asserted bit-identical, wall-clock gated ≥ 3× (full, c7552) /
+//!   ≥ 2× (smoke, c1908),
 //! * the evolution loop wall-clock with the incremental delay
 //!   re-simulation enabled vs forced onto the batch path.
 //!
@@ -367,6 +373,70 @@ fn main() {
         "pass": fault_patch_speedup >= fault_patch_threshold,
     });
 
+    // Resynthesis candidate scoring: the three cost_aware candidates
+    // (Original / Balanced / Chain) scored by patch apply->score->rollback
+    // on one persistent ResynthEval, against the rebuild path (materialize
+    // every candidate, fresh EvalContext + single-module Evaluated each).
+    // Both paths must pick the same candidate at bit-identical costs; the
+    // wall-clock ratio is gated (>= 2x smoke on c1908, >= 3x full on
+    // c7552 — the rebuild path's O(G^2) separation sum grows faster than
+    // the patch path's shared context build, so the ratio widens with
+    // circuit size).
+    println!("== resynthesis scoring: patch vs rebuild ==");
+    let rs_name = if opts.smoke { "c1908" } else { HEADLINE };
+    let rs_nl = &netlists[rs_name];
+    let rs_lib = Library::generic_1um();
+    let rs_cfg = PartitionConfig::paper_default();
+    let (_, rep_patch) = iddq_synth::cost_aware(rs_nl, &rs_lib, &rs_cfg);
+    let (_, rep_rebuild) = iddq_synth::cost_aware_rebuild(rs_nl, &rs_lib, &rs_cfg);
+    assert_eq!(
+        rep_patch.chosen, rep_rebuild.chosen,
+        "patch and rebuild scoring must choose the same candidate"
+    );
+    for (label, a, b) in [
+        (
+            "original",
+            rep_patch.original_cost,
+            rep_rebuild.original_cost,
+        ),
+        (
+            "balanced",
+            rep_patch.balanced_cost,
+            rep_rebuild.balanced_cost,
+        ),
+        ("chain", rep_patch.chain_cost, rep_rebuild.chain_cost),
+    ] {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label} cost must be bit-identical across scoring paths"
+        );
+    }
+    let t_rs_patch = secs_per_iter(window_ms, || {
+        std::hint::black_box(iddq_synth::cost_aware(rs_nl, &rs_lib, &rs_cfg));
+    });
+    let t_rs_rebuild = secs_per_iter(window_ms, || {
+        std::hint::black_box(iddq_synth::cost_aware_rebuild(rs_nl, &rs_lib, &rs_cfg));
+    });
+    let resynth_speedup = t_rs_rebuild / t_rs_patch;
+    let resynth_threshold = if opts.smoke { 2.0 } else { 3.0 };
+    println!(
+        "{rs_name:>8}: 3 candidates: patch {t_rs_patch:8.3} s | rebuild {t_rs_rebuild:8.3} s \
+         ({resynth_speedup:5.2}x), chosen {:?} at identical costs",
+        rep_patch.chosen,
+    );
+    let resynth_patch = serde_json::json!({
+        "circuit": rs_name,
+        "candidates": 3,
+        "patch_secs": t_rs_patch,
+        "rebuild_secs": t_rs_rebuild,
+        "speedup_vs_rebuild": resynth_speedup,
+        "chosen": format!("{:?}", rep_patch.chosen),
+        "costs_match_bitwise": true,
+        "acceptance_threshold": resynth_threshold,
+        "pass": resynth_speedup >= resynth_threshold,
+    });
+
     // Parallel fault-sweep throughput (vectors/second through the full
     // activation + detection pipeline). The parallel leg always runs at
     // >= 4 workers so the recorded speedup is the one the acceptance
@@ -507,6 +577,7 @@ fn main() {
         "evolution": evolution_entry,
         "fault_sweep": fault_sweep,
         "fault_patch": fault_patch,
+        "resynth_patch": resynth_patch,
     });
     std::fs::write(
         &opts.out,
@@ -541,8 +612,24 @@ fn main() {
         // (at the lower 3x threshold).
         failed = true;
     }
-    if fault_sweep_speedup < 1.5 {
-        if cores >= 4 {
+    if resynth_speedup < resynth_threshold {
+        eprintln!(
+            "ERROR: {rs_name} resynthesis patch-scoring speedup {resynth_speedup:.2}x is below \
+             the {resynth_threshold}x gate vs rebuild scoring"
+        );
+        // A work ratio like the delta/fault-patch gates: smoke gates too
+        // (at the lower 2x threshold).
+        failed = true;
+    }
+    // The parallel gate's armed/skipped state is always announced — a
+    // 1-core container must say *why* nothing is gated instead of
+    // silently arming at >= 4 cores.
+    if cores >= 4 {
+        println!(
+            "fault-sweep parallel gate ARMED ({cores} cores >= 4): measured \
+             {fault_sweep_speedup:.2}x at {threads} threads against the 1.5x gate"
+        );
+        if fault_sweep_speedup < 1.5 {
             // Parallel scaling is only meaningful with real cores; gate in
             // full mode where the windows are long enough to trust.
             let severity = if opts.smoke { "WARNING" } else { "ERROR" };
@@ -551,12 +638,13 @@ fn main() {
                  threads is below the 1.5x gate ({cores} cores available)"
             );
             failed |= !opts.smoke;
-        } else {
-            println!(
-                "note: fault-sweep parallel speedup {fault_sweep_speedup:.2}x not gated — only \
-                 {cores} core(s) available (gate applies at >= 4 cores)"
-            );
         }
+    } else {
+        println!(
+            "fault-sweep parallel gate SKIPPED: {cores} core(s) available, gate arms at >= 4 \
+             cores; measured {fault_sweep_speedup:.2}x at {threads} threads is recorded in \
+             BENCH_sim.json, not gated"
+        );
     }
     if failed {
         std::process::exit(1);

@@ -4,7 +4,7 @@
 //! ```text
 //! iddq synth  <netlist.bench> [--seed N] [--generations N] [--d N]
 //!             [--rstar MV] [--json PATH] [--dot PATH] [--modules PATH]
-//!             [--resynth]
+//!             [--resynth [--per-gate]]
 //! iddq gen    <circuit> [--seed N] [--out PATH]
 //! iddq test   <netlist.bench> [--seed N] [--vectors N]
 //! iddq sim    <netlist.bench> [--patterns N] [--seed N] [--threads N]
@@ -59,7 +59,10 @@ commands:
       --generations N     evolution generations (default 250)
       --d N               required discriminability (default 10)
       --rstar MV          virtual-rail budget in mV (default 200)
-      --resynth           run cost-aware resynthesis first
+      --resynth           run cost-aware resynthesis first (patch-scored
+                          candidates on one persistent evaluation)
+      --per-gate          with --resynth: choose the decomposition shape
+                          gate by gate (greedy patch probes)
       --json PATH         write the full report as JSON
       --dot PATH          write a module-coloured Graphviz graph
       --modules PATH      write `gate module` assignment lines
@@ -124,12 +127,26 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
     let library = Library::generic_1um();
 
     if rest.iter().any(|a| a == "--resynth") {
-        let (out, report) = iddq_synth::cost_aware(&cut, &library, &config);
-        eprintln!(
-            "resynthesis: original {:.1} / balanced {:.1} / chain {:.1} -> {:?}",
-            report.original_cost, report.balanced_cost, report.chain_cost, report.chosen
-        );
-        cut = out;
+        if rest.iter().any(|a| a == "--per-gate") {
+            let (out, report) = iddq_synth::cost_aware_per_gate(&cut, &library, &config);
+            eprintln!(
+                "resynthesis (per-gate): original {:.1} -> mixed {:.1} \
+                 ({} balanced, {} chain, {} kept)",
+                report.original_cost,
+                report.mixed_cost,
+                report.balanced_gates,
+                report.chain_gates,
+                report.kept_gates
+            );
+            cut = out;
+        } else {
+            let (out, report) = iddq_synth::cost_aware(&cut, &library, &config);
+            eprintln!(
+                "resynthesis: original {:.1} / balanced {:.1} / chain {:.1} -> {:?}",
+                report.original_cost, report.balanced_cost, report.chain_cost, report.chosen
+            );
+            cut = out;
+        }
     }
 
     let evo = EvolutionConfig {

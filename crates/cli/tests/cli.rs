@@ -329,3 +329,90 @@ fn sim_reports_throughput_and_checksum() {
 
     let _ = std::fs::remove_file(bench_path);
 }
+
+/// A tiny hand-written circuit with one wide gate, so `--resynth` has a
+/// real decomposition candidate to weigh.
+const WIDE_BENCH: &str = "\
+# tiny resynthesis target
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y)
+OUTPUT(z)
+w = NAND(a, b, c, d, e)
+y = NAND(w, a)
+z = NOR(w, e)
+";
+
+#[test]
+fn synth_resynth_reports_candidates_and_chosen() {
+    let bench_path = tmp("resynth.bench");
+    std::fs::write(&bench_path, WIDE_BENCH).expect("writable tmp");
+
+    let out = bin()
+        .arg("synth")
+        .arg(&bench_path)
+        .args(["--resynth", "--generations", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The report lands on stderr: all three candidate costs + the winner.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("resynthesis:"), "{err}");
+    for field in ["original", "balanced", "chain", "->"] {
+        assert!(err.contains(field), "missing `{field}` in: {err}");
+    }
+    // The flow still reports the synthesized result on stdout.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("modules"), "{text}");
+
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
+fn synth_resynth_per_gate_reports_mixed_cost() {
+    let bench_path = tmp("resynth-pg.bench");
+    std::fs::write(&bench_path, WIDE_BENCH).expect("writable tmp");
+
+    let out = bin()
+        .arg("synth")
+        .arg(&bench_path)
+        .args(["--resynth", "--per-gate", "--generations", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("resynthesis (per-gate):"), "{err}");
+    assert!(err.contains("mixed"), "{err}");
+
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
+fn synth_resynth_rejects_malformed_bench_with_code_1() {
+    let bench_path = tmp("malformed.bench");
+    std::fs::write(&bench_path, "INPUT(a)\nOUTPUT(y)\ny = FROB(a, what\n").expect("writable tmp");
+
+    let out = bin()
+        .arg("synth")
+        .arg(&bench_path)
+        .arg("--resynth")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("parse"), "{err}");
+
+    let _ = std::fs::remove_file(bench_path);
+}

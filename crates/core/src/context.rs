@@ -32,6 +32,9 @@ use crate::config::PartitionConfig;
 pub struct EvalContext<'a> {
     /// The circuit under test.
     pub netlist: &'a Netlist,
+    /// The cell library (kept for structure-patching consumers that must
+    /// re-derive per-gate rows when a gate's kind or arity changes).
+    pub library: &'a Library,
     /// Configuration (weights, constraints, sizing).
     pub config: PartitionConfig,
     /// Technology snapshot from the library.
@@ -62,7 +65,7 @@ pub struct EvalContext<'a> {
 impl<'a> EvalContext<'a> {
     /// Runs the one-time analyses.
     #[must_use]
-    pub fn new(netlist: &'a Netlist, library: &Library, config: PartitionConfig) -> Self {
+    pub fn new(netlist: &'a Netlist, library: &'a Library, config: PartitionConfig) -> Self {
         let tables = NodeTables::new(netlist, library);
         let times = levelize::transition_times(netlist, &tables.grid_delay);
         let horizon = times
@@ -83,6 +86,7 @@ impl<'a> EvalContext<'a> {
             .collect();
         EvalContext {
             netlist,
+            library,
             config,
             technology: library.technology().clone(),
             tables,
@@ -116,12 +120,13 @@ mod tests {
     use super::*;
     use iddq_netlist::data;
 
+    fn test_library() -> &'static Library {
+        static LIB: std::sync::OnceLock<Library> = std::sync::OnceLock::new();
+        LIB.get_or_init(Library::generic_1um)
+    }
+
     fn ctx_for(netlist: &Netlist) -> EvalContext<'_> {
-        EvalContext::new(
-            netlist,
-            &Library::generic_1um(),
-            PartitionConfig::paper_default(),
-        )
+        EvalContext::new(netlist, test_library(), PartitionConfig::paper_default())
     }
 
     #[test]

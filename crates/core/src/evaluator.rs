@@ -91,20 +91,21 @@ impl ModuleStats {
 }
 
 /// Derived per-module sensor figures, re-computed eagerly whenever the
-/// module's statistics change.
+/// module's statistics change. Shared with the structure-patching
+/// [`crate::resynth::ResynthEval`], whose scoring must be bit-identical.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct ModuleSensor {
+pub(crate) struct ModuleSensor {
     /// Sized (or fallback) bypass resistance, Ω.
-    rs_ohm: f64,
+    pub(crate) rs_ohm: f64,
     /// Contribution to the global sensor area.
-    area: f64,
+    pub(crate) area: f64,
     /// Per-vector decay+sense time Δ(τ) in ps (0 when infeasible).
-    delta_ps: f64,
+    pub(crate) delta_ps: f64,
     /// Constraint violations charged to this module (0–2).
-    violations: usize,
+    pub(crate) violations: usize,
 }
 
-fn sensor_figures(ctx: &EvalContext<'_>, s: &ModuleStats) -> ModuleSensor {
+pub(crate) fn sensor_figures(ctx: &EvalContext<'_>, s: &ModuleStats) -> ModuleSensor {
     let mut violations = 0usize;
     let leak_ua = s.leakage_na / 1000.0;
     if leak_ua <= 0.0 || ctx.technology.iddq_threshold_ua / leak_ua < ctx.config.d_min {
@@ -143,17 +144,65 @@ fn sensor_figures(ctx: &EvalContext<'_>, s: &ModuleStats) -> ModuleSensor {
     }
 }
 
-/// Degraded delay weight of one gate under its module's sensor (§3.2).
-fn gate_weight(ctx: &EvalContext<'_>, gate: NodeId, s: &ModuleStats, sens: &ModuleSensor) -> f64 {
-    let gi = gate.index();
+/// Degraded delay weight of one gate under its module's sensor (§3.2),
+/// from the gate's raw electrical row — the shared kernel both
+/// [`Evaluated`] and [`crate::resynth::ResynthEval`] call, so the two
+/// paths stay bit-identical.
+pub(crate) fn degraded_weight(
+    delay_ps: f64,
+    r_on_kohm: f64,
+    c_out_ff: f64,
+    s: &ModuleStats,
+    sens: &ModuleSensor,
+) -> f64 {
     let delta = delay_degradation(
         f64::from(s.peak_activity),
         sens.rs_ohm,
         s.rail_cap_ff,
+        r_on_kohm,
+        c_out_ff,
+    );
+    delay_ps * delta
+}
+
+/// Degraded delay weight of one gate under its module's sensor (§3.2).
+fn gate_weight(ctx: &EvalContext<'_>, gate: NodeId, s: &ModuleStats, sens: &ModuleSensor) -> f64 {
+    let gi = gate.index();
+    degraded_weight(
+        ctx.tables.delay_ps[gi],
         ctx.tables.r_on_kohm[gi],
         ctx.tables.c_out_ff[gi],
-    );
-    ctx.tables.delay_ps[gi] * delta
+        s,
+        sens,
+    )
+}
+
+/// Assembles the five cost terms from module-level aggregates — the tail
+/// of [`Evaluated::cost`], shared with the structure-patching evaluation
+/// (which supplies its *own* nominal delay, since patches move the
+/// critical path).
+pub(crate) fn assemble_cost(
+    modules: usize,
+    violations: usize,
+    sensor_area: f64,
+    total_separation: u64,
+    max_delta_ps: f64,
+    dbic_ps: f64,
+    nominal_delay_ps: f64,
+) -> CostBreakdown {
+    let d = nominal_delay_ps.max(f64::MIN_POSITIVE);
+    let vector_time_ps = dbic_ps + max_delta_ps;
+    CostBreakdown {
+        c1_area: sensor_area.max(1.0).ln(),
+        c2_delay: (dbic_ps - nominal_delay_ps) / d,
+        c3_interconnect: (1.0 + total_separation as f64).ln(),
+        c4_test_time: (vector_time_ps - nominal_delay_ps) / d,
+        c5_modules: modules as f64,
+        violations,
+        sensor_area,
+        dbic_ps,
+        vector_time_ps,
+    }
 }
 
 /// Full weighted longest-path sweep into `arr` (the batch path).
@@ -742,19 +791,15 @@ impl<'a> Evaluated<'a> {
                 .fold(0.0f64, f64::max)
         };
 
-        let d = ctx.nominal_delay_ps.max(f64::MIN_POSITIVE);
-        let vector_time_ps = dbic_ps + max_delta_ps;
-        CostBreakdown {
-            c1_area: sensor_area.max(1.0).ln(),
-            c2_delay: (dbic_ps - ctx.nominal_delay_ps) / d,
-            c3_interconnect: (1.0 + total_separation as f64).ln(),
-            c4_test_time: (vector_time_ps - ctx.nominal_delay_ps) / d,
-            c5_modules: k as f64,
+        assemble_cost(
+            k,
             violations,
             sensor_area,
+            total_separation,
+            max_delta_ps,
             dbic_ps,
-            vector_time_ps,
-        }
+            ctx.nominal_delay_ps,
+        )
     }
 
     /// Weighted scalar cost (the optimizer's objective).

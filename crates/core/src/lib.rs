@@ -27,6 +27,9 @@
 //!   (transition-time sets, separation oracle, nominal timing),
 //! * [`partition`] — the plain partition data type,
 //! * [`evaluator`] — incremental cost evaluation ([`Evaluated`]),
+//! * [`resynth`] — structure-patched cost evaluation ([`ResynthEval`]):
+//!   resynthesis candidates scored by patch apply/rollback on one
+//!   persistent evaluation instead of netlist rebuilds,
 //! * [`constraints`] — the feasibility function `r(Π)`,
 //! * [`start`] — §4.2 chain-grown start partitions,
 //! * [`evolution`] — §4 the evolution strategy,
@@ -62,6 +65,7 @@ pub mod evolution;
 pub mod flow;
 pub mod optimizers;
 pub mod partition;
+pub mod resynth;
 pub mod standard;
 pub mod start;
 
@@ -70,3 +74,4 @@ pub use context::EvalContext;
 pub use cost::CostBreakdown;
 pub use evaluator::Evaluated;
 pub use partition::Partition;
+pub use resynth::ResynthEval;

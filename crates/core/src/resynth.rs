@@ -1,0 +1,1035 @@
+//! Structure-patched cost evaluation — resynthesis candidates scored by
+//! patch instead of netlist rebuild.
+//!
+//! [`crate::Evaluated`] answers *"this partition, but with a gate moved"*
+//! incrementally; [`ResynthEval`] answers *"this circuit, but with a
+//! region rewritten"*. It owns a mutable mirror of the circuit structure
+//! plus every structure-derived quantity the paper's cost function needs —
+//! per-gate electrical rows, §3.1 transition-time sets, the §3.3
+//! separation neighbour weights, topological levels and the nominal
+//! critical path — and a [`Patch`] of gate edits (kind flips, rewires,
+//! node insertion/removal, see [`iddq_netlist::patch`]) refreshes only the
+//! state the edit actually dirtied:
+//!
+//! * **electrical rows** — a cell row depends only on `(kind, fan-in
+//!   count)`, so edited and inserted gates re-derive their row from the
+//!   library and nothing else moves;
+//! * **transition times** — recomputed through a level-ordered dirty-cone
+//!   walk that stops wherever the recomputed [`TimeSet`] is identical;
+//! * **separation** — the single-module separation is maintained through
+//!   the identity `S(M) = ρ·|pairs| − Σ_g W(g)/2`, where `W(g)` is the
+//!   gate's `ρ − d` neighbour weight: any pair whose bounded distance an
+//!   edit can move has both endpoints inside the ρ-ball of the edited
+//!   region (every new or vanished ≤ρ-path runs through an edited node),
+//!   so only that ball's `W` values are re-derived by bounded BFS;
+//! * **levels** — batched re-levelization with atomic cycle rejection,
+//!   exactly like the logic-side `DeltaSim`.
+//!
+//! [`ResynthEval::total_cost`] then assembles the paper's single-module
+//! cost (the partition-independent objective `iddq-synth` steers by)
+//! through the *same* kernels `Evaluated` uses. The result is bit-exact
+//! with the rebuild path — building the patched netlist via
+//! [`iddq_netlist::patch::materialize`], running a fresh
+//! [`EvalContext::new`] and scoring `Evaluated::new(…, single module)` —
+//! because every derived quantity is a pure function of the structure and
+//! both paths evaluate it with identical operation order. The proptests in
+//! `iddq-synth` pin this equality down to the last bit, and the
+//! `resynth_patch` bench section gates the speedup it buys.
+//!
+//! # Lifecycle
+//!
+//! [`ResynthEval::apply`] validates and applies a patch atomically (a
+//! rejected patch leaves the evaluation untouched), pushes the inverse
+//! onto an undo stack; [`ResynthEval::rollback`] re-applies the inverse
+//! through the same machinery — since every derived quantity is a pure
+//! deterministic function of structure, a rollback restores the
+//! evaluation bit-for-bit without snapshots; [`ResynthEval::commit`]
+//! makes the applied patches permanent. The candidate-search pattern is
+//! apply → score → rollback per candidate, commit for the winner.
+
+use iddq_celllib::NodeTables;
+use iddq_netlist::cone::DynamicCones;
+use iddq_netlist::patch::{Patch, PatchError, PatchOp};
+use iddq_netlist::{CellKind, NodeId, TimeSet};
+
+use crate::context::EvalContext;
+use crate::cost::CostBreakdown;
+use crate::evaluator::{assemble_cost, degraded_weight, sensor_figures, ModuleStats};
+
+/// One entry of the undo stack: the structural inverse plus snapshots of
+/// the derived state the apply overwrote, so a rollback restores instead
+/// of recomputing (the probe loops of `iddq-synth` roll back one patch
+/// per candidate — making that O(changed) instead of O(dirty-region)
+/// roughly halves the scoring cost).
+#[derive(Debug)]
+struct UndoFrame {
+    inverse: Patch,
+    /// `(node, previous set)` for every transition-time set the apply
+    /// changed or popped, in change order.
+    times_log: Vec<(u32, TimeSet)>,
+    /// `(gate, previous weight)` for every separation weight the apply
+    /// changed or popped.
+    w_log: Vec<(u32, u64)>,
+    /// `Σ near_w` before the apply.
+    sum_w_before: u64,
+}
+
+/// Work accounting of one [`ResynthEval::apply`] / rollback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatchImpact {
+    /// Nodes visited by the transition-time dirty-cone walk.
+    pub times_visited: usize,
+    /// Gates whose separation neighbour weight was re-derived.
+    pub separation_recomputed: usize,
+}
+
+/// A persistent, structure-patchable single-module cost evaluation (see
+/// the [module docs](self)).
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_celllib::Library;
+/// use iddq_core::{config::PartitionConfig, resynth::ResynthEval, EvalContext};
+/// use iddq_netlist::patch::{Patch, PatchOp};
+/// use iddq_netlist::{data, CellKind};
+///
+/// let c17 = data::c17();
+/// let lib = Library::generic_1um();
+/// let ctx = EvalContext::new(&c17, &lib, PartitionConfig::paper_default());
+/// let mut eval = ResynthEval::new(&ctx);
+/// let base = eval.total_cost();
+/// // Score "c17 with gate 22 turned into an AND" without a rebuild.
+/// let g22 = c17.find("22").unwrap();
+/// eval.apply(&Patch::single(PatchOp::SetKind { gate: g22, kind: CellKind::And }))
+///     .unwrap();
+/// let _mutated = eval.total_cost();
+/// eval.rollback();
+/// assert_eq!(eval.total_cost().to_bits(), base.to_bits());
+/// ```
+#[derive(Debug)]
+pub struct ResynthEval<'a> {
+    ctx: &'a EvalContext<'a>,
+    /// `None` for primary inputs.
+    kinds: Vec<Option<CellKind>>,
+    /// Levels + fan-in/fanout adjacency + walks (the structure mirror).
+    cones: DynamicCones,
+    /// Per-node electrical rows, maintained under kind/arity changes.
+    tables: NodeTables,
+    /// §3.1 transition-time sets, maintained by dirty-cone walks.
+    times: Vec<TimeSet>,
+    /// Per-gate `Σ (ρ − d)` neighbour weight (0 for primary inputs).
+    near_w: Vec<u64>,
+    /// `Σ_g near_w[g]` — twice the in-bound pair weight.
+    sum_w: u64,
+    gate_count: usize,
+    outputs: Vec<u32>,
+    /// Undo frames (inverse patch + derived-state snapshots), innermost
+    /// last.
+    undo: Vec<UndoFrame>,
+    /// Per-apply change logs, drained into the [`UndoFrame`] on success
+    /// and discarded on rejection (the repair pass recomputes instead).
+    times_log: Vec<(u32, TimeSet)>,
+    w_log: Vec<(u32, u64)>,
+    /// Node ids sorted by (level, id) — a topological order over the
+    /// current structure, rebuilt lazily.
+    order: Vec<u32>,
+    order_dirty: bool,
+    /// Nominal critical-path delay of the current structure, recomputed
+    /// lazily (patches move both delays and paths).
+    nominal_delay_ps: f64,
+    nominal_dirty: bool,
+    // Scoring scratch (reused across `cost` calls).
+    hist_cur: Vec<f64>,
+    hist_cnt: Vec<u32>,
+    weight: Vec<f64>,
+    arr: Vec<f64>,
+}
+
+impl<'a> ResynthEval<'a> {
+    /// Mirrors the context's netlist and seeds every derived quantity from
+    /// the context's precomputed analyses (no BFS, no sweep).
+    #[must_use]
+    pub fn new(ctx: &'a EvalContext<'a>) -> Self {
+        let nl = ctx.netlist;
+        let kinds: Vec<Option<CellKind>> = nl
+            .node_ids()
+            .map(|id| nl.node(id).kind().cell_kind())
+            .collect();
+        let near_w: Vec<u64> = nl
+            .node_ids()
+            .map(|id| {
+                if nl.is_gate(id) {
+                    ctx.sep_table.near_weight(id)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let sum_w = near_w.iter().sum();
+        let n = nl.node_count();
+        ResynthEval {
+            ctx,
+            kinds,
+            cones: DynamicCones::new(nl),
+            tables: ctx.tables.clone(),
+            times: ctx.times.clone(),
+            near_w,
+            sum_w,
+            gate_count: ctx.gates.len(),
+            outputs: nl.outputs().iter().map(|o| o.0).collect(),
+            undo: Vec::new(),
+            times_log: Vec::new(),
+            w_log: Vec::new(),
+            order: Vec::new(),
+            order_dirty: true,
+            nominal_delay_ps: ctx.nominal_delay_ps,
+            nominal_dirty: false,
+            hist_cur: Vec::new(),
+            hist_cnt: Vec::new(),
+            weight: vec![0.0; n],
+            arr: vec![0.0; n],
+        }
+    }
+
+    /// Current node count (patches grow and shrink it).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Current gate count.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gate_count
+    }
+
+    /// Number of applied-but-uncommitted patches on the undo stack.
+    #[must_use]
+    pub fn pending_patches(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Applies a patch: structural edit, batched re-levelization, then a
+    /// refresh of the dirtied derived state. The inverse lands on the
+    /// undo stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PatchError`] (evaluation unchanged) when an op targets
+    /// a non-gate, uses an illegal arity or id, would create a cycle, or
+    /// is a [`PatchOp::SetForce`] (no cost semantics).
+    pub fn apply(&mut self, patch: &Patch) -> Result<PatchImpact, PatchError> {
+        let sum_w_before = self.sum_w;
+        self.times_log.clear();
+        self.w_log.clear();
+        let (inverse, impact) = self.apply_inner(patch)?;
+        self.undo.push(UndoFrame {
+            inverse,
+            times_log: std::mem::take(&mut self.times_log),
+            w_log: std::mem::take(&mut self.w_log),
+            sum_w_before,
+        });
+        Ok(impact)
+    }
+
+    /// Rolls the most recent uncommitted patch back: the structural
+    /// inverse is re-applied and the derived state is *restored* from the
+    /// frame's snapshots (bit-identical to the state before the matching
+    /// apply, and O(changed entries) instead of a dirty-region
+    /// recomputation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no patch to roll back.
+    pub fn rollback(&mut self) -> PatchImpact {
+        let frame = self.undo.pop().expect("no patch to roll back");
+        self.times_log.clear();
+        self.w_log.clear();
+        self.apply_structure(&frame.inverse)
+            .unwrap_or_else(|_| panic!("inverse of an accepted patch is always valid"));
+        let relevel_seeds: Vec<u32> = frame
+            .inverse
+            .ops
+            .iter()
+            .filter(|op| matches!(op, PatchOp::SetFanin { .. }))
+            .map(|op| op.gate().0)
+            .filter(|&g| (g as usize) < self.kinds.len())
+            .filter(|&g| self.cones.local_level(g as usize) != self.cones.level(g as usize))
+            .collect();
+        if !relevel_seeds.is_empty() {
+            self.cones
+                .relevel(&relevel_seeds)
+                .expect("restoring the original levels cannot fail");
+        }
+        // Restore snapshots newest-first; entries for nodes the structural
+        // revert popped again (insertions of the rolled-back patch) are
+        // skipped.
+        self.times_log.clear();
+        self.w_log.clear();
+        let alive = self.kinds.len();
+        let mut impact = PatchImpact::default();
+        for (i, ts) in frame.times_log.into_iter().rev() {
+            if (i as usize) < alive {
+                self.times[i as usize] = ts;
+                impact.times_visited += 1;
+            }
+        }
+        for (g, w) in frame.w_log.into_iter().rev() {
+            if (g as usize) < alive {
+                self.near_w[g as usize] = w;
+                impact.separation_recomputed += 1;
+            }
+        }
+        self.sum_w = frame.sum_w_before;
+        self.order_dirty = true;
+        self.nominal_dirty = true;
+        impact
+    }
+
+    /// Makes all applied patches permanent by clearing the undo stack.
+    pub fn commit(&mut self) {
+        self.undo.clear();
+    }
+
+    fn apply_inner(&mut self, patch: &Patch) -> Result<(Patch, PatchImpact), PatchError> {
+        let rho = self.ctx.config.rho;
+        // ρ-ball of the adjacency edits over the *pre-patch* graph: every
+        // pair whose bounded distance the patch can move has both
+        // endpoints in here (or in the post-patch ball computed later).
+        let old_seeds: Vec<u32> = patch
+            .ops
+            .iter()
+            .filter(|op| op.changes_adjacency())
+            .map(|op| op.gate().0)
+            .filter(|&g| (g as usize) < self.kinds.len())
+            .collect();
+        let old_ball = self
+            .cones
+            .undirected_ball(&old_seeds, rho.saturating_sub(1));
+
+        let inverse = match self.apply_structure(patch) {
+            Ok(inverse) => inverse,
+            Err((e, _reverted_prefix)) => {
+                // Mid-patch validation failure: the structural prefix was
+                // already reverted by `apply_structure`; repair the
+                // derived state (deterministic recomputation over the
+                // restored structure reproduces the original values).
+                self.refresh(patch, &old_ball);
+                return Err(e);
+            }
+        };
+        // Batched re-levelization, seeded by the rewired gates whose local
+        // level moved (the airtight cycle prune, as in `DeltaSim`).
+        let relevel_seeds: Vec<u32> = patch
+            .ops
+            .iter()
+            .filter(|op| matches!(op, PatchOp::SetFanin { .. }))
+            .map(|op| op.gate().0)
+            .filter(|&g| (g as usize) < self.kinds.len())
+            .filter(|&g| self.cones.local_level(g as usize) != self.cones.level(g as usize))
+            .collect();
+        if !relevel_seeds.is_empty() {
+            if let Err(on) = self.cones.relevel(&relevel_seeds) {
+                // Cycle: levels untouched (atomic relevel); revert the
+                // structural edit and repair derived state.
+                self.apply_structure(&inverse)
+                    .unwrap_or_else(|_| panic!("re-applying an inverse cannot fail"));
+                self.refresh(patch, &old_ball);
+                return Err(PatchError::Cycle(NodeId(on)));
+            }
+        }
+        let impact = self.refresh(patch, &old_ball);
+        Ok((inverse, impact))
+    }
+
+    /// Applies the structural ops in order, returning the inverse patch.
+    /// On mid-patch validation failure the already-applied prefix is
+    /// reverted (structure only — the caller repairs derived state) and
+    /// the inverse of that reverted prefix is returned alongside the
+    /// error.
+    #[allow(clippy::result_large_err)]
+    fn apply_structure(&mut self, patch: &Patch) -> Result<Patch, (PatchError, Patch)> {
+        let mut inverse: Vec<PatchOp> = Vec::with_capacity(patch.ops.len());
+        for op in &patch.ops {
+            if let Err(e) = self.validate_op(op) {
+                for inv in inverse.iter().rev() {
+                    self.apply_op(inv);
+                }
+                return Err((e, Patch { ops: inverse }));
+            }
+            inverse.push(self.apply_op(op));
+        }
+        inverse.reverse();
+        Ok(Patch { ops: inverse })
+    }
+
+    fn validate_op(&self, op: &PatchOp) -> Result<(), PatchError> {
+        let gate = op.gate();
+        let gi = gate.index();
+        match op {
+            PatchOp::SetForce { .. } => Err(PatchError::Unsupported(
+                "value forces have no cost semantics",
+            )),
+            PatchOp::AddGate { kind, fanin, .. } => {
+                let expected = self.kinds.len() as u32;
+                if gate.0 != expected {
+                    return Err(PatchError::NotAppend { gate, expected });
+                }
+                if !kind.accepts_fanin(fanin.len()) {
+                    return Err(PatchError::BadArity {
+                        gate,
+                        kind: *kind,
+                        got: fanin.len(),
+                    });
+                }
+                for &f in fanin {
+                    if f.index() >= self.kinds.len() {
+                        return Err(PatchError::UnknownNode(f));
+                    }
+                }
+                Ok(())
+            }
+            PatchOp::SetKind { kind, .. } => {
+                self.gate_kind(gate)?;
+                let arity = self.cones.fanin(gi).len();
+                if !kind.accepts_fanin(arity) {
+                    return Err(PatchError::BadArity {
+                        gate,
+                        kind: *kind,
+                        got: arity,
+                    });
+                }
+                Ok(())
+            }
+            PatchOp::SetFanin { fanin, .. } => {
+                let kind = self.gate_kind(gate)?;
+                if !kind.accepts_fanin(fanin.len()) {
+                    return Err(PatchError::BadArity {
+                        gate,
+                        kind,
+                        got: fanin.len(),
+                    });
+                }
+                for &f in fanin {
+                    if f.index() >= self.kinds.len() {
+                        return Err(PatchError::UnknownNode(f));
+                    }
+                }
+                Ok(())
+            }
+            PatchOp::RemoveGate { .. } => {
+                let _ = self.gate_kind(gate)?;
+                // A primary output is load-bearing even with no gate
+                // consumers: removal would leave a dangling output id.
+                if gi + 1 != self.kinds.len()
+                    || !self.cones.fanout(gi).is_empty()
+                    || self.outputs.contains(&gate.0)
+                {
+                    return Err(PatchError::NotRemovable(gate));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn gate_kind(&self, gate: NodeId) -> Result<CellKind, PatchError> {
+        let gi = gate.index();
+        if gi >= self.kinds.len() {
+            return Err(PatchError::UnknownNode(gate));
+        }
+        self.kinds[gi].ok_or(PatchError::NotAGate(gate))
+    }
+
+    /// Applies one validated op (structure + electrical row + placeholder
+    /// growth of the derived vectors), returning its inverse.
+    fn apply_op(&mut self, op: &PatchOp) -> PatchOp {
+        match op {
+            PatchOp::SetKind { gate, kind } => {
+                let gi = gate.index();
+                let old = self.kinds[gi].expect("validated as gate");
+                self.kinds[gi] = Some(*kind);
+                self.set_table_row(gi);
+                PatchOp::SetKind {
+                    gate: *gate,
+                    kind: old,
+                }
+            }
+            PatchOp::SetFanin { gate, fanin } => {
+                let gi = gate.index();
+                let new: Vec<u32> = fanin.iter().map(|f| f.0).collect();
+                let old = self.cones.set_fanin(gi, &new);
+                if old.len() != new.len() {
+                    // The cell row is keyed by (kind, arity).
+                    self.set_table_row(gi);
+                }
+                PatchOp::SetFanin {
+                    gate: *gate,
+                    fanin: old.into_iter().map(NodeId).collect(),
+                }
+            }
+            PatchOp::AddGate { gate, kind, fanin } => {
+                let list: Vec<u32> = fanin.iter().map(|f| f.0).collect();
+                self.kinds.push(Some(*kind));
+                self.cones.push_node(&list);
+                self.push_table_row();
+                self.set_table_row(gate.index());
+                self.times.push(TimeSet::new());
+                self.near_w.push(0);
+                self.gate_count += 1;
+                self.weight.push(0.0);
+                self.arr.push(0.0);
+                PatchOp::RemoveGate { gate: *gate }
+            }
+            PatchOp::RemoveGate { gate } => {
+                let kind = self.kinds.pop().flatten().expect("validated gate");
+                let fanin = self.cones.pop_node();
+                self.pop_table_row();
+                let popped_times = self.times.pop().expect("aligned");
+                self.times_log.push((gate.0, popped_times));
+                // Partner weights in the ball are re-derived by `refresh`;
+                // the popped gate's own weight leaves the sum here (and
+                // lands in the log so a rollback can restore it).
+                let popped_w = self.near_w.pop().expect("aligned");
+                self.sum_w -= popped_w;
+                self.w_log.push((gate.0, popped_w));
+                self.gate_count -= 1;
+                self.weight.pop();
+                self.arr.pop();
+                PatchOp::AddGate {
+                    gate: *gate,
+                    kind,
+                    fanin: fanin.into_iter().map(NodeId).collect(),
+                }
+            }
+            PatchOp::SetForce { .. } => unreachable!("rejected by validation"),
+        }
+    }
+
+    /// Re-derives the electrical row of gate `i` from the library — the
+    /// same lookup [`NodeTables::new`] performs, so rows stay bit-exact
+    /// with a rebuilt context.
+    fn set_table_row(&mut self, i: usize) {
+        let kind = self.kinds[i].expect("gates only");
+        let cell = self.ctx.library.cell(kind, self.cones.fanin(i).len());
+        let t = &mut self.tables;
+        t.delay_ps[i] = cell.delay_ps;
+        t.grid_delay[i] = self.ctx.technology.to_grid(cell.delay_ps);
+        t.peak_current_ua[i] = cell.peak_current_ua;
+        t.r_on_kohm[i] = cell.r_on_kohm;
+        t.c_out_ff[i] = cell.c_out_ff;
+        t.c_rail_ff[i] = cell.c_rail_ff;
+        t.leakage_na[i] = cell.leakage_na;
+        t.area[i] = cell.area;
+    }
+
+    fn push_table_row(&mut self) {
+        let t = &mut self.tables;
+        t.delay_ps.push(0.0);
+        t.grid_delay.push(0);
+        t.peak_current_ua.push(0.0);
+        t.r_on_kohm.push(0.0);
+        t.c_out_ff.push(0.0);
+        t.c_rail_ff.push(0.0);
+        t.leakage_na.push(0.0);
+        t.area.push(0.0);
+    }
+
+    fn pop_table_row(&mut self) {
+        let t = &mut self.tables;
+        t.delay_ps.pop();
+        t.grid_delay.pop();
+        t.peak_current_ua.pop();
+        t.r_on_kohm.pop();
+        t.c_out_ff.pop();
+        t.c_rail_ff.pop();
+        t.leakage_na.pop();
+        t.area.pop();
+    }
+
+    /// Refreshes the structure-derived state the (applied or reverted)
+    /// ops may have dirtied: transition-time sets through a dirty-cone
+    /// walk, separation neighbour weights through bounded BFS over the
+    /// union of the pre- and post-edit ρ-balls, and the lazy
+    /// order/nominal-delay flags.
+    fn refresh(&mut self, patch: &Patch, old_ball: &[u32]) -> PatchImpact {
+        let rho = self.ctx.config.rho;
+        let alive = self.kinds.len();
+        // --- transition times -------------------------------------------
+        let time_seeds: Vec<u32> = patch
+            .ops
+            .iter()
+            .map(|op| op.gate().0)
+            .filter(|&g| (g as usize) < alive)
+            .collect();
+        let ResynthEval {
+            ref mut cones,
+            ref mut times,
+            ref mut times_log,
+            ref tables,
+            ref kinds,
+            ..
+        } = *self;
+        let times_visited = cones.walker().walk(time_seeds.iter().copied(), |i, fanin| {
+            let i = i as usize;
+            if kinds[i].is_none() {
+                // Primary inputs transition at t = 0, always.
+                return false;
+            }
+            let d = tables.grid_delay[i];
+            let mut acc = TimeSet::new();
+            for &f in fanin {
+                acc.union_with_shifted(&times[f as usize], d);
+            }
+            if acc == times[i] {
+                false
+            } else {
+                times_log.push((i as u32, std::mem::replace(&mut times[i], acc)));
+                true
+            }
+        });
+        // --- separation neighbour weights -------------------------------
+        let new_seeds: Vec<u32> = patch
+            .ops
+            .iter()
+            .filter(|op| op.changes_adjacency())
+            .map(|op| op.gate().0)
+            .filter(|&g| (g as usize) < alive)
+            .collect();
+        let mut ball = self
+            .cones
+            .undirected_ball(&new_seeds, rho.saturating_sub(1));
+        ball.extend(old_ball.iter().copied().filter(|&g| (g as usize) < alive));
+        ball.sort_unstable();
+        ball.dedup();
+        let ResynthEval {
+            ref mut cones,
+            ref kinds,
+            ref mut near_w,
+            ref mut sum_w,
+            ref mut w_log,
+            ..
+        } = *self;
+        let mut separation_recomputed = 0usize;
+        for &g in &ball {
+            if kinds[g as usize].is_none() {
+                continue;
+            }
+            let mut w = 0u64;
+            cones.bounded_bfs(g, rho.saturating_sub(1), |n, d| {
+                if kinds[n as usize].is_some() {
+                    w += u64::from(rho - d);
+                }
+            });
+            let old = near_w[g as usize];
+            if w != old {
+                w_log.push((g, old));
+                *sum_w += w;
+                *sum_w -= old;
+                near_w[g as usize] = w;
+            }
+            separation_recomputed += 1;
+        }
+        self.order_dirty = true;
+        self.nominal_dirty = true;
+        PatchImpact {
+            times_visited,
+            separation_recomputed,
+        }
+    }
+
+    /// Rebuilds the lazy (level, id)-sorted topological order and the
+    /// nominal critical-path delay when stale.
+    fn settle_structure(&mut self) {
+        if self.order_dirty {
+            let n = self.kinds.len();
+            self.order = (0..n as u32).collect();
+            let cones = &self.cones;
+            self.order
+                .sort_unstable_by_key(|&i| (cones.level(i as usize), i));
+            self.order_dirty = false;
+        }
+        if self.nominal_dirty {
+            for &i in &self.order {
+                let i = i as usize;
+                let in_max = self
+                    .cones
+                    .fanin(i)
+                    .iter()
+                    .map(|&f| self.arr[f as usize])
+                    .fold(0.0f64, f64::max);
+                self.arr[i] = in_max + self.tables.delay_ps[i];
+            }
+            self.nominal_delay_ps = self
+                .outputs
+                .iter()
+                .map(|&o| self.arr[o as usize])
+                .fold(0.0f64, f64::max);
+            self.nominal_dirty = false;
+        }
+    }
+
+    /// Full cost breakdown of the current (patched) structure as one
+    /// module — bit-exact with `Evaluated::new(&EvalContext::new(
+    /// materialized, …), single module).cost()`.
+    pub fn cost(&mut self) -> CostBreakdown {
+        self.settle_structure();
+        let n = self.kinds.len();
+        // Histogram horizon: one past the largest transition time.
+        let horizon = self
+            .times
+            .iter()
+            .filter_map(TimeSet::max)
+            .max()
+            .map_or(1, |t| t as usize + 1);
+        self.hist_cur.clear();
+        self.hist_cur.resize(horizon, 0.0);
+        self.hist_cnt.clear();
+        self.hist_cnt.resize(horizon, 0);
+        let mut leakage_na = 0.0f64;
+        let mut rail_cap_ff = 0.0f64;
+        let mut cell_area = 0.0f64;
+        for i in 0..n {
+            if self.kinds[i].is_none() {
+                continue;
+            }
+            for t in self.times[i].iter() {
+                self.hist_cur[t as usize] += self.tables.peak_current_ua[i];
+                self.hist_cnt[t as usize] += 1;
+            }
+            leakage_na += self.tables.leakage_na[i];
+            rail_cap_ff += self.tables.c_rail_ff[i];
+            cell_area += self.tables.area[i];
+        }
+        let pairs = (self.gate_count as u64) * (self.gate_count as u64 - 1) / 2;
+        debug_assert_eq!(self.sum_w % 2, 0, "neighbour weights are symmetric");
+        let separation = u64::from(self.ctx.config.rho) * pairs - self.sum_w / 2;
+        let stats = ModuleStats {
+            current_hist: Vec::new(),
+            count_hist: Vec::new(),
+            peak_current_ua: self.hist_cur.iter().copied().fold(0.0, f64::max),
+            peak_activity: self.hist_cnt.iter().copied().max().unwrap_or(0),
+            leakage_na,
+            rail_cap_ff,
+            cell_area,
+            separation,
+        };
+        let sens = sensor_figures(self.ctx, &stats);
+        // Degraded longest path over the current structure: one weight
+        // pass plus one level-ordered arrival sweep.
+        for i in 0..n {
+            self.weight[i] = match self.kinds[i] {
+                Some(_) => degraded_weight(
+                    self.tables.delay_ps[i],
+                    self.tables.r_on_kohm[i],
+                    self.tables.c_out_ff[i],
+                    &stats,
+                    &sens,
+                ),
+                None => 0.0,
+            };
+        }
+        for &i in &self.order {
+            let i = i as usize;
+            let in_max = self
+                .cones
+                .fanin(i)
+                .iter()
+                .map(|&f| self.arr[f as usize])
+                .fold(0.0f64, f64::max);
+            self.arr[i] = in_max + self.weight[i];
+        }
+        let dbic_ps = self
+            .outputs
+            .iter()
+            .map(|&o| self.arr[o as usize])
+            .fold(0.0f64, f64::max);
+        // The `arr` scratch now holds degraded arrivals; the nominal sweep
+        // in `settle_structure` rewrites it next time, keyed by
+        // `nominal_dirty`.
+        self.nominal_dirty = true;
+        assemble_cost(
+            1,
+            sens.violations,
+            0.0 + sens.area,
+            separation,
+            0.0f64.max(sens.delta_ps),
+            dbic_ps,
+            self.nominal_delay_ps,
+        )
+    }
+
+    /// Weighted scalar cost of the current structure (the resynthesis
+    /// objective).
+    #[must_use]
+    pub fn total_cost(&mut self) -> f64 {
+        self.cost()
+            .total(&self.ctx.config.weights, self.ctx.config.violation_penalty)
+    }
+
+    /// Recomputes every derived quantity from scratch and asserts it
+    /// matches the incrementally maintained state — the correctness
+    /// oracle for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any maintained quantity drifted from the ground truth.
+    pub fn verify_consistency(&mut self) {
+        self.settle_structure();
+        let n = self.kinds.len();
+        let rho = self.ctx.config.rho;
+        // Electrical rows.
+        for i in 0..n {
+            if let Some(kind) = self.kinds[i] {
+                let cell = self.ctx.library.cell(kind, self.cones.fanin(i).len());
+                assert_eq!(self.tables.delay_ps[i].to_bits(), cell.delay_ps.to_bits());
+                assert_eq!(
+                    self.tables.peak_current_ua[i].to_bits(),
+                    cell.peak_current_ua.to_bits()
+                );
+            }
+        }
+        // Transition times, recomputed in topological order.
+        let mut want: Vec<TimeSet> = vec![TimeSet::new(); n];
+        for &i in &self.order {
+            let i = i as usize;
+            want[i] = if self.kinds[i].is_none() {
+                TimeSet::singleton(0)
+            } else {
+                let d = self.tables.grid_delay[i];
+                let mut acc = TimeSet::new();
+                for &f in self.cones.fanin(i) {
+                    acc.union_with_shifted(&want[f as usize], d);
+                }
+                acc
+            };
+            assert_eq!(want[i], self.times[i], "transition times of node {i}");
+        }
+        // Separation neighbour weights.
+        let mut sum = 0u64;
+        for g in 0..n as u32 {
+            if self.kinds[g as usize].is_none() {
+                assert_eq!(self.near_w[g as usize], 0);
+                continue;
+            }
+            let kinds = &self.kinds;
+            let mut w = 0u64;
+            self.cones.bounded_bfs(g, rho.saturating_sub(1), |m, d| {
+                if kinds[m as usize].is_some() {
+                    w += u64::from(rho - d);
+                }
+            });
+            assert_eq!(w, self.near_w[g as usize], "neighbour weight of gate {g}");
+            sum += w;
+        }
+        assert_eq!(sum, self.sum_w);
+        // Levels.
+        for i in 0..n {
+            assert_eq!(
+                self.cones.level(i),
+                self.cones.local_level(i),
+                "level of node {i}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionConfig;
+    use crate::evaluator::Evaluated;
+    use crate::partition::Partition;
+    use iddq_celllib::Library;
+    use iddq_netlist::patch::materialize;
+    use iddq_netlist::{data, Netlist};
+
+    fn rebuild_cost(nl: &Netlist, lib: &Library, cfg: &PartitionConfig) -> f64 {
+        let ctx = EvalContext::new(nl, lib, cfg.clone());
+        Evaluated::new(&ctx, Partition::single_module(nl)).total_cost()
+    }
+
+    #[test]
+    fn fresh_eval_matches_evaluated_bitwise() {
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        for nl in [data::c17(), data::ripple_adder(6)] {
+            let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+            let mut eval = ResynthEval::new(&ctx);
+            let want = Evaluated::new(&ctx, Partition::single_module(&nl)).total_cost();
+            assert_eq!(eval.total_cost().to_bits(), want.to_bits());
+            eval.verify_consistency();
+        }
+    }
+
+    #[test]
+    fn kind_flip_matches_rebuild_and_rolls_back() {
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let nl = data::c17();
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let mut eval = ResynthEval::new(&ctx);
+        let base = eval.total_cost();
+        let patch = Patch::single(PatchOp::SetKind {
+            gate: nl.find("22").unwrap(),
+            kind: CellKind::And,
+        });
+        eval.apply(&patch).unwrap();
+        eval.verify_consistency();
+        let patched = eval.total_cost();
+        let oracle = rebuild_cost(&materialize(&nl, &patch).unwrap(), &lib, &cfg);
+        assert_eq!(patched.to_bits(), oracle.to_bits());
+        eval.rollback();
+        assert_eq!(eval.total_cost().to_bits(), base.to_bits());
+        eval.verify_consistency();
+    }
+
+    #[test]
+    fn region_rewrite_matches_rebuild_bitwise() {
+        // The decomposition patch shape: insert a 2-input tree, rewire
+        // the consumer — scored by patch vs a full rebuild of the
+        // materialized candidate.
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let nl = data::ripple_adder(5);
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let mut eval = ResynthEval::new(&ctx);
+        let base = eval.total_cost();
+        let gate = nl
+            .gate_ids()
+            .find(|&g| nl.node(g).fanin().len() >= 2)
+            .unwrap();
+        let leaves = nl.node(gate).fanin().to_vec();
+        let n = nl.node_count() as u32;
+        let patch = Patch {
+            ops: vec![
+                PatchOp::AddGate {
+                    gate: NodeId(n),
+                    kind: CellKind::And,
+                    fanin: leaves.clone(),
+                },
+                PatchOp::AddGate {
+                    gate: NodeId(n + 1),
+                    kind: CellKind::Not,
+                    fanin: vec![NodeId(n)],
+                },
+                PatchOp::SetFanin {
+                    gate,
+                    fanin: vec![NodeId(n + 1), leaves[0]],
+                },
+            ],
+        };
+        eval.apply(&patch).unwrap();
+        eval.verify_consistency();
+        let patched = eval.total_cost();
+        let oracle = rebuild_cost(&materialize(&nl, &patch).unwrap(), &lib, &cfg);
+        assert_eq!(patched.to_bits(), oracle.to_bits());
+        eval.rollback();
+        eval.verify_consistency();
+        assert_eq!(eval.total_cost().to_bits(), base.to_bits());
+        assert_eq!(eval.node_count(), nl.node_count());
+    }
+
+    #[test]
+    fn rejected_patches_leave_the_evaluation_untouched() {
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let nl = data::c17();
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let mut eval = ResynthEval::new(&ctx);
+        let base = eval.total_cost();
+        let g10 = nl.find("10").unwrap();
+        let g22 = nl.find("22").unwrap();
+        // Cycle.
+        let err = eval
+            .apply(&Patch::single(PatchOp::SetFanin {
+                gate: g10,
+                fanin: vec![g22, nl.find("3").unwrap()],
+            }))
+            .unwrap_err();
+        assert!(matches!(err, PatchError::Cycle(_)));
+        // Mid-patch failure after an insertion.
+        let err = eval
+            .apply(&Patch {
+                ops: vec![
+                    PatchOp::AddGate {
+                        gate: NodeId(nl.node_count() as u32),
+                        kind: CellKind::Not,
+                        fanin: vec![g10],
+                    },
+                    PatchOp::SetKind {
+                        gate: g10,
+                        kind: CellKind::Not,
+                    },
+                ],
+            })
+            .unwrap_err();
+        assert!(matches!(err, PatchError::BadArity { .. }));
+        // Forces are rejected outright.
+        let err = eval
+            .apply(&Patch::single(PatchOp::SetForce {
+                node: g10,
+                force: Some(true),
+            }))
+            .unwrap_err();
+        assert!(matches!(err, PatchError::Unsupported(_)));
+        // The tail node 23 is a consumer-free gate, but it is a primary
+        // output: popping it would dangle the output list.
+        let tail = NodeId(nl.node_count() as u32 - 1);
+        assert!(nl.outputs().contains(&tail));
+        let err = eval
+            .apply(&Patch::single(PatchOp::RemoveGate { gate: tail }))
+            .unwrap_err();
+        assert!(matches!(err, PatchError::NotRemovable(_)));
+        assert_eq!(eval.node_count(), nl.node_count());
+        assert_eq!(eval.pending_patches(), 0);
+        eval.verify_consistency();
+        assert_eq!(eval.total_cost().to_bits(), base.to_bits());
+    }
+
+    #[test]
+    fn stacked_patches_roll_back_in_order() {
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let nl = data::ripple_adder(4);
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let mut eval = ResynthEval::new(&ctx);
+        let base = eval.total_cost();
+        let gates: Vec<NodeId> = nl.gate_ids().collect();
+        eval.apply(&Patch::single(PatchOp::AddGate {
+            gate: NodeId(nl.node_count() as u32),
+            kind: CellKind::Nand,
+            fanin: vec![gates[0], gates[1]],
+        }))
+        .unwrap();
+        let after_first = eval.total_cost();
+        eval.apply(&Patch::single(PatchOp::SetKind {
+            gate: gates[2],
+            kind: CellKind::Nor,
+        }))
+        .unwrap();
+        eval.rollback();
+        assert_eq!(eval.total_cost().to_bits(), after_first.to_bits());
+        eval.rollback();
+        assert_eq!(eval.total_cost().to_bits(), base.to_bits());
+        eval.verify_consistency();
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let nl = data::c17();
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let mut eval = ResynthEval::new(&ctx);
+        let patch = Patch::single(PatchOp::SetKind {
+            gate: nl.find("16").unwrap(),
+            kind: CellKind::And,
+        });
+        eval.apply(&patch).unwrap();
+        let patched = eval.total_cost();
+        eval.commit();
+        assert_eq!(eval.pending_patches(), 0);
+        assert_eq!(eval.total_cost().to_bits(), patched.to_bits());
+    }
+}

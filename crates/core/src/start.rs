@@ -134,12 +134,13 @@ mod tests {
     use iddq_celllib::Library;
     use iddq_netlist::data;
 
+    fn test_library() -> &'static Library {
+        static LIB: std::sync::OnceLock<Library> = std::sync::OnceLock::new();
+        LIB.get_or_init(Library::generic_1um)
+    }
+
     fn ctx_of(nl: &iddq_netlist::Netlist) -> EvalContext<'_> {
-        EvalContext::new(
-            nl,
-            &Library::generic_1um(),
-            PartitionConfig::paper_default(),
-        )
+        EvalContext::new(nl, test_library(), PartitionConfig::paper_default())
     }
 
     #[test]

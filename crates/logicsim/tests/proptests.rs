@@ -57,11 +57,35 @@ impl Model {
                 PatchOp::SetFanin { gate, fanin } => {
                     self.fanins[gate.index()] = fanin.clone();
                 }
+                PatchOp::AddGate { gate, kind, fanin } => {
+                    assert_eq!(gate.index(), self.kinds.len());
+                    self.kinds.push(Some(*kind));
+                    self.fanins.push(fanin.clone());
+                    self.names.push(format!("padd{}", gate.index()));
+                }
+                PatchOp::RemoveGate { gate } => {
+                    assert_eq!(gate.index() + 1, self.kinds.len());
+                    self.kinds.pop();
+                    self.fanins.pop();
+                    self.names.pop();
+                }
                 PatchOp::SetForce { .. } => {
                     unreachable!("structural mutation sequences never draw forces")
                 }
             }
         }
+    }
+
+    /// Whether the last node can be popped: a gate, not an output, with no
+    /// consumers.
+    fn tail_removable(&self) -> bool {
+        let last = self.kinds.len() - 1;
+        self.kinds[last].is_some()
+            && !self.outputs.contains(&NodeId(last as u32))
+            && !self
+                .fanins
+                .iter()
+                .any(|fanin| fanin.iter().any(|f| f.index() == last))
     }
 
     /// Rebuilds a validated netlist. Node ids are preserved because nodes
@@ -91,8 +115,9 @@ impl Model {
     }
 }
 
-/// Draws one structurally valid, acyclicity-preserving patch: either a
-/// kind flip or a same-arity rewire onto strictly shallower drivers.
+/// Draws one structurally valid, acyclicity-preserving patch: a kind
+/// flip, a same-arity rewire onto strictly shallower drivers, a gate
+/// insertion at the tail, or a removal of a consumer-free tail gate.
 fn random_patch(model: &Model, rng: &mut impl Rng) -> Option<Patch> {
     let gates: Vec<usize> = (0..model.kinds.len())
         .filter(|&i| model.kinds[i].is_some())
@@ -100,32 +125,62 @@ fn random_patch(model: &Model, rng: &mut impl Rng) -> Option<Patch> {
     let gi = gates[rng.gen_range(0..gates.len())];
     let gate = NodeId(gi as u32);
     let arity = model.fanins[gi].len();
-    if rng.gen_bool(0.5) {
-        // Kind flip to a different kind accepting the current arity.
-        let options: Vec<CellKind> = CellKind::ALL
-            .into_iter()
-            .filter(|k| k.accepts_fanin(arity) && Some(*k) != model.kinds[gi])
-            .collect();
-        if options.is_empty() {
-            return None;
+    match rng.gen_range(0..4u32) {
+        0 => {
+            // Kind flip to a different kind accepting the current arity.
+            let options: Vec<CellKind> = CellKind::ALL
+                .into_iter()
+                .filter(|k| k.accepts_fanin(arity) && Some(*k) != model.kinds[gi])
+                .collect();
+            if options.is_empty() {
+                return None;
+            }
+            let kind = options[rng.gen_range(0..options.len())];
+            Some(Patch::single(PatchOp::SetKind { gate, kind }))
         }
-        let kind = options[rng.gen_range(0..options.len())];
-        Some(Patch::single(PatchOp::SetKind { gate, kind }))
-    } else {
-        // Rewire: same arity, drivers drawn from strictly lower levels
-        // (guarantees the DAG stays acyclic).
-        let levels = model.levels();
-        let shallow: Vec<NodeId> = (0..model.kinds.len() as u32)
-            .map(NodeId)
-            .filter(|n| levels[n.index()] < levels[gi])
-            .collect();
-        if shallow.is_empty() {
-            return None;
+        1 => {
+            // Rewire: same arity, drivers drawn from strictly lower levels
+            // (guarantees the DAG stays acyclic).
+            let levels = model.levels();
+            let shallow: Vec<NodeId> = (0..model.kinds.len() as u32)
+                .map(NodeId)
+                .filter(|n| levels[n.index()] < levels[gi])
+                .collect();
+            if shallow.is_empty() {
+                return None;
+            }
+            let fanin: Vec<NodeId> = (0..arity)
+                .map(|_| shallow[rng.gen_range(0..shallow.len())])
+                .collect();
+            Some(Patch::single(PatchOp::SetFanin { gate, fanin }))
         }
-        let fanin: Vec<NodeId> = (0..arity)
-            .map(|_| shallow[rng.gen_range(0..shallow.len())])
-            .collect();
-        Some(Patch::single(PatchOp::SetFanin { gate, fanin }))
+        2 => {
+            // Insertion at the tail, reading any existing nodes.
+            let kind = CellKind::ALL[rng.gen_range(0..CellKind::ALL.len())];
+            let arity = if kind.accepts_fanin(1) {
+                1
+            } else {
+                rng.gen_range(2..=4)
+            };
+            let fanin: Vec<NodeId> = (0..arity)
+                .map(|_| NodeId(rng.gen_range(0..model.kinds.len() as u32)))
+                .collect();
+            Some(Patch::single(PatchOp::AddGate {
+                gate: NodeId(model.kinds.len() as u32),
+                kind,
+                fanin,
+            }))
+        }
+        _ => {
+            // Removal of the tail, when it is a consumer-free non-output
+            // gate (typically one inserted earlier in the sequence).
+            if !model.tail_removable() {
+                return None;
+            }
+            Some(Patch::single(PatchOp::RemoveGate {
+                gate: NodeId(model.kinds.len() as u32 - 1),
+            }))
+        }
     }
 }
 
@@ -263,9 +318,13 @@ proptest! {
             applied += 1;
             model.apply(&patch);
             // Oracle: fresh CSR compile + full sweep of the mutated
-            // circuit (node ids preserved by the model rebuild).
+            // circuit (node ids preserved by the model rebuild). The node
+            // set may have grown or shrunk, so compare over the model's
+            // current ids — inserted gates included.
             let oracle = Simulator::new(&model.build()).eval(&inputs);
-            for id in nl.node_ids() {
+            prop_assert_eq!(delta.node_count(), model.kinds.len());
+            for i in 0..model.kinds.len() {
+                let id = NodeId(i as u32);
                 prop_assert_eq!(
                     delta.value(id), oracle[id.index()],
                     "node {} after {} patches", id, applied

@@ -237,6 +237,429 @@ impl ConeWalker {
     }
 }
 
+/// A *growable* cone index: levels plus both adjacency directions, with
+/// node insertion/removal, edge rewiring, batched re-levelization (atomic
+/// cycle rejection) and the same level-ordered event-driven walk as
+/// [`ConeWalker`].
+///
+/// [`ConeIndex`] is immutable and CSR-packed for the hot read-only paths;
+/// `DynamicCones` trades the packing for mutability and is the structural
+/// substrate of engines that patch the circuit while keeping derived state
+/// alive (`iddq_core::resynth::ResynthEval`). Ids follow the stack
+/// discipline of [`crate::patch`]: [`DynamicCones::push_node`] appends,
+/// [`DynamicCones::pop_node`] pops the consumer-free tail, and existing
+/// ids never move.
+///
+/// Levels are maintained by [`DynamicCones::relevel`], which the caller
+/// invokes once per *batch* of edge edits (seeding the gates whose
+/// [`DynamicCones::local_level`] moved); a failed relevel leaves every
+/// level untouched, so callers can revert the edge edits and be back in a
+/// consistent state.
+#[derive(Debug, Clone)]
+pub struct DynamicCones {
+    level: Vec<u32>,
+    fanin: Vec<Vec<u32>>,
+    fanout: Vec<Vec<u32>>,
+    /// `true` for primary inputs (level pinned to 0).
+    is_input: Vec<bool>,
+    // Walk / relevel scratch, epoch-stamped so walks are allocation-free.
+    stamp: Vec<u64>,
+    generation: u64,
+    buckets: Vec<Vec<u32>>,
+    affected: Vec<u32>,
+    indeg: Vec<u32>,
+    tmp_level: Vec<u32>,
+}
+
+impl DynamicCones {
+    /// Copies the structure of `netlist`.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let level = levelize::levels(netlist);
+        let max_level = level.iter().copied().max().unwrap_or(0) as usize;
+        let n = netlist.node_count();
+        DynamicCones {
+            level,
+            fanin: netlist
+                .node_ids()
+                .map(|id| netlist.node(id).fanin().iter().map(|f| f.0).collect())
+                .collect(),
+            fanout: netlist
+                .node_ids()
+                .map(|id| netlist.fanout(id).iter().map(|f| f.0).collect())
+                .collect(),
+            is_input: netlist.node_ids().map(|id| !netlist.is_gate(id)).collect(),
+            stamp: vec![0; n],
+            generation: 0,
+            buckets: vec![Vec::new(); max_level + 1],
+            affected: Vec::new(),
+            indeg: vec![0; n],
+            tmp_level: vec![0; n],
+        }
+    }
+
+    /// Current node count.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Topological level of a node (`0` for primary inputs).
+    #[must_use]
+    pub fn level(&self, i: usize) -> u32 {
+        self.level[i]
+    }
+
+    /// Ordered fan-in of a node.
+    #[must_use]
+    pub fn fanin(&self, i: usize) -> &[u32] {
+        &self.fanin[i]
+    }
+
+    /// Fanout (consumer) list of a node, one entry per consuming pin.
+    #[must_use]
+    pub fn fanout(&self, i: usize) -> &[u32] {
+        &self.fanout[i]
+    }
+
+    /// Level a gate would get from its current fan-in (`0` for inputs).
+    #[must_use]
+    pub fn local_level(&self, i: usize) -> u32 {
+        if self.is_input[i] {
+            return 0;
+        }
+        1 + self.fanin[i]
+            .iter()
+            .map(|&f| self.level[f as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Appends a gate reading `fanin` and returns its id. The level is
+    /// `1 + max(fan-in levels)`; appending can never create a cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fan-in reference is out of range.
+    pub fn push_node(&mut self, fanin: &[u32]) -> u32 {
+        let id = self.level.len() as u32;
+        for &f in fanin {
+            assert!((f as usize) < self.level.len(), "fan-in out of range");
+            self.fanout[f as usize].push(id);
+        }
+        let lv = 1 + fanin
+            .iter()
+            .map(|&f| self.level[f as usize])
+            .max()
+            .unwrap_or(0);
+        self.level.push(lv);
+        self.fanin.push(fanin.to_vec());
+        self.fanout.push(Vec::new());
+        self.is_input.push(false);
+        self.stamp.push(0);
+        self.indeg.push(0);
+        self.tmp_level.push(0);
+        if self.buckets.len() <= lv as usize {
+            self.buckets.resize_with(lv as usize + 1, Vec::new);
+        }
+        id
+    }
+
+    /// Pops the last node, returning its fan-in list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last node is a primary input or still has consumers.
+    pub fn pop_node(&mut self) -> Vec<u32> {
+        let id = (self.level.len() - 1) as u32;
+        assert!(!self.is_input[id as usize], "cannot pop a primary input");
+        assert!(
+            self.fanout[id as usize].is_empty(),
+            "cannot pop a node with consumers"
+        );
+        let fanin = self.fanin.pop().expect("non-empty");
+        for &f in &fanin {
+            let fo = &mut self.fanout[f as usize];
+            let pos = fo.iter().position(|&x| x == id).expect("consistent");
+            fo.swap_remove(pos);
+        }
+        self.level.pop();
+        self.fanout.pop();
+        self.is_input.pop();
+        self.stamp.pop();
+        self.indeg.pop();
+        self.tmp_level.pop();
+        fanin
+    }
+
+    /// Replaces a gate's fan-in edges, returning the old list. This is an
+    /// *edge-only* edit: levels are not touched — after a batch of edits,
+    /// call [`DynamicCones::relevel`] with the gates whose
+    /// [`DynamicCones::local_level`] moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is a primary input or a reference is out of range.
+    pub fn set_fanin(&mut self, i: usize, new: &[u32]) -> Vec<u32> {
+        assert!(!self.is_input[i], "cannot rewire a primary input");
+        for &f in new {
+            assert!((f as usize) < self.level.len(), "fan-in out of range");
+        }
+        let old = std::mem::replace(&mut self.fanin[i], new.to_vec());
+        // Occurrence-preserving fanout maintenance (a driver may feed the
+        // same gate on several pins).
+        for &f in &old {
+            let fo = &mut self.fanout[f as usize];
+            let pos = fo.iter().position(|&x| x == i as u32).expect("consistent");
+            fo.swap_remove(pos);
+        }
+        for &f in new {
+            self.fanout[f as usize].push(i as u32);
+        }
+        old
+    }
+
+    /// Recomputes levels over the transitive fanout of `seeds`, detecting
+    /// cycles. On `Err(node)` no level has been modified — the caller can
+    /// revert its edge edits and the index is consistent again.
+    ///
+    /// # Errors
+    ///
+    /// Returns a node on the combinational cycle the current edges close.
+    pub fn relevel(&mut self, seeds: &[u32]) -> Result<(), u32> {
+        self.generation += 1;
+        let generation = self.generation;
+        self.affected.clear();
+        for &s in seeds {
+            if self.stamp[s as usize] != generation {
+                self.stamp[s as usize] = generation;
+                self.affected.push(s);
+            }
+        }
+        let mut head = 0usize;
+        while head < self.affected.len() {
+            let i = self.affected[head] as usize;
+            head += 1;
+            for &succ in &self.fanout[i] {
+                if self.stamp[succ as usize] != generation {
+                    self.stamp[succ as usize] = generation;
+                    self.affected.push(succ);
+                }
+            }
+        }
+        // Kahn inside the region; levels of outside drivers are final.
+        // Writes are deferred to `tmp_level` until the region is proven
+        // acyclic.
+        for &i in &self.affected {
+            self.indeg[i as usize] = 0;
+        }
+        for k in 0..self.affected.len() {
+            let i = self.affected[k] as usize;
+            for &f in &self.fanin[i] {
+                if self.stamp[f as usize] == generation {
+                    self.indeg[i] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<u32> = self
+            .affected
+            .iter()
+            .copied()
+            .filter(|&i| self.indeg[i as usize] == 0)
+            .collect();
+        let mut new_level: Vec<(u32, u32)> = Vec::with_capacity(self.affected.len());
+        let mut head = 0usize;
+        while head < queue.len() {
+            let i = queue[head] as usize;
+            head += 1;
+            let lv = if self.is_input[i] {
+                0
+            } else {
+                1 + self.fanin[i]
+                    .iter()
+                    .map(|&f| {
+                        if self.stamp[f as usize] == generation {
+                            self.tmp_level[f as usize]
+                        } else {
+                            self.level[f as usize]
+                        }
+                    })
+                    .max()
+                    .unwrap_or(0)
+            };
+            self.tmp_level[i] = lv;
+            new_level.push((i as u32, lv));
+            for &succ in &self.fanout[i] {
+                if self.stamp[succ as usize] == generation {
+                    self.indeg[succ as usize] -= 1;
+                    if self.indeg[succ as usize] == 0 {
+                        queue.push(succ);
+                    }
+                }
+            }
+        }
+        if new_level.len() != self.affected.len() {
+            let on = self
+                .affected
+                .iter()
+                .copied()
+                .find(|&i| self.indeg[i as usize] > 0)
+                .expect("unprocessed node has positive in-degree");
+            return Err(on);
+        }
+        for (i, lv) in new_level {
+            self.level[i as usize] = lv;
+        }
+        let max_level = self.level.iter().copied().max().unwrap_or(0) as usize;
+        if self.buckets.len() <= max_level {
+            self.buckets.resize_with(max_level + 1, Vec::new);
+        }
+        Ok(())
+    }
+
+    /// Splits out a level-ordered event-driven walker over the *current*
+    /// structure. The split borrow lets the visitor closure freely use the
+    /// caller's own per-node state while the walker drives the traversal.
+    pub fn walker(&mut self) -> DynWalker<'_> {
+        self.generation += 1;
+        DynWalker {
+            level: &self.level,
+            fanin: &self.fanin,
+            fanout: &self.fanout,
+            stamp: &mut self.stamp,
+            generation: self.generation,
+            buckets: &mut self.buckets,
+        }
+    }
+
+    /// Collects every node within undirected (fan-in ∪ fanout) distance
+    /// `depth` of the seed set, including the seeds, in BFS order.
+    #[must_use]
+    pub fn undirected_ball(&mut self, seeds: &[u32], depth: u32) -> Vec<u32> {
+        self.generation += 1;
+        let generation = self.generation;
+        let mut out: Vec<u32> = Vec::new();
+        for &s in seeds {
+            if self.stamp[s as usize] != generation {
+                self.stamp[s as usize] = generation;
+                out.push(s);
+            }
+        }
+        let mut head = 0usize;
+        let mut frontier_end = out.len();
+        let mut d = 0u32;
+        while d < depth && head < frontier_end {
+            for k in head..frontier_end {
+                let i = out[k] as usize;
+                for &n in self.fanin[i].iter().chain(self.fanout[i].iter()) {
+                    if self.stamp[n as usize] != generation {
+                        self.stamp[n as usize] = generation;
+                        out.push(n);
+                    }
+                }
+            }
+            head = frontier_end;
+            frontier_end = out.len();
+            d += 1;
+        }
+        out
+    }
+
+    /// Bounded undirected BFS from one node: calls `visit(node, dist)` for
+    /// every node at distance `1..=depth` of `from`, in BFS order.
+    ///
+    /// This is the separation-maintenance primitive: summing `ρ − dist`
+    /// over the visited *gates* reproduces a
+    /// [`GateSeparationTable`](crate::separation::GateSeparationTable) row
+    /// weight for the current (patched) structure.
+    pub fn bounded_bfs(&mut self, from: u32, depth: u32, mut visit: impl FnMut(u32, u32)) {
+        self.generation += 1;
+        let generation = self.generation;
+        self.stamp[from as usize] = generation;
+        self.affected.clear();
+        self.affected.push(from);
+        let mut head = 0usize;
+        let mut frontier_end = 1usize;
+        let mut d = 0u32;
+        while d < depth && head < frontier_end {
+            d += 1;
+            for k in head..frontier_end {
+                let i = self.affected[k] as usize;
+                for f in 0..self.fanin[i].len() + self.fanout[i].len() {
+                    let n = if f < self.fanin[i].len() {
+                        self.fanin[i][f]
+                    } else {
+                        self.fanout[i][f - self.fanin[i].len()]
+                    };
+                    if self.stamp[n as usize] != generation {
+                        self.stamp[n as usize] = generation;
+                        self.affected.push(n);
+                        visit(n, d);
+                    }
+                }
+            }
+            head = frontier_end;
+            frontier_end = self.affected.len();
+        }
+    }
+}
+
+/// Split-borrow walker over a [`DynamicCones`] (see
+/// [`DynamicCones::walker`]). One walker instance performs one walk.
+#[derive(Debug)]
+pub struct DynWalker<'a> {
+    level: &'a [u32],
+    fanin: &'a [Vec<u32>],
+    fanout: &'a [Vec<u32>],
+    stamp: &'a mut [u64],
+    generation: u64,
+    buckets: &'a mut [Vec<u32>],
+}
+
+impl DynWalker<'_> {
+    /// Walks the union of the seeds' cones in level order: each reached
+    /// node is visited exactly once, drivers before consumers; a `false`
+    /// verdict stops the wave at that node. The visitor receives the
+    /// node's current fan-in list (the walker already borrows the index,
+    /// so the caller cannot). Returns the number of visited nodes.
+    pub fn walk(
+        self,
+        seeds: impl IntoIterator<Item = u32>,
+        mut visit: impl FnMut(u32, &[u32]) -> bool,
+    ) -> usize {
+        let generation = self.generation;
+        let mut lowest = self.buckets.len();
+        for s in seeds {
+            if self.stamp[s as usize] != generation {
+                self.stamp[s as usize] = generation;
+                let lv = self.level[s as usize] as usize;
+                self.buckets[lv].push(s);
+                lowest = lowest.min(lv);
+            }
+        }
+        let mut visited = 0usize;
+        for lv in lowest..self.buckets.len() {
+            let mut k = 0usize;
+            while k < self.buckets[lv].len() {
+                let i = self.buckets[lv][k] as usize;
+                k += 1;
+                visited += 1;
+                if visit(i as u32, &self.fanin[i]) {
+                    for &succ in &self.fanout[i] {
+                        let succ = succ as usize;
+                        if self.stamp[succ] != generation {
+                            self.stamp[succ] = generation;
+                            self.buckets[self.level[succ] as usize].push(succ as u32);
+                        }
+                    }
+                }
+            }
+            self.buckets[lv].clear();
+        }
+        visited
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +774,108 @@ mod tests {
         let mut walker = ConeWalker::new(&index);
         let visited = walker.walk(&index, [ga, gb], |_| ConeStep::Propagate);
         assert_eq!(visited, 3);
+    }
+
+    #[test]
+    fn dynamic_cones_mirror_static_index() {
+        let nl = data::ripple_adder(5);
+        let index = ConeIndex::new(&nl);
+        let dynamic = DynamicCones::new(&nl);
+        for id in nl.node_ids() {
+            assert_eq!(dynamic.level(id.index()), index.level(id));
+            assert_eq!(dynamic.fanout(id.index()), index.fanout(id));
+            let want: Vec<u32> = nl.node(id).fanin().iter().map(|f| f.0).collect();
+            assert_eq!(dynamic.fanin(id.index()), &want[..]);
+        }
+    }
+
+    #[test]
+    fn dynamic_push_pop_roundtrip() {
+        let nl = data::c17();
+        let mut d = DynamicCones::new(&nl);
+        let n = d.node_count();
+        let g10 = nl.find("10").unwrap().0;
+        let g11 = nl.find("11").unwrap().0;
+        let id = d.push_node(&[g10, g11]);
+        assert_eq!(id as usize, n);
+        assert_eq!(d.level(id as usize), 2);
+        assert!(d.fanout(g10 as usize).contains(&id));
+        let fanin = d.pop_node();
+        assert_eq!(fanin, vec![g10, g11]);
+        assert_eq!(d.node_count(), n);
+        assert!(!d.fanout(g10 as usize).contains(&id));
+    }
+
+    #[test]
+    fn dynamic_relevel_rejects_cycle_atomically() {
+        let nl = data::c17();
+        let mut d = DynamicCones::new(&nl);
+        let g10 = nl.find("10").unwrap().0 as usize;
+        let g22 = nl.find("22").unwrap().0;
+        let levels_before: Vec<u32> = (0..d.node_count()).map(|i| d.level(i)).collect();
+        // 10 feeds 16 feeds 22; feeding 22 back into 10 closes a cycle.
+        let old = d.set_fanin(g10, &[g22, nl.find("3").unwrap().0]);
+        assert!(d.relevel(&[g10 as u32]).is_err());
+        d.set_fanin(g10, &old);
+        for (i, &lv) in levels_before.iter().enumerate() {
+            assert_eq!(d.level(i), lv, "levels untouched after rejected relevel");
+        }
+    }
+
+    #[test]
+    fn dynamic_relevel_deepens_rewired_chain() {
+        // i -> g0 -> g1 -> g2 and a parallel g3(i); rewiring g3 onto g2
+        // deepens it from level 1 to level 4.
+        let mut b = NetlistBuilder::new("deepen");
+        let i = b.add_input("i");
+        let g0 = b.add_gate("g0", CellKind::Not, vec![i]).unwrap();
+        let g1 = b.add_gate("g1", CellKind::Not, vec![g0]).unwrap();
+        let g2 = b.add_gate("g2", CellKind::Not, vec![g1]).unwrap();
+        let g3 = b.add_gate("g3", CellKind::Not, vec![i]).unwrap();
+        b.mark_output(g2);
+        b.mark_output(g3);
+        let nl = b.build().unwrap();
+        let mut d = DynamicCones::new(&nl);
+        d.set_fanin(g3.index(), &[g2.0]);
+        assert_eq!(d.local_level(g3.index()), 4);
+        d.relevel(&[g3.0]).unwrap();
+        assert_eq!(d.level(g3.index()), 4);
+    }
+
+    #[test]
+    fn dynamic_walker_level_ordered_and_stoppable() {
+        let nl = data::ripple_adder(4);
+        let mut d = DynamicCones::new(&nl);
+        let seeds: Vec<u32> = nl.gate_ids().take(2).map(|g| g.0).collect();
+        let levels: Vec<u32> = (0..d.node_count()).map(|i| d.level(i)).collect();
+        let mut last = 0u32;
+        let mut seen = std::collections::HashSet::new();
+        let visited = d.walker().walk(seeds.iter().copied(), |i, _| {
+            assert!(levels[i as usize] >= last);
+            last = levels[i as usize];
+            assert!(seen.insert(i));
+            true
+        });
+        assert_eq!(visited, seen.len());
+        let stopped = d.walker().walk(seeds.iter().copied(), |_, _| false);
+        assert_eq!(stopped, seeds.len());
+    }
+
+    #[test]
+    fn dynamic_ball_and_bfs_match_oracle_distances() {
+        let nl = data::c17();
+        let mut d = DynamicCones::new(&nl);
+        let sep = crate::separation::SeparationOracle::new(&nl, 6);
+        for id in nl.node_ids() {
+            let mut got: Vec<(u32, u32)> = Vec::new();
+            d.bounded_bfs(id.0, 5, |n, dist| got.push((n, dist)));
+            got.sort_unstable();
+            let want: Vec<(u32, u32)> = sep.near_slice(id).to_vec();
+            assert_eq!(got, want, "node {id}");
+            // The ball of a single seed is the BFS closure plus the seed.
+            let ball = d.undirected_ball(&[id.0], 5);
+            assert_eq!(ball.len(), want.len() + 1);
+        }
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * [`levelize`] — topological levels, weighted longest paths and the
 //!   *transition-time sets* `t_i^1, …, t_i^{L_i}` of §3.1 of the paper,
 //! * [`cone`] — fanout-cone index with level-ordered, event-driven cone
-//!   walking (the substrate of every incremental engine downstream),
+//!   walking (the substrate of every incremental engine downstream), plus
+//!   the growable [`cone::DynamicCones`] variant for patched structures,
+//! * [`patch`] — the shared structural-patch vocabulary (gate edits plus
+//!   node insertion/removal) consumed by the incremental logic and cost
+//!   engines, with a rebuild-oracle [`patch::materialize`],
 //! * [`separation`] — the bounded undirected separation metric `S(g_i, g_j)`
 //!   of §3.3,
 //! * [`stats`] — structural circuit statistics (fan-in/fan-out mixes,
@@ -52,6 +56,7 @@ mod graph;
 mod kind;
 pub mod levelize;
 pub mod packed;
+pub mod patch;
 pub mod separation;
 pub mod stats;
 mod timeset;

@@ -258,6 +258,25 @@ pub struct GateSeparationTable {
 }
 
 impl GateSeparationTable {
+    /// Total neighbour weight `W(g) = Σ_{g' gate, d(g,g') < ρ} (ρ − d)` of
+    /// one gate's row (`0` for primary inputs).
+    ///
+    /// For a module containing *all* gates, `S(M) = ρ·|pairs| − Σ_g W(g)/2`
+    /// — the identity the patch-scored resynthesis evaluation maintains
+    /// incrementally instead of re-running the O(G²) pair sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range of the table's netlist.
+    #[must_use]
+    pub fn near_weight(&self, gate: NodeId) -> u64 {
+        let i = gate.index();
+        self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+            .iter()
+            .map(|&(_, w)| u64::from(w))
+            .sum()
+    }
+
     /// Sum of saturated distances from `gate` to every gate assigned to
     /// `module` in `assignment` (one entry per node; `gate` itself
     /// contributes 0).

@@ -17,10 +17,22 @@
 //!   of staggering — exactly the kind of interaction that motivates
 //!   measuring with the real cost function instead of assuming.
 //! * [`fanout_buffer`] — high-fanout nets get buffer trees, bounding the
-//!   load a single driver discharges at once.
+//!   load a single driver discharges at once (buffer fan-ins count
+//!   against the driver, and buffers cascade when one layer cannot carry
+//!   the load within the bound).
 //! * [`cost_aware`] — evaluates the candidates under the *partitioning*
 //!   cost function of `iddq-core` and returns the cheapest, i.e. logic
 //!   synthesis steered by the IDDQ-testability objective.
+//!
+//! Candidates are scored **by patch** on one persistent
+//! [`iddq_core::resynth::ResynthEval`]: [`decompose_patch`],
+//! [`decompose_gate_patch`] and [`fanout_buffer_patch`] express the
+//! rewrites as [`iddq_netlist::patch::Patch`] lists, applied and rolled
+//! back against a single evaluation instead of rebuilding a netlist and
+//! its analyses per candidate. [`cost_aware_rebuild`] keeps the rebuild
+//! path as the bit-exact differential oracle, and [`cost_aware_per_gate`]
+//! uses the now-cheap probes to pick the decomposition shape gate by
+//! gate.
 //!
 //! All transforms preserve logic function (property-tested against the
 //! 64-way simulator).
@@ -29,7 +41,8 @@
 #![warn(missing_docs)]
 
 use iddq_celllib::Library;
-use iddq_core::{config::PartitionConfig, EvalContext, Evaluated, Partition};
+use iddq_core::{config::PartitionConfig, EvalContext, Evaluated, Partition, ResynthEval};
+use iddq_netlist::patch::{self, Patch, PatchOp};
 use iddq_netlist::{CellKind, Netlist, NetlistBuilder, NodeId};
 
 /// Topology used when a wide gate is decomposed into 2-input stages.
@@ -175,24 +188,86 @@ fn build_tree(
         .expect("source names unique")
 }
 
+/// The tap schedule of one buffered net: every copy of the signal
+/// (original node first, then cascade buffers) with its remaining
+/// consumer capacity. Buffer fan-ins are charged against their driver's
+/// capacity at construction time, so the schedule's capacities are what
+/// is left for *logic* consumers and no tap can ever exceed the bound.
+struct TapSchedule {
+    /// `(tap, remaining capacity)` in creation order.
+    taps: Vec<(NodeId, usize)>,
+    /// Index of the first tap with remaining capacity.
+    cursor: usize,
+}
+
+impl TapSchedule {
+    /// A schedule for a net with `fanout` consumers under `bound`,
+    /// creating cascade buffers through `make_buffer` (which receives the
+    /// driving tap and a running buffer index) until the total capacity
+    /// covers the load. Each buffer consumes one unit of its driver's
+    /// capacity and contributes `bound` fresh units, so progress requires
+    /// `bound >= 2`.
+    fn build(
+        source: NodeId,
+        fanout: usize,
+        bound: usize,
+        mut make_buffer: impl FnMut(NodeId, usize) -> NodeId,
+    ) -> TapSchedule {
+        let mut taps = vec![(source, bound)];
+        let mut total = bound;
+        let mut attach = 0usize;
+        let mut k = 0usize;
+        while total < fanout {
+            while taps[attach].1 == 0 {
+                attach += 1;
+            }
+            taps[attach].1 -= 1;
+            let buf = make_buffer(taps[attach].0, k);
+            k += 1;
+            taps.push((buf, bound));
+            total += bound - 1;
+        }
+        TapSchedule { taps, cursor: 0 }
+    }
+
+    /// Draws the next consumer slot.
+    fn draw(&mut self) -> NodeId {
+        while self.taps[self.cursor].1 == 0 {
+            self.cursor += 1;
+        }
+        self.taps[self.cursor].1 -= 1;
+        self.taps[self.cursor].0
+    }
+}
+
 /// Inserts buffer trees on nets driving more than `max_fanout` consumers,
 /// splitting the load into groups.
+///
+/// The bound holds for **every** net of the output netlist: buffer
+/// fan-ins count against their driver (the original node's consumers plus
+/// the buffers it feeds never exceed `max_fanout`), and the buffers
+/// themselves cascade — when one layer of buffers cannot serve the load
+/// within the bound, further buffers hang off earlier ones, forming a
+/// `max_fanout`-ary distribution tree.
 ///
 /// Primary-output markers stay on the original net (observability is
 /// unchanged); only gate fan-ins are rerouted through the buffers.
 ///
 /// # Panics
 ///
-/// Panics if `max_fanout == 0`.
+/// Panics if `max_fanout < 2`: a buffer spends one unit of its driver's
+/// budget and offers `max_fanout` units, so a bound of 1 can never serve
+/// more than one consumer — no buffer tree satisfies it.
 #[must_use]
 pub fn fanout_buffer(netlist: &Netlist, max_fanout: usize) -> Netlist {
-    assert!(max_fanout > 0, "fanout bound must be positive");
+    assert!(
+        max_fanout >= 2,
+        "a fan-out bound below 2 cannot host buffer cascades"
+    );
     let mut b = NetlistBuilder::new(format!("{}_buf", netlist.name()));
     let mut map: Vec<Option<NodeId>> = vec![None; netlist.node_count()];
-    // Per original node: the rotation of buffer copies consumers draw
-    // from ([0] is the original node itself).
-    let mut taps: Vec<Vec<NodeId>> = vec![Vec::new(); netlist.node_count()];
-    let mut served: Vec<usize> = vec![0; netlist.node_count()];
+    // Per original node: the tap schedule its consumers draw from.
+    let mut taps: Vec<Option<TapSchedule>> = (0..netlist.node_count()).map(|_| None).collect();
 
     for &i in netlist.inputs() {
         map[i.index()] = Some(b.try_add_input(netlist.node_name(i)).expect("names unique"));
@@ -202,43 +277,170 @@ pub fn fanout_buffer(netlist: &Netlist, max_fanout: usize) -> Netlist {
         let name = netlist.node_name(id);
         let new_id = match node.kind().cell_kind() {
             None => {
-                // Input already added; still set up its fanout taps below.
+                // Input already added; still set up its taps below.
                 map[id.index()].expect("inputs pre-mapped")
             }
             Some(kind) => {
                 let fanin: Vec<NodeId> = node
                     .fanin()
                     .iter()
-                    .map(|f| {
-                        let fi = f.index();
-                        let tap_list = &taps[fi];
-                        let tap = tap_list[(served[fi] / max_fanout) % tap_list.len()];
-                        served[fi] += 1;
-                        tap
-                    })
+                    .map(|f| taps[f.index()].as_mut().expect("drivers first").draw())
                     .collect();
                 b.add_gate(name, kind, fanin).expect("names unique")
             }
         };
         map[id.index()] = Some(new_id);
-        // Prepare taps: original plus ⌈fanout/max⌉−1 buffers.
         let fanout = netlist.fanout(id).len();
-        let mut tap_list = vec![new_id];
-        if fanout > max_fanout {
-            let extra = fanout.div_ceil(max_fanout) - 1;
-            for k in 0..extra {
-                let buf = b
-                    .add_gate(format!("{name}__buf{k}"), CellKind::Buf, vec![new_id])
-                    .expect("generated names unique");
-                tap_list.push(buf);
-            }
-        }
-        taps[id.index()] = tap_list;
+        taps[id.index()] = Some(TapSchedule::build(new_id, fanout, max_fanout, |tap, k| {
+            b.add_gate(format!("{name}__buf{k}"), CellKind::Buf, vec![tap])
+                .expect("generated names unique")
+        }));
     }
     for &o in netlist.outputs() {
         b.mark_output(map[o.index()].expect("all nodes mapped"));
     }
     b.build().expect("buffering preserves structural validity")
+}
+
+/// Emits the decomposition of one wide gate as a [`Patch`]: 2-input
+/// intermediate stages of the gate's base function are appended starting
+/// at id `next_id`, and the gate itself is rewired onto the last two
+/// operands — its kind is untouched, because the inversion of
+/// NAND/NOR/XNOR folds into the final stage, which *is* the original
+/// node. Consumers and the gate's id/name therefore never move, which is
+/// what lets per-gate patches compose freely.
+///
+/// Returns `None` when the gate has at most `max_fanin` inputs (or is a
+/// primary input).
+#[must_use]
+pub fn decompose_gate_patch(
+    netlist: &Netlist,
+    gate: NodeId,
+    style: DecompositionStyle,
+    max_fanin: usize,
+    next_id: u32,
+) -> Option<Patch> {
+    assert!(max_fanin >= 2, "stages need at least two inputs");
+    let node = netlist.node(gate);
+    let kind = node.kind().cell_kind()?;
+    if node.fanin().len() <= max_fanin {
+        return None;
+    }
+    let (base, _) = base_kind(kind);
+    let mut ops = Vec::new();
+    let mut id = next_id;
+    let mut frontier: Vec<NodeId> = node.fanin().to_vec();
+    let emit = |ops: &mut Vec<PatchOp>, fanin: Vec<NodeId>, id: &mut u32| {
+        let gate = NodeId(*id);
+        *id += 1;
+        ops.push(PatchOp::AddGate {
+            gate,
+            kind: base,
+            fanin,
+        });
+        gate
+    };
+    match style {
+        DecompositionStyle::Chain => {
+            while frontier.len() > 2 {
+                let a = frontier.remove(0);
+                let c = frontier.remove(0);
+                let g = emit(&mut ops, vec![a, c], &mut id);
+                frontier.insert(0, g);
+            }
+        }
+        DecompositionStyle::Balanced => {
+            while frontier.len() > 2 {
+                let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+                for chunk in frontier.chunks(2) {
+                    if chunk.len() == 2 {
+                        next.push(emit(&mut ops, vec![chunk[0], chunk[1]], &mut id));
+                    } else {
+                        next.push(chunk[0]);
+                    }
+                }
+                frontier = next;
+            }
+        }
+    }
+    ops.push(PatchOp::SetFanin {
+        gate,
+        fanin: frontier,
+    });
+    Some(Patch { ops })
+}
+
+/// The whole-netlist decomposition of [`decompose`] as one [`Patch`]
+/// (every wide gate, in topological order, intermediate ids appended
+/// sequentially from the netlist's node count).
+#[must_use]
+pub fn decompose_patch(netlist: &Netlist, style: DecompositionStyle, max_fanin: usize) -> Patch {
+    let mut ops = Vec::new();
+    let mut next_id = netlist.node_count() as u32;
+    for &id in netlist.topo_order() {
+        if let Some(p) = decompose_gate_patch(netlist, id, style, max_fanin, next_id) {
+            next_id += p.ops.len() as u32 - 1; // every op but the SetFanin adds a node
+            ops.extend(p.ops);
+        }
+    }
+    Patch { ops }
+}
+
+/// The buffer-tree insertion of [`fanout_buffer`] as one [`Patch`]:
+/// cascade buffers appended from `netlist.node_count()`, consumers of
+/// over-bound nets rewired onto the tap schedule. The bound accounting is
+/// identical to [`fanout_buffer`] (buffer fan-ins charged to the driver,
+/// cascading when a single layer cannot carry the load).
+///
+/// # Panics
+///
+/// Panics if `max_fanout < 2` (see [`fanout_buffer`]).
+#[must_use]
+pub fn fanout_buffer_patch(netlist: &Netlist, max_fanout: usize) -> Patch {
+    assert!(
+        max_fanout >= 2,
+        "a fan-out bound below 2 cannot host buffer cascades"
+    );
+    let mut adds: Vec<PatchOp> = Vec::new();
+    let mut next_id = netlist.node_count() as u32;
+    // Consumers' pending fan-in lists (only over-bound drivers rewrite).
+    let mut pending: Vec<Option<Vec<NodeId>>> = vec![None; netlist.node_count()];
+    for &id in netlist.topo_order() {
+        let consumers = netlist.fanout(id);
+        if consumers.len() <= max_fanout {
+            continue;
+        }
+        let mut schedule = TapSchedule::build(id, consumers.len(), max_fanout, |tap, _| {
+            let gate = NodeId(next_id);
+            next_id += 1;
+            adds.push(PatchOp::AddGate {
+                gate,
+                kind: CellKind::Buf,
+                fanin: vec![tap],
+            });
+            gate
+        });
+        // Rewire every occurrence of `id` in every consumer, drawing one
+        // tap per pin (a consumer may read the same net on several pins).
+        let mut seen: Vec<NodeId> = Vec::new();
+        for &c in consumers {
+            if seen.contains(&c) {
+                continue;
+            }
+            seen.push(c);
+            let fanin = pending[c.index()].get_or_insert_with(|| netlist.node(c).fanin().to_vec());
+            for slot in fanin.iter_mut().filter(|slot| **slot == id) {
+                *slot = schedule.draw();
+            }
+        }
+    }
+    let rewires = pending
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, fanin)| fanin.map(|fanin| (NodeId(i as u32), fanin)))
+        .map(|(gate, fanin)| PatchOp::SetFanin { gate, fanin });
+    adds.extend(rewires);
+    Patch { ops: adds }
 }
 
 /// Outcome of [`cost_aware`].
@@ -265,41 +467,165 @@ pub enum Candidate {
     Chain,
 }
 
+fn report_from(original_cost: f64, balanced_cost: f64, chain_cost: f64) -> ResynthesisReport {
+    let chosen = if chain_cost <= balanced_cost && chain_cost <= original_cost {
+        Candidate::Chain
+    } else if balanced_cost <= original_cost {
+        Candidate::Balanced
+    } else {
+        Candidate::Original
+    };
+    ResynthesisReport {
+        original_cost,
+        balanced_cost,
+        chain_cost,
+        chosen,
+    }
+}
+
 /// Synthesis steered by the IDDQ cost function: decompose both ways,
 /// score every candidate with the paper's cost model (single-module
 /// evaluation — the partition-independent part of the objective) and
 /// return the winner.
+///
+/// Candidates are scored **by patch** on one persistent
+/// [`ResynthEval`]: the decomposition is applied as a structural patch
+/// (apply → settle → score → rollback) instead of rebuilding a netlist
+/// and a fresh [`EvalContext`] per candidate. Scores are bit-identical
+/// to the rebuild path — [`cost_aware_rebuild`] is that path, kept as
+/// the differential oracle and benchmark baseline.
 #[must_use]
 pub fn cost_aware(
     netlist: &Netlist,
     library: &Library,
     config: &PartitionConfig,
 ) -> (Netlist, ResynthesisReport) {
-    let balanced = decompose(netlist, DecompositionStyle::Balanced, 2);
-    let chain = decompose(netlist, DecompositionStyle::Chain, 2);
+    let ctx = EvalContext::new(netlist, library, config.clone());
+    let mut eval = ResynthEval::new(&ctx);
+    let original_cost = eval.total_cost();
+    let balanced = decompose_patch(netlist, DecompositionStyle::Balanced, 2);
+    let chain = decompose_patch(netlist, DecompositionStyle::Chain, 2);
+    let mut score = |patch: &Patch| {
+        eval.apply(patch).expect("decomposition patches are valid");
+        let cost = eval.total_cost();
+        eval.rollback();
+        cost
+    };
+    let balanced_cost = score(&balanced);
+    let chain_cost = score(&chain);
+    let report = report_from(original_cost, balanced_cost, chain_cost);
+    let out = match report.chosen {
+        Candidate::Original => netlist.clone(),
+        Candidate::Balanced => patch::materialize(netlist, &balanced).expect("valid candidate"),
+        Candidate::Chain => patch::materialize(netlist, &chain).expect("valid candidate"),
+    };
+    (out, report)
+}
+
+/// The pre-patch-engine implementation of [`cost_aware`]: every candidate
+/// is materialized as a fresh netlist and scored through a from-scratch
+/// [`EvalContext`] + [`Evaluated`]. Kept as the differential oracle (the
+/// two paths must agree on the chosen candidate and every cost, bit for
+/// bit) and as the honest baseline the `resynth_patch` benchmark gates
+/// against.
+#[must_use]
+pub fn cost_aware_rebuild(
+    netlist: &Netlist,
+    library: &Library,
+    config: &PartitionConfig,
+) -> (Netlist, ResynthesisReport) {
     let score = |nl: &Netlist| {
         let ctx = EvalContext::new(nl, library, config.clone());
         Evaluated::new(&ctx, Partition::single_module(nl)).total_cost()
     };
+    let balanced_patch = decompose_patch(netlist, DecompositionStyle::Balanced, 2);
+    let chain_patch = decompose_patch(netlist, DecompositionStyle::Chain, 2);
+    let balanced = patch::materialize(netlist, &balanced_patch).expect("valid candidate");
+    let chain = patch::materialize(netlist, &chain_patch).expect("valid candidate");
     let original_cost = score(netlist);
     let balanced_cost = score(&balanced);
     let chain_cost = score(&chain);
-    let (chosen, out) = if chain_cost <= balanced_cost && chain_cost <= original_cost {
-        (Candidate::Chain, chain)
-    } else if balanced_cost <= original_cost {
-        (Candidate::Balanced, balanced)
-    } else {
-        (Candidate::Original, netlist.clone())
+    let report = report_from(original_cost, balanced_cost, chain_cost);
+    let out = match report.chosen {
+        Candidate::Original => netlist.clone(),
+        Candidate::Balanced => balanced,
+        Candidate::Chain => chain,
     };
-    (
-        out,
-        ResynthesisReport {
-            original_cost,
-            balanced_cost,
-            chain_cost,
-            chosen,
-        },
-    )
+    (out, report)
+}
+
+/// Outcome of [`cost_aware_per_gate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerGateReport {
+    /// Single-module cost of the original netlist.
+    pub original_cost: f64,
+    /// Cost of the greedy per-gate mixed decomposition.
+    pub mixed_cost: f64,
+    /// Wide gates decomposed with the balanced shape.
+    pub balanced_gates: usize,
+    /// Wide gates decomposed with the chain shape.
+    pub chain_gates: usize,
+    /// Wide gates left flat.
+    pub kept_gates: usize,
+}
+
+/// Per-gate cost-steered resynthesis: instead of one global
+/// balanced-or-chain choice, every wide gate is offered both shapes and
+/// keeps whichever (if either) lowers the cost of the *current* mixed
+/// candidate — a greedy descent that patch scoring makes affordable
+/// (two apply→score→rollback probes per wide gate on one persistent
+/// evaluation; the winning probe is re-applied and committed).
+#[must_use]
+pub fn cost_aware_per_gate(
+    netlist: &Netlist,
+    library: &Library,
+    config: &PartitionConfig,
+) -> (Netlist, PerGateReport) {
+    let ctx = EvalContext::new(netlist, library, config.clone());
+    let mut eval = ResynthEval::new(&ctx);
+    let original_cost = eval.total_cost();
+    let mut current = original_cost;
+    let mut committed: Vec<Patch> = Vec::new();
+    let mut report = PerGateReport {
+        original_cost,
+        mixed_cost: original_cost,
+        balanced_gates: 0,
+        chain_gates: 0,
+        kept_gates: 0,
+    };
+    for &gate in netlist.topo_order() {
+        if netlist.node(gate).kind().cell_kind().is_none() || netlist.node(gate).fanin().len() <= 2
+        {
+            continue;
+        }
+        let mut best: Option<(f64, DecompositionStyle, Patch)> = None;
+        for style in [DecompositionStyle::Balanced, DecompositionStyle::Chain] {
+            let patch = decompose_gate_patch(netlist, gate, style, 2, eval.node_count() as u32)
+                .expect("gate is wide");
+            eval.apply(&patch).expect("per-gate patches are valid");
+            let cost = eval.total_cost();
+            eval.rollback();
+            if cost < current && best.as_ref().is_none_or(|(b, _, _)| cost < *b) {
+                best = Some((cost, style, patch));
+            }
+        }
+        match best {
+            Some((cost, style, patch)) => {
+                eval.apply(&patch).expect("re-applying a probed patch");
+                eval.commit();
+                current = cost;
+                match style {
+                    DecompositionStyle::Balanced => report.balanced_gates += 1,
+                    DecompositionStyle::Chain => report.chain_gates += 1,
+                }
+                committed.push(patch);
+            }
+            None => report.kept_gates += 1,
+        }
+    }
+    report.mixed_cost = current;
+    let out = patch::materialize(netlist, &Patch::concat(&committed)).expect("valid candidate");
+    (out, report)
 }
 
 #[cfg(test)]
@@ -403,23 +729,62 @@ mod tests {
         let nl = iddq_gen::iscas::generate(p, 8);
         let buffered = fanout_buffer(&nl, 4);
         assert_equivalent(&nl, &buffered);
+        // The bound holds for *every* net of the output — original
+        // drivers and buffers alike, with buffer fan-ins counted as load.
         for id in buffered.node_ids() {
-            // Original nets now drive at most max_fanout gates... modulo
-            // their buffer taps, which share the load.
-            let gate_fanout = buffered
-                .fanout(id)
-                .iter()
-                .filter(|f| {
-                    buffered.node(**f).kind().cell_kind() != Some(CellKind::Buf)
-                        || !buffered.node_name(**f).contains("__buf")
-                })
-                .count();
             assert!(
-                gate_fanout <= 4 + 1,
+                buffered.fanout(id).len() <= 4,
+                "net {} drives {} > 4 consumers",
+                buffered.node_name(id),
+                buffered.fanout(id).len()
+            );
+        }
+        // The original circuit genuinely exceeds the bound somewhere, so
+        // the assertion above is not vacuous.
+        assert!(nl.node_ids().any(|id| nl.fanout(id).len() > 4));
+    }
+
+    #[test]
+    fn fanout_buffering_cascades_on_extreme_fanout() {
+        // One driver feeding 23 consumers under a bound of 3: a single
+        // buffer layer cannot carry this (the driver would feed 8
+        // buffers), so buffers must hang off buffers.
+        let mut b = NetlistBuilder::new("wide-net");
+        let i = b.add_input("i");
+        let j = b.add_input("j");
+        let src = b.add_gate("src", CellKind::And, vec![i, j]).unwrap();
+        for k in 0..23 {
+            let g = b
+                .add_gate(format!("c{k}"), CellKind::Not, vec![src])
+                .unwrap();
+            b.mark_output(g);
+        }
+        let nl = b.build().unwrap();
+        let buffered = fanout_buffer(&nl, 3);
+        assert_equivalent(&nl, &buffered);
+        for id in buffered.node_ids() {
+            assert!(
+                buffered.fanout(id).len() <= 3,
                 "net {} over-loaded",
                 buffered.node_name(id)
             );
         }
+        // Some buffer is driven by another buffer (a real cascade).
+        assert!(buffered.node_ids().any(|id| {
+            buffered.node_name(id).contains("__buf")
+                && buffered
+                    .node(id)
+                    .fanin()
+                    .iter()
+                    .any(|f| buffered.node_name(*f).contains("__buf"))
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host buffer cascades")]
+    fn fanout_bound_of_one_panics() {
+        let nl = data::c17();
+        let _ = fanout_buffer(&nl, 1);
     }
 
     #[test]
@@ -473,6 +838,77 @@ mod tests {
         };
         assert_eq!(chosen_cost, best);
         assert_equivalent(&nl, &out);
+    }
+
+    #[test]
+    fn patch_scoring_agrees_with_rebuild_scoring_bitwise() {
+        let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
+        let nl = iddq_gen::iscas::generate(p, 11);
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let (out_p, rep_p) = cost_aware(&nl, &lib, &cfg);
+        let (out_r, rep_r) = cost_aware_rebuild(&nl, &lib, &cfg);
+        assert_eq!(rep_p.chosen, rep_r.chosen);
+        assert_eq!(rep_p.original_cost.to_bits(), rep_r.original_cost.to_bits());
+        assert_eq!(rep_p.balanced_cost.to_bits(), rep_r.balanced_cost.to_bits());
+        assert_eq!(rep_p.chain_cost.to_bits(), rep_r.chain_cost.to_bits());
+        assert_equivalent(&out_p, &out_r);
+    }
+
+    #[test]
+    fn decompose_patch_candidate_is_equivalent_to_decompose() {
+        let nl = wide_gate_circuit();
+        for style in [DecompositionStyle::Balanced, DecompositionStyle::Chain] {
+            let patched = patch::materialize(&nl, &decompose_patch(&nl, style, 2)).unwrap();
+            let rebuilt = decompose(&nl, style, 2);
+            assert_equivalent(&nl, &patched);
+            assert_eq!(patched.gate_count(), rebuilt.gate_count());
+            assert_eq!(
+                iddq_netlist::levelize::depth(&patched),
+                iddq_netlist::levelize::depth(&rebuilt),
+                "{style:?} patch and rebuild share the tree shape"
+            );
+        }
+    }
+
+    #[test]
+    fn fanout_buffer_patch_is_equivalent_and_bounded() {
+        let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
+        let nl = iddq_gen::iscas::generate(p, 8);
+        let patched = patch::materialize(&nl, &fanout_buffer_patch(&nl, 4)).unwrap();
+        assert_equivalent(&nl, &patched);
+        for id in patched.node_ids() {
+            assert!(
+                patched.fanout(id).len() <= 4,
+                "net {} over-loaded",
+                patched.node_name(id)
+            );
+        }
+        assert_eq!(patched.gate_count(), fanout_buffer(&nl, 4).gate_count());
+    }
+
+    #[test]
+    fn per_gate_search_never_loses_to_keeping_the_original() {
+        let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
+        let nl = iddq_gen::iscas::generate(p, 3);
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let (out, report) = cost_aware_per_gate(&nl, &lib, &cfg);
+        assert!(report.mixed_cost <= report.original_cost);
+        assert_equivalent(&nl, &out);
+        // The mixed candidate's cost is reproduced by rebuild scoring.
+        let ctx = EvalContext::new(&out, &lib, cfg.clone());
+        let rebuilt = Evaluated::new(&ctx, Partition::single_module(&out)).total_cost();
+        assert_eq!(report.mixed_cost.to_bits(), rebuilt.to_bits());
+        // Every wide gate was either decomposed or deliberately kept.
+        let wide = nl
+            .gate_ids()
+            .filter(|&g| nl.node(g).fanin().len() > 2)
+            .count();
+        assert_eq!(
+            report.balanced_gates + report.chain_gates + report.kept_gates,
+            wide
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use iddq::gen::array;
 use iddq::gen::iscas::{self, IscasProfile};
 use iddq::netlist::data;
 
-fn ctx_for<'a>(nl: &'a iddq::netlist::Netlist, lib: &Library) -> EvalContext<'a> {
+fn ctx_for<'a>(nl: &'a iddq::netlist::Netlist, lib: &'a Library) -> EvalContext<'a> {
     EvalContext::new(nl, lib, PartitionConfig::paper_default())
 }
 
