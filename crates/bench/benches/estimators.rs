@@ -9,9 +9,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use iddq_bench::{experiment_config, experiment_library, table1_circuit};
 use iddq_celllib::NodeTables;
-use iddq_core::{EvalContext, Evaluated, Partition};
+use iddq_core::{AnalysisTier, EvalContext, Evaluated, Partition};
 use iddq_gen::iscas::IscasProfile;
-use iddq_netlist::separation::SeparationOracle;
+use iddq_netlist::separation::{GateSeparationTable, SeparationOracle};
 use iddq_netlist::{levelize, Netlist};
 
 fn circuits() -> Vec<(&'static str, Netlist)> {
@@ -37,10 +37,53 @@ fn bench_transition_times(c: &mut Criterion) {
 }
 
 fn bench_separation_oracle(c: &mut Criterion) {
+    // Four arms per circuit: the flat array-BFS engine, the historical
+    // hash-map reference (the PR 4 constructor), the thread-sharded
+    // parallel build, and the direct (oracle-free) gate-table build —
+    // local regressions of the analysis-construction rework show up here
+    // before the `bench` gates fire.
     let mut group = c.benchmark_group("separation_oracle_build");
     for (name, nl) in circuits() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+        group.bench_with_input(BenchmarkId::new("flat", name), &nl, |b, nl| {
             b.iter(|| SeparationOracle::new(nl, 6));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", name), &nl, |b, nl| {
+            b.iter(|| SeparationOracle::new_reference(nl, 6));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", name), &nl, |b, nl| {
+            b.iter(|| SeparationOracle::new_parallel(nl, 6, 4));
+        });
+        group.bench_with_input(BenchmarkId::new("gatesep_direct", name), &nl, |b, nl| {
+            b.iter(|| GateSeparationTable::direct(nl, 6, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_context_build(c: &mut Criterion) {
+    // The tiered EvalContext constructions the flows actually pay for:
+    // full (Separation) tier on the flat engine, the lightweight GateSep
+    // tier the resynthesis searches use, and the PR 4-style build.
+    let lib = experiment_library();
+    let cfg = experiment_config();
+    let mut group = c.benchmark_group("context_build");
+    for (name, nl) in circuits() {
+        group.bench_with_input(BenchmarkId::new("full", name), &nl, |b, nl| {
+            b.iter(|| EvalContext::builder(nl, &lib, cfg.clone()).build());
+        });
+        group.bench_with_input(BenchmarkId::new("gatesep", name), &nl, |b, nl| {
+            b.iter(|| {
+                EvalContext::builder(nl, &lib, cfg.clone())
+                    .tier(AnalysisTier::GateSep)
+                    .build()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pr4_reference", name), &nl, |b, nl| {
+            b.iter(|| {
+                EvalContext::builder(nl, &lib, cfg.clone())
+                    .reference_oracle()
+                    .build()
+            });
         });
     }
     group.finish();
@@ -78,6 +121,7 @@ criterion_group!(
     benches,
     bench_transition_times,
     bench_separation_oracle,
+    bench_context_build,
     bench_module_stats,
     bench_cost_evaluation
 );

@@ -16,10 +16,11 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use iddq_celllib::Library;
 use iddq_core::evolution::EvolutionConfig;
-use iddq_core::{config::PartitionConfig, flow};
+use iddq_core::{config::PartitionConfig, flow, AnalysisTier, EvalContext};
 use iddq_netlist::{bench, dot, Netlist};
 
 fn main() -> ExitCode {
@@ -127,24 +128,39 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
     let library = Library::generic_1um();
 
     if rest.iter().any(|a| a == "--resynth") {
+        // The patch-scored searches only need the GateSep analysis tier;
+        // the build and the search are timed separately so the report
+        // shows where the wall-clock actually goes.
+        let t_analysis = Instant::now();
+        let ctx = EvalContext::builder(&cut, &library, config.clone())
+            .tier(AnalysisTier::GateSep)
+            .build();
+        let analysis_secs = t_analysis.elapsed().as_secs_f64();
+        let t_search = Instant::now();
         if rest.iter().any(|a| a == "--per-gate") {
-            let (out, report) = iddq_synth::cost_aware_per_gate(&cut, &library, &config);
+            let (out, report) = iddq_synth::cost_aware_per_gate_in(&ctx);
+            let search_secs = t_search.elapsed().as_secs_f64();
             eprintln!(
                 "resynthesis (per-gate): original {:.1} -> mixed {:.1} \
-                 ({} balanced, {} chain, {} kept)",
+                 ({} balanced, {} chain, {} kept); \
+                 analyses {analysis_secs:.3} s + search {search_secs:.3} s",
                 report.original_cost,
                 report.mixed_cost,
                 report.balanced_gates,
                 report.chain_gates,
                 report.kept_gates
             );
+            drop(ctx);
             cut = out;
         } else {
-            let (out, report) = iddq_synth::cost_aware(&cut, &library, &config);
+            let (out, report) = iddq_synth::cost_aware_in(&ctx);
+            let search_secs = t_search.elapsed().as_secs_f64();
             eprintln!(
-                "resynthesis: original {:.1} / balanced {:.1} / chain {:.1} -> {:?}",
+                "resynthesis: original {:.1} / balanced {:.1} / chain {:.1} -> {:?}; \
+                 analyses {analysis_secs:.3} s + search {search_secs:.3} s",
                 report.original_cost, report.balanced_cost, report.chain_cost, report.chosen
             );
+            drop(ctx);
             cut = out;
         }
     }
@@ -233,10 +249,15 @@ fn cmd_test(rest: &[String]) -> Result<(), String> {
     let library = Library::generic_1um();
     let config = PartitionConfig::paper_default();
 
-    let faults = iddq_logicsim::faults::enumerate(
+    // One full-tier analysis context serves both the defect enumeration
+    // (its separation oracle covers the bridge-locality filter) and the
+    // synthesis flow — the oracle is built once, not twice.
+    let ctx = EvalContext::builder(&cut, &library, config.clone()).build();
+    let faults = iddq_logicsim::faults::enumerate_with(
         &cut,
         &iddq_logicsim::faults::FaultUniverseConfig::default(),
         seed,
+        ctx.try_separation(),
     );
     let tests = iddq_atpg::generate(&cut, &faults, &iddq_atpg::AtpgConfig::default(), seed);
     let evo = EvolutionConfig {
@@ -244,7 +265,7 @@ fn cmd_test(rest: &[String]) -> Result<(), String> {
         stagnation: 25,
         ..Default::default()
     };
-    let result = flow::synthesize_with(&cut, &library, &config, &evo, seed);
+    let result = flow::synthesize_in(&ctx, &evo, seed);
     let leaks: Vec<f64> = result
         .report
         .modules

@@ -362,10 +362,11 @@ fn synth_resynth_reports_candidates_and_chosen() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    // The report lands on stderr: all three candidate costs + the winner.
+    // The report lands on stderr: all three candidate costs, the winner,
+    // and the analysis-build vs candidate-search wall-clock split.
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("resynthesis:"), "{err}");
-    for field in ["original", "balanced", "chain", "->"] {
+    for field in ["original", "balanced", "chain", "->", "analyses", "search"] {
         assert!(err.contains(field), "missing `{field}` in: {err}");
     }
     // The flow still reports the synthesized result on stdout.
@@ -394,6 +395,8 @@ fn synth_resynth_per_gate_reports_mixed_cost() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("resynthesis (per-gate):"), "{err}");
     assert!(err.contains("mixed"), "{err}");
+    assert!(err.contains("analyses"), "{err}");
+    assert!(err.contains("search"), "{err}");
 
     let _ = std::fs::remove_file(bench_path);
 }

@@ -1,4 +1,36 @@
-//! One-time analysis context shared by every partition evaluation.
+//! Tiered, parallel construction of the one-time analysis context shared
+//! by every partition evaluation.
+//!
+//! # The tier lattice
+//!
+//! Not every consumer needs every analysis, and the analyses have very
+//! different costs — on large circuits the §3.3 separation oracle
+//! dominates the build. [`EvalContextBuilder`] therefore constructs an
+//! [`EvalContext`] at one of three tiers:
+//!
+//! | tier ([`AnalysisTier`]) | contains | needed by |
+//! |---|---|---|
+//! | `Timing` | cell tables, §3.1 transition-time sets, fanout-cone index, nominal critical path, topo gate list | everything below builds on it |
+//! | `GateSep` | `Timing` + the gate-only `ρ − d` neighbour-weight table ([`GateSeparationTable`]), built *directly* from the netlist | [`crate::resynth::ResynthEval`] and the patch-scored resynthesis searches (`iddq-synth::cost_aware[_per_gate]`) |
+//! | `Separation` | `Timing` + the full ρ-bounded [`SeparationOracle`] (+ the table distilled from it) | [`crate::Evaluated`], [`crate::standard`], [`crate::evolution`], [`crate::flow`] — anything that queries node-to-node distances |
+//!
+//! `Timing ⊂ GateSep ⊂ Separation`: each tier strictly extends the one
+//! below. The resynthesis flows deliberately stop at `GateSep` — the full
+//! oracle also carries every primary-input row they never read, and on
+//! c7552 skipping it removes most of the construction cost that used to
+//! floor every candidate search.
+//!
+//! # Parallelism
+//!
+//! The separation build is one independent bounded BFS per node;
+//! [`EvalContextBuilder::threads`] shards it across workers (the stitched
+//! result is bit-identical to the serial build, so a parallel context is
+//! interchangeable with a serial one everywhere).
+//!
+//! [`EvalContextBuilder::reference_oracle`] pins the build to the
+//! historical hash-map constructor
+//! ([`SeparationOracle::new_reference`]) — the differential baseline the
+//! `context_build` benchmark section gates the flat engine against.
 
 use iddq_celllib::{Library, NodeTables, Technology};
 use iddq_netlist::cone::ConeIndex;
@@ -7,13 +39,32 @@ use iddq_netlist::{levelize, Netlist, TimeSet};
 
 use crate::config::PartitionConfig;
 
+/// How much analysis an [`EvalContext`] carries (see the
+/// [module docs](self) for the lattice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnalysisTier {
+    /// Tables, transition times, cones and nominal delay only.
+    Timing,
+    /// `Timing` plus the gate-only separation table (no full oracle).
+    GateSep,
+    /// `Timing` plus the full separation oracle (and its gate table) —
+    /// what [`EvalContext::new`] builds.
+    Separation,
+}
+
 /// Precomputed, partition-independent analysis of one `(netlist, library,
 /// config)` triple.
 ///
 /// Everything the cost estimators need repeatedly — transition-time sets
-/// (§3.1), the separation oracle (§3.3), nominal critical-path timing
+/// (§3.1), the separation analyses (§3.3), nominal critical-path timing
 /// (§3.2) and flattened cell tables — is computed once here; evaluating or
 /// mutating a partition then never touches the netlist text again.
+///
+/// The separation analyses are tiered (see the [module docs](self)):
+/// [`EvalContext::separation`] and [`EvalContext::sep_table`] panic when
+/// the context was built below the tier that provides them, with
+/// [`EvalContext::try_separation`] / [`EvalContext::try_sep_table`] as the
+/// non-panicking forms.
 ///
 /// # Example
 ///
@@ -46,26 +97,106 @@ pub struct EvalContext<'a> {
     /// One past the largest transition time over all nodes (histogram
     /// length for the per-module activity analysis).
     pub horizon: usize,
-    /// Bounded-BFS separation oracle (§3.3).
-    pub separation: SeparationOracle,
-    /// Gate-only neighbour-weight table distilled from the oracle: the
-    /// per-move separation delta in [`crate::evaluator::Evaluated`] is one
-    /// contiguous scan of this table against the dense assignment vector,
-    /// instead of a hash/closure walk over the full (input-polluted)
-    /// neighbourhood.
-    pub sep_table: GateSeparationTable,
     /// Fanout-cone index driving the incremental delay re-simulation.
     pub cones: ConeIndex,
     /// Nominal (sensor-free) critical path delay `D`, picoseconds.
     pub nominal_delay_ps: f64,
     /// All gate ids, in topological order.
     pub gates: Vec<iddq_netlist::NodeId>,
+    /// Which tier was built.
+    tier: AnalysisTier,
+    /// Bounded-BFS separation oracle (§3.3); `Separation` tier only.
+    separation: Option<SeparationOracle>,
+    /// Gate-only neighbour-weight table: the per-move separation delta in
+    /// [`crate::evaluator::Evaluated`] is one contiguous scan of this
+    /// table against the dense assignment vector. `GateSep` tier and up.
+    sep_table: Option<GateSeparationTable>,
 }
 
-impl<'a> EvalContext<'a> {
-    /// Runs the one-time analyses.
+/// Staged construction of an [`EvalContext`] — pick a tier, a thread
+/// count, and (for benchmarking) the reference oracle constructor.
+///
+/// # Example
+///
+/// ```rust
+/// use iddq_celllib::Library;
+/// use iddq_core::context::AnalysisTier;
+/// use iddq_core::{config::PartitionConfig, EvalContext, ResynthEval};
+/// use iddq_netlist::data;
+///
+/// let c17 = data::c17();
+/// let lib = Library::generic_1um();
+/// // A lightweight context for patch-scored resynthesis: no full oracle.
+/// let ctx = EvalContext::builder(&c17, &lib, PartitionConfig::paper_default())
+///     .tier(AnalysisTier::GateSep)
+///     .build();
+/// assert_eq!(ctx.tier(), AnalysisTier::GateSep);
+/// assert!(ctx.try_separation().is_none());
+/// let mut eval = ResynthEval::new(&ctx);
+/// assert!(eval.total_cost().is_finite());
+/// ```
+#[derive(Debug)]
+pub struct EvalContextBuilder<'a> {
+    netlist: &'a Netlist,
+    library: &'a Library,
+    config: PartitionConfig,
+    tier: AnalysisTier,
+    threads: usize,
+    reference_oracle: bool,
+}
+
+impl<'a> EvalContextBuilder<'a> {
+    /// Starts a builder at the full `Separation` tier, serial build.
     #[must_use]
     pub fn new(netlist: &'a Netlist, library: &'a Library, config: PartitionConfig) -> Self {
+        EvalContextBuilder {
+            netlist,
+            library,
+            config,
+            tier: AnalysisTier::Separation,
+            threads: 1,
+            reference_oracle: false,
+        }
+    }
+
+    /// Selects how much analysis to build (default:
+    /// [`AnalysisTier::Separation`]).
+    #[must_use]
+    pub fn tier(mut self, tier: AnalysisTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Shards the separation BFS across `threads` workers (`0` and `1`
+    /// both mean serial). The result is bit-identical for every thread
+    /// count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builds the separation oracle with the historical hash-map
+    /// constructor ([`SeparationOracle::new_reference`]) instead of the
+    /// flat engine — the differential/benchmark baseline. Only meaningful
+    /// at the `Separation` tier.
+    #[must_use]
+    pub fn reference_oracle(mut self) -> Self {
+        self.reference_oracle = true;
+        self
+    }
+
+    /// Runs the analyses of the selected tier.
+    #[must_use]
+    pub fn build(self) -> EvalContext<'a> {
+        let EvalContextBuilder {
+            netlist,
+            library,
+            config,
+            tier,
+            threads,
+            reference_oracle,
+        } = self;
         let tables = NodeTables::new(netlist, library);
         let times = levelize::transition_times(netlist, &tables.grid_delay);
         let horizon = times
@@ -74,8 +205,6 @@ impl<'a> EvalContext<'a> {
             .max()
             .map(|t| t as usize + 1)
             .unwrap_or(1);
-        let separation = SeparationOracle::new(netlist, config.rho);
-        let sep_table = separation.gate_table(netlist);
         let cones = ConeIndex::new(netlist);
         let nominal_delay_ps = levelize::critical_path_delay(netlist, &tables.delay_ps);
         let gates = netlist
@@ -84,6 +213,22 @@ impl<'a> EvalContext<'a> {
             .copied()
             .filter(|&id| netlist.is_gate(id))
             .collect();
+        let (separation, sep_table) = match tier {
+            AnalysisTier::Timing => (None, None),
+            AnalysisTier::GateSep => (
+                None,
+                Some(GateSeparationTable::direct(netlist, config.rho, threads)),
+            ),
+            AnalysisTier::Separation => {
+                let oracle = if reference_oracle {
+                    SeparationOracle::new_reference(netlist, config.rho)
+                } else {
+                    SeparationOracle::new_parallel(netlist, config.rho, threads)
+                };
+                let table = oracle.gate_table(netlist);
+                (Some(oracle), Some(table))
+            }
+        };
         EvalContext {
             netlist,
             library,
@@ -92,12 +237,83 @@ impl<'a> EvalContext<'a> {
             tables,
             times,
             horizon,
-            separation,
-            sep_table,
             cones,
             nominal_delay_ps,
             gates,
+            tier,
+            separation,
+            sep_table,
         }
+    }
+}
+
+impl<'a> EvalContext<'a> {
+    /// Runs the one-time analyses at the full `Separation` tier (serial
+    /// build). Use [`EvalContext::builder`] for lighter tiers or a
+    /// parallel build.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, library: &'a Library, config: PartitionConfig) -> Self {
+        EvalContextBuilder::new(netlist, library, config).build()
+    }
+
+    /// Starts an [`EvalContextBuilder`].
+    #[must_use]
+    pub fn builder(
+        netlist: &'a Netlist,
+        library: &'a Library,
+        config: PartitionConfig,
+    ) -> EvalContextBuilder<'a> {
+        EvalContextBuilder::new(netlist, library, config)
+    }
+
+    /// The tier this context was built at.
+    #[must_use]
+    pub fn tier(&self) -> AnalysisTier {
+        self.tier
+    }
+
+    /// The §3.3 separation oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context was built below [`AnalysisTier::Separation`].
+    #[must_use]
+    pub fn separation(&self) -> &SeparationOracle {
+        self.separation.as_ref().unwrap_or_else(|| {
+            panic!(
+                "EvalContext tier {:?} carries no separation oracle — build \
+                 with AnalysisTier::Separation",
+                self.tier
+            )
+        })
+    }
+
+    /// The separation oracle, if this tier carries one.
+    #[must_use]
+    pub fn try_separation(&self) -> Option<&SeparationOracle> {
+        self.separation.as_ref()
+    }
+
+    /// The gate-only `ρ − d` neighbour-weight table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context was built below [`AnalysisTier::GateSep`].
+    #[must_use]
+    pub fn sep_table(&self) -> &GateSeparationTable {
+        self.sep_table.as_ref().unwrap_or_else(|| {
+            panic!(
+                "EvalContext tier {:?} carries no gate separation table — \
+                 build with AnalysisTier::GateSep or above",
+                self.tier
+            )
+        })
+    }
+
+    /// The gate separation table, if this tier carries one.
+    #[must_use]
+    pub fn try_sep_table(&self) -> Option<&GateSeparationTable> {
+        self.sep_table.as_ref()
     }
 
     /// Average per-gate leakage in nanoamps — used by the §4.2 module-size
@@ -165,5 +381,80 @@ mod tests {
     fn mean_leakage_positive() {
         let nl = data::c17();
         assert!(ctx_for(&nl).mean_gate_leakage_na() > 0.0);
+    }
+
+    #[test]
+    fn default_build_is_full_tier() {
+        let nl = data::c17();
+        let ctx = ctx_for(&nl);
+        assert_eq!(ctx.tier(), AnalysisTier::Separation);
+        assert!(ctx.try_separation().is_some());
+        assert!(ctx.try_sep_table().is_some());
+        assert_eq!(ctx.separation().rho(), ctx.config.rho);
+    }
+
+    #[test]
+    fn gatesep_tier_table_equals_full_tier_table() {
+        let nl = data::ripple_adder(8);
+        let full = ctx_for(&nl);
+        let light = EvalContext::builder(&nl, test_library(), PartitionConfig::paper_default())
+            .tier(AnalysisTier::GateSep)
+            .build();
+        assert_eq!(light.tier(), AnalysisTier::GateSep);
+        assert!(light.try_separation().is_none());
+        assert_eq!(light.sep_table(), full.sep_table());
+    }
+
+    #[test]
+    fn timing_tier_has_timing_analyses_only() {
+        let nl = data::c17();
+        let ctx = EvalContext::builder(&nl, test_library(), PartitionConfig::paper_default())
+            .tier(AnalysisTier::Timing)
+            .build();
+        assert!(ctx.try_separation().is_none());
+        assert!(ctx.try_sep_table().is_none());
+        assert!(ctx.nominal_delay_ps > 0.0);
+        assert_eq!(ctx.gates.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no separation oracle")]
+    fn separation_accessor_panics_below_tier() {
+        let nl = data::c17();
+        let ctx = EvalContext::builder(&nl, test_library(), PartitionConfig::paper_default())
+            .tier(AnalysisTier::GateSep)
+            .build();
+        let _ = ctx.separation();
+    }
+
+    #[test]
+    #[should_panic(expected = "no gate separation table")]
+    fn sep_table_accessor_panics_below_tier() {
+        let nl = data::c17();
+        let ctx = EvalContext::builder(&nl, test_library(), PartitionConfig::paper_default())
+            .tier(AnalysisTier::Timing)
+            .build();
+        let _ = ctx.sep_table();
+    }
+
+    #[test]
+    fn parallel_and_reference_builds_match_serial() {
+        let nl = data::ripple_adder(10);
+        let serial = ctx_for(&nl);
+        for build in [
+            EvalContext::builder(&nl, test_library(), PartitionConfig::paper_default()).threads(4),
+            EvalContext::builder(&nl, test_library(), PartitionConfig::paper_default())
+                .reference_oracle(),
+        ] {
+            let ctx = build.build();
+            assert_eq!(ctx.separation(), serial.separation());
+            assert_eq!(ctx.sep_table(), serial.sep_table());
+        }
+    }
+
+    #[test]
+    fn tier_ordering_reflects_the_lattice() {
+        assert!(AnalysisTier::Timing < AnalysisTier::GateSep);
+        assert!(AnalysisTier::GateSep < AnalysisTier::Separation);
     }
 }

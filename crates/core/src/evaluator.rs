@@ -342,7 +342,7 @@ impl<'a> Evaluated<'a> {
             s.rail_cap_ff += ctx.tables.c_rail_ff[gi];
             s.cell_area += ctx.tables.area[gi];
         }
-        s.separation = ctx.separation.module_separation(gates);
+        s.separation = ctx.separation().module_separation(gates);
         s.rescan_peaks();
         s
     }
@@ -398,14 +398,14 @@ impl<'a> Evaluated<'a> {
         // (whole-module) move sequences affordable.
         let gi = gate.index();
         let assignment = self.partition.assignment();
-        let sep_out = self.ctx.sep_table.separation_to_members(
+        let sep_out = self.ctx.sep_table().separation_to_members(
             gate,
             self.partition.module(source).len(),
             true,
             assignment,
             source as u32,
         );
-        let sep_in = self.ctx.sep_table.separation_to_members(
+        let sep_in = self.ctx.sep_table().separation_to_members(
             gate,
             self.partition.module(target).len(),
             false,

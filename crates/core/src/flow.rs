@@ -128,6 +128,10 @@ pub fn synthesize(
 }
 
 /// Runs the flow with explicit optimizer parameters.
+///
+/// The analysis context is built once at the full tier, with the
+/// separation BFS sharded across `evo.threads` workers (bit-identical to
+/// a serial build).
 #[must_use]
 pub fn synthesize_with(
     netlist: &Netlist,
@@ -136,9 +140,24 @@ pub fn synthesize_with(
     evo: &EvolutionConfig,
     seed: u64,
 ) -> SynthesisResult {
-    let ctx = EvalContext::new(netlist, library, config.clone());
-    let outcome = evolution::optimize(&ctx, evo, seed);
-    let eval = Evaluated::new(&ctx, outcome.best.clone());
+    let ctx = EvalContext::builder(netlist, library, config.clone())
+        .threads(evo.threads)
+        .build();
+    synthesize_in(&ctx, evo, seed)
+}
+
+/// Runs the flow on a caller-supplied (full-tier) context, so callers
+/// that already hold the analyses — e.g. to share the separation oracle
+/// with defect enumeration — do not pay for a second build.
+///
+/// # Panics
+///
+/// Panics if `ctx` was built below
+/// [`AnalysisTier::Separation`](crate::AnalysisTier::Separation).
+#[must_use]
+pub fn synthesize_in(ctx: &EvalContext<'_>, evo: &EvolutionConfig, seed: u64) -> SynthesisResult {
+    let outcome = evolution::optimize(ctx, evo, seed);
+    let eval = Evaluated::new(ctx, outcome.best.clone());
     let report = report_for(&eval);
     SynthesisResult {
         partition: outcome.best,
@@ -170,26 +189,21 @@ pub fn compare_standard(
     evo: &EvolutionConfig,
     seed: u64,
 ) -> Comparison {
-    let ctx = EvalContext::new(netlist, library, config.clone());
-    let outcome = evolution::optimize(&ctx, evo, seed);
-    let eval = Evaluated::new(&ctx, outcome.best.clone());
-    let report = report_for(&eval);
+    let ctx = EvalContext::builder(netlist, library, config.clone())
+        .threads(evo.threads)
+        .build();
+    let evolution = synthesize_in(&ctx, evo, seed);
 
     // Same module *count* as the evolution result, balanced sizes — the
     // electrically determined size of §5 ("we take the numbers obtained by
     // the evolution based algorithm").
-    let sizes = standard::equal_sizes(netlist.gate_count(), outcome.best.module_count());
+    let sizes = standard::equal_sizes(netlist.gate_count(), evolution.partition.module_count());
     let std_p = standard::standard_partition(&ctx, &sizes);
     let std_eval = Evaluated::new(&ctx, std_p.clone());
     let std_report = report_for(&std_eval);
 
     Comparison {
-        evolution: SynthesisResult {
-            partition: outcome.best,
-            report,
-            log: outcome.log,
-            evaluations: outcome.evaluations,
-        },
+        evolution,
         standard: std_report,
         standard_partition: std_p,
     }

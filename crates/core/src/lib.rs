@@ -24,7 +24,9 @@
 //!
 //! * [`config`] — weights and parameters (paper defaults included),
 //! * [`context`] — one-time analysis of a netlist + library
-//!   (transition-time sets, separation oracle, nominal timing),
+//!   (transition-time sets, separation analyses, nominal timing), built
+//!   flat, tiered ([`AnalysisTier`]) and optionally parallel via
+//!   [`EvalContextBuilder`],
 //! * [`partition`] — the plain partition data type,
 //! * [`evaluator`] — incremental cost evaluation ([`Evaluated`]),
 //! * [`resynth`] — structure-patched cost evaluation ([`ResynthEval`]):
@@ -70,7 +72,7 @@ pub mod standard;
 pub mod start;
 
 pub use config::{PartitionConfig, Weights};
-pub use context::EvalContext;
+pub use context::{AnalysisTier, EvalContext, EvalContextBuilder};
 pub use cost::CostBreakdown;
 pub use evaluator::Evaluated;
 pub use partition::Partition;

@@ -74,6 +74,19 @@ struct UndoFrame {
     sum_w_before: u64,
 }
 
+/// Persistent buffers of the region-sized separation refresh (the
+/// flat-CSR adjacency snapshot plus the epoch-stamped BFS scratch) —
+/// kept on the evaluation so repeated whole-circuit probes reuse the
+/// allocations instead of rebuilding them per apply.
+#[derive(Debug, Default)]
+struct RefreshScratch {
+    adj_offsets: Vec<u32>,
+    adj_pool: Vec<u32>,
+    stamp: Vec<u64>,
+    epoch: u64,
+    queue: Vec<u32>,
+}
+
 /// Work accounting of one [`ResynthEval::apply`] / rollback.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PatchImpact {
@@ -144,11 +157,22 @@ pub struct ResynthEval<'a> {
     hist_cnt: Vec<u32>,
     weight: Vec<f64>,
     arr: Vec<f64>,
+    /// Region-sized separation-refresh scratch (see [`RefreshScratch`]).
+    refresh_scratch: RefreshScratch,
 }
 
 impl<'a> ResynthEval<'a> {
     /// Mirrors the context's netlist and seeds every derived quantity from
     /// the context's precomputed analyses (no BFS, no sweep).
+    ///
+    /// The context needs the gate separation table but **not** the full
+    /// oracle — an [`crate::context::AnalysisTier::GateSep`] build
+    /// suffices and skips most of the analysis-construction cost (the
+    /// costs produced on either tier are bit-identical, property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` was built at the bare `Timing` tier.
     #[must_use]
     pub fn new(ctx: &'a EvalContext<'a>) -> Self {
         let nl = ctx.netlist;
@@ -160,7 +184,7 @@ impl<'a> ResynthEval<'a> {
             .node_ids()
             .map(|id| {
                 if nl.is_gate(id) {
-                    ctx.sep_table.near_weight(id)
+                    ctx.sep_table().near_weight(id)
                 } else {
                     0
                 }
@@ -189,6 +213,7 @@ impl<'a> ResynthEval<'a> {
             hist_cnt: Vec::new(),
             weight: vec![0.0; n],
             arr: vec![0.0; n],
+            refresh_scratch: RefreshScratch::default(),
         }
     }
 
@@ -608,19 +633,11 @@ impl<'a> ResynthEval<'a> {
             ref mut near_w,
             ref mut sum_w,
             ref mut w_log,
+            ref mut refresh_scratch,
             ..
         } = *self;
         let mut separation_recomputed = 0usize;
-        for &g in &ball {
-            if kinds[g as usize].is_none() {
-                continue;
-            }
-            let mut w = 0u64;
-            cones.bounded_bfs(g, rho.saturating_sub(1), |n, d| {
-                if kinds[n as usize].is_some() {
-                    w += u64::from(rho - d);
-                }
-            });
+        let mut store = |g: u32, w: u64| {
             let old = near_w[g as usize];
             if w != old {
                 w_log.push((g, old));
@@ -628,7 +645,78 @@ impl<'a> ResynthEval<'a> {
                 *sum_w -= old;
                 near_w[g as usize] = w;
             }
-            separation_recomputed += 1;
+        };
+        if ball.len() * 8 > alive {
+            // Region-sized edit (the whole-circuit candidates of
+            // `cost_aware` re-derive nearly every gate): flatten the
+            // patched adjacency into one CSR snapshot first, so the
+            // per-gate bounded BFS runs over contiguous arrays instead
+            // of chasing one heap allocation per neighbour list. The
+            // weights are plain sums, so this path is bit-identical to
+            // the per-gate walk below. The snapshot content is per-patch
+            // (the structure just changed) but the buffers persist on
+            // the evaluation, so repeated probes don't reallocate.
+            let RefreshScratch {
+                ref mut adj_offsets,
+                ref mut adj_pool,
+                ref mut stamp,
+                ref mut epoch,
+                ref mut queue,
+            } = *refresh_scratch;
+            adj_offsets.clear();
+            adj_offsets.push(0);
+            adj_pool.clear();
+            for i in 0..alive {
+                adj_pool.extend_from_slice(cones.fanin(i));
+                adj_pool.extend_from_slice(cones.fanout(i));
+                adj_offsets.push(adj_pool.len() as u32);
+            }
+            stamp.resize(alive, 0);
+            for &g in &ball {
+                if kinds[g as usize].is_none() {
+                    continue;
+                }
+                *epoch += 1;
+                stamp[g as usize] = *epoch;
+                queue.clear();
+                queue.push(g);
+                let (mut head, mut tail) = (0usize, 1usize);
+                let mut d = 0u32;
+                let mut w = 0u64;
+                while d + 1 < rho && head < tail {
+                    d += 1;
+                    for k in head..tail {
+                        let u = queue[k] as usize;
+                        for &v in &adj_pool[adj_offsets[u] as usize..adj_offsets[u + 1] as usize] {
+                            if stamp[v as usize] != *epoch {
+                                stamp[v as usize] = *epoch;
+                                queue.push(v);
+                                if kinds[v as usize].is_some() {
+                                    w += u64::from(rho - d);
+                                }
+                            }
+                        }
+                    }
+                    head = tail;
+                    tail = queue.len();
+                }
+                store(g, w);
+                separation_recomputed += 1;
+            }
+        } else {
+            for &g in &ball {
+                if kinds[g as usize].is_none() {
+                    continue;
+                }
+                let mut w = 0u64;
+                cones.bounded_bfs(g, rho.saturating_sub(1), |n, d| {
+                    if kinds[n as usize].is_some() {
+                        w += u64::from(rho - d);
+                    }
+                });
+                store(g, w);
+                separation_recomputed += 1;
+            }
         }
         self.order_dirty = true;
         self.nominal_dirty = true;

@@ -43,7 +43,7 @@ pub fn standard_partition(ctx: &EvalContext<'_>, module_sizes: &[usize]) -> Part
     );
 
     let levels = levelize::levels(netlist);
-    let sep = &ctx.separation;
+    let sep = ctx.separation();
     let rho = u64::from(sep.rho());
 
     // Sum of saturated distances from each gate to *all* gates: most pairs

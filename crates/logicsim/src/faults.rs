@@ -17,6 +17,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use iddq_netlist::separation::SeparationOracle;
 use iddq_netlist::{Netlist, NodeId};
 
 /// One modelled IDDQ defect.
@@ -132,8 +133,32 @@ impl Default for FaultUniverseConfig {
 /// undirected circuit graph (using a truncated BFS), mirroring the
 /// layout-locality of real shorts. Gate-oxide shorts and stuck-on defects
 /// are sampled per gate.
+///
+/// Builds its own [`SeparationOracle`] for the locality filter; callers
+/// already holding one (e.g. from an `iddq_core` analysis context) should
+/// use [`enumerate_with`] to share it.
 #[must_use]
 pub fn enumerate(netlist: &Netlist, config: &FaultUniverseConfig, seed: u64) -> Vec<IddqFault> {
+    enumerate_with(netlist, config, seed, None)
+}
+
+/// [`enumerate`] with an optionally borrowed [`SeparationOracle`].
+///
+/// The borrowed oracle is used when its bound covers the locality filter
+/// (`ρ ≥ bridge_locality + 1`): every bridge candidate sits at distance
+/// `≤ bridge_locality`, and a wider oracle reports exactly the same
+/// (sorted) candidate set below its bound, so the enumeration is
+/// **identical** to building a dedicated `ρ = bridge_locality + 1`
+/// oracle. When no oracle is supplied — or its bound is too small to
+/// decide the filter — a dedicated one is built, exactly as
+/// [`enumerate`] does.
+#[must_use]
+pub fn enumerate_with(
+    netlist: &Netlist,
+    config: &FaultUniverseConfig,
+    seed: u64,
+    oracle: Option<&SeparationOracle>,
+) -> Vec<IddqFault> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xfau64 << 32);
     let gates: Vec<NodeId> = netlist.gate_ids().collect();
     let mut faults = Vec::new();
@@ -148,8 +173,14 @@ pub fn enumerate(netlist: &Netlist, config: &FaultUniverseConfig, seed: u64) -> 
     // lists are then read off directly instead of re-filtering all gates
     // per sampling attempt, which was O(G²) per bridge on large circuits.
     if config.bridges > 0 {
-        let sep =
-            iddq_netlist::separation::SeparationOracle::new(netlist, config.bridge_locality + 1);
+        let own;
+        let sep = match oracle {
+            Some(sep) if sep.rho() > config.bridge_locality => sep,
+            _ => {
+                own = SeparationOracle::new(netlist, config.bridge_locality + 1);
+                &own
+            }
+        };
         let nearby_gates: Vec<Vec<NodeId>> = gates
             .iter()
             .map(|&a| {
@@ -272,13 +303,34 @@ mod tests {
         let b = enumerate(&nl, &cfg, 42);
         assert_eq!(a, b);
         assert!(!a.is_empty());
-        let sep = iddq_netlist::separation::SeparationOracle::new(&nl, cfg.bridge_locality + 1);
+        let sep = SeparationOracle::new(&nl, cfg.bridge_locality + 1);
         for f in &a {
             if let IddqFault::Bridge { a, b, .. } = f {
                 assert!(sep.distance(*a, *b) <= cfg.bridge_locality);
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn borrowed_oracle_reproduces_owned_enumeration() {
+        let nl = data::ripple_adder(8);
+        let cfg = FaultUniverseConfig::default();
+        let owned = enumerate(&nl, &cfg, 42);
+        // A wider borrowed oracle (ρ = 6 > locality + 1 = 5) yields the
+        // identical universe: the candidate sets below the bound agree.
+        for rho in [cfg.bridge_locality + 1, 6, 9] {
+            let sep = SeparationOracle::new(&nl, rho);
+            assert_eq!(
+                enumerate_with(&nl, &cfg, 42, Some(&sep)),
+                owned,
+                "borrowed rho {rho}"
+            );
+        }
+        // A too-narrow oracle cannot decide the filter; the fallback
+        // build keeps the result identical anyway.
+        let narrow = SeparationOracle::new(&nl, cfg.bridge_locality);
+        assert_eq!(enumerate_with(&nl, &cfg, 42, Some(&narrow)), owned);
     }
 
     #[test]

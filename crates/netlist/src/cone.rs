@@ -575,31 +575,33 @@ impl DynamicCones {
     pub fn bounded_bfs(&mut self, from: u32, depth: u32, mut visit: impl FnMut(u32, u32)) {
         self.generation += 1;
         let generation = self.generation;
-        self.stamp[from as usize] = generation;
-        self.affected.clear();
-        self.affected.push(from);
+        let DynamicCones {
+            ref fanin,
+            ref fanout,
+            ref mut stamp,
+            ref mut affected,
+            ..
+        } = *self;
+        stamp[from as usize] = generation;
+        affected.clear();
+        affected.push(from);
         let mut head = 0usize;
         let mut frontier_end = 1usize;
         let mut d = 0u32;
         while d < depth && head < frontier_end {
             d += 1;
             for k in head..frontier_end {
-                let i = self.affected[k] as usize;
-                for f in 0..self.fanin[i].len() + self.fanout[i].len() {
-                    let n = if f < self.fanin[i].len() {
-                        self.fanin[i][f]
-                    } else {
-                        self.fanout[i][f - self.fanin[i].len()]
-                    };
-                    if self.stamp[n as usize] != generation {
-                        self.stamp[n as usize] = generation;
-                        self.affected.push(n);
+                let i = affected[k] as usize;
+                for &n in fanin[i].iter().chain(fanout[i].iter()) {
+                    if stamp[n as usize] != generation {
+                        stamp[n as usize] = generation;
+                        affected.push(n);
                         visit(n, d);
                     }
                 }
             }
             head = frontier_end;
-            frontier_end = self.affected.len();
+            frontier_end = affected.len();
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The bounded separation metric of §3.3.
+//! The bounded separation metric of §3.3, on a flat array BFS engine.
 //!
 //! The *separation parameter* `S(g_i, g_j)` of two gates is the minimum
 //! number of nodes traversed when going from `g_i` to `g_j` in the
@@ -11,17 +11,359 @@
 //! capturing the routing difficulty of linking a BIC sensor to gates placed
 //! in remote locations.
 //!
+//! # Construction
+//!
 //! [`SeparationOracle`] precomputes, once per netlist, the ρ-bounded BFS
-//! neighbourhood of every gate so that pair queries during optimization are
-//! O(1) hash lookups; this is what keeps the incremental cost updates of
-//! the evolution algorithm cheap.
+//! neighbourhood of every node, stored as one flat `(flat, offsets)` CSR
+//! table of `(node, distance)` rows sorted by node id —
+//! [`SeparationOracle::distance`] is a binary search over a short
+//! contiguous row, and full-neighbourhood scans
+//! ([`SeparationOracle::near_slice`]) are a pointer bump.
+//!
+//! The build is **flat, bit-parallel and array-based**:
+//!
+//! * the undirected adjacency (fan-in ∪ fanout) is copied once into a CSR
+//!   `(offsets, pool)` pair, so the traversal reads contiguous memory
+//!   instead of chasing the netlist's per-node `Vec`s;
+//! * sources are processed in **batches of 64** ([`BatchScratch`]): each
+//!   `u64` word carries one frontier bit per batch source, one masked
+//!   `O(V + E)` sweep per level advances all 64 BFS runs at once
+//!   (synchronous two-phase update, so first-arrival levels are exact),
+//!   and first arrivals land in a per-batch `u8` level table;
+//! * each row is then emitted by one ascending scan over the node space —
+//!   rows come out sorted by node id with **no comparison sort** and no
+//!   per-node map allocation of any kind.
+//!
+//! Total work is `O(⌈n/64⌉ · ρ · (V + E))` word operations plus one
+//! `O(V)` emission scan per source — on circuits whose ρ-balls span
+//! hundreds of nodes this is an order of magnitude below even a tight
+//! scalar BFS per node, and far below the historical per-node `HashMap`
+//! build, which is kept as [`SeparationOracle::new_reference`] — the
+//! differential oracle the property tests compare against bit for bit.
+//! (For the degenerate `ρ > 256` the arrival level no longer fits the
+//! batch table's `u8` and the build falls back to a scalar
+//! epoch-stamped/ball-bitset BFS per source, [`BfsScratch`] — same rows,
+//! also covered by the equality tests.)
+//!
+//! Batches are independent, so [`SeparationOracle::new_parallel`] shards
+//! the node range across worker threads (each with its own scratch) and
+//! stitches the per-shard CSR segments back together in node order — the
+//! result is **bit-identical** to the serial build for every thread
+//! count.
+//!
+//! [`GateSeparationTable`] is the gate-only `ρ − d` neighbour-weight
+//! distillation the optimizers scan; [`GateSeparationTable::direct`]
+//! builds it straight from the netlist without materializing the full
+//! (input-polluted) oracle — the `GateSep` analysis tier of
+//! `iddq_core::context`.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
 use crate::graph::{Netlist, NodeId};
 
+/// Flat CSR copy of the undirected adjacency (fan-in ∪ fanout), the
+/// traversal substrate of every separation build.
+fn undirected_csr(netlist: &Netlist) -> (Vec<u32>, Vec<u32>) {
+    let n = netlist.node_count();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut pool = Vec::new();
+    offsets.push(0u32);
+    for id in netlist.node_ids() {
+        pool.extend(netlist.undirected_neighbors(id).map(|v| v.0));
+        offsets.push(pool.len() as u32);
+    }
+    (offsets, pool)
+}
+
+/// Per-worker BFS scratch: an epoch-stamped `stamp`/`dist` array pair
+/// plus the frontier (`touched`) list and a ball bitset. Bumping `epoch`
+/// invalidates every stamp at once, so consecutive BFS runs share the
+/// arrays with zero reset cost.
+///
+/// Rows must come out **sorted by node id**, but BFS discovers nodes in
+/// frontier order — instead of sorting ~hundreds of entries per row
+/// (`O(ball · log ball)` comparisons, the dominant cost of a naive flat
+/// build on large circuits), discoveries set a bit in `ball` and the row
+/// is emitted by iterating the bitset's set bits in ascending order,
+/// reading each node's distance back from the stamped `dist` array —
+/// `O(n/64 + ball)` per row, no comparison sort at all. The bitset words
+/// are cleared as they are consumed, so there is no per-row reset sweep
+/// either.
+struct BfsScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    dist: Vec<u32>,
+    ball: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl BfsScratch {
+    fn new(n: usize) -> Self {
+        BfsScratch {
+            stamp: vec![0; n],
+            epoch: 0,
+            dist: vec![0; n],
+            ball: vec![0; n.div_ceil(64)],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Runs one BFS from `src` truncated at depth `rho - 1`, marking the
+    /// discovered ball (excluding `src`) in the bitset and stamping each
+    /// node's distance. Returns nothing; the caller drains the ball via
+    /// [`BfsScratch::emit`].
+    fn ball_from(&mut self, src: u32, rho: u32, adj_offsets: &[u32], adj_pool: &[u32]) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.stamp[src as usize] = epoch;
+        self.touched.clear();
+        self.touched.push(src);
+        let (mut head, mut tail) = (0usize, 1usize);
+        let mut d = 0u32;
+        while d + 1 < rho && head < tail {
+            d += 1;
+            for k in head..tail {
+                let u = self.touched[k] as usize;
+                for &v in &adj_pool[adj_offsets[u] as usize..adj_offsets[u + 1] as usize] {
+                    if self.stamp[v as usize] != epoch {
+                        self.stamp[v as usize] = epoch;
+                        self.dist[v as usize] = d;
+                        self.ball[v as usize / 64] |= 1u64 << (v % 64);
+                        self.touched.push(v);
+                    }
+                }
+            }
+            head = tail;
+            tail = self.touched.len();
+        }
+    }
+
+    /// Drains the ball bitset in ascending node order, pushing
+    /// `map(node, dist)` per set bit and clearing the words on the way.
+    fn emit(&mut self, out: &mut Vec<(u32, u32)>, map: impl Fn(u32, u32) -> (u32, u32)) {
+        for w in 0..self.ball.len() {
+            let mut bits = self.ball[w];
+            if bits == 0 {
+                continue;
+            }
+            self.ball[w] = 0;
+            while bits != 0 {
+                let v = (w as u32) * 64 + bits.trailing_zeros();
+                bits &= bits - 1;
+                out.push(map(v, self.dist[v as usize]));
+            }
+        }
+    }
+
+    /// One oracle row: every `(node, distance)` of the ball, sorted by
+    /// node id.
+    fn row_into(
+        &mut self,
+        src: u32,
+        rho: u32,
+        adj_offsets: &[u32],
+        adj_pool: &[u32],
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        self.ball_from(src, rho, adj_offsets, adj_pool);
+        self.emit(out, |v, d| (v, d));
+    }
+
+    /// One [`GateSeparationTable`] row: the ball restricted to *gate*
+    /// partners as `(node, rho - distance)` weight pairs, sorted by node
+    /// id — bit-identical to distilling the same row from a full oracle.
+    fn gate_row_into(
+        &mut self,
+        src: u32,
+        rho: u32,
+        adj_offsets: &[u32],
+        adj_pool: &[u32],
+        is_gate: &[bool],
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.stamp[src as usize] = epoch;
+        self.touched.clear();
+        self.touched.push(src);
+        let (mut head, mut tail) = (0usize, 1usize);
+        let mut d = 0u32;
+        while d + 1 < rho && head < tail {
+            d += 1;
+            for k in head..tail {
+                let u = self.touched[k] as usize;
+                for &v in &adj_pool[adj_offsets[u] as usize..adj_offsets[u + 1] as usize] {
+                    if self.stamp[v as usize] != epoch {
+                        self.stamp[v as usize] = epoch;
+                        self.touched.push(v);
+                        if is_gate[v as usize] {
+                            self.dist[v as usize] = d;
+                            self.ball[v as usize / 64] |= 1u64 << (v % 64);
+                        }
+                    }
+                }
+            }
+            head = tail;
+            tail = self.touched.len();
+        }
+        self.emit(out, |v, d| (v, rho - d));
+    }
+}
+
+/// 64-source **bit-parallel** batched BFS: column `i` of every `u64`
+/// tracks source `i` of the current batch, so one masked sweep over the
+/// edge list advances 64 BFS frontiers at once.
+///
+/// * `seen[v]` — which batch sources have reached `v` so far;
+/// * `acc[v]` — the synchronous-level scratch (`OR` of the neighbours'
+///   `seen`, computed for every node before any `seen` is updated, so
+///   arrival levels are exact);
+/// * `dist[v·64 + i]` — the first-arrival level of source `i` at `v`
+///   (`u8`: callers fall back to the per-source engine when `ρ > 256`).
+///
+/// Per level the sweep costs `O(V + E)` word operations *for all 64
+/// sources together* — the per-source per-edge work of a scalar BFS
+/// collapses 64-fold, which is what makes the oracle build cheap on
+/// circuits whose ρ-balls span hundreds of nodes.
+struct BatchScratch {
+    seen: Vec<u64>,
+    acc: Vec<u64>,
+    dist: Vec<u8>,
+}
+
+impl BatchScratch {
+    fn new(n: usize) -> Self {
+        BatchScratch {
+            seen: vec![0; n],
+            acc: vec![0; n],
+            dist: vec![0; n * 64],
+        }
+    }
+
+    /// Runs the batched BFS for up to 64 `sources` (seeding only the
+    /// columns whose `seed` flag is set), truncated at depth `rho - 1`.
+    fn run(&mut self, sources: &[(u32, bool)], rho: u32, adj_offsets: &[u32], adj_pool: &[u32]) {
+        debug_assert!(sources.len() <= 64);
+        debug_assert!(rho <= 256, "u8 arrival levels");
+        for w in self.seen.iter_mut() {
+            *w = 0;
+        }
+        for (i, &(src, seed)) in sources.iter().enumerate() {
+            if seed {
+                self.seen[src as usize] |= 1u64 << i;
+            }
+        }
+        let n = self.seen.len();
+        for d in 1..rho {
+            let mut any = 0u64;
+            for v in 0..n {
+                let mut acc = 0u64;
+                for &u in &adj_pool[adj_offsets[v] as usize..adj_offsets[v + 1] as usize] {
+                    acc |= self.seen[u as usize];
+                }
+                let delta = acc & !self.seen[v];
+                self.acc[v] = delta;
+                any |= delta;
+            }
+            if any == 0 {
+                break;
+            }
+            for v in 0..n {
+                let mut delta = self.acc[v];
+                if delta == 0 {
+                    continue;
+                }
+                self.seen[v] |= delta;
+                while delta != 0 {
+                    let i = delta.trailing_zeros() as usize;
+                    delta &= delta - 1;
+                    self.dist[v * 64 + i] = d as u8;
+                }
+            }
+        }
+    }
+
+    /// Emits the row of batch column `i` (source node `src`): one
+    /// ascending scan over the node space, so the row comes out sorted
+    /// with no comparison sort. `map` filters/transforms each
+    /// `(node, distance)` pair.
+    fn emit_row(
+        &self,
+        i: usize,
+        src: u32,
+        out: &mut Vec<(u32, u32)>,
+        mut map: impl FnMut(u32, u32) -> Option<(u32, u32)>,
+    ) {
+        let bit = 1u64 << i;
+        for (v, &seen) in self.seen.iter().enumerate() {
+            if seen & bit != 0 && v as u32 != src {
+                if let Some(pair) = map(v as u32, u32::from(self.dist[v * 64 + i])) {
+                    out.push(pair);
+                }
+            }
+        }
+    }
+}
+
+/// One shard's build output: its flat rows plus shard-relative row ends.
+type CsrShard = (Vec<(u32, u32)>, Vec<u32>);
+
+/// Builds a CSR `(flat, offsets)` pair over `n` rows by calling
+/// `build(range, flat_out)` per contiguous shard — serially for
+/// `threads <= 1`, otherwise on scoped worker threads with the shards
+/// stitched back in row order (bit-identical to the serial result, since
+/// each row's content is independent of the sharding).
+///
+/// `build` appends its rows to the output vector and pushes one
+/// *shard-relative* end offset per row.
+fn build_csr_rows<F>(n: usize, threads: usize, build: F) -> (Vec<(u32, u32)>, Vec<u32>)
+where
+    F: Fn(Range<usize>, &mut Vec<(u32, u32)>, &mut Vec<u32>) + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        let mut flat = Vec::new();
+        let mut ends = Vec::with_capacity(n);
+        build(0..n, &mut flat, &mut ends);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        offsets.extend(ends);
+        return (flat, offsets);
+    }
+    let chunk = n.div_ceil(threads);
+    let parts: Vec<CsrShard> = std::thread::scope(|scope| {
+        let build = &build;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let range = (t * chunk).min(n)..((t + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    let mut flat = Vec::new();
+                    let mut ends = Vec::with_capacity(range.len());
+                    build(range, &mut flat, &mut ends);
+                    (flat, ends)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("separation BFS worker never panics"))
+            .collect()
+    });
+    let total: usize = parts.iter().map(|(flat, _)| flat.len()).sum();
+    let mut flat = Vec::with_capacity(total);
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u32);
+    for (part, ends) in parts {
+        let base = flat.len() as u32;
+        offsets.extend(ends.into_iter().map(|e| base + e));
+        flat.extend(part);
+    }
+    (flat, offsets)
+}
+
 /// Precomputed ρ-bounded pairwise distances over the undirected circuit
-/// graph.
+/// graph, stored as one flat CSR table of sorted `(node, distance)` rows.
 ///
 /// # Example
 ///
@@ -35,33 +377,80 @@ use crate::graph::{Netlist, NodeId};
 /// assert_eq!(sep.distance(g10, g22), 1); // directly connected
 /// assert_eq!(sep.distance(g10, g10), 0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeparationOracle {
     rho: u32,
-    /// For each node, distances (1..rho-1) to nodes within its bounded
-    /// neighbourhood. Distance 0 (self) and ≥ rho (saturated) are implicit.
-    near: Vec<HashMap<NodeId, u32>>,
-    /// The same neighbourhoods as flat `(node, distance)` slices sorted by
-    /// node id (CSR layout), for cache-friendly full-neighbourhood scans.
+    /// Per-node neighbourhoods as flat `(node, distance)` pairs, sorted by
+    /// node id (CSR layout). Distance 0 (self) and ≥ ρ (saturated) are
+    /// implicit.
     flat: Vec<(u32, u32)>,
     offsets: Vec<u32>,
 }
 
 impl SeparationOracle {
-    /// Builds the oracle for `netlist` with saturation bound `rho`.
-    ///
-    /// Runs one breadth-first search per node, truncated at depth
-    /// `rho - 1`; total work is `O(n · b^(ρ-1))` for branching factor `b`,
-    /// which is small for the bounds (ρ ≤ 8) used in practice.
+    /// Builds the oracle for `netlist` with saturation bound `rho` using
+    /// the flat array BFS engine (see the [module docs](self)).
     ///
     /// # Panics
     ///
     /// Panics if `rho == 0`; a zero bound would make every pair identical.
     #[must_use]
     pub fn new(netlist: &Netlist, rho: u32) -> Self {
+        Self::new_parallel(netlist, rho, 1)
+    }
+
+    /// [`SeparationOracle::new`] with the per-node BFS sharded across
+    /// `threads` workers. The shards are stitched deterministically in
+    /// node order, so the result is **bit-identical** to the serial build
+    /// for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho == 0`.
+    #[must_use]
+    pub fn new_parallel(netlist: &Netlist, rho: u32, threads: usize) -> Self {
         assert!(rho > 0, "separation bound rho must be positive");
         let n = netlist.node_count();
-        let mut near = Vec::with_capacity(n);
+        let (adj_offsets, adj_pool) = undirected_csr(netlist);
+        let (flat, offsets) = build_csr_rows(n, threads, |range, flat, ends| {
+            if rho <= 256 {
+                let mut scratch = BatchScratch::new(n);
+                let mut start = range.start;
+                while start < range.end {
+                    let batch: Vec<(u32, bool)> = (start..(start + 64).min(range.end))
+                        .map(|i| (i as u32, true))
+                        .collect();
+                    scratch.run(&batch, rho, &adj_offsets, &adj_pool);
+                    for (i, &(src, _)) in batch.iter().enumerate() {
+                        scratch.emit_row(i, src, flat, |v, d| Some((v, d)));
+                        ends.push(flat.len() as u32);
+                    }
+                    start += batch.len();
+                }
+            } else {
+                // Arrival levels no longer fit the batched engine's u8
+                // columns: per-source scalar BFS (same rows, see the
+                // equality tests).
+                let mut scratch = BfsScratch::new(n);
+                for i in range {
+                    scratch.row_into(i as u32, rho, &adj_offsets, &adj_pool, flat);
+                    ends.push(flat.len() as u32);
+                }
+            }
+        });
+        SeparationOracle { rho, flat, offsets }
+    }
+
+    /// The historical per-node `HashMap` BFS build (the PR 4 constructor),
+    /// kept as the **differential oracle**: it must produce a table equal
+    /// to [`SeparationOracle::new`] bit for bit (property-tested), and the
+    /// `context_build` benchmark quotes it as the baseline the flat
+    /// engine is gated against.
+    #[must_use]
+    pub fn new_reference(netlist: &Netlist, rho: u32) -> Self {
+        assert!(rho > 0, "separation bound rho must be positive");
+        let n = netlist.node_count();
+        let mut near: Vec<HashMap<NodeId, u32>> = Vec::with_capacity(n);
         let mut dist = vec![u32::MAX; n];
         let mut frontier: Vec<NodeId> = Vec::new();
         let mut next: Vec<NodeId> = Vec::new();
@@ -103,12 +492,7 @@ impl SeparationOracle {
             flat[start..].sort_unstable_by_key(|&(node, _)| node);
             offsets.push(flat.len() as u32);
         }
-        SeparationOracle {
-            rho,
-            near,
-            flat,
-            offsets,
-        }
+        SeparationOracle { rho, flat, offsets }
     }
 
     /// The precomputed neighbourhood of `a` as a flat slice of
@@ -127,12 +511,18 @@ impl SeparationOracle {
 
     /// Saturated distance between two nodes: `0` for `a == b`, the BFS
     /// distance if it is `< ρ`, otherwise `ρ`.
+    ///
+    /// One binary search over the sorted neighbourhood row of `a`.
     #[must_use]
     pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
         if a == b {
             return 0;
         }
-        self.near[a.index()].get(&b).copied().unwrap_or(self.rho)
+        let row = self.near_slice(a);
+        match row.binary_search_by_key(&b.0, |&(node, _)| node) {
+            Ok(i) => row[i].1,
+            Err(_) => self.rho,
+        }
     }
 
     /// Module separation `S(M)`: the sum of saturated distances over all
@@ -156,9 +546,7 @@ impl SeparationOracle {
     ///
     /// This exposes the BFS neighbourhoods the oracle already computed, so
     /// callers sampling "nearby" nodes (e.g. bridge-defect enumeration) can
-    /// iterate candidates directly instead of testing every node pair. The
-    /// sort makes the order deterministic — the underlying map is a
-    /// `HashMap`, whose iteration order is not.
+    /// iterate candidates directly instead of testing every node pair.
     #[must_use]
     pub fn neighbors_within(&self, a: NodeId) -> Vec<(NodeId, u32)> {
         self.near_slice(a)
@@ -185,17 +573,21 @@ impl SeparationOracle {
     /// Distills the oracle into a gate-only neighbour-weight table for the
     /// optimizer's incremental separation deltas (see
     /// [`GateSeparationTable`]).
+    ///
+    /// When no full oracle is needed, [`GateSeparationTable::direct`]
+    /// builds an equal table straight from the netlist.
     #[must_use]
     pub fn gate_table(&self, netlist: &Netlist) -> GateSeparationTable {
-        let mut entries = Vec::new();
+        let is_gate: Vec<bool> = netlist.node_ids().map(|id| netlist.is_gate(id)).collect();
+        let mut entries = Vec::with_capacity(self.flat.len());
         let mut offsets = Vec::with_capacity(netlist.node_count() + 1);
         offsets.push(0u32);
         for id in netlist.node_ids() {
-            if netlist.is_gate(id) {
+            if is_gate[id.index()] {
                 entries.extend(
                     self.near_slice(id)
                         .iter()
-                        .filter(|&&(n, _)| n != id.0 && netlist.is_gate(NodeId(n)))
+                        .filter(|&&(n, _)| n != id.0 && is_gate[n as usize])
                         .map(|&(n, d)| (n, self.rho - d)),
                 );
             }
@@ -239,9 +631,11 @@ impl SeparationOracle {
 /// Flattened gate-to-gate neighbour weights for O(neighbourhood)
 /// separation deltas against a dense module-assignment vector.
 ///
-/// Built once per netlist from a [`SeparationOracle`]; each gate's row
-/// holds only its *gate* neighbours within the bound, pre-weighted as
-/// `ρ − d`, so the incremental primitive
+/// Built either by distilling a [`SeparationOracle`]
+/// ([`SeparationOracle::gate_table`]) or directly from the netlist
+/// ([`GateSeparationTable::direct`] — no oracle materialized); each
+/// gate's row holds only its *gate* neighbours within the bound,
+/// pre-weighted as `ρ − d`, so the incremental primitive
 ///
 /// `S(gate → module) = ρ·(|module| − [gate ∈ module]) − Σ_{near ∩ module}(ρ − d)`
 ///
@@ -249,7 +643,7 @@ impl SeparationOracle {
 /// — no hashing, no primary-input entries to skip, no closure dispatch.
 /// Results are bit-identical to
 /// [`SeparationOracle::separation_to_members`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GateSeparationTable {
     rho: u64,
     offsets: Vec<u32>,
@@ -258,6 +652,68 @@ pub struct GateSeparationTable {
 }
 
 impl GateSeparationTable {
+    /// Builds the table straight from the netlist — one gate-filtered
+    /// bounded BFS per gate over the flat undirected adjacency, without
+    /// materializing the full (input-row-carrying) [`SeparationOracle`].
+    /// Equal to `SeparationOracle::new(netlist, rho).gate_table(netlist)`
+    /// entry for entry (property-tested), at a fraction of the build cost
+    /// and footprint. `threads > 1` shards the per-gate BFS exactly like
+    /// [`SeparationOracle::new_parallel`] (bit-identical result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho == 0`.
+    #[must_use]
+    pub fn direct(netlist: &Netlist, rho: u32, threads: usize) -> Self {
+        assert!(rho > 0, "separation bound rho must be positive");
+        let n = netlist.node_count();
+        let (adj_offsets, adj_pool) = undirected_csr(netlist);
+        let is_gate: Vec<bool> = netlist.node_ids().map(|id| netlist.is_gate(id)).collect();
+        let (entries, offsets) = build_csr_rows(n, threads, |range, entries, ends| {
+            if rho <= 256 {
+                let mut scratch = BatchScratch::new(n);
+                let mut start = range.start;
+                while start < range.end {
+                    // Primary-input columns stay unseeded: their rows are
+                    // empty by construction and cost no sweep work.
+                    let batch: Vec<(u32, bool)> = (start..(start + 64).min(range.end))
+                        .map(|i| (i as u32, is_gate[i]))
+                        .collect();
+                    scratch.run(&batch, rho, &adj_offsets, &adj_pool);
+                    for (i, &(src, seeded)) in batch.iter().enumerate() {
+                        if seeded {
+                            scratch.emit_row(i, src, entries, |v, d| {
+                                is_gate[v as usize].then_some((v, rho - d))
+                            });
+                        }
+                        ends.push(entries.len() as u32);
+                    }
+                    start += batch.len();
+                }
+            } else {
+                let mut scratch = BfsScratch::new(n);
+                for i in range {
+                    if is_gate[i] {
+                        scratch.gate_row_into(
+                            i as u32,
+                            rho,
+                            &adj_offsets,
+                            &adj_pool,
+                            &is_gate,
+                            entries,
+                        );
+                    }
+                    ends.push(entries.len() as u32);
+                }
+            }
+        });
+        GateSeparationTable {
+            rho: u64::from(rho),
+            offsets,
+            entries,
+        }
+    }
+
     /// Total neighbour weight `W(g) = Σ_{g' gate, d(g,g') < ρ} (ρ − d)` of
     /// one gate's row (`0` for primary inputs).
     ///
@@ -445,6 +901,59 @@ mod tests {
     }
 
     #[test]
+    fn flat_build_matches_reference_build() {
+        for rho in [1, 2, 3, 6, 9] {
+            for nl in [data::c17(), data::ripple_adder(7), chain(12)] {
+                let flat = SeparationOracle::new(&nl, rho);
+                let reference = SeparationOracle::new_reference(&nl, rho);
+                assert_eq!(flat, reference, "rho {rho} on {}", nl.name());
+            }
+        }
+    }
+
+    #[test]
+    fn huge_rho_fallback_matches_reference() {
+        // rho > 256 exceeds the batched engine's u8 arrival levels and
+        // takes the scalar per-source path — rows must be identical.
+        let nl = chain(12);
+        let fallback = SeparationOracle::new(&nl, 300);
+        assert_eq!(fallback, SeparationOracle::new_reference(&nl, 300));
+        let g0 = nl.find("g0").unwrap();
+        let g9 = nl.find("g9").unwrap();
+        assert_eq!(fallback.distance(g0, g9), 9);
+        assert_eq!(
+            GateSeparationTable::direct(&nl, 300, 2),
+            fallback.gate_table(&nl)
+        );
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_build() {
+        let nl = data::ripple_adder(9);
+        let serial = SeparationOracle::new(&nl, 6);
+        for threads in [1, 2, 3, 7, 64] {
+            assert_eq!(
+                SeparationOracle::new_parallel(&nl, 6, threads),
+                serial,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_gate_table_matches_oracle_distillation() {
+        for rho in [1, 2, 5, 6] {
+            for nl in [data::c17(), data::ripple_adder(8)] {
+                let want = SeparationOracle::new(&nl, rho).gate_table(&nl);
+                for threads in [1, 3] {
+                    let got = GateSeparationTable::direct(&nl, rho, threads);
+                    assert_eq!(got, want, "rho {rho}, {threads} threads, {}", nl.name());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn near_slice_matches_neighbors_within() {
         let nl = data::c17();
         let sep = SeparationOracle::new(&nl, 5);
@@ -472,6 +981,13 @@ mod tests {
     fn zero_rho_panics() {
         let nl = chain(2);
         let _ = SeparationOracle::new(&nl, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be positive")]
+    fn zero_rho_panics_in_direct_table() {
+        let nl = chain(2);
+        let _ = GateSeparationTable::direct(&nl, 0, 1);
     }
 
     #[test]

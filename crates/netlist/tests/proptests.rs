@@ -2,11 +2,48 @@
 
 use proptest::prelude::*;
 
-use iddq_netlist::separation::SeparationOracle;
-use iddq_netlist::{data, CellKind, NetlistBuilder, NodeId, TimeSet};
+use iddq_netlist::separation::{GateSeparationTable, SeparationOracle};
+use iddq_netlist::{data, CellKind, Netlist, NetlistBuilder, NodeId, TimeSet};
 
 fn times_strategy() -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(0u32..500, 0..40)
+}
+
+/// A random combinational DAG grown from proptest-drawn choices: every
+/// gate picks a kind and wires legal fan-ins among the already-built
+/// nodes, so acyclicity holds by construction. Exercises reconvergence,
+/// multi-pin edges (the same driver on several pins) and mixed arities.
+fn build_dag(n_in: usize, specs: &[(u8, Vec<u16>)]) -> Netlist {
+    let mut b = NetlistBuilder::new("random-dag");
+    let mut nodes: Vec<NodeId> = (0..n_in).map(|i| b.add_input(format!("i{i}"))).collect();
+    for (k, (kind_pick, fanin_picks)) in specs.iter().enumerate() {
+        let fanin: Vec<NodeId> = fanin_picks
+            .iter()
+            .map(|&p| nodes[p as usize % nodes.len()])
+            .collect();
+        let kind = CellKind::ALL
+            .into_iter()
+            .cycle()
+            .skip(*kind_pick as usize % CellKind::ALL.len())
+            .find(|kind| kind.accepts_fanin(fanin.len()))
+            .expect("some kind accepts 1..4 fan-ins");
+        let g = b
+            .add_gate(format!("g{k}"), kind, fanin)
+            .expect("arity chosen to be legal");
+        nodes.push(g);
+    }
+    let last = *nodes.last().expect("at least one gate");
+    b.mark_output(last);
+    b.build().expect("grown DAGs are acyclic and connected")
+}
+
+/// The proptest input feeding [`build_dag`]: per-gate kind pick plus
+/// 1–3 fan-in picks.
+fn dag_spec() -> impl Strategy<Value = Vec<(u8, Vec<u16>)>> {
+    prop::collection::vec(
+        (any::<u8>(), prop::collection::vec(any::<u16>(), 1usize..4)),
+        1usize..40,
+    )
 }
 
 proptest! {
@@ -82,6 +119,56 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The flat array-BFS oracle build equals the historical hash-map
+    /// build on random netlists across the practical ρ range: the whole
+    /// CSR table (so every `near_slice`), every pairwise `distance`, and
+    /// the distilled gate table — and the direct (oracle-free) gate-table
+    /// build matches the distillation too.
+    #[test]
+    fn flat_oracle_matches_hashmap_reference(
+        n_in in 2usize..5,
+        specs in dag_spec(),
+        rho in 1u32..8,
+    ) {
+        let nl = build_dag(n_in, &specs);
+        let flat = SeparationOracle::new(&nl, rho);
+        let reference = SeparationOracle::new_reference(&nl, rho);
+        prop_assert_eq!(&flat, &reference, "CSR tables diverge");
+        for a in nl.node_ids() {
+            prop_assert_eq!(flat.near_slice(a), reference.near_slice(a));
+            for b in nl.node_ids() {
+                prop_assert_eq!(
+                    flat.distance(a, b),
+                    reference.distance(a, b),
+                    "distance({a}, {b})"
+                );
+            }
+        }
+        let table = flat.gate_table(&nl);
+        prop_assert_eq!(&reference.gate_table(&nl), &table);
+        prop_assert_eq!(&GateSeparationTable::direct(&nl, rho, 1), &table);
+    }
+
+    /// The sharded parallel builds are bit-identical to the serial ones
+    /// for every thread count (including more threads than nodes).
+    #[test]
+    fn parallel_builds_bit_identical_to_serial(
+        n_in in 2usize..5,
+        specs in dag_spec(),
+        rho in 1u32..8,
+        threads in 2usize..7,
+    ) {
+        let nl = build_dag(n_in, &specs);
+        let serial = SeparationOracle::new(&nl, rho);
+        prop_assert_eq!(&SeparationOracle::new_parallel(&nl, rho, threads), &serial);
+        prop_assert_eq!(
+            &SeparationOracle::new_parallel(&nl, rho, nl.node_count() + 7),
+            &serial
+        );
+        let table = GateSeparationTable::direct(&nl, rho, 1);
+        prop_assert_eq!(&GateSeparationTable::direct(&nl, rho, threads), &table);
     }
 
     /// Module separation equals the pairwise sum definition for arbitrary

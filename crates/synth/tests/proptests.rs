@@ -17,7 +17,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use iddq_celllib::Library;
-use iddq_core::{config::PartitionConfig, EvalContext, Evaluated, Partition, ResynthEval};
+use iddq_core::{
+    config::PartitionConfig, AnalysisTier, EvalContext, Evaluated, Partition, ResynthEval,
+};
 use iddq_netlist::patch::{materialize, Patch};
 use iddq_netlist::{Netlist, NodeId};
 use iddq_synth::{
@@ -175,5 +177,68 @@ proptest! {
             eval.total_cost().to_bits(),
             rebuild_cost(&final_candidate, &lib, &cfg).to_bits()
         );
+    }
+
+    /// A `ResynthEval` on the lightweight GateSep-tier context (direct
+    /// gate table, no full oracle) scores **bit-identically** to one on
+    /// the full-tier context, through random patch sequences with
+    /// rollbacks and commits — the guarantee that lets `cost_aware` skip
+    /// the oracle build entirely.
+    #[test]
+    fn gatesep_tier_scoring_matches_full_tier(seed in 0u64..40, salt in any::<u64>()) {
+        let nl = random_netlist(seed);
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let full_ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let light_ctx = EvalContext::builder(&nl, &lib, cfg.clone())
+            .tier(AnalysisTier::GateSep)
+            .build();
+        let mut full = ResynthEval::new(&full_ctx);
+        let mut light = ResynthEval::new(&light_ctx);
+        prop_assert_eq!(full.total_cost().to_bits(), light.total_cost().to_bits());
+        let mut rng = SmallRng::seed_from_u64(seed ^ salt ^ 0x6a7e);
+        let wide: Vec<NodeId> = nl
+            .gate_ids()
+            .filter(|&g| nl.node(g).fanin().len() > 2)
+            .collect();
+        for _ in 0..5 {
+            let patch = match rng.gen_range(0..3u32) {
+                0 => decompose_patch(&nl, DecompositionStyle::Balanced, rng.gen_range(2..=4)),
+                1 => {
+                    if wide.is_empty() {
+                        continue;
+                    }
+                    let gate = wide[rng.gen_range(0..wide.len())];
+                    match decompose_gate_patch(
+                        &nl,
+                        gate,
+                        DecompositionStyle::Chain,
+                        2,
+                        full.node_count() as u32,
+                    ) {
+                        Some(p) => p,
+                        None => continue,
+                    }
+                }
+                _ => fanout_buffer_patch(&nl, rng.gen_range(3..=6)),
+            };
+            let a = full.apply(&patch);
+            let b = light.apply(&patch);
+            prop_assert_eq!(a.is_ok(), b.is_ok(), "apply outcomes diverge");
+            if a.is_err() {
+                continue;
+            }
+            prop_assert_eq!(full.total_cost().to_bits(), light.total_cost().to_bits());
+            if rng.gen_bool(0.5) {
+                full.rollback();
+                light.rollback();
+            } else {
+                full.commit();
+                light.commit();
+            }
+            prop_assert_eq!(full.total_cost().to_bits(), light.total_cost().to_bits());
+        }
+        full.verify_consistency();
+        light.verify_consistency();
     }
 }
