@@ -19,6 +19,11 @@ echo "== cargo fmt --check"
 cargo fmt --all --check
 
 echo "== cargo clippy (deny warnings)"
+# Library crates additionally carry
+#   #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+# so a new unwrap()/expect() in non-test library code fails this step:
+# untrusted input must surface as iddq_control::EngineError, and every
+# surviving expect documents the internal invariant that justifies it.
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release"

@@ -756,9 +756,11 @@ fn main() {
         "context_build": context_build,
         "resynth_patch": resynth_patch,
     });
-    std::fs::write(
-        &opts.out,
-        serde_json::to_string_pretty(&payload).expect("serializable"),
+    // Atomic temp-file + rename: a crash mid-write can never leave a
+    // truncated BENCH_sim.json behind for downstream tooling to choke on.
+    iddq_control::write_atomic(
+        std::path::Path::new(&opts.out),
+        &serde_json::to_string_pretty(&payload).expect("serializable"),
     )
     .expect("writable output path");
     println!("wrote {}", opts.out);

@@ -49,13 +49,16 @@ fn main() {
         ("original", nl.clone()),
         (
             "balanced 2-input",
-            decompose(&nl, DecompositionStyle::Balanced, 2),
+            decompose(&nl, DecompositionStyle::Balanced, 2).expect("fanin >= 2"),
         ),
         (
             "chain 2-input",
-            decompose(&nl, DecompositionStyle::Chain, 2),
+            decompose(&nl, DecompositionStyle::Chain, 2).expect("fanin >= 2"),
         ),
-        ("fanout-buffered (4)", fanout_buffer(&nl, 4)),
+        (
+            "fanout-buffered (4)",
+            fanout_buffer(&nl, 4).expect("bound >= 2"),
+        ),
     ];
     println!(
         "{:<22} {:>8} {:>6} {:>12} {:>12} {:>12} {:>10}",

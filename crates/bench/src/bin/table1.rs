@@ -129,9 +129,9 @@ fn main() {
                 }),
             );
         }
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&out).expect("serializable"),
+        iddq_control::write_atomic(
+            std::path::Path::new(path),
+            &serde_json::to_string_pretty(&out).expect("serializable"),
         )
         .expect("writable json path");
         eprintln!("wrote {path}");

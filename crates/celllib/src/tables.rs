@@ -63,7 +63,12 @@ impl NodeTables {
         };
         for id in netlist.gate_ids() {
             let node = netlist.node(id);
-            let kind = node.kind().cell_kind().expect("gate_ids yields gates");
+            // `gate_ids` yields only gate nodes, so `cell_kind` is
+            // always populated; fall back to skipping rather than
+            // trusting that contract with a panic.
+            let Some(kind) = node.kind().cell_kind() else {
+                continue;
+            };
             let cell = library.cell(kind, node.fanin().len());
             let i = id.index();
             t.delay_ps[i] = cell.delay_ps;

@@ -11,17 +11,64 @@
 //!             [--backend csr|delta] [--lanes 64|256|512]
 //! iddq faults <netlist.bench> [--seed N] [--vectors N] [--bridges N]
 //!             [--backend csr|delta] [--lanes 64|256|512] [--threads N]
-//!             [--shards N] [--no-drop]
+//!             [--shards N] [--no-drop] [--budget-ms MS] [--quota N]
+//!             [--checkpoint PATH] [--resume PATH]
 //! iddq stats  <netlist.bench>
 //! ```
+//!
+//! Exit codes follow the usual discipline: `0` for success (including a
+//! budget-limited *partial* fault sweep, which reports its coverage),
+//! `2` for usage errors (bad flags, bad bounds, unknown commands), `1`
+//! for runtime failures (unreadable files, parse errors, checkpoint
+//! mismatches).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use iddq_celllib::Library;
+use iddq_control::{write_atomic, EngineError, RunBudget, RunControl};
 use iddq_core::evolution::EvolutionConfig;
 use iddq_core::{config::PartitionConfig, flow, AnalysisTier, EvalContext};
 use iddq_netlist::{bench, dot, Netlist};
+
+/// A CLI failure: its message and whether it is the *caller's* fault
+/// (a usage error — exit code 2) or the *run's* (exit code 1).
+#[derive(Debug)]
+struct CliError {
+    message: String,
+    usage: bool,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            usage: true,
+        }
+    }
+}
+
+/// Plain-string errors are runtime failures (exit 1).
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError {
+            message,
+            usage: false,
+        }
+    }
+}
+
+/// Engine errors carry their own usage/runtime split:
+/// [`EngineError::InvalidArg`] (e.g. a fan-out bound below 2) is the
+/// caller's fault, everything else happened during the run.
+impl From<EngineError> for CliError {
+    fn from(e: EngineError) -> Self {
+        CliError {
+            usage: e.is_usage(),
+            message: e.to_string(),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,13 +87,15 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(1)
+            eprintln!("error: {}", e.message);
+            ExitCode::from(if e.usage { 2 } else { 1 })
         }
     }
 }
@@ -60,6 +109,7 @@ commands:
       --generations N     evolution generations (default 250)
       --d N               required discriminability (default 10)
       --rstar MV          virtual-rail budget in mV (default 200)
+      --fanout N          buffer fan-out above N first (N >= 2)
       --resynth           run cost-aware resynthesis first (patch-scored
                           candidates on one persistent evaluation)
       --per-gate          with --resynth: choose the decomposition shape
@@ -88,6 +138,14 @@ commands:
       --threads N         worker threads (default 1, 0 = all cores)
       --shards N          fault-list shards (default auto)
       --no-drop           disable earliest-detection fault dropping
+      --budget-ms MS      wall-clock budget; on expiry the sweep stops at
+                          the next batch boundary and reports a partial
+                          (still exit 0) coverage
+      --quota N           work budget in fault x pattern applications
+      --checkpoint PATH   write a resumable checkpoint (atomic rename)
+      --resume PATH       resume from a checkpoint written by --checkpoint;
+                          a resumed run that completes is bit-identical to
+                          an uninterrupted one
   stats <netlist.bench>   print structural statistics
 ";
 
@@ -98,12 +156,22 @@ fn parse_flag(rest: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-fn parse_num<T: std::str::FromStr>(rest: &[String], flag: &str, default: T) -> Result<T, String> {
+fn parse_num<T: std::str::FromStr>(rest: &[String], flag: &str, default: T) -> Result<T, CliError> {
     match parse_flag(rest, flag) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("{flag} expects a number, got `{v}`")),
+            .map_err(|_| CliError::usage(format!("{flag} expects a number, got `{v}`"))),
+    }
+}
+
+fn parse_opt_num<T: std::str::FromStr>(rest: &[String], flag: &str) -> Result<Option<T>, CliError> {
+    match parse_flag(rest, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::usage(format!("{flag} expects a number, got `{v}`"))),
     }
 }
 
@@ -117,8 +185,11 @@ fn load(path: &str) -> Result<Netlist, String> {
     bench::parse(name, &text).map_err(|e| format!("parse `{path}`: {e}"))
 }
 
-fn cmd_synth(rest: &[String]) -> Result<(), String> {
-    let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+fn cmd_synth(rest: &[String]) -> Result<(), CliError> {
+    let path = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage(USAGE))?;
     let mut cut = load(path)?;
     let seed: u64 = parse_num(rest, "--seed", 42)?;
     let generations: usize = parse_num(rest, "--generations", 250)?;
@@ -126,6 +197,16 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
     config.d_min = parse_num(rest, "--d", config.d_min)?;
     config.sizing.r_star_mv = parse_num(rest, "--rstar", config.sizing.r_star_mv)?;
     let library = Library::generic_1um();
+
+    if let Some(bound) = parse_opt_num::<usize>(rest, "--fanout")? {
+        // A bound below 2 is the caller's mistake — `fanout_buffer`
+        // reports it as a typed InvalidArg, which maps to exit code 2.
+        cut = iddq_synth::fanout_buffer(&cut, bound)?;
+        eprintln!(
+            "fan-out buffered at bound {bound}: {} gates",
+            cut.gate_count()
+        );
+    }
 
     if rest.iter().any(|a| a == "--resynth") {
         // The patch-scored searches only need the GateSep analysis tier;
@@ -200,14 +281,16 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
 
     if let Some(json) = parse_flag(rest, "--json") {
         let payload = serde_json::to_string_pretty(r).map_err(|e| e.to_string())?;
-        std::fs::write(&json, payload).map_err(|e| format!("write `{json}`: {e}"))?;
+        write_atomic(std::path::Path::new(&json), &payload)?;
         eprintln!("wrote {json}");
     }
     if let Some(dot_path) = parse_flag(rest, "--dot") {
         let part = result.partition.clone();
         let colour = move |id: iddq_netlist::NodeId| part.module_of(id).unwrap_or(0);
-        std::fs::write(&dot_path, dot::to_dot(&cut, Some(&colour)))
-            .map_err(|e| format!("write `{dot_path}`: {e}"))?;
+        write_atomic(
+            std::path::Path::new(&dot_path),
+            &dot::to_dot(&cut, Some(&colour)),
+        )?;
         eprintln!("wrote {dot_path}");
     }
     if let Some(mods) = parse_flag(rest, "--modules") {
@@ -219,22 +302,25 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
                 result.partition.module_of(g).expect("gates assigned")
             ));
         }
-        std::fs::write(&mods, lines).map_err(|e| format!("write `{mods}`: {e}"))?;
+        write_atomic(std::path::Path::new(&mods), &lines)?;
         eprintln!("wrote {mods}");
     }
     Ok(())
 }
 
-fn cmd_gen(rest: &[String]) -> Result<(), String> {
-    let name = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+fn cmd_gen(rest: &[String]) -> Result<(), CliError> {
+    let name = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage(USAGE))?;
     let profile = iddq_gen::iscas::IscasProfile::by_name(name)
-        .ok_or_else(|| format!("unknown circuit `{name}` (c432..c7552)"))?;
+        .ok_or_else(|| CliError::usage(format!("unknown circuit `{name}` (c432..c7552)")))?;
     let seed: u64 = parse_num(rest, "--seed", 42)?;
     let nl = iddq_gen::iscas::generate(profile, seed);
     let text = bench::to_bench(&nl);
     match parse_flag(rest, "--out") {
         Some(path) => {
-            std::fs::write(&path, text).map_err(|e| format!("write `{path}`: {e}"))?;
+            write_atomic(std::path::Path::new(&path), &text)?;
             eprintln!("wrote {path}");
         }
         None => print!("{text}"),
@@ -242,8 +328,11 @@ fn cmd_gen(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_test(rest: &[String]) -> Result<(), String> {
-    let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+fn cmd_test(rest: &[String]) -> Result<(), CliError> {
+    let path = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage(USAGE))?;
     let cut = load(path)?;
     let seed: u64 = parse_num(rest, "--seed", 42)?;
     let library = Library::generic_1um();
@@ -291,30 +380,33 @@ fn cmd_test(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_lanes(rest: &[String]) -> Result<iddq_netlist::LaneWidth, String> {
+fn parse_lanes(rest: &[String]) -> Result<iddq_netlist::LaneWidth, CliError> {
     match parse_flag(rest, "--lanes") {
         None => Ok(iddq_netlist::LaneWidth::default()),
-        Some(v) => v.parse().map_err(|e| format!("{e}")),
+        Some(v) => v.parse().map_err(|e| CliError::usage(format!("{e}"))),
     }
 }
 
-fn cmd_sim(rest: &[String]) -> Result<(), String> {
+fn cmd_sim(rest: &[String]) -> Result<(), CliError> {
     use iddq_logicsim::BackendKind;
     use iddq_netlist::LaneWidth;
-    let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let path = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage(USAGE))?;
     let cut = load(path)?;
     let patterns: u64 = parse_num(rest, "--patterns", 1u64 << 20)?;
     if patterns == 0 {
-        return Err("--patterns must be at least 1".into());
+        return Err(CliError::usage("--patterns must be at least 1"));
     }
     let seed: u64 = parse_num(rest, "--seed", 42)?;
     let threads: usize = parse_num(rest, "--threads", 1usize)?;
     if threads == 0 {
-        return Err("--threads must be at least 1".into());
+        return Err(CliError::usage("--threads must be at least 1"));
     }
     let backend: BackendKind = match parse_flag(rest, "--backend") {
         None => BackendKind::Csr,
-        Some(v) => v.parse().map_err(|e| format!("{e}"))?,
+        Some(v) => v.parse().map_err(|e| CliError::usage(format!("{e}")))?,
     };
     let lanes = parse_lanes(rest)?;
     match lanes {
@@ -410,25 +502,28 @@ fn run_sim<W: iddq_netlist::PackedWord>(
     );
 }
 
-fn cmd_faults(rest: &[String]) -> Result<(), String> {
-    use iddq_logicsim::fault_sweep::{sweep, FaultSweepOptions, LogicFault};
+fn cmd_faults(rest: &[String]) -> Result<(), CliError> {
+    use iddq_logicsim::fault_sweep::{FaultSweepOptions, LogicFault};
     use iddq_logicsim::logic_test::StuckAtFault;
     use iddq_logicsim::BackendKind;
     use iddq_netlist::LaneWidth;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
-    let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let path = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage(USAGE))?;
     let cut = load(path)?;
     let seed: u64 = parse_num(rest, "--seed", 42)?;
     let num_vectors: usize = parse_num(rest, "--vectors", 256usize)?;
     if num_vectors == 0 {
-        return Err("--vectors must be at least 1".into());
+        return Err(CliError::usage("--vectors must be at least 1"));
     }
     let bridges: usize = parse_num(rest, "--bridges", 32usize)?;
     let backend: BackendKind = match parse_flag(rest, "--backend") {
         None => BackendKind::Delta,
-        Some(v) => v.parse().map_err(|e| format!("{e}"))?,
+        Some(v) => v.parse().map_err(|e| CliError::usage(format!("{e}")))?,
     };
     let lanes = parse_lanes(rest)?;
     let options = FaultSweepOptions {
@@ -436,7 +531,18 @@ fn cmd_faults(rest: &[String]) -> Result<(), String> {
         fault_shards: parse_num(rest, "--shards", 0usize)?,
         fault_dropping: !rest.iter().any(|a| a == "--no-drop"),
         backend,
+        ..FaultSweepOptions::default()
     };
+    let mut budget = RunBudget::unlimited();
+    if let Some(ms) = parse_opt_num::<u64>(rest, "--budget-ms")? {
+        budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(quota) = parse_opt_num::<u64>(rest, "--quota")? {
+        budget = budget.with_quota(quota);
+    }
+    let control = RunControl::with_budget(budget);
+    let checkpoint_path = parse_flag(rest, "--checkpoint");
+    let resume_path = parse_flag(rest, "--resume");
 
     // Fault universe: both stuck-at polarities on every node, plus bridges
     // sampled with the IDDQ enumerator's locality model.
@@ -475,12 +581,24 @@ fn cmd_faults(rest: &[String]) -> Result<(), String> {
         .collect();
 
     let start = std::time::Instant::now();
-    let outcome = match lanes {
-        LaneWidth::L64 => sweep::<u64>(&cut, &faults, &vectors, &options),
-        LaneWidth::L256 => sweep::<iddq_netlist::W256>(&cut, &faults, &vectors, &options),
-        LaneWidth::L512 => sweep::<iddq_netlist::W512>(&cut, &faults, &vectors, &options),
+    let run = RunPaths {
+        control: &control,
+        resume: resume_path.as_deref(),
+        checkpoint: checkpoint_path.as_deref(),
     };
+    let outcome = match lanes {
+        LaneWidth::L64 => run_fault_sweep::<u64>(&cut, &faults, &vectors, &options, &run),
+        LaneWidth::L256 => {
+            run_fault_sweep::<iddq_netlist::W256>(&cut, &faults, &vectors, &options, &run)
+        }
+        LaneWidth::L512 => {
+            run_fault_sweep::<iddq_netlist::W512>(&cut, &faults, &vectors, &options, &run)
+        }
+    }?;
     let elapsed = start.elapsed().as_secs_f64();
+    let work_coverage = outcome.coverage();
+    let stop_reason = outcome.stop_reason();
+    let outcome = outcome.into_value();
     let detected = outcome.detected.iter().filter(|&&d| d).count();
     println!(
         "{}: {stuck_at_count} stuck-at + {bridge_count} bridge faults x {num_vectors} vectors: \
@@ -497,11 +615,68 @@ fn cmd_faults(rest: &[String]) -> Result<(), String> {
         outcome.mean_dirty_nodes,
         cut.node_count(),
     );
+    if let Some(reason) = stop_reason {
+        // A budget-limited sweep is a *successful* partial run (exit 0):
+        // every detection it reports comes from fully completed pattern
+        // batches, and the grid coverage says how much work remains.
+        println!(
+            "partial: stopped early ({reason}); {:.1}% of the fault x pattern grid completed{}",
+            work_coverage * 100.0,
+            if checkpoint_path.is_some() {
+                " -- resume with --resume <checkpoint>"
+            } else {
+                ""
+            },
+        );
+    }
     Ok(())
 }
 
-fn cmd_stats(rest: &[String]) -> Result<(), String> {
-    let path = rest.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+/// The control/resume/checkpoint context threaded through the
+/// lane-width dispatch of `cmd_faults`.
+struct RunPaths<'a> {
+    control: &'a RunControl,
+    resume: Option<&'a str>,
+    checkpoint: Option<&'a str>,
+}
+
+/// Runs one fault sweep at a fixed lane width: resume from a checkpoint
+/// if asked (validated against this exact run configuration), and write
+/// a checkpoint of whatever completed — atomically, so an interrupted
+/// write can never destroy the previous checkpoint.
+fn run_fault_sweep<W: iddq_netlist::PackedWord>(
+    cut: &Netlist,
+    faults: &[iddq_logicsim::fault_sweep::LogicFault],
+    vectors: &[Vec<bool>],
+    options: &iddq_logicsim::fault_sweep::FaultSweepOptions,
+    run: &RunPaths<'_>,
+) -> Result<iddq_control::Outcome<iddq_logicsim::fault_sweep::FaultSweepOutcome>, CliError> {
+    use iddq_logicsim::fault_sweep::{sweep_resume, sweep_with_control, SweepCheckpoint};
+    let outcome = match run.resume {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read checkpoint `{path}`: {e}"))?;
+            let cp = SweepCheckpoint::from_json(&text)?;
+            sweep_resume::<W>(cut, faults, vectors, options, run.control, &cp)?
+        }
+        None => sweep_with_control::<W>(cut, faults, vectors, options, run.control),
+    };
+    if let Some(path) = run.checkpoint {
+        let cp = SweepCheckpoint::capture::<W>(cut, faults, vectors, outcome.value());
+        write_atomic(std::path::Path::new(path), &cp.to_json())?;
+        eprintln!(
+            "wrote checkpoint {path} ({:.1}% of the pattern grid done)",
+            cp.progress() * 100.0
+        );
+    }
+    Ok(outcome)
+}
+
+fn cmd_stats(rest: &[String]) -> Result<(), CliError> {
+    let path = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage(USAGE))?;
     let cut = load(path)?;
     let depth = iddq_netlist::levelize::depth(&cut);
     println!(

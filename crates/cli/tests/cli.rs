@@ -23,9 +23,9 @@ fn help_prints_usage() {
 }
 
 #[test]
-fn unknown_command_fails_with_code_1() {
+fn unknown_command_is_a_usage_error() {
     let out = bin().arg("frobnicate").output().expect("binary runs");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
@@ -89,9 +89,9 @@ fn gen_stats_synth_test_pipeline() {
 }
 
 #[test]
-fn gen_unknown_circuit_is_an_error() {
+fn gen_unknown_circuit_is_a_usage_error() {
     let out = bin().args(["gen", "c9999"]).output().expect("runs");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown circuit"));
 }
 
@@ -174,14 +174,14 @@ fn sim_backend_and_threads_flags() {
     assert!(t2a.contains("2 thread(s)"), "{t2a}");
     assert_eq!(checksum(&t2a), checksum(&t2b));
 
-    // An unknown backend is a usage error.
+    // An unknown backend is a usage error (exit 2).
     let out = bin()
         .arg("sim")
         .arg(&bench_path)
         .args(["--backend", "warp"])
         .output()
         .expect("binary runs");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown backend"));
 
     let _ = std::fs::remove_file(bench_path);
@@ -219,7 +219,7 @@ fn sim_lanes_flag_selects_width() {
         .args(["--lanes", "128"])
         .output()
         .expect("binary runs");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown lane width"));
 
     let _ = std::fs::remove_file(bench_path);
@@ -278,14 +278,192 @@ fn faults_backends_lanes_and_dropping_agree() {
         assert_eq!(coverage(&run(extra)), coverage(&delta), "{extra:?}");
     }
 
-    // Unknown backend is a usage error.
+    // Unknown backend is a usage error (exit 2); a non-numeric flag
+    // value likewise.
     let out = bin()
         .arg("faults")
         .arg(&bench_path)
         .args(["--backend", "warp"])
         .output()
         .expect("binary runs");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .arg("faults")
+        .arg(&bench_path)
+        .args(["--vectors", "many"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
+fn synth_fanout_bound_below_two_is_a_usage_error() {
+    let bench_path = tmp("fanout-bound.bench");
+    std::fs::write(&bench_path, WIDE_BENCH).expect("writable tmp");
+
+    // The typed InvalidArg from `fanout_buffer` maps to exit code 2.
+    let out = bin()
+        .arg("synth")
+        .arg(&bench_path)
+        .args(["--fanout", "1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot host buffer cascades"), "{err}");
+
+    // A legal bound runs the full flow.
+    let out = bin()
+        .arg("synth")
+        .arg(&bench_path)
+        .args(["--fanout", "4", "--generations", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fan-out buffered"));
+
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
+fn faults_quota_checkpoint_resume_roundtrip() {
+    let bench_path = tmp("c432-ckpt.bench");
+    let ckpt_path = tmp("c432-ckpt.json");
+    let out = bin()
+        .args(["gen", "c432", "--seed", "21", "--out"])
+        .arg(&bench_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // 512 vectors at 64 lanes = 8 pattern batches, so the quota has
+    // real batch boundaries to stop at.
+    let base_args = [
+        "--seed",
+        "9",
+        "--vectors",
+        "512",
+        "--bridges",
+        "8",
+        "--lanes",
+        "64",
+    ];
+
+    // Uninterrupted baseline.
+    let full = bin()
+        .arg("faults")
+        .arg(&bench_path)
+        .args(base_args)
+        .output()
+        .expect("binary runs");
+    assert!(full.status.success());
+    let full_text = String::from_utf8_lossy(&full.stdout).into_owned();
+
+    // Quota-limited run: still exit 0, reports a partial grid, writes a
+    // resumable checkpoint.
+    let partial = bin()
+        .arg("faults")
+        .arg(&bench_path)
+        .args(base_args)
+        .args(["--quota", "150", "--checkpoint"])
+        .arg(&ckpt_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        partial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&partial.stderr)
+    );
+    let text = String::from_utf8_lossy(&partial.stdout);
+    assert!(text.contains("partial: stopped early"), "{text}");
+    assert!(ckpt_path.exists(), "checkpoint written");
+
+    // Resumed run completes and reports the exact same coverage line as
+    // the uninterrupted baseline.
+    let resumed = bin()
+        .arg("faults")
+        .arg(&bench_path)
+        .args(base_args)
+        .args(["--resume"])
+        .arg(&ckpt_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let resumed_text = String::from_utf8_lossy(&resumed.stdout);
+    assert!(!resumed_text.contains("partial:"), "{resumed_text}");
+    let coverage = |t: &str| {
+        t.split(" detected (")
+            .nth(1)
+            .expect("coverage printed")
+            .split(')')
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(coverage(&resumed_text), coverage(&full_text));
+
+    // Resuming against a different run configuration is a runtime
+    // failure (exit 1), not a silent wrong answer.
+    let mismatched = bin()
+        .arg("faults")
+        .arg(&bench_path)
+        .args([
+            "--seed",
+            "9",
+            "--vectors",
+            "256",
+            "--bridges",
+            "8",
+            "--lanes",
+            "64",
+            "--resume",
+        ])
+        .arg(&ckpt_path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(mismatched.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&mismatched.stderr);
+    assert!(err.contains("checkpoint"), "{err}");
+
+    let _ = std::fs::remove_file(bench_path);
+    let _ = std::fs::remove_file(ckpt_path);
+}
+
+#[test]
+fn faults_wall_clock_budget_still_exits_zero() {
+    let bench_path = tmp("c1355-budget.bench");
+    let out = bin()
+        .args(["gen", "c1355", "--seed", "3", "--out"])
+        .arg(&bench_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // Whether the budget expires mid-run (partial) or the sweep finishes
+    // first, a wall-clock-budgeted run is a success.
+    let out = bin()
+        .arg("faults")
+        .arg(&bench_path)
+        .args(["--vectors", "512", "--budget-ms", "20"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("coverage"), "{text}");
 
     let _ = std::fs::remove_file(bench_path);
 }

@@ -488,6 +488,9 @@ impl<'a> Evaluated<'a> {
 
     /// Captures module `m`'s pre-transaction statistics and sensor
     /// figures once per transaction (under the current numbering).
+    // Private helper with a single call site, inside an open
+    // transaction by construction.
+    #[allow(clippy::expect_used)]
     fn snapshot_module(&mut self, m: usize) {
         let log = self.txn.as_mut().expect("only called inside a txn");
         if log.snapshotted.contains(&m) {
@@ -626,6 +629,9 @@ impl<'a> Evaluated<'a> {
     /// # Panics
     ///
     /// Panics if no transaction is active.
+    // Documented panic contract: rolling back without `begin_txn`
+    // is a caller bug, mirrored by `delta::DeltaSim::rollback`.
+    #[allow(clippy::expect_used)]
     pub fn rollback_txn(&mut self) {
         let log = self.txn.take().expect("no active transaction");
         for op in log.ops.into_iter().rev() {

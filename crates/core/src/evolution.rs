@@ -33,9 +33,12 @@
 //! evaluator construction. Rollback is bit-exact, so results are
 //! identical for any thread count.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use iddq_control::{Outcome, RunControl, StopReason};
 use iddq_netlist::cone::ConeWalker;
 use iddq_netlist::NodeId;
 
@@ -144,6 +147,37 @@ pub struct EvolutionOutcome {
 /// Panics if `config.mu == 0` or the netlist has no gates.
 #[must_use]
 pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> EvolutionOutcome {
+    optimize_with_control(ctx, config, seed, &RunControl::unlimited()).into_value()
+}
+
+/// [`optimize`] under an [`iddq_control::RunControl`]: cancellable,
+/// budget-aware, and panic-isolated.
+///
+/// The control is polled at every generation boundary and charged one
+/// work unit per descendant scored. A budget or cancellation hit stops
+/// the search at the next boundary and returns [`Outcome::Partial`]
+/// carrying the best partition found so far; `coverage` is the fraction
+/// of the configured generations that ran. A panic inside a scoring
+/// chunk is caught at the worker boundary: that chunk's descendants are
+/// lost, the generation finishes with the survivors, and the run stops
+/// with [`StopReason::WorkerPanicked`]. Stagnation-based early exit is a
+/// *normal* termination and still yields [`Outcome::Complete`].
+///
+/// # Panics
+///
+/// Panics if `config.mu == 0` or the netlist has no gates (caller bugs,
+/// not runtime conditions).
+#[must_use]
+// The `expect`s inside assert the scratch-arena and
+// parent-materialization accounting of the generation loop — each
+// slot is provably filled exactly once before it is taken.
+#[allow(clippy::expect_used)]
+pub fn optimize_with_control(
+    ctx: &EvalContext<'_>,
+    config: &EvolutionConfig,
+    seed: u64,
+    control: &RunControl,
+) -> Outcome<EvolutionOutcome> {
     assert!(config.mu > 0, "need at least one parent");
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xe501);
     let module_size = start::estimate_module_size(ctx);
@@ -171,8 +205,14 @@ pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> E
     let mut best_cost = f64::INFINITY;
     let mut best: Option<Partition> = None;
     let mut stagnant = 0usize;
+    let mut stopped: Option<StopReason> = None;
+    let mut generations_run = 0usize;
 
     for generation in 0..config.generations {
+        if let Some(reason) = control.check() {
+            stopped = Some(reason);
+            break;
+        }
         // Descendant tasks: (parent index, Monte-Carlo?, private seed).
         // Each task gets its own RNG derived from the master stream, so
         // the outcome is identical whatever the thread count.
@@ -215,24 +255,49 @@ pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> E
                 })
                 .collect()
         };
+        // Scoring chunks run under a panic boundary: a poisoned chunk
+        // loses its descendants (the scratch evaluators are private
+        // clones, so no shared state is corrupted), the generation
+        // finishes with the survivors, and the run then stops.
+        let mut panicked = false;
         let scored: Vec<Option<ScoredChild>> = if config.threads > 1 && tasks.len() > 1 {
             let chunk = tasks.len().div_ceil(config.threads);
-            std::thread::scope(|scope| {
+            let per_chunk: Vec<Option<Vec<Option<ScoredChild>>>> = std::thread::scope(|scope| {
                 let run_chunk = &run_chunk;
                 let handles: Vec<_> = tasks
                     .chunks(chunk)
-                    .map(|slice| scope.spawn(move || run_chunk(slice)))
+                    .map(|slice| {
+                        scope
+                            .spawn(move || catch_unwind(AssertUnwindSafe(|| run_chunk(slice))).ok())
+                    })
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("descendant worker never panics"))
+                    .map(|h| h.join().ok().flatten())
                     .collect()
-            })
+            });
+            per_chunk
+                .into_iter()
+                .flat_map(|r| match r {
+                    Some(cells) => cells,
+                    None => {
+                        panicked = true;
+                        Vec::new()
+                    }
+                })
+                .collect()
         } else {
-            run_chunk(&tasks)
+            match catch_unwind(AssertUnwindSafe(|| run_chunk(&tasks))) {
+                Ok(cells) => cells,
+                Err(_) => {
+                    panicked = true;
+                    Vec::new()
+                }
+            }
         };
         let children: Vec<ScoredChild> = scored.into_iter().flatten().collect();
         evaluations += children.len();
+        control.charge(tasks.len() as u64);
 
         // Selection pool: aged parents + all descendants, in that order
         // (stable sort keeps it deterministic under cost ties).
@@ -327,17 +392,46 @@ pub fn optimize(ctx: &EvalContext<'_>, config: &EvolutionConfig, seed: u64) -> E
         } else {
             stagnant += 1;
             if stagnant >= config.stagnation {
+                generations_run = generation + 1;
                 break;
             }
         }
+        generations_run = generation + 1;
+        if panicked {
+            stopped = Some(StopReason::WorkerPanicked);
+            break;
+        }
     }
 
-    let best = best.expect("at least one generation ran");
-    EvolutionOutcome {
+    // A stop before the first improvement still has the evaluated start
+    // population to report: take its best member.
+    let (best, best_cost) = match best {
+        Some(p) => (p, best_cost),
+        None => {
+            let gen_best = population
+                .iter()
+                .min_by(|a, b| a.cost.total_cmp(&b.cost))
+                .unwrap_or(&population[0]);
+            (gen_best.eval.partition().clone(), gen_best.cost)
+        }
+    };
+    let value = EvolutionOutcome {
         best,
         best_cost,
         log,
         evaluations,
+    };
+    match stopped {
+        None => Outcome::Complete(value),
+        Some(reason) => Outcome::Partial {
+            value,
+            coverage: if config.generations == 0 {
+                1.0
+            } else {
+                generations_run as f64 / config.generations as f64
+            },
+            reason,
+        },
     }
 }
 
@@ -399,6 +493,8 @@ fn mutate(
 /// these descendants is higher compared with mutations"). Module-sized
 /// move sets exceed the incremental dirty-cone budget, so settling takes
 /// the batch full-sweep path.
+// Same scratch-arena accounting as the generation loop above.
+#[allow(clippy::expect_used)]
 fn monte_carlo(
     scratch: &mut Evaluated<'_>,
     parent_m: f64,
@@ -572,6 +668,46 @@ mod tests {
         assert_eq!(a.best, b.best);
         assert_eq!(a.best_cost, b.best_cost);
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn quota_budget_stops_early_with_best_so_far() {
+        use iddq_control::RunBudget;
+        let nl = data::ripple_adder(10);
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        // One generation scores mu*(lambda+chi) = 16 descendants; a
+        // 40-unit quota allows at most a few generations of 60.
+        let control = RunControl::with_budget(RunBudget::unlimited().with_quota(40));
+        let out = optimize_with_control(&ctx, &quick_config(), 7, &control);
+        match out {
+            Outcome::Partial {
+                value,
+                coverage,
+                reason,
+            } => {
+                assert_eq!(reason, StopReason::QuotaExhausted);
+                assert!(coverage < 1.0);
+                assert!(value.best_cost.is_finite());
+                value.best.validate(&nl).unwrap();
+            }
+            Outcome::Complete(_) => panic!("a 40-evaluation quota cannot finish 60 generations"),
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_optimize_reports_start_population_best() {
+        let nl = data::c17();
+        let lib = Library::generic_1um();
+        let ctx = EvalContext::new(&nl, &lib, PartitionConfig::paper_default());
+        let control = RunControl::unlimited();
+        control.token().cancel();
+        let out = optimize_with_control(&ctx, &quick_config(), 1, &control);
+        assert_eq!(out.stop_reason(), Some(StopReason::Cancelled));
+        let value = out.into_value();
+        assert!(value.best_cost.is_finite());
+        value.best.validate(&nl).unwrap();
+        assert!(value.log.is_empty());
     }
 
     #[test]

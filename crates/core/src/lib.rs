@@ -40,6 +40,23 @@
 //! * [`standard`] — §5 the straightforward baseline partitioner,
 //! * [`flow`] — end-to-end synthesis entry points and reporting.
 //!
+//! # Failure semantics
+//!
+//! The searches are budget-aware: [`evolution::optimize_with_control`]
+//! (and the separation-oracle build behind
+//! [`EvalContextBuilder`]) accept an [`iddq_control::RunControl`] and
+//! return an [`iddq_control::Outcome`]. The evolution loop checks its
+//! control at *generation boundaries* and charges one quota unit per
+//! descendant scored; on a stop it returns the best individual found so
+//! far as [`iddq_control::Outcome::Partial`] with `coverage` =
+//! generations run / generations requested. Scoring chunks run under
+//! `catch_unwind`: a panicking chunk forfeits its descendants for that
+//! generation and stops the search with
+//! [`iddq_control::StopReason::WorkerPanicked`] after the survivors are
+//! selected, so a poisoned worker can never corrupt the population. A
+//! partially built separation oracle keeps unbuilt rows empty, which
+//! saturates their distances at ρ — the sound, pessimistic default.
+//!
 //! # Quickstart
 //!
 //! ```rust
@@ -57,6 +74,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod constraints;

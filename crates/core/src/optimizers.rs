@@ -40,6 +40,10 @@ pub struct OptimizerOutcome {
 /// probability `mc_prob` a high-variance Monte-Carlo move (random gates of
 /// a random module to a random module), otherwise a §4.2 boundary move.
 /// Returns `false` if no move was possible (single-module partition).
+// The representative gate is re-resolved through `module_of` after
+// every move precisely because indices shift; an unassigned gate
+// would mean the partition lost a gate — an invariant, not an input.
+#[allow(clippy::expect_used)]
 fn random_move(eval: &mut Evaluated<'_>, mc_prob: f64, rng: &mut SmallRng) -> bool {
     let k = eval.partition().module_count();
     if k < 2 {
@@ -185,6 +189,9 @@ pub fn simulated_annealing(
 ///
 /// Panics if the netlist has no gates or `restarts == 0`.
 #[must_use]
+// `best` is seeded on the first restart and `restarts >= 1` is the
+// documented domain of the function.
+#[allow(clippy::expect_used)]
 pub fn greedy_local_search(
     ctx: &EvalContext<'_>,
     restarts: usize,

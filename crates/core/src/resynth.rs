@@ -267,6 +267,9 @@ impl<'a> ResynthEval<'a> {
     /// # Panics
     ///
     /// Panics if there is no patch to roll back.
+    // Documented panic contract (empty undo stack); the recorded
+    // inverse restores the exact prior structure by construction.
+    #[allow(clippy::expect_used)]
     pub fn rollback(&mut self) -> PatchImpact {
         let frame = self.undo.pop().expect("no patch to roll back");
         self.times_log.clear();
@@ -468,6 +471,9 @@ impl<'a> ResynthEval<'a> {
 
     /// Applies one validated op (structure + electrical row + placeholder
     /// growth of the derived vectors), returning its inverse.
+    // Ops reach here only after validation, so gate slots are
+    // populated and the parallel arrays stay aligned.
+    #[allow(clippy::expect_used)]
     fn apply_op(&mut self, op: &PatchOp) -> PatchOp {
         match op {
             PatchOp::SetKind { gate, kind } => {
@@ -534,6 +540,8 @@ impl<'a> ResynthEval<'a> {
     /// Re-derives the electrical row of gate `i` from the library — the
     /// same lookup [`NodeTables::new`] performs, so rows stay bit-exact
     /// with a rebuilt context.
+    // Only called for validated gate indices.
+    #[allow(clippy::expect_used)]
     fn set_table_row(&mut self, i: usize) {
         let kind = self.kinds[i].expect("gates only");
         let cell = self.ctx.library.cell(kind, self.cones.fanin(i).len());

@@ -11,6 +11,11 @@
 //! [`cell_array`] builds the netlist; [`row_partition`] / [`col_partition`]
 //! build the two partitions as gate-id groups.
 
+// The generator mints fresh, unique names and in-range fan-ins by
+// construction, so builder calls cannot fail; `cell_at` documents its
+// panic contract on out-of-range coordinates.
+#![allow(clippy::expect_used)]
+
 use iddq_netlist::{CellKind, Netlist, NetlistBuilder, NodeId};
 
 /// Cell kinds used for the three row-repeating cell types `C1, C2, C3`.

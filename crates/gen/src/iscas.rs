@@ -7,6 +7,11 @@
 //! statistics (Brglez et al., ISCAS 1985) are recorded in
 //! [`IscasProfile::all`].
 
+// Synthetic-netlist generator: every name is minted fresh and every
+// fan-in points at an already-created node, so the builder `expect`s
+// assert the generator's own construction, never caller input.
+#![allow(clippy::expect_used)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

@@ -174,6 +174,9 @@ impl Adjacency {
     /// insertion, the probe-loop pattern — the storage is reclaimed;
     /// interior (relocated-away) ranges stay dead like any other
     /// relocation residue.
+    // The `expect`s assert this pool's own bookkeeping (offsets, caps
+    // and lengths move in lockstep); they cannot fire from caller input.
+    #[allow(clippy::expect_used)]
     fn pop_slot(&mut self) {
         let off = self.off.pop().expect("non-empty adjacency");
         self.len.pop();
@@ -184,6 +187,8 @@ impl Adjacency {
     }
 
     /// Removes one occurrence of `v` (order not preserved).
+    // Same bookkeeping invariant: every stored edge has a mirror entry.
+    #[allow(clippy::expect_used)]
     fn remove_one(&mut self, i: usize, v: u32) {
         let o = self.off[i] as usize;
         let n = self.len[i] as usize;
@@ -444,6 +449,9 @@ impl<W: PackedWord> DeltaSim<W> {
     /// # Panics
     ///
     /// Panics if there is no patch to roll back.
+    // Documented panic contract (empty undo stack), and the inverse of
+    // an accepted patch re-validates by construction.
+    #[allow(clippy::expect_used)]
     pub fn rollback(&mut self) -> PatchReport {
         let inverse = self.undo.pop().expect("no patch to roll back");
         let (_, report) = self
@@ -457,6 +465,10 @@ impl<W: PackedWord> DeltaSim<W> {
         self.undo.clear();
     }
 
+    // On a relevel failure the already-applied ops are unwound with
+    // their recorded inverses, which restore the exact prior structure —
+    // that restore failing would mean the inverse bookkeeping is broken.
+    #[allow(clippy::expect_used)]
     fn apply_inner(&mut self, patch: &Patch) -> Result<(Patch, PatchReport), PatchError> {
         let inverse = self.apply_structure(patch)?;
         let seeds: Vec<u32> = {
@@ -611,6 +623,9 @@ impl<W: PackedWord> DeltaSim<W> {
     }
 
     /// Applies one validated op, returning its inverse.
+    // `_unchecked` by contract: ops reach here only after
+    // `validate_op`, so the gate-kind slots are guaranteed populated.
+    #[allow(clippy::expect_used)]
     fn apply_op_unchecked(&mut self, op: &PatchOp) -> PatchOp {
         match op {
             PatchOp::SetKind { gate, kind } => {
@@ -707,6 +722,9 @@ impl<W: PackedWord> DeltaSim<W> {
 
     /// Recomputes levels over the transitive fanout of `seeds`, detecting
     /// cycles. On `Err` no level has been modified.
+    // As in `cone::relevel`: the expect cross-checks the cycle
+    // detector's own accounting, not an input condition.
+    #[allow(clippy::expect_used)]
     fn relevel(&mut self, seeds: &[u32]) -> Result<(), PatchError> {
         // Affected region: transitive fanout of the edited gates over the
         // *new* adjacency (any node whose level can change has an edited

@@ -31,10 +31,44 @@
 //! bit-identical for any thread count, shard count and dropping setting,
 //! because a fault is only ever skipped when a strictly earlier detection
 //! (which wins the min-merge) already exists.
+//!
+//! # Failure semantics: budgets, cancellation, checkpoint/resume
+//!
+//! [`sweep_with_control`] threads an [`iddq_control::RunControl`] through
+//! the grid: workers poll it at every pattern-batch boundary (never inside
+//! the packed loops) and charge one work unit per pattern applied. A
+//! budget or cancellation hit stops the run at the next boundary and
+//! returns [`Outcome::Partial`] — the per-fault earliest detections of
+//! every *completed* (fault-shard × pattern-batch) cell, the fraction of
+//! planned grid work that ran, and the [`StopReason`]. Worker panics are
+//! caught at the task boundary (`catch_unwind`): one poisoned cell fails
+//! its shard (and poisons only that worker's engines, which are rebuilt),
+//! the process survives, and the outcome degrades to `Partial` with
+//! [`StopReason::WorkerPanicked`].
+//!
+//! Partial results are *resumable*. [`SweepCheckpoint`] serializes the
+//! earliest-detection array, the set of fully-swept pattern batches and a
+//! fingerprint of the run configuration (netlist structure, fault list,
+//! vector set, lane width). [`sweep_resume`] validates the fingerprint and
+//! re-runs only the batches not yet fully swept, min-merging the
+//! checkpointed detections with the new ones. Because each (fault, batch)
+//! detection mask is a pure function of the circuit and the vectors, and
+//! the earliest-detection merge is an order-independent minimum, a
+//! cancelled-checkpointed-resumed sweep is **bit-identical** to an
+//! uninterrupted one — the chaos proptests cancel at random grid points
+//! and assert exactly that, for arbitrary thread and shard counts.
+//!
+//! The [`FaultSweepOptions::chaos_panic_batch`] knob is the
+//! chaos-injection hook those tests (and operators vetting a deployment)
+//! use: the worker that reaches the given batch panics, exercising the
+//! worker-boundary isolation path deterministically.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use iddq_control::{EngineError, Outcome, RunControl, StopReason};
 use iddq_netlist::{Netlist, NodeId, PackedWord};
+use serde::{Deserialize, Serialize};
 
 use crate::backend::BackendKind;
 use crate::delta::{DeltaSim, Patch, PatchOp};
@@ -119,6 +153,7 @@ impl<W: PackedWord> FaultPatchSim<W> {
     /// # Panics
     ///
     /// Panics if the fault references nodes outside the netlist.
+    #[allow(clippy::expect_used)] // invariant: force patches on in-range nodes never fail to apply
     pub fn detect(&mut self, fault: LogicFault) -> W {
         self.detects += 1;
         match fault {
@@ -212,6 +247,12 @@ pub struct FaultSweepOptions {
     /// [`BackendKind::Csr`] = per-fault full re-simulation (the
     /// differential oracle and speedup baseline).
     pub backend: BackendKind,
+    /// Chaos injection: the worker that reaches this absolute pattern-batch
+    /// index panics right before evaluating it. Exercises the
+    /// worker-boundary `catch_unwind` isolation (one poisoned task fails
+    /// its shard, the sweep degrades to `Partial` instead of aborting the
+    /// process). `None` in production.
+    pub chaos_panic_batch: Option<usize>,
 }
 
 impl Default for FaultSweepOptions {
@@ -221,6 +262,7 @@ impl Default for FaultSweepOptions {
             fault_shards: 0,
             fault_dropping: true,
             backend: BackendKind::Delta,
+            chaos_panic_batch: None,
         }
     }
 }
@@ -239,12 +281,239 @@ pub struct FaultSweepOutcome {
     /// Mean nodes re-evaluated per fault application (0 on the CSR
     /// oracle, which has no dirty-cone notion).
     pub mean_dirty_nodes: f64,
+    /// Per pattern batch: was it fully swept against every fault shard
+    /// (complete runs: all `true`). This is the resume frontier a
+    /// [`SweepCheckpoint`] persists — a batch left `false` is re-swept on
+    /// resume, which is always sound because re-scanning reproduces the
+    /// same detection masks and the earliest-detection merge is an
+    /// order-independent minimum.
+    pub done_batches: Vec<bool>,
 }
 
-/// One cell of the two-level task grid.
+/// A serializable snapshot of an interrupted fault sweep: everything
+/// needed to resume it to a bit-identical completion.
+///
+/// The checkpoint format (stable JSON via the vendored serde) holds:
+///
+/// * `fingerprint` — 64-bit FNV-1a over the netlist structure, the fault
+///   list, the vector set and the lane width, hex-encoded. A resumed run
+///   must fingerprint identically or [`sweep_resume`] rejects it with
+///   [`EngineError::CheckpointMismatch`] — resuming against a different
+///   circuit or vector set would silently corrupt the min-merge.
+/// * `first_detection` — the per-fault earliest detection indices merged
+///   over all grid cells completed before the interruption.
+/// * `done_batches` — which pattern batches were fully swept against
+///   every fault shard. Resume re-runs exactly the others.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCheckpoint {
+    /// Netlist name (informational; the fingerprint is what binds).
+    pub circuit: String,
+    /// Hex-encoded FNV-1a fingerprint of (netlist, faults, vectors, lanes).
+    pub fingerprint: String,
+    /// Packed lane width the batch geometry was computed with.
+    pub lanes: u32,
+    /// Number of vectors in the sweep.
+    pub num_vectors: usize,
+    /// Per-fault earliest detection so far (`null` = none yet).
+    pub first_detection: Vec<Option<usize>>,
+    /// Per pattern batch: fully swept before the interruption.
+    pub done_batches: Vec<bool>,
+}
+
+/// Incremental FNV-1a hasher for the checkpoint fingerprint.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn run_fingerprint<W: PackedWord>(
+    netlist: &Netlist,
+    faults: &[LogicFault],
+    vectors: &[Vec<bool>],
+) -> String {
+    let mut h = Fnv::new();
+    h.u64(u64::from(W::LANES));
+    h.u64(netlist.node_count() as u64);
+    h.u64(netlist.num_inputs() as u64);
+    h.u64(netlist.num_outputs() as u64);
+    for id in netlist.node_ids() {
+        match netlist.node(id).kind().cell_kind() {
+            None => h.u64(u64::MAX),
+            Some(kind) => h.bytes(kind.mnemonic().as_bytes()),
+        }
+        for f in netlist.node(id).fanin() {
+            h.u64(f.index() as u64);
+        }
+    }
+    for fault in faults {
+        match *fault {
+            LogicFault::StuckAt(f) => {
+                h.u64(0);
+                h.u64(f.node.index() as u64);
+                h.u64(u64::from(f.stuck_at_one));
+            }
+            LogicFault::Bridge { a, b } => {
+                h.u64(1);
+                h.u64(a.index() as u64);
+                h.u64(b.index() as u64);
+            }
+        }
+    }
+    h.u64(vectors.len() as u64);
+    for v in vectors {
+        h.u64(v.len() as u64);
+        let mut word = 0u64;
+        for (i, &bit) in v.iter().enumerate() {
+            if bit {
+                word |= 1 << (i % 64);
+            }
+            if i % 64 == 63 {
+                h.u64(word);
+                word = 0;
+            }
+        }
+        h.u64(word);
+    }
+    format!("{:016x}", h.0)
+}
+
+impl SweepCheckpoint {
+    /// Captures a checkpoint of `outcome` for later [`sweep_resume`].
+    ///
+    /// `W` must be the lane width the sweep ran with (the batch geometry
+    /// is part of the fingerprint).
+    #[must_use]
+    pub fn capture<W: PackedWord>(
+        netlist: &Netlist,
+        faults: &[LogicFault],
+        vectors: &[Vec<bool>],
+        outcome: &FaultSweepOutcome,
+    ) -> Self {
+        SweepCheckpoint {
+            circuit: netlist.name().to_owned(),
+            fingerprint: run_fingerprint::<W>(netlist, faults, vectors),
+            lanes: W::LANES,
+            num_vectors: vectors.len(),
+            first_detection: outcome.first_detection.clone(),
+            done_batches: outcome.done_batches.clone(),
+        }
+    }
+
+    /// Checks that this checkpoint belongs to exactly the given run
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::CheckpointMismatch`] when the fingerprint, the
+    /// fault count or the batch geometry disagrees.
+    pub fn validate<W: PackedWord>(
+        &self,
+        netlist: &Netlist,
+        faults: &[LogicFault],
+        vectors: &[Vec<bool>],
+    ) -> Result<(), EngineError> {
+        let mismatch = |what: &str| {
+            Err(EngineError::CheckpointMismatch(format!(
+                "{what} (checkpoint was taken from circuit `{}`)",
+                self.circuit
+            )))
+        };
+        if self.lanes != W::LANES {
+            return mismatch(&format!(
+                "lane width {} differs from the run's {}",
+                self.lanes,
+                W::LANES
+            ));
+        }
+        if self.num_vectors != vectors.len() {
+            return mismatch(&format!(
+                "vector count {} differs from the run's {}",
+                self.num_vectors,
+                vectors.len()
+            ));
+        }
+        if self.first_detection.len() != faults.len() {
+            return mismatch(&format!(
+                "fault count {} differs from the run's {}",
+                self.first_detection.len(),
+                faults.len()
+            ));
+        }
+        let num_batches = vectors.len().div_ceil(W::LANES as usize);
+        if self.done_batches.len() != num_batches {
+            return mismatch(&format!(
+                "batch count {} differs from the run's {num_batches}",
+                self.done_batches.len()
+            ));
+        }
+        let expected = run_fingerprint::<W>(netlist, faults, vectors);
+        if self.fingerprint != expected {
+            return mismatch("netlist/fault/vector fingerprint differs");
+        }
+        Ok(())
+    }
+
+    /// Fraction of pattern batches fully swept.
+    #[must_use]
+    pub fn progress(&self) -> f64 {
+        if self.done_batches.is_empty() {
+            1.0
+        } else {
+            self.done_batches.iter().filter(|&&d| d).count() as f64 / self.done_batches.len() as f64
+        }
+    }
+
+    /// Serializes the checkpoint as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Parses a checkpoint from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::CheckpointMismatch`] on malformed JSON or a tree
+    /// that does not match the checkpoint schema.
+    pub fn from_json(text: &str) -> Result<Self, EngineError> {
+        serde_json::from_str(text)
+            .map_err(|e| EngineError::CheckpointMismatch(format!("unreadable checkpoint: {e}")))
+    }
+}
+
+/// One cell of the two-level task grid: a fault range crossed with a
+/// range of *positions* into the pending-batch list.
 struct GridTask {
     fault_range: std::ops::Range<usize>,
-    batch_range: std::ops::Range<usize>,
+    batch_positions: std::ops::Range<usize>,
+}
+
+/// What one completed (or interrupted) grid cell reports back.
+struct CellReport {
+    fault_start: usize,
+    first: Vec<Option<usize>>,
+    /// Prefix of `batch_positions` fully swept (== len when the cell
+    /// finished or dropped all its faults).
+    completed: usize,
+    /// The pending-batch positions that prefix covers.
+    positions: std::ops::Range<usize>,
+    reevaluated: u64,
+    detects: u64,
 }
 
 fn auto_threads(units: usize) -> usize {
@@ -255,12 +524,42 @@ fn auto_threads(units: usize) -> usize {
         .max(1)
 }
 
+/// Per-worker simulation state, rebuilt from scratch after a caught panic
+/// (a poisoned engine must never leak into the next task).
+struct Engines<W: PackedWord> {
+    patch_sim: Option<FaultPatchSim<W>>,
+    csr: Option<Simulator>,
+    words: Vec<W>,
+    good: Vec<W>,
+}
+
+impl<W: PackedWord> Engines<W> {
+    fn new(netlist: &Netlist, backend: BackendKind) -> Self {
+        let (patch_sim, csr) = match backend {
+            BackendKind::Delta => (Some(FaultPatchSim::<W>::new(netlist)), None),
+            BackendKind::Csr => (None, Some(Simulator::new(netlist))),
+        };
+        Engines {
+            patch_sim,
+            csr,
+            words: vec![W::zeros(); netlist.num_inputs()],
+            good: vec![W::zeros(); netlist.node_count()],
+        }
+    }
+}
+
 /// Sweeps a fault list against a vector set, `W::LANES` patterns at a
 /// time, returning per-fault earliest detections.
 ///
 /// Results are bit-identical for any `threads`, `fault_shards`,
 /// `fault_dropping` and backend choice (enforced by the differential
 /// proptests); only the work differs.
+///
+/// This is the plain, non-budgeted entry point: it runs under an
+/// unlimited [`RunControl`], so the only way it returns less than the
+/// full sweep is a caught worker panic (in which case the affected grid
+/// cells are simply missing from the merge — see [`sweep_with_control`]
+/// to observe that, and everything else, as a typed [`Outcome`]).
 ///
 /// # Panics
 ///
@@ -273,143 +572,250 @@ pub fn sweep<W: PackedWord>(
     vectors: &[Vec<bool>],
     options: &FaultSweepOptions,
 ) -> FaultSweepOutcome {
+    sweep_with_control::<W>(netlist, faults, vectors, options, &RunControl::unlimited())
+        .into_value()
+}
+
+/// [`sweep`] under a [`RunControl`]: cancellable, budget-aware, and
+/// panic-isolated.
+///
+/// The control is polled at every (grid cell, pattern batch) boundary and
+/// charged one unit per pattern applied per cell. On a stop the function
+/// returns [`Outcome::Partial`] whose value carries the detections of
+/// every completed cell and whose `coverage` is the fraction of planned
+/// cell-batch units that ran; [`FaultSweepOutcome::done_batches`] marks
+/// the batches that completed against *every* fault shard, which is what
+/// [`SweepCheckpoint::capture`] persists for resume.
+#[must_use]
+pub fn sweep_with_control<W: PackedWord>(
+    netlist: &Netlist,
+    faults: &[LogicFault],
+    vectors: &[Vec<bool>],
+    options: &FaultSweepOptions,
+    control: &RunControl,
+) -> Outcome<FaultSweepOutcome> {
+    sweep_impl::<W>(netlist, faults, vectors, options, control, None)
+}
+
+/// Resumes a checkpointed sweep: validates `checkpoint` against the run
+/// configuration, re-sweeps only the pattern batches not yet marked done,
+/// and min-merges the checkpointed detections with the new ones.
+///
+/// A resumed run that completes is **bit-identical** to an uninterrupted
+/// [`sweep`] of the same configuration (chaos-proptested across thread
+/// and shard counts).
+///
+/// # Errors
+///
+/// [`EngineError::CheckpointMismatch`] when the checkpoint does not
+/// fingerprint-match the given netlist/faults/vectors/lanes.
+pub fn sweep_resume<W: PackedWord>(
+    netlist: &Netlist,
+    faults: &[LogicFault],
+    vectors: &[Vec<bool>],
+    options: &FaultSweepOptions,
+    control: &RunControl,
+    checkpoint: &SweepCheckpoint,
+) -> Result<Outcome<FaultSweepOutcome>, EngineError> {
+    checkpoint.validate::<W>(netlist, faults, vectors)?;
+    Ok(sweep_impl::<W>(
+        netlist,
+        faults,
+        vectors,
+        options,
+        control,
+        Some(checkpoint),
+    ))
+}
+
+fn sweep_impl<W: PackedWord>(
+    netlist: &Netlist,
+    faults: &[LogicFault],
+    vectors: &[Vec<bool>],
+    options: &FaultSweepOptions,
+    control: &RunControl,
+    resume: Option<&SweepCheckpoint>,
+) -> Outcome<FaultSweepOutcome> {
     let lanes = W::LANES as usize;
     let num_batches = vectors.len().div_ceil(lanes);
+    // The pending-batch list: everything on a fresh run, only the batches
+    // not yet fully swept on a resume.
+    let batch_ids: Vec<usize> = match resume {
+        None => (0..num_batches).collect(),
+        Some(cp) => (0..num_batches).filter(|&b| !cp.done_batches[b]).collect(),
+    };
+    let pending = batch_ids.len();
     let threads = if options.threads == 0 {
-        auto_threads(num_batches.max(1) * faults.len().div_ceil(64).max(1))
+        auto_threads(pending.max(1) * faults.len().div_ceil(64).max(1))
     } else {
         options.threads.max(1)
     };
     let shards = match options.fault_shards {
-        0 if num_batches >= threads => 1,
+        0 if pending >= threads => 1,
         0 => threads
-            .div_ceil(num_batches.max(1))
+            .div_ceil(pending.max(1))
             .min(faults.len().div_ceil(16).max(1)),
         s => s.min(faults.len().max(1)),
     };
-    let batch_chunks = threads.div_ceil(shards).min(num_batches.max(1)).max(1);
+    let batch_chunks = threads.div_ceil(shards).min(pending.max(1)).max(1);
 
     let mut tasks: Vec<GridTask> = Vec::with_capacity(shards * batch_chunks);
     let per_shard = faults.len().div_ceil(shards).max(1);
-    let per_chunk = num_batches.div_ceil(batch_chunks).max(1);
+    let per_chunk = pending.div_ceil(batch_chunks).max(1);
+    // How many grid cells cover each pending-batch position (a batch is
+    // "done" only when all of them completed it).
+    let mut covering = vec![0u32; pending];
     for s in 0..shards {
         let fault_range = s * per_shard..faults.len().min((s + 1) * per_shard);
         if fault_range.is_empty() && !faults.is_empty() {
             continue;
         }
         for c in 0..batch_chunks {
-            let batch_range = c * per_chunk..num_batches.min((c + 1) * per_chunk);
-            if batch_range.is_empty() && num_batches > 0 {
+            let batch_positions = c * per_chunk..pending.min((c + 1) * per_chunk);
+            if batch_positions.is_empty() && pending > 0 {
                 continue;
+            }
+            for p in batch_positions.clone() {
+                covering[p] += 1;
             }
             tasks.push(GridTask {
                 fault_range: fault_range.clone(),
-                batch_range,
+                batch_positions,
             });
         }
     }
+    let total_units: usize = tasks.iter().map(|t| t.batch_positions.len()).sum();
 
     // Cross-cell fault dropping: earliest published detection per fault. A
     // cell skips a fault only when the published index precedes every
     // vector it could contribute — such a detection wins the min-merge
-    // regardless, so worker timing cannot change the result.
+    // regardless, so worker timing cannot change the result. On resume the
+    // checkpointed detections pre-seed the array: they justify skips for
+    // exactly the same reason.
     let best: Vec<AtomicUsize> = (0..faults.len())
-        .map(|_| AtomicUsize::new(usize::MAX))
+        .map(|i| {
+            AtomicUsize::new(
+                resume
+                    .and_then(|cp| cp.first_detection[i])
+                    .unwrap_or(usize::MAX),
+            )
+        })
         .collect();
 
-    struct Partial {
-        fault_start: usize,
-        first: Vec<Option<usize>>,
-        reevaluated: u64,
-        detects: u64,
-    }
-
-    let run_tasks = |my_tasks: &[GridTask]| -> Vec<Partial> {
-        // One engine per worker: either the fault-patch DeltaSim or the
-        // CSR full-sweep oracle.
-        let mut patch_sim = match options.backend {
-            BackendKind::Delta => Some(FaultPatchSim::<W>::new(netlist)),
-            BackendKind::Csr => None,
-        };
-        let csr = match options.backend {
-            BackendKind::Csr => Some(Simulator::new(netlist)),
-            BackendKind::Delta => None,
-        };
-        let mut words = vec![W::zeros(); netlist.num_inputs()];
-        let mut good = vec![W::zeros(); netlist.node_count()];
-        let mut out = Vec::with_capacity(my_tasks.len());
-        for task in my_tasks {
-            let flen = task.fault_range.len();
-            let mut first: Vec<Option<usize>> = vec![None; flen];
-            let mut live = vec![true; flen];
-            let mut remaining = flen;
-            let mut reeval0 = 0u64;
-            let mut detects0 = 0u64;
-            if let Some(ps) = patch_sim.as_ref() {
-                (reeval0, detects0) = ps.dirty_totals();
+    // One grid cell, on one worker's engines. Runs under `catch_unwind`:
+    // any panic in here is confined to the cell, and the worker's engines
+    // are rebuilt before the next cell.
+    let run_cell = |task: &GridTask, eng: &mut Engines<W>| -> CellReport {
+        let flen = task.fault_range.len();
+        let mut first: Vec<Option<usize>> = vec![None; flen];
+        let mut live = vec![true; flen];
+        let mut remaining = flen;
+        let mut completed = 0usize;
+        let (mut reeval0, mut detects0) = (0u64, 0u64);
+        if let Some(ps) = eng.patch_sim.as_ref() {
+            (reeval0, detects0) = ps.dirty_totals();
+        }
+        for pos in task.batch_positions.clone() {
+            if options.fault_dropping && remaining == 0 {
+                // Every fault in the shard has a strictly earlier
+                // detection: the remaining batches cannot change the
+                // min-merge, so they count as swept.
+                completed = task.batch_positions.len();
+                break;
             }
-            for batch_idx in task.batch_range.clone() {
-                if options.fault_dropping && remaining == 0 {
-                    break;
+            if control.check().is_some() {
+                break;
+            }
+            let batch_idx = batch_ids[pos];
+            if options.chaos_panic_batch == Some(batch_idx) {
+                panic!("chaos injection: worker panicked at pattern batch {batch_idx}");
+            }
+            let start_vec = batch_idx * lanes;
+            let chunk = &vectors[start_vec..vectors.len().min(start_vec + lanes)];
+            pack_chunk_into(chunk, &mut eng.words);
+            if let Some(ps) = eng.patch_sim.as_mut() {
+                ps.load(&eng.words);
+            } else if let Some(sim) = eng.csr.as_ref() {
+                sim.eval_into(&eng.words, &mut eng.good);
+            }
+            for k in 0..flen {
+                if options.fault_dropping && !live[k] {
+                    continue;
                 }
-                let start_vec = batch_idx * lanes;
-                let chunk = &vectors[start_vec..vectors.len().min(start_vec + lanes)];
-                pack_chunk_into(chunk, &mut words);
-                if let Some(ps) = patch_sim.as_mut() {
-                    ps.load(&words);
-                } else if let Some(sim) = csr.as_ref() {
-                    sim.eval_into(&words, &mut good);
+                let fi = task.fault_range.start + k;
+                if options.fault_dropping && best[fi].load(Ordering::Relaxed) < start_vec {
+                    live[k] = false;
+                    remaining -= 1;
+                    continue;
                 }
-                for k in 0..flen {
-                    if options.fault_dropping && !live[k] {
-                        continue;
+                let mask = match (eng.patch_sim.as_mut(), faults[fi]) {
+                    (Some(ps), fault) => ps.detect(fault),
+                    (None, LogicFault::StuckAt(f)) => {
+                        stuck_at_detection_from(netlist, &eng.good, f, &eng.words)
                     }
-                    let fi = task.fault_range.start + k;
-                    if options.fault_dropping && best[fi].load(Ordering::Relaxed) < start_vec {
+                    (None, LogicFault::Bridge { a, b }) => {
+                        bridge_logic_detection_from(netlist, &eng.good, a, b, &eng.words)
+                    }
+                }
+                .mask_lanes(chunk.len() as u32);
+                if let Some(bit) = mask.first_set() {
+                    let v = start_vec + bit as usize;
+                    first[k] = Some(first[k].map_or(v, |cur| cur.min(v)));
+                    best[fi].fetch_min(v, Ordering::Relaxed);
+                    if options.fault_dropping {
                         live[k] = false;
                         remaining -= 1;
-                        continue;
-                    }
-                    let mask = match (patch_sim.as_mut(), faults[fi]) {
-                        (Some(ps), fault) => ps.detect(fault),
-                        (None, LogicFault::StuckAt(f)) => {
-                            stuck_at_detection_from(netlist, &good, f, &words)
-                        }
-                        (None, LogicFault::Bridge { a, b }) => {
-                            bridge_logic_detection_from(netlist, &good, a, b, &words)
-                        }
-                    }
-                    .mask_lanes(chunk.len() as u32);
-                    if let Some(bit) = mask.first_set() {
-                        let v = start_vec + bit as usize;
-                        first[k] = Some(first[k].map_or(v, |cur| cur.min(v)));
-                        best[fi].fetch_min(v, Ordering::Relaxed);
-                        if options.fault_dropping {
-                            live[k] = false;
-                            remaining -= 1;
-                        }
                     }
                 }
             }
-            let (reevaluated, detects) = match patch_sim.as_ref() {
-                Some(ps) => {
-                    let (r, d) = ps.dirty_totals();
-                    (r - reeval0, d - detects0)
-                }
-                None => (0, 0),
-            };
-            out.push(Partial {
-                fault_start: task.fault_range.start,
-                first,
-                reevaluated,
-                detects,
-            });
+            completed += 1;
+            control.charge(chunk.len() as u64);
         }
-        out
+        let (reevaluated, detects) = match eng.patch_sim.as_ref() {
+            Some(ps) => {
+                let (r, d) = ps.dirty_totals();
+                (r - reeval0, d - detects0)
+            }
+            None => (0, 0),
+        };
+        CellReport {
+            fault_start: task.fault_range.start,
+            first,
+            completed,
+            positions: task.batch_positions.start..task.batch_positions.start + completed,
+            reevaluated,
+            detects,
+        }
     };
 
-    let partials: Vec<Partial> = if threads <= 1 || tasks.len() <= 1 {
-        run_tasks(&tasks)
+    // One worker: engines built lazily inside the panic boundary and
+    // discarded (possibly mid-patch, hence poisoned) after a caught
+    // panic.
+    let run_tasks = |my_tasks: &[GridTask]| -> (Vec<CellReport>, bool) {
+        let mut engines: Option<Engines<W>> = None;
+        let mut reports = Vec::with_capacity(my_tasks.len());
+        let mut panicked = false;
+        for task in my_tasks {
+            let mut slot = engines.take();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let eng = slot.get_or_insert_with(|| Engines::new(netlist, options.backend));
+                run_cell(task, eng)
+            }));
+            match outcome {
+                Ok(report) => {
+                    engines = slot;
+                    reports.push(report);
+                }
+                Err(_) => {
+                    panicked = true; // poisoned engines stay dropped
+                }
+            }
+        }
+        (reports, panicked)
+    };
+
+    let per_worker: Vec<(Vec<CellReport>, bool)> = if threads <= 1 || tasks.len() <= 1 {
+        vec![run_tasks(&tasks)]
     } else {
         let assignments: Vec<Vec<GridTask>> = {
             let mut a: Vec<Vec<GridTask>> = (0..threads).map(|_| Vec::new()).collect();
@@ -426,22 +832,47 @@ pub fn sweep<W: PackedWord>(
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("sweep worker never panics"))
+                .map(|h| h.join().unwrap_or_else(|_| (Vec::new(), true)))
                 .collect()
         })
     };
 
-    let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
+    // Deterministic merge: earliest detection across the checkpoint (if
+    // any) and all completed grid cells; batch positions completed by all
+    // their covering cells graduate to `done_batches`.
+    let mut first_detection: Vec<Option<usize>> = match resume {
+        Some(cp) => cp.first_detection.clone(),
+        None => vec![None; faults.len()],
+    };
+    let mut done_batches = match resume {
+        Some(cp) => cp.done_batches.clone(),
+        None => vec![false; num_batches],
+    };
+    let mut completed_count = vec![0u32; pending];
+    let mut done_units = 0usize;
     let mut reevaluated = 0u64;
     let mut detects = 0u64;
-    for p in partials {
-        reevaluated += p.reevaluated;
-        detects += p.detects;
-        for (k, v) in p.first.into_iter().enumerate() {
-            if let Some(v) = v {
-                let slot = &mut first_detection[p.fault_start + k];
-                *slot = Some(slot.map_or(v, |cur| cur.min(v)));
+    let mut panicked = false;
+    for (reports, worker_panicked) in &per_worker {
+        panicked |= *worker_panicked;
+        for report in reports {
+            done_units += report.completed;
+            reevaluated += report.reevaluated;
+            detects += report.detects;
+            for (k, v) in report.first.iter().enumerate() {
+                if let Some(v) = *v {
+                    let slot = &mut first_detection[report.fault_start + k];
+                    *slot = Some(slot.map_or(v, |cur| cur.min(v)));
+                }
             }
+            for pos in report.positions.clone() {
+                completed_count[pos] += 1;
+            }
+        }
+    }
+    for (i, &b) in batch_ids.iter().enumerate() {
+        if covering[i] > 0 && completed_count[i] == covering[i] {
+            done_batches[b] = true;
         }
     }
 
@@ -451,7 +882,7 @@ pub fn sweep<W: PackedWord>(
     } else {
         detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64
     };
-    FaultSweepOutcome {
+    let value = FaultSweepOutcome {
         detected,
         first_detection,
         coverage,
@@ -461,6 +892,28 @@ pub fn sweep<W: PackedWord>(
         } else {
             reevaluated as f64 / detects as f64
         },
+        done_batches,
+    };
+    if done_units >= total_units && !panicked {
+        Outcome::Complete(value)
+    } else {
+        let reason = control
+            .check()
+            .or(if panicked {
+                Some(StopReason::WorkerPanicked)
+            } else {
+                None
+            })
+            .unwrap_or(StopReason::WorkerPanicked);
+        Outcome::Partial {
+            value,
+            coverage: if total_units == 0 {
+                1.0
+            } else {
+                done_units as f64 / total_units as f64
+            },
+            reason,
+        }
     }
 }
 
@@ -468,6 +921,7 @@ pub fn sweep<W: PackedWord>(
 mod tests {
     use super::*;
     use crate::logic_test::{bridge_logic_detection, stuck_at_detection};
+    use iddq_control::RunBudget;
     use iddq_netlist::{data, W256, W512};
 
     fn all_packed_c17() -> Vec<u64> {
@@ -576,6 +1030,7 @@ mod tests {
                 fault_shards: 1,
                 fault_dropping: false,
                 backend: BackendKind::Csr,
+                ..FaultSweepOptions::default()
             },
         );
         assert!(base.coverage > 0.5);
@@ -595,6 +1050,7 @@ mod tests {
                     fault_shards: shards,
                     fault_dropping: dropping,
                     backend,
+                    ..FaultSweepOptions::default()
                 },
             );
             assert_eq!(
@@ -624,6 +1080,7 @@ mod tests {
         let r = sweep::<u64>(&nl, &[], &c17_vectors(8), &FaultSweepOptions::default());
         assert_eq!(r.coverage, 1.0);
         assert_eq!(r.vectors_applied, 8);
+        assert!(r.done_batches.iter().all(|&d| d));
     }
 
     #[test]
@@ -640,5 +1097,193 @@ mod tests {
         );
         assert_eq!(r.detected, vec![false]);
         assert_eq!(r.coverage, 0.0);
+    }
+
+    #[test]
+    fn complete_sweep_marks_all_batches_done() {
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(200);
+        let out = sweep_with_control::<u64>(
+            &nl,
+            &faults,
+            &vectors,
+            &FaultSweepOptions::default(),
+            &RunControl::unlimited(),
+        );
+        assert!(out.is_complete());
+        assert_eq!(out.coverage(), 1.0);
+        let v = out.into_value();
+        assert_eq!(v.done_batches.len(), 200usize.div_ceil(64));
+        assert!(v.done_batches.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn checkpoint_json_roundtrip_and_validation() {
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(130);
+        let out = sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions::default());
+        let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &out);
+        let back = SweepCheckpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(cp, back);
+        assert_eq!(cp.progress(), 1.0);
+        assert!(cp.validate::<u64>(&nl, &faults, &vectors).is_ok());
+        // Wrong lane width, vector count, fault list: all rejected.
+        assert!(cp.validate::<W256>(&nl, &faults, &vectors).is_err());
+        assert!(cp.validate::<u64>(&nl, &faults, &vectors[..129]).is_err());
+        assert!(cp.validate::<u64>(&nl, &faults[..3], &vectors).is_err());
+        // Same shapes, different vector *content*: fingerprint catches it.
+        let mut other = vectors.clone();
+        other[7][2] = !other[7][2];
+        assert!(cp.validate::<u64>(&nl, &faults, &other).is_err());
+        assert!(SweepCheckpoint::from_json("{ not json").is_err());
+    }
+
+    /// Cancel at a quota, checkpoint, resume: bit-identical to the
+    /// uninterrupted run, across thread/shard counts.
+    #[test]
+    fn budgeted_sweep_resumes_bit_identical() {
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(320); // 5 batches of 64
+        let full = sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions::default());
+        for (threads, shards) in [(1, 1), (2, 2), (3, 1), (1, 3)] {
+            let opts = FaultSweepOptions {
+                threads,
+                fault_shards: shards,
+                ..FaultSweepOptions::default()
+            };
+            for quota in [1u64, 64, 65, 128, 200] {
+                let control =
+                    RunControl::unlimited().and_budget(RunBudget::unlimited().with_quota(quota));
+                let out = sweep_with_control::<u64>(&nl, &faults, &vectors, &opts, &control);
+                let partial = match out {
+                    Outcome::Complete(_) => continue, // quota never hit before the end
+                    Outcome::Partial {
+                        value,
+                        coverage,
+                        reason,
+                    } => {
+                        assert_eq!(reason, StopReason::QuotaExhausted);
+                        assert!((0.0..1.0).contains(&coverage));
+                        value
+                    }
+                };
+                let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &partial);
+                assert!(cp.progress() < 1.0, "quota={quota} left nothing to resume");
+                let resumed = sweep_resume::<u64>(
+                    &nl,
+                    &faults,
+                    &vectors,
+                    &opts,
+                    &RunControl::unlimited(),
+                    &cp,
+                )
+                .unwrap();
+                assert!(resumed.is_complete());
+                let r = resumed.into_value();
+                assert_eq!(
+                    full.first_detection, r.first_detection,
+                    "threads={threads} shards={shards} quota={quota}"
+                );
+                assert_eq!(full.detected, r.detected);
+                assert!(r.done_batches.iter().all(|&d| d));
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_sweep_reports_cancellation() {
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(256);
+        let control = RunControl::unlimited();
+        control.token().cancel();
+        let out = sweep_with_control::<u64>(
+            &nl,
+            &faults,
+            &vectors,
+            &FaultSweepOptions::default(),
+            &control,
+        );
+        match out {
+            Outcome::Partial {
+                coverage, reason, ..
+            } => {
+                assert_eq!(reason, StopReason::Cancelled);
+                assert_eq!(coverage, 0.0);
+            }
+            Outcome::Complete(_) => panic!("a pre-cancelled sweep cannot complete"),
+        }
+    }
+
+    /// Chaos injection: a worker panic at one batch degrades the run to
+    /// Partial(WorkerPanicked) without aborting the process, and resume
+    /// completes it bit-identically.
+    #[test]
+    fn worker_panic_degrades_to_partial_and_resumes() {
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(320);
+        let full = sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions::default());
+        for (threads, shards) in [(1, 1), (2, 2)] {
+            let chaos = FaultSweepOptions {
+                threads,
+                fault_shards: shards,
+                // Dropping off so the grid genuinely reaches the chaos
+                // batch (c17 detects everything in the first batch).
+                fault_dropping: false,
+                chaos_panic_batch: Some(2),
+                ..FaultSweepOptions::default()
+            };
+            let out =
+                sweep_with_control::<u64>(&nl, &faults, &vectors, &chaos, &RunControl::unlimited());
+            let partial = match out {
+                Outcome::Partial {
+                    value,
+                    coverage,
+                    reason,
+                } => {
+                    assert_eq!(reason, StopReason::WorkerPanicked);
+                    assert!(coverage < 1.0);
+                    value
+                }
+                Outcome::Complete(_) => panic!("chaos batch must poison the run"),
+            };
+            assert!(!partial.done_batches[2], "the chaos batch cannot be done");
+            let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &partial);
+            let sane = FaultSweepOptions {
+                threads,
+                fault_shards: shards,
+                ..FaultSweepOptions::default()
+            };
+            let resumed =
+                sweep_resume::<u64>(&nl, &faults, &vectors, &sane, &RunControl::unlimited(), &cp)
+                    .unwrap();
+            assert!(resumed.is_complete());
+            let r = resumed.into_value();
+            assert_eq!(full.first_detection, r.first_detection);
+        }
+    }
+
+    #[test]
+    fn resume_against_wrong_run_is_rejected() {
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(128);
+        let out = sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions::default());
+        let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &out);
+        let other = c17_vectors(127);
+        let err = sweep_resume::<u64>(
+            &nl,
+            &faults,
+            &other,
+            &FaultSweepOptions::default(),
+            &RunControl::unlimited(),
+            &cp,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::CheckpointMismatch(_)));
     }
 }

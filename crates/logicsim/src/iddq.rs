@@ -19,8 +19,10 @@
 //! any thread count: workers only report each fault's earliest activating
 //! vector index inside their own slice, and the merge takes the minimum.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use iddq_control::{Outcome, RunControl, StopReason};
 use iddq_netlist::{Netlist, PackedWord, W256};
 
 use crate::backend::{BackendKind, SimBackend};
@@ -234,6 +236,47 @@ pub fn simulate_with_options(
     threshold_ua: f64,
     options: &SweepOptions,
 ) -> IddqSimulation {
+    simulate_with_control(
+        netlist,
+        faults,
+        vectors,
+        module_of,
+        module_leakage_ua,
+        threshold_ua,
+        options,
+        &RunControl::unlimited(),
+    )
+    .into_value()
+}
+
+/// [`simulate_with_options`] under an [`iddq_control::RunControl`]:
+/// cancellable, budget-aware, and panic-isolated.
+///
+/// Workers poll the control at every pattern-batch boundary and charge one
+/// work unit per pattern applied per grid cell. On a stop the function
+/// returns [`Outcome::Partial`] — the detections of every completed cell,
+/// a `coverage` equal to the fraction of planned cell-batch work that ran,
+/// and the [`StopReason`]. Worker panics are caught per grid cell
+/// (`catch_unwind`): the cell's results are discarded, the worker's
+/// backend is rebuilt, and the outcome degrades to `Partial` with
+/// [`StopReason::WorkerPanicked`] instead of aborting the process.
+///
+/// # Panics
+///
+/// As [`simulate`] (argument-shape violations are caller bugs, not
+/// runtime conditions).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_with_control(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    vectors: &[Vec<bool>],
+    module_of: &[u32],
+    module_leakage_ua: &[f64],
+    threshold_ua: f64,
+    options: &SweepOptions,
+    control: &RunControl,
+) -> Outcome<IddqSimulation> {
     assert_eq!(module_of.len(), netlist.node_count());
 
     // Sensor sanity is a property of the partition, not of the vector:
@@ -303,71 +346,111 @@ pub fn simulate_with_options(
         .map(|_| AtomicUsize::new(usize::MAX))
         .collect();
 
-    // One worker: its own backend instance and buffers, a live-fault
-    // bit set per task so fully-dropped 64-fault blocks cost one word
-    // test, and earliest-detection records per task cell.
-    let run_tasks = |my_tasks: &[SweepTask]| -> Vec<(usize, Vec<Option<usize>>)> {
-        let mut backend = SimBackend::<W256>::new(netlist, options.backend);
-        let mut words = vec![W256::zeros(); netlist.num_inputs()];
-        let mut values = vec![W256::zeros(); backend.node_count()];
-        let mut out = Vec::with_capacity(my_tasks.len());
-        for task in my_tasks {
-            let flen = task.fault_range.len();
-            let mut first: Vec<Option<usize>> = vec![None; flen];
-            // Bit k of word w = fault `fault_range.start + 64w + k` still
-            // undetected and worth checking.
-            let mut live: Vec<u64> = vec![!0u64; flen.div_ceil(64)];
-            if flen % 64 != 0 {
-                if let Some(last) = live.last_mut() {
-                    *last &= (1u64 << (flen % 64)) - 1;
-                }
+    let total_units: usize = tasks.iter().map(|t| t.batch_range.len()).sum();
+
+    // One completed (or interrupted) grid cell: fault-range start, its
+    // earliest detections, and how many of its pattern batches ran.
+    type Cell = (usize, Vec<Option<usize>>, usize);
+
+    // One cell on one worker's backend, under a `catch_unwind` boundary;
+    // a live-fault bit set per task keeps fully-dropped 64-fault blocks
+    // at one word test.
+    let run_cell = |task: &SweepTask,
+                    backend: &mut SimBackend<W256>,
+                    words: &mut [W256],
+                    values: &mut [W256]|
+     -> Cell {
+        let flen = task.fault_range.len();
+        let mut first: Vec<Option<usize>> = vec![None; flen];
+        // Bit k of word w = fault `fault_range.start + 64w + k` still
+        // undetected and worth checking.
+        let mut live: Vec<u64> = vec![!0u64; flen.div_ceil(64)];
+        if !flen.is_multiple_of(64) {
+            if let Some(last) = live.last_mut() {
+                *last &= (1u64 << (flen % 64)) - 1;
             }
-            for (k, fi) in task.fault_range.clone().enumerate() {
-                if !seen[fi] {
-                    live[k / 64] &= !(1u64 << (k % 64));
-                }
+        }
+        for (k, fi) in task.fault_range.clone().enumerate() {
+            if !seen[fi] {
+                live[k / 64] &= !(1u64 << (k % 64));
             }
-            let mut remaining: usize = live.iter().map(|w| w.count_ones() as usize).sum();
-            for batch_idx in task.batch_range.clone() {
-                if remaining == 0 {
-                    break;
-                }
-                let start_vec = batch_idx * lanes;
-                let chunk = &vectors[start_vec..vectors.len().min(start_vec + lanes)];
-                pack_chunk_into(chunk, &mut words);
-                backend.eval_into(&words, &mut values);
-                for (w, word) in live.iter_mut().enumerate() {
-                    let mut bits = *word;
-                    while bits != 0 {
-                        let k = w * 64 + bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        let fi = task.fault_range.start + k;
-                        // Drop if an earlier cell already detected it.
-                        if best[fi].load(Ordering::Relaxed) < start_vec {
-                            *word &= !(1u64 << (k % 64));
-                            remaining -= 1;
-                            continue;
-                        }
-                        let act = faults[fi]
-                            .activation(netlist, &values)
-                            .mask_lanes(chunk.len() as u32);
-                        if let Some(bit) = act.first_set() {
-                            let v = start_vec + bit as usize;
-                            first[k] = Some(v);
-                            best[fi].fetch_min(v, Ordering::Relaxed);
-                            *word &= !(1u64 << (k % 64));
-                            remaining -= 1;
-                        }
+        }
+        let mut remaining: usize = live.iter().map(|w| w.count_ones() as usize).sum();
+        let mut completed = 0usize;
+        for batch_idx in task.batch_range.clone() {
+            if remaining == 0 {
+                // Nothing left to detect: the rest of the cell cannot
+                // change the min-merge, so it counts as done.
+                completed = task.batch_range.len();
+                break;
+            }
+            if control.check().is_some() {
+                break;
+            }
+            let start_vec = batch_idx * lanes;
+            let chunk = &vectors[start_vec..vectors.len().min(start_vec + lanes)];
+            pack_chunk_into(chunk, words);
+            backend.eval_into(words, values);
+            for (w, word) in live.iter_mut().enumerate() {
+                let mut bits = *word;
+                while bits != 0 {
+                    let k = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let fi = task.fault_range.start + k;
+                    // Drop if an earlier cell already detected it.
+                    if best[fi].load(Ordering::Relaxed) < start_vec {
+                        *word &= !(1u64 << (k % 64));
+                        remaining -= 1;
+                        continue;
+                    }
+                    let act = faults[fi]
+                        .activation(netlist, values)
+                        .mask_lanes(chunk.len() as u32);
+                    if let Some(bit) = act.first_set() {
+                        let v = start_vec + bit as usize;
+                        first[k] = Some(v);
+                        best[fi].fetch_min(v, Ordering::Relaxed);
+                        *word &= !(1u64 << (k % 64));
+                        remaining -= 1;
                     }
                 }
             }
-            out.push((task.fault_range.start, first));
+            completed += 1;
+            control.charge(chunk.len() as u64);
         }
-        out
+        (task.fault_range.start, first, completed)
     };
 
-    let partials: Vec<(usize, Vec<Option<usize>>)> = if threads <= 1 || tasks.len() <= 1 {
-        run_tasks(&tasks)
+    // One worker: backend and buffers built lazily inside the panic
+    // boundary and discarded (possibly poisoned) after a caught panic.
+    let run_tasks = |my_tasks: &[SweepTask]| -> (Vec<Cell>, bool) {
+        let mut state: Option<(SimBackend<W256>, Vec<W256>, Vec<W256>)> = None;
+        let mut cells = Vec::with_capacity(my_tasks.len());
+        let mut panicked = false;
+        for task in my_tasks {
+            let mut slot = state.take();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let (backend, words, values) = slot.get_or_insert_with(|| {
+                    let backend = SimBackend::<W256>::new(netlist, options.backend);
+                    let words = vec![W256::zeros(); netlist.num_inputs()];
+                    let values = vec![W256::zeros(); backend.node_count()];
+                    (backend, words, values)
+                });
+                run_cell(task, backend, words, values)
+            }));
+            match outcome {
+                Ok(cell) => {
+                    state = slot;
+                    cells.push(cell);
+                }
+                Err(_) => panicked = true,
+            }
+        }
+        (cells, panicked)
+    };
+
+    let per_worker: Vec<(Vec<Cell>, bool)> = if threads <= 1 || tasks.len() <= 1 {
+        vec![run_tasks(&tasks)]
     } else {
         // Round-robin task assignment over the workers.
         let assignments: Vec<Vec<SweepTask>> = {
@@ -385,18 +468,24 @@ pub fn simulate_with_options(
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("sweep worker never panics"))
+                .map(|h| h.join().unwrap_or_else(|_| (Vec::new(), true)))
                 .collect()
         })
     };
 
     // Deterministic merge: earliest detection across all grid cells.
     let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
-    for (start, partial) in partials {
-        for (k, v) in partial.into_iter().enumerate() {
-            if let Some(v) = v {
-                let slot = &mut first_detection[start + k];
-                *slot = Some(slot.map_or(v, |cur| cur.min(v)));
+    let mut done_units = 0usize;
+    let mut panicked = false;
+    for (cells, worker_panicked) in per_worker {
+        panicked |= worker_panicked;
+        for (start, partial, completed) in cells {
+            done_units += completed;
+            for (k, v) in partial.into_iter().enumerate() {
+                if let Some(v) = v {
+                    let slot = &mut first_detection[start + k];
+                    *slot = Some(slot.map_or(v, |cur| cur.min(v)));
+                }
             }
         }
     }
@@ -407,11 +496,32 @@ pub fn simulate_with_options(
     } else {
         detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64
     };
-    IddqSimulation {
+    let value = IddqSimulation {
         detected,
         first_detection,
         coverage,
         vectors_applied: vectors.len(),
+    };
+    if done_units >= total_units && !panicked {
+        Outcome::Complete(value)
+    } else {
+        let reason = control
+            .check()
+            .or(if panicked {
+                Some(StopReason::WorkerPanicked)
+            } else {
+                None
+            })
+            .unwrap_or(StopReason::WorkerPanicked);
+        Outcome::Partial {
+            value,
+            coverage: if total_units == 0 {
+                1.0
+            } else {
+                done_units as f64 / total_units as f64
+            },
+            reason,
+        }
     }
 }
 
@@ -598,6 +708,66 @@ mod tests {
         let module_of = one_module_assignment(&nl);
         let r = simulate(&nl, &[], &[vec![false; 5]], &module_of, &[0.1], 1.0);
         assert_eq!(r.coverage, 1.0);
+    }
+
+    #[test]
+    fn quota_budget_degrades_to_partial() {
+        use iddq_control::RunBudget;
+        let nl = data::ripple_adder(6);
+        let faults =
+            crate::faults::enumerate(&nl, &crate::faults::FaultUniverseConfig::default(), 13);
+        // All-zero vectors keep every fault live, so the sweep must visit
+        // every batch — the quota genuinely interrupts it.
+        let vectors: Vec<Vec<bool>> = vec![vec![false; nl.num_inputs()]; 1100];
+        let module_of = one_module_assignment(&nl);
+        let control = RunControl::with_budget(RunBudget::unlimited().with_quota(256));
+        let out = simulate_with_control(
+            &nl,
+            &faults,
+            &vectors,
+            &module_of,
+            &[0.1],
+            1.0,
+            &SweepOptions::default(),
+            &control,
+        );
+        match out {
+            Outcome::Partial {
+                value,
+                coverage,
+                reason,
+            } => {
+                assert_eq!(reason, StopReason::QuotaExhausted);
+                assert!(coverage < 1.0);
+                assert_eq!(value.vectors_applied, 1100);
+            }
+            Outcome::Complete(_) => panic!("a 256-pattern quota cannot finish 1100 vectors"),
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_simulation_is_partial() {
+        let nl = data::c17();
+        let g22 = nl.find("22").unwrap();
+        let faults = vec![IddqFault::StuckOn {
+            gate: g22,
+            current_ua: 50.0,
+        }];
+        let module_of = one_module_assignment(&nl);
+        let control = RunControl::unlimited();
+        control.token().cancel();
+        let out = simulate_with_control(
+            &nl,
+            &faults,
+            &[vec![true; 5]],
+            &module_of,
+            &[0.1],
+            1.0,
+            &SweepOptions::default(),
+            &control,
+        );
+        assert!(!out.is_complete());
+        assert_eq!(out.stop_reason(), Some(StopReason::Cancelled));
     }
 
     #[test]

@@ -69,6 +69,38 @@
 //! recorded index is the minimum over all detections) but skips both cone
 //! walks.
 //!
+//! # Failure semantics
+//!
+//! The long-running entry points — [`fault_sweep::sweep`] and
+//! [`iddq::simulate`] — come in `*_with_control` variants that take an
+//! [`iddq_control::RunControl`] (a cancellation token plus an optional
+//! wall-clock / work-quota [`iddq_control::RunBudget`]) and return an
+//! [`iddq_control::Outcome`]:
+//!
+//! * **Cooperative stops.** The control is polled only at (fault-shard ×
+//!   pattern-batch) grid boundaries, so a stop can never tear a batch:
+//!   every detection in a [`iddq_control::Outcome::Partial`] comes from a
+//!   batch that ran to completion, and `coverage` reports the fraction
+//!   of grid units that did. Partial results are *sound under-approx-
+//!   imations* — detections only ever get added by finishing the run.
+//! * **Worker panics.** Each grid cell runs under `catch_unwind`; a
+//!   panicking cell poisons only its own engine (rebuilt lazily) and is
+//!   reported as [`iddq_control::StopReason::WorkerPanicked`] instead of
+//!   crossing the API boundary. Its batches stay un-done and re-scan on
+//!   resume.
+//! * **Checkpoint / resume.** [`fault_sweep::SweepCheckpoint`] persists
+//!   the earliest-detection table plus the done-batch set, fingerprinted
+//!   against the exact (netlist, faults, vectors, lane width) run. A
+//!   resumed sweep that completes is bit-identical to an uninterrupted
+//!   one — the merge is an order-independent, idempotent minimum — which
+//!   the chaos proptests enforce across random interruption points,
+//!   thread counts and shard counts.
+//! * **Typed errors.** Untrusted input (`.bench` text, checkpoints,
+//!   flags) surfaces as [`iddq_control::EngineError`]; panics are
+//!   reserved for internal invariants, and the library crates deny
+//!   `clippy::unwrap_used` / `clippy::expect_used` outside tests to keep
+//!   it that way.
+//!
 //! # Example
 //!
 //! ```rust
@@ -86,6 +118,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod backend;
 pub mod delta;

@@ -77,6 +77,9 @@ pub fn stuck_at_detection_with<W: PackedWord>(
 ///
 /// Panics if `inputs.len()` differs from the primary-input count.
 #[must_use]
+// A force patch touches no structure, so its validation cannot fail;
+// the expect documents that contract.
+#[allow(clippy::expect_used)]
 pub fn stuck_at_detection_with_backend<W: PackedWord>(
     netlist: &Netlist,
     backend: &mut SimBackend<W>,

@@ -426,6 +426,7 @@ proptest! {
             fault_shards: 1,
             fault_dropping: false,
             backend: BackendKind::Csr,
+            ..FaultSweepOptions::default()
         });
         for (threads, shards, dropping, backend) in [
             (1, 1, true, BackendKind::Delta),
@@ -439,6 +440,7 @@ proptest! {
                 fault_shards: shards,
                 fault_dropping: dropping,
                 backend,
+                ..FaultSweepOptions::default()
             });
             prop_assert_eq!(&oracle.first_detection, &r.first_detection,
                 "threads={} shards={} dropping={} backend={}",
@@ -531,6 +533,148 @@ proptest! {
         prop_assert!(many.coverage >= few.coverage);
         for (a, b) in few.detected.iter().zip(&many.detected) {
             prop_assert!(!a || *b, "a detected fault stays detected");
+        }
+    }
+}
+
+/// The chaos harness the sweep checkpoint/resume machinery is gated on:
+/// interrupt a sweep at a *random* grid point (quota budgets land the
+/// stop at arbitrary cell x batch boundaries; the chaos knob panics a
+/// worker mid-cell), persist a checkpoint through its JSON round-trip,
+/// resume — possibly through several more random interruptions — and
+/// require the final detections to be bit-identical to an uninterrupted
+/// sweep, for any thread and shard count.
+mod sweep_chaos {
+    use super::*;
+    use iddq_control::{RunBudget, RunControl, StopReason};
+    use iddq_logicsim::fault_sweep::SweepCheckpoint;
+    use rand::SeedableRng;
+
+    fn universe(seed: u64, salt: u64) -> (Netlist, Vec<LogicFault>, Vec<Vec<bool>>) {
+        let nl = data::ripple_adder((seed % 4 + 3) as usize);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(salt ^ 0xc0de);
+        let nodes: Vec<NodeId> = nl.node_ids().collect();
+        let mut faults: Vec<LogicFault> = (0..20)
+            .map(|_| {
+                LogicFault::StuckAt(StuckAtFault {
+                    node: nodes[rng.gen_range(0..nodes.len())],
+                    stuck_at_one: rng.gen(),
+                })
+            })
+            .collect();
+        faults.extend((0..6).map(|_| LogicFault::Bridge {
+            a: nodes[rng.gen_range(0..nodes.len())],
+            b: nodes[rng.gen_range(0..nodes.len())],
+        }));
+        // 300 vectors at 64 lanes = 5 pattern batches, so random quotas
+        // actually land at interior grid points.
+        let vectors: Vec<Vec<bool>> = (0..300)
+            .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+            .collect();
+        (nl, faults, vectors)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Quota cancellation at a random grid point, checkpointed and
+        /// chain-resumed to completion, is bit-identical to the
+        /// uninterrupted sweep.
+        #[test]
+        fn random_cancellation_resumes_bit_identical(
+            seed in 0u64..40,
+            salt in any::<u64>(),
+            quota in 1u64..1500,
+            grid in 0usize..24,
+        ) {
+            // One parameter fans out into (threads, shards, dropping) so
+            // the whole grid is explored without exceeding the strategy
+            // tuple arity.
+            let (threads, shards, dropping) = (grid / 6 + 1, grid % 3 + 1, grid % 2 == 0);
+            let (nl, faults, vectors) = universe(seed, salt);
+            let opts = FaultSweepOptions {
+                threads,
+                fault_shards: shards,
+                fault_dropping: dropping,
+                backend: BackendKind::Delta,
+                ..FaultSweepOptions::default()
+            };
+            let full = fault_sweep::sweep::<u64>(&nl, &faults, &vectors, &opts);
+
+            let control = RunControl::with_budget(RunBudget::unlimited().with_quota(quota));
+            let mut outcome =
+                fault_sweep::sweep_with_control::<u64>(&nl, &faults, &vectors, &opts, &control);
+            let mut rounds = 0;
+            while !outcome.is_complete() {
+                prop_assert_eq!(outcome.stop_reason(), Some(StopReason::QuotaExhausted));
+                // Persist through JSON exactly like the CLI does — the
+                // resume path must survive serialization, not just the
+                // in-memory struct.
+                let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, outcome.value());
+                let cp = SweepCheckpoint::from_json(&cp.to_json()).expect("round-trip");
+                let again = RunControl::with_budget(RunBudget::unlimited().with_quota(quota));
+                outcome = fault_sweep::sweep_resume::<u64>(
+                    &nl, &faults, &vectors, &opts, &again, &cp,
+                )
+                .expect("checkpoint matches its own run");
+                rounds += 1;
+                // Every round completes at least one cell x batch unit,
+                // so the chain must converge well before this bound.
+                prop_assert!(rounds < 512, "resume chain failed to converge");
+            }
+            let resumed = outcome.into_value();
+            prop_assert_eq!(&full.first_detection, &resumed.first_detection);
+            prop_assert_eq!(&full.detected, &resumed.detected);
+        }
+
+        /// A worker panic at a random batch degrades to a Partial whose
+        /// checkpoint resumes to the bit-identical full result.
+        #[test]
+        fn random_worker_panic_resumes_bit_identical(
+            seed in 0u64..40,
+            salt in any::<u64>(),
+            panic_batch in 0usize..8,
+            grid in 0usize..9,
+        ) {
+            let (threads, shards) = (grid / 3 + 1, grid % 3 + 1);
+            let (nl, faults, vectors) = universe(seed, salt);
+            // Dropping off so every batch is actually visited and the
+            // chaos knob's absolute batch index is reached.
+            let clean = FaultSweepOptions {
+                threads,
+                fault_shards: shards,
+                fault_dropping: false,
+                backend: BackendKind::Delta,
+                ..FaultSweepOptions::default()
+            };
+            let full = fault_sweep::sweep::<u64>(&nl, &faults, &vectors, &clean);
+
+            let chaotic = FaultSweepOptions {
+                chaos_panic_batch: Some(panic_batch),
+                ..clean.clone()
+            };
+            let outcome = fault_sweep::sweep_with_control::<u64>(
+                &nl, &faults, &vectors, &chaotic, &RunControl::unlimited(),
+            );
+            let num_batches = vectors.len().div_ceil(64);
+            if panic_batch >= num_batches {
+                // The chaos batch is beyond the grid: nothing fires and
+                // the sweep must complete identically to the clean run.
+                prop_assert!(outcome.is_complete());
+                let r = outcome.into_value();
+                prop_assert_eq!(&full.first_detection, &r.first_detection);
+                return;
+            }
+            prop_assert_eq!(outcome.stop_reason(), Some(StopReason::WorkerPanicked));
+            let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, outcome.value());
+            let cp = SweepCheckpoint::from_json(&cp.to_json()).expect("round-trip");
+            let resumed = fault_sweep::sweep_resume::<u64>(
+                &nl, &faults, &vectors, &clean, &RunControl::unlimited(), &cp,
+            )
+            .expect("checkpoint matches its own run")
+            .into_value();
+            prop_assert_eq!(&full.first_detection, &resumed.first_detection);
+            prop_assert_eq!(&full.detected, &resumed.detected);
         }
     }
 }

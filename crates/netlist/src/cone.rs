@@ -370,6 +370,10 @@ impl DynamicCones {
     /// # Panics
     ///
     /// Panics if the last node is a primary input or still has consumers.
+    // The `expect`s below assert the fanin/fanout mirror-consistency
+    // invariant this structure maintains on every mutation; breaking it
+    // is a bug in this module, not a recoverable condition.
+    #[allow(clippy::expect_used)]
     pub fn pop_node(&mut self) -> Vec<u32> {
         let id = (self.level.len() - 1) as u32;
         assert!(!self.is_input[id as usize], "cannot pop a primary input");
@@ -400,6 +404,9 @@ impl DynamicCones {
     /// # Panics
     ///
     /// Panics if `i` is a primary input or a reference is out of range.
+    // Same mirror-consistency invariant as `pop_node`: an absent fanout
+    // back-edge is a bug in this module.
+    #[allow(clippy::expect_used)]
     pub fn set_fanin(&mut self, i: usize, new: &[u32]) -> Vec<u32> {
         assert!(!self.is_input[i], "cannot rewire a primary input");
         for &f in new {
@@ -426,6 +433,10 @@ impl DynamicCones {
     /// # Errors
     ///
     /// Returns a node on the combinational cycle the current edges close.
+    // The `expect` below fires only if the cycle-detection accounting
+    // (processed count vs. positive in-degree) is itself inconsistent —
+    // a bug in this function, not an input condition.
+    #[allow(clippy::expect_used)]
     pub fn relevel(&mut self, seeds: &[u32]) -> Result<(), u32> {
         self.generation += 1;
         let generation = self.generation;

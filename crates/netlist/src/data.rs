@@ -7,6 +7,11 @@
 //! * [`ripple_adder`] — a parameterized ripple-carry adder, a convenient
 //!   structured mid-size circuit for tests and examples.
 
+// Every constructor in this module builds an *embedded, hard-coded*
+// fixture; their `expect`s can only fire if the embedded text itself is
+// broken, which the test suite pins. Nothing here touches user input.
+#![allow(clippy::expect_used)]
+
 use crate::bench;
 use crate::graph::{Netlist, NetlistBuilder, NodeId};
 use crate::kind::CellKind;

@@ -361,6 +361,9 @@ impl NetlistBuilder {
     /// Panics if the name is already taken (inputs are normally added
     /// first; use [`NetlistBuilder::try_add_input`] when names come from
     /// untrusted data).
+    // Deliberate panicking convenience wrapper: the fallible form is
+    // `try_add_input`, and this one documents its panic contract.
+    #[allow(clippy::expect_used)]
     pub fn add_input(&mut self, name: impl AsRef<str>) -> NodeId {
         self.try_add_input(name).expect("duplicate input name")
     }

@@ -59,6 +59,10 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use iddq_control::{Outcome, RunControl, StopReason};
 
 use crate::graph::{Netlist, NodeId};
 
@@ -347,7 +351,13 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("separation BFS worker never panics"))
+            .map(|h| match h.join() {
+                Ok(shard) => shard,
+                // A panicked shard is unrecoverable here (this builder has
+                // no partial-result channel); re-raise on the caller's
+                // thread rather than abort the process from a worker.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     let total: usize = parts.iter().map(|(flat, _)| flat.len()).sum();
@@ -360,6 +370,34 @@ where
         flat.extend(part);
     }
     (flat, offsets)
+}
+
+/// [`build_csr_rows`] with a worker-boundary panic guard: a shard whose
+/// build panics contributes empty rows (shard-relative end offsets of 0)
+/// instead of tearing the process down, and the flag records that it
+/// happened. Used by the control-aware oracle build, whose `Partial`
+/// contract gives the empty rows a meaning (unfinished = saturated).
+fn build_csr_rows_guarded<F>(
+    n: usize,
+    threads: usize,
+    panicked: &AtomicBool,
+    build: F,
+) -> (Vec<(u32, u32)>, Vec<u32>)
+where
+    F: Fn(Range<usize>, &mut Vec<(u32, u32)>, &mut Vec<u32>) + Sync,
+{
+    build_csr_rows(n, threads, |range, flat, ends| {
+        let rows = range.len();
+        let flat0 = flat.len();
+        let ends0 = ends.len();
+        if catch_unwind(AssertUnwindSafe(|| build(range.clone(), flat, ends))).is_err() {
+            panicked.store(true, Ordering::Relaxed);
+            flat.truncate(flat0);
+            ends.truncate(ends0);
+            let base = flat.len() as u32;
+            ends.extend((0..rows).map(|_| base));
+        }
+    })
 }
 
 /// Precomputed ρ-bounded pairwise distances over the undirected circuit
@@ -409,14 +447,50 @@ impl SeparationOracle {
     /// Panics if `rho == 0`.
     #[must_use]
     pub fn new_parallel(netlist: &Netlist, rho: u32, threads: usize) -> Self {
+        Self::new_parallel_with_control(netlist, rho, threads, &RunControl::unlimited())
+            .into_value()
+    }
+
+    /// [`SeparationOracle::new_parallel`] under an
+    /// [`iddq_control::RunControl`]: cancellable, budget-aware, and
+    /// panic-isolated.
+    ///
+    /// Workers poll the control at every 64-source batch boundary and
+    /// charge one work unit per source row built. On a stop the function
+    /// returns [`Outcome::Partial`]: rows built so far are exact, rows
+    /// not yet built are *empty* — [`SeparationOracle::distance`] then
+    /// reports the saturated bound `ρ` for their pairs, a sound
+    /// (pessimistic) default for the cost model. `coverage` is the
+    /// fraction of node rows completed. A panicking BFS shard likewise
+    /// degrades to `Partial` with [`StopReason::WorkerPanicked`] instead
+    /// of aborting the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho == 0`.
+    #[must_use]
+    pub fn new_parallel_with_control(
+        netlist: &Netlist,
+        rho: u32,
+        threads: usize,
+        control: &RunControl,
+    ) -> Outcome<Self> {
         assert!(rho > 0, "separation bound rho must be positive");
         let n = netlist.node_count();
         let (adj_offsets, adj_pool) = undirected_csr(netlist);
-        let (flat, offsets) = build_csr_rows(n, threads, |range, flat, ends| {
+        let completed = AtomicUsize::new(0);
+        let panicked = AtomicBool::new(false);
+        let (flat, offsets) = build_csr_rows_guarded(n, threads, &panicked, |range, flat, ends| {
             if rho <= 256 {
                 let mut scratch = BatchScratch::new(n);
                 let mut start = range.start;
                 while start < range.end {
+                    if control.check().is_some() {
+                        // Pad the unfinished rows empty (= saturated) and
+                        // leave them uncounted.
+                        ends.extend((start..range.end).map(|_| flat.len() as u32));
+                        return;
+                    }
                     let batch: Vec<(u32, bool)> = (start..(start + 64).min(range.end))
                         .map(|i| (i as u32, true))
                         .collect();
@@ -425,6 +499,8 @@ impl SeparationOracle {
                         scratch.emit_row(i, src, flat, |v, d| Some((v, d)));
                         ends.push(flat.len() as u32);
                     }
+                    completed.fetch_add(batch.len(), Ordering::Relaxed);
+                    control.charge(batch.len() as u64);
                     start += batch.len();
                 }
             } else {
@@ -432,13 +508,37 @@ impl SeparationOracle {
                 // columns: per-source scalar BFS (same rows, see the
                 // equality tests).
                 let mut scratch = BfsScratch::new(n);
-                for i in range {
+                for i in range.clone() {
+                    if control.check().is_some() {
+                        ends.extend((i..range.end).map(|_| flat.len() as u32));
+                        return;
+                    }
                     scratch.row_into(i as u32, rho, &adj_offsets, &adj_pool, flat);
                     ends.push(flat.len() as u32);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    control.charge(1);
                 }
             }
         });
-        SeparationOracle { rho, flat, offsets }
+        let value = SeparationOracle { rho, flat, offsets };
+        let done = completed.load(Ordering::Relaxed);
+        if done >= n && !panicked.load(Ordering::Relaxed) {
+            Outcome::Complete(value)
+        } else {
+            let reason = control
+                .check()
+                .or(if panicked.load(Ordering::Relaxed) {
+                    Some(StopReason::WorkerPanicked)
+                } else {
+                    None
+                })
+                .unwrap_or(StopReason::WorkerPanicked);
+            Outcome::Partial {
+                value,
+                coverage: if n == 0 { 1.0 } else { done as f64 / n as f64 },
+                reason,
+            }
+        }
     }
 
     /// The historical per-node `HashMap` BFS build (the PR 4 constructor),
@@ -998,5 +1098,62 @@ mod tests {
         let g1 = nl.find("g1").unwrap();
         assert_eq!(sep.distance(g0, g1), 1); // adjacent but saturated to rho=1
         assert_eq!(sep.distance(g0, g0), 0);
+    }
+
+    #[test]
+    fn controlled_build_complete_matches_plain() {
+        let nl = chain(40);
+        for threads in [1, 3] {
+            let out = SeparationOracle::new_parallel_with_control(
+                &nl,
+                4,
+                threads,
+                &RunControl::unlimited(),
+            );
+            assert!(out.is_complete());
+            assert_eq!(out.into_value(), SeparationOracle::new(&nl, 4));
+        }
+    }
+
+    #[test]
+    fn quota_budget_yields_partial_with_saturated_tail() {
+        use iddq_control::RunBudget;
+        let nl = chain(200);
+        let full = SeparationOracle::new(&nl, 4);
+        for threads in [1, 4] {
+            let control = RunControl::with_budget(RunBudget::unlimited().with_quota(64));
+            let out = SeparationOracle::new_parallel_with_control(&nl, 4, threads, &control);
+            match out {
+                Outcome::Partial {
+                    value,
+                    coverage,
+                    reason,
+                } => {
+                    assert_eq!(reason, StopReason::QuotaExhausted);
+                    assert!(coverage < 1.0, "threads={threads}");
+                    // Built rows are exact; unbuilt rows saturate to rho.
+                    let g0 = nl.find("g0").unwrap();
+                    let g1 = nl.find("g1").unwrap();
+                    assert_eq!(value.distance(g0, g1), full.distance(g0, g1));
+                    let a = nl.find("g190").unwrap();
+                    let b = nl.find("g191").unwrap();
+                    assert_eq!(value.distance(a, b), 4);
+                }
+                Outcome::Complete(_) => panic!("a 64-row quota cannot build 200+ rows"),
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_build_is_all_saturated() {
+        let nl = chain(20);
+        let control = RunControl::unlimited();
+        control.token().cancel();
+        let out = SeparationOracle::new_parallel_with_control(&nl, 4, 2, &control);
+        assert_eq!(out.stop_reason(), Some(StopReason::Cancelled));
+        let value = out.into_value();
+        let g0 = nl.find("g0").unwrap();
+        let g1 = nl.find("g1").unwrap();
+        assert_eq!(value.distance(g0, g1), 4); // unbuilt row = saturated
     }
 }

@@ -192,3 +192,96 @@ proptest! {
         prop_assert_eq!(sep.module_separation(&gates), want);
     }
 }
+
+/// Fuzzing the `.bench` parser: arbitrary corruption of a valid netlist
+/// text — byte splices, truncations, line shuffles — must never panic.
+/// Every input either parses cleanly or comes back as a *line-numbered*
+/// parse error, because the CLI forwards untrusted files straight into
+/// this function.
+mod bench_parser_fuzz {
+    use super::*;
+    use iddq_netlist::{bench, NetlistError};
+
+    /// Parse must return, not panic; errors must carry a plausible line
+    /// number (1-based, within the text).
+    fn assert_total(text: &str) {
+        match bench::parse("fuzz", text) {
+            Ok(nl) => {
+                // A netlist that parsed is structurally valid: its
+                // printable form must round-trip.
+                let again = bench::parse("fuzz2", &bench::to_bench(&nl)).expect("round-trip");
+                assert_eq!(nl.node_count(), again.node_count());
+            }
+            Err(NetlistError::Parse { line, .. }) => {
+                let lines = text.lines().count().max(1);
+                assert!(
+                    line >= 1 && line <= lines,
+                    "error line {line} outside 1..={lines}"
+                );
+            }
+            Err(_) => {} // structural errors (cycles, duplicate defs) are fine too
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random byte splices into a valid `.bench` text.
+        #[test]
+        fn spliced_bytes_never_panic(
+            seed in 0u64..50,
+            edits in proptest::collection::vec((0usize..4096, 0u8..=255), 1..32),
+        ) {
+            let nl = data::ripple_adder((seed % 5 + 1) as usize);
+            let mut bytes = bench::to_bench(&nl).into_bytes();
+            for &(pos, byte) in &edits {
+                let i = pos % bytes.len();
+                bytes[i] = byte;
+            }
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            assert_total(&text);
+        }
+
+        /// Truncation at every byte offset.
+        #[test]
+        fn truncations_never_panic(seed in 0u64..10, cut in 0usize..4096) {
+            let nl = data::ripple_adder((seed % 4 + 1) as usize);
+            let text = bench::to_bench(&nl);
+            let cut = cut % (text.len() + 1);
+            // Truncate on a char boundary (bench output is ASCII, but
+            // stay defensive).
+            let mut end = cut;
+            while end > 0 && !text.is_char_boundary(end) {
+                end -= 1;
+            }
+            assert_total(&text[..end]);
+        }
+
+        /// Line shuffles: declarations out of dependency order must be
+        /// a clean error or a clean parse, never a crash.
+        #[test]
+        fn shuffled_lines_never_panic(seed in 0u64..10, order in proptest::collection::vec(0usize..64, 4..64)) {
+            let nl = data::ripple_adder((seed % 4 + 2) as usize);
+            let text = bench::to_bench(&nl);
+            let lines: Vec<&str> = text.lines().collect();
+            let shuffled: Vec<&str> = order
+                .iter()
+                .map(|&i| lines[i % lines.len()])
+                .collect();
+            assert_total(&shuffled.join("\n"));
+        }
+
+        /// Pathological free-form garbage (not derived from a valid file).
+        #[test]
+        fn arbitrary_text_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+            // Map arbitrary bytes into printable ASCII + newlines so the
+            // fuzz actually exercises the line-oriented grammar instead
+            // of failing UTF-8 decoding up front.
+            let text: String = bytes
+                .iter()
+                .map(|&b| if b % 13 == 0 { '\n' } else { (b % 95 + 32) as char })
+                .collect();
+            assert_total(&text);
+        }
+    }
+}

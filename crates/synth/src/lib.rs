@@ -39,8 +39,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use iddq_celllib::Library;
+use iddq_control::{EngineError, Outcome, RunControl, StopReason};
 use iddq_core::{
     config::PartitionConfig, AnalysisTier, EvalContext, Evaluated, Partition, ResynthEval,
 };
@@ -61,6 +63,29 @@ pub enum DecompositionStyle {
     Chain,
 }
 
+/// Validates a decomposition fan-in bound: stages need at least two
+/// inputs.
+fn check_fanin_bound(max_fanin: usize) -> Result<(), EngineError> {
+    if max_fanin < 2 {
+        return Err(EngineError::InvalidArg(format!(
+            "fan-in bound {max_fanin}: decomposition stages need at least two inputs"
+        )));
+    }
+    Ok(())
+}
+
+/// Validates a buffer-tree fan-out bound: a buffer spends one unit of its
+/// driver's budget and offers `max_fanout` units, so a bound of 1 can
+/// never serve more than one consumer.
+fn check_fanout_bound(max_fanout: usize) -> Result<(), EngineError> {
+    if max_fanout < 2 {
+        return Err(EngineError::InvalidArg(format!(
+            "fan-out bound {max_fanout}: a bound below 2 cannot host buffer cascades"
+        )));
+    }
+    Ok(())
+}
+
 /// Decomposes every gate with more than `max_fanin` inputs into a tree of
 /// `max_fanin`-input (in practice 2-input) stages of the same logic
 /// family, preserving the overall function.
@@ -69,12 +94,20 @@ pub enum DecompositionStyle {
 /// non-inverting base function with the inversion folded into the final
 /// stage, so the output polarity is untouched.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `max_fanin < 2`.
-#[must_use]
-pub fn decompose(netlist: &Netlist, style: DecompositionStyle, max_fanin: usize) -> Netlist {
-    assert!(max_fanin >= 2, "stages need at least two inputs");
+/// [`EngineError::InvalidArg`] if `max_fanin < 2` — a caller-supplied
+/// parameter must never abort the process.
+// Rebuilding a valid netlist gate-by-gate in topological order cannot
+// produce duplicate names or dangling drivers; the `expect`s assert
+// that equivalence-preserving contract, not caller input.
+#[allow(clippy::expect_used)]
+pub fn decompose(
+    netlist: &Netlist,
+    style: DecompositionStyle,
+    max_fanin: usize,
+) -> Result<Netlist, EngineError> {
+    check_fanin_bound(max_fanin)?;
     let mut b = NetlistBuilder::new(format!("{}_{}", netlist.name(), style_tag(style)));
     let mut map: Vec<Option<NodeId>> = vec![None; netlist.node_count()];
     let mut fresh = 0usize;
@@ -110,8 +143,8 @@ pub fn decompose(netlist: &Netlist, style: DecompositionStyle, max_fanin: usize)
     for &o in netlist.outputs() {
         b.mark_output(map[o.index()].expect("all nodes mapped"));
     }
-    b.build()
-        .expect("decomposition preserves structural validity")
+    Ok(b.build()
+        .expect("decomposition preserves structural validity"))
 }
 
 fn style_tag(style: DecompositionStyle) -> &'static str {
@@ -132,6 +165,8 @@ fn base_kind(kind: CellKind) -> (CellKind, bool) {
     }
 }
 
+// Intermediate names are minted fresh from a counter the caller owns.
+#[allow(clippy::expect_used)]
 fn build_tree(
     b: &mut NetlistBuilder,
     out_name: &str,
@@ -255,17 +290,17 @@ impl TapSchedule {
 /// Primary-output markers stay on the original net (observability is
 /// unchanged); only gate fan-ins are rerouted through the buffers.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `max_fanout < 2`: a buffer spends one unit of its driver's
-/// budget and offers `max_fanout` units, so a bound of 1 can never serve
-/// more than one consumer — no buffer tree satisfies it.
-#[must_use]
-pub fn fanout_buffer(netlist: &Netlist, max_fanout: usize) -> Netlist {
-    assert!(
-        max_fanout >= 2,
-        "a fan-out bound below 2 cannot host buffer cascades"
-    );
+/// [`EngineError::InvalidArg`] if `max_fanout < 2`: a buffer spends one
+/// unit of its driver's budget and offers `max_fanout` units, so a bound
+/// of 1 can never serve more than one consumer — no buffer tree
+/// satisfies it, and a caller-supplied parameter must never abort the
+/// process (the CLI maps this error to exit code 2).
+// Same rebuild-of-a-valid-netlist contract as `decompose`.
+#[allow(clippy::expect_used)]
+pub fn fanout_buffer(netlist: &Netlist, max_fanout: usize) -> Result<Netlist, EngineError> {
+    check_fanout_bound(max_fanout)?;
     let mut b = NetlistBuilder::new(format!("{}_buf", netlist.name()));
     let mut map: Vec<Option<NodeId>> = vec![None; netlist.node_count()];
     // Per original node: the tap schedule its consumers draw from.
@@ -301,7 +336,7 @@ pub fn fanout_buffer(netlist: &Netlist, max_fanout: usize) -> Netlist {
     for &o in netlist.outputs() {
         b.mark_output(map[o.index()].expect("all nodes mapped"));
     }
-    b.build().expect("buffering preserves structural validity")
+    Ok(b.build().expect("buffering preserves structural validity"))
 }
 
 /// Emits the decomposition of one wide gate as a [`Patch`]: 2-input
@@ -312,17 +347,34 @@ pub fn fanout_buffer(netlist: &Netlist, max_fanout: usize) -> Netlist {
 /// node. Consumers and the gate's id/name therefore never move, which is
 /// what lets per-gate patches compose freely.
 ///
-/// Returns `None` when the gate has at most `max_fanin` inputs (or is a
-/// primary input).
-#[must_use]
+/// Returns `Ok(None)` when the gate has at most `max_fanin` inputs (or
+/// is a primary input).
+///
+/// # Errors
+///
+/// [`EngineError::InvalidArg`] if `max_fanin < 2`.
 pub fn decompose_gate_patch(
     netlist: &Netlist,
     gate: NodeId,
     style: DecompositionStyle,
     max_fanin: usize,
     next_id: u32,
+) -> Result<Option<Patch>, EngineError> {
+    check_fanin_bound(max_fanin)?;
+    Ok(decompose_gate_patch_inner(
+        netlist, gate, style, max_fanin, next_id,
+    ))
+}
+
+/// [`decompose_gate_patch`] past validation (`max_fanin >= 2` guaranteed
+/// by the caller).
+fn decompose_gate_patch_inner(
+    netlist: &Netlist,
+    gate: NodeId,
+    style: DecompositionStyle,
+    max_fanin: usize,
+    next_id: u32,
 ) -> Option<Patch> {
-    assert!(max_fanin >= 2, "stages need at least two inputs");
     let node = netlist.node(gate);
     let kind = node.kind().cell_kind()?;
     if node.fanin().len() <= max_fanin {
@@ -375,12 +427,25 @@ pub fn decompose_gate_patch(
 /// The whole-netlist decomposition of [`decompose`] as one [`Patch`]
 /// (every wide gate, in topological order, intermediate ids appended
 /// sequentially from the netlist's node count).
-#[must_use]
-pub fn decompose_patch(netlist: &Netlist, style: DecompositionStyle, max_fanin: usize) -> Patch {
+///
+/// # Errors
+///
+/// [`EngineError::InvalidArg`] if `max_fanin < 2`.
+pub fn decompose_patch(
+    netlist: &Netlist,
+    style: DecompositionStyle,
+    max_fanin: usize,
+) -> Result<Patch, EngineError> {
+    check_fanin_bound(max_fanin)?;
+    Ok(decompose_patch_inner(netlist, style, max_fanin))
+}
+
+/// [`decompose_patch`] past validation.
+fn decompose_patch_inner(netlist: &Netlist, style: DecompositionStyle, max_fanin: usize) -> Patch {
     let mut ops = Vec::new();
     let mut next_id = netlist.node_count() as u32;
     for &id in netlist.topo_order() {
-        if let Some(p) = decompose_gate_patch(netlist, id, style, max_fanin, next_id) {
+        if let Some(p) = decompose_gate_patch_inner(netlist, id, style, max_fanin, next_id) {
             next_id += p.ops.len() as u32 - 1; // every op but the SetFanin adds a node
             ops.extend(p.ops);
         }
@@ -394,15 +459,12 @@ pub fn decompose_patch(netlist: &Netlist, style: DecompositionStyle, max_fanin: 
 /// identical to [`fanout_buffer`] (buffer fan-ins charged to the driver,
 /// cascading when a single layer cannot carry the load).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `max_fanout < 2` (see [`fanout_buffer`]).
-#[must_use]
-pub fn fanout_buffer_patch(netlist: &Netlist, max_fanout: usize) -> Patch {
-    assert!(
-        max_fanout >= 2,
-        "a fan-out bound below 2 cannot host buffer cascades"
-    );
+/// [`EngineError::InvalidArg`] if `max_fanout < 2` (see
+/// [`fanout_buffer`]).
+pub fn fanout_buffer_patch(netlist: &Netlist, max_fanout: usize) -> Result<Patch, EngineError> {
+    check_fanout_bound(max_fanout)?;
     let mut adds: Vec<PatchOp> = Vec::new();
     let mut next_id = netlist.node_count() as u32;
     // Consumers' pending fan-in lists (only over-bound drivers rewrite).
@@ -442,7 +504,7 @@ pub fn fanout_buffer_patch(netlist: &Netlist, max_fanout: usize) -> Patch {
         .filter_map(|(i, fanin)| fanin.map(|fanin| (NodeId(i as u32), fanin)))
         .map(|(gate, fanin)| PatchOp::SetFanin { gate, fanin });
     adds.extend(rewires);
-    Patch { ops: adds }
+    Ok(Patch { ops: adds })
 }
 
 /// Outcome of [`cost_aware`].
@@ -517,26 +579,64 @@ pub fn cost_aware(
 /// share the analysis build separately from the candidate search.
 #[must_use]
 pub fn cost_aware_in(ctx: &EvalContext<'_>) -> (Netlist, ResynthesisReport) {
+    cost_aware_in_with_control(ctx, &RunControl::unlimited()).into_value()
+}
+
+/// [`cost_aware_in`] under cooperative control: the budget is checked
+/// between candidate probes (each probe charges one unit of quota), and
+/// a stop yields [`Outcome::Partial`] carrying the best candidate among
+/// the ones actually scored — unscored candidates report
+/// [`f64::INFINITY`] in the [`ResynthesisReport`] so they can never be
+/// chosen. A partial result is therefore still a sound (if possibly
+/// sub-optimal) synthesis: the original netlist always participates.
+// Decomposition patches are built against the same netlist the
+// evaluation wraps, so apply/materialize cannot reject them.
+#[allow(clippy::expect_used)]
+pub fn cost_aware_in_with_control(
+    ctx: &EvalContext<'_>,
+    control: &RunControl,
+) -> Outcome<(Netlist, ResynthesisReport)> {
     let netlist = ctx.netlist;
     let mut eval = ResynthEval::new(ctx);
     let original_cost = eval.total_cost();
-    let balanced = decompose_patch(netlist, DecompositionStyle::Balanced, 2);
-    let chain = decompose_patch(netlist, DecompositionStyle::Chain, 2);
+    let balanced = decompose_patch_inner(netlist, DecompositionStyle::Balanced, 2);
+    let chain = decompose_patch_inner(netlist, DecompositionStyle::Chain, 2);
     let mut score = |patch: &Patch| {
         eval.apply(patch).expect("decomposition patches are valid");
         let cost = eval.total_cost();
         eval.rollback();
         cost
     };
-    let balanced_cost = score(&balanced);
-    let chain_cost = score(&chain);
+    let mut stopped: Option<StopReason> = None;
+    let mut scored = 0usize;
+    let mut probe = |patch: &Patch, stopped: &mut Option<StopReason>, scored: &mut usize| {
+        if stopped.is_some() {
+            return f64::INFINITY;
+        }
+        if let Some(reason) = control.check() {
+            *stopped = Some(reason);
+            return f64::INFINITY;
+        }
+        control.charge(1);
+        *scored += 1;
+        score(patch)
+    };
+    let balanced_cost = probe(&balanced, &mut stopped, &mut scored);
+    let chain_cost = probe(&chain, &mut stopped, &mut scored);
     let report = report_from(original_cost, balanced_cost, chain_cost);
     let out = match report.chosen {
         Candidate::Original => netlist.clone(),
         Candidate::Balanced => patch::materialize(netlist, &balanced).expect("valid candidate"),
         Candidate::Chain => patch::materialize(netlist, &chain).expect("valid candidate"),
     };
-    (out, report)
+    match stopped {
+        None => Outcome::Complete((out, report)),
+        Some(reason) => Outcome::Partial {
+            value: (out, report),
+            coverage: scored as f64 / 2.0,
+            reason,
+        },
+    }
 }
 
 /// The pre-patch-engine implementation of [`cost_aware`]: every candidate
@@ -570,6 +670,7 @@ pub fn cost_aware_rebuild_reference(
     cost_aware_rebuild_impl(netlist, library, config, true)
 }
 
+#[allow(clippy::expect_used)] // same valid-candidate contract as the patch path
 fn cost_aware_rebuild_impl(
     netlist: &Netlist,
     library: &Library,
@@ -585,8 +686,8 @@ fn cost_aware_rebuild_impl(
         };
         Evaluated::new(&ctx, Partition::single_module(nl)).total_cost()
     };
-    let balanced_patch = decompose_patch(netlist, DecompositionStyle::Balanced, 2);
-    let chain_patch = decompose_patch(netlist, DecompositionStyle::Chain, 2);
+    let balanced_patch = decompose_patch_inner(netlist, DecompositionStyle::Balanced, 2);
+    let chain_patch = decompose_patch_inner(netlist, DecompositionStyle::Chain, 2);
     let balanced = patch::materialize(netlist, &balanced_patch).expect("valid candidate");
     let chain = patch::materialize(netlist, &chain_patch).expect("valid candidate");
     let original_cost = score(netlist);
@@ -639,6 +740,24 @@ pub fn cost_aware_per_gate(
 /// or above).
 #[must_use]
 pub fn cost_aware_per_gate_in(ctx: &EvalContext<'_>) -> (Netlist, PerGateReport) {
+    cost_aware_per_gate_in_with_control(ctx, &RunControl::unlimited()).into_value()
+}
+
+/// [`cost_aware_per_gate_in`] under cooperative control. The greedy
+/// descent checks the budget at each wide-gate boundary (charging one
+/// quota unit per probe, two probes per gate); on a stop the gates
+/// committed so far are materialized and returned as
+/// [`Outcome::Partial`] — a prefix of the greedy descent, which is
+/// itself a valid (equivalence-preserving) mixed decomposition.
+/// Coverage is the fraction of wide gates whose probes ran.
+// Per-gate probes only target gates the wide-gate filter selected, so
+// `decompose_gate_patch_inner` always yields a patch, and committed
+// patches re-validate by construction.
+#[allow(clippy::expect_used)]
+pub fn cost_aware_per_gate_in_with_control(
+    ctx: &EvalContext<'_>,
+    control: &RunControl,
+) -> Outcome<(Netlist, PerGateReport)> {
     let netlist = ctx.netlist;
     let mut eval = ResynthEval::new(ctx);
     let original_cost = eval.total_cost();
@@ -651,22 +770,36 @@ pub fn cost_aware_per_gate_in(ctx: &EvalContext<'_>) -> (Netlist, PerGateReport)
         chain_gates: 0,
         kept_gates: 0,
     };
-    for &gate in netlist.topo_order() {
-        if netlist.node(gate).kind().cell_kind().is_none() || netlist.node(gate).fanin().len() <= 2
-        {
-            continue;
+    let wide: Vec<_> = netlist
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|&g| {
+            netlist.node(g).kind().cell_kind().is_some() && netlist.node(g).fanin().len() > 2
+        })
+        .collect();
+    let total_wide = wide.len();
+    let mut stopped: Option<StopReason> = None;
+    let mut gates_probed = 0usize;
+    for gate in wide {
+        if let Some(reason) = control.check() {
+            stopped = Some(reason);
+            break;
         }
         let mut best: Option<(f64, DecompositionStyle, Patch)> = None;
         for style in [DecompositionStyle::Balanced, DecompositionStyle::Chain] {
-            let patch = decompose_gate_patch(netlist, gate, style, 2, eval.node_count() as u32)
-                .expect("gate is wide");
+            let patch =
+                decompose_gate_patch_inner(netlist, gate, style, 2, eval.node_count() as u32)
+                    .expect("gate is wide");
             eval.apply(&patch).expect("per-gate patches are valid");
             let cost = eval.total_cost();
             eval.rollback();
+            control.charge(1);
             if cost < current && best.as_ref().is_none_or(|(b, _, _)| cost < *b) {
                 best = Some((cost, style, patch));
             }
         }
+        gates_probed += 1;
         match best {
             Some((cost, style, patch)) => {
                 eval.apply(&patch).expect("re-applying a probed patch");
@@ -683,7 +816,18 @@ pub fn cost_aware_per_gate_in(ctx: &EvalContext<'_>) -> (Netlist, PerGateReport)
     }
     report.mixed_cost = current;
     let out = patch::materialize(netlist, &Patch::concat(&committed)).expect("valid candidate");
-    (out, report)
+    match stopped {
+        None => Outcome::Complete((out, report)),
+        Some(reason) => Outcome::Partial {
+            value: (out, report),
+            coverage: if total_wide == 0 {
+                1.0
+            } else {
+                gates_probed as f64 / total_wide as f64
+            },
+            reason,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -732,7 +876,7 @@ mod tests {
     #[test]
     fn balanced_decomposition_preserves_logic() {
         let nl = wide_gate_circuit();
-        let dec = decompose(&nl, DecompositionStyle::Balanced, 2);
+        let dec = decompose(&nl, DecompositionStyle::Balanced, 2).unwrap();
         assert_equivalent(&nl, &dec);
         // All gates now 2-input.
         for g in dec.gate_ids() {
@@ -743,15 +887,15 @@ mod tests {
     #[test]
     fn chain_decomposition_preserves_logic() {
         let nl = wide_gate_circuit();
-        let dec = decompose(&nl, DecompositionStyle::Chain, 2);
+        let dec = decompose(&nl, DecompositionStyle::Chain, 2).unwrap();
         assert_equivalent(&nl, &dec);
     }
 
     #[test]
     fn chain_is_deeper_than_balanced() {
         let nl = wide_gate_circuit();
-        let bal = decompose(&nl, DecompositionStyle::Balanced, 2);
-        let ch = decompose(&nl, DecompositionStyle::Chain, 2);
+        let bal = decompose(&nl, DecompositionStyle::Balanced, 2).unwrap();
+        let ch = decompose(&nl, DecompositionStyle::Chain, 2).unwrap();
         assert!(
             iddq_netlist::levelize::depth(&ch) > iddq_netlist::levelize::depth(&bal),
             "chains trade depth for staggered switching"
@@ -766,7 +910,7 @@ mod tests {
     #[test]
     fn narrow_gates_untouched() {
         let nl = data::c17(); // all NAND2
-        let dec = decompose(&nl, DecompositionStyle::Balanced, 2);
+        let dec = decompose(&nl, DecompositionStyle::Balanced, 2).unwrap();
         assert_eq!(dec.gate_count(), nl.gate_count());
         assert_equivalent(&nl, &dec);
     }
@@ -776,7 +920,7 @@ mod tests {
         let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
         let nl = iddq_gen::iscas::generate(p, 5);
         for style in [DecompositionStyle::Balanced, DecompositionStyle::Chain] {
-            let dec = decompose(&nl, style, 2);
+            let dec = decompose(&nl, style, 2).unwrap();
             assert_equivalent(&nl, &dec);
         }
     }
@@ -785,7 +929,7 @@ mod tests {
     fn fanout_buffering_preserves_logic_and_bounds_fanout() {
         let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
         let nl = iddq_gen::iscas::generate(p, 8);
-        let buffered = fanout_buffer(&nl, 4);
+        let buffered = fanout_buffer(&nl, 4).unwrap();
         assert_equivalent(&nl, &buffered);
         // The bound holds for *every* net of the output — original
         // drivers and buffers alike, with buffer fan-ins counted as load.
@@ -818,7 +962,7 @@ mod tests {
             b.mark_output(g);
         }
         let nl = b.build().unwrap();
-        let buffered = fanout_buffer(&nl, 3);
+        let buffered = fanout_buffer(&nl, 3).unwrap();
         assert_equivalent(&nl, &buffered);
         for id in buffered.node_ids() {
             assert!(
@@ -839,10 +983,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot host buffer cascades")]
-    fn fanout_bound_of_one_panics() {
+    fn fanout_bound_below_two_is_a_typed_error() {
         let nl = data::c17();
-        let _ = fanout_buffer(&nl, 1);
+        for bad in [0, 1] {
+            match fanout_buffer(&nl, bad) {
+                Err(EngineError::InvalidArg(msg)) => {
+                    assert!(msg.contains("cannot host buffer cascades"), "{msg}");
+                }
+                other => panic!("expected InvalidArg, got {other:?}"),
+            }
+            assert!(matches!(
+                fanout_buffer_patch(&nl, bad),
+                Err(EngineError::InvalidArg(_))
+            ));
+        }
     }
 
     #[test]
@@ -868,8 +1022,8 @@ mod tests {
             let gates: Vec<NodeId> = nl.gate_ids().collect();
             Evaluated::stats_for(&ctx, &gates).peak_current_ua
         };
-        let bal = decompose(&nl, DecompositionStyle::Balanced, 2);
-        let ch = decompose(&nl, DecompositionStyle::Chain, 2);
+        let bal = decompose(&nl, DecompositionStyle::Balanced, 2).unwrap();
+        let ch = decompose(&nl, DecompositionStyle::Chain, 2).unwrap();
         assert!(
             peak(&ch) > peak(&bal),
             "flat-gate chain {} expected to exceed balanced {}",
@@ -917,8 +1071,9 @@ mod tests {
     fn decompose_patch_candidate_is_equivalent_to_decompose() {
         let nl = wide_gate_circuit();
         for style in [DecompositionStyle::Balanced, DecompositionStyle::Chain] {
-            let patched = patch::materialize(&nl, &decompose_patch(&nl, style, 2)).unwrap();
-            let rebuilt = decompose(&nl, style, 2);
+            let patched =
+                patch::materialize(&nl, &decompose_patch(&nl, style, 2).unwrap()).unwrap();
+            let rebuilt = decompose(&nl, style, 2).unwrap();
             assert_equivalent(&nl, &patched);
             assert_eq!(patched.gate_count(), rebuilt.gate_count());
             assert_eq!(
@@ -933,7 +1088,7 @@ mod tests {
     fn fanout_buffer_patch_is_equivalent_and_bounded() {
         let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
         let nl = iddq_gen::iscas::generate(p, 8);
-        let patched = patch::materialize(&nl, &fanout_buffer_patch(&nl, 4)).unwrap();
+        let patched = patch::materialize(&nl, &fanout_buffer_patch(&nl, 4).unwrap()).unwrap();
         assert_equivalent(&nl, &patched);
         for id in patched.node_ids() {
             assert!(
@@ -942,7 +1097,10 @@ mod tests {
                 patched.node_name(id)
             );
         }
-        assert_eq!(patched.gate_count(), fanout_buffer(&nl, 4).gate_count());
+        assert_eq!(
+            patched.gate_count(),
+            fanout_buffer(&nl, 4).unwrap().gate_count()
+        );
     }
 
     #[test]
@@ -970,9 +1128,103 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two inputs")]
-    fn max_fanin_one_panics() {
+    fn max_fanin_below_two_is_a_typed_error() {
         let nl = data::c17();
-        let _ = decompose(&nl, DecompositionStyle::Balanced, 1);
+        for bad in [0, 1] {
+            match decompose(&nl, DecompositionStyle::Balanced, bad) {
+                Err(EngineError::InvalidArg(msg)) => {
+                    assert!(msg.contains("at least two inputs"), "{msg}");
+                }
+                other => panic!("expected InvalidArg, got {other:?}"),
+            }
+            assert!(matches!(
+                decompose_patch(&nl, DecompositionStyle::Chain, bad),
+                Err(EngineError::InvalidArg(_))
+            ));
+            assert!(matches!(
+                decompose_gate_patch(&nl, nl.topo_order()[0], DecompositionStyle::Chain, bad, 0),
+                Err(EngineError::InvalidArg(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn controlled_cost_aware_matches_uncontrolled_when_unlimited() {
+        let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
+        let nl = iddq_gen::iscas::generate(p, 7);
+        let library = Library::generic_1um();
+        let config = PartitionConfig::paper_default();
+        let ctx = EvalContext::builder(&nl, &library, config.clone())
+            .tier(AnalysisTier::GateSep)
+            .build();
+        let plain = cost_aware_in(&ctx);
+        let controlled = cost_aware_in_with_control(&ctx, &RunControl::unlimited());
+        assert!(controlled.is_complete());
+        let (nl_c, report_c) = controlled.into_value();
+        assert_eq!(plain.1, report_c);
+        assert_eq!(plain.0.gate_count(), nl_c.gate_count());
+    }
+
+    #[test]
+    fn quota_exhausted_cost_aware_is_partial_but_sound() {
+        use iddq_control::RunBudget;
+        let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
+        let nl = iddq_gen::iscas::generate(p, 7);
+        let library = Library::generic_1um();
+        let config = PartitionConfig::paper_default();
+        let ctx = EvalContext::builder(&nl, &library, config.clone())
+            .tier(AnalysisTier::GateSep)
+            .build();
+        // Quota of 1 lets exactly one of the two probes run.
+        let control = RunControl::with_budget(RunBudget::unlimited().with_quota(1));
+        let outcome = cost_aware_in_with_control(&ctx, &control);
+        match outcome {
+            Outcome::Partial {
+                value: (out, report),
+                coverage,
+                reason,
+            } => {
+                assert_eq!(reason, StopReason::QuotaExhausted);
+                assert!((coverage - 0.5).abs() < 1e-9, "coverage {coverage}");
+                // The unscored candidate must never win.
+                assert!(report.chain_cost.is_infinite());
+                assert_ne!(report.chosen, Candidate::Chain);
+                assert_equivalent(&nl, &out);
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_gate_descent_stops_at_gate_boundary_with_valid_prefix() {
+        use iddq_control::RunBudget;
+        let p = iddq_gen::iscas::IscasProfile::by_name("c432").unwrap();
+        let nl = iddq_gen::iscas::generate(p, 7);
+        let library = Library::generic_1um();
+        let config = PartitionConfig::paper_default();
+        let ctx = EvalContext::builder(&nl, &library, config.clone())
+            .tier(AnalysisTier::GateSep)
+            .build();
+        let full = cost_aware_per_gate_in(&ctx);
+        // Enough quota for a strict prefix of the wide gates (2 probes
+        // per gate).
+        let control = RunControl::with_budget(RunBudget::unlimited().with_quota(4));
+        let outcome = cost_aware_per_gate_in_with_control(&ctx, &control);
+        match outcome {
+            Outcome::Partial {
+                value: (out, report),
+                coverage,
+                reason,
+            } => {
+                assert_eq!(reason, StopReason::QuotaExhausted);
+                assert!(coverage > 0.0 && coverage < 1.0, "coverage {coverage}");
+                let touched = report.balanced_gates + report.chain_gates + report.kept_gates;
+                let full_touched = full.1.balanced_gates + full.1.chain_gates + full.1.kept_gates;
+                assert!(touched < full_touched, "{touched} vs {full_touched}");
+                assert!(report.mixed_cost <= report.original_cost);
+                assert_equivalent(&nl, &out);
+            }
+            other => panic!("expected Partial, got {other:?}"),
+        }
     }
 }

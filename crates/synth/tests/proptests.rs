@@ -65,12 +65,12 @@ proptest! {
     /// The fan-out bound holds on every node of the buffered netlist, and
     /// the transform preserves logic, for random circuits × bounds. (A
     /// bound of 1 is unsatisfiable — a buffer costs one unit of its
-    /// driver's budget and offers only one — and is rejected by a panic,
-    /// covered by a unit test.)
+    /// driver's budget and offers only one — and is rejected with a typed
+    /// error, covered by a unit test.)
     #[test]
     fn fanout_buffer_bounds_every_net(seed in 0u64..200, bound in 2usize..=6) {
         let nl = random_netlist(seed);
-        let buffered = fanout_buffer(&nl, bound);
+        let buffered = fanout_buffer(&nl, bound).expect("bound >= 2");
         for id in buffered.node_ids() {
             prop_assert!(
                 buffered.fanout(id).len() <= bound,
@@ -82,7 +82,7 @@ proptest! {
         }
         assert_equivalent(&nl, &buffered);
         // The patch form reaches the same bound on the same circuit.
-        let patched = materialize(&nl, &fanout_buffer_patch(&nl, bound)).expect("valid patch");
+        let patched = materialize(&nl, &fanout_buffer_patch(&nl, bound).expect("bound >= 2")).expect("valid patch");
         for id in patched.node_ids() {
             prop_assert!(patched.fanout(id).len() <= bound);
         }
@@ -121,7 +121,7 @@ proptest! {
                     } else {
                         DecompositionStyle::Chain
                     };
-                    decompose_patch(&nl, style, rng.gen_range(2..=4))
+                    decompose_patch(&nl, style, rng.gen_range(2..=4)).expect("fanin >= 2")
                 }
                 1 => {
                     if wide.is_empty() {
@@ -133,12 +133,14 @@ proptest! {
                     } else {
                         DecompositionStyle::Chain
                     };
-                    match decompose_gate_patch(&nl, gate, style, 2, eval.node_count() as u32) {
+                    match decompose_gate_patch(&nl, gate, style, 2, eval.node_count() as u32)
+                        .expect("fanin >= 2")
+                    {
                         Some(p) => p,
                         None => continue,
                     }
                 }
-                _ => fanout_buffer_patch(&nl, rng.gen_range(3..=6)),
+                _ => fanout_buffer_patch(&nl, rng.gen_range(3..=6)).expect("bound >= 2"),
             };
             let base_cost = eval.total_cost();
             if eval.apply(&patch).is_err() {
@@ -203,7 +205,8 @@ proptest! {
             .collect();
         for _ in 0..5 {
             let patch = match rng.gen_range(0..3u32) {
-                0 => decompose_patch(&nl, DecompositionStyle::Balanced, rng.gen_range(2..=4)),
+                0 => decompose_patch(&nl, DecompositionStyle::Balanced, rng.gen_range(2..=4))
+                    .expect("fanin >= 2"),
                 1 => {
                     if wide.is_empty() {
                         continue;
@@ -215,12 +218,14 @@ proptest! {
                         DecompositionStyle::Chain,
                         2,
                         full.node_count() as u32,
-                    ) {
+                    )
+                    .expect("fanin >= 2")
+                    {
                         Some(p) => p,
                         None => continue,
                     }
                 }
-                _ => fanout_buffer_patch(&nl, rng.gen_range(3..=6)),
+                _ => fanout_buffer_patch(&nl, rng.gen_range(3..=6)).expect("bound >= 2"),
             };
             let a = full.apply(&patch);
             let b = light.apply(&patch);
