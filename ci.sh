@@ -6,12 +6,17 @@
 # drops below 3x vs per-fault full re-simulation, or (on c1908) the
 # patch-scored resynthesis candidates drop below 2x vs rebuild scoring /
 # 3.5x vs the PR 4 rebuild at bit-identical costs, or the flat full-tier
-# context build drops below 1.7x vs the PR 4 hash-map constructor; the
+# context build drops below 1.7x vs the PR 4 hash-map constructor, or
+# the evolution loop drops below 2x vs rebuild-per-evaluation scoring,
+# or the incremental dW separation maintenance drops below 2x vs the
+# full separation pass on the c7552 probe (bit-identical costs
+# asserted), or the mega-circuit sweep misses its wall-clock budget; the
 # full bench run additionally gates the CSR/wide kernel at 3x vs seed,
 # the delta engine and the fault-patch engine at 5x, resynthesis patch
 # scoring at 3x/7.6x on c7552, the c7552 context build at 2.5x, and (on
 # machines with >= 4 cores, announced explicitly either way) the
-# parallel fault sweep and parallel context build at 1.5x.
+# parallel fault sweep, parallel context build, and structural-parallel
+# sweep at 1.5x.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,5 +39,13 @@ cargo test --workspace -q
 
 echo "== perf smoke"
 cargo run --release -q -p iddq-bench --bin bench -- --smoke --out BENCH_sim.json
+
+echo "== scale smoke"
+# A 10^5-gate generated circuit: CSR build + one full sweep + a GateSep
+# context + one resynthesis probe (bit-identical rollback asserted),
+# all under one 60 s wall-clock RunBudget, with per-node memory asserted
+# against fixed byte ceilings — scale regressions fail fast here instead
+# of surfacing minutes into the full bench.
+cargo run --release -q -p iddq-cli --bin iddq -- scale --smoke
 
 echo "CI OK"

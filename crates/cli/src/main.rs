@@ -8,12 +8,13 @@
 //! iddq gen    <circuit> [--seed N] [--out PATH]
 //! iddq test   <netlist.bench> [--seed N] [--vectors N]
 //! iddq sim    <netlist.bench> [--patterns N] [--seed N] [--threads N]
-//!             [--backend csr|delta] [--lanes 64|256|512]
+//!             [--backend csr|delta] [--lanes 64|256|512|auto]
 //! iddq faults <netlist.bench> [--seed N] [--vectors N] [--bridges N]
-//!             [--backend csr|delta] [--lanes 64|256|512] [--threads N]
+//!             [--backend csr|delta] [--lanes 64|256|512|auto] [--threads N]
 //!             [--shards N] [--no-drop] [--budget-ms MS] [--quota N]
 //!             [--checkpoint PATH] [--resume PATH]
-//! iddq stats  <netlist.bench>
+//! iddq stats  <netlist.bench> [--memory] [--rho N]
+//! iddq scale  [--smoke] [--gates N] [--seed N] [--rho N] [--budget-ms MS]
 //! ```
 //!
 //! Exit codes follow the usual discipline: `0` for success (including a
@@ -83,6 +84,7 @@ fn main() -> ExitCode {
         "sim" => cmd_sim(rest),
         "faults" => cmd_faults(rest),
         "stats" => cmd_stats(rest),
+        "scale" => cmd_scale(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -127,14 +129,16 @@ commands:
       --seed N            pattern seed (default 42)
       --threads N         worker threads sharing the pattern stream (default 1)
       --backend B         simulation engine: csr | delta (default csr)
-      --lanes L           patterns per sweep: 64 | 256 | 512 (default 256)
+      --lanes L           patterns per sweep: 64 | 256 | 512 (default 256),
+                          or `auto` to pick by a quick calibration sweep
   faults <netlist.bench>  run the stuck-at/bridge fault-patch sweep
       --seed N            vector/bridge seed (default 42)
       --vectors N         number of random test vectors (default 256)
       --bridges N         number of sampled bridge faults (default 32)
       --backend B         delta = fault-patch engine, csr = per-fault full
                           re-simulation oracle (default delta)
-      --lanes L           patterns per sweep: 64 | 256 | 512 (default 256)
+      --lanes L           patterns per sweep: 64 | 256 | 512 (default 256),
+                          or `auto` to pick by a quick calibration sweep
       --threads N         worker threads (default 1, 0 = all cores)
       --shards N          fault-list shards (default auto)
       --no-drop           disable earliest-detection fault dropping
@@ -147,6 +151,22 @@ commands:
                           a resumed run that completes is bit-identical to
                           an uninterrupted one
   stats <netlist.bench>   print structural statistics
+      --memory            also report the memory footprint of every engine
+                          representation (graph, CSR schedule, packed values,
+                          delta state, separation oracle, gate-sep table)
+      --rho N             separation saturation bound for --memory (default 6)
+  scale                   scale regression check on a generated mega-circuit:
+                          build the CSR kernel, run one full sweep, build a
+                          GateSep analysis context, and score one resynthesis
+                          probe (apply + bit-identical rollback), all under one
+                          wall-clock RunBudget, with per-node memory asserted
+                          against fixed byte ceilings
+      --smoke             10^5 gates under a 60 s budget (default: 10^6 gates
+                          under 600 s)
+      --gates N           override the gate count
+      --seed N            generation seed (default 0x5ca1e, as the bench)
+      --rho N             separation saturation bound (default 3)
+      --budget-ms MS      override the wall-clock budget
 ";
 
 fn parse_flag(rest: &[String], flag: &str) -> Option<String> {
@@ -380,11 +400,71 @@ fn cmd_test(rest: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn parse_lanes(rest: &[String]) -> Result<iddq_netlist::LaneWidth, CliError> {
+/// Parses `--lanes`: a fixed width, or `None` for `auto` (calibrate on
+/// the loaded circuit).
+fn parse_lanes(rest: &[String]) -> Result<Option<iddq_netlist::LaneWidth>, CliError> {
     match parse_flag(rest, "--lanes") {
-        None => Ok(iddq_netlist::LaneWidth::default()),
-        Some(v) => v.parse().map_err(|e| CliError::usage(format!("{e}"))),
+        None => Ok(Some(iddq_netlist::LaneWidth::default())),
+        Some(v) if v == "auto" => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|e| CliError::usage(format!("{e}"))),
     }
+}
+
+/// Measures CSR sweep throughput (patterns/s) at one lane width: one
+/// warm-up sweep off the clock, then timed sweeps until at least ten
+/// milliseconds have elapsed. The pattern stream is deterministic, so
+/// the calibration itself never perturbs downstream seeding.
+fn calibrate_width<W: iddq_netlist::PackedWord>(cut: &Netlist) -> f64 {
+    let sim = iddq_logicsim::Simulator::new(cut);
+    let mut inputs = vec![W::zeros(); cut.num_inputs()];
+    let mut values = vec![W::zeros(); sim.node_count()];
+    let mut state = 0x1dd9_ca11_b0a7_ed00u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 31)
+    };
+    sim.eval_into(&inputs, &mut values);
+    let start = Instant::now();
+    let mut patterns = 0u64;
+    loop {
+        for w in &mut inputs {
+            *w = W::from_limbs(|_| next());
+        }
+        sim.eval_into(&inputs, &mut values);
+        patterns += u64::from(W::LANES);
+        if start.elapsed().as_millis() >= 10 {
+            break;
+        }
+    }
+    patterns as f64 / start.elapsed().as_secs_f64()
+}
+
+/// `--lanes auto`: times a short CSR sweep at every width and picks the
+/// fastest. Wider lanes amortize schedule-walking overhead but cost more
+/// per value word; which side wins depends on the circuit's size relative
+/// to cache, so a quick measurement beats a static guess.
+fn calibrate_lanes(cut: &Netlist) -> iddq_netlist::LaneWidth {
+    use iddq_netlist::LaneWidth;
+    let rates = [
+        (LaneWidth::L64, calibrate_width::<u64>(cut)),
+        (LaneWidth::L256, calibrate_width::<iddq_netlist::W256>(cut)),
+        (LaneWidth::L512, calibrate_width::<iddq_netlist::W512>(cut)),
+    ];
+    let best = rates
+        .iter()
+        .copied()
+        .fold(rates[0], |acc, r| if r.1 > acc.1 { r } else { acc })
+        .0;
+    eprintln!(
+        "lanes auto: 64 -> {:.3e}/s, 256 -> {:.3e}/s, 512 -> {:.3e}/s; picked {best}",
+        rates[0].1, rates[1].1, rates[2].1
+    );
+    best
 }
 
 fn cmd_sim(rest: &[String]) -> Result<(), CliError> {
@@ -408,7 +488,10 @@ fn cmd_sim(rest: &[String]) -> Result<(), CliError> {
         None => BackendKind::Csr,
         Some(v) => v.parse().map_err(|e| CliError::usage(format!("{e}")))?,
     };
-    let lanes = parse_lanes(rest)?;
+    let lanes = match parse_lanes(rest)? {
+        Some(width) => width,
+        None => calibrate_lanes(&cut),
+    };
     match lanes {
         LaneWidth::L64 => run_sim::<u64>(&cut, patterns, seed, threads, backend, lanes),
         LaneWidth::L256 => {
@@ -525,7 +608,10 @@ fn cmd_faults(rest: &[String]) -> Result<(), CliError> {
         None => BackendKind::Delta,
         Some(v) => v.parse().map_err(|e| CliError::usage(format!("{e}")))?,
     };
-    let lanes = parse_lanes(rest)?;
+    let lanes = match parse_lanes(rest)? {
+        Some(width) => width,
+        None => calibrate_lanes(&cut),
+    };
     let options = FaultSweepOptions {
         threads: parse_num(rest, "--threads", 1usize)?,
         fault_shards: parse_num(rest, "--shards", 0usize)?,
@@ -702,5 +788,221 @@ fn cmd_stats(rest: &[String]) -> Result<(), CliError> {
     for (cell, count) in by_kind {
         println!("  {cell:<8} {count}");
     }
+    if rest.iter().any(|a| a == "--memory") {
+        report_memory(&cut, rest)?;
+    }
+    Ok(())
+}
+
+/// Formats a byte count with a binary-unit suffix.
+fn human_bytes(bytes: usize) -> String {
+    const MIB: f64 = 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= 1024.0 * MIB {
+        format!("{:.2} GiB", b / (1024.0 * MIB))
+    } else if b >= MIB {
+        format!("{:.2} MiB", b / MIB)
+    } else if b >= 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// The `stats --memory` report: measured (capacity-accurate) footprints
+/// of every engine representation of the circuit, each with its per-node
+/// byte budget. This is the scaling proof for million-gate circuits —
+/// the mutable graph is the only per-node-allocating structure; every
+/// engine compiles into flat `u32`-indexed arrays whose per-node cost is
+/// independent of circuit size.
+fn report_memory(cut: &Netlist, rest: &[String]) -> Result<(), CliError> {
+    let default_rho = PartitionConfig::paper_default().rho;
+    let rho: u32 = parse_num(rest, "--rho", default_rho)?;
+    if rho == 0 {
+        return Err(CliError::usage("--rho must be at least 1"));
+    }
+    let nodes = cut.node_count();
+    let line = |label: &str, bytes: usize, note: &str| {
+        println!(
+            "  {label:<22} {:>12}  ({:>7.1} B/node){}{note}",
+            human_bytes(bytes),
+            bytes as f64 / nodes.max(1) as f64,
+            if note.is_empty() { "" } else { "  " },
+        );
+    };
+    println!("memory at {nodes} nodes:");
+    line("netlist graph", cut.memory_bytes(), "mutable front door");
+    let sim = iddq_logicsim::Simulator::new(cut);
+    line("csr schedule", sim.memory_bytes(), "immutable sweep kernel");
+    for width in iddq_netlist::LaneWidth::ALL {
+        let bytes = nodes * width.lanes() as usize / 8;
+        line(&format!("packed values @{width}"), bytes, "one value/lane");
+    }
+    let delta = iddq_logicsim::delta::DeltaSim::<u64>::new(cut);
+    line(
+        "delta engine @64",
+        delta.memory_bytes(),
+        "incremental fault-patch state",
+    );
+    let control = RunControl::unlimited();
+    let oracle =
+        iddq_netlist::separation::SeparationOracle::new_streamed_with_control(cut, rho, &control)
+            .into_value();
+    line(
+        &format!("separation oracle p{rho}"),
+        oracle.memory_bytes(),
+        &format!("{} entries, streamed build", oracle.entry_count()),
+    );
+    let table = iddq_netlist::separation::GateSeparationTable::direct(cut, rho, 1);
+    line(
+        &format!("gate-sep table p{rho}"),
+        table.memory_bytes(),
+        &format!("{} entries", table.entry_count()),
+    );
+    Ok(())
+}
+
+/// Per-node byte ceilings the `scale` check asserts. Generous versus the
+/// measured footprints (~160 B/node graph, ~18 B/node CSR on the mega
+/// profile) so only a genuine layout regression — a per-node allocation,
+/// an index widened past u32, struct padding — trips them.
+const SCALE_MAX_GRAPH_BYTES_PER_NODE: f64 = 256.0;
+const SCALE_MAX_CSR_BYTES_PER_NODE: f64 = 48.0;
+
+/// The `scale` command: a fast scale-regression check on a generated
+/// mega-circuit. One wall-clock [`RunBudget`] spans every phase —
+/// generation, CSR build, one full 64-pattern sweep, a GateSep analysis
+/// context, and one resynthesis probe (apply + rollback, asserted to
+/// restore the cost bit-identically) — so a regression that makes any
+/// phase crawl fails fast instead of hanging CI, and the per-node memory
+/// ceilings catch packed-state layout regressions.
+fn cmd_scale(rest: &[String]) -> Result<(), CliError> {
+    use iddq_core::{AnalysisTier, EvalContext, ResynthEval};
+    let smoke = rest.iter().any(|a| a == "--smoke");
+    let gates: usize = parse_num(rest, "--gates", if smoke { 100_000 } else { 1_000_000 })?;
+    if gates == 0 {
+        return Err(CliError::usage("--gates must be at least 1"));
+    }
+    let seed: u64 = parse_num(rest, "--seed", 0x5ca1e)?;
+    let rho: u32 = parse_num(rest, "--rho", 3)?;
+    if rho == 0 {
+        return Err(CliError::usage("--rho must be at least 1"));
+    }
+    let budget_ms: u64 = parse_num(rest, "--budget-ms", if smoke { 60_000 } else { 600_000 })?;
+    let control = RunControl::with_budget(
+        RunBudget::unlimited().with_timeout(std::time::Duration::from_millis(budget_ms)),
+    );
+    let gate = |phase: &str| -> Result<(), CliError> {
+        match control.check() {
+            None => Ok(()),
+            Some(reason) => Err(format!(
+                "scale check over its {budget_ms} ms budget after {phase} ({reason})"
+            )
+            .into()),
+        }
+    };
+
+    // Same profile as the bench's `scale` section, so the two agree on
+    // what "the 10^5/10^6-gate circuit" means.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let inputs = ((gates as f64).sqrt().round() as usize).max(64);
+    let t0 = Instant::now();
+    let nl = iddq_gen::mega::generate(&iddq_gen::mega::MegaConfig {
+        gates,
+        inputs,
+        depth: 16,
+        seed,
+    });
+    let t_gen = t0.elapsed().as_secs_f64();
+    gate("generation")?;
+
+    let nodes = nl.node_count();
+    let t0 = Instant::now();
+    let sim = iddq_logicsim::Simulator::new(&nl);
+    let t_build = t0.elapsed().as_secs_f64();
+    gate("CSR build")?;
+    let graph_per_node = nl.memory_bytes() as f64 / nodes as f64;
+    let csr_per_node = sim.memory_bytes() as f64 / nodes as f64;
+    println!(
+        "mega {gates}: gen {t_gen:.2} s, csr build {t_build:.2} s; graph {} \
+         ({graph_per_node:.1} B/node), csr {} ({csr_per_node:.1} B/node)",
+        human_bytes(nl.memory_bytes()),
+        human_bytes(sim.memory_bytes()),
+    );
+    if graph_per_node > SCALE_MAX_GRAPH_BYTES_PER_NODE {
+        return Err(format!(
+            "netlist graph at {graph_per_node:.1} B/node exceeds the \
+             {SCALE_MAX_GRAPH_BYTES_PER_NODE:.0} B/node ceiling"
+        )
+        .into());
+    }
+    if csr_per_node > SCALE_MAX_CSR_BYTES_PER_NODE {
+        return Err(format!(
+            "csr schedule at {csr_per_node:.1} B/node exceeds the \
+             {SCALE_MAX_CSR_BYTES_PER_NODE:.0} B/node ceiling"
+        )
+        .into());
+    }
+
+    let input_words: Vec<u64> = (0..nl.num_inputs() as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let mut values = vec![0u64; sim.node_count()];
+    let t0 = Instant::now();
+    sim.eval_into(&input_words, &mut values);
+    let t_sweep = t0.elapsed().as_secs_f64();
+    gate("the full sweep")?;
+    println!("  sweep: 64 patterns end-to-end in {:.1} ms", t_sweep * 1e3);
+
+    let library = Library::generic_1um();
+    let mut config = PartitionConfig::paper_default();
+    config.rho = rho;
+    let t0 = Instant::now();
+    let ctx = EvalContext::builder(&nl, &library, config)
+        .tier(AnalysisTier::GateSep)
+        .build();
+    let t_ctx = t0.elapsed().as_secs_f64();
+    gate("the analysis context build")?;
+
+    let widest = nl
+        .gate_ids()
+        .max_by_key(|&g| nl.node(g).fanin().len())
+        .expect("a generated mega-circuit always has gates");
+    let probe = iddq_synth::decompose_gate_patch(
+        &nl,
+        widest,
+        iddq_synth::DecompositionStyle::Chain,
+        2,
+        nl.node_count() as u32,
+    )?
+    .ok_or_else(|| "the widest mega gate always decomposes".to_owned())?;
+    let mut eval = ResynthEval::new(&ctx);
+    let cost_before = eval.total_cost();
+    let t0 = Instant::now();
+    let impact = eval
+        .apply(&probe)
+        .map_err(|e| format!("scale probe: {e}"))?;
+    eval.rollback();
+    let t_probe = t0.elapsed().as_secs_f64();
+    gate("the resynthesis probe")?;
+    let cost_after = eval.total_cost();
+    if cost_after.to_bits() != cost_before.to_bits() {
+        return Err(
+            format!("probe rollback is not bit-identical: {cost_before} -> {cost_after}").into(),
+        );
+    }
+    println!(
+        "  probe: context (rho {rho}) {t_ctx:.2} s; decompose gate {} \
+         ({} ops, {} rows rescored) apply+rollback in {:.1} ms, \
+         cost restored bit-identically",
+        nl.node_name(widest),
+        probe.ops.len(),
+        impact.separation_recomputed,
+        t_probe * 1e3,
+    );
+    println!(
+        "scale OK: {gates} gates within the {:.0} s budget",
+        budget_ms as f64 / 1e3
+    );
     Ok(())
 }

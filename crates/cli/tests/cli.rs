@@ -226,6 +226,102 @@ fn sim_lanes_flag_selects_width() {
 }
 
 #[test]
+fn sim_and_faults_accept_lanes_auto() {
+    let bench_path = tmp("c432-lanes-auto.bench");
+    let out = bin()
+        .args(["gen", "c432", "--seed", "17", "--out"])
+        .arg(&bench_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // `--lanes auto` calibrates on the loaded circuit, announces the
+    // measured rates on stderr, and runs at the picked width.
+    let out = bin()
+        .arg("sim")
+        .arg(&bench_path)
+        .args(["--patterns", "1024", "--lanes", "auto"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("lanes auto:"), "{err}");
+    assert!(err.contains("picked"), "{err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let picked = ["lanes 64", "lanes 256", "lanes 512"]
+        .iter()
+        .any(|w| text.contains(w));
+    assert!(picked, "{text}");
+
+    // The fault sweep accepts the same selector.
+    let out = bin()
+        .arg("faults")
+        .arg(&bench_path)
+        .args(["--vectors", "64", "--bridges", "4", "--lanes", "auto"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("lanes auto:"));
+
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
+fn stats_memory_reports_engine_footprints() {
+    let bench_path = tmp("c432-memstats.bench");
+    let out = bin()
+        .args(["gen", "c432", "--seed", "19", "--out"])
+        .arg(&bench_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    let out = bin()
+        .arg("stats")
+        .arg(&bench_path)
+        .args(["--memory", "--rho", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for field in [
+        "memory at",
+        "netlist graph",
+        "csr schedule",
+        "packed values @512",
+        "delta engine @64",
+        "separation oracle p4",
+        "gate-sep table p4",
+        "B/node",
+    ] {
+        assert!(text.contains(field), "missing `{field}` in: {text}");
+    }
+
+    // A zero saturation bound is the caller's mistake.
+    let out = bin()
+        .arg("stats")
+        .arg(&bench_path)
+        .args(["--memory", "--rho", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_file(bench_path);
+}
+
+#[test]
 fn faults_backends_lanes_and_dropping_agree() {
     let bench_path = tmp("c432-faults.bench");
     let out = bin()

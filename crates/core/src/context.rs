@@ -186,6 +186,14 @@ impl<'a> EvalContextBuilder<'a> {
         self
     }
 
+    /// `V·ρ` threshold above which the `Separation` tier switches from
+    /// the sharded parallel oracle build to the memory-lean streamed
+    /// build ([`SeparationOracle::new_streamed_with_control`]): beyond
+    /// ~400k nodes at ρ = 5 the oracle table dominates RAM and the
+    /// streamed build's single-copy peak wins over sharded build speed.
+    /// Both builds produce bit-identical oracles.
+    pub const STREAMED_ORACLE_MIN_WORK: usize = 2_000_000;
+
     /// Runs the analyses of the selected tier.
     #[must_use]
     pub fn build(self) -> EvalContext<'a> {
@@ -222,6 +230,19 @@ impl<'a> EvalContextBuilder<'a> {
             AnalysisTier::Separation => {
                 let oracle = if reference_oracle {
                     SeparationOracle::new_reference(netlist, config.rho)
+                } else if netlist.node_count() * config.rho as usize
+                    >= EvalContextBuilder::STREAMED_ORACLE_MIN_WORK
+                {
+                    // Large V·ρ: the memory-lean streamed build keeps the
+                    // peak at one table + one scratch instead of the
+                    // sharded build's stitched-copy peak (bit-identical
+                    // result either way).
+                    SeparationOracle::new_streamed_with_control(
+                        netlist,
+                        config.rho,
+                        &iddq_control::RunControl::unlimited(),
+                    )
+                    .into_value()
                 } else {
                     SeparationOracle::new_parallel(netlist, config.rho, threads)
                 };

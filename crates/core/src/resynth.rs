@@ -20,8 +20,22 @@
 //!   the identity `S(M) = ρ·|pairs| − Σ_g W(g)/2`, where `W(g)` is the
 //!   gate's `ρ − d` neighbour weight: any pair whose bounded distance an
 //!   edit can move has both endpoints inside the ρ-ball of the edited
-//!   region (every new or vanished ≤ρ-path runs through an edited node),
-//!   so only that ball's `W` values are re-derived by bounded BFS;
+//!   region (every new or vanished ≤ρ-path runs through an edited node).
+//!   By default the evaluation carries **incremental ΔW maintenance**:
+//!   per-gate flat sorted near rows (seeded from the context's
+//!   [`iddq_netlist::separation::GateSeparationTable`]) let each apply
+//!   rescore *only the pairs whose bounded path crosses an edited node*.
+//!   For edited nodes `X`, through-`X` distances decompose exactly —
+//!   `d_X(g, h) = min_{x∈X} d(g, x) + d(x, h)` (shortest walks
+//!   concatenate) — and paths avoiding `X` are identical before and
+//!   after the edit, so one bounded BFS *per edited node* (instead of
+//!   per ball gate) resolves every pair except the genuinely
+//!   decremental ones (`d_old = d_oldX` and `d_newX > d_oldX`: the old
+//!   shortest route crossed an edit and the detour got worse), whose
+//!   endpoints fall back to one exact bounded BFS each. The original
+//!   full ρ-ball re-derivation is retained behind
+//!   [`ResynthEval::new_full_refresh`] as the differential reference,
+//!   and the two are pinned bit-identical by proptests;
 //! * **levels** — batched re-levelization with atomic cycle rejection,
 //!   exactly like the logic-side `DeltaSim`.
 //!
@@ -70,8 +84,78 @@ struct UndoFrame {
     /// `(gate, previous weight)` for every separation weight the apply
     /// changed or popped.
     w_log: Vec<(u32, u64)>,
+    /// `(gate, previous near row)` for every maintained ΔW row the apply
+    /// changed or popped (at most one entry per gate — rows are
+    /// snapshotted on first touch). Empty when the evaluation runs
+    /// without incremental rows.
+    row_log: Vec<(u32, Vec<(u32, u32)>)>,
+    /// The whole maintained-row table, when this apply was a bulk edit
+    /// that evicted it instead of rebuilding per-gate rows it can never
+    /// use incrementally (an O(1) move both ways — rollback restores
+    /// it, commit drops it for good).
+    rows_evicted: Option<Vec<Vec<(u32, u32)>>>,
     /// `Σ near_w` before the apply.
     sum_w_before: u64,
+}
+
+/// The separation dirty set of one apply, captured on the *pre-patch*
+/// structure (the post-patch side is derived inside the refresh).
+#[derive(Debug)]
+enum SepDirty {
+    /// Full path: the ρ−1-ball of the edited nodes before the patch;
+    /// every gate in the union of this and the post-patch ball gets its
+    /// neighbour weight re-derived by bounded BFS.
+    Ball(Vec<u32>),
+    /// Incremental ΔW path: for each edited node `x` (alive before the
+    /// patch), the pre-patch `(gate, distance)` list of `x`'s ρ−1-ball —
+    /// gates only, `x` itself at distance 0, sorted by distance. Only
+    /// pairs whose shortest bounded path crosses an edited node are
+    /// rescored.
+    Dists(Vec<(u32, Vec<(u32, u32)>)>),
+}
+
+/// Edit-set ceiling of the incremental ΔW path. Pair enumeration costs
+/// `O(pairs-through-X · |X|)` with the through-distance columns scanned
+/// per pair, while the full ball refresh costs `O(|ball(X, ρ)| · BFS)`
+/// — once a patch edits many nodes the balls overlap and the region
+/// rebuild amortizes far better (a whole-netlist decomposition patch is
+/// the extreme case). Eight keeps every local probe (gate decompose,
+/// small buffer trees, rewires) on the incremental path and routes bulk
+/// rewrites to the ball refresh.
+const DELTA_SEP_MAX_EDITS: usize = 8;
+
+/// Persistent buffers of the incremental ΔW refresh. All per-slot
+/// vectors are compacted to the union of the edited nodes' distance
+/// lists each apply; the node→slot map is epoch-stamped so it never
+/// needs clearing. Nothing here hashes — the pair enumeration works
+/// entirely over dense, stamped arrays.
+#[derive(Debug, Default)]
+struct DeltaScratch {
+    /// node → refresh epoch in which `slot` is valid.
+    slot_epoch: Vec<u64>,
+    /// node → compact slot id (valid iff `slot_epoch` matches).
+    slot: Vec<u32>,
+    epoch: u64,
+    /// slot → node id, in assignment order.
+    nodes: Vec<u32>,
+    /// slot → `2K` bounded through-distance columns (old then new, one
+    /// per edited node); `ρ` encodes "no route within bound".
+    dists: Vec<u32>,
+    /// slot → marker of the endpoint whose partner scan last saw it
+    /// (pair dedup without a hash set).
+    seen: Vec<u32>,
+    /// slot → row already snapshotted into the undo log this apply.
+    logged: Vec<bool>,
+    /// slot → accumulated exact weight delta.
+    delta: Vec<i64>,
+    /// node → avoid-X BFS epoch in which `bfs_dist` is valid.
+    bfs_stamp: Vec<u64>,
+    /// node → bounded distance from the current cover endpoint in the
+    /// graph minus the edited nodes (`ρ` on the edited nodes).
+    bfs_dist: Vec<u32>,
+    bfs_epoch: u64,
+    /// Level-ring queue of the avoid-X BFS.
+    bfs_queue: Vec<u32>,
 }
 
 /// Persistent buffers of the region-sized separation refresh (the
@@ -133,6 +217,15 @@ pub struct ResynthEval<'a> {
     times: Vec<TimeSet>,
     /// Per-gate `Σ (ρ − d)` neighbour weight (0 for primary inputs).
     near_w: Vec<u64>,
+    /// Incrementally maintained near rows: for each gate, the
+    /// `(partner gate, bounded distance)` list of its in-bound pairs
+    /// (`1 ≤ d ≤ ρ−1`), sorted by partner id — the same shape as a
+    /// [`iddq_netlist::separation::GateSeparationTable`] row with the
+    /// weight written as a distance. `None` disables incremental ΔW
+    /// maintenance ([`ResynthEval::new_full_refresh`], or after a
+    /// committed bulk edit evicted the table); rows for primary inputs
+    /// are empty.
+    rows: Option<Vec<Vec<(u32, u32)>>>,
     /// `Σ_g near_w[g]` — twice the in-bound pair weight.
     sum_w: u64,
     gate_count: usize,
@@ -144,6 +237,10 @@ pub struct ResynthEval<'a> {
     /// and discarded on rejection (the repair pass recomputes instead).
     times_log: Vec<(u32, TimeSet)>,
     w_log: Vec<(u32, u64)>,
+    row_log: Vec<(u32, Vec<(u32, u32)>)>,
+    /// The row table taken out by a bulk-edit apply in flight, drained
+    /// into the [`UndoFrame`] on success and restored on rejection.
+    rows_evicted: Option<Vec<Vec<(u32, u32)>>>,
     /// Node ids sorted by (level, id) — a topological order over the
     /// current structure, rebuilt lazily.
     order: Vec<u32>,
@@ -159,6 +256,8 @@ pub struct ResynthEval<'a> {
     arr: Vec<f64>,
     /// Region-sized separation-refresh scratch (see [`RefreshScratch`]).
     refresh_scratch: RefreshScratch,
+    /// Incremental ΔW refresh scratch (see [`DeltaScratch`]).
+    delta_scratch: DeltaScratch,
 }
 
 impl<'a> ResynthEval<'a> {
@@ -175,6 +274,25 @@ impl<'a> ResynthEval<'a> {
     /// Panics if `ctx` was built at the bare `Timing` tier.
     #[must_use]
     pub fn new(ctx: &'a EvalContext<'a>) -> Self {
+        Self::new_inner(ctx, true)
+    }
+
+    /// Like [`ResynthEval::new`], but with incremental ΔW maintenance
+    /// disabled: every apply re-derives the neighbour weight of each
+    /// gate in the dirty ρ-ball by bounded BFS (the original refresh).
+    /// Kept as the differential reference the proptests pin the
+    /// incremental path against, and as the baseline the bench's
+    /// ΔW-speedup gate measures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` was built at the bare `Timing` tier.
+    #[must_use]
+    pub fn new_full_refresh(ctx: &'a EvalContext<'a>) -> Self {
+        Self::new_inner(ctx, false)
+    }
+
+    fn new_inner(ctx: &'a EvalContext<'a>, incremental: bool) -> Self {
         let nl = ctx.netlist;
         let kinds: Vec<Option<CellKind>> = nl
             .node_ids()
@@ -192,6 +310,22 @@ impl<'a> ResynthEval<'a> {
             .collect();
         let sum_w = near_w.iter().sum();
         let n = nl.node_count();
+        let rho = ctx.config.rho;
+        let rows = incremental.then(|| {
+            let table = ctx.sep_table();
+            debug_assert_eq!(table.rho(), rho, "table built at the configured ρ");
+            nl.node_ids()
+                .map(|id| {
+                    if nl.is_gate(id) {
+                        // Table entries carry the weight ρ − d; the
+                        // maintained rows carry the distance d.
+                        table.row(id).iter().map(|&(p, w)| (p, rho - w)).collect()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect::<Vec<Vec<(u32, u32)>>>()
+        });
         ResynthEval {
             ctx,
             kinds,
@@ -199,12 +333,15 @@ impl<'a> ResynthEval<'a> {
             tables: ctx.tables.clone(),
             times: ctx.times.clone(),
             near_w,
+            rows,
             sum_w,
             gate_count: ctx.gates.len(),
             outputs: nl.outputs().iter().map(|o| o.0).collect(),
             undo: Vec::new(),
             times_log: Vec::new(),
             w_log: Vec::new(),
+            row_log: Vec::new(),
+            rows_evicted: None,
             order: Vec::new(),
             order_dirty: true,
             nominal_delay_ps: ctx.nominal_delay_ps,
@@ -214,6 +351,7 @@ impl<'a> ResynthEval<'a> {
             weight: vec![0.0; n],
             arr: vec![0.0; n],
             refresh_scratch: RefreshScratch::default(),
+            delta_scratch: DeltaScratch::default(),
         }
     }
 
@@ -248,11 +386,14 @@ impl<'a> ResynthEval<'a> {
         let sum_w_before = self.sum_w;
         self.times_log.clear();
         self.w_log.clear();
+        self.row_log.clear();
         let (inverse, impact) = self.apply_inner(patch)?;
         self.undo.push(UndoFrame {
             inverse,
             times_log: std::mem::take(&mut self.times_log),
             w_log: std::mem::take(&mut self.w_log),
+            row_log: std::mem::take(&mut self.row_log),
+            rows_evicted: self.rows_evicted.take(),
             sum_w_before,
         });
         Ok(impact)
@@ -274,6 +415,7 @@ impl<'a> ResynthEval<'a> {
         let frame = self.undo.pop().expect("no patch to roll back");
         self.times_log.clear();
         self.w_log.clear();
+        self.row_log.clear();
         self.apply_structure(&frame.inverse)
             .unwrap_or_else(|_| panic!("inverse of an accepted patch is always valid"));
         let relevel_seeds: Vec<u32> = frame
@@ -295,6 +437,7 @@ impl<'a> ResynthEval<'a> {
         // skipped.
         self.times_log.clear();
         self.w_log.clear();
+        self.row_log.clear();
         let alive = self.kinds.len();
         let mut impact = PatchImpact::default();
         for (i, ts) in frame.times_log.into_iter().rev() {
@@ -307,6 +450,18 @@ impl<'a> ResynthEval<'a> {
             if (g as usize) < alive {
                 self.near_w[g as usize] = w;
                 impact.separation_recomputed += 1;
+            }
+        }
+        if let Some(rows) = frame.rows_evicted {
+            // A bulk apply parked the whole table untouched; moving it
+            // back restores every row at once (its `row_log` is empty).
+            self.rows = Some(rows);
+        }
+        if let Some(rows) = self.rows.as_mut() {
+            for (g, row) in frame.row_log.into_iter().rev() {
+                if (g as usize) < alive {
+                    rows[g as usize] = row;
+                }
             }
         }
         self.sum_w = frame.sum_w_before;
@@ -322,19 +477,56 @@ impl<'a> ResynthEval<'a> {
 
     fn apply_inner(&mut self, patch: &Patch) -> Result<(Patch, PatchImpact), PatchError> {
         let rho = self.ctx.config.rho;
-        // ρ-ball of the adjacency edits over the *pre-patch* graph: every
-        // pair whose bounded distance the patch can move has both
-        // endpoints in here (or in the post-patch ball computed later).
-        let old_seeds: Vec<u32> = patch
+        // Separation dirty set over the *pre-patch* graph: every pair
+        // whose bounded distance the patch can move has a shortest route
+        // through an edited node, so its endpoints sit in the edited
+        // nodes' pre- or post-patch ρ−1-balls. The incremental ΔW path
+        // captures per-edited-node distance lists (removals fall back to
+        // the full ball — the popped gate's pairs all vanish at once and
+        // the ball rebuild re-derives its partners' rows wholesale).
+        let mut old_seeds: Vec<u32> = patch
             .ops
             .iter()
             .filter(|op| op.changes_adjacency())
             .map(|op| op.gate().0)
             .filter(|&g| (g as usize) < self.kinds.len())
             .collect();
-        let old_ball = self
-            .cones
-            .undirected_ball(&old_seeds, rho.saturating_sub(1));
+        old_seeds.sort_unstable();
+        old_seeds.dedup();
+        let adds = patch
+            .ops
+            .iter()
+            .filter(|op| matches!(op, PatchOp::AddGate { .. }))
+            .count();
+        let fast = self.rows.is_some()
+            && old_seeds.len() + adds <= DELTA_SEP_MAX_EDITS
+            && !patch
+                .ops
+                .iter()
+                .any(|op| matches!(op, PatchOp::RemoveGate { .. }));
+        let dirty = if fast {
+            SepDirty::Dists(
+                old_seeds
+                    .iter()
+                    .map(|&x| (x, self.gate_dist_list(x)))
+                    .collect(),
+            )
+        } else {
+            let ball = self
+                .cones
+                .undirected_ball(&old_seeds, rho.saturating_sub(1));
+            // A region-sized edit rebuilds nearly every row only to throw
+            // the table away on the next bulk candidate — evict it
+            // wholesale instead (O(1) move into the undo frame, restored
+            // on rollback) and let the ball refresh skip row maintenance
+            // entirely. After a *commit* of such a patch the evaluation
+            // degrades gracefully: `rows` stays `None` and every later
+            // apply takes the full ball refresh.
+            if ball.len() * 8 > self.kinds.len() {
+                self.rows_evicted = self.rows.take();
+            }
+            SepDirty::Ball(ball)
+        };
 
         let inverse = match self.apply_structure(patch) {
             Ok(inverse) => inverse,
@@ -342,8 +534,15 @@ impl<'a> ResynthEval<'a> {
                 // Mid-patch validation failure: the structural prefix was
                 // already reverted by `apply_structure`; repair the
                 // derived state (deterministic recomputation over the
-                // restored structure reproduces the original values).
-                self.refresh(patch, &old_ball);
+                // restored structure reproduces the original values — on
+                // the ΔW path the re-derived distance lists equal the
+                // captured ones, so no pair moves). An evicted row table
+                // moves straight back: the structure is unchanged, so it
+                // is still exact.
+                self.refresh(patch, &dirty);
+                if let Some(rows) = self.rows_evicted.take() {
+                    self.rows = Some(rows);
+                }
                 return Err(e);
             }
         };
@@ -360,15 +559,38 @@ impl<'a> ResynthEval<'a> {
         if !relevel_seeds.is_empty() {
             if let Err(on) = self.cones.relevel(&relevel_seeds) {
                 // Cycle: levels untouched (atomic relevel); revert the
-                // structural edit and repair derived state.
+                // structural edit and repair derived state (the evicted
+                // row table, if any, is still exact — see above).
                 self.apply_structure(&inverse)
                     .unwrap_or_else(|_| panic!("re-applying an inverse cannot fail"));
-                self.refresh(patch, &old_ball);
+                self.refresh(patch, &dirty);
+                if let Some(rows) = self.rows_evicted.take() {
+                    self.rows = Some(rows);
+                }
                 return Err(PatchError::Cycle(NodeId(on)));
             }
         }
-        let impact = self.refresh(patch, &old_ball);
+        let impact = self.refresh(patch, &dirty);
         Ok((inverse, impact))
+    }
+
+    /// The `(gate, bounded distance)` list of `x`'s ρ−1-ball over the
+    /// current structure: gates only, `x` itself first at distance 0,
+    /// sorted by distance (BFS emission order).
+    fn gate_dist_list(&mut self, x: u32) -> Vec<(u32, u32)> {
+        let rho = self.ctx.config.rho;
+        let mut list = vec![(x, 0u32)];
+        let ResynthEval {
+            ref mut cones,
+            ref kinds,
+            ..
+        } = *self;
+        cones.bounded_bfs(x, rho.saturating_sub(1), |n, d| {
+            if kinds[n as usize].is_some() {
+                list.push((n, d));
+            }
+        });
+        list
     }
 
     /// Applies the structural ops in order, returning the inverse patch.
@@ -507,6 +729,9 @@ impl<'a> ResynthEval<'a> {
                 self.set_table_row(gate.index());
                 self.times.push(TimeSet::new());
                 self.near_w.push(0);
+                if let Some(rows) = self.rows.as_mut() {
+                    rows.push(Vec::new());
+                }
                 self.gate_count += 1;
                 self.weight.push(0.0);
                 self.arr.push(0.0);
@@ -524,6 +749,10 @@ impl<'a> ResynthEval<'a> {
                 let popped_w = self.near_w.pop().expect("aligned");
                 self.sum_w -= popped_w;
                 self.w_log.push((gate.0, popped_w));
+                if let Some(rows) = self.rows.as_mut() {
+                    let popped_row = rows.pop().expect("aligned");
+                    self.row_log.push((gate.0, popped_row));
+                }
                 self.gate_count -= 1;
                 self.weight.pop();
                 self.arr.pop();
@@ -582,11 +811,10 @@ impl<'a> ResynthEval<'a> {
 
     /// Refreshes the structure-derived state the (applied or reverted)
     /// ops may have dirtied: transition-time sets through a dirty-cone
-    /// walk, separation neighbour weights through bounded BFS over the
-    /// union of the pre- and post-edit ρ-balls, and the lazy
-    /// order/nominal-delay flags.
-    fn refresh(&mut self, patch: &Patch, old_ball: &[u32]) -> PatchImpact {
-        let rho = self.ctx.config.rho;
+    /// walk, separation state through the captured [`SepDirty`] (the
+    /// incremental ΔW pair rescoring, or the full ρ-ball bounded-BFS
+    /// re-derivation), and the lazy order/nominal-delay flags.
+    fn refresh(&mut self, patch: &Patch, sep: &SepDirty) -> PatchImpact {
         let alive = self.kinds.len();
         // --- transition times -------------------------------------------
         let time_seeds: Vec<u32> = patch
@@ -621,7 +849,26 @@ impl<'a> ResynthEval<'a> {
                 true
             }
         });
-        // --- separation neighbour weights -------------------------------
+        // --- separation -------------------------------------------------
+        let separation_recomputed = match sep {
+            SepDirty::Ball(old_ball) => self.refresh_separation_full(patch, old_ball),
+            SepDirty::Dists(old) => self.refresh_separation_delta(patch, old),
+        };
+        self.order_dirty = true;
+        self.nominal_dirty = true;
+        PatchImpact {
+            times_visited,
+            separation_recomputed,
+        }
+    }
+
+    /// The full separation refresh: every gate in the union of the pre-
+    /// and post-patch ρ−1-balls of the edited nodes gets its neighbour
+    /// weight (and, when maintained, its near row) re-derived by bounded
+    /// BFS. Returns the number of gates re-derived.
+    fn refresh_separation_full(&mut self, patch: &Patch, old_ball: &[u32]) -> usize {
+        let rho = self.ctx.config.rho;
+        let alive = self.kinds.len();
         let new_seeds: Vec<u32> = patch
             .ops
             .iter()
@@ -641,9 +888,14 @@ impl<'a> ResynthEval<'a> {
             ref mut near_w,
             ref mut sum_w,
             ref mut w_log,
+            ref mut rows,
+            ref mut row_log,
             ref mut refresh_scratch,
             ..
         } = *self;
+        let mut rows = rows.as_mut();
+        let track_rows = rows.is_some();
+        let mut row_buf: Vec<(u32, u32)> = Vec::new();
         let mut separation_recomputed = 0usize;
         let mut store = |g: u32, w: u64| {
             let old = near_w[g as usize];
@@ -654,6 +906,18 @@ impl<'a> ResynthEval<'a> {
                 near_w[g as usize] = w;
             }
         };
+        // Commits the rebuilt row of one ball gate (ball gates are
+        // deduped, so each gets at most one log entry per apply).
+        let mut commit_row =
+            |g: u32, row_buf: &mut Vec<(u32, u32)>, row_log: &mut Vec<(u32, Vec<(u32, u32)>)>| {
+                if let Some(rows) = rows.as_deref_mut() {
+                    row_buf.sort_unstable();
+                    if rows[g as usize] != *row_buf {
+                        let old = std::mem::replace(&mut rows[g as usize], row_buf.clone());
+                        row_log.push((g, old));
+                    }
+                }
+            };
         if ball.len() * 8 > alive {
             // Region-sized edit (the whole-circuit candidates of
             // `cost_aware` re-derive nearly every gate): flatten the
@@ -691,6 +955,7 @@ impl<'a> ResynthEval<'a> {
                 let (mut head, mut tail) = (0usize, 1usize);
                 let mut d = 0u32;
                 let mut w = 0u64;
+                row_buf.clear();
                 while d + 1 < rho && head < tail {
                     d += 1;
                     for k in head..tail {
@@ -701,6 +966,9 @@ impl<'a> ResynthEval<'a> {
                                 queue.push(v);
                                 if kinds[v as usize].is_some() {
                                     w += u64::from(rho - d);
+                                    if track_rows {
+                                        row_buf.push((v, d));
+                                    }
                                 }
                             }
                         }
@@ -709,6 +977,7 @@ impl<'a> ResynthEval<'a> {
                     tail = queue.len();
                 }
                 store(g, w);
+                commit_row(g, &mut row_buf, row_log);
                 separation_recomputed += 1;
             }
         } else {
@@ -717,21 +986,338 @@ impl<'a> ResynthEval<'a> {
                     continue;
                 }
                 let mut w = 0u64;
+                row_buf.clear();
                 cones.bounded_bfs(g, rho.saturating_sub(1), |n, d| {
                     if kinds[n as usize].is_some() {
                         w += u64::from(rho - d);
+                        if track_rows {
+                            row_buf.push((n, d));
+                        }
                     }
                 });
                 store(g, w);
+                commit_row(g, &mut row_buf, row_log);
                 separation_recomputed += 1;
             }
         }
-        self.order_dirty = true;
-        self.nominal_dirty = true;
-        PatchImpact {
-            times_visited,
-            separation_recomputed,
+        separation_recomputed
+    }
+
+    /// The incremental ΔW separation refresh: only pairs whose shortest
+    /// bounded route crosses an edited node are rescored. For each
+    /// edited node `x`, through-`x` route lengths `d(g,x) + d(x,h)` are
+    /// enumerated from `x`'s pre-patch (captured) and post-patch
+    /// distance lists and min-merged per pair into `d_oldX` / `d_newX`
+    /// (through-edit distances decompose exactly — shortest walks
+    /// concatenate at the crossing node — and routes avoiding every
+    /// edited node are identical on both sides). Against the maintained
+    /// row distance `d_old`, each candidate pair resolves exactly:
+    ///
+    /// * `d_oldX == d_newX` — untouched (the through-edit side did not
+    ///   move, the avoiding side never does);
+    /// * `d_old < d_oldX` — the old shortest route avoids the edits and
+    ///   survives, `d_new = min(d_old, d_newX)`;
+    /// * `d_newX < d_oldX` (with `d_old == d_oldX`) — `d_new = d_newX`;
+    /// * otherwise the old shortest route crossed an edit and the
+    ///   detour got worse — the surviving route either still crosses an
+    ///   edit (`d_newX`, known) or avoids every edit, so
+    ///   `d_new = min(d_avoidX, d_newX)` with `d_avoidX` the bounded
+    ///   distance in the graph minus the edited nodes (identical pre-
+    ///   and post-patch). One avoid-X BFS per endpoint of a greedy
+    ///   vertex cover of these ambiguous pairs resolves all of them —
+    ///   hub endpoints carry most pairs, so the cover stays far smaller
+    ///   than the per-row rebuild set it replaces.
+    ///
+    /// Returns the number of fallback BFS re-derivations (the resolved
+    /// pairs are O(1) row edits, not re-derivations).
+    fn refresh_separation_delta(&mut self, patch: &Patch, old: &[(u32, Vec<(u32, u32)>)]) -> usize {
+        let rho = self.ctx.config.rho;
+        let bound = rho.saturating_sub(1);
+        let alive = self.kinds.len();
+        // Edited nodes alive after the patch (insertions included —
+        // removals never reach this path).
+        let mut xs: Vec<u32> = patch
+            .ops
+            .iter()
+            .filter(|op| op.changes_adjacency())
+            .map(|op| op.gate().0)
+            .filter(|&g| (g as usize) < alive)
+            .collect();
+        xs.sort_unstable();
+        xs.dedup();
+        let k = xs.len();
+        if k == 0 {
+            return 0;
         }
+        // Post-patch distance lists, one per edited node (their union
+        // with the captured pre-patch lists spans every candidate
+        // endpoint).
+        let new_lists: Vec<Vec<(u32, u32)>> = xs.iter().map(|&x| self.gate_dist_list(x)).collect();
+        let ResynthEval {
+            ref mut cones,
+            ref mut near_w,
+            ref mut sum_w,
+            ref mut w_log,
+            ref mut rows,
+            ref mut row_log,
+            ref mut delta_scratch,
+            ..
+        } = *self;
+        let Some(rows) = rows.as_mut() else {
+            unreachable!("the ΔW refresh runs only with maintained rows")
+        };
+        let sc = delta_scratch;
+        // Compact every endpoint into a slot carrying its `2K` bounded
+        // through-distance columns (old then new, ρ = out of bound) —
+        // dense arrays instead of a hash map keyed by pair: the pair
+        // enumeration below is the hot loop of every probe refresh.
+        let two_k = 2 * k;
+        sc.epoch += 1;
+        sc.slot_epoch.resize(alive, 0);
+        sc.slot.resize(alive, 0);
+        sc.nodes.clear();
+        sc.dists.clear();
+        {
+            let fill = |sc: &mut DeltaScratch, col: usize, list: &[(u32, u32)]| {
+                for &(g, d) in list {
+                    let gi = g as usize;
+                    let s = if sc.slot_epoch[gi] == sc.epoch {
+                        sc.slot[gi] as usize
+                    } else {
+                        let s = sc.nodes.len();
+                        sc.slot_epoch[gi] = sc.epoch;
+                        sc.slot[gi] = s as u32;
+                        sc.nodes.push(g);
+                        sc.dists.resize(sc.dists.len() + two_k, rho);
+                        s
+                    };
+                    sc.dists[s * two_k + col] = d;
+                }
+            };
+            for (x, list) in old {
+                let col = xs
+                    .binary_search(x)
+                    .unwrap_or_else(|_| unreachable!("pre-patch edits stay edited (no removals)"));
+                fill(sc, col, list);
+            }
+            for (i, list) in new_lists.iter().enumerate() {
+                fill(sc, k + i, list);
+            }
+        }
+        let n_slots = sc.nodes.len();
+        sc.seen.clear();
+        sc.seen.resize(n_slots, 0);
+        sc.logged.clear();
+        sc.logged.resize(n_slots, false);
+        sc.delta.clear();
+        sc.delta.resize(n_slots, 0);
+        // Enumerate candidate pairs: (g, h) is one iff some column holds
+        // both within `bound` of the same edited node. Each list is in
+        // BFS (non-decreasing distance) order, so the in-bound partner
+        // window is a prefix; each unordered pair is processed once,
+        // from its smaller endpoint, deduplicated by the `seen` marker.
+        let mut resolved: Vec<(u32, u32, u32, u32)> = Vec::new();
+        let mut amb_pairs: Vec<(u32, u32, u32, u32)> = Vec::new();
+        for gs in 0..n_slots {
+            let g = sc.nodes[gs];
+            #[allow(clippy::cast_possible_truncation)]
+            let marker = gs as u32 + 1;
+            for col in 0..two_k {
+                let dg = sc.dists[gs * two_k + col];
+                if dg > bound {
+                    continue;
+                }
+                let limit = bound - dg;
+                let list: &[(u32, u32)] = if col < k {
+                    match old.iter().find(|(x, _)| *x == xs[col]) {
+                        Some((_, list)) => list,
+                        // Column of an inserted node: no pre-patch side.
+                        None => continue,
+                    }
+                } else {
+                    &new_lists[col - k]
+                };
+                for &(h, dh) in list {
+                    if dh > limit {
+                        break;
+                    }
+                    if h <= g {
+                        continue;
+                    }
+                    let hs = sc.slot[h as usize] as usize;
+                    if sc.seen[hs] == marker {
+                        continue;
+                    }
+                    sc.seen[hs] = marker;
+                    // Through-edit distances old/new: min over columns.
+                    let (mut d_old_x, mut d_new_x) = (rho, rho);
+                    for j in 0..k {
+                        let a = sc.dists[gs * two_k + j] + sc.dists[hs * two_k + j];
+                        let b = sc.dists[gs * two_k + k + j] + sc.dists[hs * two_k + k + j];
+                        d_old_x = d_old_x.min(a);
+                        d_new_x = d_new_x.min(b);
+                    }
+                    if d_old_x == d_new_x {
+                        continue;
+                    }
+                    let d_old = row_dist(&rows[g as usize], h, rho);
+                    debug_assert!(
+                        d_old <= d_old_x,
+                        "a through-edit route bounds the true distance from above"
+                    );
+                    let d_new = if d_old < d_old_x {
+                        d_old.min(d_new_x)
+                    } else if d_new_x < d_old_x {
+                        d_new_x
+                    } else {
+                        amb_pairs.push((g, h, d_old, d_new_x));
+                        continue;
+                    };
+                    if d_new != d_old {
+                        resolved.push((g, h, d_old, d_new));
+                    }
+                }
+            }
+        }
+        // Resolved pairs: symmetric row edits plus per-gate weight
+        // deltas (first touch snapshots the row for the undo frame).
+        let weight = |d: u32| -> i64 {
+            if d < rho {
+                i64::from(rho - d)
+            } else {
+                0
+            }
+        };
+        let touch = |sc: &mut DeltaScratch,
+                     rows: &mut Vec<Vec<(u32, u32)>>,
+                     row_log: &mut Vec<(u32, Vec<(u32, u32)>)>,
+                     e: u32,
+                     p: u32,
+                     d_new: u32,
+                     dw: i64| {
+            let es = sc.slot[e as usize] as usize;
+            if !sc.logged[es] {
+                sc.logged[es] = true;
+                row_log.push((e, rows[e as usize].clone()));
+            }
+            set_row_entry(&mut rows[e as usize], p, d_new, rho);
+            sc.delta[es] += dw;
+        };
+        for &(g, h, d_old, d_new) in &resolved {
+            let dw = weight(d_new) - weight(d_old);
+            touch(sc, rows, row_log, g, h, d_new, dw);
+            touch(sc, rows, row_log, h, g, d_new, dw);
+        }
+        // Ambiguous pairs resolve by greedy vertex cover: each cover
+        // endpoint runs one bounded BFS with the edited nodes
+        // pre-stamped out of the traversal, yielding `d_avoidX` for all
+        // of its ambiguous partners at once. Pre-stamping also parks
+        // `ρ` on the edited nodes themselves, so a pair whose endpoint
+        // is edited falls back to `d_newX` — exact there, since every
+        // route to an edited endpoint crosses an edit by definition.
+        let mut separation_recomputed = 0usize;
+        if !amb_pairs.is_empty() {
+            let mut deg = vec![0u32; n_slots];
+            for &(g, h, _, _) in &amb_pairs {
+                deg[sc.slot[g as usize] as usize] += 1;
+                deg[sc.slot[h as usize] as usize] += 1;
+            }
+            let mut chosen = vec![false; n_slots];
+            // (cover slot, pair index), grouped by the sort so every
+            // cover endpoint's pairs drain off one BFS.
+            let mut grouped: Vec<(u32, u32)> = Vec::with_capacity(amb_pairs.len());
+            #[allow(clippy::cast_possible_truncation)]
+            for (i, &(g, h, _, _)) in amb_pairs.iter().enumerate() {
+                let (gs, hs) = (sc.slot[g as usize] as usize, sc.slot[h as usize] as usize);
+                let cover = if chosen[gs] {
+                    gs
+                } else if chosen[hs] {
+                    hs
+                } else if deg[gs] >= deg[hs] {
+                    chosen[gs] = true;
+                    gs
+                } else {
+                    chosen[hs] = true;
+                    hs
+                };
+                grouped.push((cover as u32, i as u32));
+            }
+            grouped.sort_unstable();
+            sc.bfs_stamp.resize(alive, 0);
+            sc.bfs_dist.resize(alive, 0);
+            let mut i = 0usize;
+            while i < grouped.len() {
+                let cs = grouped[i].0;
+                let e = sc.nodes[cs as usize];
+                sc.bfs_epoch += 1;
+                let epoch = sc.bfs_epoch;
+                for &x in &xs {
+                    sc.bfs_stamp[x as usize] = epoch;
+                    sc.bfs_dist[x as usize] = rho;
+                }
+                sc.bfs_queue.clear();
+                if sc.bfs_stamp[e as usize] != epoch {
+                    sc.bfs_stamp[e as usize] = epoch;
+                    sc.bfs_dist[e as usize] = 0;
+                    sc.bfs_queue.push(e);
+                }
+                let (mut head, mut tail) = (0usize, sc.bfs_queue.len());
+                let mut d = 0u32;
+                while d < bound && head < tail {
+                    d += 1;
+                    for qi in head..tail {
+                        let u = sc.bfs_queue[qi] as usize;
+                        for &v in cones.fanin(u).iter().chain(cones.fanout(u)) {
+                            let vi = v as usize;
+                            if sc.bfs_stamp[vi] != epoch {
+                                sc.bfs_stamp[vi] = epoch;
+                                sc.bfs_dist[vi] = d;
+                                sc.bfs_queue.push(v);
+                            }
+                        }
+                    }
+                    head = tail;
+                    tail = sc.bfs_queue.len();
+                }
+                separation_recomputed += 1;
+                while i < grouped.len() && grouped[i].0 == cs {
+                    let (g, h, d_old, d_new_x) = amb_pairs[grouped[i].1 as usize];
+                    i += 1;
+                    let p = if g == e { h } else { g };
+                    let d_avoid = if sc.bfs_stamp[p as usize] == epoch {
+                        sc.bfs_dist[p as usize]
+                    } else {
+                        rho
+                    };
+                    let d_new = d_avoid.min(d_new_x);
+                    debug_assert!(
+                        d_new >= d_old,
+                        "an ambiguous pair's surviving route never shortens"
+                    );
+                    if d_new == d_old {
+                        continue;
+                    }
+                    let dw = weight(d_new) - weight(d_old);
+                    touch(sc, rows, row_log, g, h, d_new, dw);
+                    touch(sc, rows, row_log, h, g, d_new, dw);
+                }
+            }
+        }
+        for s in 0..n_slots {
+            let dw = sc.delta[s];
+            if dw == 0 {
+                continue;
+            }
+            let g = sc.nodes[s];
+            let old_w = near_w[g as usize];
+            #[allow(clippy::cast_sign_loss)]
+            let new_w = (i64::try_from(old_w).unwrap_or(i64::MAX) + dw) as u64;
+            w_log.push((g, old_w));
+            *sum_w += new_w;
+            *sum_w -= old_w;
+            near_w[g as usize] = new_w;
+        }
+        separation_recomputed
     }
 
     /// Rebuilds the lazy (level, id)-sorted topological order and the
@@ -927,6 +1513,57 @@ impl<'a> ResynthEval<'a> {
                 "level of node {i}"
             );
         }
+        // Maintained ΔW rows against ground-truth bounded BFS.
+        let ResynthEval {
+            ref mut cones,
+            ref kinds,
+            ref rows,
+            ..
+        } = *self;
+        if let Some(rows) = rows.as_ref() {
+            let mut truth: Vec<(u32, u32)> = Vec::new();
+            for g in 0..n as u32 {
+                truth.clear();
+                if kinds[g as usize].is_some() {
+                    cones.bounded_bfs(g, rho.saturating_sub(1), |m, d| {
+                        if kinds[m as usize].is_some() {
+                            truth.push((m, d));
+                        }
+                    });
+                    truth.sort_unstable();
+                }
+                assert_eq!(truth, rows[g as usize], "near row of gate {g}");
+            }
+        }
+    }
+}
+
+/// Looks one partner up in a maintained near row (`ρ` when out of
+/// bound).
+fn row_dist(row: &[(u32, u32)], partner: u32, rho: u32) -> u32 {
+    match row.binary_search_by_key(&partner, |e| e.0) {
+        Ok(i) => row[i].1,
+        Err(_) => rho,
+    }
+}
+
+/// Writes one `(partner, distance)` entry of a maintained near row:
+/// insert or update when `d` is in bound, remove when the pair left the
+/// bound.
+fn set_row_entry(row: &mut Vec<(u32, u32)>, partner: u32, d: u32, rho: u32) {
+    match row.binary_search_by_key(&partner, |e| e.0) {
+        Ok(i) => {
+            if d >= rho {
+                row.remove(i);
+            } else {
+                row[i].1 = d;
+            }
+        }
+        Err(i) => {
+            if d < rho {
+                row.insert(i, (partner, d));
+            }
+        }
     }
 }
 
@@ -1109,6 +1746,110 @@ mod tests {
         eval.rollback();
         assert_eq!(eval.total_cost().to_bits(), base.to_bits());
         eval.verify_consistency();
+    }
+
+    #[test]
+    fn remove_gate_routes_through_full_refresh_and_keeps_rows() {
+        // A patch containing a removal falls back to the full ρ-ball
+        // refresh, which must keep the maintained ΔW rows in sync (the
+        // popped gate vanishes from every partner row).
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let nl = data::ripple_adder(4);
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let mut eval = ResynthEval::new(&ctx);
+        let base = eval.total_cost();
+        let some_gate = nl.gate_ids().next().unwrap();
+        let tail = NodeId(nl.node_count() as u32);
+        eval.apply(&Patch::single(PatchOp::AddGate {
+            gate: tail,
+            kind: CellKind::Not,
+            fanin: vec![some_gate],
+        }))
+        .unwrap();
+        eval.verify_consistency();
+        let grown = eval.total_cost();
+        eval.apply(&Patch::single(PatchOp::RemoveGate { gate: tail }))
+            .unwrap();
+        eval.verify_consistency();
+        assert_eq!(eval.total_cost().to_bits(), base.to_bits());
+        eval.rollback();
+        eval.verify_consistency();
+        assert_eq!(eval.total_cost().to_bits(), grown.to_bits());
+        eval.rollback();
+        eval.verify_consistency();
+        assert_eq!(eval.total_cost().to_bits(), base.to_bits());
+    }
+
+    #[test]
+    fn distance_increasing_rewire_matches_rebuild_bitwise() {
+        // Rewiring a gate away from its neighbourhood lengthens pairs
+        // whose shortest route crossed it — the ambiguous case of the ΔW
+        // classification, resolved by per-endpoint BFS fallbacks.
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let nl = data::ripple_adder(6);
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let mut eval = ResynthEval::new(&ctx);
+        let base = eval.total_cost();
+        let inputs = nl.inputs().to_vec();
+        let gate = nl
+            .gate_ids()
+            .filter(|&g| nl.node(g).fanin().len() == 2)
+            .last()
+            .unwrap();
+        let patch = Patch::single(PatchOp::SetFanin {
+            gate,
+            fanin: vec![inputs[0], inputs[1]],
+        });
+        eval.apply(&patch).unwrap();
+        eval.verify_consistency();
+        let patched = eval.total_cost();
+        let oracle = rebuild_cost(&materialize(&nl, &patch).unwrap(), &lib, &cfg);
+        assert_eq!(patched.to_bits(), oracle.to_bits());
+        eval.rollback();
+        eval.verify_consistency();
+        assert_eq!(eval.total_cost().to_bits(), base.to_bits());
+    }
+
+    #[test]
+    fn full_refresh_reference_matches_incremental_bitwise() {
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let nl = data::ripple_adder(5);
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let mut inc = ResynthEval::new(&ctx);
+        let mut full = ResynthEval::new_full_refresh(&ctx);
+        assert_eq!(inc.total_cost().to_bits(), full.total_cost().to_bits());
+        let gate = nl
+            .gate_ids()
+            .find(|&g| nl.node(g).fanin().len() >= 2)
+            .unwrap();
+        let leaves = nl.node(gate).fanin().to_vec();
+        let n = nl.node_count() as u32;
+        let patch = Patch {
+            ops: vec![
+                PatchOp::AddGate {
+                    gate: NodeId(n),
+                    kind: CellKind::Nor,
+                    fanin: leaves.clone(),
+                },
+                PatchOp::SetFanin {
+                    gate,
+                    fanin: vec![NodeId(n), leaves[1]],
+                },
+            ],
+        };
+        inc.apply(&patch).unwrap();
+        full.apply(&patch).unwrap();
+        assert_eq!(inc.total_cost().to_bits(), full.total_cost().to_bits());
+        inc.verify_consistency();
+        full.verify_consistency();
+        inc.rollback();
+        full.rollback();
+        assert_eq!(inc.total_cost().to_bits(), full.total_cost().to_bits());
+        inc.verify_consistency();
+        full.verify_consistency();
     }
 
     #[test]

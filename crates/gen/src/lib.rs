@@ -11,7 +11,11 @@
 //! * [`mod@array`] — the two-dimensional cell-array CUT of the paper's
 //!   Figure 2, with three cell types and column-staggered switching times,
 //!   used to demonstrate the influence of partition *shape* on BIC sensor
-//!   area.
+//!   area;
+//! * [`mega`] — the O(gates) levelized mega-circuit generator
+//!   (10^5–10^7 gates) behind the `scale` benchmarks: wide levels for
+//!   structural parallelism, exact level placement, deterministic by
+//!   [`mega::MegaConfig`].
 //!
 //! Generation is fully deterministic given `(profile, seed)`, so every
 //! table in `EXPERIMENTS.md` regenerates bit-identically.
@@ -33,3 +37,4 @@
 
 pub mod array;
 pub mod iscas;
+pub mod mega;

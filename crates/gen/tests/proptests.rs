@@ -1,0 +1,95 @@
+//! Property-based tests for the mega-circuit generator: structural
+//! invariants (acyclic, level-consistent, exact counts), determinism per
+//! seed, and `.bench` round-tripping, over random shapes.
+
+use proptest::prelude::*;
+
+use iddq_gen::mega::{self, MegaConfig};
+use iddq_netlist::{bench, levelize};
+
+/// A random but valid mega shape, kept small so each case is fast; the
+/// generator is O(gates), so the structure of the construction — not its
+/// size — is what the properties exercise.
+fn config(gates: usize, inputs: usize, depth: u32, seed: u64) -> MegaConfig {
+    MegaConfig {
+        // At least one gate per level.
+        gates: gates.max(depth as usize),
+        inputs,
+        depth,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generated circuit is a valid DAG (the builder's Kahn check
+    /// passed), has exactly the requested counts, and every gate sits on
+    /// exactly the level the generator placed it on.
+    #[test]
+    fn counts_exact_and_levels_consistent(
+        gates in 200usize..3000,
+        inputs in 4usize..80,
+        depth in 4u32..32,
+        seed in any::<u64>(),
+    ) {
+        let cfg = config(gates, inputs, depth, seed);
+        let nl = mega::generate(&cfg);
+        prop_assert_eq!(nl.gate_count(), cfg.gates);
+        prop_assert_eq!(nl.num_inputs(), cfg.inputs);
+        prop_assert_eq!(levelize::depth(&nl), cfg.depth);
+        // Generator placement: gates are appended level by level, so the
+        // topological level sequence over gate ids is non-decreasing and
+        // never skips a level.
+        let lv = levelize::levels(&nl);
+        let mut prev = 0u32;
+        for id in nl.gate_ids() {
+            let l = lv[id.index()];
+            prop_assert!(l == prev || l == prev + 1, "gate {} jumps {} -> {}", id, prev, l);
+            prev = l;
+        }
+        // Every output exists and is a fan-out-free gate.
+        prop_assert!(!nl.outputs().is_empty());
+        for &o in nl.outputs() {
+            prop_assert!(nl.is_gate(o));
+            prop_assert!(nl.fanout(o).is_empty());
+        }
+    }
+
+    /// The same config yields the identical netlist; a different seed
+    /// yields a different one (up to astronomically unlikely collisions
+    /// at these sizes).
+    #[test]
+    fn deterministic_per_seed(
+        gates in 200usize..3000,
+        inputs in 4usize..80,
+        depth in 4u32..32,
+        seed in any::<u64>(),
+    ) {
+        let cfg = config(gates, inputs, depth, seed);
+        let a = bench::to_bench(&mega::generate(&cfg));
+        let b = bench::to_bench(&mega::generate(&cfg));
+        prop_assert_eq!(&a, &b);
+        let other = MegaConfig { seed: cfg.seed.wrapping_add(1), ..cfg };
+        let c = bench::to_bench(&mega::generate(&other));
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// Writing the circuit to `.bench` and parsing it back reproduces the
+    /// same circuit, byte-for-byte through a second write.
+    #[test]
+    fn bench_round_trip(
+        gates in 200usize..3000,
+        inputs in 4usize..80,
+        depth in 4u32..32,
+        seed in any::<u64>(),
+    ) {
+        let cfg = config(gates, inputs, depth, seed);
+        let nl = mega::generate(&cfg);
+        let text = bench::to_bench(&nl);
+        let back = bench::parse(nl.name(), &text).expect("generated .bench parses");
+        prop_assert_eq!(bench::to_bench(&back), text);
+        prop_assert_eq!(back.gate_count(), nl.gate_count());
+        prop_assert_eq!(back.num_inputs(), nl.num_inputs());
+    }
+}

@@ -123,6 +123,15 @@ impl Adjacency {
         }
     }
 
+    /// Heap bytes of the four SoA `u32` arrays.
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<u32>()
+            * (self.off.capacity()
+                + self.len.capacity()
+                + self.cap.capacity()
+                + self.pool.capacity())
+    }
+
     #[inline]
     fn get(&self, i: usize) -> &[u32] {
         let o = self.off[i] as usize;
@@ -315,6 +324,35 @@ impl<W: PackedWord> DeltaSim<W> {
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.values.len()
+    }
+
+    /// Approximate heap footprint of the persistent engine state in
+    /// bytes: the SoA adjacency pools (u32 throughout), the packed value
+    /// / force lanes (`LANES / 8` bytes per node per lane set), and the
+    /// node-count-sized scratch arrays. Pending undo patches are not
+    /// counted (their size is the caller's patch history, not the
+    /// engine's steady state).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let u32s = self.level.capacity()
+            + self.input_indices.capacity()
+            + self.input_pos.capacity()
+            + self.affected.capacity()
+            + self.indeg.capacity()
+            + self.tmp_level.capacity();
+        let words = self.values.capacity() + self.input_words.capacity() + self.gather.capacity();
+        self.fanin.memory_bytes()
+            + self.fanout.memory_bytes()
+            + self.kinds.capacity() * std::mem::size_of::<Option<CellKind>>()
+            + self.forced.capacity() * std::mem::size_of::<Option<W>>()
+            + u32s * std::mem::size_of::<u32>()
+            + words * std::mem::size_of::<W>()
+            + self.stamp.capacity() * std::mem::size_of::<u64>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
     }
 
     /// The persistent packed value of every node under the current inputs

@@ -69,6 +69,32 @@
 //! recorded index is the minimum over all detections) but skips both cone
 //! walks.
 //!
+//! # Memory layout & scale
+//!
+//! Both engines are sized for million-gate circuits:
+//!
+//! * The CSR [`Simulator`] compiles the netlist into four flat `u32`
+//!   arrays (targets, fan-in offsets, fan-in pool, level starts) plus a
+//!   run table — about 25 bytes per node, independent of circuit size,
+//!   with zero per-node allocations. Packed values add
+//!   `lanes / 8` bytes per node per live buffer (8 B at `u64`, 64 B at
+//!   [`iddq_netlist::W512`]).
+//! * [`delta::DeltaSim`] stores its adjacency as pooled
+//!   structure-of-arrays slabs (`offset`/`len`/`capacity` into one
+//!   shared `u32` pool per direction) rather than one `Vec` per node,
+//!   so its persistent state stays near 120 bytes per node at `u64`
+//!   lanes.
+//! * Sweeps over large circuits can run **structurally parallel**:
+//!   [`Simulator::eval_into_threads`] splits each level of the schedule
+//!   into independent node ranges across scoped worker threads and is
+//!   asserted bit-identical to the serial kernel (levels below
+//!   [`Simulator::PARALLEL_LEVEL_MIN_STEPS`] steps stay serial — the
+//!   fan-out/join overhead would dominate).
+//!
+//! [`Simulator::memory_bytes`] and [`delta::DeltaSim::memory_bytes`]
+//! report the measured (capacity-accurate) footprints; the CLI's
+//! `stats --memory` prints them next to the analysis-side tables.
+//!
 //! # Failure semantics
 //!
 //! The long-running entry points — [`fault_sweep::sweep`] and

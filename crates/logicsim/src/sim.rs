@@ -41,8 +41,16 @@ pub struct Simulator {
     offsets: Vec<u32>,
     /// Shared fan-in index pool.
     pool: Vec<u32>,
-    /// Maximal same-shape step runs, in step order.
+    /// Maximal same-shape step runs, in step order. Runs may span level
+    /// boundaries (merging maximizes run length); `level_starts` recovers
+    /// the boundaries when a sweep must synchronize per level.
     runs: Vec<Run>,
+    /// Step index where each topological level's schedule begins, plus a
+    /// final entry equal to the step count: level `l` of the schedule
+    /// occupies steps `level_starts[l]..level_starts[l + 1]`. Steps of one
+    /// level read only strictly lower levels, so they are mutually
+    /// independent — the unit of structural parallelism.
+    level_starts: Vec<u32>,
     node_count: usize,
     input_indices: Vec<u32>,
 }
@@ -87,9 +95,15 @@ impl Simulator {
         let mut offsets = Vec::with_capacity(order.len() + 1);
         let mut pool = Vec::new();
         let mut runs: Vec<Run> = Vec::new();
+        let mut level_starts: Vec<u32> = vec![0];
+        let mut prev_level = order.first().map(|&(lv, ..)| lv);
         offsets.push(0u32);
-        for &(_, kind, arity, target) in &order {
+        for &(lv, kind, arity, target) in &order {
             let step = targets.len() as u32;
+            if Some(lv) != prev_level {
+                level_starts.push(step);
+                prev_level = Some(lv);
+            }
             targets.push(target);
             pool.extend(
                 netlist
@@ -110,14 +124,38 @@ impl Simulator {
             }
         }
 
+        level_starts.push(targets.len() as u32);
+        pool.shrink_to_fit();
+        runs.shrink_to_fit();
+        level_starts.shrink_to_fit();
+
         Simulator {
             targets,
             offsets,
             pool,
             runs,
+            level_starts,
             node_count: netlist.node_count(),
             input_indices: netlist.inputs().iter().map(|i| i.index() as u32).collect(),
         }
+    }
+
+    /// Approximate heap footprint of the compiled program, in bytes.
+    ///
+    /// Every index is `u32` and every array is exact-sized at build time,
+    /// so the program costs `4·(steps + pool entries)` plus small run and
+    /// level tables — about 4–5 bytes per fan-in edge plus 8 per gate,
+    /// independent of the lane width (the packed *values* buffer is the
+    /// caller's and costs `node_count · LANES / 8` bytes per batch).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<u32>()
+            * (self.targets.capacity()
+                + self.offsets.capacity()
+                + self.pool.capacity()
+                + self.level_starts.capacity()
+                + self.input_indices.capacity())
+            + std::mem::size_of::<Run>() * self.runs.capacity()
     }
 
     /// Number of primary inputs expected by [`Simulator::eval`].
@@ -160,6 +198,245 @@ impl Simulator {
         }
         for run in &self.runs {
             self.eval_run(run, values);
+        }
+    }
+
+    /// Default serial-fallback threshold of
+    /// [`Simulator::eval_into_threads`]: levels narrower than this many
+    /// steps are evaluated in place on the calling thread (the scoped
+    /// spawn + scatter overhead only amortizes on wide levels).
+    pub const PARALLEL_LEVEL_MIN_STEPS: usize = 4096;
+
+    /// Structurally parallel sweep: like [`Simulator::eval_into`], but
+    /// each sufficiently wide topological level is partitioned into
+    /// contiguous step ranges evaluated across `threads` scoped worker
+    /// threads. Bit-identical to the serial kernel: the level schedule
+    /// guarantees every step of a level reads only strictly lower levels,
+    /// workers write disjoint ranges of a level-sized scratch buffer, and
+    /// the results are scattered to the node values after the level joins.
+    ///
+    /// `threads <= 1` (or a circuit with no level wider than
+    /// [`Simulator::PARALLEL_LEVEL_MIN_STEPS`]) degenerates to the serial
+    /// sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`Simulator::eval_into`] length conditions.
+    pub fn eval_into_threads<W: PackedWord>(&self, inputs: &[W], values: &mut [W], threads: usize) {
+        self.eval_into_partitioned(inputs, values, threads, Self::PARALLEL_LEVEL_MIN_STEPS);
+    }
+
+    /// [`Simulator::eval_into_threads`] with an explicit serial-fallback
+    /// threshold: levels with fewer than `min_level_steps` steps run in
+    /// place. Exposed so tests and benchmarks can force every partition
+    /// granularity; `min_level_steps = 0` parallelizes every level with at
+    /// least two steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`Simulator::eval_into`] length conditions.
+    pub fn eval_into_partitioned<W: PackedWord>(
+        &self,
+        inputs: &[W],
+        values: &mut [W],
+        threads: usize,
+        min_level_steps: usize,
+    ) {
+        if threads <= 1 {
+            self.eval_into(inputs, values);
+            return;
+        }
+        assert_eq!(
+            inputs.len(),
+            self.input_indices.len(),
+            "one packed word per primary input required"
+        );
+        assert_eq!(
+            values.len(),
+            self.node_count,
+            "one packed word per node required"
+        );
+        values.fill(W::zeros());
+        for (&idx, &word) in self.input_indices.iter().zip(inputs) {
+            values[idx as usize] = word;
+        }
+        let widest = self
+            .level_starts
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0);
+        let mut scratch: Vec<W> = vec![W::zeros(); widest];
+        for window in self.level_starts.windows(2) {
+            let (lo, hi) = (window[0] as usize, window[1] as usize);
+            let steps = hi - lo;
+            if steps < min_level_steps.max(2) {
+                self.eval_steps_in_place(lo..hi, values);
+                continue;
+            }
+            let chunk = steps.div_ceil(threads).max(1);
+            {
+                let vals: &[W] = values;
+                let out = &mut scratch[..steps];
+                std::thread::scope(|scope| {
+                    let mut rest = out;
+                    let mut start = lo;
+                    while !rest.is_empty() {
+                        let take = chunk.min(rest.len());
+                        let (head, tail) = rest.split_at_mut(take);
+                        rest = tail;
+                        let range = start..start + take;
+                        start += take;
+                        scope.spawn(move || self.eval_steps_into(range, vals, head));
+                    }
+                });
+            }
+            for (offset, s) in (lo..hi).enumerate() {
+                values[self.targets[s] as usize] = scratch[offset];
+            }
+        }
+    }
+
+    /// Evaluates the steps of `range` in place, walking the (possibly
+    /// partial) runs that overlap it. Used by the parallel sweep for
+    /// levels below the fallback threshold.
+    fn eval_steps_in_place<W: PackedWord>(&self, range: std::ops::Range<usize>, values: &mut [W]) {
+        let first = self
+            .runs
+            .partition_point(|r| (r.end as usize) <= range.start);
+        for run in &self.runs[first..] {
+            if run.start as usize >= range.end {
+                break;
+            }
+            let clamped = Run {
+                start: run.start.max(range.start as u32),
+                end: run.end.min(range.end as u32),
+                ..*run
+            };
+            self.eval_run(&clamped, values);
+        }
+    }
+
+    /// Evaluates the steps of `range` into `out` (one word per step, in
+    /// step order) reading node values from `values` only. The caller
+    /// guarantees every fan-in of the range is already final in `values` —
+    /// for a level sub-range this holds by the level schedule.
+    fn eval_steps_into<W: PackedWord>(
+        &self,
+        range: std::ops::Range<usize>,
+        values: &[W],
+        out: &mut [W],
+    ) {
+        debug_assert_eq!(out.len(), range.len());
+        let base = range.start;
+        let first = self
+            .runs
+            .partition_point(|r| (r.end as usize) <= range.start);
+        for run in &self.runs[first..] {
+            if run.start as usize >= range.end {
+                break;
+            }
+            let steps = (run.start as usize).max(range.start)..(run.end as usize).min(range.end);
+            self.eval_run_span_into(run.kind, run.arity, steps, base, values, out);
+        }
+    }
+
+    /// Gather-only twin of [`Simulator::eval_run`]: computes step `s` into
+    /// `out[s - base]` instead of `values[targets[s]]`, so concurrent
+    /// workers never write the shared values buffer.
+    fn eval_run_span_into<W: PackedWord>(
+        &self,
+        kind: CellKind,
+        arity: u32,
+        steps: std::ops::Range<usize>,
+        base: usize,
+        values: &[W],
+        out: &mut [W],
+    ) {
+        match (kind, arity) {
+            (CellKind::Buf, 1) => self.run1_into(steps, base, values, out, |a| a),
+            (CellKind::Not, 1) => self.run1_into(steps, base, values, out, |a: W| !a),
+            (CellKind::Nand, 2) => self.run2_into(steps, base, values, out, |a, b| !(a & b)),
+            (CellKind::Nor, 2) => self.run2_into(steps, base, values, out, |a, b| !(a | b)),
+            (CellKind::And, 2) => self.run2_into(steps, base, values, out, |a, b| a & b),
+            (CellKind::Or, 2) => self.run2_into(steps, base, values, out, |a, b| a | b),
+            (CellKind::Xor, 2) => self.run2_into(steps, base, values, out, |a, b| a ^ b),
+            (CellKind::Xnor, 2) => self.run2_into(steps, base, values, out, |a, b| !(a ^ b)),
+            (CellKind::And, _) => {
+                self.run_fold_into(steps, base, values, out, W::ones(), |a, b| a & b, false);
+            }
+            (CellKind::Nand, _) => {
+                self.run_fold_into(steps, base, values, out, W::ones(), |a, b| a & b, true);
+            }
+            (CellKind::Or, _) => {
+                self.run_fold_into(steps, base, values, out, W::zeros(), |a, b| a | b, false);
+            }
+            (CellKind::Nor, _) => {
+                self.run_fold_into(steps, base, values, out, W::zeros(), |a, b| a | b, true);
+            }
+            (CellKind::Xor, _) => {
+                self.run_fold_into(steps, base, values, out, W::zeros(), |a, b| a ^ b, false);
+            }
+            (CellKind::Xnor, _) => {
+                self.run_fold_into(steps, base, values, out, W::zeros(), |a, b| a ^ b, true);
+            }
+            (CellKind::Buf | CellKind::Not, _) => {
+                unreachable!("netlist invariants force arity 1 for Buf/Not")
+            }
+        }
+    }
+
+    #[inline]
+    fn run1_into<W: PackedWord>(
+        &self,
+        steps: std::ops::Range<usize>,
+        base: usize,
+        values: &[W],
+        out: &mut [W],
+        op: impl Fn(W) -> W,
+    ) {
+        for s in steps {
+            let a = values[self.pool[self.offsets[s] as usize] as usize];
+            out[s - base] = op(a);
+        }
+    }
+
+    #[inline]
+    fn run2_into<W: PackedWord>(
+        &self,
+        steps: std::ops::Range<usize>,
+        base: usize,
+        values: &[W],
+        out: &mut [W],
+        op: impl Fn(W, W) -> W,
+    ) {
+        for s in steps {
+            let o = self.offsets[s] as usize;
+            let a = values[self.pool[o] as usize];
+            let b = values[self.pool[o + 1] as usize];
+            out[s - base] = op(a, b);
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn run_fold_into<W: PackedWord>(
+        &self,
+        steps: std::ops::Range<usize>,
+        base: usize,
+        values: &[W],
+        out: &mut [W],
+        unit: W,
+        op: impl Fn(W, W) -> W,
+        invert: bool,
+    ) {
+        for s in steps {
+            let fanin = &self.pool[self.offsets[s] as usize..self.offsets[s + 1] as usize];
+            let mut acc = unit;
+            for &f in fanin {
+                acc = op(acc, values[f as usize]);
+            }
+            out[s - base] = if invert { !acc } else { acc };
         }
     }
 
@@ -437,5 +714,89 @@ mod tests {
         let a = sim.eval_bool(&[true; 5]);
         let b = sim.eval_bool(&[true; 5]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn level_starts_cover_schedule_in_order() {
+        for nl in [data::c17(), data::ripple_adder(8)] {
+            let sim = Simulator::new(&nl);
+            assert_eq!(sim.level_starts[0], 0);
+            assert_eq!(
+                *sim.level_starts.last().unwrap() as usize,
+                sim.targets.len()
+            );
+            assert!(sim.level_starts.windows(2).all(|w| w[0] < w[1]));
+            // Steps of one level must only read nodes scheduled strictly
+            // before the level (inputs or earlier levels).
+            let mut scheduled_before = vec![true; sim.node_count];
+            for &t in &sim.targets {
+                scheduled_before[t as usize] = false;
+            }
+            for w in sim.level_starts.windows(2) {
+                for s in w[0] as usize..w[1] as usize {
+                    let fanin = &sim.pool[sim.offsets[s] as usize..sim.offsets[s + 1] as usize];
+                    for &f in fanin {
+                        assert!(scheduled_before[f as usize], "step {s} reads its own level");
+                    }
+                }
+                for s in w[0] as usize..w[1] as usize {
+                    scheduled_before[sim.targets[s] as usize] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bitwise() {
+        // Every thread count × partition granularity must reproduce the
+        // serial kernel exactly, for u64 and wide words.
+        let nl = data::ripple_adder(16);
+        let sim = Simulator::new(&nl);
+        let inputs: Vec<u64> = (0..nl.num_inputs() as u64)
+            .map(|i| 0x9e37_79b9_7f4a_7c15u64.rotate_left(i as u32) ^ i)
+            .collect();
+        let serial = sim.eval(&inputs);
+        let wide_inputs: Vec<W256> = inputs
+            .iter()
+            .map(|&w| W256([w, !w, w ^ 0xf0f0, 1]))
+            .collect();
+        let wide_serial = sim.eval(&wide_inputs);
+        let mut values = vec![0u64; sim.node_count()];
+        let mut wide_values = vec![W256::zeros(); sim.node_count()];
+        for threads in [1usize, 2, 3, 4, 7] {
+            for min_steps in [0usize, 1, 2, 5, 64, usize::MAX] {
+                sim.eval_into_partitioned(&inputs, &mut values, threads, min_steps);
+                assert_eq!(values, serial, "threads={threads} min_steps={min_steps}");
+                sim.eval_into_partitioned(&wide_inputs, &mut wide_values, threads, min_steps);
+                assert_eq!(
+                    wide_values, wide_serial,
+                    "wide threads={threads} min_steps={min_steps}"
+                );
+            }
+        }
+        sim.eval_into_threads(&inputs, &mut values, 4);
+        assert_eq!(values, serial);
+    }
+
+    #[test]
+    fn parallel_sweep_overwrites_stale_buffer() {
+        let nl = data::c17();
+        let sim = Simulator::new(&nl);
+        let mut buf = vec![0xdead_beefu64; sim.node_count()];
+        sim.eval_into_partitioned(&[!0u64; 5], &mut buf, 3, 0);
+        let mut fresh = vec![0u64; sim.node_count()];
+        sim.eval_into(&[!0u64; 5], &mut fresh);
+        assert_eq!(buf, fresh);
+    }
+
+    #[test]
+    fn memory_bytes_is_plausible() {
+        let nl = data::ripple_adder(8);
+        let sim = Simulator::new(&nl);
+        let bytes = sim.memory_bytes();
+        // At least 4 bytes per step + per pool entry, and far less than a
+        // naive per-gate Vec-of-Vec layout would need.
+        assert!(bytes >= 4 * (sim.targets.len() + sim.pool.len()));
+        assert!(bytes < 64 * nl.node_count());
     }
 }

@@ -181,6 +181,49 @@ impl Netlist {
         &self.name
     }
 
+    /// Approximate heap footprint of the netlist in bytes: per-node
+    /// structure (fan-in and fanout lists, `Vec` headers), the name
+    /// strings, and the name index.
+    ///
+    /// The netlist is the *mutable front door*, not the hot-path layout —
+    /// the engines compile it into flat u32 CSR programs
+    /// ([`crate::separation::SeparationOracle`], `iddq_logicsim`'s
+    /// simulators) whose footprints are a fraction of this. The dominant
+    /// costs here are the two `Vec<NodeId>` per node (24-byte headers
+    /// each) and the per-node `String`s; at 10^6 gates with terse
+    /// generated names this is roughly 150–200 bytes per node.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let vec_header = std::mem::size_of::<Vec<NodeId>>();
+        let string_header = std::mem::size_of::<String>();
+        let node_ids = |v: &Vec<NodeId>| v.capacity() * std::mem::size_of::<NodeId>();
+        self.nodes
+            .iter()
+            .map(|n| std::mem::size_of::<Node>() + node_ids(&n.fanin))
+            .sum::<usize>()
+            + self
+                .names
+                .iter()
+                .map(|s| string_header + s.capacity())
+                .sum::<usize>()
+            + self
+                .fanouts
+                .iter()
+                .map(|f| vec_header + node_ids(f))
+                .sum::<usize>()
+            + node_ids(&self.inputs)
+            + node_ids(&self.outputs)
+            + node_ids(&self.topo)
+            // HashMap entries: key string + NodeId + ~1.14x bucket slack.
+            + self
+                .name_index
+                .keys()
+                .map(|k| string_header + k.capacity() + std::mem::size_of::<NodeId>())
+                .sum::<usize>()
+                * 8
+                / 7
+    }
+
     /// Total node count (primary inputs + gates).
     #[must_use]
     pub fn node_count(&self) -> usize {

@@ -28,6 +28,33 @@
 //! * [`data`] — embedded reference circuits (the exact ISCAS-85 C17 used in
 //!   the paper's running example, plus a small ripple-carry adder).
 //!
+//! # Memory layout & scale
+//!
+//! The crate is built to hold million-gate circuits comfortably, which
+//! dictates a two-tier layout:
+//!
+//! * [`Netlist`] is the **mutable front door**: per-node fan-in vectors,
+//!   name strings and a name index. That convenience costs roughly
+//!   150–200 bytes per node, and it is the *only* per-node-allocating
+//!   structure in the flow — everything downstream compiles the graph
+//!   into flat arrays once and never touches it again on the hot path.
+//! * Engine representations are **structure-of-arrays over `u32`
+//!   indices**: the separation oracle's row storage is one flat
+//!   `(neighbour, distance)` array behind a CSR offset table, and the
+//!   per-gate separation table is the same shape. `u32` everywhere
+//!   halves the index footprint against `usize` on 64-bit targets and
+//!   caps the node count at 4 × 10⁹ — far above the 10⁶–10⁷ range this
+//!   flow targets.
+//!
+//! Every representation reports its measured footprint via a
+//! `memory_bytes()` accessor ([`Netlist::memory_bytes`],
+//! [`separation::SeparationOracle::memory_bytes`],
+//! [`separation::GateSeparationTable::memory_bytes`]), surfaced by the
+//! CLI's `stats --memory` report. For oracle builds where `V·ρ` is
+//! large, [`separation::SeparationOracle::new_streamed_with_control`]
+//! appends rows in place (single-copy peak) instead of stitching
+//! per-shard vectors (which doubles the transient peak).
+//!
 //! # Example
 //!
 //! ```rust

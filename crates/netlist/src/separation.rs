@@ -541,6 +541,133 @@ impl SeparationOracle {
         }
     }
 
+    /// Memory-lean **streamed** build for large `V·ρ` tables: one 64-batch
+    /// loop appends rows directly into the flat table (no per-shard
+    /// vectors, no stitch copy), the flat vector is pre-reserved from a
+    /// sampled row-length estimate (so growth doubling never overshoots
+    /// the final size by 2x), and the scratch footprint stays at one
+    /// `BatchScratch` (`~66·V` bytes) regardless of circuit size.
+    ///
+    /// Peak resident memory is therefore `final table + one scratch`,
+    /// where the sharded parallel build peaks near *twice* the table (all
+    /// shard outputs live while they are stitched) plus one scratch per
+    /// worker. The price is serial row construction — use this when the
+    /// table dominates RAM, the parallel build when CPU time does.
+    /// [`iddq_core`'s context builder](../../iddq_core/context/index.html)
+    /// switches to this build automatically once `V·ρ` crosses its
+    /// streaming threshold.
+    ///
+    /// Same control contract as
+    /// [`SeparationOracle::new_parallel_with_control`]: rows are charged
+    /// to the budget as they are built, a stop pads the remaining rows
+    /// empty (= saturated) and returns [`Outcome::Partial`]. The completed
+    /// result is **bit-identical** to [`SeparationOracle::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho == 0`.
+    #[must_use]
+    pub fn new_streamed_with_control(
+        netlist: &Netlist,
+        rho: u32,
+        control: &RunControl,
+    ) -> Outcome<Self> {
+        assert!(rho > 0, "separation bound rho must be positive");
+        let n = netlist.node_count();
+        let (adj_offsets, adj_pool) = undirected_csr(netlist);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut flat: Vec<(u32, u32)> = Vec::new();
+        let mut done = 0usize;
+        let mut stopped = false;
+        if rho <= 256 {
+            let mut scratch = BatchScratch::new(n);
+            // Estimate the mean row length from one evenly spaced sample
+            // batch, then reserve the flat table once (a sample batch
+            // costs the same as any other batch — O(ρ·(V+E)) words).
+            if n > 64 {
+                let stride = n / 64;
+                let sample: Vec<(u32, bool)> =
+                    (0..64).map(|k| ((k * stride) as u32, true)).collect();
+                scratch.run(&sample, rho, &adj_offsets, &adj_pool);
+                let mut sampled = 0usize;
+                for (i, &(src, _)) in sample.iter().enumerate() {
+                    let mut count = 0usize;
+                    scratch.emit_row(i, src, &mut Vec::new(), |_, _| {
+                        count += 1;
+                        None
+                    });
+                    sampled += count;
+                }
+                // 9/8 headroom over the sampled mean; shrink_to_fit below
+                // returns any excess.
+                flat.reserve(sampled * n / 64 + sampled * n / 512 + 64);
+            }
+            let mut start = 0usize;
+            while start < n {
+                if control.check().is_some() {
+                    stopped = true;
+                    break;
+                }
+                let batch: Vec<(u32, bool)> = (start..(start + 64).min(n))
+                    .map(|i| (i as u32, true))
+                    .collect();
+                scratch.run(&batch, rho, &adj_offsets, &adj_pool);
+                for (i, &(src, _)) in batch.iter().enumerate() {
+                    scratch.emit_row(i, src, &mut flat, |v, d| Some((v, d)));
+                    offsets.push(flat.len() as u32);
+                }
+                done += batch.len();
+                control.charge(batch.len() as u64);
+                start += batch.len();
+            }
+        } else {
+            let mut scratch = BfsScratch::new(n);
+            for i in 0..n {
+                if control.check().is_some() {
+                    stopped = true;
+                    break;
+                }
+                scratch.row_into(i as u32, rho, &adj_offsets, &adj_pool, &mut flat);
+                offsets.push(flat.len() as u32);
+                done += 1;
+                control.charge(1);
+            }
+        }
+        if stopped {
+            // Unbuilt rows stay empty: distance() saturates them to rho.
+            let end = flat.len() as u32;
+            offsets.extend((done..n).map(|_| end));
+        }
+        flat.shrink_to_fit();
+        let value = SeparationOracle { rho, flat, offsets };
+        if done >= n {
+            Outcome::Complete(value)
+        } else {
+            Outcome::Partial {
+                value,
+                coverage: if n == 0 { 1.0 } else { done as f64 / n as f64 },
+                reason: control.check().unwrap_or(StopReason::Cancelled),
+            }
+        }
+    }
+
+    /// Heap footprint of the table in bytes: 8 bytes per `(node,
+    /// distance)` entry plus 4 per row offset. At 10^6 nodes and ρ = 5
+    /// this is the dominant analysis structure; see the crate docs'
+    /// "memory layout & scale" section for the full per-gate budget.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.flat.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Number of `(node, distance)` entries across all rows.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.flat.len()
+    }
+
     /// The historical per-node `HashMap` BFS build (the PR 4 constructor),
     /// kept as the **differential oracle**: it must produce a table equal
     /// to [`SeparationOracle::new`] bit for bit (property-tested), and the
@@ -814,6 +941,20 @@ impl GateSeparationTable {
         }
     }
 
+    /// Heap footprint of the table in bytes: 8 bytes per `(gate, weight)`
+    /// entry plus 4 per row offset.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Number of `(gate, weight)` entries across all rows.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Total neighbour weight `W(g) = Σ_{g' gate, d(g,g') < ρ} (ρ − d)` of
     /// one gate's row (`0` for primary inputs).
     ///
@@ -831,6 +972,28 @@ impl GateSeparationTable {
             .iter()
             .map(|&(_, w)| u64::from(w))
             .sum()
+    }
+
+    /// One gate's full near row: `(gate node index, ρ − d)` entries
+    /// sorted by node index, excluding the gate itself (empty for
+    /// primary inputs). This is the seed of the incrementally maintained
+    /// ΔW rows in the patch-scored resynthesis evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range of the table's netlist.
+    #[must_use]
+    pub fn row(&self, gate: NodeId) -> &[(u32, u32)] {
+        let i = gate.index();
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Saturation bound ρ the table was built with.
+    #[must_use]
+    pub fn rho(&self) -> u32 {
+        // The bound is stored widened for the weight arithmetic; it
+        // originates from a `u32` constructor argument.
+        self.rho as u32
     }
 
     /// Sum of saturated distances from `gate` to every gate assigned to
@@ -1142,6 +1305,59 @@ mod tests {
                 Outcome::Complete(_) => panic!("a 64-row quota cannot build 200+ rows"),
             }
         }
+    }
+
+    #[test]
+    fn streamed_build_matches_plain_build() {
+        for rho in [1, 3, 6, 300] {
+            for nl in [data::c17(), data::ripple_adder(9), chain(80)] {
+                let out =
+                    SeparationOracle::new_streamed_with_control(&nl, rho, &RunControl::unlimited());
+                assert!(out.is_complete());
+                assert_eq!(
+                    out.into_value(),
+                    SeparationOracle::new(&nl, rho),
+                    "rho {rho} on {}",
+                    nl.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_build_respects_quota() {
+        use iddq_control::RunBudget;
+        let nl = chain(200);
+        let control = RunControl::with_budget(RunBudget::unlimited().with_quota(64));
+        let out = SeparationOracle::new_streamed_with_control(&nl, 4, &control);
+        match out {
+            Outcome::Partial {
+                value,
+                coverage,
+                reason,
+            } => {
+                assert_eq!(reason, StopReason::QuotaExhausted);
+                assert!(coverage < 1.0);
+                let g0 = nl.find("g0").unwrap();
+                let g1 = nl.find("g1").unwrap();
+                assert_eq!(value.distance(g0, g1), 1);
+                let a = nl.find("g190").unwrap();
+                let b = nl.find("g191").unwrap();
+                assert_eq!(value.distance(a, b), 4); // unbuilt row = saturated
+            }
+            Outcome::Complete(_) => panic!("a 64-row quota cannot build 200+ rows"),
+        }
+    }
+
+    #[test]
+    fn memory_bytes_accounts_entries_and_offsets() {
+        let nl = data::ripple_adder(8);
+        let sep = SeparationOracle::new(&nl, 6);
+        assert!(sep.memory_bytes() >= 8 * sep.entry_count() + 4 * (nl.node_count() + 1));
+        let table = GateSeparationTable::direct(&nl, 6, 1);
+        assert!(table.memory_bytes() >= 8 * table.entry_count());
+        // The gate-only table is never larger than the full oracle.
+        assert!(table.entry_count() <= sep.entry_count());
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   candidate netlist and scoring it through a from-scratch
 //!   `EvalContext`/`Evaluated`, under random netlists and random
 //!   decompose/buffer rewrite sequences, and every rollback round-trip
-//!   restores the original evaluation bit for bit.
+//!   restores the original evaluation bit for bit;
+//! * the incremental ΔW separation maintenance against its retained
+//!   full-ball differential reference, bit for bit, across patch shapes
+//!   chosen to hit every classification branch (including the ambiguous
+//!   fallback and the removal-triggered full refresh).
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -179,6 +183,91 @@ proptest! {
             eval.total_cost().to_bits(),
             rebuild_cost(&final_candidate, &lib, &cfg).to_bits()
         );
+    }
+
+    /// The incremental ΔW separation maintenance (`ResynthEval::new`)
+    /// scores **bit-identically** to the retained full ρ-ball refresh
+    /// (`ResynthEval::new_full_refresh`) through random patch sequences —
+    /// decompositions, fan-out buffering, distance-stretching rewires and
+    /// gate add/remove pairs — with rollbacks and commits, and both stay
+    /// consistent with their from-scratch ground truth.
+    #[test]
+    fn incremental_dw_matches_full_refresh_bitwise(seed in 0u64..40, salt in any::<u64>()) {
+        let nl = random_netlist(seed);
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let mut inc = ResynthEval::new(&ctx);
+        let mut full = ResynthEval::new_full_refresh(&ctx);
+        prop_assert_eq!(inc.total_cost().to_bits(), full.total_cost().to_bits());
+        let mut rng = SmallRng::seed_from_u64(seed ^ salt ^ 0xd17a);
+        let inputs = nl.inputs().to_vec();
+        let two_in: Vec<NodeId> = nl
+            .gate_ids()
+            .filter(|&g| nl.node(g).fanin().len() == 2)
+            .collect();
+        for round in 0..6 {
+            let patch = match rng.gen_range(0..4u32) {
+                0 => decompose_patch(&nl, DecompositionStyle::Chain, rng.gen_range(2..=4))
+                    .expect("fanin >= 2"),
+                1 => fanout_buffer_patch(&nl, rng.gen_range(3..=6)).expect("bound >= 2"),
+                2 => {
+                    // Distance-stretching rewire: a two-input gate moved
+                    // onto random primary inputs — the ambiguous case of
+                    // the ΔW classification (old shortest routes crossed
+                    // the gate, the detour got worse).
+                    if two_in.is_empty() {
+                        continue;
+                    }
+                    let gate = two_in[rng.gen_range(0..two_in.len())];
+                    Patch::single(iddq_netlist::patch::PatchOp::SetFanin {
+                        gate,
+                        fanin: vec![
+                            inputs[rng.gen_range(0..inputs.len())],
+                            inputs[rng.gen_range(0..inputs.len())],
+                        ],
+                    })
+                }
+                _ => {
+                    // Append + drop a throwaway gate: removals route the
+                    // incremental evaluation through the full-ball
+                    // fallback, which must keep its rows in sync.
+                    let tail = NodeId(inc.node_count() as u32);
+                    let feed = two_in[rng.gen_range(0..two_in.len())];
+                    Patch {
+                        ops: vec![
+                            iddq_netlist::patch::PatchOp::AddGate {
+                                gate: tail,
+                                kind: iddq_netlist::CellKind::Not,
+                                fanin: vec![feed],
+                            },
+                            iddq_netlist::patch::PatchOp::RemoveGate { gate: tail },
+                        ],
+                    }
+                }
+            };
+            let a = inc.apply(&patch);
+            let b = full.apply(&patch);
+            prop_assert_eq!(a.is_ok(), b.is_ok(), "apply outcomes diverge");
+            if a.is_err() {
+                continue;
+            }
+            prop_assert_eq!(inc.total_cost().to_bits(), full.total_cost().to_bits());
+            if rng.gen_bool(0.5) {
+                inc.rollback();
+                full.rollback();
+            } else {
+                inc.commit();
+                full.commit();
+            }
+            prop_assert_eq!(
+                inc.total_cost().to_bits(),
+                full.total_cost().to_bits(),
+                "round {}", round
+            );
+        }
+        inc.verify_consistency();
+        full.verify_consistency();
     }
 
     /// A `ResynthEval` on the lightweight GateSep-tier context (direct
