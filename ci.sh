@@ -16,7 +16,11 @@
 # scoring at 3x/7.6x on c7552, the c7552 context build at 2.5x, and (on
 # machines with >= 4 cores, announced explicitly either way) the
 # parallel fault sweep, parallel context build, and structural-parallel
-# sweep at 1.5x.
+# sweep at 1.5x. The serve section gates on correctness counts (every
+# request answered exactly once, admission shed >= 1, tier degradation
+# >= 1) in both modes, and the serve smoke leg replays the full service
+# scenario end to end (overload, deadlines, degradation, worker panics,
+# checkpoint resume) against a live daemon.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -47,5 +51,15 @@ echo "== scale smoke"
 # against fixed byte ceilings — scale regressions fail fast here instead
 # of surfacing minutes into the full bench.
 cargo run --release -q -p iddq-cli --bin iddq -- scale --smoke
+
+echo "== serve smoke"
+# The hardened service end to end against a live in-process server:
+# artifact-cache hits, deterministic tier degradation under a tiny
+# cache, deadline partials with grid coverage, malformed/oversized
+# lines answered with typed line-numbered errors, admission shed with
+# retry hints, injected worker panics + supervisor restarts, and a
+# deadline-interrupted keyed job resumed bit-identically from its
+# checkpoint. Any failed check exits nonzero.
+cargo run --release -q -p iddq-cli --bin iddq -- serve --smoke
 
 echo "CI OK"

@@ -77,6 +77,7 @@ use iddq_logicsim::reference::NaiveSimulator;
 use iddq_logicsim::{iddq, BackendKind, Simulator};
 use iddq_netlist::separation::SeparationOracle;
 use iddq_netlist::{CellKind, Netlist, NodeId, PackedWord, W256, W512};
+use iddq_serve::{Client as ServeClient, Server as ServeServer, ServerConfig as ServeConfig};
 
 const CIRCUITS: [&str; 3] = ["c432", "c1908", "c7552"];
 /// Circuit the acceptance criterion is pinned to.
@@ -977,6 +978,173 @@ fn main() {
         "acceptance_threshold": dw_threshold,
         "pass": dw_speedup >= dw_threshold,
     });
+    // `iddq serve` under concurrent clients: an in-process server with a
+    // deliberately small queue and a tiny artifact cache takes a mixed
+    // workload from several client threads. Sustained qps and p50/p99
+    // round-trip latency are measured over the nominal phase; then a
+    // pipelined sleep burst overruns the queue to exercise admission
+    // shed, and a Separation-tier stats request against the tiny cache
+    // exercises graceful degradation. The gates are correctness counts,
+    // not wall-clock (a 1-core shared runner makes latency gates flaky):
+    // every request gets exactly one response, shed >= 1, degraded >= 1.
+    println!("== serve: hardened service under concurrent clients ==");
+    let serve_state = std::env::temp_dir().join(format!("iddq-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&serve_state);
+    let serve_server = ServeServer::start(ServeConfig {
+        workers: 2,
+        queue_capacity: 4,
+        cache_bytes: 4096,
+        state_dir: serve_state.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("serve bench server starts");
+    let serve_addr = serve_server.local_addr().to_string();
+    let serve_clients: u64 = 4;
+    let serve_reqs_per_client: u64 = if opts.smoke { 12 } else { 48 };
+    let mut serve_errors: Vec<String> = Vec::new();
+    let t0 = Instant::now();
+    let mut serve_handles = Vec::new();
+    for c in 0..serve_clients {
+        let addr = serve_addr.clone();
+        let per = serve_reqs_per_client;
+        serve_handles.push(std::thread::spawn(move || -> Result<Vec<f64>, String> {
+            let mut client = ServeClient::connect(&addr).map_err(|e| e.to_string())?;
+            client
+                .set_read_timeout(Some(Duration::from_secs(120)))
+                .map_err(|e| e.to_string())?;
+            let mut latencies = Vec::with_capacity(per as usize);
+            for k in 0..per {
+                let id = c * 10_000 + k;
+                let req = match k % 4 {
+                    0 => serde_json::json!({"id": id, "op": "ping"}),
+                    1 => serde_json::json!({
+                        "id": id, "op": "sim", "circuit": "c432", "patterns": 256,
+                    }),
+                    2 => serde_json::json!({
+                        "id": id, "op": "stats", "circuit": "c432", "tier": "separation",
+                    }),
+                    _ => serde_json::json!({
+                        "id": id, "op": "faults", "circuit": "c432", "vectors": 16,
+                    }),
+                };
+                let start = Instant::now();
+                let resp = client.call(&req).map_err(|e| e.to_string())?;
+                latencies.push(start.elapsed().as_secs_f64());
+                if resp["id"].as_u64() != Some(id) {
+                    return Err(format!("response id mismatch: {resp:?}"));
+                }
+                let status = resp["status"].as_str().unwrap_or("");
+                // Synchronous clients never overrun the queue, so the
+                // nominal phase must not be shed or rejected.
+                if !matches!(status, "ok" | "partial") {
+                    return Err(format!("unexpected status under nominal load: {resp:?}"));
+                }
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut serve_latencies: Vec<f64> = Vec::new();
+    for h in serve_handles {
+        match h.join().expect("serve client thread") {
+            Ok(mut l) => serve_latencies.append(&mut l),
+            Err(e) => serve_errors.push(e),
+        }
+    }
+    let serve_wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let serve_qps = serve_latencies.len() as f64 / serve_wall;
+    serve_latencies.sort_by(f64::total_cmp);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let serve_pct = |q: f64| -> f64 {
+        if serve_latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((serve_latencies.len() - 1) as f64 * q).round() as usize;
+        serve_latencies[idx]
+    };
+    let (serve_p50, serve_p99) = (serve_pct(0.50), serve_pct(0.99));
+    // Overload burst: one client pipelines more slow jobs than workers +
+    // queue can hold; the overflow must come back as typed `overloaded`
+    // responses (with a retry hint), never as dropped lines.
+    let serve_burst: u64 = 12;
+    let mut serve_burst_ok = 0u64;
+    let mut serve_burst_shed = 0u64;
+    let mut serve_burst_lost = 0u64;
+    {
+        let mut client = ServeClient::connect(&serve_addr).expect("burst client connects");
+        client
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("burst read timeout");
+        for i in 0..serve_burst {
+            client
+                .send_value(&serde_json::json!({
+                    "id": i, "op": "sleep", "sleep_ms": 40,
+                }))
+                .expect("burst send");
+        }
+        for _ in 0..serve_burst {
+            match client.recv() {
+                Ok(Some(resp)) => match resp["status"].as_str().unwrap_or("") {
+                    "ok" => serve_burst_ok += 1,
+                    "overloaded" => {
+                        serve_burst_shed += 1;
+                        if resp["retry_after_ms"].as_u64().is_none() {
+                            serve_errors
+                                .push(format!("overloaded without retry_after_ms: {resp:?}"));
+                        }
+                    }
+                    other => serve_errors.push(format!("burst status {other}: {resp:?}")),
+                },
+                _ => serve_burst_lost += 1,
+            }
+        }
+    }
+    let serve_metrics = serve_server.shutdown(Duration::from_secs(10));
+    let _ = std::fs::remove_dir_all(&serve_state);
+    let serve_shed = serve_metrics["shed"].as_u64().unwrap_or(0);
+    let serve_degraded = serve_metrics["degraded"].as_u64().unwrap_or(0);
+    let serve_nominal = serve_clients * serve_reqs_per_client;
+    if serve_latencies.len() as u64 != serve_nominal {
+        serve_errors.push(format!(
+            "nominal phase answered {} of {serve_nominal} requests",
+            serve_latencies.len()
+        ));
+    }
+    if serve_burst_lost > 0 {
+        serve_errors.push(format!("burst lost {serve_burst_lost} responses"));
+    }
+    if serve_shed == 0 {
+        serve_errors.push("admission control never shed under the burst".to_owned());
+    }
+    if serve_degraded == 0 {
+        serve_errors.push("stats never degraded against the tiny cache".to_owned());
+    }
+    let serve_pass = serve_errors.is_empty();
+    println!(
+        "   serve: {serve_clients} clients x {serve_reqs_per_client} reqs: {serve_qps:7.1} req/s \
+         sustained | p50 {:6.2} ms, p99 {:6.2} ms | burst {serve_burst}: {serve_burst_ok} ok, \
+         {serve_burst_shed} shed, {serve_burst_lost} lost | shed {serve_shed}, degraded \
+         {serve_degraded} | pass: {serve_pass}",
+        serve_p50 * 1e3,
+        serve_p99 * 1e3,
+    );
+    let serve = serde_json::json!({
+        "clients": serve_clients,
+        "requests_per_client": serve_reqs_per_client,
+        "nominal_requests": serve_nominal,
+        "nominal_responses": serve_latencies.len(),
+        "sustained_qps": serve_qps,
+        "p50_latency_ms": serve_p50 * 1e3,
+        "p99_latency_ms": serve_p99 * 1e3,
+        "burst_requests": serve_burst,
+        "burst_ok": serve_burst_ok,
+        "burst_overloaded": serve_burst_shed,
+        "burst_lost": serve_burst_lost,
+        "metrics": serve_metrics,
+        "acceptance": "every request answered exactly once; shed >= 1; degraded >= 1",
+        "errors": serve_errors.clone(),
+        "pass": serve_pass,
+    });
+
     let scale = serde_json::json!({
         "mega": scale_entries,
         "sweep_budget_secs": sweep_budget_secs,
@@ -1045,6 +1213,7 @@ fn main() {
         "context_build": context_build,
         "resynth_patch": resynth_patch,
         "scale": scale,
+        "serve": serve,
     });
     // Atomic temp-file + rename: a crash mid-write can never leave a
     // truncated BENCH_sim.json behind for downstream tooling to choke on.
@@ -1149,6 +1318,13 @@ fn main() {
     }
     if !scale_budget_ok {
         eprintln!("ERROR: a mega-circuit end-to-end sweep exceeded its wall-clock budget");
+        failed = true;
+    }
+    if !serve_pass {
+        // Correctness counts, not wall-clock: these gate in smoke too.
+        for e in &serve_errors {
+            eprintln!("ERROR: serve section: {e}");
+        }
         failed = true;
     }
     // Structural-parallel sweep gate: same ARMED/SKIPPED discipline as

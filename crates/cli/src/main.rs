@@ -15,6 +15,9 @@
 //!             [--checkpoint PATH] [--resume PATH]
 //! iddq stats  <netlist.bench> [--memory] [--rho N]
 //! iddq scale  [--smoke] [--gates N] [--seed N] [--rho N] [--budget-ms MS]
+//! iddq serve  [--addr A] [--workers N] [--queue N] [--cache-mb N]
+//!             [--state-dir DIR] [--rho N] [--budget-ms MS] [--max-secs S]
+//!             [--smoke] [--call JSON --addr A]
 //! ```
 //!
 //! Exit codes follow the usual discipline: `0` for success (including a
@@ -85,6 +88,7 @@ fn main() -> ExitCode {
         "faults" => cmd_faults(rest),
         "stats" => cmd_stats(rest),
         "scale" => cmd_scale(rest),
+        "serve" => cmd_serve(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -167,6 +171,22 @@ commands:
       --seed N            generation seed (default 0x5ca1e, as the bench)
       --rho N             separation saturation bound (default 3)
       --budget-ms MS      override the wall-clock budget
+  serve                   run the hardened fault-simulation service
+                          (JSON-lines over TCP; see crates/serve docs for
+                          the protocol, failure semantics and runbook)
+      --addr A            bind address (default 127.0.0.1:0; the bound
+                          address is printed as `listening on ADDR`)
+      --workers N         worker threads (default 2)
+      --queue N           admission queue capacity (default 16)
+      --cache-mb N        artifact-cache memory ceiling in MiB (default 64)
+      --state-dir DIR     checkpoint directory (default .iddq-serve)
+      --rho N             separation bound for stats tiers (default 6)
+      --budget-ms MS      global budget composed into every request
+      --max-secs S        serve for S seconds, then drain and exit
+      --smoke             run the end-to-end smoke scenario and exit
+      --call JSON         one-shot client mode: send one request line to
+                          --addr, print the response line, exit (exit 1
+                          when the server answers status=error)
 ";
 
 fn parse_flag(rest: &[String], flag: &str) -> Option<String> {
@@ -748,7 +768,7 @@ fn run_fault_sweep<W: iddq_netlist::PackedWord>(
         None => sweep_with_control::<W>(cut, faults, vectors, options, run.control),
     };
     if let Some(path) = run.checkpoint {
-        let cp = SweepCheckpoint::capture::<W>(cut, faults, vectors, outcome.value());
+        let cp = SweepCheckpoint::capture::<W>(cut, faults, vectors, options, outcome.value());
         write_atomic(std::path::Path::new(path), &cp.to_json())?;
         eprintln!(
             "wrote checkpoint {path} ({:.1}% of the pattern grid done)",
@@ -1003,6 +1023,89 @@ fn cmd_scale(rest: &[String]) -> Result<(), CliError> {
     println!(
         "scale OK: {gates} gates within the {:.0} s budget",
         budget_ms as f64 / 1e3
+    );
+    Ok(())
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), CliError> {
+    use iddq_serve::{Client, Server, ServerConfig};
+
+    if rest.iter().any(|a| a == "--smoke") {
+        let report = iddq_serve::run_smoke()?;
+        for check in &report.checks {
+            println!("smoke ok: {check}");
+        }
+        println!("serve smoke OK: {} checks passed", report.checks.len());
+        return Ok(());
+    }
+
+    let addr = parse_flag(rest, "--addr");
+    if let Some(request) = parse_flag(rest, "--call") {
+        // One-shot client mode.
+        let addr = addr.ok_or_else(|| CliError::usage("--call needs --addr HOST:PORT"))?;
+        let value: serde_json::Value = serde_json::from_str(&request)
+            .map_err(|e| CliError::usage(format!("--call expects a JSON request: {e}")))?;
+        let mut client = Client::connect(&addr)?;
+        let response = client.call(&value)?;
+        println!("{}", serde_json::to_string(&response).unwrap_or_default());
+        if response["status"] == "error" {
+            return Err(format!(
+                "server answered with an error: {}",
+                response["error"]["message"].as_str().unwrap_or("unknown")
+            )
+            .into());
+        }
+        return Ok(());
+    }
+
+    let workers: usize = parse_num(rest, "--workers", 2)?;
+    let queue: usize = parse_num(rest, "--queue", 16)?;
+    let cache_mb: usize = parse_num(rest, "--cache-mb", 64)?;
+    let rho: u32 = parse_num(rest, "--rho", 6)?;
+    if workers == 0 || queue == 0 || rho == 0 {
+        return Err(CliError::usage(
+            "--workers, --queue and --rho must be at least 1",
+        ));
+    }
+    let budget_ms: Option<u64> = parse_opt_num(rest, "--budget-ms")?;
+    let max_secs: Option<u64> = parse_opt_num(rest, "--max-secs")?;
+    let state_dir = parse_flag(rest, "--state-dir").unwrap_or_else(|| ".iddq-serve".into());
+    let config = ServerConfig {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:0".into()),
+        workers,
+        queue_capacity: queue,
+        cache_bytes: cache_mb << 20,
+        state_dir: state_dir.into(),
+        rho,
+        global_budget: match budget_ms {
+            None => RunBudget::unlimited(),
+            Some(ms) => RunBudget::unlimited().with_timeout(std::time::Duration::from_millis(ms)),
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config)?;
+    // The address line is the startup contract: callers parse it to
+    // learn the port when binding to :0.
+    println!("listening on {}", server.local_addr());
+    let drain = server.drain_signal();
+    let deadline = max_secs.map(|s| Instant::now() + std::time::Duration::from_secs(s));
+    // Serve until a client sends `drain` (or the kill token fires, or
+    // --max-secs elapses), then finish accepted work and exit.
+    loop {
+        if drain.is_draining() || deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let metrics = server.shutdown(std::time::Duration::from_secs(30));
+    println!(
+        "drained: {} completed, {} shed, {} partial, {} degraded, {} panics, {} restarts",
+        metrics["completed"].as_u64().unwrap_or(0),
+        metrics["shed"].as_u64().unwrap_or(0),
+        metrics["partial"].as_u64().unwrap_or(0),
+        metrics["degraded"].as_u64().unwrap_or(0),
+        metrics["panics_caught"].as_u64().unwrap_or(0),
+        metrics["worker_restarts"].as_u64().unwrap_or(0),
     );
     Ok(())
 }

@@ -1,0 +1,169 @@
+//! End-to-end tests of `iddq serve`: the daemon process, the one-shot
+//! `--call` client mode, and the `--smoke` scenario leg CI runs.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_iddq"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("iddq-serve-cli-{}-{name}", std::process::id()));
+    p
+}
+
+/// Waits for the child to exit, killing it after `timeout` so a hung
+/// server fails the test instead of wedging the suite.
+fn wait_with_timeout(child: &mut Child, timeout: Duration) -> Option<std::process::ExitStatus> {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => return Some(status),
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    None
+}
+
+#[test]
+fn serve_call_requires_an_addr() {
+    let out = bin()
+        .args(["serve", "--call", r#"{"op":"ping"}"#])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage error without --addr");
+}
+
+#[test]
+fn serve_call_rejects_malformed_json_as_usage() {
+    let out = bin()
+        .args(["serve", "--call", "{ nope", "--addr", "127.0.0.1:1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn serve_daemon_answers_calls_and_drains() {
+    let state_dir = tmp("daemon-state");
+    let mut server = bin()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--state-dir",
+            state_dir.to_str().expect("utf8 path"),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    // The startup contract: first stdout line names the bound address.
+    let mut lines = BufReader::new(server.stdout.take().expect("piped stdout")).lines();
+    let banner = lines
+        .next()
+        .expect("server prints its address")
+        .expect("readable stdout");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_owned();
+
+    // One-shot client calls against the live daemon.
+    let out = bin()
+        .args([
+            "serve",
+            "--call",
+            r#"{"id":1,"op":"ping"}"#,
+            "--addr",
+            &addr,
+        ])
+        .output()
+        .expect("call runs");
+    assert!(out.status.success(), "ping call: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(r#""status":"ok""#), "got: {text}");
+
+    let out = bin()
+        .args([
+            "serve",
+            "--call",
+            r#"{"id":2,"op":"faults","circuit":"c432","vectors":32}"#,
+            "--addr",
+            &addr,
+        ])
+        .output()
+        .expect("faults call runs");
+    assert!(out.status.success(), "faults call: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(r#""digest""#), "got: {text}");
+
+    // A typed error response maps to exit 1 with the response printed.
+    let out = bin()
+        .args([
+            "serve",
+            "--call",
+            r#"{"id":3,"op":"faults","circuit":"nope9"}"#,
+            "--addr",
+            &addr,
+        ])
+        .output()
+        .expect("bad-circuit call runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains(r#""status":"error""#));
+
+    // Drain remotely; the daemon finishes and exits 0 on its own.
+    let out = bin()
+        .args(["serve", "--call", r#"{"op":"drain"}"#, "--addr", &addr])
+        .output()
+        .expect("drain call runs");
+    assert!(out.status.success(), "drain call: {out:?}");
+    let status =
+        wait_with_timeout(&mut server, Duration::from_secs(60)).expect("drained server must exit");
+    assert!(status.success(), "server exit: {status:?}");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn serve_max_secs_exits_by_itself() {
+    let state_dir = tmp("maxsecs-state");
+    let mut server = bin()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--max-secs",
+            "1",
+            "--state-dir",
+            state_dir.to_str().expect("utf8 path"),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let status = wait_with_timeout(&mut server, Duration::from_secs(60)).expect("server must exit");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn serve_smoke_passes() {
+    let out = bin()
+        .args(["serve", "--smoke"])
+        .output()
+        .expect("smoke runs");
+    assert!(
+        out.status.success(),
+        "smoke failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serve smoke OK"), "got: {text}");
+}

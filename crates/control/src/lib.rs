@@ -218,6 +218,97 @@ impl RunBudget {
     pub fn is_limited(&self) -> bool {
         self.deadline.is_some() || self.quota.is_some()
     }
+
+    /// Composes two budgets into the *tightest* of both: the earlier
+    /// deadline and the smaller quota win. This is how a serving layer
+    /// combines its own global budget (a drain deadline, a per-job work
+    /// cap) with a per-request deadline — the request can only ever
+    /// shrink what the server allows, never extend it.
+    #[must_use]
+    pub fn tightest(self, other: RunBudget) -> RunBudget {
+        let min_opt = |a: Option<Instant>, b: Option<Instant>| match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        RunBudget {
+            deadline: min_opt(self.deadline, other.deadline),
+            quota: match (self.quota, other.quota) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    /// Milliseconds of wall clock left before the deadline: `None` when no
+    /// deadline is set, `Some(0)` once it has passed. Degradation
+    /// heuristics use this to decide whether an expensive analysis still
+    /// fits in the time that remains.
+    #[must_use]
+    pub fn remaining_ms(&self) -> Option<u64> {
+        self.deadline.map(|d| {
+            d.saturating_duration_since(Instant::now())
+                .as_millis()
+                .min(u128::from(u64::MAX)) as u64
+        })
+    }
+}
+
+/// Two-phase shutdown signal for a long-running service.
+///
+/// * [`DrainSignal::drain`] — *graceful*: stop admitting new work, let
+///   everything already accepted run to completion, then exit. Engines
+///   keep their [`RunControl`]s untouched.
+/// * [`DrainSignal::kill`] — *abrupt*: additionally cancel the embedded
+///   [`CancelToken`] so in-flight budgeted work stops at its next
+///   checkpoint boundary. This is the crash-simulation path: whatever a
+///   killed job persisted (checkpoints written at slice boundaries) is
+///   what a restarted service resumes from.
+///
+/// All clones share state; `drain` and `kill` are idempotent, and `kill`
+/// implies `drain`.
+#[derive(Debug, Clone, Default)]
+pub struct DrainSignal {
+    draining: Arc<AtomicBool>,
+    kill: CancelToken,
+}
+
+impl DrainSignal {
+    /// A fresh signal: not draining, not killed.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a graceful drain (idempotent, visible to all clones).
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Requests an abrupt stop: drains *and* cancels the kill token so
+    /// cooperative engines stop at their next boundary.
+    pub fn kill(&self) {
+        self.drain();
+        self.kill.cancel();
+    }
+
+    /// Whether a drain (graceful or abrupt) has been requested.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Whether an abrupt stop has been requested.
+    #[must_use]
+    pub fn is_killed(&self) -> bool {
+        self.kill.is_cancelled()
+    }
+
+    /// The cancellation token a killed service fires; thread it into every
+    /// in-flight [`RunControl`] so kill reaches running engines.
+    #[must_use]
+    pub fn kill_token(&self) -> &CancelToken {
+        &self.kill
+    }
 }
 
 /// The control block threaded through an engine call: one cancellation
@@ -485,6 +576,60 @@ mod tests {
             .expect_err("directory does not exist");
         assert!(matches!(err, EngineError::Io { .. }));
         assert!(!err.is_usage());
+    }
+
+    #[test]
+    fn tightest_takes_earlier_deadline_and_smaller_quota() {
+        let a = RunBudget::unlimited()
+            .with_timeout(Duration::from_secs(10))
+            .with_quota(100);
+        let b = RunBudget::unlimited()
+            .with_timeout(Duration::from_secs(1))
+            .with_quota(500);
+        let t = a.tightest(b);
+        assert_eq!(t.deadline, b.deadline);
+        assert_eq!(t.quota, Some(100));
+        // A one-sided limit survives composition with an unlimited budget.
+        let u = RunBudget::unlimited().tightest(a);
+        assert_eq!(u.deadline, a.deadline);
+        assert_eq!(u.quota, Some(100));
+        assert!(!RunBudget::unlimited()
+            .tightest(RunBudget::unlimited())
+            .is_limited());
+    }
+
+    #[test]
+    fn remaining_ms_tracks_deadline() {
+        assert_eq!(RunBudget::unlimited().remaining_ms(), None);
+        let far = RunBudget::unlimited().with_timeout(Duration::from_secs(3600));
+        let ms = far.remaining_ms().unwrap();
+        assert!(ms > 3_500_000 && ms <= 3_600_000, "ms={ms}");
+        let past = RunBudget::unlimited().with_timeout(Duration::ZERO);
+        assert_eq!(past.remaining_ms(), Some(0));
+    }
+
+    #[test]
+    fn drain_signal_two_phases() {
+        let s = DrainSignal::new();
+        let clone = s.clone();
+        assert!(!s.is_draining() && !s.is_killed());
+        clone.drain();
+        assert!(s.is_draining());
+        assert!(!s.is_killed());
+        assert!(!s.kill_token().is_cancelled());
+        clone.kill();
+        assert!(s.is_draining() && s.is_killed());
+        assert!(s.kill_token().is_cancelled());
+        // A control threaded with the kill token observes the kill.
+        let c = RunControl::with_token(s.kill_token().clone());
+        assert_eq!(c.check(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn kill_implies_drain() {
+        let s = DrainSignal::new();
+        s.kill();
+        assert!(s.is_draining());
     }
 
     #[test]

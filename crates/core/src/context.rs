@@ -52,6 +52,154 @@ pub enum AnalysisTier {
     Separation,
 }
 
+impl AnalysisTier {
+    /// The next cheaper tier in the lattice, or `None` at the floor:
+    /// `Separation → GateSep → Timing → ∅`. Degradation logic walks this
+    /// chain until the candidate tier fits its budget.
+    #[must_use]
+    pub fn downgrade(self) -> Option<AnalysisTier> {
+        match self {
+            AnalysisTier::Separation => Some(AnalysisTier::GateSep),
+            AnalysisTier::GateSep => Some(AnalysisTier::Timing),
+            AnalysisTier::Timing => None,
+        }
+    }
+
+    /// Canonical lower-case name, the wire form of the serving protocol.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnalysisTier::Timing => "timing",
+            AnalysisTier::GateSep => "gatesep",
+            AnalysisTier::Separation => "separation",
+        }
+    }
+}
+
+impl std::fmt::Display for AnalysisTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for AnalysisTier {
+    type Err = iddq_control::EngineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "timing" => Ok(AnalysisTier::Timing),
+            "gatesep" => Ok(AnalysisTier::GateSep),
+            "separation" => Ok(AnalysisTier::Separation),
+            other => Err(iddq_control::EngineError::InvalidArg(format!(
+                "unknown analysis tier {other:?} (expected timing | gatesep | separation)"
+            ))),
+        }
+    }
+}
+
+/// Resource ceilings consulted by [`plan_tier`] before an analysis build
+/// is committed to: how much wall clock is left on the request and how
+/// much memory the artifact may occupy. `None` means unconstrained.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TierBudget {
+    /// Milliseconds left before the caller's deadline.
+    pub remaining_ms: Option<u64>,
+    /// Ceiling on the analysis artifact's heap footprint, bytes.
+    pub memory_bytes: Option<usize>,
+}
+
+/// The tier [`plan_tier`] decided to build, and whether that is a
+/// degradation from what the caller asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierPlan {
+    /// The tier that fits the budget.
+    pub tier: AnalysisTier,
+    /// `true` iff `tier` is below the requested tier.
+    pub degraded: bool,
+    /// Human-readable reason for the downgrade (empty when not degraded).
+    pub reason: String,
+}
+
+/// Conservative build-rate assumption for the separation analyses,
+/// table entries per millisecond: used by [`plan_tier`] to translate a
+/// remaining-deadline budget into a largest-affordable table. Calibrated
+/// well below the measured flat-BFS engine rate so the planner errs
+/// toward degrading early rather than blowing a deadline mid-build.
+pub const SEPARATION_ENTRIES_PER_MS: u64 = 20_000;
+
+/// Picks the most capable [`AnalysisTier`] at or below `requested` whose
+/// estimated build cost fits `budget`, walking the
+/// [`AnalysisTier::downgrade`] chain: `Separation → GateSep → Timing`.
+///
+/// The cost model is deliberately cheap — a sampled
+/// [`SeparationOracle::estimate_bytes`] probe (no table is built) and the
+/// fixed [`SEPARATION_ENTRIES_PER_MS`] rate — because this runs on the
+/// admission path of every `stats` request the server plans. `Timing`
+/// always fits: its analyses are linear passes the request would not be
+/// admitted without.
+#[must_use]
+pub fn plan_tier(
+    netlist: &Netlist,
+    rho: u32,
+    requested: AnalysisTier,
+    budget: &TierBudget,
+) -> TierPlan {
+    let full_bytes = match requested {
+        AnalysisTier::Timing => 0,
+        _ => SeparationOracle::estimate_bytes(netlist, rho),
+    };
+    // The gate-only table skips every primary-input row and stores only
+    // gate→gate pairs; scale the full-table estimate by the squared gate
+    // fraction (both the row count and the per-row ball shrink).
+    let gate_fraction = if netlist.node_count() == 0 {
+        0.0
+    } else {
+        netlist.gate_count() as f64 / netlist.node_count() as f64
+    };
+    let mut tier = requested;
+    let mut reason = String::new();
+    loop {
+        let est_bytes = match tier {
+            AnalysisTier::Timing => break,
+            AnalysisTier::GateSep => (full_bytes as f64 * gate_fraction * gate_fraction) as usize,
+            AnalysisTier::Separation => full_bytes,
+        };
+        let over_memory = budget.memory_bytes.is_some_and(|cap| est_bytes > cap);
+        let over_deadline = budget.remaining_ms.is_some_and(|ms| {
+            let entries = est_bytes as u64 / 8;
+            entries.div_ceil(SEPARATION_ENTRIES_PER_MS) > ms
+        });
+        if !over_memory && !over_deadline {
+            break;
+        }
+        if reason.is_empty() {
+            reason = format!(
+                "{} tier needs ~{} bytes{}",
+                tier.as_str(),
+                est_bytes,
+                if over_memory {
+                    " (over memory ceiling)"
+                } else {
+                    " (over deadline budget)"
+                }
+            );
+        }
+        match tier.downgrade() {
+            Some(lower) => tier = lower,
+            None => break,
+        }
+    }
+    TierPlan {
+        degraded: tier < requested,
+        tier,
+        reason: if tier < requested {
+            reason
+        } else {
+            String::new()
+        },
+    }
+}
+
 /// Precomputed, partition-independent analysis of one `(netlist, library,
 /// config)` triple.
 ///
@@ -477,5 +625,94 @@ mod tests {
     fn tier_ordering_reflects_the_lattice() {
         assert!(AnalysisTier::Timing < AnalysisTier::GateSep);
         assert!(AnalysisTier::GateSep < AnalysisTier::Separation);
+    }
+
+    #[test]
+    fn tier_downgrade_chain_and_names() {
+        assert_eq!(
+            AnalysisTier::Separation.downgrade(),
+            Some(AnalysisTier::GateSep)
+        );
+        assert_eq!(
+            AnalysisTier::GateSep.downgrade(),
+            Some(AnalysisTier::Timing)
+        );
+        assert_eq!(AnalysisTier::Timing.downgrade(), None);
+        for tier in [
+            AnalysisTier::Timing,
+            AnalysisTier::GateSep,
+            AnalysisTier::Separation,
+        ] {
+            assert_eq!(tier.as_str().parse::<AnalysisTier>().unwrap(), tier);
+        }
+        assert_eq!(
+            "SEPARATION".parse::<AnalysisTier>().unwrap(),
+            AnalysisTier::Separation
+        );
+        assert!("turbo".parse::<AnalysisTier>().is_err());
+    }
+
+    #[test]
+    fn plan_tier_unconstrained_grants_request() {
+        let nl = data::ripple_adder(16);
+        let plan = plan_tier(&nl, 4, AnalysisTier::Separation, &TierBudget::default());
+        assert_eq!(plan.tier, AnalysisTier::Separation);
+        assert!(!plan.degraded);
+        assert!(plan.reason.is_empty());
+    }
+
+    #[test]
+    fn plan_tier_degrades_under_memory_pressure() {
+        let nl = data::ripple_adder(64);
+        // A ceiling below even the gate-only table forces the floor.
+        let starved = plan_tier(
+            &nl,
+            4,
+            AnalysisTier::Separation,
+            &TierBudget {
+                remaining_ms: None,
+                memory_bytes: Some(16),
+            },
+        );
+        assert_eq!(starved.tier, AnalysisTier::Timing);
+        assert!(starved.degraded);
+        assert!(starved.reason.contains("memory"));
+        // A generous ceiling keeps the full tier.
+        let roomy = plan_tier(
+            &nl,
+            4,
+            AnalysisTier::Separation,
+            &TierBudget {
+                remaining_ms: None,
+                memory_bytes: Some(usize::MAX),
+            },
+        );
+        assert_eq!(roomy.tier, AnalysisTier::Separation);
+        assert!(!roomy.degraded);
+    }
+
+    #[test]
+    fn plan_tier_degrades_under_deadline_pressure() {
+        let nl = data::ripple_adder(64);
+        let rushed = plan_tier(
+            &nl,
+            4,
+            AnalysisTier::Separation,
+            &TierBudget {
+                remaining_ms: Some(0),
+                memory_bytes: None,
+            },
+        );
+        assert!(rushed.tier < AnalysisTier::Separation);
+        assert!(rushed.degraded);
+        assert!(rushed.reason.contains("deadline"));
+    }
+
+    #[test]
+    fn plan_tier_never_upgrades_a_timing_request() {
+        let nl = data::c17();
+        let plan = plan_tier(&nl, 4, AnalysisTier::Timing, &TierBudget::default());
+        assert_eq!(plan.tier, AnalysisTier::Timing);
+        assert!(!plan.degraded);
     }
 }

@@ -90,7 +90,7 @@ pub mod standard;
 pub mod start;
 
 pub use config::{PartitionConfig, Weights};
-pub use context::{AnalysisTier, EvalContext, EvalContextBuilder};
+pub use context::{plan_tier, AnalysisTier, EvalContext, EvalContextBuilder, TierBudget, TierPlan};
 pub use cost::CostBreakdown;
 pub use evaluator::Evaluated;
 pub use partition::Partition;

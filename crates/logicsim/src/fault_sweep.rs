@@ -296,10 +296,16 @@ pub struct FaultSweepOutcome {
 /// The checkpoint format (stable JSON via the vendored serde) holds:
 ///
 /// * `fingerprint` — 64-bit FNV-1a over the netlist structure, the fault
-///   list, the vector set and the lane width, hex-encoded. A resumed run
-///   must fingerprint identically or [`sweep_resume`] rejects it with
-///   [`EngineError::CheckpointMismatch`] — resuming against a different
-///   circuit or vector set would silently corrupt the min-merge.
+///   list, the vector set, the lane width, and the thread/shard grid
+///   options, hex-encoded. A resumed run must fingerprint identically or
+///   [`sweep_resume`] rejects it with [`EngineError::CheckpointMismatch`]
+///   — resuming against a different circuit or vector set would silently
+///   corrupt the min-merge, and resuming under a different grid
+///   configuration is rejected *by policy*: the merge itself is
+///   config-independent, but a service restoring a checkpoint must know
+///   it is replaying the run it thinks it is. (`fault_dropping`,
+///   `backend` and the chaos injection knob are deliberately excluded:
+///   they never change results, only work.)
 /// * `first_detection` — the per-fault earliest detection indices merged
 ///   over all grid cells completed before the interruption.
 /// * `done_batches` — which pattern batches were fully swept against
@@ -308,10 +314,15 @@ pub struct FaultSweepOutcome {
 pub struct SweepCheckpoint {
     /// Netlist name (informational; the fingerprint is what binds).
     pub circuit: String,
-    /// Hex-encoded FNV-1a fingerprint of (netlist, faults, vectors, lanes).
+    /// Hex-encoded FNV-1a fingerprint of (netlist, faults, vectors,
+    /// lanes, threads, fault_shards).
     pub fingerprint: String,
     /// Packed lane width the batch geometry was computed with.
     pub lanes: u32,
+    /// Worker-thread option of the original run (raw value; `0` = auto).
+    pub threads: usize,
+    /// Fault-shard option of the original run (raw value; `0` = auto).
+    pub fault_shards: usize,
     /// Number of vectors in the sweep.
     pub num_vectors: usize,
     /// Per-fault earliest detection so far (`null` = none yet).
@@ -345,9 +356,12 @@ fn run_fingerprint<W: PackedWord>(
     netlist: &Netlist,
     faults: &[LogicFault],
     vectors: &[Vec<bool>],
+    options: &FaultSweepOptions,
 ) -> String {
     let mut h = Fnv::new();
     h.u64(u64::from(W::LANES));
+    h.u64(options.threads as u64);
+    h.u64(options.fault_shards as u64);
     h.u64(netlist.node_count() as u64);
     h.u64(netlist.num_inputs() as u64);
     h.u64(netlist.num_outputs() as u64);
@@ -395,19 +409,22 @@ fn run_fingerprint<W: PackedWord>(
 impl SweepCheckpoint {
     /// Captures a checkpoint of `outcome` for later [`sweep_resume`].
     ///
-    /// `W` must be the lane width the sweep ran with (the batch geometry
-    /// is part of the fingerprint).
+    /// `W` must be the lane width and `options` the grid configuration
+    /// the sweep ran with (both are part of the fingerprint).
     #[must_use]
     pub fn capture<W: PackedWord>(
         netlist: &Netlist,
         faults: &[LogicFault],
         vectors: &[Vec<bool>],
+        options: &FaultSweepOptions,
         outcome: &FaultSweepOutcome,
     ) -> Self {
         SweepCheckpoint {
             circuit: netlist.name().to_owned(),
-            fingerprint: run_fingerprint::<W>(netlist, faults, vectors),
+            fingerprint: run_fingerprint::<W>(netlist, faults, vectors, options),
             lanes: W::LANES,
+            threads: options.threads,
+            fault_shards: options.fault_shards,
             num_vectors: vectors.len(),
             first_detection: outcome.first_detection.clone(),
             done_batches: outcome.done_batches.clone(),
@@ -420,12 +437,14 @@ impl SweepCheckpoint {
     /// # Errors
     ///
     /// [`EngineError::CheckpointMismatch`] when the fingerprint, the
-    /// fault count or the batch geometry disagrees.
+    /// fault count, the batch geometry or the thread/shard grid options
+    /// disagree.
     pub fn validate<W: PackedWord>(
         &self,
         netlist: &Netlist,
         faults: &[LogicFault],
         vectors: &[Vec<bool>],
+        options: &FaultSweepOptions,
     ) -> Result<(), EngineError> {
         let mismatch = |what: &str| {
             Err(EngineError::CheckpointMismatch(format!(
@@ -438,6 +457,18 @@ impl SweepCheckpoint {
                 "lane width {} differs from the run's {}",
                 self.lanes,
                 W::LANES
+            ));
+        }
+        if self.threads != options.threads {
+            return mismatch(&format!(
+                "thread option {} differs from the run's {}",
+                self.threads, options.threads
+            ));
+        }
+        if self.fault_shards != options.fault_shards {
+            return mismatch(&format!(
+                "fault-shard option {} differs from the run's {}",
+                self.fault_shards, options.fault_shards
             ));
         }
         if self.num_vectors != vectors.len() {
@@ -461,7 +492,7 @@ impl SweepCheckpoint {
                 self.done_batches.len()
             ));
         }
-        let expected = run_fingerprint::<W>(netlist, faults, vectors);
+        let expected = run_fingerprint::<W>(netlist, faults, vectors, options);
         if self.fingerprint != expected {
             return mismatch("netlist/fault/vector fingerprint differs");
         }
@@ -608,7 +639,8 @@ pub fn sweep_with_control<W: PackedWord>(
 /// # Errors
 ///
 /// [`EngineError::CheckpointMismatch`] when the checkpoint does not
-/// fingerprint-match the given netlist/faults/vectors/lanes.
+/// fingerprint-match the given netlist/faults/vectors/lanes or was taken
+/// under different thread/shard grid options.
 pub fn sweep_resume<W: PackedWord>(
     netlist: &Netlist,
     faults: &[LogicFault],
@@ -617,7 +649,7 @@ pub fn sweep_resume<W: PackedWord>(
     control: &RunControl,
     checkpoint: &SweepCheckpoint,
 ) -> Result<Outcome<FaultSweepOutcome>, EngineError> {
-    checkpoint.validate::<W>(netlist, faults, vectors)?;
+    checkpoint.validate::<W>(netlist, faults, vectors, options)?;
     Ok(sweep_impl::<W>(
         netlist,
         faults,
@@ -1123,20 +1155,50 @@ mod tests {
         let nl = data::c17();
         let faults = c17_fault_list(&nl);
         let vectors = c17_vectors(130);
-        let out = sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions::default());
-        let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &out);
+        let opts = FaultSweepOptions::default();
+        let out = sweep::<u64>(&nl, &faults, &vectors, &opts);
+        let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &opts, &out);
         let back = SweepCheckpoint::from_json(&cp.to_json()).unwrap();
         assert_eq!(cp, back);
         assert_eq!(cp.progress(), 1.0);
-        assert!(cp.validate::<u64>(&nl, &faults, &vectors).is_ok());
+        assert!(cp.validate::<u64>(&nl, &faults, &vectors, &opts).is_ok());
         // Wrong lane width, vector count, fault list: all rejected.
-        assert!(cp.validate::<W256>(&nl, &faults, &vectors).is_err());
-        assert!(cp.validate::<u64>(&nl, &faults, &vectors[..129]).is_err());
-        assert!(cp.validate::<u64>(&nl, &faults[..3], &vectors).is_err());
+        assert!(cp.validate::<W256>(&nl, &faults, &vectors, &opts).is_err());
+        assert!(cp
+            .validate::<u64>(&nl, &faults, &vectors[..129], &opts)
+            .is_err());
+        assert!(cp
+            .validate::<u64>(&nl, &faults[..3], &vectors, &opts)
+            .is_err());
         // Same shapes, different vector *content*: fingerprint catches it.
         let mut other = vectors.clone();
         other[7][2] = !other[7][2];
-        assert!(cp.validate::<u64>(&nl, &faults, &other).is_err());
+        assert!(cp.validate::<u64>(&nl, &faults, &other, &opts).is_err());
+        // Same run, different thread/shard grid options: rejected, with a
+        // message naming the offending option.
+        let threaded = FaultSweepOptions {
+            threads: 3,
+            ..FaultSweepOptions::default()
+        };
+        let err = cp
+            .validate::<u64>(&nl, &faults, &vectors, &threaded)
+            .unwrap_err();
+        assert!(err.to_string().contains("thread option"), "{err}");
+        let sharded = FaultSweepOptions {
+            fault_shards: 2,
+            ..FaultSweepOptions::default()
+        };
+        let err = cp
+            .validate::<u64>(&nl, &faults, &vectors, &sharded)
+            .unwrap_err();
+        assert!(err.to_string().contains("fault-shard option"), "{err}");
+        // Options that never change results are *not* bound: a checkpoint
+        // taken with dropping on resumes with dropping off.
+        let no_drop = FaultSweepOptions {
+            fault_dropping: false,
+            ..FaultSweepOptions::default()
+        };
+        assert!(cp.validate::<u64>(&nl, &faults, &vectors, &no_drop).is_ok());
         assert!(SweepCheckpoint::from_json("{ not json").is_err());
     }
 
@@ -1170,7 +1232,7 @@ mod tests {
                         value
                     }
                 };
-                let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &partial);
+                let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &opts, &partial);
                 assert!(cp.progress() < 1.0, "quota={quota} left nothing to resume");
                 let resumed = sweep_resume::<u64>(
                     &nl,
@@ -1252,7 +1314,7 @@ mod tests {
                 Outcome::Complete(_) => panic!("chaos batch must poison the run"),
             };
             assert!(!partial.done_batches[2], "the chaos batch cannot be done");
-            let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &partial);
+            let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &chaos, &partial);
             let sane = FaultSweepOptions {
                 threads,
                 fault_shards: shards,
@@ -1273,7 +1335,13 @@ mod tests {
         let faults = c17_fault_list(&nl);
         let vectors = c17_vectors(128);
         let out = sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions::default());
-        let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &out);
+        let cp = SweepCheckpoint::capture::<u64>(
+            &nl,
+            &faults,
+            &vectors,
+            &FaultSweepOptions::default(),
+            &out,
+        );
         let other = c17_vectors(127);
         let err = sweep_resume::<u64>(
             &nl,

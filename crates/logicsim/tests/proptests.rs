@@ -639,7 +639,9 @@ mod sweep_chaos {
                 // Persist through JSON exactly like the CLI does — the
                 // resume path must survive serialization, not just the
                 // in-memory struct.
-                let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, outcome.value());
+                let cp = SweepCheckpoint::capture::<u64>(
+                    &nl, &faults, &vectors, &opts, outcome.value(),
+                );
                 let cp = SweepCheckpoint::from_json(&cp.to_json()).expect("round-trip");
                 let again = RunControl::with_budget(RunBudget::unlimited().with_quota(quota));
                 outcome = fault_sweep::sweep_resume::<u64>(
@@ -695,7 +697,9 @@ mod sweep_chaos {
                 return;
             }
             prop_assert_eq!(outcome.stop_reason(), Some(StopReason::WorkerPanicked));
-            let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, outcome.value());
+            let cp = SweepCheckpoint::capture::<u64>(
+                &nl, &faults, &vectors, &chaotic, outcome.value(),
+            );
             let cp = SweepCheckpoint::from_json(&cp.to_json()).expect("round-trip");
             let resumed = fault_sweep::sweep_resume::<u64>(
                 &nl, &faults, &vectors, &clean, &RunControl::unlimited(), &cp,

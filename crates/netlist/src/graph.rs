@@ -224,6 +224,46 @@ impl Netlist {
                 / 7
     }
 
+    /// A 64-bit FNV-1a hash of the circuit *structure*: node kinds,
+    /// fan-in lists, input order, and output order. Node names are
+    /// deliberately excluded — two netlists that differ only in naming
+    /// simulate identically, compile to the same CSR programs, and have
+    /// the same separation tables, so they may share cached artifacts.
+    ///
+    /// This is the cache key of the serving layer: an inline `.bench`
+    /// upload that hashes to a known structure reuses the compiled
+    /// simulator and oracle instead of rebuilding them.
+    #[must_use]
+    pub fn structural_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut put = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        put(self.nodes.len() as u64);
+        put(self.inputs.len() as u64);
+        for n in &self.nodes {
+            let kind_tag = match n.kind {
+                NodeKind::Input => u64::MAX,
+                NodeKind::Gate(k) => k as u64,
+            };
+            put(kind_tag);
+            put(n.fanin.len() as u64);
+            for f in &n.fanin {
+                put(u64::from(f.0));
+            }
+        }
+        put(self.outputs.len() as u64);
+        for o in &self.outputs {
+            put(u64::from(o.0));
+        }
+        h
+    }
+
     /// Total node count (primary inputs + gates).
     #[must_use]
     pub fn node_count(&self) -> usize {
@@ -587,6 +627,47 @@ mod tests {
                 assert!(pos[f.index()] < pos[id.index()]);
             }
         }
+    }
+
+    #[test]
+    fn structural_fingerprint_ignores_names_not_structure() {
+        let nl = half_adder();
+        assert_eq!(nl.structural_fingerprint(), nl.structural_fingerprint());
+
+        // Same structure, different names: identical fingerprint.
+        let mut b = NetlistBuilder::new("renamed");
+        let a = b.add_input("x");
+        let c = b.add_input("y");
+        let s = b.add_gate("sum", CellKind::Xor, vec![a, c]).unwrap();
+        let k = b.add_gate("carry", CellKind::And, vec![a, c]).unwrap();
+        b.mark_output(s);
+        b.mark_output(k);
+        let renamed = b.build().unwrap();
+        assert_eq!(
+            nl.structural_fingerprint(),
+            renamed.structural_fingerprint()
+        );
+
+        // Changing a gate kind changes the fingerprint.
+        let mut b = NetlistBuilder::new("nand-ha");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let s = b.add_gate("s", CellKind::Xor, vec![a, c]).unwrap();
+        let k = b.add_gate("k", CellKind::Nand, vec![a, c]).unwrap();
+        b.mark_output(s);
+        b.mark_output(k);
+        let kinded = b.build().unwrap();
+        assert_ne!(nl.structural_fingerprint(), kinded.structural_fingerprint());
+
+        // Dropping an output changes the fingerprint.
+        let mut b = NetlistBuilder::new("one-out");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let s = b.add_gate("s", CellKind::Xor, vec![a, c]).unwrap();
+        let _k = b.add_gate("k", CellKind::And, vec![a, c]).unwrap();
+        b.mark_output(s);
+        let fewer = b.build().unwrap();
+        assert_ne!(nl.structural_fingerprint(), fewer.structural_fingerprint());
     }
 
     #[test]

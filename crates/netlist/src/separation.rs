@@ -668,6 +668,40 @@ impl SeparationOracle {
         self.flat.len()
     }
 
+    /// Estimates the heap footprint a full `(netlist, rho)` table would
+    /// occupy **without building it**, by running the bounded BFS from a
+    /// small evenly spaced sample of sources (≤ 32) and extrapolating the
+    /// mean ball size to all `V` rows.
+    ///
+    /// The estimate costs `O(V + E)` for the adjacency copy plus 32
+    /// ρ-bounded BFS runs — orders of magnitude below the `O(V · ball)`
+    /// build — and is what the serving layer's admission/degradation
+    /// logic consults before committing to a [`Separation`-tier]
+    /// (crate::separation) context under a memory ceiling. Accuracy is
+    /// within sampling error of the true mean ball size; treat it as a
+    /// planning signal, not an exact quote.
+    #[must_use]
+    pub fn estimate_bytes(netlist: &Netlist, rho: u32) -> usize {
+        let n = netlist.node_count();
+        if n == 0 || rho == 0 {
+            return 0;
+        }
+        let (adj_offsets, adj_pool) = undirected_csr(netlist);
+        let samples = n.min(32);
+        let stride = n / samples;
+        let mut scratch = BfsScratch::new(n);
+        let mut flat: Vec<(u32, u32)> = Vec::new();
+        let mut sampled_entries = 0usize;
+        for k in 0..samples {
+            flat.clear();
+            scratch.row_into((k * stride) as u32, rho, &adj_offsets, &adj_pool, &mut flat);
+            sampled_entries += flat.len();
+        }
+        let mean_row = sampled_entries as f64 / samples as f64;
+        let entries = (mean_row * n as f64) as usize;
+        entries * std::mem::size_of::<(u32, u32)>() + (n + 1) * std::mem::size_of::<u32>()
+    }
+
     /// The historical per-node `HashMap` BFS build (the PR 4 constructor),
     /// kept as the **differential oracle**: it must produce a table equal
     /// to [`SeparationOracle::new`] bit for bit (property-tested), and the
@@ -1067,6 +1101,22 @@ mod tests {
         assert_eq!(sep.distance(g0, g1), 1);
         assert_eq!(sep.distance(g0, g2), 2);
         assert_eq!(sep.distance(g0, g9), 3); // saturated at rho
+    }
+
+    #[test]
+    fn estimate_bytes_tracks_actual_footprint() {
+        // On a regular structure (uniform ball sizes) the sampled
+        // estimate should land within a factor of 2 of the real table.
+        let nl = data::ripple_adder(64);
+        for rho in [2u32, 4] {
+            let actual = SeparationOracle::new(&nl, rho).memory_bytes();
+            let est = SeparationOracle::estimate_bytes(&nl, rho);
+            assert!(
+                est * 2 >= actual && est <= actual * 2,
+                "rho={rho}: est={est} actual={actual}"
+            );
+        }
+        assert_eq!(SeparationOracle::estimate_bytes(&nl, 0), 0);
     }
 
     #[test]

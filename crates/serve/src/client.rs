@@ -1,0 +1,130 @@
+//! A minimal blocking JSON-lines client for `iddq serve`.
+//!
+//! One [`Client`] owns one connection. [`Client::call`] is the simple
+//! request/response path; [`Client::send_value`] + [`Client::recv`] let
+//! callers pipeline several requests and collect the (possibly
+//! reordered) responses themselves — work-op responses are written by
+//! whichever worker finishes first, so pipelined callers must correlate
+//! by `id`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use iddq_control::EngineError;
+use serde::Value;
+
+/// One connection to a serve instance.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> EngineError {
+    EngineError::Io {
+        path: context.to_owned(),
+        message: e.to_string(),
+    }
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7171"`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] when the connection fails.
+    pub fn connect(addr: &str) -> Result<Client, EngineError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err(addr, &e))?;
+        let read_half = stream.try_clone().map_err(|e| io_err(addr, &e))?;
+        Ok(Client {
+            writer: stream,
+            reader: BufReader::new(read_half),
+        })
+    }
+
+    /// Bounds how long [`Client::recv`] blocks (`None` = forever).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] when the socket rejects the option.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), EngineError> {
+        self.writer
+            .set_read_timeout(timeout)
+            .map_err(|e| io_err("set_read_timeout", &e))?;
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| io_err("set_read_timeout", &e))
+    }
+
+    /// Sends one request object as one line.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] when the write fails (server gone).
+    pub fn send_value(&mut self, request: &Value) -> Result<(), EngineError> {
+        let mut text = serde_json::to_string(request).unwrap_or_default();
+        text.push('\n');
+        self.send_raw(&text)
+    }
+
+    /// Sends raw bytes — the escape hatch for protocol tests that need
+    /// to transmit malformed or oversized lines on purpose. Appends the
+    /// line terminator when missing.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] when the write fails.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), EngineError> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| {
+                if line.ends_with('\n') {
+                    Ok(())
+                } else {
+                    self.writer.write_all(b"\n")
+                }
+            })
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| io_err("send", &e))
+    }
+
+    /// Reads the next response line; `Ok(None)` on a clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] on socket errors (including read timeouts);
+    /// [`EngineError::Parse`] when the server emitted a non-JSON line
+    /// (which would be a server bug).
+    pub fn recv(&mut self) -> Result<Option<Value>, EngineError> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| io_err("recv", &e))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        serde_json::from_str(line.trim_end())
+            .map(Some)
+            .map_err(|e| EngineError::Parse {
+                line: 0,
+                message: format!("unparseable server response: {e}"),
+            })
+    }
+
+    /// One request, one response.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] when the connection drops before a response
+    /// arrives, plus everything [`Client::send_value`] / [`Client::recv`]
+    /// can return.
+    pub fn call(&mut self, request: &Value) -> Result<Value, EngineError> {
+        self.send_value(request)?;
+        self.recv()?.ok_or_else(|| EngineError::Io {
+            path: "recv".into(),
+            message: "connection closed before a response arrived".into(),
+        })
+    }
+}

@@ -1,0 +1,143 @@
+//! Fuzzing the request parser: whatever bytes arrive on the wire, the
+//! parser returns a typed, line-numbered result — it never panics, and
+//! well-formed requests round-trip losslessly.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use iddq_serve::protocol::parse_request;
+
+/// Random bytes biased toward the JSON alphabet so mutations hit deep
+/// parser states, not just the first byte.
+fn json_soup(seed: u64, len: usize) -> String {
+    const ALPHABET: &[u8] = br#"{}[]":,.0123456789abcdefghijklmnop_- truefalsenull\"#;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bytes: Vec<u8> = (0..len)
+        .map(|_| {
+            if rng.gen_range(0..20usize) == 0 {
+                rng.gen() // occasional arbitrary byte, including non-UTF-8
+            } else {
+                ALPHABET[rng.gen_range(0..ALPHABET.len())]
+            }
+        })
+        .collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// A syntactically valid request line with randomized fields.
+fn valid_request_line(seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let ops = [
+        "ping", "sim", "faults", "stats", "sleep", "metrics", "drain",
+    ];
+    let mut fields = vec![
+        format!(r#""id": {}"#, rng.gen::<u32>()),
+        format!(r#""op": "{}""#, ops[rng.gen_range(0..ops.len())]),
+    ];
+    if rng.gen() {
+        fields.push(r#""circuit": "c432""#.to_owned());
+    }
+    if rng.gen() {
+        fields.push(format!(r#""vectors": {}"#, rng.gen_range(1..4096)));
+    }
+    if rng.gen() {
+        fields.push(format!(
+            r#""deadline_ms": {}"#,
+            rng.gen_range(0u64..100_000)
+        ));
+    }
+    if rng.gen() {
+        fields.push(format!(r#""seed": {}"#, rng.gen::<u32>()));
+    }
+    format!("{{{}}}", fields.join(", "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary wire garbage: the parser classifies, never panics, and
+    /// stamps the caller's line number on every failure.
+    #[test]
+    fn parser_survives_random_bytes(seed in any::<u64>(), len in 0usize..600) {
+        let text = json_soup(seed, len);
+        match parse_request(7, &text) {
+            Ok(req) => {
+                // Whatever parsed must also validate without panicking.
+                let _ = req.validate(7);
+            }
+            Err(e) => {
+                prop_assert_eq!(e.line, 7);
+                prop_assert!(!e.kind.is_empty());
+                // The rendered response is a JSON object with the error.
+                let resp = e.to_response();
+                prop_assert!(resp["status"] == "error");
+                prop_assert!(resp["error"]["line"] == 7u64);
+            }
+        }
+    }
+
+    /// Point mutations of valid requests: flipping bytes anywhere in a
+    /// well-formed line never panics the parser.
+    #[test]
+    fn parser_survives_mutated_requests(seed in any::<u64>(), flips in 1usize..8) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+        let mut bytes = valid_request_line(seed).into_bytes();
+        for _ in 0..flips {
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] = rng.gen();
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        match parse_request(3, &text) {
+            Ok(req) => { let _ = req.validate(3); }
+            Err(e) => prop_assert_eq!(e.line, 3),
+        }
+    }
+
+    /// Well-formed requests round-trip: serialize → parse yields the
+    /// same field values.
+    #[test]
+    fn valid_requests_roundtrip(seed in any::<u64>()) {
+        let line = valid_request_line(seed);
+        let req = parse_request(1, &line).expect("valid line must parse");
+        let value: serde::Value = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(req.id, value["id"].as_u64());
+        prop_assert_eq!(req.op.as_deref(), value["op"].as_str());
+        prop_assert_eq!(req.circuit.as_deref(), value["circuit"].as_str());
+        prop_assert_eq!(
+            req.vectors.map(|v| v as u64),
+            value["vectors"].as_u64()
+        );
+        prop_assert_eq!(req.deadline_ms, value["deadline_ms"].as_u64());
+    }
+
+    /// Structured-but-wrong payloads (wrong types in known fields) fail
+    /// with a parse error that still recovers the id when possible.
+    #[test]
+    fn wrong_typed_fields_keep_the_id(id in any::<u32>()) {
+        let line = format!(r#"{{"id": {id}, "op": ["not","a","string"]}}"#);
+        let err = parse_request(2, &line).expect_err("shape must be rejected");
+        assert_eq!(err.id, Some(u64::from(id)));
+        assert_eq!(err.kind, "parse");
+    }
+}
+
+/// Oversized-but-valid and deeply nested payloads stay panic-free.
+#[test]
+fn pathological_shapes_are_rejected_not_fatal() {
+    // Deep nesting.
+    let mut deep = String::new();
+    for _ in 0..2000 {
+        deep.push('[');
+    }
+    assert!(parse_request(1, &deep).is_err());
+    // A huge flat object parses fine and validates as unknown-op.
+    let wide: String = (0..2000).map(|i| format!(r#""k{i}": {i},"#)).collect();
+    let line = format!("{{{} \"op\": \"warp\"}}", wide);
+    let req = parse_request(1, &line).expect("wide object parses");
+    assert!(req.validate(1).is_err());
+    // Unknown fields are ignored, known ones still land.
+    let req = parse_request(1, r#"{"op": "ping", "wat": {"nested": [1,2]}}"#).unwrap();
+    assert_eq!(req.op.as_deref(), Some("ping"));
+    assert!(req.validate(1).is_ok());
+}
