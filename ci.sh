@@ -16,7 +16,10 @@
 # scoring at 3x/7.6x on c7552, the c7552 context build at 2.5x, and (on
 # machines with >= 4 cores, announced explicitly either way) the
 # parallel fault sweep, parallel context build, and structural-parallel
-# sweep at 1.5x. The serve section gates on correctness counts (every
+# sweep at 1.5x. The seq section gates on sequential correctness:
+# multi-frame sweep grids bit-identical and at least one fault
+# first-detected mid-sequence on every s* circuit. The serve section
+# gates on correctness counts (every
 # request answered exactly once, admission shed >= 1, tier degradation
 # >= 1) in both modes, and the serve smoke leg replays the full service
 # scenario end to end (overload, deadlines, degradation, worker panics,
@@ -51,6 +54,14 @@ echo "== scale smoke"
 # against fixed byte ceilings — scale regressions fail fast here instead
 # of surfacing minutes into the full bench.
 cargo run --release -q -p iddq-cli --bin iddq -- scale --smoke
+
+echo "== seq smoke"
+# Sequential circuits end to end on generated s* netlists: .bench DFF
+# round-trip, frame-stepped simulation vs the scalar per-frame-rebuild
+# reference, a multi-frame fault sweep with grid invariance and
+# mid-sequence first detections (state actually carried), and
+# time-frame-expanded ATPG whose vectors replay to detection.
+cargo run --release -q -p iddq-cli --bin iddq -- seq --smoke
 
 echo "== serve smoke"
 # The hardened service end to end against a live in-process server:

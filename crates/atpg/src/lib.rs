@@ -35,7 +35,8 @@ use rand::{Rng, SeedableRng};
 
 use iddq_logicsim::faults::IddqFault;
 use iddq_logicsim::{BackendKind, SimBackend};
-use iddq_netlist::{Netlist, PackedWord, W256};
+use iddq_netlist::unroll::{unroll, Unrolled};
+use iddq_netlist::{Netlist, NetlistError, PackedWord, W256};
 
 /// Generation parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -182,6 +183,206 @@ pub fn generate_packed<W: PackedWord>(
     }
 }
 
+/// A compacted IDDQ test set of multi-frame *sequences*.
+///
+/// Vectors are laid out sequence-major: `vectors[s * frames + t]` is the
+/// frame-`t` stimulus of kept sequence `s` — exactly the layout the
+/// sweep engines consume through their `frames` option. Every sequence
+/// starts from the all-zero reset state.
+#[derive(Debug, Clone)]
+pub struct SeqTestSet {
+    /// Kept per-frame vectors, `frames` consecutive entries per sequence
+    /// (one `bool` per primary input, netlist input order).
+    pub vectors: Vec<Vec<bool>>,
+    /// Frames per sequence (≥ 1).
+    pub frames: usize,
+    /// Activation coverage achieved over the fault universe.
+    pub coverage: f64,
+    /// Per-fault: was it activated at some frame of some kept sequence.
+    pub activated: Vec<bool>,
+}
+
+/// Sequential IDDQ generation by bounded time-frame expansion.
+///
+/// The netlist is unrolled to `frames` copies of its combinational fabric
+/// ([`iddq_netlist::unroll`]); frame-0 state is the all-zero reset, frame
+/// `t > 0` state is the previous frame's captured next-state. Random
+/// per-frame stimuli are then fault-simulated on the unrolled netlist —
+/// one [`W256`] lane per candidate *sequence* — and a sequence is kept
+/// when some frame of it activates a not-yet-covered fault (greedy
+/// first-fit, scanning lanes in index order, as in [`generate`]).
+///
+/// A fault's per-frame activation is evaluated on the good-machine
+/// trajectory through the fault's frame-`t` image, so defects whose
+/// activating state is only *reachable* (not settable combinationally)
+/// become coverable once `frames` is large enough.
+///
+/// `frames` is clamped to ≥ 1. The combinational path is the depth-0
+/// special case: on a DFF-free netlist, `frames = 1` reproduces
+/// [`generate`] bit-for-bit (same random stream, same compaction).
+/// Deterministic for a fixed `(netlist, faults, config, seed, frames)`.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the time-frame expansion.
+pub fn generate_seq(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    config: &AtpgConfig,
+    seed: u64,
+    frames: usize,
+) -> Result<SeqTestSet, NetlistError> {
+    generate_seq_with_backend(netlist, faults, config, seed, frames, BackendKind::Csr)
+}
+
+/// [`generate_seq`] on a chosen simulation engine ([`BackendKind`]).
+///
+/// Backend-invariant for the same reason [`generate_with_backend`] is:
+/// both engines evaluate the unrolled netlist bit-identically.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the time-frame expansion.
+pub fn generate_seq_with_backend(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    config: &AtpgConfig,
+    seed: u64,
+    frames: usize,
+    backend: BackendKind,
+) -> Result<SeqTestSet, NetlistError> {
+    generate_seq_packed::<W256>(netlist, faults, config, seed, frames, backend)
+}
+
+/// Per-frame activation of `fault` on the unrolled good machine.
+///
+/// Sites are mapped through the frame-`t` image. The gate-oxide-short pin
+/// must be resolved through the *original* fan-in list: a DFF's image is
+/// a pseudo-input (frame 0) or an alias of the previous frame's D-driver
+/// image (frame `t > 0`), neither of which preserves the pin ordinal.
+fn seq_activation<W: PackedWord>(
+    fault: &IddqFault,
+    netlist: &Netlist,
+    unrolled: &Unrolled,
+    t: usize,
+    values: &[W],
+) -> W {
+    match *fault {
+        IddqFault::Bridge { a, b, .. } => {
+            values[unrolled.image(t, a).index()] ^ values[unrolled.image(t, b).index()]
+        }
+        IddqFault::GateOxideShort { gate, pin, .. } => {
+            let input = netlist.node(gate).fanin()[pin];
+            values[unrolled.image(t, input).index()] ^ values[unrolled.image(t, gate).index()]
+        }
+        IddqFault::StuckOn { gate, .. } => values[unrolled.image(t, gate).index()],
+    }
+}
+
+/// [`generate_seq_with_backend`] at an explicit lane width (one lane per
+/// candidate sequence, `W::LANES` sequences per batch).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from the time-frame expansion.
+pub fn generate_seq_packed<W: PackedWord>(
+    netlist: &Netlist,
+    faults: &[IddqFault],
+    config: &AtpgConfig,
+    seed: u64,
+    frames: usize,
+    backend: BackendKind,
+) -> Result<SeqTestSet, NetlistError> {
+    let frames = frames.max(1);
+    let unrolled = unroll(netlist, frames)?;
+    let unl = unrolled.netlist();
+    let mut sim = SimBackend::<W>::new(unl, backend);
+
+    // Input slot of each unrolled pseudo-input node.
+    let mut slot = vec![usize::MAX; unl.node_count()];
+    for (i, &n) in unl.inputs().iter().enumerate() {
+        slot[n.index()] = i;
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xa7b6);
+    let mut activated = vec![false; faults.len()];
+    let mut vectors: Vec<Vec<bool>> = Vec::new();
+    let mut remaining = faults.len();
+    let mut stagnant = 0usize;
+    // State pseudo-inputs keep their zero words: the reset convention.
+    let mut words = vec![W::zeros(); unl.num_inputs()];
+    let mut values = vec![W::zeros(); sim.node_count()];
+    let mut masks: Vec<(usize, W)> = Vec::new();
+
+    for _batch in 0..config.max_batches {
+        if faults.is_empty()
+            || 1.0 - remaining as f64 / faults.len() as f64 >= config.target_coverage
+            || stagnant >= config.stagnation_batches
+        {
+            break;
+        }
+        // Draw frame-major in original input order so the frames = 1
+        // stream on a combinational netlist matches `generate` exactly.
+        for t in 0..frames {
+            for &pi in netlist.inputs() {
+                words[slot[unrolled.image(t, pi).index()]] = W::from_limbs(|_| rng.gen());
+            }
+        }
+        sim.eval_into(&words, &mut values);
+        // Whole-sequence activation masks of still-uncovered faults.
+        masks.clear();
+        masks.extend(
+            faults
+                .iter()
+                .enumerate()
+                .filter(|(fi, _)| !activated[*fi])
+                .map(|(fi, f)| {
+                    let mut m = W::zeros();
+                    for t in 0..frames {
+                        m = m | seq_activation(f, netlist, &unrolled, t, &values);
+                    }
+                    (fi, m)
+                }),
+        );
+        let mut batch_progress = false;
+        for k in 0..W::LANES {
+            let mut keep = false;
+            for &(fi, mask) in &masks {
+                if !activated[fi] && mask.bit(k) {
+                    activated[fi] = true;
+                    remaining -= 1;
+                    keep = true;
+                }
+            }
+            if keep {
+                batch_progress = true;
+                for t in 0..frames {
+                    vectors.push(
+                        netlist
+                            .inputs()
+                            .iter()
+                            .map(|&pi| words[slot[unrolled.image(t, pi).index()]].bit(k))
+                            .collect(),
+                    );
+                }
+            }
+        }
+        stagnant = if batch_progress { 0 } else { stagnant + 1 };
+    }
+
+    let coverage = if faults.is_empty() {
+        1.0
+    } else {
+        activated.iter().filter(|&&a| a).count() as f64 / faults.len() as f64
+    };
+    Ok(SeqTestSet {
+        vectors,
+        frames,
+        coverage,
+        activated,
+    })
+}
+
 /// Estimates a test-set *size* without keeping the vectors — the
 /// partitioner's `c_4` estimator only needs the count (§3.4).
 #[must_use]
@@ -284,6 +485,85 @@ mod tests {
         let n = estimate_vector_count(&nl, &faults, &AtpgConfig::default(), 4);
         let t = generate(&nl, &faults, &AtpgConfig::default(), 4);
         assert_eq!(n, t.vectors.len());
+    }
+
+    /// `q = DFF(a)`, `y = AND(q, a)`: activating a stuck-on at `y` needs
+    /// `a = 1` in two consecutive frames — impossible combinationally
+    /// from the all-zero reset state.
+    fn latch_fixture() -> (Netlist, Vec<IddqFault>) {
+        let mut b = iddq_netlist::NetlistBuilder::new("latch1");
+        let a = b.add_input("a");
+        let q = b.add_dff("q").unwrap();
+        let y = b
+            .add_gate("y", iddq_netlist::CellKind::And, vec![q, a])
+            .unwrap();
+        b.set_dff_input(q, a);
+        b.mark_output(y);
+        let nl = b.build().unwrap();
+        let f = IddqFault::StuckOn {
+            gate: nl.find("y").unwrap(),
+            current_ua: 150.0,
+        };
+        (nl, vec![f])
+    }
+
+    #[test]
+    fn seq_depth0_oracle_matches_combinational() {
+        // On a DFF-free netlist, frames = 1 is an exact rename of the
+        // combinational path: identical random stream, identical vectors.
+        let nl = data::ripple_adder(4);
+        let faults = universe(&nl, 9);
+        let comb = generate(&nl, &faults, &AtpgConfig::default(), 5);
+        let seq = generate_seq(&nl, &faults, &AtpgConfig::default(), 5, 1).unwrap();
+        assert_eq!(seq.frames, 1);
+        assert_eq!(seq.vectors, comb.vectors);
+        assert_eq!(seq.activated, comb.activated);
+        assert_eq!(seq.coverage, comb.coverage);
+        // frames = 0 clamps to 1.
+        let clamped = generate_seq(&nl, &faults, &AtpgConfig::default(), 5, 0).unwrap();
+        assert_eq!(clamped.frames, 1);
+        assert_eq!(clamped.vectors, comb.vectors);
+    }
+
+    #[test]
+    fn seq_covers_state_reachable_fault() {
+        let (nl, faults) = latch_fixture();
+        let cfg = AtpgConfig::default();
+        let depth0 = generate_seq(&nl, &faults, &cfg, 5, 1).unwrap();
+        assert_eq!(depth0.coverage, 0.0);
+        assert!(depth0.vectors.is_empty());
+
+        let deep = generate_seq(&nl, &faults, &cfg, 5, 2).unwrap();
+        assert_eq!(deep.frames, 2);
+        assert_eq!(deep.activated, vec![true]);
+        assert_eq!(deep.vectors.len(), 2, "one kept sequence of two frames");
+
+        // Replay the sequence on the original netlist: the defect must be
+        // activated at some frame of the good-machine trajectory.
+        let mut sim = SimBackend::<u64>::new(&nl, BackendKind::Csr);
+        let mut state = vec![0u64; sim.num_state_elements()];
+        let mut values = vec![0u64; sim.node_count()];
+        let mut seen = 0u64;
+        for t in 0..deep.frames {
+            let inputs: Vec<u64> = deep.vectors[t].iter().map(|&b| b as u64).collect();
+            sim.step_frame(&inputs, &mut state, &mut values);
+            seen |= faults[0].activation(&nl, &values) & 1;
+        }
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn seq_deterministic_and_backend_invariant() {
+        let (nl, faults) = latch_fixture();
+        let cfg = AtpgConfig::default();
+        let csr = generate_seq_with_backend(&nl, &faults, &cfg, 7, 3, BackendKind::Csr).unwrap();
+        let delta =
+            generate_seq_with_backend(&nl, &faults, &cfg, 7, 3, BackendKind::Delta).unwrap();
+        assert_eq!(csr.vectors, delta.vectors);
+        assert_eq!(csr.activated, delta.activated);
+        let again = generate_seq(&nl, &faults, &cfg, 7, 3).unwrap();
+        assert_eq!(again.vectors, csr.vectors);
+        assert_eq!(again.vectors.len() % 3, 0, "sequence-major layout");
     }
 
     #[test]

@@ -49,7 +49,12 @@
 //!   bounded-memory partial analysis at scale — plus the c7552
 //!   incremental-ΔW probe: one `ResynthEval` apply→rollback separation
 //!   refresh vs the retained full-refresh reference at asserted
-//!   bit-identical costs, gated ≥ 2×.
+//!   bit-identical costs, gated ≥ 2×,
+//! * the `seq` section: ISCAS-89-like sequential circuits through the
+//!   multi-frame fault sweep — every grid configuration (threads,
+//!   shards, delta backend) asserted bit-identical to the serial CSR
+//!   sweep, and at least one fault must be first detected mid-sequence,
+//!   i.e. only explicable by latched state crossing a frame boundary.
 //!
 //! `--smoke` shrinks the measurement windows for a sub-second CI health
 //! check; `--out PATH` overrides the JSON path.
@@ -978,6 +983,131 @@ fn main() {
         "acceptance_threshold": dw_threshold,
         "pass": dw_speedup >= dw_threshold,
     });
+    // Sequential circuits: the multi-frame fault sweep on ISCAS-89-like
+    // s* profiles. Every grid configuration (worker threads, fault
+    // shards, the delta-patch backend) is asserted to produce the same
+    // per-fault earliest detection as the serial CSR sweep — the frame
+    // loop must not perturb the bit-identity contract the combinational
+    // sweep has always carried. The pass gate is correctness, not
+    // wall-clock: some fault must be first detected mid-sequence (a
+    // detection the frames=1 reading of the same vectors cannot express),
+    // proving the state actually propagates across frame boundaries.
+    println!("== sequential circuits: multi-frame fault sweep ==");
+    let seq_frames: usize = 3;
+    let seq_names: &[&str] = if opts.smoke {
+        &["s298"]
+    } else {
+        &["s298", "s1423"]
+    };
+    let seq_num_vectors = if opts.smoke { 240 } else { 1200 };
+    let mut seq_entries: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+    let mut seq_pass = true;
+    for name in seq_names {
+        let profile = iddq_gen::seq::SeqProfile::by_name(name).expect("known s* profile");
+        let nl = iddq_gen::seq::generate(profile, 7);
+        let seq_faults = iddq_serve::fault_universe(&nl, 32, 7);
+        let seq_vectors = iddq_serve::random_vectors(&nl, seq_num_vectors, 7);
+        let base_opts = FaultSweepOptions {
+            threads: 1,
+            frames: seq_frames,
+            ..FaultSweepOptions::default()
+        };
+        let base = fault_sweep::sweep::<W256>(&nl, &seq_faults, &seq_vectors, &base_opts);
+        for (label, grid) in [
+            (
+                "threads",
+                FaultSweepOptions {
+                    threads: scale_threads,
+                    frames: seq_frames,
+                    ..FaultSweepOptions::default()
+                },
+            ),
+            (
+                "shards",
+                FaultSweepOptions {
+                    threads: 1,
+                    fault_shards: 3,
+                    frames: seq_frames,
+                    ..FaultSweepOptions::default()
+                },
+            ),
+            (
+                "delta",
+                FaultSweepOptions {
+                    threads: 1,
+                    backend: BackendKind::Delta,
+                    frames: seq_frames,
+                    ..FaultSweepOptions::default()
+                },
+            ),
+        ] {
+            let alt = fault_sweep::sweep::<W256>(&nl, &seq_faults, &seq_vectors, &grid);
+            assert_eq!(
+                base.first_detection, alt.first_detection,
+                "{name}: the {label} grid must detect bit-identically to the serial sweep"
+            );
+        }
+        // The combinational lens: the same vector set read frames=1. Any
+        // fault the multi-frame sweep first detects mid-sequence owes
+        // that detection to latched state.
+        let comb_opts = FaultSweepOptions {
+            threads: 1,
+            frames: 1,
+            ..FaultSweepOptions::default()
+        };
+        let comb = fault_sweep::sweep::<W256>(&nl, &seq_faults, &seq_vectors, &comb_opts);
+        let mid_sequence = base
+            .first_detection
+            .iter()
+            .flatten()
+            .filter(|&&v| v % seq_frames > 0)
+            .count();
+        let detected = base.detected.iter().filter(|&&d| d).count();
+        let t_sweep = secs_per_iter(window_ms, || {
+            std::hint::black_box(fault_sweep::sweep::<W256>(
+                &nl,
+                &seq_faults,
+                &seq_vectors,
+                &base_opts,
+            ));
+        });
+        let seq_vps = seq_num_vectors as f64 / t_sweep;
+        let ok = detected > 0 && mid_sequence > 0;
+        seq_pass &= ok;
+        println!(
+            "{name:>8}: {} dffs, {} faults x {seq_num_vectors} vectors @ {seq_frames} frames: \
+             {detected} detected ({:.1}%), {mid_sequence} first-detected mid-sequence | \
+             frames=1 lens {:.1}% | {seq_vps:10.3e} vec/s | grids bit-identical",
+            nl.num_state_elements(),
+            seq_faults.len(),
+            base.coverage * 100.0,
+            comb.coverage * 100.0,
+        );
+        seq_entries.insert(
+            (*name).to_string(),
+            serde_json::json!({
+                "gates": nl.gate_count(),
+                "dffs": nl.num_state_elements(),
+                "faults": seq_faults.len(),
+                "vectors": seq_num_vectors,
+                "frames": seq_frames,
+                "detected": detected,
+                "coverage": base.coverage,
+                "frames1_coverage": comb.coverage,
+                "mid_sequence_first_detections": mid_sequence,
+                "vectors_per_sec": seq_vps,
+                "grid_bit_identical": true,
+                "pass": ok,
+            }),
+        );
+    }
+    let seq = serde_json::json!({
+        "circuits": seq_entries,
+        "frames": seq_frames,
+        "acceptance": "all grids bit-identical; >= 1 fault first detected mid-sequence",
+        "pass": seq_pass,
+    });
+
     // `iddq serve` under concurrent clients: an in-process server with a
     // deliberately small queue and a tiny artifact cache takes a mixed
     // workload from several client threads. Sustained qps and p50/p99
@@ -1213,6 +1343,7 @@ fn main() {
         "context_build": context_build,
         "resynth_patch": resynth_patch,
         "scale": scale,
+        "seq": seq,
         "serve": serve,
     });
     // Atomic temp-file + rename: a crash mid-write can never leave a
@@ -1325,6 +1456,15 @@ fn main() {
         for e in &serve_errors {
             eprintln!("ERROR: serve section: {e}");
         }
+        failed = true;
+    }
+    if !seq_pass {
+        // Correctness, not wall-clock: the multi-frame sweep must detect
+        // something only latched state can explain. Gates in smoke too.
+        eprintln!(
+            "ERROR: seq section: no mid-sequence first detection — the frame loop is not \
+             propagating state across frame boundaries"
+        );
         failed = true;
     }
     // Structural-parallel sweep gate: same ARMED/SKIPPED discipline as

@@ -44,7 +44,11 @@ impl Library {
     pub fn generic_1um() -> Self {
         let technology = Technology::generic_1um();
         let mut cells = HashMap::new();
-        for kind in CellKind::ALL {
+        // `CellKind::ALL` covers only combinational kinds; the DFF state
+        // element still occupies silicon (two clocked latches) and needs
+        // an electrical row for leakage budgets, rail capacitance and
+        // area-driven partitioning of sequential circuits.
+        for kind in CellKind::ALL.into_iter().chain([CellKind::Dff]) {
             let (lo, hi) = kind.fanin_range();
             for n in lo..=hi {
                 cells.insert((kind, n), synth_cell(kind, n));
@@ -116,12 +120,14 @@ fn synth_cell(kind: CellKind, n: usize) -> Cell {
         CellKind::Buf => 4.0,
         CellKind::Not => 2.0,
         CellKind::Xor | CellKind::Xnor => 4.0 * nf + 2.0,
+        // Master-slave transmission-gate DFF: two clocked latches.
+        CellKind::Dff => 24.0,
         _ => 2.0 * nf,
     };
     // Stack factor for the discharge network.
     let stack = match kind {
         CellKind::Nand | CellKind::And => nf,
-        CellKind::Nor | CellKind::Or | CellKind::Buf | CellKind::Not => 1.0,
+        CellKind::Nor | CellKind::Or | CellKind::Buf | CellKind::Not | CellKind::Dff => 1.0,
         CellKind::Xor | CellKind::Xnor => 1.0 + 0.5 * nf,
     };
     // Non-inverting kinds carry an output inverter: extra delay/area.
@@ -175,6 +181,18 @@ mod tests {
                 assert!(lib.try_cell(kind, n).is_some(), "{kind}/{n}");
             }
         }
+    }
+
+    #[test]
+    fn dff_has_an_electrical_row() {
+        // State elements are outside `CellKind::ALL` but sequential
+        // circuits still need their leakage/area/rail contributions.
+        let lib = Library::generic_1um();
+        let dff = lib.cell(CellKind::Dff, 1);
+        assert_eq!(dff.name, "DFF");
+        assert!(dff.leakage_na > lib.cell(CellKind::Nand, 2).leakage_na);
+        assert!(dff.area > lib.cell(CellKind::Buf, 1).area);
+        assert!(lib.try_cell(CellKind::Dff, 2).is_none());
     }
 
     #[test]

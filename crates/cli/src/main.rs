@@ -6,13 +6,16 @@
 //!             [--rstar MV] [--json PATH] [--dot PATH] [--modules PATH]
 //!             [--resynth [--per-gate]]
 //! iddq gen    <circuit> [--seed N] [--out PATH]
-//! iddq test   <netlist.bench> [--seed N] [--vectors N]
+//! iddq test   <netlist.bench> [--seed N] [--frames N]
 //! iddq sim    <netlist.bench> [--patterns N] [--seed N] [--threads N]
-//!             [--backend csr|delta] [--lanes 64|256|512|auto]
+//!             [--backend csr|delta] [--lanes 64|256|512|auto] [--frames N]
 //! iddq faults <netlist.bench> [--seed N] [--vectors N] [--bridges N]
 //!             [--backend csr|delta] [--lanes 64|256|512|auto] [--threads N]
-//!             [--shards N] [--no-drop] [--budget-ms MS] [--quota N]
-//!             [--checkpoint PATH] [--resume PATH]
+//!             [--shards N] [--no-drop] [--frames N] [--budget-ms MS]
+//!             [--quota N] [--checkpoint PATH] [--resume PATH]
+//! iddq seq    [--smoke] [--circuit sNNN] [--seed N] [--frames N]
+//!             [--sequences N] [--bridges N] [--backend csr|delta]
+//!             [--threads N] [--shards N]
 //! iddq stats  <netlist.bench> [--memory] [--rho N]
 //! iddq scale  [--smoke] [--gates N] [--seed N] [--rho N] [--budget-ms MS]
 //! iddq serve  [--addr A] [--workers N] [--queue N] [--cache-mb N]
@@ -86,6 +89,7 @@ fn main() -> ExitCode {
         "test" => cmd_test(rest),
         "sim" => cmd_sim(rest),
         "faults" => cmd_faults(rest),
+        "seq" => cmd_seq(rest),
         "stats" => cmd_stats(rest),
         "scale" => cmd_scale(rest),
         "serve" => cmd_serve(rest),
@@ -123,11 +127,15 @@ commands:
       --json PATH         write the full report as JSON
       --dot PATH          write a module-coloured Graphviz graph
       --modules PATH      write `gate module` assignment lines
-  gen <circuit>           emit a synthetic ISCAS-85-like netlist
+  gen <circuit>           emit a synthetic benchmark netlist: c* names are
+                          ISCAS-85-like combinational circuits, s* names
+                          ISCAS-89-like sequential ones (with DFFs)
       --seed N            generation seed (default 42)
       --out PATH          output path (default stdout)
   test <netlist.bench>    run the IDDQ defect-detection experiment
       --seed N            defect/ATPG seed (default 42)
+      --frames N          frames per test sequence (default 1; sequential
+                          circuits reach state-dependent defects at N > 1)
   sim <netlist.bench>     measure logic-simulation throughput (wide kernel)
       --patterns N        number of random patterns (default 1048576)
       --seed N            pattern seed (default 42)
@@ -135,6 +143,9 @@ commands:
       --backend B         simulation engine: csr | delta (default csr)
       --lanes L           patterns per sweep: 64 | 256 | 512 (default 256),
                           or `auto` to pick by a quick calibration sweep
+      --frames N          frames per sequence (default 1): each lane then
+                          carries one N-frame sequence from the all-zero
+                          reset state, stepped through the DFF boundary
   faults <netlist.bench>  run the stuck-at/bridge fault-patch sweep
       --seed N            vector/bridge seed (default 42)
       --vectors N         number of random test vectors (default 256)
@@ -146,6 +157,10 @@ commands:
       --threads N         worker threads (default 1, 0 = all cores)
       --shards N          fault-list shards (default auto)
       --no-drop           disable earliest-detection fault dropping
+      --frames N          frames per sequence (default 1): vectors are
+                          consumed sequence-major (N consecutive vectors
+                          per sequence) and a fault's earliest detection
+                          is the first (sequence, frame) that exposes it
       --budget-ms MS      wall-clock budget; on expiry the sweep stops at
                           the next batch boundary and reports a partial
                           (still exit 0) coverage
@@ -154,6 +169,21 @@ commands:
       --resume PATH       resume from a checkpoint written by --checkpoint;
                           a resumed run that completes is bit-identical to
                           an uninterrupted one
+  seq                     sequential end-to-end check on a generated
+                          ISCAS-89-like circuit: multi-frame fault sweep
+                          from the all-zero reset state, reporting how
+                          many faults need latched state to be seen
+      --smoke             run the fixed smoke scenario instead (grid
+                          invariance, checkpoint resume, combinational
+                          frame-invariance, sequential ATPG) and exit
+      --circuit sNNN      profile to generate (default s298)
+      --seed N            generation/vector seed (default 42)
+      --frames N          frames per sequence (default 4)
+      --sequences N       number of reset sequences (default 256)
+      --bridges N         number of sampled bridge faults (default 32)
+      --backend B         delta (default) | csr
+      --threads N         worker threads (default 1, 0 = all cores)
+      --shards N          fault-list shards (default auto)
   stats <netlist.bench>   print structural statistics
       --memory            also report the memory footprint of every engine
                           representation (graph, CSR schedule, packed values,
@@ -353,10 +383,16 @@ fn cmd_gen(rest: &[String]) -> Result<(), CliError> {
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or_else(|| CliError::usage(USAGE))?;
-    let profile = iddq_gen::iscas::IscasProfile::by_name(name)
-        .ok_or_else(|| CliError::usage(format!("unknown circuit `{name}` (c432..c7552)")))?;
     let seed: u64 = parse_num(rest, "--seed", 42)?;
-    let nl = iddq_gen::iscas::generate(profile, seed);
+    let nl = if let Some(profile) = iddq_gen::iscas::IscasProfile::by_name(name) {
+        iddq_gen::iscas::generate(profile, seed)
+    } else if let Some(profile) = iddq_gen::seq::SeqProfile::by_name(name) {
+        iddq_gen::seq::generate(profile, seed)
+    } else {
+        return Err(CliError::usage(format!(
+            "unknown circuit `{name}` (c432..c7552, s27..s5378)"
+        )));
+    };
     let text = bench::to_bench(&nl);
     match parse_flag(rest, "--out") {
         Some(path) => {
@@ -375,6 +411,10 @@ fn cmd_test(rest: &[String]) -> Result<(), CliError> {
         .ok_or_else(|| CliError::usage(USAGE))?;
     let cut = load(path)?;
     let seed: u64 = parse_num(rest, "--seed", 42)?;
+    let frames: usize = parse_num(rest, "--frames", 1usize)?;
+    if frames == 0 {
+        return Err(CliError::usage("--frames must be at least 1"));
+    }
     let library = Library::generic_1um();
     let config = PartitionConfig::paper_default();
 
@@ -388,7 +428,16 @@ fn cmd_test(rest: &[String]) -> Result<(), CliError> {
         seed,
         ctx.try_separation(),
     );
-    let tests = iddq_atpg::generate(&cut, &faults, &iddq_atpg::AtpgConfig::default(), seed);
+    // `generate_seq` at frames = 1 reproduces the combinational
+    // generator bit-for-bit, so one call covers both regimes.
+    let tests = iddq_atpg::generate_seq(
+        &cut,
+        &faults,
+        &iddq_atpg::AtpgConfig::default(),
+        seed,
+        frames,
+    )
+    .map_err(|e| CliError::usage(format!("{e}")))?;
     let evo = EvolutionConfig {
         generations: 60,
         stagnation: 25,
@@ -401,22 +450,37 @@ fn cmd_test(rest: &[String]) -> Result<(), CliError> {
         .iter()
         .map(|m| m.leakage_na / 1000.0)
         .collect();
-    let sim = iddq_logicsim::iddq::simulate(
+    let sim = iddq_logicsim::iddq::simulate_with_options(
         &cut,
         &faults,
         &tests.vectors,
         result.partition.assignment(),
         &leaks,
         library.technology().iddq_threshold_ua,
+        &iddq_logicsim::iddq::SweepOptions {
+            frames,
+            ..Default::default()
+        },
     );
-    println!(
-        "{}: {} defects, {} vectors, coverage {:.1}% under {} BIC sensors",
-        cut.name(),
-        faults.len(),
-        tests.vectors.len(),
-        sim.coverage * 100.0,
-        leaks.len()
-    );
+    if frames > 1 {
+        println!(
+            "{}: {} defects, {} sequences x {frames} frames, coverage {:.1}% under {} BIC sensors",
+            cut.name(),
+            faults.len(),
+            tests.vectors.len() / frames,
+            sim.coverage * 100.0,
+            leaks.len()
+        );
+    } else {
+        println!(
+            "{}: {} defects, {} vectors, coverage {:.1}% under {} BIC sensors",
+            cut.name(),
+            faults.len(),
+            tests.vectors.len(),
+            sim.coverage * 100.0,
+            leaks.len()
+        );
+    }
     Ok(())
 }
 
@@ -508,22 +572,27 @@ fn cmd_sim(rest: &[String]) -> Result<(), CliError> {
         None => BackendKind::Csr,
         Some(v) => v.parse().map_err(|e| CliError::usage(format!("{e}")))?,
     };
+    let frames: usize = parse_num(rest, "--frames", 1usize)?;
+    if frames == 0 {
+        return Err(CliError::usage("--frames must be at least 1"));
+    }
     let lanes = match parse_lanes(rest)? {
         Some(width) => width,
         None => calibrate_lanes(&cut),
     };
     match lanes {
-        LaneWidth::L64 => run_sim::<u64>(&cut, patterns, seed, threads, backend, lanes),
+        LaneWidth::L64 => run_sim::<u64>(&cut, patterns, seed, threads, backend, lanes, frames),
         LaneWidth::L256 => {
-            run_sim::<iddq_netlist::W256>(&cut, patterns, seed, threads, backend, lanes)
+            run_sim::<iddq_netlist::W256>(&cut, patterns, seed, threads, backend, lanes, frames)
         }
         LaneWidth::L512 => {
-            run_sim::<iddq_netlist::W512>(&cut, patterns, seed, threads, backend, lanes)
+            run_sim::<iddq_netlist::W512>(&cut, patterns, seed, threads, backend, lanes, frames)
         }
     }
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_sim<W: iddq_netlist::PackedWord>(
     cut: &Netlist,
     patterns: u64,
@@ -531,14 +600,17 @@ fn run_sim<W: iddq_netlist::PackedWord>(
     threads: usize,
     backend: iddq_logicsim::BackendKind,
     lanes: iddq_netlist::LaneWidth,
+    frames: usize,
 ) {
     use iddq_logicsim::SimBackend;
-    let batches = patterns.div_ceil(u64::from(W::LANES));
+    // One batch is W::LANES lanes; with frames > 1 each lane carries one
+    // whole sequence, so a batch covers LANES x frames vectors.
+    let batches = patterns.div_ceil(u64::from(W::LANES) * frames as u64);
     let threads = threads.min(batches as usize);
     // Each worker owns one engine instance and a disjoint slice of the
     // seeded pattern stream; the per-worker fingerprints are folded in
     // worker order, so the checksum is deterministic for a fixed
-    // (seed, threads, backend, lanes) tuple.
+    // (seed, threads, backend, lanes, frames) tuple.
     let worker = |t: usize| -> [u64; 4] {
         let mut state = seed ^ (t as u64).wrapping_mul(0xa076_1d64_78bd_642f);
         let mut next = move || {
@@ -551,6 +623,11 @@ fn run_sim<W: iddq_netlist::PackedWord>(
         let mut sim = SimBackend::<W>::new(cut, backend);
         let mut inputs = vec![W::zeros(); cut.num_inputs()];
         let mut values = vec![W::zeros(); sim.node_count()];
+        let mut dff_state = vec![W::zeros(); sim.num_state_elements()];
+        // Frame-based evaluation whenever the circuit has state or the
+        // caller asked for multi-frame sequences; the plain one-shot path
+        // otherwise.
+        let stepped = frames > 1 || !dff_state.is_empty();
         // Fingerprint every node value, not just the primary outputs: the
         // deep outputs of the synthetic profiles are near-constant under
         // random stimuli and would make a poor discriminator. Four
@@ -559,14 +636,22 @@ fn run_sim<W: iddq_netlist::PackedWord>(
         let mut acc = [0u64; 4];
         let my_batches = batches as usize / threads + usize::from(t < batches as usize % threads);
         for _ in 0..my_batches {
-            for w in &mut inputs {
-                *w = W::from_limbs(|_| next());
-            }
-            sim.eval_into(&inputs, &mut values);
-            for v in &values {
-                for i in 0..W::LIMBS {
-                    let a = &mut acc[i % 4];
-                    *a = a.rotate_left(1) ^ v.limb(i);
+            // Every sequence starts from the all-zero reset state.
+            dff_state.fill(W::zeros());
+            for _frame in 0..frames {
+                for w in &mut inputs {
+                    *w = W::from_limbs(|_| next());
+                }
+                if stepped {
+                    sim.step_frame(&inputs, &mut dff_state, &mut values);
+                } else {
+                    sim.eval_into(&inputs, &mut values);
+                }
+                for v in &values {
+                    for i in 0..W::LIMBS {
+                        let a = &mut acc[i % 4];
+                        *a = a.rotate_left(1) ^ v.limb(i);
+                    }
                 }
             }
         }
@@ -593,11 +678,11 @@ fn run_sim<W: iddq_netlist::PackedWord>(
         checksum = checksum.rotate_left(8) ^ c;
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let evaluated = batches * u64::from(W::LANES);
+    let evaluated = batches * u64::from(W::LANES) * frames as u64;
     println!(
         "{}: {} gates, {evaluated} patterns in {elapsed:.3} s = {:.3e} patterns/s \
-         ({:.3e} gate-evals/s), backend {backend}, lanes {lanes}, {threads} thread(s), \
-         value checksum {checksum:#018x}",
+         ({:.3e} gate-evals/s), backend {backend}, lanes {lanes}, frames {frames}, \
+         {threads} thread(s), value checksum {checksum:#018x}",
         cut.name(),
         cut.gate_count(),
         evaluated as f64 / elapsed,
@@ -632,11 +717,16 @@ fn cmd_faults(rest: &[String]) -> Result<(), CliError> {
         Some(width) => width,
         None => calibrate_lanes(&cut),
     };
+    let frames: usize = parse_num(rest, "--frames", 1usize)?;
+    if frames == 0 {
+        return Err(CliError::usage("--frames must be at least 1"));
+    }
     let options = FaultSweepOptions {
         threads: parse_num(rest, "--threads", 1usize)?,
         fault_shards: parse_num(rest, "--shards", 0usize)?,
         fault_dropping: !rest.iter().any(|a| a == "--no-drop"),
         backend,
+        frames,
         ..FaultSweepOptions::default()
     };
     let mut budget = RunBudget::unlimited();
@@ -707,9 +797,10 @@ fn cmd_faults(rest: &[String]) -> Result<(), CliError> {
     let outcome = outcome.into_value();
     let detected = outcome.detected.iter().filter(|&&d| d).count();
     println!(
-        "{}: {stuck_at_count} stuck-at + {bridge_count} bridge faults x {num_vectors} vectors: \
-         {detected} detected ({:.1}% coverage) in {elapsed:.3} s, backend {backend}, \
-         lanes {lanes}, {} thread(s), dropping {}, mean dirty cone {:.1} of {} nodes",
+        "{}: {stuck_at_count} stuck-at + {bridge_count} bridge faults x {num_vectors} vectors \
+         (frames {frames}): {detected} detected ({:.1}% coverage) in {elapsed:.3} s, \
+         backend {backend}, lanes {lanes}, {} thread(s), dropping {}, \
+         mean dirty cone {:.1} of {} nodes",
         cut.name(),
         outcome.coverage * 100.0,
         if options.threads == 0 {
@@ -776,6 +867,302 @@ fn run_fault_sweep<W: iddq_netlist::PackedWord>(
         );
     }
     Ok(outcome)
+}
+
+/// Stuck-at-everywhere plus sampled bridges: the same fault universe
+/// `cmd_faults` sweeps, shared by the `seq` command and its smoke.
+fn logic_fault_universe(
+    cut: &Netlist,
+    bridges: usize,
+    seed: u64,
+) -> Vec<iddq_logicsim::fault_sweep::LogicFault> {
+    use iddq_logicsim::fault_sweep::LogicFault;
+    use iddq_logicsim::logic_test::StuckAtFault;
+    let mut faults: Vec<LogicFault> = cut
+        .node_ids()
+        .flat_map(|node| {
+            [false, true]
+                .map(|stuck_at_one| LogicFault::StuckAt(StuckAtFault { node, stuck_at_one }))
+        })
+        .collect();
+    faults.extend(
+        iddq_logicsim::faults::enumerate(
+            cut,
+            &iddq_logicsim::faults::FaultUniverseConfig {
+                bridges,
+                gos_fraction: 0.0,
+                stuck_on_fraction: 0.0,
+                ..Default::default()
+            },
+            seed,
+        )
+        .into_iter()
+        .filter_map(|f| match f {
+            iddq_logicsim::faults::IddqFault::Bridge { a, b, .. } => {
+                Some(LogicFault::Bridge { a, b })
+            }
+            _ => None,
+        }),
+    );
+    faults
+}
+
+/// The `seq` command: end-to-end sequential check on a generated
+/// ISCAS-89-like circuit — a multi-frame fault sweep where every lane
+/// carries one reset sequence, reporting how many detections needed
+/// latched state (a first detection at frame > 0 of its sequence).
+fn cmd_seq(rest: &[String]) -> Result<(), CliError> {
+    use iddq_logicsim::fault_sweep::{sweep_with_control, FaultSweepOptions};
+    use iddq_logicsim::BackendKind;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    if rest.iter().any(|a| a == "--smoke") {
+        return seq_smoke();
+    }
+
+    let name = parse_flag(rest, "--circuit").unwrap_or_else(|| "s298".into());
+    let profile = iddq_gen::seq::SeqProfile::by_name(&name).ok_or_else(|| {
+        CliError::usage(format!("unknown sequential circuit `{name}` (s27..s5378)"))
+    })?;
+    let seed: u64 = parse_num(rest, "--seed", 42)?;
+    let frames: usize = parse_num(rest, "--frames", 4usize)?;
+    if frames == 0 {
+        return Err(CliError::usage("--frames must be at least 1"));
+    }
+    let sequences: usize = parse_num(rest, "--sequences", 256usize)?;
+    if sequences == 0 {
+        return Err(CliError::usage("--sequences must be at least 1"));
+    }
+    let bridges: usize = parse_num(rest, "--bridges", 32usize)?;
+    let backend: BackendKind = match parse_flag(rest, "--backend") {
+        None => BackendKind::Delta,
+        Some(v) => v.parse().map_err(|e| CliError::usage(format!("{e}")))?,
+    };
+    let options = FaultSweepOptions {
+        threads: parse_num(rest, "--threads", 1usize)?,
+        fault_shards: parse_num(rest, "--shards", 0usize)?,
+        backend,
+        frames,
+        ..FaultSweepOptions::default()
+    };
+
+    let cut = iddq_gen::seq::generate(profile, seed);
+    let faults = logic_fault_universe(&cut, bridges, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa17);
+    let vectors: Vec<Vec<bool>> = (0..sequences * frames)
+        .map(|_| (0..cut.num_inputs()).map(|_| rng.gen()).collect())
+        .collect();
+
+    let start = Instant::now();
+    let outcome = sweep_with_control::<iddq_netlist::W256>(
+        &cut,
+        &faults,
+        &vectors,
+        &options,
+        &RunControl::unlimited(),
+    )
+    .into_value();
+    let elapsed = start.elapsed().as_secs_f64();
+    let detected = outcome.detected.iter().filter(|&&d| d).count();
+    // The sequential payoff: a first detection at frame > 0 of its
+    // sequence means the exposing state was *reached*, not applied.
+    let state_needed = outcome
+        .first_detection
+        .iter()
+        .flatten()
+        .filter(|&&v| v % frames > 0)
+        .count();
+    println!(
+        "{}: {} dffs, {} faults x {sequences} sequences x {frames} frames: \
+         {detected} detected ({:.1}% coverage), {state_needed} only beyond frame 0, \
+         in {elapsed:.3} s, backend {backend}, {} thread(s)",
+        cut.name(),
+        cut.num_state_elements(),
+        faults.len(),
+        outcome.coverage * 100.0,
+        if options.threads == 0 {
+            "auto".to_owned()
+        } else {
+            options.threads.to_string()
+        },
+    );
+    Ok(())
+}
+
+/// The fixed `seq --smoke` scenario: one small sequential circuit, one
+/// combinational control — every check asserted, all under a minute.
+fn seq_smoke() -> Result<(), CliError> {
+    use iddq_logicsim::fault_sweep::{
+        sweep_resume, sweep_with_control, FaultSweepOptions, SweepCheckpoint,
+    };
+    use iddq_logicsim::BackendKind;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut checks: Vec<String> = Vec::new();
+    let seed = 42u64;
+    let frames = 3usize;
+    let profile =
+        iddq_gen::seq::SeqProfile::by_name("s27").ok_or_else(|| "s27 profile exists".to_owned())?;
+    let cut = iddq_gen::seq::generate(profile, seed);
+    let faults = logic_fault_universe(&cut, 8, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa17);
+    let vectors: Vec<Vec<bool>> = (0..256 * frames)
+        .map(|_| (0..cut.num_inputs()).map(|_| rng.gen()).collect())
+        .collect();
+
+    // 1. Base multi-frame sweep on the patch engine.
+    let base_options = FaultSweepOptions {
+        frames,
+        backend: BackendKind::Delta,
+        ..FaultSweepOptions::default()
+    };
+    let base = sweep_with_control::<u64>(
+        &cut,
+        &faults,
+        &vectors,
+        &base_options,
+        &RunControl::unlimited(),
+    )
+    .into_value();
+    let detected = base.detected.iter().filter(|&&d| d).count();
+    if detected == 0 {
+        return Err("seq smoke: base sweep detected nothing".to_owned().into());
+    }
+    checks.push(format!(
+        "multi-frame sweep: {detected}/{} faults detected on {} ({} dffs, {frames} frames)",
+        faults.len(),
+        cut.name(),
+        cut.num_state_elements(),
+    ));
+
+    // 2. Detections are invariant under backend, threads and shards.
+    let grid_options = FaultSweepOptions {
+        frames,
+        backend: BackendKind::Csr,
+        threads: 2,
+        fault_shards: 3,
+        ..FaultSweepOptions::default()
+    };
+    let grid = sweep_with_control::<u64>(
+        &cut,
+        &faults,
+        &vectors,
+        &grid_options,
+        &RunControl::unlimited(),
+    )
+    .into_value();
+    if grid.first_detection != base.first_detection {
+        return Err("seq smoke: csr/threads/shards grid changed the detections"
+            .to_owned()
+            .into());
+    }
+    checks.push("grid invariance: csr x 2 threads x 3 shards bit-identical".into());
+
+    // 3. Interrupt on a work quota, checkpoint, resume to completion.
+    let interrupted = sweep_with_control::<u64>(
+        &cut,
+        &faults,
+        &vectors,
+        &base_options,
+        &RunControl::with_budget(RunBudget::unlimited().with_quota(200)),
+    );
+    if interrupted.stop_reason().is_none() {
+        return Err("seq smoke: quota 200 did not interrupt the sweep"
+            .to_owned()
+            .into());
+    }
+    let cp = SweepCheckpoint::capture::<u64>(
+        &cut,
+        &faults,
+        &vectors,
+        &base_options,
+        interrupted.value(),
+    );
+    let resumed = sweep_resume::<u64>(
+        &cut,
+        &faults,
+        &vectors,
+        &base_options,
+        &RunControl::unlimited(),
+        &cp,
+    )?
+    .into_value();
+    if resumed.first_detection != base.first_detection {
+        return Err(
+            "seq smoke: resumed sweep differs from the uninterrupted one"
+                .to_owned()
+                .into(),
+        );
+    }
+    checks.push(format!(
+        "checkpoint resume: interrupted at {:.0}% of the grid, resumed bit-identical",
+        cp.progress() * 100.0
+    ));
+
+    // 4. On a DFF-free circuit, frame grouping is a pure relabelling.
+    let comb = iddq_netlist::data::c17();
+    let comb_faults = logic_fault_universe(&comb, 4, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc0);
+    let comb_vectors: Vec<Vec<bool>> = (0..192)
+        .map(|_| (0..comb.num_inputs()).map(|_| rng.gen()).collect())
+        .collect();
+    let flat = sweep_with_control::<u64>(
+        &comb,
+        &comb_faults,
+        &comb_vectors,
+        &FaultSweepOptions::default(),
+        &RunControl::unlimited(),
+    )
+    .into_value();
+    let framed = sweep_with_control::<u64>(
+        &comb,
+        &comb_faults,
+        &comb_vectors,
+        &FaultSweepOptions {
+            frames,
+            ..FaultSweepOptions::default()
+        },
+        &RunControl::unlimited(),
+    )
+    .into_value();
+    if flat.first_detection != framed.first_detection {
+        return Err(
+            "seq smoke: frames changed detections on a combinational circuit"
+                .to_owned()
+                .into(),
+        );
+    }
+    checks.push(format!(
+        "combinational invariance: c17 at frames {frames} == frames 1"
+    ));
+
+    // 5. Time-frame-expanded ATPG is deterministic and sequence-major.
+    let iddq_faults = iddq_logicsim::faults::enumerate(&cut, &Default::default(), seed);
+    let cfg = iddq_atpg::AtpgConfig::default();
+    let a = iddq_atpg::generate_seq(&cut, &iddq_faults, &cfg, seed, frames)
+        .map_err(|e| format!("seq smoke: unroll for ATPG: {e}"))?;
+    let b = iddq_atpg::generate_seq(&cut, &iddq_faults, &cfg, seed, frames)
+        .map_err(|e| format!("seq smoke: unroll for ATPG: {e}"))?;
+    if a.vectors != b.vectors || a.vectors.len() % frames != 0 {
+        return Err(
+            "seq smoke: sequential ATPG is not deterministic sequence-major"
+                .to_owned()
+                .into(),
+        );
+    }
+    checks.push(format!(
+        "sequential ATPG: {} sequences, {:.1}% activation coverage, deterministic",
+        a.vectors.len() / frames,
+        a.coverage * 100.0
+    ));
+
+    for check in &checks {
+        println!("smoke ok: {check}");
+    }
+    println!("seq smoke OK: {} checks passed", checks.len());
+    Ok(())
 }
 
 fn cmd_stats(rest: &[String]) -> Result<(), CliError> {

@@ -223,9 +223,15 @@ pub struct ResynthEval<'a> {
     /// [`iddq_netlist::separation::GateSeparationTable`] row with the
     /// weight written as a distance. `None` disables incremental ΔW
     /// maintenance ([`ResynthEval::new_full_refresh`], or after a
-    /// committed bulk edit evicted the table); rows for primary inputs
-    /// are empty.
+    /// committed bulk edit evicted the table — rebuilt lazily by the
+    /// next fast-path-eligible apply when `incremental` is set); rows
+    /// for primary inputs are empty.
     rows: Option<Vec<Vec<(u32, u32)>>>,
+    /// Whether incremental ΔW maintenance is wanted at all
+    /// ([`ResynthEval::new`] vs [`ResynthEval::new_full_refresh`]). When
+    /// set and a committed bulk edit has left `rows` as `None`, the
+    /// table is rebuilt lazily (see `rebuild_rows`).
+    incremental: bool,
     /// `Σ_g near_w[g]` — twice the in-bound pair weight.
     sum_w: u64,
     gate_count: usize,
@@ -334,6 +340,7 @@ impl<'a> ResynthEval<'a> {
             times: ctx.times.clone(),
             near_w,
             rows,
+            incremental,
             sum_w,
             gate_count: ctx.gates.len(),
             outputs: nl.outputs().iter().map(|o| o.0).collect(),
@@ -498,12 +505,23 @@ impl<'a> ResynthEval<'a> {
             .iter()
             .filter(|op| matches!(op, PatchOp::AddGate { .. }))
             .count();
-        let fast = self.rows.is_some()
-            && old_seeds.len() + adds <= DELTA_SEP_MAX_EDITS
+        let wants_fast = old_seeds.len() + adds <= DELTA_SEP_MAX_EDITS
             && !patch
                 .ops
                 .iter()
                 .any(|op| matches!(op, PatchOp::RemoveGate { .. }));
+        // Lazy recovery from a *committed* bulk edit. While bulk
+        // candidates come and go uncommitted, the parked table returns on
+        // rollback for free and rebuilding here would only waste the next
+        // eviction; but once such an edit is committed nothing restores
+        // the table, and without this every later apply pays the full
+        // ball refresh forever. Rebuild from the current structure
+        // exactly when the next fast-path-eligible edit arrives — one
+        // bounded BFS per gate, amortized over every small apply after.
+        if wants_fast && self.incremental && self.rows.is_none() && self.undo.is_empty() {
+            self.rebuild_rows();
+        }
+        let fast = self.rows.is_some() && wants_fast;
         let dirty = if fast {
             SepDirty::Dists(
                 old_seeds
@@ -519,9 +537,10 @@ impl<'a> ResynthEval<'a> {
             // the table away on the next bulk candidate — evict it
             // wholesale instead (O(1) move into the undo frame, restored
             // on rollback) and let the ball refresh skip row maintenance
-            // entirely. After a *commit* of such a patch the evaluation
-            // degrades gracefully: `rows` stays `None` and every later
-            // apply takes the full ball refresh.
+            // entirely. After a *commit* of such a patch `rows` stays
+            // `None` until the next fast-path-eligible apply rebuilds it
+            // lazily (see above); a run of committed bulk edits never
+            // pays a rebuild in between.
             if ball.len() * 8 > self.kinds.len() {
                 self.rows_evicted = self.rows.take();
             }
@@ -572,6 +591,34 @@ impl<'a> ResynthEval<'a> {
         }
         let impact = self.refresh(patch, &dirty);
         Ok((inverse, impact))
+    }
+
+    /// Rebuilds the maintained ΔW row table from the current structure:
+    /// one bounded BFS per gate, each row sorted by partner id — the
+    /// exact shape `verify_consistency` pins the maintained rows
+    /// against. Called lazily after a committed bulk edit evicted the
+    /// table (never while speculative bulk candidates are in flight).
+    fn rebuild_rows(&mut self) {
+        let rho = self.ctx.config.rho;
+        let n = self.kinds.len();
+        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        let ResynthEval {
+            ref mut cones,
+            ref kinds,
+            ..
+        } = *self;
+        for (g, row) in rows.iter_mut().enumerate() {
+            if kinds[g].is_none() {
+                continue;
+            }
+            cones.bounded_bfs(g as u32, rho.saturating_sub(1), |p, d| {
+                if kinds[p as usize].is_some() {
+                    row.push((p, d));
+                }
+            });
+            row.sort_unstable();
+        }
+        self.rows = Some(rows);
     }
 
     /// The `(gate, bounded distance)` list of `x`'s ρ−1-ball over the
@@ -1868,5 +1915,73 @@ mod tests {
         eval.commit();
         assert_eq!(eval.pending_patches(), 0);
         assert_eq!(eval.total_cost().to_bits(), patched.to_bits());
+    }
+
+    #[test]
+    fn committed_bulk_edit_rebuilds_rows_lazily() {
+        // A removal always routes through the ball refresh, and on c17
+        // the ball covers most of the circuit, so the maintained ΔW row
+        // table is evicted; once that patch is *committed* nothing
+        // restores the table. The next fast-path-eligible apply must
+        // rebuild it lazily and land back on the incremental path,
+        // bit-identical to a from-scratch rebuild of the same structure.
+        let lib = Library::generic_1um();
+        let cfg = PartitionConfig::paper_default();
+        let nl = data::c17();
+        let ctx = EvalContext::new(&nl, &lib, cfg.clone());
+        let mut eval = ResynthEval::new(&ctx);
+        let some_gate = nl.gate_ids().next().unwrap();
+        let tail = NodeId(nl.node_count() as u32);
+        eval.apply(&Patch::single(PatchOp::AddGate {
+            gate: tail,
+            kind: CellKind::Not,
+            fanin: vec![some_gate],
+        }))
+        .unwrap();
+        eval.commit();
+        eval.apply(&Patch::single(PatchOp::RemoveGate { gate: tail }))
+            .unwrap();
+        assert!(
+            eval.rows.is_none(),
+            "a region-sized removal evicts the row table"
+        );
+        eval.commit();
+        assert!(
+            eval.rows.is_none(),
+            "commit makes the eviction permanent until the next small apply"
+        );
+        // Structure is back to the original c17, so original-netlist
+        // oracles apply. The next small edit rebuilds the table lazily.
+        let patch = Patch::single(PatchOp::SetKind {
+            gate: nl.find("22").unwrap(),
+            kind: CellKind::And,
+        });
+        eval.apply(&patch).unwrap();
+        assert!(
+            eval.rows.is_some(),
+            "a fast-path-eligible apply rebuilds the evicted table"
+        );
+        eval.verify_consistency();
+        let oracle = rebuild_cost(&materialize(&nl, &patch).unwrap(), &lib, &cfg);
+        assert_eq!(eval.total_cost().to_bits(), oracle.to_bits());
+        eval.rollback();
+        eval.verify_consistency();
+        let base = rebuild_cost(&nl, &lib, &cfg);
+        assert_eq!(eval.total_cost().to_bits(), base.to_bits());
+        // The full-refresh reference opts out of rows entirely: no lazy
+        // rebuild may ever sneak the incremental path back in.
+        let mut full = ResynthEval::new_full_refresh(&ctx);
+        full.apply(&patch).unwrap();
+        full.commit();
+        full.apply(&Patch::single(PatchOp::SetKind {
+            gate: nl.find("16").unwrap(),
+            kind: CellKind::Nand,
+        }))
+        .unwrap();
+        assert!(full.rows.is_none(), "full-refresh reference stays rowless");
+        assert_eq!(
+            eval.total_cost().to_bits(),
+            ResynthEval::new(&ctx).total_cost().to_bits()
+        );
     }
 }

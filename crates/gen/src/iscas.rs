@@ -130,7 +130,7 @@ impl IscasProfile {
 
 /// Gate-kind mix used by the generator (weights roughly matching the
 /// NAND-dominated ISCAS-85 set).
-const KIND_MIX: [(CellKind, u32); 8] = [
+pub(crate) const KIND_MIX: [(CellKind, u32); 8] = [
     (CellKind::Nand, 38),
     (CellKind::Nor, 14),
     (CellKind::And, 10),
@@ -142,9 +142,9 @@ const KIND_MIX: [(CellKind, u32); 8] = [
 ];
 
 /// Fan-in distribution for multi-input kinds.
-const FANIN_MIX: [(usize, u32); 5] = [(2, 58), (3, 24), (4, 12), (5, 4), (8, 2)];
+pub(crate) const FANIN_MIX: [(usize, u32); 5] = [(2, 58), (3, 24), (4, 12), (5, 4), (8, 2)];
 
-fn weighted<T: Copy>(rng: &mut SmallRng, table: &[(T, u32)]) -> T {
+pub(crate) fn weighted<T: Copy>(rng: &mut SmallRng, table: &[(T, u32)]) -> T {
     let total: u32 = table.iter().map(|&(_, w)| w).sum();
     let mut pick = rng.gen_range(0..total);
     for &(v, w) in table {
@@ -229,7 +229,13 @@ pub fn generate(profile: &IscasProfile, seed: u64) -> Netlist {
             let want_fanin = if kind.accepts_fanin(1) {
                 1
             } else {
-                weighted(&mut rng, &FANIN_MIX)
+                // Clamp to the distinct candidates created so far: the
+                // fan-in loop below would never terminate if the widest
+                // FANIN_MIX draw exceeds the whole pool (can't happen
+                // with the shipped c* profiles, but the seq generator
+                // shares this fabric and its smallest profiles can).
+                let pool: usize = levels.iter().map(Vec::len).sum();
+                weighted(&mut rng, &FANIN_MIX).min(pool)
             };
             let mut fanin = Vec::with_capacity(want_fanin);
             // First input: previous level, preferring unconsumed nodes.
@@ -311,7 +317,7 @@ pub fn generate(profile: &IscasProfile, seed: u64) -> Netlist {
     b.build().expect("generator output is structurally valid")
 }
 
-fn pick_first(rng: &mut SmallRng, prev: &[NodeId], unused: &[NodeId]) -> NodeId {
+pub(crate) fn pick_first(rng: &mut SmallRng, prev: &[NodeId], unused: &[NodeId]) -> NodeId {
     // Prefer an unconsumed node of the previous level when one exists.
     let fresh: Vec<NodeId> = prev
         .iter()
@@ -325,7 +331,7 @@ fn pick_first(rng: &mut SmallRng, prev: &[NodeId], unused: &[NodeId]) -> NodeId 
     }
 }
 
-fn remove_from(pool: &mut Vec<NodeId>, id: NodeId) {
+pub(crate) fn remove_from(pool: &mut Vec<NodeId>, id: NodeId) {
     if let Some(pos) = pool.iter().position(|&p| p == id) {
         pool.swap_remove(pos);
     }

@@ -15,7 +15,12 @@
 //! * [`mega`] — the O(gates) levelized mega-circuit generator
 //!   (10^5–10^7 gates) behind the `scale` benchmarks: wide levels for
 //!   structural parallelism, exact level placement, deterministic by
-//!   [`mega::MegaConfig`].
+//!   [`mega::MegaConfig`];
+//! * [`seq`] — ISCAS-89-like *sequential* circuits ([`seq::SeqProfile`],
+//!   [`seq::generate`]): DFF state elements as frame-boundary
+//!   pseudo-inputs, next-state functions wired through the fabric, for
+//!   exercising the multi-frame sweep and time-frame-expanded ATPG
+//!   paths.
 //!
 //! Generation is fully deterministic given `(profile, seed)`, so every
 //! table in `EXPERIMENTS.md` regenerates bit-identically.
@@ -38,3 +43,4 @@
 pub mod array;
 pub mod iscas;
 pub mod mega;
+pub mod seq;

@@ -1,0 +1,444 @@
+//! Seeded ISCAS-89-like *sequential* benchmark generator.
+//!
+//! The sequential pipeline — frame-based simulation, multi-frame fault
+//! sweeps, time-frame-expanded ATPG — consumes a gate-level DAG plus DFF
+//! state elements. As with [`crate::iscas`], the published benchmarks are
+//! not redistributable, so this module generates synthetic circuits
+//! matched, circuit by circuit, to the published ISCAS-89 shape
+//! statistics (Brglez, Bryan & Kozminski, ISCAS 1989): primary inputs,
+//! primary outputs, D-flip-flop count, combinational gate count and
+//! approximate combinational depth.
+//!
+//! Structure mirrors the real `s*` circuits: DFF outputs act as
+//! frame-boundary pseudo-inputs alongside the PIs (level 0), the
+//! combinational fabric is levelized on top, and every DFF's D input is
+//! wired back into the fabric — preferring deep, otherwise-unconsumed
+//! gates so the next-state function actually depends on the state.
+//!
+//! Generation is fully deterministic given `(profile, seed)`.
+
+// Synthetic-netlist generator: every name is minted fresh and every
+// fan-in points at an already-created node, so the builder `expect`s
+// assert the generator's own construction, never caller input.
+#![allow(clippy::expect_used)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use iddq_netlist::{Netlist, NetlistBuilder, NodeId};
+
+use crate::iscas::{pick_first, remove_from, weighted, FANIN_MIX, KIND_MIX};
+
+/// Published shape statistics of one ISCAS-89 circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqProfile {
+    /// Benchmark name, lowercase (`"s1423"`).
+    pub name: &'static str,
+    /// Primary input count (excluding the clock, which the frame model
+    /// makes implicit).
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// D-flip-flop count.
+    pub dffs: usize,
+    /// Combinational gate count (excluding DFFs).
+    pub gates: usize,
+    /// Approximate combinational logic depth (levels of gates between
+    /// frame boundaries).
+    pub depth: usize,
+}
+
+impl SeqProfile {
+    /// A representative slice of the ISCAS-89 suite.
+    #[must_use]
+    pub fn all() -> &'static [SeqProfile] {
+        &[
+            SeqProfile {
+                name: "s27",
+                inputs: 4,
+                outputs: 1,
+                dffs: 3,
+                gates: 10,
+                depth: 5,
+            },
+            SeqProfile {
+                name: "s298",
+                inputs: 3,
+                outputs: 6,
+                dffs: 14,
+                gates: 119,
+                depth: 9,
+            },
+            SeqProfile {
+                name: "s344",
+                inputs: 9,
+                outputs: 11,
+                dffs: 15,
+                gates: 160,
+                depth: 20,
+            },
+            SeqProfile {
+                name: "s386",
+                inputs: 7,
+                outputs: 7,
+                dffs: 6,
+                gates: 159,
+                depth: 11,
+            },
+            SeqProfile {
+                name: "s444",
+                inputs: 3,
+                outputs: 6,
+                dffs: 21,
+                gates: 181,
+                depth: 11,
+            },
+            SeqProfile {
+                name: "s526",
+                inputs: 3,
+                outputs: 6,
+                dffs: 21,
+                gates: 193,
+                depth: 9,
+            },
+            SeqProfile {
+                name: "s641",
+                inputs: 35,
+                outputs: 24,
+                dffs: 19,
+                gates: 379,
+                depth: 74,
+            },
+            SeqProfile {
+                name: "s820",
+                inputs: 18,
+                outputs: 19,
+                dffs: 5,
+                gates: 289,
+                depth: 10,
+            },
+            SeqProfile {
+                name: "s953",
+                inputs: 16,
+                outputs: 23,
+                dffs: 29,
+                gates: 395,
+                depth: 16,
+            },
+            SeqProfile {
+                name: "s1196",
+                inputs: 14,
+                outputs: 14,
+                dffs: 18,
+                gates: 529,
+                depth: 24,
+            },
+            SeqProfile {
+                name: "s1423",
+                inputs: 17,
+                outputs: 5,
+                dffs: 74,
+                gates: 657,
+                depth: 59,
+            },
+            SeqProfile {
+                name: "s1488",
+                inputs: 8,
+                outputs: 19,
+                dffs: 6,
+                gates: 653,
+                depth: 17,
+            },
+            SeqProfile {
+                name: "s5378",
+                inputs: 35,
+                outputs: 49,
+                dffs: 179,
+                gates: 2779,
+                depth: 25,
+            },
+        ]
+    }
+
+    /// Looks a profile up by benchmark name (case-insensitive).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<&'static SeqProfile> {
+        let lower = name.to_ascii_lowercase();
+        SeqProfile::all().iter().find(|p| p.name == lower)
+    }
+}
+
+/// Generates a synthetic sequential circuit matching `profile` exactly in
+/// primary inputs, primary outputs, DFF count and combinational gate
+/// count, and matching the target combinational depth.
+///
+/// Determinism: the same `(profile, seed)` always yields the same netlist.
+///
+/// Construction:
+///
+/// 1. level 0 holds the PIs *and* the DFF outputs (frame-boundary
+///    pseudo-inputs, seeded into the unconsumed pool first so the fabric
+///    reads the state early);
+/// 2. the combinational gates are spread over `depth` levels and wired
+///    exactly as in [`crate::iscas::generate`] — first fan-in from the
+///    previous level, rest with a locality-biased backward walk,
+///    draining unconsumed nodes so nothing dangles;
+/// 3. each DFF's D input is wired to a combinational gate, preferring
+///    deep unconsumed gates (a DFF never latches itself or another DFF
+///    directly, so the next-state function is always through logic);
+/// 4. remaining unconsumed gates become primary outputs, topped up with
+///    deep internal taps to hit the exact PO count.
+///
+/// A DFF whose output the fabric happened not to consume is legal
+/// (observe-only state); the D wiring in step 3 guarantees the *input*
+/// side of every DFF is always connected.
+///
+/// # Panics
+///
+/// Panics if the profile is degenerate (`gates < depth + dffs`, or zero
+/// inputs/outputs/DFFs) — the published profiles never are.
+#[must_use]
+pub fn generate(profile: &SeqProfile, seed: u64) -> Netlist {
+    assert!(
+        profile.gates >= profile.depth + profile.dffs,
+        "need one gate per level plus one D driver candidate per DFF"
+    );
+    assert!(profile.inputs > 0 && profile.outputs > 0 && profile.dffs > 0);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5e9_c0de);
+
+    // -- 1. level sizes ----------------------------------------------------
+    let depth = profile.depth;
+    let mean = profile.gates as f64 / depth as f64;
+    let mut sizes: Vec<usize> = (0..depth)
+        .map(|_| {
+            let jitter = rng.gen_range(0.65..1.35);
+            ((mean * jitter).round() as usize).max(1)
+        })
+        .collect();
+    let mut total: isize = sizes.iter().sum::<usize>() as isize;
+    let want = profile.gates as isize;
+    while total != want {
+        let i = rng.gen_range(0..depth);
+        if total < want {
+            sizes[i] += 1;
+            total += 1;
+        } else if sizes[i] > 1 {
+            sizes[i] -= 1;
+            total -= 1;
+        }
+    }
+
+    // -- 2. level 0: PIs and DFF pseudo-inputs ------------------------------
+    let mut b = NetlistBuilder::new(profile.name);
+    let pis: Vec<NodeId> = (0..profile.inputs)
+        .map(|i| b.add_input(format!("i{i}")))
+        .collect();
+    let qs: Vec<NodeId> = (0..profile.dffs)
+        .map(|i| b.add_dff(format!("q{i}")).expect("generated names unique"))
+        .collect();
+    let mut level0 = qs.clone();
+    level0.extend(pis.iter().copied());
+    // DFF outputs first in the unconsumed pool: the 70 % drain-unused bias
+    // of the fan-in picker then consumes the state early and often.
+    let mut unused: Vec<NodeId> = level0.clone();
+    let mut levels: Vec<Vec<NodeId>> = vec![level0];
+
+    // -- 3. combinational fabric, level by level ----------------------------
+    for (lv, &size) in sizes.iter().enumerate() {
+        let mut this_level = Vec::with_capacity(size);
+        for k in 0..size {
+            let kind = weighted(&mut rng, &KIND_MIX);
+            let want_fanin = if kind.accepts_fanin(1) {
+                1
+            } else {
+                // The distinct-fan-in loop below draws from every node
+                // created so far; tiny circuits (s27: 7 level-0 nodes)
+                // cannot satisfy the widest FANIN_MIX draw, and an
+                // unclamped want would make the loop spin forever.
+                let pool: usize = levels.iter().map(Vec::len).sum();
+                weighted(&mut rng, &FANIN_MIX).min(pool)
+            };
+            let mut fanin = Vec::with_capacity(want_fanin);
+            let prev = &levels[lv];
+            let first = pick_first(&mut rng, prev, &unused);
+            fanin.push(first);
+            remove_from(&mut unused, first);
+            while fanin.len() < want_fanin {
+                let cand = if !unused.is_empty() && rng.gen_bool(0.7) {
+                    unused[rng.gen_range(0..unused.len())]
+                } else {
+                    let mut back = 0usize;
+                    while back + 1 < levels.len() && rng.gen_bool(0.45) {
+                        back += 1;
+                    }
+                    let src = &levels[levels.len() - 1 - back];
+                    src[rng.gen_range(0..src.len())]
+                };
+                if !fanin.contains(&cand) {
+                    remove_from(&mut unused, cand);
+                    fanin.push(cand);
+                }
+            }
+            let id = b
+                .add_gate(format!("g{}_{}", lv + 1, k), kind, fanin)
+                .expect("generated names unique, fan-ins legal");
+            this_level.push(id);
+        }
+        unused.extend(this_level.iter().copied());
+        levels.push(this_level);
+    }
+
+    // -- 4. next-state wiring ------------------------------------------------
+    // Only combinational gates qualify as D drivers (ids after PIs + DFFs),
+    // so a DFF never latches itself or another DFF without logic between.
+    let first_gate = profile.inputs + profile.dffs;
+    for &q in &qs {
+        let unused_gates: Vec<NodeId> = unused
+            .iter()
+            .copied()
+            .filter(|id| id.index() >= first_gate)
+            .collect();
+        let d = if !unused_gates.is_empty() && rng.gen_bool(0.8) {
+            unused_gates[rng.gen_range(0..unused_gates.len())]
+        } else {
+            // Deep bias: geometric walk back from the last level.
+            let mut back = 0usize;
+            while back + 2 < levels.len() && rng.gen_bool(0.35) {
+                back += 1;
+            }
+            let src = &levels[levels.len() - 1 - back];
+            src[rng.gen_range(0..src.len())]
+        };
+        b.set_dff_input(q, d);
+        remove_from(&mut unused, d);
+    }
+
+    // -- 5. primary outputs --------------------------------------------------
+    let mut outs: Vec<NodeId> = unused
+        .iter()
+        .copied()
+        .filter(|id| id.index() >= first_gate)
+        .collect();
+    if outs.len() > profile.outputs {
+        outs.sort_by_key(|id| std::cmp::Reverse(id.index()));
+        outs.truncate(profile.outputs);
+    }
+    let mut lv = levels.len();
+    while outs.len() < profile.outputs {
+        lv -= 1;
+        if lv == 0 {
+            break;
+        }
+        for &id in &levels[lv] {
+            if outs.len() >= profile.outputs {
+                break;
+            }
+            if !outs.contains(&id) {
+                outs.push(id);
+            }
+        }
+    }
+    for &o in &outs {
+        b.mark_output(o);
+    }
+    b.build().expect("generator output is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_netlist::levelize;
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(SeqProfile::by_name("S1423").is_some());
+        assert!(SeqProfile::by_name("s9999").is_none());
+        assert_eq!(SeqProfile::all().len(), 13);
+    }
+
+    #[test]
+    fn generated_counts_match_profile() {
+        for name in ["s27", "s298", "s953"] {
+            let p = SeqProfile::by_name(name).unwrap();
+            let nl = generate(p, 1);
+            assert_eq!(nl.num_inputs(), p.inputs, "{name} inputs");
+            assert_eq!(nl.num_state_elements(), p.dffs, "{name} dffs");
+            // `gate_count` counts every non-input node, DFFs included.
+            assert_eq!(nl.gate_count(), p.gates + p.dffs, "{name} gates");
+            assert_eq!(nl.num_outputs(), p.outputs, "{name} outputs");
+            assert!(nl.has_state());
+        }
+    }
+
+    #[test]
+    fn tiny_profiles_terminate_for_any_seed() {
+        // Regression: seed 30 used to hang — a level-1 gate drew a
+        // FANIN_MIX width of 8, wider than s27's whole candidate pool
+        // (7 level-0 nodes), so the distinct-fan-in loop never finished.
+        let p = SeqProfile::by_name("s27").unwrap();
+        for seed in 0..64 {
+            let nl = generate(p, seed);
+            assert_eq!(nl.gate_count(), p.gates + p.dffs, "seed {seed}");
+            assert_eq!(nl.num_state_elements(), p.dffs, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_depth_matches_profile() {
+        let p = SeqProfile::by_name("s344").unwrap();
+        let nl = generate(p, 7);
+        assert_eq!(levelize::depth(&nl) as usize, p.depth);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = SeqProfile::by_name("s298").unwrap();
+        let a = iddq_netlist::bench::to_bench(&generate(p, 5));
+        let b = iddq_netlist::bench::to_bench(&generate(p, 5));
+        let c = iddq_netlist::bench::to_bench(&generate(p, 6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_dff_latches_a_combinational_gate() {
+        let p = SeqProfile::by_name("s1196").unwrap();
+        let nl = generate(p, 3);
+        for &q in nl.state_elements() {
+            let fanin = nl.node(q).fanin();
+            assert_eq!(fanin.len(), 1);
+            let d = fanin[0];
+            assert!(nl.is_gate(d) && !nl.is_state_element(d));
+            assert_ne!(d, q);
+        }
+    }
+
+    #[test]
+    fn no_dangling_combinational_gates() {
+        // State elements may legitimately be observe-only; every
+        // combinational gate must be consumed or observable.
+        let p = SeqProfile::by_name("s526").unwrap();
+        let nl = generate(p, 3);
+        for g in nl.gate_ids() {
+            if nl.is_state_element(g) {
+                continue;
+            }
+            assert!(
+                !nl.fanout(g).is_empty() || nl.is_output(g),
+                "gate {} dangles",
+                nl.node_name(g)
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_bench_format() {
+        let p = SeqProfile::by_name("s27").unwrap();
+        let nl = generate(p, 9);
+        let text = iddq_netlist::bench::to_bench(&nl);
+        let back = iddq_netlist::bench::parse(p.name, &text).unwrap();
+        assert_eq!(back.gate_count(), nl.gate_count());
+        assert_eq!(back.num_state_elements(), nl.num_state_elements());
+        assert_eq!(back.num_outputs(), nl.num_outputs());
+    }
+}

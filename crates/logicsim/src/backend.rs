@@ -130,6 +130,34 @@ impl<W: PackedWord> SimBackend<W> {
         }
     }
 
+    /// Number of state elements (DFFs); the required `state` length for
+    /// [`SimBackend::step_frame`].
+    #[must_use]
+    pub fn num_state_elements(&self) -> usize {
+        match self {
+            SimBackend::Csr(sim) => sim.num_state_elements(),
+            SimBackend::Delta(sim) => sim.num_state_elements(),
+        }
+    }
+
+    /// Advances one frame: latches `state` onto the DFF outputs, evaluates
+    /// the combinational fabric under `inputs`, writes the full values
+    /// vector into `values`, and replaces `state` with the captured
+    /// next-state (D-driver values). Identical results on either engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs`, `state`, or `values` have the wrong length.
+    pub fn step_frame(&mut self, inputs: &[W], state: &mut [W], values: &mut [W]) {
+        match self {
+            SimBackend::Csr(sim) => sim.step_frame(inputs, state, values),
+            SimBackend::Delta(sim) => {
+                sim.step_frame(inputs, state);
+                values.copy_from_slice(sim.values());
+            }
+        }
+    }
+
     /// Access to the incremental engine's patch API (`None` on the CSR
     /// arm).
     pub fn as_delta_mut(&mut self) -> Option<&mut DeltaSim<W>> {
@@ -162,6 +190,37 @@ mod tests {
             csr.eval_into(&inputs, &mut a);
             delta.eval_into(&inputs, &mut b);
             assert_eq!(a, b, "salt {salt}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_frames() {
+        let mut b = iddq_netlist::NetlistBuilder::new("toggle");
+        let a = b.add_input("a");
+        let q = b.add_dff("q").unwrap();
+        let n = b
+            .add_gate("n", iddq_netlist::CellKind::Not, vec![q])
+            .unwrap();
+        b.set_dff_input(q, n);
+        let y = b
+            .add_gate("y", iddq_netlist::CellKind::Xor, vec![a, q])
+            .unwrap();
+        b.mark_output(y);
+        let nl = b.build().unwrap();
+
+        let mut csr = SimBackend::<u64>::new(&nl, BackendKind::Csr);
+        let mut delta = SimBackend::<u64>::new(&nl, BackendKind::Delta);
+        assert_eq!(csr.num_state_elements(), 1);
+        let mut sa = vec![0u64; 1];
+        let mut sb = vec![0u64; 1];
+        let mut va = vec![0u64; csr.node_count()];
+        let mut vb = vec![0u64; delta.node_count()];
+        for t in 0..6u64 {
+            let inputs = vec![t.wrapping_mul(0x2545_f491_4f6c_dd1d)];
+            csr.step_frame(&inputs, &mut sa, &mut va);
+            delta.step_frame(&inputs, &mut sb, &mut vb);
+            assert_eq!(va, vb, "frame {t} values");
+            assert_eq!(sa, sb, "frame {t} state");
         }
     }
 

@@ -75,6 +75,21 @@
 //! manually). Do not mix the two on one node: the inverse of a `SetForce`
 //! records the previous force as a *bool*, which cannot represent an
 //! arbitrary word force.
+//!
+//! # State elements and frames
+//!
+//! A [`CellKind::Dff`] output is a frame boundary: it holds a latched
+//! packed word for a whole frame and is never recomputed from its D
+//! fan-in by a sweep — the sequential edge stops every propagation wave.
+//! [`DeltaSim::set_state`] loads the latched words (and propagates the
+//! resulting changes like an input load), [`DeltaSim::capture_state`]
+//! reads the settled next-state off the D drivers, and
+//! [`DeltaSim::step_frame`] combines the two into the same
+//! *scatter → evaluate → capture* cycle as the batch engine's
+//! `Simulator::step_frame`. Structural patches may not touch state
+//! elements ([`PatchError::StateElement`]) — but value forces may, which
+//! is exactly how the multi-frame fault engine injects a diverged faulty
+//! state into an otherwise shared structure.
 
 use iddq_netlist::{CellKind, Netlist, NodeId, PackedWord};
 
@@ -247,6 +262,14 @@ pub struct DeltaSim<W: PackedWord> {
     input_indices: Vec<u32>,
     /// Primary-input position per node (`u32::MAX` for gates).
     input_pos: Vec<u32>,
+    /// State-element position per node (`u32::MAX` for everything else).
+    state_pos: Vec<u32>,
+    /// DFF output node per state element (`Netlist::state_elements` order).
+    state_nodes: Vec<u32>,
+    /// D-driver node per state element, aligned with `state_nodes`.
+    state_d: Vec<u32>,
+    /// Latched packed word per state element (what the DFF output reads).
+    state_words: Vec<W>,
     /// Inverse patches, innermost last.
     undo: Vec<Patch>,
     // Worklist / re-levelization scratch (all node-count sized, epoch
@@ -290,6 +313,15 @@ impl<W: PackedWord> DeltaSim<W> {
         for (k, &i) in netlist.inputs().iter().enumerate() {
             input_pos[i.index()] = k as u32;
         }
+        let mut state_pos = vec![u32::MAX; n];
+        for (k, &d) in netlist.state_elements().iter().enumerate() {
+            state_pos[d.index()] = k as u32;
+        }
+        let state_d: Vec<u32> = netlist
+            .state_elements()
+            .iter()
+            .map(|d| netlist.node(*d).fanin()[0].0)
+            .collect();
         let mut sim = DeltaSim {
             kinds,
             fanin,
@@ -300,6 +332,10 @@ impl<W: PackedWord> DeltaSim<W> {
             input_words: vec![W::zeros(); netlist.num_inputs()],
             input_indices: netlist.inputs().iter().map(|i| i.0).collect(),
             input_pos,
+            state_pos,
+            state_nodes: netlist.state_elements().iter().map(|d| d.0).collect(),
+            state_d,
+            state_words: vec![W::zeros(); netlist.num_state_elements()],
             undo: Vec::new(),
             stamp: vec![0; n],
             generation: 0,
@@ -337,10 +373,16 @@ impl<W: PackedWord> DeltaSim<W> {
         let u32s = self.level.capacity()
             + self.input_indices.capacity()
             + self.input_pos.capacity()
+            + self.state_pos.capacity()
+            + self.state_nodes.capacity()
+            + self.state_d.capacity()
             + self.affected.capacity()
             + self.indeg.capacity()
             + self.tmp_level.capacity();
-        let words = self.values.capacity() + self.input_words.capacity() + self.gather.capacity();
+        let words = self.values.capacity()
+            + self.input_words.capacity()
+            + self.state_words.capacity()
+            + self.gather.capacity();
         self.fanin.memory_bytes()
             + self.fanout.memory_bytes()
             + self.kinds.capacity() * std::mem::size_of::<Option<CellKind>>()
@@ -425,10 +467,89 @@ impl<W: PackedWord> DeltaSim<W> {
             "one packed word per primary input required"
         );
         self.input_words.copy_from_slice(inputs);
-        // Forced full sweep: seed every input, never stop the wave. The
-        // sweep itself reads each input's word (or its force) on visit.
-        let seeds: Vec<u32> = self.input_indices.clone();
+        // Forced full sweep: seed every input and every state element,
+        // never stop the wave. Every gate is combinationally reachable
+        // from that seed set (walking fan-in back terminates at an input
+        // or a DFF output), so the sweep establishes the evaluation
+        // invariant over the whole circuit. The sweep itself reads each
+        // input's word / latched state word (or its force) on visit.
+        let mut seeds: Vec<u32> = self.input_indices.clone();
+        seeds.extend_from_slice(&self.state_nodes);
         self.sweep(&seeds, true);
+    }
+
+    /// Number of DFF state elements.
+    #[must_use]
+    pub fn num_state_elements(&self) -> usize {
+        self.state_nodes.len()
+    }
+
+    /// Loads the latched state words (one per state element, in
+    /// `Netlist::state_elements` order) and propagates the resulting
+    /// changes through the dirty cone, exactly like an input load.
+    ///
+    /// A force pin on a DFF output survives the load: the pinned value
+    /// keeps shadowing the latched word until the force is lifted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the number of state elements.
+    pub fn set_state(&mut self, state: &[W]) -> PatchReport {
+        assert_eq!(
+            state.len(),
+            self.state_words.len(),
+            "one packed word per state element required"
+        );
+        self.state_words.copy_from_slice(state);
+        let seeds: Vec<u32> = self.state_nodes.clone();
+        self.sweep(&seeds, false)
+    }
+
+    /// Reads the settled next-state off the D drivers into `state` (one
+    /// word per state element, in `Netlist::state_elements` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the number of state elements.
+    pub fn capture_state(&self, state: &mut [W]) {
+        assert_eq!(
+            state.len(),
+            self.state_words.len(),
+            "one packed word per state element required"
+        );
+        for (slot, &d) in state.iter_mut().zip(&self.state_d) {
+            *slot = self.values[d as usize];
+        }
+    }
+
+    /// Advances one frame: latches `state` into the DFF outputs, loads
+    /// `inputs`, propagates the combined dirty cone, then captures the
+    /// next-state back into `state` — the same scatter → evaluate →
+    /// capture cycle as the batch engine's `Simulator::step_frame`, but
+    /// event-driven (only values that changed since the previous frame
+    /// re-propagate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `state` have the wrong length.
+    pub fn step_frame(&mut self, inputs: &[W], state: &mut [W]) -> PatchReport {
+        assert_eq!(
+            inputs.len(),
+            self.input_indices.len(),
+            "one packed word per primary input required"
+        );
+        assert_eq!(
+            state.len(),
+            self.state_words.len(),
+            "one packed word per state element required"
+        );
+        self.input_words.copy_from_slice(inputs);
+        self.state_words.copy_from_slice(state);
+        let mut seeds: Vec<u32> = self.input_indices.clone();
+        seeds.extend_from_slice(&self.state_nodes);
+        let report = self.sweep(&seeds, false);
+        self.capture_state(state);
+        report
     }
 
     /// Pins `node` to a per-lane packed constant and propagates the dirty
@@ -584,6 +705,9 @@ impl<W: PackedWord> DeltaSim<W> {
                     if gate.0 != expected {
                         return Err(PatchError::NotAppend { gate, expected });
                     }
+                    if kind.is_state() {
+                        return Err(PatchError::StateElement(gate));
+                    }
                     if !kind.accepts_fanin(fanin.len()) {
                         return Err(PatchError::BadArity {
                             gate,
@@ -608,11 +732,20 @@ impl<W: PackedWord> DeltaSim<W> {
                 let Some(kind) = self.kinds[gi] else {
                     return Err(PatchError::NotAGate(gate));
                 };
+                // Structural edits stop at frame boundaries: a DFF can be
+                // forced (fault injection) but never rekinded, rewired or
+                // removed.
+                if kind.is_state() {
+                    return Err(PatchError::StateElement(gate));
+                }
                 match op {
                     PatchOp::SetForce { .. } | PatchOp::AddGate { .. } => {
                         unreachable!("handled above")
                     }
                     PatchOp::SetKind { kind: new_kind, .. } => {
+                        if new_kind.is_state() {
+                            return Err(PatchError::StateElement(gate));
+                        }
                         let arity = self.fanin.get(gi).len();
                         if !new_kind.accepts_fanin(arity) {
                             return Err(PatchError::BadArity {
@@ -728,6 +861,7 @@ impl<W: PackedWord> DeltaSim<W> {
                 self.values.push(W::zeros());
                 self.forced.push(None);
                 self.input_pos.push(u32::MAX);
+                self.state_pos.push(u32::MAX);
                 self.stamp.push(0);
                 self.indeg.push(0);
                 self.tmp_level.push(0);
@@ -746,6 +880,7 @@ impl<W: PackedWord> DeltaSim<W> {
                 self.values.pop();
                 self.forced.pop();
                 self.input_pos.pop();
+                self.state_pos.pop();
                 self.stamp.pop();
                 self.indeg.pop();
                 self.tmp_level.pop();
@@ -782,6 +917,12 @@ impl<W: PackedWord> DeltaSim<W> {
             head += 1;
             for &succ in self.fanout.get(i) {
                 let succ = succ as usize;
+                // State elements are level-0 frame boundaries: their level
+                // never moves, and the edge into them never closes a
+                // combinational cycle.
+                if self.state_pos[succ] != u32::MAX {
+                    continue;
+                }
                 if self.stamp[succ] != generation {
                     self.stamp[succ] = generation;
                     self.affected.push(succ as u32);
@@ -892,6 +1033,11 @@ impl<W: PackedWord> DeltaSim<W> {
                 let new = if let Some(pin) = self.forced[i] {
                     // A forced node holds its pin regardless of structure.
                     pin
+                } else if self.state_pos[i] != u32::MAX {
+                    // A DFF output reads its latched word, never its D
+                    // fan-in — latching happens only in `set_state` /
+                    // `step_frame`, between frames.
+                    self.state_words[self.state_pos[i] as usize]
                 } else {
                     match self.kinds[i] {
                         Some(kind) => {
@@ -903,6 +1049,9 @@ impl<W: PackedWord> DeltaSim<W> {
                                     let a = self.values[a as usize];
                                     match kind {
                                         CellKind::Not => !a,
+                                        CellKind::Dff => unreachable!(
+                                            "state elements read their latched word above"
+                                        ),
                                         _ => a,
                                     }
                                 }
@@ -916,7 +1065,7 @@ impl<W: PackedWord> DeltaSim<W> {
                                         CellKind::Or => a | b,
                                         CellKind::Xor => a ^ b,
                                         CellKind::Xnor => !(a ^ b),
-                                        CellKind::Buf | CellKind::Not => {
+                                        CellKind::Buf | CellKind::Not | CellKind::Dff => {
                                             unreachable!("arity 1 kinds never take two fan-ins")
                                         }
                                     }
@@ -942,6 +1091,14 @@ impl<W: PackedWord> DeltaSim<W> {
                 if delta || force {
                     for &succ in self.fanout.get(i) {
                         let succ = succ as usize;
+                        // A D fan-in edge is sequential: the wave stops at
+                        // the state element (its latched word does not
+                        // depend on this frame's values — and pushing a
+                        // level-0 node from a higher bucket would leave
+                        // worklist residue anyway).
+                        if self.state_pos[succ] != u32::MAX {
+                            continue;
+                        }
                         if self.stamp[succ] != generation {
                             self.stamp[succ] = generation;
                             self.buckets[self.level[succ] as usize].push(succ as u32);
@@ -1556,6 +1713,173 @@ mod tests {
         assert_eq!(delta.value(g1), !0x1234_5678u64);
         delta.rollback();
         assert_eq!(delta.value(g1), delta.value(i));
+    }
+
+    /// q = DFF(n), n = NOT(q), y = XOR(a, q): q toggles every frame.
+    fn toggle() -> iddq_netlist::Netlist {
+        let mut b = iddq_netlist::NetlistBuilder::new("toggle");
+        let a = b.add_input("a");
+        let q = b.add_dff("q").unwrap();
+        let n = b.add_gate("n", CellKind::Not, vec![q]).unwrap();
+        b.set_dff_input(q, n);
+        let y = b.add_gate("y", CellKind::Xor, vec![a, q]).unwrap();
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn baseline_covers_state_fed_logic() {
+        // n = NOT(q) is reachable only from the DFF, not from any primary
+        // input: the construction-time sweep must still evaluate it.
+        let nl = toggle();
+        let delta = DeltaSim::<u64>::new(&nl);
+        let n = nl.find("n").unwrap();
+        assert_eq!(delta.value(n), !0u64);
+    }
+
+    #[test]
+    fn step_frame_matches_csr_frame_engine() {
+        let nl = toggle();
+        let csr = Simulator::new(&nl);
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        let mut csr_state = vec![0u64; csr.num_state_elements()];
+        let mut csr_values = vec![0u64; csr.node_count()];
+        let mut d_state = vec![0u64; delta.num_state_elements()];
+        for t in 0..6u64 {
+            let inputs = vec![t.wrapping_mul(0x2545_f491_4f6c_dd1d)];
+            csr.step_frame(&inputs, &mut csr_state, &mut csr_values);
+            delta.step_frame(&inputs, &mut d_state);
+            assert_eq!(delta.values(), &csr_values[..], "frame {t}");
+            assert_eq!(d_state, csr_state, "state after frame {t}");
+        }
+    }
+
+    #[test]
+    fn structural_patches_on_state_elements_rejected() {
+        let nl = toggle();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        let q = nl.find("q").unwrap();
+        let n = nl.find("n").unwrap();
+        for patch in [
+            Patch::single(PatchOp::SetKind {
+                gate: q,
+                kind: CellKind::Buf,
+            }),
+            Patch::single(PatchOp::SetFanin {
+                gate: q,
+                fanin: vec![n],
+            }),
+            Patch::single(PatchOp::RemoveGate { gate: q }),
+            Patch::single(PatchOp::SetKind {
+                gate: n,
+                kind: CellKind::Dff,
+            }),
+            Patch::single(PatchOp::AddGate {
+                gate: NodeId(nl.node_count() as u32),
+                kind: CellKind::Dff,
+                fanin: vec![n],
+            }),
+        ] {
+            assert!(
+                matches!(
+                    delta.apply(&patch).unwrap_err(),
+                    PatchError::StateElement(_)
+                ),
+                "patch {patch:?} should be rejected as a state-element edit"
+            );
+        }
+        assert_eq!(delta.pending_patches(), 0);
+    }
+
+    #[test]
+    fn force_word_on_dff_injects_and_releases_state() {
+        // The multi-frame fault engine's state-divergence mechanism: pin a
+        // DFF output to a faulty word, observe the combinational fanout
+        // and the captured next-state diverge, lift the pin, recover.
+        let nl = toggle();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[0u64]);
+        let q = nl.find("q").unwrap();
+        let y = nl.find("y").unwrap();
+        assert_eq!(delta.value(y), 0);
+        delta.force_word(q, 0xffffu64);
+        assert_eq!(delta.value(q), 0xffff);
+        assert_eq!(delta.value(y), 0xffff); // y = a XOR q = q
+        let mut captured = vec![0u64; 1];
+        delta.capture_state(&mut captured);
+        assert_eq!(captured[0], !0xffffu64); // next q = NOT(q)
+        delta.unforce_word(q);
+        assert_eq!(delta.value(q), 0);
+        assert_eq!(delta.value(y), 0);
+    }
+
+    #[test]
+    fn force_pin_survives_frame_latch() {
+        // A forced DFF keeps its pin across step_frame: the latched word
+        // updates underneath but the pin shadows it until lifted.
+        let nl = toggle();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        let q = nl.find("q").unwrap();
+        delta.force_word(q, !0u64);
+        let mut state = vec![0u64; 1];
+        delta.step_frame(&[0u64], &mut state);
+        assert_eq!(delta.value(q), !0u64);
+        assert_eq!(state[0], 0); // next q = NOT(forced 1) = 0
+        delta.unforce_word(q);
+    }
+
+    #[test]
+    fn rewire_through_dff_loop_is_not_a_cycle() {
+        // n sits on a feedback loop through q; deepening n from NOT(q) to
+        // NOT(y) moves its level and triggers re-levelization. The region
+        // walk must stop at the DFF rather than report a false cycle.
+        let nl = toggle();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        delta.set_inputs(&[0x5a5au64]);
+        let baseline = delta.values().to_vec();
+        let n = nl.find("n").unwrap();
+        let y = nl.find("y").unwrap();
+        delta
+            .apply(&Patch::single(PatchOp::SetFanin {
+                gate: n,
+                fanin: vec![y],
+            }))
+            .unwrap();
+        assert_eq!(delta.value(n), !delta.value(y));
+        delta.rollback();
+        assert_eq!(delta.values(), &baseline[..]);
+    }
+
+    #[test]
+    fn step_frames_match_naive_oracle_with_midstream_patch() {
+        // Frame stepping composes with the patch machinery: mutate a gate,
+        // run frames against a rebuilt-netlist oracle, roll back, and the
+        // pristine frame behaviour returns.
+        let nl = toggle();
+        let mut delta = DeltaSim::<u64>::new(&nl);
+        let n = nl.find("n").unwrap();
+        // n: NOT -> BUF turns the toggler into a hold register (q stays 0).
+        delta
+            .apply(&Patch::single(PatchOp::SetKind {
+                gate: n,
+                kind: CellKind::Buf,
+            }))
+            .unwrap();
+        let mut state = vec![0u64; 1];
+        for t in 0..4 {
+            delta.step_frame(&[0u64], &mut state);
+            assert_eq!(state[0], 0, "held state, frame {t}");
+        }
+        delta.rollback();
+        state[0] = 0;
+        delta.set_state(&state);
+        let naive = crate::reference::NaiveSimulator::new(&nl);
+        let frames: Vec<Vec<u64>> = (0..4u64).map(|t| vec![t * 3]).collect();
+        let oracle = naive.step_frames(&frames);
+        for (t, inputs) in frames.iter().enumerate() {
+            delta.step_frame(inputs, &mut state);
+            assert_eq!(delta.values(), &oracle[t][..], "frame {t}");
+        }
     }
 
     #[test]

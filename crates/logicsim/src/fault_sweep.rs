@@ -32,6 +32,27 @@
 //! because a fault is only ever skipped when a strictly earlier detection
 //! (which wins the min-merge) already exists.
 //!
+//! # Multi-frame sequences
+//!
+//! With [`FaultSweepOptions::frames`]` = F > 1` the vector set is read as
+//! consecutive *F-cycle test sequences*: vectors `s*F .. (s+1)*F` are the
+//! per-frame stimuli of sequence `s`, every sequence starts from the
+//! all-zero reset state, and lane *k* of a pattern batch carries sequence
+//! `seq_base + k`. The good machine steps frames on the persistent
+//! engine; per fault, a *faulty machine* is superimposed through the
+//! force layer — the fault site itself plus every DFF whose faulty
+//! latched word has diverged from the good state — and the faulty
+//! next-state is captured off the D drivers before the forces are
+//! lifted. Earliest detection is reported as a plain vector index
+//! `seq * F + frame`, so frame resolution survives in the existing
+//! [`FaultSweepOutcome::first_detection`] shape: a lower sequence always
+//! outranks any frame offset, and within a sequence the first detecting
+//! frame wins. `frames = 1` is byte-for-byte the combinational sweep
+//! described above. The CSR oracle arm rebuilds each faulty machine per
+//! frame with a full forced topological sweep (the slow obviously-correct
+//! form), and the differential tests pin the two against each other and
+//! against `NaiveSimulator::step_frames`.
+//!
 //! # Failure semantics: budgets, cancellation, checkpoint/resume
 //!
 //! [`sweep_with_control`] threads an [`iddq_control::RunControl`] through
@@ -72,8 +93,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::BackendKind;
 use crate::delta::{DeltaSim, Patch, PatchOp};
-use crate::iddq::pack_chunk_into;
-use crate::logic_test::{bridge_logic_detection_from, stuck_at_detection_from, StuckAtFault};
+use crate::iddq::{pack_chunk_into, pack_seq_frame_into};
+use crate::logic_test::{
+    bridge_logic_detection_from, eval_forced_with_state, recompute_driver, stuck_at_detection_from,
+    StuckAtFault,
+};
 use crate::sim::Simulator;
 
 /// One logic (voltage-test) fault.
@@ -98,6 +122,15 @@ pub struct FaultPatchSim<W: PackedWord> {
     sim: DeltaSim<W>,
     outputs: Vec<NodeId>,
     good_out: Vec<W>,
+    /// DFF output node per state element (`Netlist::state_elements` order).
+    state_nodes: Vec<NodeId>,
+    /// D-driver node per state element, aligned with `state_nodes`.
+    state_d: Vec<NodeId>,
+    /// Per-fault faulty latched state, `faults.len() * state_nodes.len()`
+    /// words, reused across the frames of one sequence batch.
+    faulty_state: Vec<W>,
+    /// Indices of the DFFs pinned for the fault currently superimposed.
+    diverged: Vec<usize>,
     /// Driver-recompute scratch (keeps the bridge fixpoint allocation-free).
     gather: Vec<W>,
     reevaluated: u64,
@@ -109,10 +142,19 @@ impl<W: PackedWord> FaultPatchSim<W> {
     #[must_use]
     pub fn new(netlist: &Netlist) -> Self {
         let outputs = netlist.outputs().to_vec();
+        let state_nodes = netlist.state_elements().to_vec();
+        let state_d = state_nodes
+            .iter()
+            .map(|&q| netlist.node(q).fanin()[0])
+            .collect();
         let mut this = FaultPatchSim {
             sim: DeltaSim::new(netlist),
             good_out: vec![W::zeros(); outputs.len()],
             outputs,
+            state_nodes,
+            state_d,
+            faulty_state: Vec::new(),
+            diverged: Vec::new(),
             gather: Vec::new(),
             reevaluated: 0,
             detects: 0,
@@ -197,6 +239,116 @@ impl<W: PackedWord> FaultPatchSim<W> {
         }
     }
 
+    /// Sweeps one batch of `frames`-cycle sequences: lane *k* carries
+    /// sequence `seq_base + k`, every sequence starting from the all-zero
+    /// reset. For each live fault, `best_kt[k]` receives the earliest
+    /// in-batch detection as `(lane, frame)` — a lower lane (earlier
+    /// sequence) always outranks any frame offset, and within a lane the
+    /// first detecting frame wins.
+    ///
+    /// The good machine steps frames on the persistent engine; each fault
+    /// is superimposed through the force layer (fault site plus any DFF
+    /// whose faulty latched word diverged from the good frame-start
+    /// state), its next-state is captured off the D drivers, and the
+    /// forces are lifted — restoring the good machine for the next fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatches or faults referencing nodes outside the
+    /// netlist.
+    #[allow(clippy::too_many_arguments)] // mirrors the seq CSR oracle cell signature
+    pub fn sweep_sequences(
+        &mut self,
+        vectors: &[Vec<bool>],
+        seq_base: usize,
+        frames: usize,
+        faults: &[LogicFault],
+        live: &[bool],
+        best_kt: &mut [Option<(u32, usize)>],
+        words: &mut [W],
+    ) {
+        let s = self.state_nodes.len();
+        self.faulty_state.clear();
+        self.faulty_state.resize(faults.len() * s, W::zeros());
+        let mut good_state = vec![W::zeros(); s];
+        let mut run_state = vec![W::zeros(); s];
+        for t in 0..frames {
+            let lanes_t = pack_seq_frame_into(vectors, seq_base, frames, t, words);
+            if lanes_t == 0 {
+                break;
+            }
+            good_state.copy_from_slice(&run_state);
+            self.sim.step_frame(words, &mut run_state);
+            self.snapshot_outputs();
+            for (k, &fault) in faults.iter().enumerate() {
+                if !live[k] {
+                    continue;
+                }
+                self.detects += 1;
+                // Pin the faulty machine's diverged state words.
+                self.diverged.clear();
+                for (j, &g) in good_state.iter().enumerate() {
+                    let w = self.faulty_state[k * s + j];
+                    if w != g {
+                        let r = self.sim.force_word(self.state_nodes[j], w);
+                        self.reevaluated += r.reevaluated as u64;
+                        self.diverged.push(j);
+                    }
+                }
+                // Superimpose the fault through the same force layer.
+                match fault {
+                    LogicFault::StuckAt(f) => {
+                        let r = self.sim.force_word(f.node, W::splat(f.stuck_at_one));
+                        self.reevaluated += r.reevaluated as u64;
+                    }
+                    LogicFault::Bridge { a, b } if a != b => {
+                        let mut wired = self.sim.value(a) & self.sim.value(b);
+                        for _ in 0..3 {
+                            let ra = self.sim.force_word(a, wired);
+                            let rb = self.sim.force_word(b, wired);
+                            self.reevaluated += (ra.reevaluated + rb.reevaluated) as u64;
+                            let next = self.recompute_driver(a) & self.recompute_driver(b);
+                            if next == wired {
+                                break;
+                            }
+                            wired = next;
+                        }
+                    }
+                    LogicFault::Bridge { .. } => {}
+                }
+                let diff = self.output_diff().mask_lanes(lanes_t);
+                if let Some(bit) = diff.first_set() {
+                    if best_kt[k].is_none_or(|(kb, _)| bit < kb) {
+                        best_kt[k] = Some((bit, t));
+                    }
+                }
+                // Capture the faulty next-state off the D drivers *before*
+                // lifting the forces.
+                for j in 0..s {
+                    self.faulty_state[k * s + j] = self.sim.values()[self.state_d[j].index()];
+                }
+                // Rollback: the fault forces, then the state pins.
+                match fault {
+                    LogicFault::StuckAt(f) => {
+                        let r = self.sim.unforce_word(f.node);
+                        self.reevaluated += r.reevaluated as u64;
+                    }
+                    LogicFault::Bridge { a, b } if a != b => {
+                        let ra = self.sim.unforce_word(a);
+                        let rb = self.sim.unforce_word(b);
+                        self.reevaluated += (ra.reevaluated + rb.reevaluated) as u64;
+                    }
+                    LogicFault::Bridge { .. } => {}
+                }
+                for i in 0..self.diverged.len() {
+                    let j = self.diverged[i];
+                    let r = self.sim.unforce_word(self.state_nodes[j]);
+                    self.reevaluated += r.reevaluated as u64;
+                }
+            }
+        }
+    }
+
     /// What the forced net's driver would output given the current
     /// (corrupted) fan-in values; primary inputs drive their forced value.
     fn recompute_driver(&mut self, node: NodeId) -> W {
@@ -247,6 +399,12 @@ pub struct FaultSweepOptions {
     /// [`BackendKind::Csr`] = per-fault full re-simulation (the
     /// differential oracle and speedup baseline).
     pub backend: BackendKind,
+    /// Frames per test sequence. `1` (or `0`, normalized to `1`) keeps the
+    /// classical one-vector-per-test combinational sweep; `F > 1` reads
+    /// the vector set as consecutive `F`-cycle sequences, each started
+    /// from the all-zero reset state (see the module's *Multi-frame
+    /// sequences* section).
+    pub frames: usize,
     /// Chaos injection: the worker that reaches this absolute pattern-batch
     /// index panics right before evaluating it. Exercises the
     /// worker-boundary `catch_unwind` isolation (one poisoned task fails
@@ -262,7 +420,103 @@ impl Default for FaultSweepOptions {
             fault_shards: 0,
             fault_dropping: true,
             backend: BackendKind::Delta,
+            frames: 1,
             chaos_panic_batch: None,
+        }
+    }
+}
+
+/// The CSR oracle for multi-frame sequences: every fault's machine is
+/// rebuilt per frame by a full forced topological sweep with the faulty
+/// latched state scattered over the DFF outputs, mirroring the patch
+/// engine's force fixpoints iteration for iteration. Slow and obviously
+/// correct — the differential baseline [`FaultPatchSim::sweep_sequences`]
+/// must match bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn seq_csr_cell<W: PackedWord>(
+    netlist: &Netlist,
+    sim: &Simulator,
+    vectors: &[Vec<bool>],
+    seq_base: usize,
+    frames: usize,
+    faults: &[LogicFault],
+    live: &[bool],
+    best_kt: &mut [Option<(u32, usize)>],
+    words: &mut [W],
+) {
+    let state_nodes = netlist.state_elements();
+    let d_drivers: Vec<usize> = state_nodes
+        .iter()
+        .map(|&q| netlist.node(q).fanin()[0].index())
+        .collect();
+    let outputs = netlist.outputs();
+    // Good pass: record per-frame packed inputs, output words, lane counts.
+    let mut frame_inputs: Vec<Vec<W>> = Vec::with_capacity(frames);
+    let mut frame_lanes: Vec<u32> = Vec::with_capacity(frames);
+    let mut good_outs: Vec<Vec<W>> = Vec::with_capacity(frames);
+    let mut state = vec![W::zeros(); state_nodes.len()];
+    let mut values = vec![W::zeros(); netlist.node_count()];
+    for t in 0..frames {
+        let lanes_t = pack_seq_frame_into(vectors, seq_base, frames, t, words);
+        if lanes_t == 0 {
+            break;
+        }
+        sim.step_frame(words, &mut state, &mut values);
+        frame_inputs.push(words.to_vec());
+        frame_lanes.push(lanes_t);
+        good_outs.push(outputs.iter().map(|&o| values[o.index()]).collect());
+    }
+    let mut state_f = vec![W::zeros(); state_nodes.len()];
+    for (k, &fault) in faults.iter().enumerate() {
+        if !live[k] {
+            continue;
+        }
+        state_f.fill(W::zeros());
+        for (t, inputs) in frame_inputs.iter().enumerate() {
+            let bad = match fault {
+                LogicFault::StuckAt(f) => eval_forced_with_state(
+                    netlist,
+                    inputs,
+                    &state_f,
+                    &[(f.node, W::splat(f.stuck_at_one))],
+                ),
+                LogicFault::Bridge { a, b } if a != b => {
+                    let v0 = eval_forced_with_state(netlist, inputs, &state_f, &[]);
+                    let mut wired = v0[a.index()] & v0[b.index()];
+                    let mut bad = v0;
+                    for _ in 0..3 {
+                        bad = eval_forced_with_state(
+                            netlist,
+                            inputs,
+                            &state_f,
+                            &[(a, wired), (b, wired)],
+                        );
+                        let next =
+                            recompute_driver(netlist, &bad, a) & recompute_driver(netlist, &bad, b);
+                        if next == wired {
+                            break;
+                        }
+                        wired = next;
+                    }
+                    bad
+                }
+                // A net bridged to itself never changes logic; the faulty
+                // machine is the good machine, re-derived the slow way.
+                LogicFault::Bridge { .. } => eval_forced_with_state(netlist, inputs, &state_f, &[]),
+            };
+            let mut diff = W::zeros();
+            for (&o, &g) in outputs.iter().zip(&good_outs[t]) {
+                diff = diff | (g ^ bad[o.index()]);
+            }
+            diff = diff.mask_lanes(frame_lanes[t]);
+            if let Some(bit) = diff.first_set() {
+                if best_kt[k].is_none_or(|(kb, _)| bit < kb) {
+                    best_kt[k] = Some((bit, t));
+                }
+            }
+            for (slot, &d) in state_f.iter_mut().zip(&d_drivers) {
+                *slot = bad[d];
+            }
         }
     }
 }
@@ -325,6 +579,11 @@ pub struct SweepCheckpoint {
     pub fault_shards: usize,
     /// Number of vectors in the sweep.
     pub num_vectors: usize,
+    /// Frames per test sequence the batch geometry was computed with
+    /// (`1` = the classical combinational sweep). Checkpoints written
+    /// before sequential support lack the field and fail closed as
+    /// unreadable — re-running a sweep is always sound.
+    pub frames: usize,
     /// Per-fault earliest detection so far (`null` = none yet).
     pub first_detection: Vec<Option<usize>>,
     /// Per pattern batch: fully swept before the interruption.
@@ -362,6 +621,7 @@ fn run_fingerprint<W: PackedWord>(
     h.u64(u64::from(W::LANES));
     h.u64(options.threads as u64);
     h.u64(options.fault_shards as u64);
+    h.u64(options.frames.max(1) as u64);
     h.u64(netlist.node_count() as u64);
     h.u64(netlist.num_inputs() as u64);
     h.u64(netlist.num_outputs() as u64);
@@ -426,6 +686,7 @@ impl SweepCheckpoint {
             threads: options.threads,
             fault_shards: options.fault_shards,
             num_vectors: vectors.len(),
+            frames: options.frames.max(1),
             first_detection: outcome.first_detection.clone(),
             done_batches: outcome.done_batches.clone(),
         }
@@ -478,6 +739,13 @@ impl SweepCheckpoint {
                 vectors.len()
             ));
         }
+        let frames = options.frames.max(1);
+        if self.frames != frames {
+            return mismatch(&format!(
+                "frames-per-sequence {} differs from the run's {frames}",
+                self.frames
+            ));
+        }
         if self.first_detection.len() != faults.len() {
             return mismatch(&format!(
                 "fault count {} differs from the run's {}",
@@ -485,7 +753,7 @@ impl SweepCheckpoint {
                 faults.len()
             ));
         }
-        let num_batches = vectors.len().div_ceil(W::LANES as usize);
+        let num_batches = vectors.len().div_ceil(frames).div_ceil(W::LANES as usize);
         if self.done_batches.len() != num_batches {
             return mismatch(&format!(
                 "batch count {} differs from the run's {num_batches}",
@@ -669,7 +937,10 @@ fn sweep_impl<W: PackedWord>(
     resume: Option<&SweepCheckpoint>,
 ) -> Outcome<FaultSweepOutcome> {
     let lanes = W::LANES as usize;
-    let num_batches = vectors.len().div_ceil(lanes);
+    let frames = options.frames.max(1);
+    // With frames = F, a "pattern batch" is a batch of *sequences*: lane k
+    // of batch b carries the F consecutive vectors of sequence b*lanes + k.
+    let num_batches = vectors.len().div_ceil(frames).div_ceil(lanes);
     // The pending-batch list: everything on a fresh run, only the batches
     // not yet fully swept on a resume.
     let batch_ids: Vec<usize> = match resume {
@@ -762,46 +1033,103 @@ fn sweep_impl<W: PackedWord>(
             if options.chaos_panic_batch == Some(batch_idx) {
                 panic!("chaos injection: worker panicked at pattern batch {batch_idx}");
             }
-            let start_vec = batch_idx * lanes;
-            let chunk = &vectors[start_vec..vectors.len().min(start_vec + lanes)];
-            pack_chunk_into(chunk, &mut eng.words);
-            if let Some(ps) = eng.patch_sim.as_mut() {
-                ps.load(&eng.words);
-            } else if let Some(sim) = eng.csr.as_ref() {
-                sim.eval_into(&eng.words, &mut eng.good);
-            }
-            for k in 0..flen {
-                if options.fault_dropping && !live[k] {
-                    continue;
+            let start_vec = batch_idx * lanes * frames;
+            let covered = vectors.len().min(start_vec + lanes * frames) - start_vec;
+            if frames == 1 {
+                let chunk = &vectors[start_vec..start_vec + covered];
+                pack_chunk_into(chunk, &mut eng.words);
+                if let Some(ps) = eng.patch_sim.as_mut() {
+                    ps.load(&eng.words);
+                } else if let Some(sim) = eng.csr.as_ref() {
+                    sim.eval_into(&eng.words, &mut eng.good);
                 }
-                let fi = task.fault_range.start + k;
-                if options.fault_dropping && best[fi].load(Ordering::Relaxed) < start_vec {
-                    live[k] = false;
-                    remaining -= 1;
-                    continue;
-                }
-                let mask = match (eng.patch_sim.as_mut(), faults[fi]) {
-                    (Some(ps), fault) => ps.detect(fault),
-                    (None, LogicFault::StuckAt(f)) => {
-                        stuck_at_detection_from(netlist, &eng.good, f, &eng.words)
+                for k in 0..flen {
+                    if options.fault_dropping && !live[k] {
+                        continue;
                     }
-                    (None, LogicFault::Bridge { a, b }) => {
-                        bridge_logic_detection_from(netlist, &eng.good, a, b, &eng.words)
-                    }
-                }
-                .mask_lanes(chunk.len() as u32);
-                if let Some(bit) = mask.first_set() {
-                    let v = start_vec + bit as usize;
-                    first[k] = Some(first[k].map_or(v, |cur| cur.min(v)));
-                    best[fi].fetch_min(v, Ordering::Relaxed);
-                    if options.fault_dropping {
+                    let fi = task.fault_range.start + k;
+                    if options.fault_dropping && best[fi].load(Ordering::Relaxed) < start_vec {
                         live[k] = false;
                         remaining -= 1;
+                        continue;
+                    }
+                    let mask = match (eng.patch_sim.as_mut(), faults[fi]) {
+                        (Some(ps), fault) => ps.detect(fault),
+                        (None, LogicFault::StuckAt(f)) => {
+                            stuck_at_detection_from(netlist, &eng.good, f, &eng.words)
+                        }
+                        (None, LogicFault::Bridge { a, b }) => {
+                            bridge_logic_detection_from(netlist, &eng.good, a, b, &eng.words)
+                        }
+                    }
+                    .mask_lanes(chunk.len() as u32);
+                    if let Some(bit) = mask.first_set() {
+                        let v = start_vec + bit as usize;
+                        first[k] = Some(first[k].map_or(v, |cur| cur.min(v)));
+                        best[fi].fetch_min(v, Ordering::Relaxed);
+                        if options.fault_dropping {
+                            live[k] = false;
+                            remaining -= 1;
+                        }
+                    }
+                }
+            } else {
+                let seq_base = batch_idx * lanes;
+                // Cross-batch dropping: a published detection before this
+                // batch's first vector wins the min-merge over anything
+                // the batch could contribute.
+                if options.fault_dropping {
+                    for (k, l) in live.iter_mut().enumerate() {
+                        if !*l {
+                            continue;
+                        }
+                        let fi = task.fault_range.start + k;
+                        if best[fi].load(Ordering::Relaxed) < start_vec {
+                            *l = false;
+                            remaining -= 1;
+                        }
+                    }
+                }
+                let shard = &faults[task.fault_range.clone()];
+                let mut best_kt: Vec<Option<(u32, usize)>> = vec![None; flen];
+                if let Some(ps) = eng.patch_sim.as_mut() {
+                    ps.sweep_sequences(
+                        vectors,
+                        seq_base,
+                        frames,
+                        shard,
+                        &live,
+                        &mut best_kt,
+                        &mut eng.words,
+                    );
+                } else if let Some(sim) = eng.csr.as_ref() {
+                    seq_csr_cell(
+                        netlist,
+                        sim,
+                        vectors,
+                        seq_base,
+                        frames,
+                        shard,
+                        &live,
+                        &mut best_kt,
+                        &mut eng.words,
+                    );
+                }
+                for (k, kt) in best_kt.iter().enumerate() {
+                    if let Some((lane, t)) = *kt {
+                        let fi = task.fault_range.start + k;
+                        let v = (seq_base + lane as usize) * frames + t;
+                        first[k] = Some(first[k].map_or(v, |cur| cur.min(v)));
+                        best[fi].fetch_min(v, Ordering::Relaxed);
+                        if options.fault_dropping && live[k] {
+                            live[k] = false;
+                            remaining -= 1;
+                        }
                     }
                 }
             }
             completed += 1;
-            control.charge(chunk.len() as u64);
+            control.charge(covered as u64);
         }
         let (reevaluated, detects) = match eng.patch_sim.as_ref() {
             Some(ps) => {
@@ -1327,6 +1655,252 @@ mod tests {
             let r = resumed.into_value();
             assert_eq!(full.first_detection, r.first_detection);
         }
+    }
+
+    /// Two-deep cross-coupled shift fixture: `y1` observes `q1` directly,
+    /// `y2` observes `q2`; state reconverges through both XOR and AND.
+    fn seq_fixture() -> iddq_netlist::Netlist {
+        let mut b = iddq_netlist::NetlistBuilder::new("seqfix");
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let q1 = b.add_dff("q1").unwrap();
+        let q2 = b.add_dff("q2").unwrap();
+        let n1 = b
+            .add_gate("n1", iddq_netlist::CellKind::Xor, vec![a, q2])
+            .unwrap();
+        b.set_dff_input(q1, n1);
+        let n2 = b
+            .add_gate("n2", iddq_netlist::CellKind::And, vec![q1, c])
+            .unwrap();
+        b.set_dff_input(q2, n2);
+        let y1 = b
+            .add_gate("y1", iddq_netlist::CellKind::Or, vec![q1, c])
+            .unwrap();
+        let y2 = b
+            .add_gate("y2", iddq_netlist::CellKind::Xnor, vec![q2, a])
+            .unwrap();
+        b.mark_output(y1);
+        b.mark_output(y2);
+        b.build().unwrap()
+    }
+
+    fn seq_fault_list(nl: &iddq_netlist::Netlist) -> Vec<LogicFault> {
+        let mut faults: Vec<LogicFault> = Vec::new();
+        for node in nl.node_ids() {
+            for stuck_at_one in [false, true] {
+                faults.push(LogicFault::StuckAt(StuckAtFault { node, stuck_at_one }));
+            }
+        }
+        let ids: Vec<_> = nl.node_ids().collect();
+        faults.push(LogicFault::Bridge {
+            a: ids[0],
+            b: ids[ids.len() - 1],
+        });
+        faults.push(LogicFault::Bridge {
+            a: ids[2],
+            b: ids[3],
+        });
+        faults
+    }
+
+    fn rand_vectors(n: usize, arity: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                (0..arity)
+                    .map(|_| {
+                        s = s
+                            .wrapping_mul(6_364_136_223_846_793_005)
+                            .wrapping_add(1_442_695_040_888_963_407);
+                        (s >> 33) & 1 == 1
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seq_sweep_backends_and_grids_agree() {
+        let nl = seq_fixture();
+        let faults = seq_fault_list(&nl);
+        let vectors = rand_vectors(3 * 150, nl.num_inputs(), 0x5eed);
+        let base = sweep::<u64>(
+            &nl,
+            &faults,
+            &vectors,
+            &FaultSweepOptions {
+                threads: 1,
+                fault_shards: 1,
+                fault_dropping: false,
+                backend: BackendKind::Csr,
+                frames: 3,
+                ..FaultSweepOptions::default()
+            },
+        );
+        assert!(base.detected.iter().any(|&d| d));
+        for (threads, shards, dropping, backend) in [
+            (1, 1, false, BackendKind::Delta),
+            (1, 1, true, BackendKind::Delta),
+            (3, 2, true, BackendKind::Delta),
+            (2, 3, true, BackendKind::Csr),
+        ] {
+            let r = sweep::<u64>(
+                &nl,
+                &faults,
+                &vectors,
+                &FaultSweepOptions {
+                    threads,
+                    fault_shards: shards,
+                    fault_dropping: dropping,
+                    backend,
+                    frames: 3,
+                    ..FaultSweepOptions::default()
+                },
+            );
+            assert_eq!(
+                base.first_detection, r.first_detection,
+                "threads={threads} shards={shards} dropping={dropping} backend={backend}"
+            );
+        }
+        let wide = sweep::<W256>(
+            &nl,
+            &faults,
+            &vectors,
+            &FaultSweepOptions {
+                frames: 3,
+                ..FaultSweepOptions::default()
+            },
+        );
+        assert_eq!(base.first_detection, wide.first_detection);
+    }
+
+    #[test]
+    fn multi_frame_detection_needs_state_propagation() {
+        // y = q = DFF(a): a fault on `a` is invisible combinationally (the
+        // output reads the latched reset value) and caught one frame later
+        // once the corrupted state propagates through the flop.
+        let mut b = iddq_netlist::NetlistBuilder::new("pipe1");
+        let a = b.add_input("a");
+        let q = b.add_dff("q").unwrap();
+        b.set_dff_input(q, a);
+        let y = b
+            .add_gate("y", iddq_netlist::CellKind::Buf, vec![q])
+            .unwrap();
+        b.mark_output(y);
+        let nl = b.build().unwrap();
+        let fault = vec![LogicFault::StuckAt(StuckAtFault {
+            node: a,
+            stuck_at_one: true,
+        })];
+        let vectors = vec![vec![false], vec![false]];
+        let combi = sweep::<u64>(&nl, &fault, &vectors, &FaultSweepOptions::default());
+        assert_eq!(
+            combi.detected,
+            vec![false],
+            "frames=1 cannot see through the flop"
+        );
+        for backend in [BackendKind::Delta, BackendKind::Csr] {
+            let seq = sweep::<u64>(
+                &nl,
+                &fault,
+                &vectors,
+                &FaultSweepOptions {
+                    frames: 2,
+                    backend,
+                    ..FaultSweepOptions::default()
+                },
+            );
+            assert_eq!(
+                seq.first_detection,
+                vec![Some(1)],
+                "frame 1 of sequence 0 ({backend})"
+            );
+        }
+    }
+
+    #[test]
+    fn combinational_netlist_frames_invariant() {
+        // On a DFF-free netlist every frame is independent and the vector
+        // index `seq*F + t` is the plain vector index, so sequence
+        // grouping must not change earliest detections at all.
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(200);
+        let base = sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions::default());
+        for frames in [2usize, 3, 7] {
+            for backend in [BackendKind::Delta, BackendKind::Csr] {
+                let r = sweep::<u64>(
+                    &nl,
+                    &faults,
+                    &vectors,
+                    &FaultSweepOptions {
+                        frames,
+                        backend,
+                        ..FaultSweepOptions::default()
+                    },
+                );
+                assert_eq!(
+                    base.first_detection, r.first_detection,
+                    "frames={frames} backend={backend}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frames_zero_normalizes_to_one() {
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(100);
+        let zero = sweep::<u64>(
+            &nl,
+            &faults,
+            &vectors,
+            &FaultSweepOptions {
+                frames: 0,
+                ..FaultSweepOptions::default()
+            },
+        );
+        let one = sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions::default());
+        assert_eq!(zero.first_detection, one.first_detection);
+    }
+
+    #[test]
+    fn seq_checkpoint_resume_bit_identical() {
+        let nl = seq_fixture();
+        let faults = seq_fault_list(&nl);
+        let vectors = rand_vectors(3 * 320, nl.num_inputs(), 0xfade);
+        let opts = FaultSweepOptions {
+            threads: 2,
+            fault_shards: 2,
+            fault_dropping: false,
+            frames: 3,
+            ..FaultSweepOptions::default()
+        };
+        let full = sweep::<u64>(&nl, &faults, &vectors, &opts);
+        let control = RunControl::unlimited().and_budget(RunBudget::unlimited().with_quota(200));
+        let out = sweep_with_control::<u64>(&nl, &faults, &vectors, &opts, &control);
+        let partial = match out {
+            Outcome::Partial { value, .. } => value,
+            Outcome::Complete(_) => panic!("a 200-vector quota must interrupt a 1920-unit grid"),
+        };
+        let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &opts, &partial);
+        assert_eq!(cp.frames, 3);
+        let wrong = FaultSweepOptions {
+            frames: 2,
+            ..opts.clone()
+        };
+        let err = cp
+            .validate::<u64>(&nl, &faults, &vectors, &wrong)
+            .unwrap_err();
+        assert!(err.to_string().contains("frames-per-sequence"), "{err}");
+        let resumed =
+            sweep_resume::<u64>(&nl, &faults, &vectors, &opts, &RunControl::unlimited(), &cp)
+                .unwrap();
+        assert!(resumed.is_complete());
+        let r = resumed.into_value();
+        assert_eq!(full.first_detection, r.first_detection);
+        assert!(r.done_batches.iter().all(|&d| d));
     }
 
     #[test]

@@ -64,6 +64,42 @@ pub fn pack_chunk_into<W: PackedWord>(chunk: &[Vec<bool>], words: &mut [W]) {
     }
 }
 
+/// Packs frame `t` of each sequence in a batch: lane `k` reads vector
+/// `(seq_base + k) * frames + t` (vectors are *sequence-major*: the `F`
+/// consecutive vectors of sequence `s` are its per-frame stimuli).
+/// Returns how many lanes have a vector at this frame — always a lane
+/// *prefix*, so a short tail sequence stops contributing cleanly and the
+/// caller can mask detections with [`PackedWord::mask_lanes`].
+///
+/// # Panics
+///
+/// Panics if any touched vector's arity differs from `words.len()`.
+pub fn pack_seq_frame_into<W: PackedWord>(
+    vectors: &[Vec<bool>],
+    seq_base: usize,
+    frames: usize,
+    t: usize,
+    words: &mut [W],
+) -> u32 {
+    words.fill(W::zeros());
+    let mut valid = 0u32;
+    for k in 0..W::LANES as usize {
+        let vi = (seq_base + k) * frames + t;
+        if vi >= vectors.len() {
+            break;
+        }
+        valid = k as u32 + 1;
+        let v = &vectors[vi];
+        assert_eq!(v.len(), words.len(), "vector arity mismatch");
+        for (i, &bit) in v.iter().enumerate() {
+            if bit {
+                words[i].set_bit(k as u32);
+            }
+        }
+    }
+    valid
+}
+
 /// Streams boolean vectors as packed `W::LANES`-wide batches without
 /// materializing them all up front.
 ///
@@ -133,6 +169,13 @@ pub struct SweepOptions {
     pub fault_shards: usize,
     /// Simulation engine evaluating the pattern batches.
     pub backend: BackendKind,
+    /// Frames per test sequence. `0` or `1` = the classical one-shot
+    /// sweep; `F > 1` reads the vector set as consecutive `F`-cycle
+    /// sequences from the all-zero reset, and a defect is detected at
+    /// vector index `seq*F + frame` when that frame's *fault-free* values
+    /// activate it (IDDQ detection needs activation, not propagation —
+    /// the good machine's state trajectory is the only one simulated).
+    pub frames: usize,
 }
 
 /// Runs the full IDDQ test experiment.
@@ -300,7 +343,10 @@ pub fn simulate_with_control(
         .collect();
 
     let lanes = W256::LANES as usize;
-    let num_batches = vectors.len().div_ceil(lanes);
+    let frames = options.frames.max(1);
+    // With frames = F, a batch is a batch of F-cycle *sequences*: lane k
+    // of batch b carries the F consecutive vectors of sequence b*lanes+k.
+    let num_batches = vectors.len().div_ceil(frames).div_ceil(lanes);
     let threads = if options.threads == 0 {
         sweep_threads(num_batches.max(1) * faults.len().div_ceil(256).max(1))
     } else {
@@ -358,7 +404,8 @@ pub fn simulate_with_control(
     let run_cell = |task: &SweepTask,
                     backend: &mut SimBackend<W256>,
                     words: &mut [W256],
-                    values: &mut [W256]|
+                    values: &mut [W256],
+                    state: &mut [W256]|
      -> Cell {
         let flen = task.fault_range.len();
         let mut first: Vec<Option<usize>> = vec![None; flen];
@@ -377,6 +424,10 @@ pub fn simulate_with_control(
         }
         let mut remaining: usize = live.iter().map(|w| w.count_ones() as usize).sum();
         let mut completed = 0usize;
+        // Per-fault earliest in-batch (lane, frame) candidate of the
+        // sequential path (a lower lane — earlier sequence — outranks any
+        // frame offset, so a candidate may improve across frames).
+        let mut cand: Vec<Option<(u32, usize)>> = vec![None; if frames > 1 { flen } else { 0 }];
         for batch_idx in task.batch_range.clone() {
             if remaining == 0 {
                 // Nothing left to detect: the rest of the cell cannot
@@ -387,60 +438,122 @@ pub fn simulate_with_control(
             if control.check().is_some() {
                 break;
             }
-            let start_vec = batch_idx * lanes;
-            let chunk = &vectors[start_vec..vectors.len().min(start_vec + lanes)];
-            pack_chunk_into(chunk, words);
-            backend.eval_into(words, values);
-            for (w, word) in live.iter_mut().enumerate() {
-                let mut bits = *word;
-                while bits != 0 {
-                    let k = w * 64 + bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    let fi = task.fault_range.start + k;
-                    // Drop if an earlier cell already detected it.
-                    if best[fi].load(Ordering::Relaxed) < start_vec {
-                        *word &= !(1u64 << (k % 64));
-                        remaining -= 1;
-                        continue;
+            let start_vec = batch_idx * lanes * frames;
+            let covered = vectors.len().min(start_vec + lanes * frames) - start_vec;
+            if frames == 1 {
+                let chunk = &vectors[start_vec..start_vec + covered];
+                pack_chunk_into(chunk, words);
+                backend.eval_into(words, values);
+                for (w, word) in live.iter_mut().enumerate() {
+                    let mut bits = *word;
+                    while bits != 0 {
+                        let k = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let fi = task.fault_range.start + k;
+                        // Drop if an earlier cell already detected it.
+                        if best[fi].load(Ordering::Relaxed) < start_vec {
+                            *word &= !(1u64 << (k % 64));
+                            remaining -= 1;
+                            continue;
+                        }
+                        let act = faults[fi]
+                            .activation(netlist, values)
+                            .mask_lanes(chunk.len() as u32);
+                        if let Some(bit) = act.first_set() {
+                            let v = start_vec + bit as usize;
+                            first[k] = Some(v);
+                            best[fi].fetch_min(v, Ordering::Relaxed);
+                            *word &= !(1u64 << (k % 64));
+                            remaining -= 1;
+                        }
                     }
-                    let act = faults[fi]
-                        .activation(netlist, values)
-                        .mask_lanes(chunk.len() as u32);
-                    if let Some(bit) = act.first_set() {
-                        let v = start_vec + bit as usize;
-                        first[k] = Some(v);
-                        best[fi].fetch_min(v, Ordering::Relaxed);
-                        *word &= !(1u64 << (k % 64));
-                        remaining -= 1;
+                }
+            } else {
+                let seq_base = batch_idx * lanes;
+                // Cross-cell dropping at the batch boundary: a published
+                // detection before this batch's first vector wins the
+                // min-merge over anything the batch could contribute.
+                for (w, word) in live.iter_mut().enumerate() {
+                    let mut bits = *word;
+                    while bits != 0 {
+                        let k = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let fi = task.fault_range.start + k;
+                        if best[fi].load(Ordering::Relaxed) < start_vec {
+                            *word &= !(1u64 << (k % 64));
+                            remaining -= 1;
+                        } else {
+                            cand[k] = None;
+                        }
+                    }
+                }
+                state.fill(W256::zeros());
+                for t in 0..frames {
+                    let lanes_t = pack_seq_frame_into(vectors, seq_base, frames, t, words);
+                    if lanes_t == 0 {
+                        break;
+                    }
+                    backend.step_frame(words, state, values);
+                    for (w, &word) in live.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let k = w * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let fi = task.fault_range.start + k;
+                            let act = faults[fi].activation(netlist, values).mask_lanes(lanes_t);
+                            if let Some(bit) = act.first_set() {
+                                if cand[k].is_none_or(|(kb, _)| bit < kb) {
+                                    cand[k] = Some((bit, t));
+                                }
+                            }
+                        }
+                    }
+                }
+                for (w, word) in live.iter_mut().enumerate() {
+                    let mut bits = *word;
+                    while bits != 0 {
+                        let k = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if let Some((lane, t)) = cand[k] {
+                            let fi = task.fault_range.start + k;
+                            let v = (seq_base + lane as usize) * frames + t;
+                            first[k] = Some(v);
+                            best[fi].fetch_min(v, Ordering::Relaxed);
+                            *word &= !(1u64 << (k % 64));
+                            remaining -= 1;
+                        }
                     }
                 }
             }
             completed += 1;
-            control.charge(chunk.len() as u64);
+            control.charge(covered as u64);
         }
         (task.fault_range.start, first, completed)
     };
 
     // One worker: backend and buffers built lazily inside the panic
     // boundary and discarded (possibly poisoned) after a caught panic.
+    // (backend, input words, node values, packed DFF state)
+    type SeqWorker = (SimBackend<W256>, Vec<W256>, Vec<W256>, Vec<W256>);
     let run_tasks = |my_tasks: &[SweepTask]| -> (Vec<Cell>, bool) {
-        let mut state: Option<(SimBackend<W256>, Vec<W256>, Vec<W256>)> = None;
+        let mut worker: Option<SeqWorker> = None;
         let mut cells = Vec::with_capacity(my_tasks.len());
         let mut panicked = false;
         for task in my_tasks {
-            let mut slot = state.take();
+            let mut slot = worker.take();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let (backend, words, values) = slot.get_or_insert_with(|| {
+                let (backend, words, values, state) = slot.get_or_insert_with(|| {
                     let backend = SimBackend::<W256>::new(netlist, options.backend);
                     let words = vec![W256::zeros(); netlist.num_inputs()];
                     let values = vec![W256::zeros(); backend.node_count()];
-                    (backend, words, values)
+                    let state = vec![W256::zeros(); backend.num_state_elements()];
+                    (backend, words, values, state)
                 });
-                run_cell(task, backend, words, values)
+                run_cell(task, backend, words, values, state)
             }));
             match outcome {
                 Ok(cell) => {
-                    state = slot;
+                    worker = slot;
                     cells.push(cell);
                 }
                 Err(_) => panicked = true,
@@ -689,6 +802,7 @@ mod tests {
                 threads,
                 fault_shards: shards,
                 backend,
+                ..SweepOptions::default()
             };
             let r = simulate_with_options(&nl, &faults, &vectors, &module_of, &[0.1], 1.0, &opts);
             assert_eq!(
@@ -698,6 +812,79 @@ mod tests {
             assert_eq!(
                 base.first_detection, r.first_detection,
                 "shards={shards} threads={threads} backend={backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn seq_activation_needs_latched_state() {
+        // y = AND(q, a) with q = DFF(a): a StuckOn defect on y only draws
+        // current when y = 1, which needs a = 1 in two consecutive frames
+        // — invisible to the combinational sweep (q reads the reset 0).
+        let mut b = iddq_netlist::NetlistBuilder::new("seq-iddq");
+        let a = b.add_input("a");
+        let q = b.add_dff("q").unwrap();
+        b.set_dff_input(q, a);
+        let y = b
+            .add_gate("y", iddq_netlist::CellKind::And, vec![q, a])
+            .unwrap();
+        b.mark_output(y);
+        let nl = b.build().unwrap();
+        let faults = vec![IddqFault::StuckOn {
+            gate: y,
+            current_ua: 50.0,
+        }];
+        let module_of = one_module_assignment(&nl);
+        let vectors = vec![vec![true], vec![true]]; // one 2-frame sequence
+        let combi = simulate(&nl, &faults, &vectors, &module_of, &[0.1], 1.0);
+        assert_eq!(
+            combi.detected,
+            vec![false],
+            "one-shot vectors cannot activate y"
+        );
+        for backend in [BackendKind::Csr, BackendKind::Delta] {
+            let opts = SweepOptions {
+                frames: 2,
+                backend,
+                ..SweepOptions::default()
+            };
+            let seq = simulate_with_options(&nl, &faults, &vectors, &module_of, &[0.1], 1.0, &opts);
+            assert_eq!(
+                seq.first_detection,
+                vec![Some(1)],
+                "activated at frame 1 of sequence 0 ({backend})"
+            );
+        }
+    }
+
+    #[test]
+    fn seq_grid_and_combinational_frames_invariance() {
+        // DFF-free netlist: sequence grouping relabels nothing (index
+        // seq*F + t is the plain vector index), so frames must be
+        // invisible; and with frames fixed, so must the grid shape.
+        let nl = data::ripple_adder(5);
+        let faults =
+            crate::faults::enumerate(&nl, &crate::faults::FaultUniverseConfig::default(), 13);
+        let vectors: Vec<Vec<bool>> = (0..700)
+            .map(|k| {
+                (0..nl.num_inputs())
+                    .map(|i| (k * 31 + i * 7) % 3 == 0)
+                    .collect()
+            })
+            .collect();
+        let module_of = one_module_assignment(&nl);
+        let base = simulate(&nl, &faults, &vectors, &module_of, &[0.1], 1.0);
+        for (frames, threads, shards) in [(2, 1, 1), (3, 4, 1), (5, 2, 3), (7, 3, 2)] {
+            let opts = SweepOptions {
+                threads,
+                fault_shards: shards,
+                frames,
+                ..SweepOptions::default()
+            };
+            let r = simulate_with_options(&nl, &faults, &vectors, &module_of, &[0.1], 1.0, &opts);
+            assert_eq!(
+                base.first_detection, r.first_detection,
+                "frames={frames} threads={threads} shards={shards}"
             );
         }
     }

@@ -11,8 +11,9 @@
 //! This crate supplies:
 //!
 //! * [`Simulator`] — a CSR-compiled, wide-word pattern-parallel evaluator
-//!   for the combinational netlists of `iddq-netlist` (64 patterns per
-//!   sweep over `u64`, 256 over [`iddq_netlist::W256`]),
+//!   for `iddq-netlist` circuits (64 patterns per sweep over `u64`, 256
+//!   over [`iddq_netlist::W256`]), with [`Simulator::step_frame`] clocking
+//!   sequential (DFF-bearing) netlists one frame at a time,
 //! * [`delta`] — the event-driven incremental engine
 //!   ([`delta::DeltaSim`]): persistent packed per-node state, structural
 //!   [`delta::Patch`]es (gate kind / fan-in edge changes) with atomic
@@ -33,7 +34,8 @@
 //!   escapes logic test,
 //! * [`fault_sweep`] — the fault-patch sweep engine: PPSFP-style stuck-at
 //!   / bridge fault simulation on the incremental engine, with fault
-//!   dropping and two-level parallelism.
+//!   dropping, two-level parallelism and multi-frame sequential sweeps
+//!   ([`fault_sweep::FaultSweepOptions::frames`]).
 //!
 //! # Choosing a backend
 //!
@@ -46,6 +48,33 @@
 //! apply/rollback pair costs two cone walks instead of two full sweeps.
 //! Both engines are bit-for-bit identical on the same inputs (enforced by
 //! the differential proptests in `tests/proptests.rs`).
+//!
+//! # Sequential circuits: the frame model
+//!
+//! Every layer treats a sequential circuit as its combinational core plus
+//! an external state vector, evaluated in *frames* (clock cycles):
+//!
+//! * A DFF's output (`Q`) is a frame-boundary pseudo-input — during a
+//!   frame it holds the word latched at the previous clock edge, and the
+//!   word on its single fan-in (`D`) at the end of the frame becomes the
+//!   next state. Stepping is explicit: the caller owns the packed state
+//!   slice (`num_state_elements()` words, ordered like
+//!   [`iddq_netlist::Netlist::state_elements`]) and passes it to
+//!   [`Simulator::step_frame`], [`Simulator::step_frame_threads`] or
+//!   [`delta::DeltaSim::step_frame`].
+//! * Multi-frame workloads are *sequences*: `vectors[s * frames + t]` is
+//!   frame `t` of sequence `s`, every sequence starting from the all-zero
+//!   reset state. In packed sweeps lane `k` carries one sequence, so the
+//!   detection index `v = s * frames + t` is a plain vector index and the
+//!   earliest-detection min-merge stays order- and lane-width-independent.
+//! * `frames = 1` with zero state elements is *byte-for-byte* the
+//!   combinational path: [`fault_sweep::FaultSweepOptions::frames`]
+//!   defaults to 1 and a frames-1 sweep of a DFF-free netlist reproduces
+//!   the combinational sweep exactly (pinned by the `frames` proptests).
+//! * The scalar [`reference::NaiveSimulator::step_frames`] is the golden
+//!   oracle: it rebuilds the full value vector every frame and scatters
+//!   the captured next-state onto the DFF outputs, the slow obviously-
+//!   correct form the packed steppers are differentially tested against.
 //!
 //! # Fault-patch lifecycle
 //!
@@ -116,7 +145,8 @@
 //!   resume.
 //! * **Checkpoint / resume.** [`fault_sweep::SweepCheckpoint`] persists
 //!   the earliest-detection table plus the done-batch set, fingerprinted
-//!   against the exact (netlist, faults, vectors, lane width) run. A
+//!   against the exact (netlist, faults, vectors, lane width, frame
+//!   count) run. A
 //!   resumed sweep that completes is bit-identical to an uninterrupted
 //!   one — the merge is an order-independent, idempotent minimum — which
 //!   the chaos proptests enforce across random interruption points,

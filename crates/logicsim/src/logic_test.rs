@@ -129,10 +129,33 @@ pub fn stuck_at_detection_from<W: PackedWord>(
 }
 
 /// Evaluates the circuit with some nodes forced to fixed packed values.
+/// State elements read the all-zero reset state (the `frames == 1`
+/// convention of the frame engines).
 fn eval_forced<W: PackedWord>(netlist: &Netlist, inputs: &[W], forced: &[(NodeId, W)]) -> Vec<W> {
+    eval_forced_with_state(netlist, inputs, &[], forced)
+}
+
+/// [`eval_forced`] with an explicit latched-state scatter: one word per
+/// state element in [`Netlist::state_elements`] order (empty = all-zero
+/// reset). DFF outputs hold their scattered (or forced) word and are never
+/// recomputed from their D fan-in — the per-frame rebuild oracle the
+/// sequential fault sweep is differentially tested against.
+pub(crate) fn eval_forced_with_state<W: PackedWord>(
+    netlist: &Netlist,
+    inputs: &[W],
+    state: &[W],
+    forced: &[(NodeId, W)],
+) -> Vec<W> {
     assert_eq!(inputs.len(), netlist.num_inputs());
+    assert!(
+        state.is_empty() || state.len() == netlist.num_state_elements(),
+        "one packed word per state element required"
+    );
     let mut values = vec![W::zeros(); netlist.node_count()];
     for (&id, &w) in netlist.inputs().iter().zip(inputs) {
+        values[id.index()] = w;
+    }
+    for (&id, &w) in netlist.state_elements().iter().zip(state) {
         values[id.index()] = w;
     }
     for &(n, v) in forced {
@@ -145,6 +168,9 @@ fn eval_forced<W: PackedWord>(netlist: &Netlist, inputs: &[W], forced: &[(NodeId
         }
         let node = netlist.node(id);
         if let Some(kind) = node.kind().cell_kind() {
+            if kind.is_state() {
+                continue;
+            }
             buf.clear();
             buf.extend(node.fanin().iter().map(|f| values[f.index()]));
             values[id.index()] = kind.eval_packed(&buf);
@@ -222,7 +248,7 @@ pub fn bridge_logic_detection_from<W: PackedWord>(
     diff
 }
 
-fn recompute_driver<W: PackedWord>(netlist: &Netlist, values: &[W], node: NodeId) -> W {
+pub(crate) fn recompute_driver<W: PackedWord>(netlist: &Netlist, values: &[W], node: NodeId) -> W {
     match netlist.node(node).kind().cell_kind() {
         None => values[node.index()], // primary input drives itself
         Some(kind) => {

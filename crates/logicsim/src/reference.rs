@@ -14,11 +14,21 @@
 use iddq_netlist::Netlist;
 
 /// The seed's levelized 64-way simulator, kept as a golden reference.
+///
+/// Sequential support is deliberately the *slowest obviously-correct*
+/// form: [`NaiveSimulator::step_frames`] evaluates each frame with a full
+/// sweep (no incrementality, no parallelism), scattering latched state and
+/// capturing next-state scalar-style. The frame engines are differentially
+/// tested against it.
 #[derive(Debug, Clone)]
 pub struct NaiveSimulator {
     program: Vec<Step>,
     node_count: usize,
     input_indices: Vec<usize>,
+    /// DFF output node per state element (`Netlist::state_elements` order).
+    dff_targets: Vec<usize>,
+    /// D-driver node per state element, aligned with `dff_targets`.
+    dff_d: Vec<usize>,
 }
 
 #[derive(Debug, Clone)]
@@ -36,6 +46,11 @@ impl NaiveSimulator {
         for &id in netlist.topo_order() {
             let node = netlist.node(id);
             if let Some(kind) = node.kind().cell_kind() {
+                // State elements carry latched state: no evaluation step
+                // (a DFF precedes its D driver in topo order anyway).
+                if kind.is_state() {
+                    continue;
+                }
                 program.push(Step {
                     target: id.index(),
                     kind,
@@ -47,6 +62,12 @@ impl NaiveSimulator {
             program,
             node_count: netlist.node_count(),
             input_indices: netlist.inputs().iter().map(|i| i.index()).collect(),
+            dff_targets: netlist.state_elements().iter().map(|d| d.index()).collect(),
+            dff_d: netlist
+                .state_elements()
+                .iter()
+                .map(|d| netlist.node(*d).fanin()[0].index())
+                .collect(),
         }
     }
 
@@ -75,12 +96,84 @@ impl NaiveSimulator {
         }
         values
     }
+
+    /// Evaluates a packed sequence of frames from the all-zero reset
+    /// state, returning one full values vector per frame (DFF outputs hold
+    /// the state latched *during* that frame).
+    ///
+    /// This is the per-frame rebuild oracle: frame `t` is a fresh full
+    /// sweep with the previous frame's captured next-state scattered over
+    /// the DFF outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame's input count differs from the number of
+    /// primary inputs.
+    #[must_use]
+    pub fn step_frames(&self, frame_inputs: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let mut state = vec![0u64; self.dff_targets.len()];
+        let mut out = Vec::with_capacity(frame_inputs.len());
+        for inputs in frame_inputs {
+            assert_eq!(
+                inputs.len(),
+                self.input_indices.len(),
+                "one packed word per primary input required"
+            );
+            let mut values = vec![0u64; self.node_count];
+            for (&idx, &word) in self.input_indices.iter().zip(inputs) {
+                values[idx] = word;
+            }
+            for (&idx, &word) in self.dff_targets.iter().zip(&state) {
+                values[idx] = word;
+            }
+            let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+            for step in &self.program {
+                fanin_buf.clear();
+                fanin_buf.extend(step.fanin.iter().map(|&f| values[f]));
+                values[step.target] = step.kind.eval_packed(&fanin_buf);
+            }
+            for (slot, &d) in state.iter_mut().zip(&self.dff_d) {
+                *slot = values[d];
+            }
+            out.push(values);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use iddq_netlist::data;
+
+    #[test]
+    fn step_frames_matches_csr_frame_engine() {
+        let mut b = iddq_netlist::NetlistBuilder::new("toggle");
+        let a = b.add_input("a");
+        let q = b.add_dff("q").unwrap();
+        let n = b
+            .add_gate("n", iddq_netlist::CellKind::Not, vec![q])
+            .unwrap();
+        b.set_dff_input(q, n);
+        let y = b
+            .add_gate("y", iddq_netlist::CellKind::Xor, vec![a, q])
+            .unwrap();
+        b.mark_output(y);
+        let nl = b.build().unwrap();
+
+        let naive = NaiveSimulator::new(&nl);
+        let csr = crate::Simulator::new(&nl);
+        let frames: Vec<Vec<u64>> = (0..5u64)
+            .map(|t| vec![t.wrapping_mul(0x2545_f491_4f6c_dd1d)])
+            .collect();
+        let oracle = naive.step_frames(&frames);
+        let mut state = vec![0u64; csr.num_state_elements()];
+        let mut values = vec![0u64; csr.node_count()];
+        for (t, inputs) in frames.iter().enumerate() {
+            csr.step_frame(inputs, &mut state, &mut values);
+            assert_eq!(values, oracle[t], "frame {t}");
+        }
+    }
 
     #[test]
     fn reference_evaluates_c17() {

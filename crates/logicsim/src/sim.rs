@@ -17,6 +17,18 @@ use iddq_netlist::{CellKind, Netlist, PackedWord};
 /// netlist after construction and [`Simulator::eval_into`] performs no
 /// allocation, so batched sweeps can reuse one values buffer.
 ///
+/// # Frames and state elements
+///
+/// Sequential circuits are evaluated frame by frame: a DFF output is a
+/// level-0 *frame-boundary pseudo-input* holding the latched present
+/// state, so DFFs are excluded from the run schedule — a sweep only
+/// evaluates combinational gates. [`Simulator::step_frame`] scatters a
+/// packed state vector (one word per DFF, bit *k* = pattern *k*'s state),
+/// sweeps the frame, then captures each DFF's D-driver value as the next
+/// state. [`Simulator::eval_into`] remains the frames = 1 path: it
+/// evaluates one frame from the all-zero state (on a DFF-free netlist it
+/// is the exact pre-refactor combinational kernel, bit for bit).
+///
 /// # Example
 ///
 /// ```rust
@@ -53,6 +65,12 @@ pub struct Simulator {
     level_starts: Vec<u32>,
     node_count: usize,
     input_indices: Vec<u32>,
+    /// Node index of every DFF output, in `Netlist::state_elements` order;
+    /// `step_frame` scatters the packed state vector here.
+    dff_targets: Vec<u32>,
+    /// Node index of every DFF's D driver, aligned with `dff_targets`;
+    /// `step_frame` captures the next state from here.
+    dff_d: Vec<u32>,
 }
 
 /// A maximal run of consecutive steps sharing `(kind, arity)`.
@@ -79,6 +97,11 @@ impl Simulator {
         for &id in netlist.topo_order() {
             let node = netlist.node(id);
             if let Some(kind) = node.kind().cell_kind() {
+                // DFF outputs are frame-boundary sources: level 0, no
+                // evaluation step (their value is scattered state).
+                if kind.is_state() {
+                    continue;
+                }
                 let lv = 1 + node
                     .fanin()
                     .iter()
@@ -137,6 +160,16 @@ impl Simulator {
             level_starts,
             node_count: netlist.node_count(),
             input_indices: netlist.inputs().iter().map(|i| i.index() as u32).collect(),
+            dff_targets: netlist
+                .state_elements()
+                .iter()
+                .map(|d| d.index() as u32)
+                .collect(),
+            dff_d: netlist
+                .state_elements()
+                .iter()
+                .map(|d| netlist.node(*d).fanin()[0].index() as u32)
+                .collect(),
         }
     }
 
@@ -154,8 +187,18 @@ impl Simulator {
                 + self.offsets.capacity()
                 + self.pool.capacity()
                 + self.level_starts.capacity()
-                + self.input_indices.capacity())
+                + self.input_indices.capacity()
+                + self.dff_targets.capacity()
+                + self.dff_d.capacity())
             + std::mem::size_of::<Run>() * self.runs.capacity()
+    }
+
+    /// Number of DFF state elements: the length required of the packed
+    /// state vector of [`Simulator::step_frame`] (zero for combinational
+    /// netlists).
+    #[must_use]
+    pub fn num_state_elements(&self) -> usize {
+        self.dff_targets.len()
     }
 
     /// Number of primary inputs expected by [`Simulator::eval`].
@@ -182,6 +225,65 @@ impl Simulator {
     /// Panics if `inputs.len()` differs from the number of primary inputs
     /// or `values.len()` differs from [`Simulator::node_count`].
     pub fn eval_into<W: PackedWord>(&self, inputs: &[W], values: &mut [W]) {
+        self.scatter(inputs, None, values);
+        for run in &self.runs {
+            self.eval_run(run, values);
+        }
+    }
+
+    /// Evaluates one frame of a sequential circuit and advances the packed
+    /// state in place: scatter `inputs` and the present `state` (one word
+    /// per DFF, [`Netlist::state_elements`](iddq_netlist::Netlist::state_elements)
+    /// order), sweep the combinational logic into `values`, then capture
+    /// every DFF's D-driver value back into `state` as the next state.
+    ///
+    /// After the call, `values` holds the full frame evaluation (DFF
+    /// outputs carry the *present* state that was latched during the
+    /// frame) and `state` holds the state the next frame will latch. A
+    /// multi-frame sequence is a loop of `step_frame` calls over a state
+    /// vector initialized to all zeros (the reset convention); with
+    /// `state` all-zero and discarded, one call is bit-identical to
+    /// [`Simulator::eval_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`Simulator::eval_into`] length conditions, or if
+    /// `state.len()` differs from [`Simulator::num_state_elements`].
+    pub fn step_frame<W: PackedWord>(&self, inputs: &[W], state: &mut [W], values: &mut [W]) {
+        self.scatter(inputs, Some(state), values);
+        for run in &self.runs {
+            self.eval_run(run, values);
+        }
+        self.capture_state(state, values);
+    }
+
+    /// [`Simulator::step_frame`] with the structurally parallel sweep of
+    /// [`Simulator::eval_into_threads`]: bit-identical to the serial
+    /// frame step for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`Simulator::step_frame`] length conditions.
+    pub fn step_frame_threads<W: PackedWord>(
+        &self,
+        inputs: &[W],
+        state: &mut [W],
+        values: &mut [W],
+        threads: usize,
+    ) {
+        if threads <= 1 {
+            self.step_frame(inputs, state, values);
+            return;
+        }
+        self.scatter(inputs, Some(state), values);
+        self.sweep_partitioned(values, threads, Self::PARALLEL_LEVEL_MIN_STEPS);
+        self.capture_state(state, values);
+    }
+
+    /// Scatters packed inputs (and, when given, packed DFF state) over a
+    /// zeroed values buffer. With `state: None`, DFF outputs stay at the
+    /// all-zero reset state.
+    fn scatter<W: PackedWord>(&self, inputs: &[W], state: Option<&[W]>, values: &mut [W]) {
         assert_eq!(
             inputs.len(),
             self.input_indices.len(),
@@ -196,8 +298,22 @@ impl Simulator {
         for (&idx, &word) in self.input_indices.iter().zip(inputs) {
             values[idx as usize] = word;
         }
-        for run in &self.runs {
-            self.eval_run(run, values);
+        if let Some(state) = state {
+            assert_eq!(
+                state.len(),
+                self.dff_targets.len(),
+                "one packed word per state element required"
+            );
+            for (&idx, &word) in self.dff_targets.iter().zip(state) {
+                values[idx as usize] = word;
+            }
+        }
+    }
+
+    /// Latches every DFF's next state (its D-driver value) into `state`.
+    fn capture_state<W: PackedWord>(&self, state: &mut [W], values: &[W]) {
+        for (slot, &d) in state.iter_mut().zip(&self.dff_d) {
+            *slot = values[d as usize];
         }
     }
 
@@ -246,20 +362,18 @@ impl Simulator {
             self.eval_into(inputs, values);
             return;
         }
-        assert_eq!(
-            inputs.len(),
-            self.input_indices.len(),
-            "one packed word per primary input required"
-        );
-        assert_eq!(
-            values.len(),
-            self.node_count,
-            "one packed word per node required"
-        );
-        values.fill(W::zeros());
-        for (&idx, &word) in self.input_indices.iter().zip(inputs) {
-            values[idx as usize] = word;
-        }
+        self.scatter(inputs, None, values);
+        self.sweep_partitioned(values, threads, min_level_steps);
+    }
+
+    /// The level-partitioned sweep shared by the parallel evaluation entry
+    /// points; `values` must already hold the scattered inputs/state.
+    fn sweep_partitioned<W: PackedWord>(
+        &self,
+        values: &mut [W],
+        threads: usize,
+        min_level_steps: usize,
+    ) {
         let widest = self
             .level_starts
             .windows(2)
@@ -383,6 +497,9 @@ impl Simulator {
             (CellKind::Buf | CellKind::Not, _) => {
                 unreachable!("netlist invariants force arity 1 for Buf/Not")
             }
+            (CellKind::Dff, _) => {
+                unreachable!("state elements are never scheduled as evaluation steps")
+            }
         }
     }
 
@@ -462,6 +579,9 @@ impl Simulator {
             (CellKind::Xnor, _) => self.run_fold(steps, values, W::zeros(), |a, b| a ^ b, true),
             (CellKind::Buf | CellKind::Not, _) => {
                 unreachable!("netlist invariants force arity 1 for Buf/Not")
+            }
+            (CellKind::Dff, _) => {
+                unreachable!("state elements are never scheduled as evaluation steps")
             }
         }
     }
@@ -787,6 +907,114 @@ mod tests {
         let mut fresh = vec![0u64; sim.node_count()];
         sim.eval_into(&[!0u64; 5], &mut fresh);
         assert_eq!(buf, fresh);
+    }
+
+    fn toggle() -> iddq_netlist::Netlist {
+        // q = DFF(n), n = NOT(q), y = XOR(a, q): q toggles every frame.
+        let mut b = iddq_netlist::NetlistBuilder::new("toggle");
+        let a = b.add_input("a");
+        let q = b.add_dff("q").unwrap();
+        let n = b.add_gate("n", CellKind::Not, vec![q]).unwrap();
+        b.set_dff_input(q, n);
+        let y = b.add_gate("y", CellKind::Xor, vec![a, q]).unwrap();
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn step_frame_latches_toggle_state() {
+        let nl = toggle();
+        let sim = Simulator::new(&nl);
+        assert_eq!(sim.num_state_elements(), 1);
+        let y = nl.find("y").unwrap().index();
+        let mut state = vec![0u64; 1];
+        let mut values = vec![0u64; sim.node_count()];
+        let mut outs = Vec::new();
+        for _ in 0..4 {
+            sim.step_frame(&[0u64], &mut state, &mut values);
+            outs.push(values[y] & 1);
+        }
+        // y = a XOR q with a = 0 and q toggling 0,1,0,1…
+        assert_eq!(outs, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn step_frame_matches_unrolled_oracle() {
+        // Frame stepping must agree bit-for-bit with evaluating the
+        // time-frame-expanded combinational circuit.
+        let nl = toggle();
+        let sim = Simulator::new(&nl);
+        let frames = 5;
+        let u = iddq_netlist::unroll::unroll(&nl, frames).unwrap();
+        let usim = Simulator::new(u.netlist());
+
+        let a = nl.find("a").unwrap();
+        let a_words: Vec<u64> = (0..frames as u64)
+            .map(|t| 0x9e37_79b9_7f4a_7c15u64.rotate_left(t as u32 * 7))
+            .collect();
+
+        // Unrolled: one input per (original input × frame) + state inputs.
+        let mut uin = vec![0u64; usim.num_inputs()];
+        let pos: std::collections::HashMap<_, _> = u
+            .netlist()
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| (i, k))
+            .collect();
+        for (t, &w) in a_words.iter().enumerate() {
+            uin[pos[&u.image(t, a)]] = w;
+        }
+        // state pseudo-inputs stay 0 (the reset convention).
+        let uv = usim.eval(&uin);
+
+        let mut state = vec![0u64; sim.num_state_elements()];
+        let mut values = vec![0u64; sim.node_count()];
+        for (t, &w) in a_words.iter().enumerate() {
+            sim.step_frame(&[w], &mut state, &mut values);
+            for id in nl.node_ids() {
+                assert_eq!(
+                    values[id.index()],
+                    uv[u.image(t, id).index()],
+                    "frame {t}, node {}",
+                    nl.node_name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_frame_from_zero_state_is_eval_into() {
+        // frames = 1 special case: identical to the combinational path.
+        for nl in [data::c17(), data::ripple_adder(6), toggle()] {
+            let sim = Simulator::new(&nl);
+            let inputs: Vec<u64> = (0..nl.num_inputs() as u64)
+                .map(|i| 0xdead_beef_cafe_f00du64.rotate_left(i as u32 * 5))
+                .collect();
+            let mut values_a = vec![0u64; sim.node_count()];
+            let mut values_b = vec![0u64; sim.node_count()];
+            let mut state = vec![0u64; sim.num_state_elements()];
+            sim.eval_into(&inputs, &mut values_a);
+            sim.step_frame(&inputs, &mut state, &mut values_b);
+            assert_eq!(values_a, values_b, "{}", nl.name());
+        }
+    }
+
+    #[test]
+    fn step_frame_threads_matches_serial() {
+        let nl = toggle();
+        let sim = Simulator::new(&nl);
+        let mut st_a = vec![0u64; 1];
+        let mut st_b = vec![0u64; 1];
+        let mut va = vec![0u64; sim.node_count()];
+        let mut vb = vec![0u64; sim.node_count()];
+        for t in 0..6u64 {
+            let w = t.wrapping_mul(0x517c_c1b7_2722_0a95);
+            sim.step_frame(&[w], &mut st_a, &mut va);
+            sim.step_frame_threads(&[w], &mut st_b, &mut vb, 3);
+            assert_eq!(va, vb, "frame {t}");
+            assert_eq!(st_a, st_b, "frame {t}");
+        }
     }
 
     #[test]

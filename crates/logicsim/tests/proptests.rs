@@ -566,6 +566,245 @@ proptest! {
     }
 }
 
+/// Differential suites for the frame-based sequential path: random DFF
+/// netlists × frame counts × sweep grids, pinned against the scalar
+/// naive frame-stepping reference and the per-frame CSR rebuild oracle.
+mod frames {
+    use super::*;
+    use iddq_control::{RunBudget, RunControl, StopReason};
+    use iddq_logicsim::fault_sweep::SweepCheckpoint;
+    use rand::SeedableRng;
+
+    /// A random small sequential netlist (DFF state elements included):
+    /// the profile shape and the fabric wiring both vary with the seed.
+    fn random_seq_netlist(seed: u64) -> Netlist {
+        let profiles = ["s27", "s298", "s386"];
+        let profile = iddq_gen::seq::SeqProfile::by_name(profiles[(seed % 3) as usize])
+            .expect("known s* profile");
+        iddq_gen::seq::generate(profile, seed)
+    }
+
+    /// A random stuck-at + bridge fault list over every node (DFF outputs
+    /// and primary inputs included).
+    fn random_faults(nl: &Netlist, rng: &mut impl Rng) -> Vec<LogicFault> {
+        let nodes: Vec<NodeId> = nl.node_ids().collect();
+        let mut faults: Vec<LogicFault> = (0..20)
+            .map(|_| {
+                LogicFault::StuckAt(StuckAtFault {
+                    node: nodes[rng.gen_range(0..nodes.len())],
+                    stuck_at_one: rng.gen(),
+                })
+            })
+            .collect();
+        faults.extend((0..6).map(|_| LogicFault::Bridge {
+            a: nodes[rng.gen_range(0..nodes.len())],
+            b: nodes[rng.gen_range(0..nodes.len())],
+        }));
+        faults
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The packed CSR frame chain, its threaded variant and the
+        /// event-driven `DeltaSim` stepper all match the scalar naive
+        /// per-frame-rebuild reference on random DFF netlists, frame by
+        /// frame from the all-zero reset.
+        #[test]
+        fn frame_stepping_matches_naive_reference(
+            seed in 0u64..60,
+            salt in any::<u64>(),
+            frames in 1usize..6,
+        ) {
+            let nl = random_seq_netlist(seed);
+            let sim = Simulator::new(&nl);
+            let naive = NaiveSimulator::new(&nl);
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(salt ^ 0xf7a3);
+            let frame_inputs: Vec<Vec<u64>> = (0..frames)
+                .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+                .collect();
+            let want = naive.step_frames(&frame_inputs);
+            let mut state = vec![0u64; sim.num_state_elements()];
+            let mut tstate = vec![0u64; sim.num_state_elements()];
+            let mut values = vec![0u64; sim.node_count()];
+            let mut tvalues = vec![0u64; sim.node_count()];
+            let mut delta = DeltaSim::<u64>::new(&nl);
+            let mut dstate = vec![0u64; delta.num_state_elements()];
+            for (t, inputs) in frame_inputs.iter().enumerate() {
+                sim.step_frame(inputs, &mut state, &mut values);
+                prop_assert_eq!(&values, &want[t], "csr frame {}", t);
+                sim.step_frame_threads(inputs, &mut tstate, &mut tvalues, 4);
+                prop_assert_eq!(&tvalues, &want[t], "threaded frame {}", t);
+                delta.step_frame(inputs, &mut dstate);
+                prop_assert_eq!(delta.values(), &want[t][..], "delta frame {}", t);
+            }
+        }
+
+        /// Multi-frame fault sweeps on random DFF netlists match the
+        /// per-frame CSR rebuild oracle bit-for-bit, for every grid
+        /// (threads × shards × dropping × backend).
+        #[test]
+        fn multi_frame_sweep_matches_per_frame_csr_oracle(
+            seed in 0u64..60,
+            salt in any::<u64>(),
+            frames in 1usize..5,
+        ) {
+            let nl = random_seq_netlist(seed);
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(salt ^ 0x5e9f);
+            let faults = random_faults(&nl, &mut rng);
+            let vectors: Vec<Vec<bool>> = (0..frames * 100)
+                .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+                .collect();
+            let oracle = fault_sweep::sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions {
+                threads: 1,
+                fault_shards: 1,
+                fault_dropping: false,
+                backend: BackendKind::Csr,
+                frames,
+                ..FaultSweepOptions::default()
+            });
+            for (threads, shards, dropping, backend) in [
+                (1, 1, true, BackendKind::Delta),
+                (1, 1, false, BackendKind::Delta),
+                (3, 2, true, BackendKind::Delta),
+                (2, 3, false, BackendKind::Csr),
+            ] {
+                let r = fault_sweep::sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions {
+                    threads,
+                    fault_shards: shards,
+                    fault_dropping: dropping,
+                    backend,
+                    frames,
+                    ..FaultSweepOptions::default()
+                });
+                prop_assert_eq!(&oracle.first_detection, &r.first_detection,
+                    "threads={} shards={} dropping={} backend={} frames={}",
+                    threads, shards, dropping, backend, frames);
+                prop_assert_eq!(&oracle.detected, &r.detected);
+            }
+        }
+
+        /// Multi-frame sweeps are lane-width invariant, like the
+        /// combinational sweep: a lower sequence index always has a lower
+        /// plain vector index, so the earliest-detection min-merge is the
+        /// same no matter how sequences are batched into lanes.
+        #[test]
+        fn multi_frame_sweep_lane_invariant(
+            seed in 0u64..40,
+            salt in any::<u64>(),
+            frames in 2usize..5,
+        ) {
+            let nl = random_seq_netlist(seed);
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(salt ^ 0x1a4e);
+            let faults = random_faults(&nl, &mut rng);
+            let vectors: Vec<Vec<bool>> = (0..frames * 150)
+                .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+                .collect();
+            let opts = FaultSweepOptions { frames, ..FaultSweepOptions::default() };
+            let narrow = fault_sweep::sweep::<u64>(&nl, &faults, &vectors, &opts);
+            let wide = fault_sweep::sweep::<W256>(&nl, &faults, &vectors, &opts);
+            prop_assert_eq!(&narrow.first_detection, &wide.first_detection);
+            prop_assert_eq!(&narrow.detected, &wide.detected);
+        }
+
+        /// On DFF-free netlists the earliest detection is frames-
+        /// invariant: regrouping the vector set into F-cycle sequences
+        /// changes nothing when there is no state to carry, so any F
+        /// reproduces the combinational sweep bit-for-bit.
+        #[test]
+        fn combinational_sweep_is_frames_invariant(
+            seed in 0u64..40,
+            salt in any::<u64>(),
+            frames in 2usize..6,
+        ) {
+            let nl = random_netlist(seed);
+            prop_assert_eq!(nl.num_state_elements(), 0);
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(salt ^ 0xc0b1);
+            let faults = random_faults(&nl, &mut rng);
+            let vectors: Vec<Vec<bool>> = (0..300)
+                .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+                .collect();
+            let base = fault_sweep::sweep::<u64>(
+                &nl, &faults, &vectors, &FaultSweepOptions::default(),
+            );
+            let framed = fault_sweep::sweep::<u64>(&nl, &faults, &vectors, &FaultSweepOptions {
+                frames,
+                ..FaultSweepOptions::default()
+            });
+            prop_assert_eq!(&base.first_detection, &framed.first_detection);
+            prop_assert_eq!(&base.detected, &framed.detected);
+        }
+
+        /// A multi-frame sweep cancelled at a random grid point resumes
+        /// bit-identically, and its checkpoint refuses to resume under a
+        /// different frame count — `frames` is part of the fingerprint.
+        #[test]
+        fn multi_frame_cancellation_resumes_bit_identical(
+            seed in 0u64..30,
+            salt in any::<u64>(),
+            quota in 1u64..900,
+            grid in 0usize..12,
+        ) {
+            let frames = grid % 3 + 2;
+            let (threads, shards, dropping) = (grid / 6 + 1, grid % 2 + 1, grid % 2 == 0);
+            let nl = random_seq_netlist(seed);
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(salt ^ 0xc0f7);
+            let faults = random_faults(&nl, &mut rng);
+            // 130 sequences at 64 lanes = 3 pattern batches, so random
+            // quotas land at interior grid points.
+            let vectors: Vec<Vec<bool>> = (0..frames * 130)
+                .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+                .collect();
+            let opts = FaultSweepOptions {
+                threads,
+                fault_shards: shards,
+                fault_dropping: dropping,
+                backend: BackendKind::Delta,
+                frames,
+                ..FaultSweepOptions::default()
+            };
+            let full = fault_sweep::sweep::<u64>(&nl, &faults, &vectors, &opts);
+
+            let control = RunControl::with_budget(RunBudget::unlimited().with_quota(quota));
+            let mut outcome =
+                fault_sweep::sweep_with_control::<u64>(&nl, &faults, &vectors, &opts, &control);
+            // The checkpoint frontier is per *batch*: a batch interrupted
+            // with only some of its fault shards swept is re-swept whole,
+            // so a fixed tiny quota could redo that same first cell every
+            // round. Doubling the round quota keeps early rounds at
+            // interior grid points while guaranteeing convergence.
+            let mut round_quota = quota;
+            let mut rounds = 0;
+            while !outcome.is_complete() {
+                prop_assert_eq!(outcome.stop_reason(), Some(StopReason::QuotaExhausted));
+                let cp = SweepCheckpoint::capture::<u64>(
+                    &nl, &faults, &vectors, &opts, outcome.value(),
+                );
+                let cp = SweepCheckpoint::from_json(&cp.to_json()).expect("round-trip");
+                // The fingerprint pins the frame count: the same grid at
+                // a different depth must be rejected, never resumed.
+                let wrong_depth = FaultSweepOptions { frames: frames + 1, ..opts.clone() };
+                prop_assert!(
+                    cp.validate::<u64>(&nl, &faults, &vectors, &wrong_depth).is_err(),
+                    "a checkpoint at {} frames must not resume at {}",
+                    frames, frames + 1
+                );
+                round_quota = round_quota.saturating_mul(2);
+                let again = RunControl::with_budget(RunBudget::unlimited().with_quota(round_quota));
+                outcome = fault_sweep::sweep_resume::<u64>(
+                    &nl, &faults, &vectors, &opts, &again, &cp,
+                )
+                .expect("checkpoint matches its own run");
+                rounds += 1;
+                prop_assert!(rounds < 64, "resume chain failed to converge");
+            }
+            let resumed = outcome.into_value();
+            prop_assert_eq!(&full.first_detection, &resumed.first_detection);
+            prop_assert_eq!(&full.detected, &resumed.detected);
+        }
+    }
+}
+
 /// The chaos harness the sweep checkpoint/resume machinery is gated on:
 /// interrupt a sweep at a *random* grid point (quota budgets land the
 /// stop at arbitrary cell x batch boundaries; the chaos knob panics a

@@ -11,9 +11,14 @@
 //! 10 = NAND(1, 3)
 //! ```
 //!
-//! Only combinational primitives are supported (`AND`, `NAND`, `OR`, `NOR`,
-//! `XOR`, `XNOR`, `NOT`/`INV`, `BUF`/`BUFF`); a `DFF` raises a parse error
-//! since the 1995 flow partitions combinational CUTs.
+//! The combinational primitives (`AND`, `NAND`, `OR`, `NOR`, `XOR`, `XNOR`,
+//! `NOT`/`INV`, `BUF`/`BUFF`) are supported along with the ISCAS-89 state
+//! element line form `q = DFF(d)`. A DFF output is a frame-boundary
+//! pseudo-input, so feedback loops through DFFs are legal; the degenerate
+//! direct self-loop `q = DFF(q)` (no combinational path at all on the loop)
+//! is rejected with a typed, line-numbered
+//! [`NetlistError::DffSelfLoop`] instead of surfacing later as a generic
+//! structural error.
 
 use crate::graph::{Netlist, NetlistBuilder, NetlistError, NodeId};
 use crate::kind::CellKind;
@@ -26,6 +31,7 @@ use crate::kind::CellKind;
 /// # Errors
 ///
 /// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::DffSelfLoop`] for a `q = DFF(q)` degenerate latch,
 /// [`NetlistError::UndefinedSignal`] / [`NetlistError::UnknownOutput`] for
 /// dangling references and the usual structural errors from
 /// [`NetlistBuilder::build`].
@@ -83,7 +89,7 @@ pub fn parse(name: impl Into<String>, text: &str) -> Result<Netlist, NetlistErro
             let mnemonic = rhs[..open].trim();
             let kind: CellKind = mnemonic
                 .parse()
-                .map_err(|e| err(format!("{e} (only combinational primitives supported)")))?;
+                .map_err(|e| err(format!("{e} (combinational primitives and DFF supported)")))?;
             let args = &rhs[open + 1..rhs.len() - 1];
             let fanin_names: Vec<String> = args
                 .split(',')
@@ -92,6 +98,15 @@ pub fn parse(name: impl Into<String>, text: &str) -> Result<Netlist, NetlistErro
                 .collect();
             if fanin_names.is_empty() {
                 return Err(err(format!("gate `{lhs}` has no inputs")));
+            }
+            // `q = DFF(q)` has zero combinational gates on its feedback
+            // loop: the latch would only ever reproduce its initial state.
+            // Catch it here with the line number still in hand.
+            if kind.is_state() && fanin_names.iter().any(|f| f == lhs) {
+                return Err(NetlistError::DffSelfLoop {
+                    line: lineno + 1,
+                    dff: lhs.to_owned(),
+                });
             }
             decls.push(Decl::Gate {
                 name: lhs.to_owned(),
@@ -232,15 +247,73 @@ mod tests {
     }
 
     #[test]
-    fn dff_rejected_with_line_number() {
+    fn dff_line_parses_as_state_element() {
         let text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+        let nl = parse("seq", text).unwrap();
+        assert!(nl.has_state());
+        assert_eq!(nl.num_state_elements(), 1);
+        let q = nl.find("q").unwrap();
+        assert_eq!(nl.node(q).kind().cell_kind(), Some(CellKind::Dff));
+        assert!(nl.is_state_element(q));
+    }
+
+    #[test]
+    fn dff_feedback_loop_parses() {
+        // Toggle cell: the loop q -> n -> q has one combinational gate.
+        let text = "INPUT(a)\nOUTPUT(y)\nq = DFF(n)\nn = NOT(q)\ny = AND(a, q)\n";
+        let nl = parse("toggle", text).unwrap();
+        assert_eq!(nl.num_state_elements(), 1);
+        assert_eq!(nl.gate_count(), 3);
+    }
+
+    #[test]
+    fn dff_self_loop_typed_error_with_line_number() {
+        let text = "INPUT(a)\nOUTPUT(q)\nq = DFF(q)\n";
         let err = parse("seq", text).unwrap_err();
-        match err {
-            NetlistError::Parse { line, message } => {
-                assert_eq!(line, 3);
-                assert!(message.contains("DFF"));
+        match &err {
+            NetlistError::DffSelfLoop { line, dff } => {
+                assert_eq!(*line, 3);
+                assert_eq!(dff, "q");
             }
             other => panic!("unexpected error {other}"),
+        }
+        assert!(err.to_string().contains("no combinational path"));
+    }
+
+    #[test]
+    fn dff_roundtrips_through_bench_text() {
+        let text = "INPUT(a)\nOUTPUT(y)\nq = DFF(n)\nn = NOT(q)\ny = AND(a, q)\n";
+        let nl = parse("toggle", text).unwrap();
+        let emitted = to_bench(&nl);
+        assert!(emitted.contains("q = DFF(n)"));
+        let again = parse("toggle", &emitted).unwrap();
+        assert_eq!(again.num_state_elements(), 1);
+        for id in nl.node_ids() {
+            let other = again.find(nl.node_name(id)).unwrap();
+            assert_eq!(again.node(other).kind(), nl.node(id).kind());
+        }
+    }
+
+    #[test]
+    fn dff_form_fuzz_cases() {
+        // Whitespace / case / forward-reference variants all accept.
+        for text in [
+            "INPUT(a)\nOUTPUT(q)\nq=DFF(a)\n",
+            "INPUT(a)\nOUTPUT(q)\nq =  dff( a )\n",
+            "OUTPUT(q)\nq = DFF(a) # state\nINPUT(a)\n",
+        ] {
+            let nl = parse("fz", text).unwrap();
+            assert_eq!(nl.num_state_elements(), 1, "{text:?}");
+        }
+        // Malformed variants all reject without panicking.
+        for text in [
+            "INPUT(a)\nOUTPUT(q)\nq = DFF()\n",
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n",
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n",
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(a\n",
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(q)\n",
+        ] {
+            assert!(parse("fz", text).is_err(), "{text:?}");
         }
     }
 

@@ -45,6 +45,14 @@ use crate::levelize;
 /// Holds the topological level of every node and a flat (CSR) copy of the
 /// fanout adjacency, so repeated cone walks are cache-friendly and never
 /// touch the netlist's per-node `Vec`s.
+///
+/// The index covers the **combinational** view of the circuit: an edge
+/// into a DFF is a sequential edge (the frame boundary), so it is omitted
+/// from [`ConeIndex::fanout`] — a change cannot propagate into latched
+/// state within a frame, and the level-bucketed walk relies on fanout
+/// edges strictly increasing the level, which a high-level → level-0
+/// sequential edge would violate. DFF outputs themselves sit at level 0
+/// and can be used as walk seeds (state changed at a frame boundary).
 #[derive(Debug, Clone)]
 pub struct ConeIndex {
     level: Vec<u32>,
@@ -64,7 +72,13 @@ impl ConeIndex {
         let mut pool = Vec::new();
         offsets.push(0u32);
         for id in netlist.node_ids() {
-            pool.extend(netlist.fanout(id).iter().map(|f| f.index() as u32));
+            pool.extend(
+                netlist
+                    .fanout(id)
+                    .iter()
+                    .filter(|f| !netlist.is_state_element(**f))
+                    .map(|f| f.index() as u32),
+            );
             offsets.push(pool.len() as u32);
         }
         ConeIndex {
@@ -97,7 +111,9 @@ impl ConeIndex {
         self.max_level
     }
 
-    /// Direct fanout of a node, as raw indices into the node id space.
+    /// Direct *combinational* fanout of a node, as raw indices into the
+    /// node id space. Consumers reached through a DFF's D pin are not
+    /// listed (sequential edges end the frame).
     ///
     /// # Panics
     ///
@@ -260,7 +276,13 @@ pub struct DynamicCones {
     level: Vec<u32>,
     fanin: Vec<Vec<u32>>,
     fanout: Vec<Vec<u32>>,
-    /// `true` for primary inputs (level pinned to 0).
+    /// `true` for level-0 *sources*: primary inputs and DFF state elements
+    /// (a DFF output is a frame-boundary pseudo-input). Sources cannot be
+    /// rewired or popped, never wait on fan-in during [`DynamicCones::relevel`],
+    /// and walks do not propagate *into* them — but their physical fan-in /
+    /// fanout edges stay in the adjacency so undirected proximity queries
+    /// ([`DynamicCones::undirected_ball`], [`DynamicCones::bounded_bfs`])
+    /// still see the D pin.
     is_input: Vec<bool>,
     // Walk / relevel scratch, epoch-stamped so walks are allocation-free.
     stamp: Vec<u64>,
@@ -288,7 +310,10 @@ impl DynamicCones {
                 .node_ids()
                 .map(|id| netlist.fanout(id).iter().map(|f| f.0).collect())
                 .collect(),
-            is_input: netlist.node_ids().map(|id| !netlist.is_gate(id)).collect(),
+            is_input: netlist
+                .node_ids()
+                .map(|id| !netlist.is_gate(id) || netlist.is_state_element(id))
+                .collect(),
             stamp: vec![0; n],
             generation: 0,
             buckets: vec![Vec::new(); max_level + 1],
@@ -452,7 +477,9 @@ impl DynamicCones {
             let i = self.affected[head] as usize;
             head += 1;
             for &succ in &self.fanout[i] {
-                if self.stamp[succ as usize] != generation {
+                // Sequential edges do not carry level changes: a level move
+                // never crosses a frame boundary into a DFF.
+                if !self.is_input[succ as usize] && self.stamp[succ as usize] != generation {
                     self.stamp[succ as usize] = generation;
                     self.affected.push(succ);
                 }
@@ -466,6 +493,12 @@ impl DynamicCones {
         }
         for k in 0..self.affected.len() {
             let i = self.affected[k] as usize;
+            // Sources (inputs, DFFs) have their level pinned to 0: even a
+            // DFF seeded into the region waits on nothing — its D fan-in
+            // edge belongs to the previous frame.
+            if self.is_input[i] {
+                continue;
+            }
             for &f in &self.fanin[i] {
                 if self.stamp[f as usize] == generation {
                     self.indeg[i] += 1;
@@ -501,7 +534,7 @@ impl DynamicCones {
             self.tmp_level[i] = lv;
             new_level.push((i as u32, lv));
             for &succ in &self.fanout[i] {
-                if self.stamp[succ as usize] == generation {
+                if !self.is_input[succ as usize] && self.stamp[succ as usize] == generation {
                     self.indeg[succ as usize] -= 1;
                     if self.indeg[succ as usize] == 0 {
                         queue.push(succ);
@@ -537,6 +570,7 @@ impl DynamicCones {
             level: &self.level,
             fanin: &self.fanin,
             fanout: &self.fanout,
+            is_input: &self.is_input,
             stamp: &mut self.stamp,
             generation: self.generation,
             buckets: &mut self.buckets,
@@ -624,6 +658,7 @@ pub struct DynWalker<'a> {
     level: &'a [u32],
     fanin: &'a [Vec<u32>],
     fanout: &'a [Vec<u32>],
+    is_input: &'a [bool],
     stamp: &'a mut [u64],
     generation: u64,
     buckets: &'a mut [Vec<u32>],
@@ -660,7 +695,11 @@ impl DynWalker<'_> {
                 if visit(i as u32, &self.fanin[i]) {
                     for &succ in &self.fanout[i] {
                         let succ = succ as usize;
-                        if self.stamp[succ] != generation {
+                        // A wave never crosses a sequential edge: latched
+                        // state is constant for the rest of the frame (and
+                        // pushing a level-0 node into an already-drained
+                        // bucket would corrupt the walk).
+                        if !self.is_input[succ] && self.stamp[succ] != generation {
                             self.stamp[succ] = generation;
                             self.buckets[self.level[succ] as usize].push(succ as u32);
                         }
@@ -889,6 +928,40 @@ mod tests {
             let ball = d.undirected_ball(&[id.0], 5);
             assert_eq!(ball.len(), want.len() + 1);
         }
+    }
+
+    #[test]
+    fn sequential_edges_end_cone_walks() {
+        // q = DFF(n), n = NOT(q), y = AND(a, q): a legal feedback loop.
+        let mut b = NetlistBuilder::new("seq");
+        let a = b.add_input("a");
+        let q = b.add_dff("q").unwrap();
+        let n = b.add_gate("n", CellKind::Not, vec![q]).unwrap();
+        b.set_dff_input(q, n);
+        let y = b.add_gate("y", CellKind::And, vec![a, q]).unwrap();
+        b.mark_output(y);
+        let nl = b.build().unwrap();
+
+        let index = ConeIndex::new(&nl);
+        // n drives only q's D pin — its combinational cone is itself.
+        assert_eq!(index.cone(n), vec![n]);
+        assert_eq!(index.level(q), 0);
+        // Seeding the DFF output (state changed at a frame boundary)
+        // reaches the combinational logic it feeds.
+        let cone = index.cone(q);
+        assert!(cone.contains(&n) && cone.contains(&y));
+
+        let mut d = DynamicCones::new(&nl);
+        assert_eq!(d.level(q.index()), 0);
+        let visited = d.walker().walk([n.0], |_, _| true);
+        assert_eq!(visited, 1, "wave must stop at the D pin");
+        // ...but undirected proximity still sees the physical D edge.
+        let ball = d.undirected_ball(&[n.0], 1);
+        assert!(ball.contains(&q.0));
+        // Releveling a region containing the DFF loop is not a cycle.
+        d.relevel(&[n.0, q.0]).unwrap();
+        assert_eq!(d.level(q.index()), 0);
+        assert_eq!(d.level(n.index()), 1);
     }
 
     #[test]

@@ -91,9 +91,23 @@ pub enum NetlistError {
         got: usize,
     },
     /// The connection graph contains a combinational cycle.
+    ///
+    /// Cycles *through state elements* (a DFF on the loop) are legal —
+    /// the DFF breaks the loop at the frame boundary; only loops made
+    /// entirely of combinational gates are rejected.
     Cycle {
         /// Name of one node on the cycle.
         on: String,
+    },
+    /// A DFF latches itself directly: its D input is its own output with
+    /// zero combinational gates on the path. Such a bit can never change
+    /// after initialization, which in every practical case is a netlist
+    /// typo; the parser reports it with the offending line.
+    DffSelfLoop {
+        /// 1-based line number of the `DFF(...)` declaration.
+        line: usize,
+        /// Name of the self-latching DFF.
+        dff: String,
     },
     /// An output was declared for an unknown signal.
     UnknownOutput(String),
@@ -122,6 +136,11 @@ impl fmt::Display for NetlistError {
                 )
             }
             NetlistError::Cycle { on } => write!(f, "combinational cycle through `{on}`"),
+            NetlistError::DffSelfLoop { line, dff } => write!(
+                f,
+                "line {line}: DFF `{dff}` latches its own output directly \
+                 (no combinational path on the loop)"
+            ),
             NetlistError::UnknownOutput(n) => write!(f, "OUTPUT declared for unknown signal `{n}`"),
             NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
             NetlistError::Parse { line, message } => {
@@ -133,14 +152,19 @@ impl fmt::Display for NetlistError {
 
 impl std::error::Error for NetlistError {}
 
-/// An immutable, validated combinational netlist.
+/// An immutable, validated netlist — combinational gates plus optional
+/// [`CellKind::Dff`] state elements.
 ///
 /// Invariants guaranteed by construction:
 ///
 /// * every fan-in reference resolves to an existing node,
 /// * every gate's fan-in count is legal for its [`CellKind`],
-/// * the graph is acyclic; [`Netlist::topo_order`] lists nodes so that
-///   every gate appears after all of its drivers,
+/// * the *combinational* graph is acyclic; [`Netlist::topo_order`] lists
+///   nodes so that every combinational gate appears after all of its
+///   drivers. DFF fan-in edges are **sequential edges**: they are frame
+///   boundaries, excluded from ordering and cycle detection, so a DFF
+///   (like a primary input) appears in the order before its D driver and
+///   feedback loops through DFFs are legal,
 /// * fanout lists are consistent with fan-in lists,
 /// * there is at least one primary output.
 ///
@@ -171,6 +195,7 @@ pub struct Netlist {
     outputs: Vec<NodeId>,
     fanouts: Vec<Vec<NodeId>>,
     topo: Vec<NodeId>,
+    dffs: Vec<NodeId>,
     name_index: HashMap<String, NodeId>,
 }
 
@@ -214,6 +239,7 @@ impl Netlist {
             + node_ids(&self.inputs)
             + node_ids(&self.outputs)
             + node_ids(&self.topo)
+            + node_ids(&self.dffs)
             // HashMap entries: key string + NodeId + ~1.14x bucket slack.
             + self
                 .name_index
@@ -336,10 +362,47 @@ impl Netlist {
         &self.fanouts[id.index()]
     }
 
-    /// Nodes in a topological order (drivers before consumers).
+    /// Nodes in a topological order over *combinational* edges: every
+    /// combinational gate appears after all of its drivers. DFFs are
+    /// frame-boundary sources (like primary inputs) and appear before
+    /// their D drivers — code walking this order must not read a DFF's
+    /// fan-in value as if it were already computed.
     #[must_use]
     pub fn topo_order(&self) -> &[NodeId] {
         &self.topo
+    }
+
+    /// State elements (DFF nodes) in id order; empty for a purely
+    /// combinational netlist.
+    #[must_use]
+    pub fn state_elements(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// Number of state elements (DFFs).
+    #[must_use]
+    pub fn num_state_elements(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Returns `true` if the netlist contains at least one state element
+    /// — i.e. evaluation is frame-based rather than one-shot.
+    #[must_use]
+    pub fn has_state(&self) -> bool {
+        !self.dffs.is_empty()
+    }
+
+    /// Returns `true` if the node is a DFF state element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn is_state_element(&self, id: NodeId) -> bool {
+        self.nodes[id.index()]
+            .kind
+            .cell_kind()
+            .is_some_and(CellKind::is_state)
     }
 
     /// Iterator over all node ids, `0..node_count()`.
@@ -498,6 +561,39 @@ impl NetlistBuilder {
         )
     }
 
+    /// Adds a DFF state element whose D input will be connected later via
+    /// [`NetlistBuilder::set_dff_input`] — the natural shape for feedback
+    /// loops, where the next-state logic is built *after* the state
+    /// outputs it reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_dff(&mut self, name: impl AsRef<str>) -> Result<NodeId, NetlistError> {
+        self.intern(
+            name.as_ref(),
+            Node {
+                kind: NodeKind::Gate(CellKind::Dff),
+                fanin: Vec::new(),
+            },
+        )
+    }
+
+    /// Connects (or reconnects) the D input of a DFF created with
+    /// [`NetlistBuilder::add_dff`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff` does not name a DFF node.
+    pub fn set_dff_input(&mut self, dff: NodeId, d: NodeId) {
+        let node = &mut self.nodes[dff.index()];
+        assert!(
+            node.kind.cell_kind().is_some_and(CellKind::is_state),
+            "set_dff_input target must be a DFF"
+        );
+        node.fanin = vec![d];
+    }
+
     /// Declares an existing node as a primary output (idempotent).
     pub fn mark_output(&mut self, id: NodeId) {
         if !self.outputs.contains(&id) {
@@ -520,10 +616,22 @@ impl NetlistBuilder {
     /// * [`NetlistError::NoOutputs`] if no output was marked.
     pub fn build(self) -> Result<Netlist, NetlistError> {
         let n = self.nodes.len();
-        for node in &self.nodes {
+        for (i, node) in self.nodes.iter().enumerate() {
             for &f in &node.fanin {
                 if f.index() >= n {
                     return Err(NetlistError::UndefinedSignal(format!("{f}")));
+                }
+            }
+            // A DFF added via `add_dff` may still be awaiting its D input;
+            // catch the forgotten `set_dff_input` here (combinational
+            // fan-ins were validated at `add_gate` time).
+            if let Some(kind) = node.kind.cell_kind() {
+                if kind.is_state() && !kind.accepts_fanin(node.fanin.len()) {
+                    return Err(NetlistError::BadFanin {
+                        gate: self.names[i].clone(),
+                        kind,
+                        got: node.fanin.len(),
+                    });
                 }
             }
         }
@@ -538,8 +646,19 @@ impl NetlistBuilder {
             }
         }
 
-        // Kahn's algorithm for a topological order / cycle check.
-        let mut indeg: Vec<usize> = self.nodes.iter().map(|nd| nd.fanin.len()).collect();
+        // Kahn's algorithm for a topological order / cycle check, over
+        // combinational edges only: a DFF's fan-in is a sequential edge
+        // crossing the frame boundary, so the DFF starts as a source
+        // (in-degree 0, like a primary input) and its D edge neither
+        // orders it after the driver nor participates in the cycle check
+        // — loops that pass through a DFF are legal, purely combinational
+        // loops are not.
+        let is_dff = |nd: &Node| nd.kind.cell_kind().is_some_and(CellKind::is_state);
+        let mut indeg: Vec<usize> = self
+            .nodes
+            .iter()
+            .map(|nd| if is_dff(nd) { 0 } else { nd.fanin.len() })
+            .collect();
         let mut stack: Vec<NodeId> = (0..n)
             .filter(|&i| indeg[i] == 0)
             .map(|i| NodeId(i as u32))
@@ -548,6 +667,9 @@ impl NetlistBuilder {
         while let Some(id) = stack.pop() {
             topo.push(id);
             for &succ in &fanouts[id.index()] {
+                if is_dff(&self.nodes[succ.index()]) {
+                    continue; // sequential edge: the DFF was a source
+                }
                 indeg[succ.index()] -= 1;
                 if indeg[succ.index()] == 0 {
                     stack.push(succ);
@@ -562,6 +684,14 @@ impl NetlistBuilder {
             return Err(NetlistError::Cycle { on });
         }
 
+        let dffs: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, nd)| is_dff(nd))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+
         Ok(Netlist {
             name: self.name,
             nodes: self.nodes,
@@ -570,6 +700,7 @@ impl NetlistBuilder {
             outputs: self.outputs,
             fanouts,
             topo,
+            dffs,
             name_index: self.name_index,
         })
     }
@@ -742,6 +873,91 @@ mod tests {
         assert!(n.contains(&a));
         let n: Vec<NodeId> = nl.undirected_neighbors(a).collect();
         assert!(n.contains(&s));
+    }
+
+    /// A 2-bit feedback circuit: q1 = DFF(NOT q0), q0 = DFF(xin XOR q1).
+    fn toggle_pair() -> Netlist {
+        let mut b = NetlistBuilder::new("toggle");
+        let xin = b.add_input("xin");
+        let q0 = b.add_dff("q0").unwrap();
+        let q1 = b.add_dff("q1").unwrap();
+        let n0 = b.add_gate("n0", CellKind::Not, vec![q0]).unwrap();
+        let x0 = b.add_gate("x0", CellKind::Xor, vec![xin, q1]).unwrap();
+        b.set_dff_input(q1, n0);
+        b.set_dff_input(q0, x0);
+        b.mark_output(x0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dff_feedback_loops_are_legal() {
+        let nl = toggle_pair();
+        assert!(nl.has_state());
+        assert_eq!(nl.num_state_elements(), 2);
+        let q0 = nl.find("q0").unwrap();
+        let q1 = nl.find("q1").unwrap();
+        assert_eq!(nl.state_elements(), &[q0, q1]);
+        assert!(nl.is_state_element(q0) && nl.is_state_element(q1));
+        assert!(!nl.is_state_element(nl.find("n0").unwrap()));
+        // Topo order respects combinational edges only: DFFs are sources.
+        let pos: Vec<usize> = {
+            let mut p = vec![0; nl.node_count()];
+            for (i, id) in nl.topo_order().iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for id in nl.node_ids() {
+            if nl.is_state_element(id) {
+                continue;
+            }
+            for &f in nl.node(id).fanin() {
+                assert!(pos[f.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_cycle_still_rejected_with_dffs_present() {
+        let mut b = NetlistBuilder::new("mixed-cyc");
+        let a = b.add_input("a");
+        let q = b.add_dff("q").unwrap();
+        // g1 = AND(q, g2), g2 = AND(a, g1): a purely combinational loop
+        // that also reads a DFF — still a cycle.
+        let g1 = b.add_gate("g1", CellKind::And, vec![q, NodeId(3)]).unwrap();
+        let g2 = b.add_gate("g2", CellKind::And, vec![a, g1]).unwrap();
+        b.set_dff_input(q, g2);
+        b.mark_output(g1);
+        assert!(matches!(b.build().unwrap_err(), NetlistError::Cycle { .. }));
+    }
+
+    #[test]
+    fn unconnected_dff_rejected_at_build() {
+        let mut b = NetlistBuilder::new("loose");
+        let a = b.add_input("a");
+        let _q = b.add_dff("q").unwrap();
+        let g = b.add_gate("g", CellKind::Not, vec![a]).unwrap();
+        b.mark_output(g);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetlistError::BadFanin { got: 0, .. }));
+    }
+
+    #[test]
+    fn dff_changes_structural_fingerprint() {
+        // BUF and DFF with identical wiring must hash differently: they
+        // simulate differently (one is transparent, one latches).
+        let build = |kind: CellKind| {
+            let mut b = NetlistBuilder::new("fp");
+            let a = b.add_input("a");
+            let g = b.add_gate("g", kind, vec![a]).unwrap();
+            let o = b.add_gate("o", CellKind::Not, vec![g]).unwrap();
+            b.mark_output(o);
+            b.build().unwrap()
+        };
+        assert_ne!(
+            build(CellKind::Buf).structural_fingerprint(),
+            build(CellKind::Dff).structural_fingerprint()
+        );
     }
 
     #[test]

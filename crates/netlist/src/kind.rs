@@ -36,6 +36,15 @@ pub enum CellKind {
     Xor,
     /// Inverted exclusive OR (fan-in ≥ 2).
     Xnor,
+    /// D flip-flop (fan-in 1): a *state element*, not a logic function.
+    ///
+    /// Its output holds the latched present state for the duration of a
+    /// frame; its single fan-in is the next-state (D) input, captured at
+    /// the frame boundary. The fan-in edge is a **sequential edge**: it
+    /// does not participate in combinational topological ordering, cycle
+    /// detection or cone traversal — a DFF output is a frame-boundary
+    /// pseudo-input and its D pin a pseudo-output.
+    Dff,
 }
 
 /// Maximum fan-in accepted for multi-input gates.
@@ -45,7 +54,11 @@ pub enum CellKind {
 pub(crate) const MAX_FANIN: usize = 12;
 
 impl CellKind {
-    /// All kinds, in a fixed order (useful for exhaustive tests and tables).
+    /// All *combinational* kinds, in a fixed order (useful for exhaustive
+    /// tests, random-kind generation and electrical tables). The state
+    /// element [`CellKind::Dff`] is deliberately excluded: it has no logic
+    /// function, so code that enumerates evaluable gates must not see it
+    /// (it still has an electrical row in `iddq-celllib`).
     pub const ALL: [CellKind; 8] = [
         CellKind::Buf,
         CellKind::Not,
@@ -57,11 +70,18 @@ impl CellKind {
         CellKind::Xnor,
     ];
 
+    /// Whether this kind is a state element (its output holds latched
+    /// state across a frame instead of a function of its fan-in).
+    #[must_use]
+    pub fn is_state(self) -> bool {
+        matches!(self, CellKind::Dff)
+    }
+
     /// Inclusive range of legal fan-ins for this kind.
     #[must_use]
     pub fn fanin_range(self) -> (usize, usize) {
         match self {
-            CellKind::Buf | CellKind::Not => (1, 1),
+            CellKind::Buf | CellKind::Not | CellKind::Dff => (1, 1),
             _ => (2, MAX_FANIN),
         }
     }
@@ -98,7 +118,10 @@ impl CellKind {
             inputs.len()
         );
         match self {
-            CellKind::Buf => inputs[0],
+            // A DFF's *next* state is its D input; within a frame its
+            // output is latched state, which no evaluator computes from
+            // fan-in — engines special-case `is_state()` kinds.
+            CellKind::Buf | CellKind::Dff => inputs[0],
             CellKind::Not => !inputs[0],
             CellKind::And => inputs.iter().all(|&b| b),
             CellKind::Nand => !inputs.iter().all(|&b| b),
@@ -125,7 +148,7 @@ impl CellKind {
             inputs.len()
         );
         match self {
-            CellKind::Buf => inputs[0],
+            CellKind::Buf | CellKind::Dff => inputs[0],
             CellKind::Not => !inputs[0],
             CellKind::And => inputs.iter().fold(W::ones(), |a, &b| a & b),
             CellKind::Nand => !inputs.iter().fold(W::ones(), |a, &b| a & b),
@@ -148,6 +171,7 @@ impl CellKind {
             CellKind::Nor => "NOR",
             CellKind::Xor => "XOR",
             CellKind::Xnor => "XNOR",
+            CellKind::Dff => "DFF",
         }
     }
 }
@@ -188,6 +212,7 @@ impl FromStr for CellKind {
             "NOR" => Ok(CellKind::Nor),
             "XOR" => Ok(CellKind::Xor),
             "XNOR" => Ok(CellKind::Xnor),
+            "DFF" => Ok(CellKind::Dff),
             other => Err(ParseCellKindError(other.to_owned())),
         }
     }
@@ -256,8 +281,22 @@ mod tests {
         }
         assert_eq!("buff".parse::<CellKind>().unwrap(), CellKind::Buf);
         assert_eq!("inv".parse::<CellKind>().unwrap(), CellKind::Not);
-        let err = "DFF".parse::<CellKind>().unwrap_err();
-        assert!(err.to_string().contains("DFF"));
+        assert_eq!("dff".parse::<CellKind>().unwrap(), CellKind::Dff);
+        let err = "FROB".parse::<CellKind>().unwrap_err();
+        assert!(err.to_string().contains("FROB"));
+    }
+
+    #[test]
+    fn dff_is_a_unary_state_element_outside_all() {
+        assert!(CellKind::Dff.is_state());
+        assert!(CellKind::ALL.iter().all(|k| !k.is_state()));
+        assert_eq!(CellKind::Dff.fanin_range(), (1, 1));
+        assert!(!CellKind::Dff.is_inverting());
+        // The next-state function is the D input itself.
+        assert!(CellKind::Dff.eval(&[true]));
+        assert!(!CellKind::Dff.eval(&[false]));
+        assert_eq!(CellKind::Dff.eval_packed(&[0xa5u64]), 0xa5);
+        assert_eq!(CellKind::Dff.mnemonic(), "DFF");
     }
 
     #[test]

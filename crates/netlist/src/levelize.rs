@@ -14,7 +14,11 @@ use crate::graph::{Netlist, NodeId};
 use crate::timeset::TimeSet;
 
 /// Per-node topological level: `0` for primary inputs, `1 + max(fanin)` for
-/// gates.
+/// combinational gates.
+///
+/// DFF state elements are frame-boundary sources: their outputs carry
+/// latched state, so they sit at level `0` like primary inputs and their
+/// (sequential) D fan-in edge contributes to no level.
 ///
 /// # Example
 ///
@@ -31,7 +35,7 @@ pub fn levels(netlist: &Netlist) -> Vec<u32> {
     let mut lv = vec![0u32; netlist.node_count()];
     for &id in netlist.topo_order() {
         let node = netlist.node(id);
-        if node.kind().is_gate() {
+        if node.kind().is_gate() && !netlist.is_state_element(id) {
             lv[id.index()] = node
                 .fanin()
                 .iter()
@@ -70,11 +74,16 @@ pub fn longest_path(netlist: &Netlist, weight: &[f64]) -> Vec<f64> {
     let mut arr = vec![0.0f64; netlist.node_count()];
     for &id in netlist.topo_order() {
         let node = netlist.node(id);
-        let in_max = node
-            .fanin()
-            .iter()
-            .map(|f| arr[f.index()])
-            .fold(0.0f64, f64::max);
+        // A DFF launches a fresh path at the frame boundary: its D edge
+        // belongs to the previous frame, so no fan-in arrival carries over.
+        let in_max = if netlist.is_state_element(id) {
+            0.0
+        } else {
+            node.fanin()
+                .iter()
+                .map(|f| arr[f.index()])
+                .fold(0.0f64, f64::max)
+        };
         arr[id.index()] = in_max + weight[id.index()];
     }
     arr
@@ -131,7 +140,7 @@ pub fn transition_times(netlist: &Netlist, grid_delay: &[u32]) -> Vec<TimeSet> {
     let mut times: Vec<TimeSet> = vec![TimeSet::new(); netlist.node_count()];
     for &id in netlist.topo_order() {
         let node = netlist.node(id);
-        if node.kind().is_gate() {
+        if node.kind().is_gate() && !netlist.is_state_element(id) {
             let d = grid_delay[id.index()];
             // Union of fanin arrival sets, shifted by this gate's delay.
             let mut acc = TimeSet::new();
@@ -163,6 +172,8 @@ pub fn longest_path_to_output(netlist: &Netlist, grid_delay: &[u32]) -> Vec<u32>
         let best_succ = netlist
             .fanout(id)
             .iter()
+            // An edge into a DFF ends the frame: the path stops there.
+            .filter(|s| !netlist.is_state_element(**s))
             .map(|s| dist[s.index()] + grid_delay[s.index()])
             .max()
             .unwrap_or(0);

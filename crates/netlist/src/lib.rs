@@ -26,7 +26,22 @@
 //! * [`stats`] — structural circuit statistics (fan-in/fan-out mixes,
 //!   depth, widest level),
 //! * [`data`] — embedded reference circuits (the exact ISCAS-85 C17 used in
-//!   the paper's running example, plus a small ripple-carry adder).
+//!   the paper's running example, plus a small ripple-carry adder),
+//! * [`unroll`] — time-frame expansion of a sequential netlist into a pure
+//!   combinational one (the classical construction behind sequential ATPG
+//!   and the differential oracle for the frame-stepping engines).
+//!
+//! # Sequential circuits
+//!
+//! Since the frame-based refactor the netlist is no longer restricted to
+//! combinational DAGs: [`CellKind::Dff`] models a D flip-flop state
+//! element. A DFF's output is a **frame-boundary pseudo-input** (level 0,
+//! holds latched state for a whole frame) and its single D fan-in is a
+//! **sequential edge** — excluded from topological ordering, cycle
+//! detection, levelization and cone traversal, so feedback loops through
+//! DFFs are legal while purely combinational cycles remain errors.
+//! Physical adjacency (separation, undirected neighborhoods) still sees
+//! the D edge.
 //!
 //! # Memory layout & scale
 //!
@@ -88,6 +103,7 @@ pub mod patch;
 pub mod separation;
 pub mod stats;
 mod timeset;
+pub mod unroll;
 
 pub use graph::{Netlist, NetlistBuilder, NetlistError, Node, NodeId, NodeKind};
 pub use kind::CellKind;

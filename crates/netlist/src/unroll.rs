@@ -1,0 +1,230 @@
+//! Time-frame expansion: a sequential netlist unrolled into a pure
+//! combinational one.
+//!
+//! Frame-based engines (`iddq_logicsim`'s `step_frame`) evaluate a
+//! sequential circuit *in place*, latching DFF state between frames. This
+//! module builds the classical alternative: `F` copies of the
+//! combinational logic chained through the state elements, so that any
+//! combinational tool — the CSR simulator, the existing ATPG loop, a SAT
+//! sketch — can reason about `F` clock cycles at once.
+//!
+//! The expansion follows the textbook construction:
+//!
+//! * every primary input `p` becomes one input per frame, `p@f{t}`;
+//! * every combinational gate `g` becomes one gate per frame, `g@f{t}`;
+//! * a DFF `q` at frame `0` becomes a **pseudo-input** `q@f0` (the
+//!   unconstrained initial state — drive it to `0` for the all-zero reset
+//!   convention the frame engines use);
+//! * a DFF `q` at frame `t > 0` is an **alias** for frame `t-1`'s image of
+//!   its D driver — no node is materialized, the sequential edge simply
+//!   splices the frames together;
+//! * every primary output is marked at every frame.
+//!
+//! The result contains no state elements, so
+//! [`Unrolled::netlist`] composes with everything that predates the
+//! sequential refactor. It is also the differential *oracle* for
+//! `step_frame`: evaluating the unrolled circuit with the same per-frame
+//! input vectors (and zeros on the state pseudo-inputs) must reproduce the
+//! frame engine's per-frame outputs bit for bit.
+
+use crate::graph::{Netlist, NetlistBuilder, NetlistError, NodeId};
+
+/// A sequential netlist expanded over a bounded number of time frames.
+#[derive(Debug, Clone)]
+pub struct Unrolled {
+    netlist: Netlist,
+    frames: usize,
+    /// `image[t][orig.index()]` = the unrolled node standing for original
+    /// node `orig` at frame `t`.
+    image: Vec<Vec<NodeId>>,
+    /// Frame-0 pseudo-inputs, one per original state element, in
+    /// [`Netlist::state_elements`] order.
+    state_inputs: Vec<NodeId>,
+}
+
+impl Unrolled {
+    /// The expanded, purely combinational netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Number of time frames in the expansion.
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// The unrolled node standing for original node `orig` at `frame`.
+    ///
+    /// For a DFF at frame `t > 0` this is frame `t-1`'s image of its D
+    /// driver (the alias that splices frames together).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame >= frames()` or `orig` is out of range.
+    #[must_use]
+    pub fn image(&self, frame: usize, orig: NodeId) -> NodeId {
+        self.image[frame][orig.index()]
+    }
+
+    /// Frame-0 state pseudo-inputs, in [`Netlist::state_elements`] order.
+    ///
+    /// Drive these to `0` to reproduce the frame engines' all-zero reset.
+    #[must_use]
+    pub fn state_inputs(&self) -> &[NodeId] {
+        &self.state_inputs
+    }
+}
+
+/// Expands `netlist` over `frames` time frames.
+///
+/// A combinational netlist unrolls to `frames` disjoint copies of itself
+/// (`frames == 1` is an exact rename); a sequential one is chained through
+/// its DFFs as described in the [module docs](self).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::DuplicateName`] if a generated `name@f{t}` name
+/// collides with another generated name (only possible when original names
+/// already contain `@f` suffixes).
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+pub fn unroll(netlist: &Netlist, frames: usize) -> Result<Unrolled, NetlistError> {
+    assert!(frames >= 1, "an unrolling has at least one frame");
+    let n = netlist.node_count();
+    let mut b = NetlistBuilder::new(format!("{}@x{frames}", netlist.name()));
+    let mut image: Vec<Vec<NodeId>> = Vec::with_capacity(frames);
+    let mut state_inputs = Vec::with_capacity(netlist.num_state_elements());
+    for t in 0..frames {
+        // Placeholder-free fill: walking the original in topo order means
+        // every combinational driver's image exists before its consumers,
+        // and a DFF's image only needs the *previous* frame's table.
+        let mut map = vec![NodeId(u32::MAX); n];
+        for &id in netlist.topo_order() {
+            let node = netlist.node(id);
+            let fresh_name = || format!("{}@f{t}", netlist.node_name(id));
+            map[id.index()] = match node.kind().cell_kind() {
+                None => b.try_add_input(fresh_name())?,
+                Some(kind) if kind.is_state() => {
+                    if t == 0 {
+                        let pseudo = b.try_add_input(fresh_name())?;
+                        state_inputs.push(pseudo);
+                        pseudo
+                    } else {
+                        // The latched value *is* last frame's next-state.
+                        let d = node.fanin()[0];
+                        image[t - 1][d.index()]
+                    }
+                }
+                Some(kind) => {
+                    let fanin = node.fanin().iter().map(|f| map[f.index()]).collect();
+                    b.add_gate(fresh_name(), kind, fanin)?
+                }
+            };
+        }
+        for &o in netlist.outputs() {
+            b.mark_output(map[o.index()]);
+        }
+        image.push(map);
+    }
+    Ok(Unrolled {
+        netlist: b.build()?,
+        frames,
+        image,
+        state_inputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use crate::graph::NetlistBuilder;
+    use crate::kind::CellKind;
+
+    /// Tiny scalar evaluator for a combinational netlist (test oracle).
+    fn eval(nl: &Netlist, inputs: &std::collections::HashMap<NodeId, bool>) -> Vec<bool> {
+        let mut val = vec![false; nl.node_count()];
+        for &id in nl.topo_order() {
+            let node = nl.node(id);
+            val[id.index()] = match node.kind().cell_kind() {
+                None => inputs[&id],
+                Some(kind) => {
+                    let ins: Vec<bool> = node.fanin().iter().map(|f| val[f.index()]).collect();
+                    kind.eval(&ins)
+                }
+            };
+        }
+        nl.outputs().iter().map(|o| val[o.index()]).collect()
+    }
+
+    fn toggle() -> Netlist {
+        // q = DFF(n), n = NOT(q), y = XOR(a, q): q toggles every frame.
+        let mut b = NetlistBuilder::new("toggle");
+        let a = b.add_input("a");
+        let q = b.add_dff("q").unwrap();
+        let n = b.add_gate("n", CellKind::Not, vec![q]).unwrap();
+        b.set_dff_input(q, n);
+        let y = b.add_gate("y", CellKind::Xor, vec![a, q]).unwrap();
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn combinational_unroll_is_frame_disjoint_copies() {
+        let c17 = data::c17();
+        let u = unroll(&c17, 3).unwrap();
+        assert!(!u.netlist().has_state());
+        assert!(u.state_inputs().is_empty());
+        assert_eq!(u.netlist().node_count(), 3 * c17.node_count());
+        assert_eq!(u.netlist().num_outputs(), 3 * c17.num_outputs());
+        for t in 0..3 {
+            for id in c17.node_ids() {
+                let img = u.image(t, id);
+                assert_eq!(
+                    u.netlist().node(img).kind().cell_kind(),
+                    c17.node(id).kind().cell_kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_unrolls_to_alternating_outputs() {
+        let nl = toggle();
+        let frames = 4;
+        let u = unroll(&nl, frames).unwrap();
+        assert!(!u.netlist().has_state());
+        assert_eq!(u.state_inputs().len(), 1);
+
+        let a = nl.find("a").unwrap();
+        let mut inputs = std::collections::HashMap::new();
+        inputs.insert(u.state_inputs()[0], false); // reset state = 0
+        for t in 0..frames {
+            inputs.insert(u.image(t, a), false); // a held low
+        }
+        let outs = eval(u.netlist(), &inputs);
+        // y@t = a XOR q@t with q toggling 0,1,0,1…
+        assert_eq!(outs, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn dff_alias_points_at_previous_frame_driver() {
+        let nl = toggle();
+        let u = unroll(&nl, 3).unwrap();
+        let q = nl.find("q").unwrap();
+        let n = nl.find("n").unwrap();
+        for t in 1..3 {
+            assert_eq!(u.image(t, q), u.image(t - 1, n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_rejected() {
+        let _ = unroll(&data::c17(), 0);
+    }
+}

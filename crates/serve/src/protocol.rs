@@ -31,6 +31,13 @@ pub struct Request {
     pub vectors: Option<usize>,
     /// Packed patterns to simulate (`sim` op).
     pub patterns: Option<u64>,
+    /// Frames per sequence for `sim`/`faults` (default 1). Vectors are
+    /// consumed sequence-major — `frames` consecutive vectors drive one
+    /// sequence from the all-zero reset state — so `frames: 1` is the
+    /// combinational special case. Part of the checkpoint fingerprint:
+    /// a `job` checkpointed at one depth cannot silently resume at
+    /// another.
+    pub frames: Option<usize>,
     /// RNG seed for vectors/patterns and the synthetic generator.
     pub seed: Option<u64>,
     /// Bridging-fault count in the `faults` universe.
@@ -200,6 +207,9 @@ impl Request {
         if self.patterns == Some(0) {
             return fail("`patterns` must be at least 1".into());
         }
+        if self.frames == Some(0) {
+            return fail("`frames` must be at least 1".into());
+        }
         if let Some(tier) = &self.tier {
             if tier.parse::<iddq_core::AnalysisTier>().is_err() {
                 return fail(format!(
@@ -297,6 +307,9 @@ mod tests {
         assert!(mk(r#"{"op": "faults", "circuit": "c17", "vectors": 0}"#)
             .message
             .contains("vectors"));
+        assert!(mk(r#"{"op": "faults", "circuit": "s27", "frames": 0}"#)
+            .message
+            .contains("frames"));
         assert!(mk(r#"{"op": "stats", "circuit": "c17", "tier": "turbo"}"#)
             .message
             .contains("tier"));

@@ -809,17 +809,21 @@ fn status_response(
     }
 }
 
-/// Resolves the request's netlist: a named synthetic ISCAS profile or an
+/// Resolves the request's netlist: a named synthetic profile (`c*` =
+/// ISCAS-85-like combinational, `s*` = ISCAS-89-like sequential) or an
 /// inline `.bench` upload.
 fn resolve_netlist(request: &Request, line: usize) -> Result<Netlist, RequestError> {
     if let Some(name) = &request.circuit {
-        let profile = iddq_gen::iscas::IscasProfile::by_name(name).ok_or_else(|| {
-            RequestError::invalid(line, format!("unknown circuit `{name}`")).with_id(request.id)
-        })?;
-        return Ok(iddq_gen::iscas::generate(
-            profile,
-            request.seed.unwrap_or(42),
-        ));
+        let seed = request.seed.unwrap_or(42);
+        if let Some(profile) = iddq_gen::iscas::IscasProfile::by_name(name) {
+            return Ok(iddq_gen::iscas::generate(profile, seed));
+        }
+        if let Some(profile) = iddq_gen::seq::SeqProfile::by_name(name) {
+            return Ok(iddq_gen::seq::generate(profile, seed));
+        }
+        return Err(
+            RequestError::invalid(line, format!("unknown circuit `{name}`")).with_id(request.id),
+        );
     }
     let text = request.bench.as_deref().unwrap_or_default();
     iddq_netlist::bench::parse("inline", text)
@@ -890,14 +894,15 @@ pub fn random_vectors(netlist: &Netlist, count: usize, seed: u64) -> Vec<Vec<boo
 
 /// The sweep options every server fault job runs with. Pinned (single
 /// worker thread, automatic shards) so every checkpoint the server
-/// writes is resumable by every future server process — the grid config
-/// is part of the checkpoint fingerprint.
+/// writes is resumable by every future server process — the grid config,
+/// frames-per-sequence included, is part of the checkpoint fingerprint.
 #[must_use]
-pub fn server_sweep_options(fault_dropping: bool) -> FaultSweepOptions {
+pub fn server_sweep_options(fault_dropping: bool, frames: usize) -> FaultSweepOptions {
     FaultSweepOptions {
         threads: 1,
         fault_shards: 0,
         fault_dropping,
+        frames: frames.max(1),
         ..FaultSweepOptions::default()
     }
 }
@@ -908,9 +913,11 @@ fn handle_sim(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError> {
         resolve_artifacts(shared, request, job.line, AnalysisTier::Timing)?;
     let patterns = request.patterns.unwrap_or(1 << 14);
     let seed = request.seed.unwrap_or(42);
+    let frames = request.frames.unwrap_or(1).max(1);
     let control = job_control(shared, job.deadline, None);
     let netlist = &artifacts.netlist;
-    let batches = patterns.div_ceil(64);
+    // One batch = 64 packed sequences of `frames` vectors each.
+    let batches = patterns.div_ceil(64 * frames as u64);
 
     let mut state = seed;
     let mut next = move || {
@@ -921,6 +928,10 @@ fn handle_sim(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError> {
     };
     let mut inputs = vec![0u64; netlist.num_inputs()];
     let mut values = vec![0u64; netlist.node_count()];
+    let mut dff_state = vec![0u64; netlist.num_state_elements()];
+    // Stepped path only when it can differ from the one-shot kernel:
+    // frames=1 on a DFF-free netlist stays on the combinational fast path.
+    let stepped = frames > 1 || !dff_state.is_empty();
     let mut checksum = 0u64;
     let mut done = 0u64;
     let mut stop = None;
@@ -930,22 +941,34 @@ fn handle_sim(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError> {
             stop = Some(reason);
             break;
         }
-        for w in &mut inputs {
-            *w = next();
+        if stepped {
+            dff_state.fill(0);
         }
-        artifacts.sim.eval_into::<u64>(&inputs, &mut values);
-        for v in &values {
-            checksum = checksum.rotate_left(1) ^ v.limb(0);
+        for _ in 0..frames {
+            for w in &mut inputs {
+                *w = next();
+            }
+            if stepped {
+                artifacts
+                    .sim
+                    .step_frame(&inputs, &mut dff_state, &mut values);
+            } else {
+                artifacts.sim.eval_into::<u64>(&inputs, &mut values);
+            }
+            for v in &values {
+                checksum = checksum.rotate_left(1) ^ v.limb(0);
+            }
         }
         done += 1;
         control.charge(1);
     }
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
-    let evaluated = done * 64;
+    let evaluated = done * 64 * frames as u64;
     let result = json!({
         "circuit": netlist.name(),
         "gates": netlist.gate_count(),
         "patterns": evaluated,
+        "frames": frames,
         "patterns_per_sec": evaluated as f64 / elapsed,
         "checksum": format!("{checksum:#018x}"),
         "cache_hit": cache_hit,
@@ -968,9 +991,10 @@ fn handle_faults(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError>
     let seed = request.seed.unwrap_or(42);
     let num_vectors = request.vectors.unwrap_or(256);
     let bridges = request.bridges.unwrap_or(16);
+    let frames = request.frames.unwrap_or(1).max(1);
     let faults = fault_universe(netlist, bridges, seed);
     let vectors = random_vectors(netlist, num_vectors, seed);
-    let options = server_sweep_options(request.drop.unwrap_or(true));
+    let options = server_sweep_options(request.drop.unwrap_or(true), frames);
 
     let ckpt_path = request
         .job
@@ -1013,6 +1037,7 @@ fn handle_faults(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError>
                 "circuit": netlist.name(),
                 "faults": faults.len(),
                 "vectors": vectors.len(),
+                "frames": frames,
                 "detected": detected,
                 "fault_coverage": value.coverage,
                 "grid_coverage": grid_coverage,

@@ -130,13 +130,51 @@ fn scenario(
             &netlist,
             &universe,
             &vectors,
-            &server_sweep_options(true),
+            &server_sweep_options(true, 1),
         );
         detection_digest(&outcome.first_detection)
     };
     report.check(
         faults["result"]["digest"].as_str() == Some(baseline.as_str()),
         "served sweep digest matches the in-process baseline bit-identically",
+    )?;
+
+    // 4b. Sequential circuit, multi-frame sweep: an s* profile resolves,
+    // the sweep honors `frames`, and the digest matches an in-process
+    // multi-frame baseline.
+    let seq = client.call(&json!({
+        "id": 60, "op": "faults", "circuit": "s298", "vectors": 120, "frames": 3, "seed": 7,
+    }))?;
+    report.check(
+        seq["status"] == "ok" && seq["result"]["frames"] == 3,
+        "a sequential circuit sweeps across frames",
+    )?;
+    let seq_baseline = {
+        let profile = iddq_gen::seq::SeqProfile::by_name("s298")
+            .ok_or_else(|| EngineError::InvalidArg("smoke: missing s298 profile".into()))?;
+        let netlist = iddq_gen::seq::generate(profile, 7);
+        let universe = fault_universe(&netlist, 16, 7);
+        let vectors = random_vectors(&netlist, 120, 7);
+        let outcome = iddq_logicsim::fault_sweep::sweep::<u64>(
+            &netlist,
+            &universe,
+            &vectors,
+            &server_sweep_options(true, 3),
+        );
+        detection_digest(&outcome.first_detection)
+    };
+    report.check(
+        seq["result"]["digest"].as_str() == Some(seq_baseline.as_str()),
+        "the served multi-frame digest matches the in-process baseline bit-identically",
+    )?;
+    let seq_sim = client.call(&json!({
+        "id": 61, "op": "sim", "circuit": "s298", "patterns": 1024, "frames": 4,
+    }))?;
+    report.check(
+        seq_sim["status"] == "ok"
+            && seq_sim["result"]["frames"] == 4
+            && seq_sim["result"]["checksum"].as_str().is_some(),
+        "packed sim steps a sequential circuit through frames",
     )?;
 
     // 5. Deadline mid-sweep: partial outcome with grid coverage.
@@ -248,7 +286,7 @@ fn scenario(
             &netlist,
             &universe,
             &vectors,
-            &server_sweep_options(true),
+            &server_sweep_options(true, 1),
         );
         detection_digest(&outcome.first_detection)
     };

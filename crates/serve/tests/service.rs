@@ -184,7 +184,7 @@ fn chaos_clients_panics_kill_and_restart() {
             &netlist,
             &universe,
             &vectors,
-            &server_sweep_options(true),
+            &server_sweep_options(true, 1),
         );
         detection_digest(&outcome.first_detection)
     };
