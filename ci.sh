@@ -73,4 +73,15 @@ echo "== serve smoke"
 # checkpoint. Any failed check exits nonzero.
 cargo run --release -q -p iddq-cli --bin iddq -- serve --smoke
 
+echo "== chaos smoke"
+# Deterministic fault injection over the serving path: checkpointed
+# sweeps completed through seeded crash/restart schedules (final digest
+# bit-identical to an uninterrupted run), and the persistent artifact
+# store under injected ENOSPC / torn-write / failed-rename / corrupt-read
+# faults plus deliberate on-disk corruption (served bundles verified
+# bit-identical, corrupt entries quarantined and rebuilt). Fixed seeds,
+# seconds of wall clock; any violated invariant exits nonzero with the
+# offending seed. The full 200+ schedule sweep is `iddq chaos`.
+cargo run --release -q -p iddq-cli --bin iddq -- chaos --smoke
+
 echo "CI OK"

@@ -46,6 +46,12 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod env;
+
+pub use env::{
+    fnv1a64, open_sealed, seal, write_atomic_in, FaultCounts, FaultPlan, FaultyEnv, IoEnv, RealEnv,
+};
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -473,18 +479,7 @@ impl std::error::Error for EngineError {}
 /// or the rename fails (the temporary file is cleaned up on rename
 /// failure).
 pub fn write_atomic(path: &std::path::Path, contents: &str) -> Result<(), EngineError> {
-    let io_err = |e: std::io::Error| EngineError::Io {
-        path: path.display().to_string(),
-        message: e.to_string(),
-    };
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(".tmp.{}", std::process::id()));
-    let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, contents).map_err(io_err)?;
-    std::fs::rename(&tmp, path).map_err(|e| {
-        let _ = std::fs::remove_file(&tmp);
-        io_err(e)
-    })
+    write_atomic_in(&RealEnv, path, contents)
 }
 
 #[cfg(test)]

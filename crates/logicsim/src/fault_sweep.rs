@@ -87,7 +87,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use iddq_control::{EngineError, Outcome, RunControl, StopReason};
+use iddq_control::{EngineError, IoEnv, Outcome, RunControl, StopReason};
 use iddq_netlist::{Netlist, NodeId, PackedWord};
 use serde::{Deserialize, Serialize};
 
@@ -777,21 +777,56 @@ impl SweepCheckpoint {
         }
     }
 
-    /// Serializes the checkpoint as pretty-printed JSON.
+    /// Serializes the checkpoint as sealed pretty-printed JSON: the
+    /// payload is prefixed with an `iddq-sealed` header carrying an
+    /// FNV-1a content checksum and the payload length, so truncation and
+    /// bit flips are detected on load instead of silently merging partial
+    /// state.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).unwrap_or_default()
+        iddq_control::seal(&serde_json::to_string_pretty(self).unwrap_or_default())
     }
 
-    /// Parses a checkpoint from JSON text.
+    /// Parses a checkpoint from sealed JSON text.
     ///
     /// # Errors
     ///
-    /// [`EngineError::CheckpointMismatch`] on malformed JSON or a tree
-    /// that does not match the checkpoint schema.
+    /// [`EngineError::CheckpointMismatch`] on a missing/invalid seal
+    /// (truncated or corrupted file — checkpoints written before the
+    /// sealed format fail closed as unreadable; re-running a sweep is
+    /// always sound), malformed JSON, or a tree that does not match the
+    /// checkpoint schema.
     pub fn from_json(text: &str) -> Result<Self, EngineError> {
-        serde_json::from_str(text)
-            .map_err(|e| EngineError::CheckpointMismatch(format!("unreadable checkpoint: {e}")))
+        let unreadable = |e: &dyn std::fmt::Display| {
+            EngineError::CheckpointMismatch(format!("unreadable checkpoint: {e}"))
+        };
+        let payload = iddq_control::open_sealed(text).map_err(|e| unreadable(&e))?;
+        serde_json::from_str(payload).map_err(|e| unreadable(&e))
+    }
+
+    /// Reads and parses a checkpoint file through `env`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] when the file cannot be read;
+    /// [`EngineError::CheckpointMismatch`] when its contents fail the
+    /// seal or schema checks (see [`SweepCheckpoint::from_json`]).
+    pub fn load_in(env: &dyn IoEnv, path: &std::path::Path) -> Result<Self, EngineError> {
+        let text = env.read_to_string(path).map_err(|e| EngineError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::from_json(&text)
+    }
+
+    /// Persists the checkpoint atomically through `env`: on any failure
+    /// the previous checkpoint file (if one exists) is left intact.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] when the write or rename fails.
+    pub fn save_in(&self, env: &dyn IoEnv, path: &std::path::Path) -> Result<(), EngineError> {
+        iddq_control::write_atomic_in(env, path, &self.to_json())
     }
 }
 
@@ -1528,6 +1563,83 @@ mod tests {
         };
         assert!(cp.validate::<u64>(&nl, &faults, &vectors, &no_drop).is_ok());
         assert!(SweepCheckpoint::from_json("{ not json").is_err());
+    }
+
+    /// A sealed checkpoint file truncated at any byte offset — or with
+    /// any single byte flipped — yields a typed `CheckpointMismatch`,
+    /// never a panic and never a silent partial merge.
+    #[test]
+    fn checkpoint_rejects_truncation_at_every_offset() {
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(16);
+        let opts = FaultSweepOptions::default();
+        let out = sweep::<u64>(&nl, &faults, &vectors, &opts);
+        let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &opts, &out);
+        let sealed = cp.to_json();
+        for cut in 0..sealed.len() {
+            let err = SweepCheckpoint::from_json(&sealed[..cut]).unwrap_err();
+            assert!(
+                matches!(err, EngineError::CheckpointMismatch(_)),
+                "cut={cut}: {err}"
+            );
+        }
+        for i in 0..sealed.len() {
+            let mut bytes = sealed.clone().into_bytes();
+            bytes[i] = if bytes[i] == b'0' { b'1' } else { b'0' };
+            let Ok(flipped) = String::from_utf8(bytes) else {
+                continue;
+            };
+            if flipped == sealed {
+                continue;
+            }
+            let err = SweepCheckpoint::from_json(&flipped).unwrap_err();
+            assert!(
+                matches!(err, EngineError::CheckpointMismatch(_)),
+                "flip at {i}: {err}"
+            );
+        }
+        // Pre-seal checkpoints (bare JSON) fail closed as unreadable.
+        let bare = iddq_control::open_sealed(&sealed).unwrap();
+        assert!(SweepCheckpoint::from_json(bare).is_err());
+    }
+
+    /// `save_in`/`load_in` round-trip through an [`IoEnv`], and a faulty
+    /// env's torn write leaves the previous checkpoint loadable.
+    #[test]
+    fn checkpoint_save_load_through_env() {
+        use iddq_control::{FaultPlan, FaultyEnv, RealEnv};
+        let dir = std::env::temp_dir().join(format!("iddq-cp-env-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+
+        let nl = data::c17();
+        let faults = c17_fault_list(&nl);
+        let vectors = c17_vectors(16);
+        let opts = FaultSweepOptions::default();
+        let out = sweep::<u64>(&nl, &faults, &vectors, &opts);
+        let cp = SweepCheckpoint::capture::<u64>(&nl, &faults, &vectors, &opts, &out);
+
+        cp.save_in(&RealEnv, &path).unwrap();
+        assert_eq!(SweepCheckpoint::load_in(&RealEnv, &path).unwrap(), cp);
+
+        // Every write fails torn: the save errors, the old file survives.
+        let torn = FaultyEnv::new(11, {
+            let mut p = FaultPlan::none();
+            p.torn_write = 1000;
+            p
+        });
+        assert!(cp.save_in(&torn, &path).is_err());
+        assert_eq!(SweepCheckpoint::load_in(&RealEnv, &path).unwrap(), cp);
+
+        // A missing file is a typed Io error, not a mismatch.
+        let missing = dir.join("nope.ckpt");
+        assert!(matches!(
+            SweepCheckpoint::load_in(&RealEnv, &missing),
+            Err(EngineError::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Cancel at a quota, checkpoint, resume: bit-identical to the

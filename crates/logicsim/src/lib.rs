@@ -186,4 +186,4 @@ pub mod reference;
 mod sim;
 
 pub use backend::{BackendKind, SimBackend};
-pub use sim::Simulator;
+pub use sim::{SimSnapshot, Simulator};

@@ -1059,6 +1059,77 @@ impl GateSeparationTable {
         }
         sum
     }
+
+    /// Decomposes the table into plain arrays for serialization: `(rho,
+    /// row offsets, entry node indices, entry weights)` — the entry pairs
+    /// are split into parallel vectors so any flat data format can carry
+    /// them. [`GateSeparationTable::from_raw`] is the validating inverse.
+    #[must_use]
+    pub fn to_raw(&self) -> (u32, Vec<u32>, Vec<u32>, Vec<u32>) {
+        (
+            self.rho(),
+            self.offsets.clone(),
+            self.entries.iter().map(|&(n, _)| n).collect(),
+            self.entries.iter().map(|&(_, w)| w).collect(),
+        )
+    }
+
+    /// Rebuilds a table from [`GateSeparationTable::to_raw`] parts,
+    /// re-validating every invariant the query methods rely on (offset
+    /// monotonicity and coverage, node-index bounds, weight range, sorted
+    /// rows). Raw parts are untrusted input — a corrupted store entry is
+    /// rejected with a typed error, never allowed to panic or underflow a
+    /// later separation query.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Structure`] naming the first violated invariant.
+    pub fn from_raw(
+        rho: u32,
+        offsets: Vec<u32>,
+        entry_nodes: Vec<u32>,
+        entry_weights: Vec<u32>,
+    ) -> Result<Self, iddq_control::EngineError> {
+        let bad = |what: &str| {
+            Err(iddq_control::EngineError::Structure(format!(
+                "separation table: {what}"
+            )))
+        };
+        if rho == 0 {
+            return bad("rho must be positive");
+        }
+        if offsets.first() != Some(&0) {
+            return bad("row offsets must start at 0");
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return bad("row offsets must be nondecreasing");
+        }
+        if entry_nodes.len() != entry_weights.len() {
+            return bad("entry arrays must be aligned");
+        }
+        if offsets.last().copied().unwrap_or(u32::MAX) as usize != entry_nodes.len() {
+            return bad("final offset must equal the entry count");
+        }
+        let nodes = offsets.len() - 1;
+        if entry_nodes.iter().any(|&n| n as usize >= nodes) {
+            return bad("entry node index out of range");
+        }
+        if entry_weights.iter().any(|&w| w == 0 || w > rho) {
+            return bad("entry weight outside 1..=rho");
+        }
+        let entries: Vec<(u32, u32)> = entry_nodes.into_iter().zip(entry_weights).collect();
+        for row in offsets.windows(2) {
+            let row = &entries[row[0] as usize..row[1] as usize];
+            if row.windows(2).any(|p| p[0].0 >= p[1].0) {
+                return bad("row entries must be strictly sorted by node index");
+            }
+        }
+        Ok(GateSeparationTable {
+            rho: u64::from(rho),
+            offsets,
+            entries,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1078,6 +1149,34 @@ mod tests {
         }
         b.mark_output(prev);
         b.build().unwrap()
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_and_reject_corruption() {
+        let nl = data::c17();
+        let table = GateSeparationTable::direct(&nl, 4, 1);
+        let (rho, offsets, nodes, weights) = table.to_raw();
+        let back =
+            GateSeparationTable::from_raw(rho, offsets.clone(), nodes.clone(), weights.clone())
+                .unwrap();
+        assert_eq!(back, table);
+        // Corruptions are rejected typed, never panic later queries.
+        assert!(
+            GateSeparationTable::from_raw(0, offsets.clone(), nodes.clone(), weights.clone())
+                .is_err()
+        );
+        let mut bad = offsets.clone();
+        *bad.last_mut().unwrap() += 1;
+        assert!(GateSeparationTable::from_raw(rho, bad, nodes.clone(), weights.clone()).is_err());
+        let mut bad = nodes.clone();
+        bad[0] = u32::MAX;
+        assert!(GateSeparationTable::from_raw(rho, offsets.clone(), bad, weights.clone()).is_err());
+        let mut bad = weights.clone();
+        bad[0] = rho + 1;
+        assert!(GateSeparationTable::from_raw(rho, offsets.clone(), nodes.clone(), bad).is_err());
+        let mut bad = weights;
+        bad.pop();
+        assert!(GateSeparationTable::from_raw(rho, offsets, nodes, bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Deterministic chaos harness: the serving path's crash-recovery and
+//! corruption invariants, exercised under seeded fault schedules.
+//!
+//! Two scenarios, both fully deterministic per seed (every random choice
+//! — fault injection, crash points, request order — derives from the
+//! seed by splitmix64, so a failing seed replays exactly):
+//!
+//! * [`sweep_scenario`] — a checkpointed fault-sweep job run to
+//!   completion through a crash/restart loop over a
+//!   [`FaultyEnv`](iddq_control::FaultyEnv) that injects ENOSPC, torn
+//!   writes, failed renames and corrupt reads. At every simulated
+//!   process restart the job state is reloaded from disk (or restarted
+//!   from scratch when the checkpoint is lost or detected corrupt). The
+//!   invariant: however the schedule interleaves, the completed sweep's
+//!   detection digest is **bit-identical** to an uninterrupted fault-free
+//!   run, and every disk failure surfaces as a typed error — never a
+//!   panic, never a silently wrong digest.
+//! * [`store_scenario`] — an [`ArtifactStore`](crate::store::ArtifactStore)
+//!   hammered with puts, gets, deliberate file corruption and injected
+//!   read/write faults. The invariant: a `get` either returns a bundle
+//!   whose simulator output is bit-identical to a freshly built one, or
+//!   misses (quarantining provably corrupt entries) — wrong answers
+//!   never escape.
+//!
+//! [`run_chaos`] drives both across a seed range and aggregates; the CLI
+//! `iddq chaos` subcommand and the `chaos --smoke` CI leg call it. The
+//! full sweep runs ≥200 schedules.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use iddq_control::{
+    CancelToken, EngineError, FaultPlan, FaultyEnv, IoEnv, RealEnv, RunBudget, RunControl,
+    StopReason,
+};
+use iddq_core::AnalysisTier;
+use iddq_logicsim::fault_sweep::{sweep, sweep_resume, sweep_with_control, SweepCheckpoint};
+use iddq_netlist::data;
+
+use crate::cache::Artifacts;
+use crate::protocol::detection_digest;
+use crate::server::{fault_universe, random_vectors, server_sweep_options};
+use crate::store::ArtifactStore;
+
+/// How many work units a chaos slice may run before its quota stops it —
+/// small enough that every scenario crosses many slice boundaries.
+const SLICE_QUOTA: u64 = 48;
+
+/// Upper bound on restart-loop iterations; the in-memory path always
+/// makes progress, so hitting this means a logic bug, not bad luck.
+const MAX_SLICES: usize = 4096;
+
+/// Options for [`run_chaos`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosOptions {
+    /// First seed of the range.
+    pub seed0: u64,
+    /// Seeded sweep crash/restart schedules to run.
+    pub sweep_schedules: usize,
+    /// Seeded store fault schedules to run.
+    pub store_schedules: usize,
+}
+
+impl ChaosOptions {
+    /// The CI smoke configuration: a handful of fixed seeds, seconds of
+    /// wall clock.
+    #[must_use]
+    pub fn smoke() -> Self {
+        ChaosOptions {
+            seed0: 0xc4a05,
+            sweep_schedules: 6,
+            store_schedules: 6,
+        }
+    }
+
+    /// The full suite: ≥200 independent fault schedules.
+    #[must_use]
+    pub fn full() -> Self {
+        ChaosOptions {
+            seed0: 0xc4a05,
+            sweep_schedules: 120,
+            store_schedules: 96,
+        }
+    }
+}
+
+/// Aggregated outcome of a chaos run. Reaching the report at all means
+/// every invariant held on every schedule — violations fail fast with a
+/// seed-stamped message.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ChaosReport {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Simulated process restarts across all sweep schedules.
+    pub restarts: u64,
+    /// Checkpoint loads that failed typed (corrupt or unreadable) and
+    /// fell back to a fresh start.
+    pub checkpoint_recoveries: u64,
+    /// Checkpoint saves that failed typed (the previous checkpoint
+    /// stayed intact per the atomic-writer guarantee).
+    pub save_failures: u64,
+    /// Store entries quarantined.
+    pub quarantined: u64,
+    /// Store gets that served a (verified bit-identical) bundle.
+    pub store_hits: u64,
+    /// Store gets that missed and fell back to a rebuild.
+    pub store_misses: u64,
+    /// Total faults injected by the environments.
+    pub faults_injected: u64,
+}
+
+impl ChaosReport {
+    fn absorb(&mut self, other: &ChaosReport) {
+        self.schedules += other.schedules;
+        self.restarts += other.restarts;
+        self.checkpoint_recoveries += other.checkpoint_recoveries;
+        self.save_failures += other.save_failures;
+        self.quarantined += other.quarantined;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.faults_injected += other.faults_injected;
+    }
+}
+
+/// Local splitmix64 for schedule decisions (crash points, request order)
+/// — deliberately separate from the env's injection stream so the two
+/// never correlate.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, permille: u64) -> bool {
+        self.next() % 1000 < permille
+    }
+}
+
+fn scratch_dir(tag: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("iddq-chaos-{tag}-{}-{seed:x}", std::process::id()))
+}
+
+fn slice_control() -> RunControl {
+    RunControl::with_token(CancelToken::new())
+        .and_budget(RunBudget::unlimited().with_quota(SLICE_QUOTA))
+}
+
+/// One seeded crash/restart schedule of a checkpointed fault sweep.
+///
+/// # Errors
+///
+/// A human-readable, seed-stamped description of the violated invariant.
+pub fn sweep_scenario(seed: u64) -> Result<ChaosReport, String> {
+    let fail = |what: String| Err(format!("sweep seed {seed:#x}: {what}"));
+    let netlist = data::ripple_adder(5 + (seed % 3) as usize);
+    let faults = fault_universe(&netlist, 8, seed);
+    let vectors = random_vectors(&netlist, 256, seed);
+    let options = server_sweep_options(true, 1);
+
+    // Ground truth: one uninterrupted, fault-free run.
+    let want =
+        detection_digest(&sweep::<u64>(&netlist, &faults, &vectors, &options).first_detection);
+
+    let dir = scratch_dir("sweep", seed);
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return fail(format!("scratch dir: {e}"));
+    }
+    let path = dir.join("job.ckpt.json");
+    let env = FaultyEnv::new(seed, FaultPlan::chaos());
+    let mut mix = Mix(seed ^ 0x5eed);
+    let mut report = ChaosReport {
+        schedules: 1,
+        ..ChaosReport::default()
+    };
+
+    // The live process's view of the job. A simulated crash drops it and
+    // everything must be reconstructable from disk (or from scratch).
+    let mut checkpoint: Option<SweepCheckpoint> = None;
+    let mut completed = None;
+    for _ in 0..MAX_SLICES {
+        if mix.chance(300) {
+            // Simulated kill -9: lose the in-memory state, restart from
+            // whatever the disk holds.
+            report.restarts += 1;
+            checkpoint = match SweepCheckpoint::load_in(&env, &path) {
+                Ok(cp) => match cp.validate::<u64>(&netlist, &faults, &vectors, &options) {
+                    Ok(()) => Some(cp),
+                    Err(_) => {
+                        // Operator action per the runbook: delete the
+                        // mismatched checkpoint, restart the job fresh.
+                        report.checkpoint_recoveries += 1;
+                        let _ = RealEnv.remove_file(&path);
+                        None
+                    }
+                },
+                Err(EngineError::CheckpointMismatch(_)) => {
+                    report.checkpoint_recoveries += 1;
+                    let _ = RealEnv.remove_file(&path);
+                    None
+                }
+                // Missing file or an injected read fault: start fresh;
+                // the next save simply rewrites it.
+                Err(EngineError::Io { .. }) => None,
+                Err(e) => return fail(format!("unexpected load error: {e}")),
+            };
+        }
+        let control = slice_control();
+        let outcome = match &checkpoint {
+            None => sweep_with_control::<u64>(&netlist, &faults, &vectors, &options, &control),
+            Some(cp) => {
+                match sweep_resume::<u64>(&netlist, &faults, &vectors, &options, &control, cp) {
+                    Ok(o) => o,
+                    Err(e) => return fail(format!("resume from validated checkpoint: {e}")),
+                }
+            }
+        };
+        let cp =
+            SweepCheckpoint::capture::<u64>(&netlist, &faults, &vectors, &options, outcome.value());
+        if cp.save_in(&env, &path).is_err() {
+            // Typed failure; the previous on-disk checkpoint (if any)
+            // must still be intact — the restart branch verifies that.
+            report.save_failures += 1;
+        }
+        match outcome.stop_reason() {
+            None => {
+                completed = Some(detection_digest(&outcome.value().first_detection));
+                break;
+            }
+            Some(StopReason::QuotaExhausted) => checkpoint = Some(cp),
+            Some(reason) => return fail(format!("unexpected stop: {reason:?}")),
+        }
+    }
+    report.faults_injected = env.counts().total();
+    let _ = std::fs::remove_dir_all(&dir);
+    match completed {
+        Some(got) if got == want => Ok(report),
+        Some(got) => fail(format!("digest diverged: got {got}, want {want}")),
+        None => fail(format!("no completion within {MAX_SLICES} slices")),
+    }
+}
+
+/// One seeded fault schedule against the persistent artifact store.
+///
+/// # Errors
+///
+/// A human-readable, seed-stamped description of the violated invariant.
+pub fn store_scenario(seed: u64) -> Result<ChaosReport, String> {
+    let fail = |what: String| Err(format!("store seed {seed:#x}: {what}"));
+    let rho = 4;
+    // Reference bundles, built once from source: the truth a store hit
+    // must reproduce bit-for-bit.
+    let truth: Vec<(u64, Artifacts, Vec<u64>)> = [4usize, 6, 8]
+        .iter()
+        .map(|&n| {
+            let a = Artifacts::build(data::ripple_adder(n), AnalysisTier::GateSep, rho);
+            let inputs: Vec<u64> = (0..a.netlist.num_inputs() as u32)
+                .map(|i| seed.rotate_left(i).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .collect();
+            (a.netlist.structural_fingerprint(), a, inputs)
+        })
+        .collect();
+
+    let dir = scratch_dir("store", seed);
+    let _ = std::fs::remove_dir_all(&dir);
+    let env = Arc::new(FaultyEnv::new(
+        seed,
+        FaultPlan {
+            enospc: 150,
+            torn_write: 150,
+            rename_fail: 150,
+            corrupt_read: 200,
+            latency: 0,
+        },
+    ));
+    let store = match ArtifactStore::open(&dir, u64::MAX, rho, env.clone()) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("open: {e}")),
+    };
+    let mut mix = Mix(seed ^ 0x57072e);
+    let mut report = ChaosReport {
+        schedules: 1,
+        ..ChaosReport::default()
+    };
+    for _ in 0..24 {
+        let (key, artifacts, inputs) = &truth[(mix.next() % truth.len() as u64) as usize];
+        match mix.next() % 3 {
+            0 => store.put(*key, artifacts),
+            1 => {
+                // Deliberate corruption through the *real* filesystem:
+                // flip one byte of the entry if it exists.
+                let path = dir.join(format!("{key:016x}.artifact"));
+                if let Ok(text) = std::fs::read_to_string(&path) {
+                    let mut bytes = text.into_bytes();
+                    if !bytes.is_empty() {
+                        let at = (mix.next() % bytes.len() as u64) as usize;
+                        bytes[at] ^= 1 << (mix.next() % 8);
+                        let _ = std::fs::write(&path, &bytes);
+                    }
+                }
+            }
+            _ => {}
+        }
+        match store.get(*key, AnalysisTier::GateSep) {
+            Some(got) => {
+                report.store_hits += 1;
+                if got.netlist.structural_fingerprint() != *key {
+                    return fail("served bundle with wrong fingerprint".to_string());
+                }
+                if got.sim.eval(inputs) != artifacts.sim.eval(inputs) {
+                    return fail("served simulator diverged from source build".to_string());
+                }
+            }
+            None => report.store_misses += 1,
+        }
+    }
+    let counters = store.counters();
+    report.quarantined = counters.quarantined;
+    report.faults_injected = env.counts().total();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
+}
+
+/// Runs the configured number of seeded schedules of both scenarios.
+///
+/// # Errors
+///
+/// The first violated invariant, seed-stamped for exact replay.
+pub fn run_chaos(options: &ChaosOptions) -> Result<ChaosReport, String> {
+    let mut report = ChaosReport::default();
+    for i in 0..options.sweep_schedules {
+        report.absorb(&sweep_scenario(options.seed0 + i as u64)?);
+    }
+    for i in 0..options.store_schedules {
+        report.absorb(&store_scenario(options.seed0 ^ (0xb00c << 16) ^ i as u64)?);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_holds_every_invariant() {
+        let report = run_chaos(&ChaosOptions::smoke()).unwrap();
+        assert_eq!(report.schedules, 12);
+        assert!(report.faults_injected > 0, "chaos must actually inject");
+        assert!(report.restarts > 0, "schedules must actually crash");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        let a = sweep_scenario(0xfeed).unwrap();
+        let b = sweep_scenario(0xfeed).unwrap();
+        assert_eq!(
+            (a.restarts, a.save_failures, a.checkpoint_recoveries),
+            (b.restarts, b.save_failures, b.checkpoint_recoveries)
+        );
+        let c = store_scenario(0xfeed).unwrap();
+        let d = store_scenario(0xfeed).unwrap();
+        assert_eq!(
+            (c.store_hits, c.store_misses, c.quarantined),
+            (d.store_hits, d.store_misses, d.quarantined)
+        );
+    }
+}

@@ -6,6 +6,13 @@
 //! reordered) responses themselves — work-op responses are written by
 //! whichever worker finishes first, so pipelined callers must correlate
 //! by `id`.
+//!
+//! [`Client::call_with_retry`] layers a bounded, jittered-exponential
+//! retry loop over `call` for `overloaded` responses ([`RetryPolicy`]):
+//! the server's `retry_after_ms` hint is honored as the floor of each
+//! backoff, the jitter is seeded (reproducible), and exhausting the
+//! budget returns the last `overloaded` response verbatim so callers
+//! see exactly what the server said.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -13,6 +20,57 @@ use std::time::Duration;
 
 use iddq_control::EngineError;
 use serde::Value;
+
+/// Bounded retry-on-`overloaded` policy for [`Client::call_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt; 0 = single attempt (the plain
+    /// [`Client::call`] behaviour).
+    pub retries: u32,
+    /// Base backoff before the first retry, milliseconds; doubles per
+    /// retry.
+    pub base_ms: u64,
+    /// Ceiling on any single backoff, milliseconds.
+    pub max_ms: u64,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// `retries` attempts over a 25ms-base, 2s-capped schedule.
+    #[must_use]
+    pub fn new(retries: u32, seed: u64) -> Self {
+        RetryPolicy {
+            retries,
+            base_ms: 25,
+            max_ms: 2_000,
+            seed,
+        }
+    }
+
+    /// The backoff before retry `attempt` (0-based), combining the
+    /// exponential schedule, the seeded jitter (±25%), and the server's
+    /// `retry_after_ms` hint as a floor — the server knows its queue
+    /// better than any client-side curve.
+    #[must_use]
+    pub fn backoff_ms(&self, attempt: u32, retry_after_ms: Option<u64>) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_ms);
+        // splitmix64 over (seed, attempt): same policy, same delays.
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Jitter in [-exp/4, +exp/4], avoiding thundering-herd resonance.
+        let span = (exp / 2).max(1);
+        let jittered = exp - exp / 4 + z % span;
+        jittered.max(retry_after_ms.unwrap_or(0)).min(self.max_ms)
+    }
+}
 
 /// One connection to a serve instance.
 pub struct Client {
@@ -126,5 +184,59 @@ impl Client {
             path: "recv".into(),
             message: "connection closed before a response arrived".into(),
         })
+    }
+
+    /// [`Client::call`], retrying `overloaded` responses under `policy`:
+    /// jittered exponential backoff floored at the server's
+    /// `retry_after_ms` hint. Any non-`overloaded` response (including
+    /// errors) returns immediately; when the retry budget runs out the
+    /// last `overloaded` response is returned verbatim, so `retries: 0`
+    /// is byte-identical to plain [`Client::call`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Client::call`] can return (transport failures are
+    /// not retried — the connection state is unknown after one).
+    pub fn call_with_retry(
+        &mut self,
+        request: &Value,
+        policy: &RetryPolicy,
+    ) -> Result<Value, EngineError> {
+        let mut attempt = 0u32;
+        loop {
+            let response = self.call(request)?;
+            let overloaded = response.field("status").as_str() == Some("overloaded");
+            if !overloaded || attempt >= policy.retries {
+                return Ok(response);
+            }
+            let hint = response.field("retry_after_ms").as_u64();
+            std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt, hint)));
+            attempt += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_honors_the_hint() {
+        let policy = RetryPolicy::new(3, 42);
+        assert_eq!(
+            policy.backoff_ms(0, None),
+            RetryPolicy::new(3, 42).backoff_ms(0, None)
+        );
+        // A different seed lands elsewhere in the jitter window.
+        let other = RetryPolicy::new(3, 43);
+        let same: Vec<u64> = (0..8).map(|a| policy.backoff_ms(a, None)).collect();
+        let diff: Vec<u64> = (0..8).map(|a| other.backoff_ms(a, None)).collect();
+        assert_ne!(same, diff);
+        // The server hint floors the wait; the cap still binds.
+        assert!(policy.backoff_ms(0, Some(500)) >= 500);
+        assert_eq!(policy.backoff_ms(0, Some(10_000)), policy.max_ms);
+        // The schedule grows toward the cap.
+        assert!(policy.backoff_ms(7, None) >= policy.backoff_ms(0, None));
+        assert!(policy.backoff_ms(12, None) <= policy.max_ms);
     }
 }

@@ -29,7 +29,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use iddq_control::{DrainSignal, EngineError, RunBudget, RunControl, StopReason};
+use iddq_control::{DrainSignal, EngineError, IoEnv, RealEnv, RunBudget, RunControl, StopReason};
 use iddq_core::{plan_tier, AnalysisTier, TierBudget};
 use iddq_logicsim::fault_sweep::{
     sweep_resume, sweep_with_control, FaultSweepOptions, LogicFault, SweepCheckpoint,
@@ -43,6 +43,7 @@ use serde_json::json;
 
 use crate::cache::{ArtifactCache, Artifacts};
 use crate::protocol::{detection_digest, parse_request, Request, RequestError};
+use crate::store::ArtifactStore;
 
 /// Tunables of one server instance.
 #[derive(Debug, Clone)]
@@ -67,6 +68,11 @@ pub struct ServerConfig {
     pub rho: u32,
     /// Server-wide budget composed (tightest-wins) into every request.
     pub global_budget: RunBudget,
+    /// Directory of the persistent artifact store ([`ArtifactStore`]);
+    /// `None` disables cross-process warm starts.
+    pub store_dir: Option<PathBuf>,
+    /// Byte ceiling of the persistent store (LRU eviction driver).
+    pub store_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +87,8 @@ impl Default for ServerConfig {
             slice_quota: 2048,
             rho: 6,
             global_budget: RunBudget::unlimited(),
+            store_dir: None,
+            store_bytes: 256 << 20,
         }
     }
 }
@@ -220,6 +228,12 @@ struct Shared {
     config: ServerConfig,
     queue: JobQueue,
     cache: ArtifactCache,
+    /// Durable warm-start store; `None` when `store_dir` is unset.
+    store: Option<ArtifactStore>,
+    /// Every disk touchpoint (checkpoints, store entries) goes through
+    /// this environment, so chaos tests can inject faults on the whole
+    /// serving path.
+    env: Arc<dyn IoEnv>,
     drain: DrainSignal,
     metrics: Metrics,
     /// EWMA of completed-job wall time, milliseconds ×16 (fixed point).
@@ -273,10 +287,36 @@ impl Server {
     /// [`EngineError::Io`] when the bind or state-directory creation
     /// fails.
     pub fn start(config: ServerConfig) -> Result<Server, EngineError> {
-        std::fs::create_dir_all(&config.state_dir).map_err(|e| EngineError::Io {
-            path: config.state_dir.display().to_string(),
-            message: e.to_string(),
-        })?;
+        Server::start_with_env(config, Arc::new(RealEnv))
+    }
+
+    /// [`Server::start`] with an explicit I/O environment: every disk
+    /// touchpoint of the serving path (job checkpoints, store entries)
+    /// goes through `env`, which is how the chaos harness injects
+    /// ENOSPC, torn writes, failed renames and corrupt reads into a
+    /// live server.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] when the bind or a directory creation fails.
+    pub fn start_with_env(
+        config: ServerConfig,
+        env: Arc<dyn IoEnv>,
+    ) -> Result<Server, EngineError> {
+        env.create_dir_all(&config.state_dir)
+            .map_err(|e| EngineError::Io {
+                path: config.state_dir.display().to_string(),
+                message: e.to_string(),
+            })?;
+        let store = match &config.store_dir {
+            Some(dir) => Some(ArtifactStore::open(
+                dir,
+                config.store_bytes,
+                config.rho,
+                Arc::clone(&env),
+            )?),
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr).map_err(|e| EngineError::Io {
             path: config.addr.clone(),
             message: e.to_string(),
@@ -288,6 +328,8 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             cache: ArtifactCache::new(config.cache_bytes),
+            store,
+            env,
             drain: DrainSignal::new(),
             metrics: Metrics::default(),
             ewma_job_ms16: AtomicU64::new(0),
@@ -383,6 +425,11 @@ impl Server {
             self.shared.drain.kill();
         }
         self.stop_threads();
+        // Entries are durable at put time; flushing persists LRU order
+        // so the next process evicts the genuinely coldest entries.
+        if let Some(store) = &self.shared.store {
+            store.flush();
+        }
         metrics_value(&self.shared)
     }
 
@@ -434,6 +481,23 @@ fn metrics_value(shared: &Shared) -> Value {
         "misses": misses,
         "evictions": evictions,
     });
+    let store = match &shared.store {
+        Some(store) => {
+            let c = store.counters();
+            json!({
+                "entries": store.len(),
+                "resident_bytes": store.resident_bytes(),
+                "ceiling_bytes": store.ceiling_bytes(),
+                "hits": c.hits,
+                "misses": c.misses,
+                "writes": c.writes,
+                "write_errors": c.write_errors,
+                "evictions": c.evictions,
+                "quarantined": c.quarantined,
+            })
+        }
+        None => Value::Null,
+    };
     json!({
         "accepted": m.accepted.load(Ordering::Relaxed),
         "completed": m.completed.load(Ordering::Relaxed),
@@ -447,6 +511,7 @@ fn metrics_value(shared: &Shared) -> Value {
         "queue_depth": shared.queue.depth(),
         "draining": shared.drain.is_draining(),
         "cache": cache,
+        "store": store,
     })
 }
 
@@ -830,21 +895,64 @@ fn resolve_netlist(request: &Request, line: usize) -> Result<Netlist, RequestErr
         .map_err(|e| RequestError::parse(line, format!("inline bench: {e}")).with_id(request.id))
 }
 
-/// Cache-through artifact resolution at (at least) `tier`.
+/// How a request's artifacts were obtained, for response attribution.
+struct Resolved {
+    artifacts: Arc<Artifacts>,
+    /// Served from the in-memory cache.
+    cache_hit: bool,
+    /// Deserialized from the persistent store (no recompilation).
+    store_hit: bool,
+}
+
+/// Cache-through, store-through artifact resolution at (at least)
+/// `tier`: memory cache, then persistent store (validated load, corrupt
+/// entries quarantined and treated as misses), then a fresh build that
+/// populates both layers.
+fn lookup_or_build(shared: &Shared, netlist: Netlist, tier: AnalysisTier) -> Resolved {
+    let key = netlist.structural_fingerprint();
+    if let Some(hit) = shared.cache.lookup(key, tier) {
+        // Keep the store's LRU clock in step with the memory cache so
+        // eviction order reflects what is actually warm.
+        if let Some(store) = &shared.store {
+            store.touch(key);
+        }
+        return Resolved {
+            artifacts: hit,
+            cache_hit: true,
+            store_hit: false,
+        };
+    }
+    if let Some(store) = &shared.store {
+        if let Some(loaded) = store.get(key, tier) {
+            shared.cache.insert(key, Arc::clone(&loaded));
+            return Resolved {
+                artifacts: loaded,
+                cache_hit: false,
+                store_hit: true,
+            };
+        }
+    }
+    let built = Arc::new(Artifacts::build(netlist, tier, shared.config.rho));
+    shared.cache.insert(key, Arc::clone(&built));
+    if let Some(store) = &shared.store {
+        store.put(key, &built);
+    }
+    Resolved {
+        artifacts: built,
+        cache_hit: false,
+        store_hit: false,
+    }
+}
+
+/// [`lookup_or_build`] after resolving the request's netlist.
 fn resolve_artifacts(
     shared: &Shared,
     request: &Request,
     line: usize,
     tier: AnalysisTier,
-) -> Result<(Arc<Artifacts>, bool), RequestError> {
+) -> Result<Resolved, RequestError> {
     let netlist = resolve_netlist(request, line)?;
-    let key = netlist.structural_fingerprint();
-    if let Some(hit) = shared.cache.lookup(key, tier) {
-        return Ok((hit, true));
-    }
-    let built = Arc::new(Artifacts::build(netlist, tier, shared.config.rho));
-    shared.cache.insert(key, Arc::clone(&built));
-    Ok((built, false))
+    Ok(lookup_or_build(shared, netlist, tier))
 }
 
 /// The deterministic fault universe of the service: both stuck-at
@@ -909,8 +1017,9 @@ pub fn server_sweep_options(fault_dropping: bool, frames: usize) -> FaultSweepOp
 
 fn handle_sim(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError> {
     let request = &job.request;
-    let (artifacts, cache_hit) =
-        resolve_artifacts(shared, request, job.line, AnalysisTier::Timing)?;
+    let resolved = resolve_artifacts(shared, request, job.line, AnalysisTier::Timing)?;
+    let (artifacts, cache_hit, store_hit) =
+        (resolved.artifacts, resolved.cache_hit, resolved.store_hit);
     let patterns = request.patterns.unwrap_or(1 << 14);
     let seed = request.seed.unwrap_or(42);
     let frames = request.frames.unwrap_or(1).max(1);
@@ -972,6 +1081,7 @@ fn handle_sim(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError> {
         "patterns_per_sec": evaluated as f64 / elapsed,
         "checksum": format!("{checksum:#018x}"),
         "cache_hit": cache_hit,
+        "store_hit": store_hit,
     });
     Ok(status_response(
         request.id,
@@ -985,8 +1095,9 @@ fn handle_sim(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError> {
 fn handle_faults(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError> {
     let request = &job.request;
     let with_id = |e: RequestError| e.with_id(request.id);
-    let (artifacts, cache_hit) =
-        resolve_artifacts(shared, request, job.line, AnalysisTier::Timing)?;
+    let resolved = resolve_artifacts(shared, request, job.line, AnalysisTier::Timing)?;
+    let (artifacts, cache_hit, store_hit) =
+        (resolved.artifacts, resolved.cache_hit, resolved.store_hit);
     let netlist = &artifacts.netlist;
     let seed = request.seed.unwrap_or(42);
     let num_vectors = request.vectors.unwrap_or(256);
@@ -1003,7 +1114,7 @@ fn handle_faults(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError>
     let mut checkpoint: Option<SweepCheckpoint> = None;
     let mut resumed = false;
     if let Some(path) = &ckpt_path {
-        if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(text) = shared.env.read_to_string(path) {
             let cp = SweepCheckpoint::from_json(&text)
                 .map_err(|e| with_id(RequestError::engine(job.line, &e)))?;
             cp.validate::<u64>(netlist, &faults, &vectors, &options)
@@ -1026,7 +1137,7 @@ fn handle_faults(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError>
         let cp =
             SweepCheckpoint::capture::<u64>(netlist, &faults, &vectors, &options, outcome.value());
         if let Some(path) = &ckpt_path {
-            iddq_control::write_atomic(path, &cp.to_json())
+            cp.save_in(shared.env.as_ref(), path)
                 .map_err(|e| with_id(RequestError::engine(job.line, &e)))?;
         }
         let grid_coverage = cp.progress();
@@ -1046,6 +1157,7 @@ fn handle_faults(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError>
                 "slices": slices,
                 "checkpointed": ckpt_path.is_some(),
                 "cache_hit": cache_hit,
+                "store_hit": store_hit,
             });
             status_response(request.id, "faults", result, stop, grid_coverage)
         };
@@ -1053,7 +1165,7 @@ fn handle_faults(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError>
             None => {
                 // Job finished: its checkpoint is obsolete.
                 if let Some(path) = &ckpt_path {
-                    let _ = std::fs::remove_file(path);
+                    let _ = shared.env.remove_file(path);
                 }
                 return Ok(respond(None));
             }
@@ -1095,14 +1207,9 @@ fn handle_stats(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError> 
         shared.metrics.add(&shared.metrics.degraded);
     }
     let key = netlist.structural_fingerprint();
-    let (artifacts, cache_hit) = match shared.cache.lookup(key, plan.tier) {
-        Some(hit) => (hit, true),
-        None => {
-            let built = Arc::new(Artifacts::build(netlist, plan.tier, shared.config.rho));
-            shared.cache.insert(key, Arc::clone(&built));
-            (built, false)
-        }
-    };
+    let resolved = lookup_or_build(shared, netlist, plan.tier);
+    let (artifacts, cache_hit, store_hit) =
+        (resolved.artifacts, resolved.cache_hit, resolved.store_hit);
     let netlist = &artifacts.netlist;
     let memory = json!({
         "netlist": netlist.memory_bytes(),
@@ -1123,6 +1230,7 @@ fn handle_stats(shared: &Arc<Shared>, job: &Job) -> Result<Value, RequestError> 
         "degrade_reason": plan.reason,
         "memory": memory,
         "cache_hit": cache_hit,
+        "store_hit": store_hit,
         "fingerprint": format!("{key:016x}"),
     });
     Ok(status_response(request.id, "stats", result, None, 1.0))

@@ -1,0 +1,686 @@
+//! Durable crash-safe artifact store: the on-disk sibling of the
+//! in-memory [`crate::cache::ArtifactCache`].
+//!
+//! Each entry is one sealed file under the store directory, named by the
+//! circuit's [`structural fingerprint`](iddq_netlist::Netlist::structural_fingerprint)
+//! (`<016x>.artifact`). The payload is a versioned JSON document holding
+//! everything needed to serve the circuit *without recompiling*: the
+//! `.bench` text, the compiled CSR program as a
+//! [`SimSnapshot`](iddq_logicsim::SimSnapshot), and — for `gatesep`-tier
+//! bundles — the separation table's raw parts. `Separation`-tier oracles
+//! are never persisted (they are derived data an order of magnitude
+//! larger than everything else); a `separation` request is always a
+//! store miss and rebuilds.
+//!
+//! # Trust model: verify, quarantine, rebuild
+//!
+//! Store files are *untrusted input* — a crash mid-write, bit rot, or an
+//! operator's stray edit must never panic the server or change an
+//! answer. Every load re-derives the truth:
+//!
+//! 1. the sealed header (CRC + length, [`iddq_control::open_sealed`])
+//!    must match the payload bytes,
+//! 2. the JSON must parse against the current format version,
+//! 3. the `.bench` text must reparse and its recomputed structural
+//!    fingerprint must equal the filename key,
+//! 4. the simulator snapshot and gate-table raw parts must pass full
+//!    structural validation
+//!    ([`Simulator::from_snapshot`](iddq_logicsim::Simulator::from_snapshot),
+//!    [`GateSeparationTable::from_raw`]).
+//!
+//! Any failure **quarantines** the file — renamed aside to
+//! `<name>.quarantined-<n>` (deleted if even the rename fails), counted,
+//! and reported as a miss so the caller transparently rebuilds from
+//! source. The entry is replaced on the next `put`.
+//!
+//! # Durability and eviction
+//!
+//! Writes go through [`iddq_control::write_atomic_in`] (temp + rename)
+//! over the store's [`IoEnv`], so a crash or injected fault at any point
+//! leaves either the old entry or the new one, never a torn file. The
+//! store enforces a byte ceiling with the same LRU discipline as the
+//! memory cache; recency survives restarts via a small sealed
+//! `store-index.json` written by [`ArtifactStore::flush`] during graceful
+//! shutdown (best-effort: a missing or corrupt index only resets
+//! recency, never correctness).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use iddq_control::{open_sealed, seal, write_atomic_in, EngineError, IoEnv};
+use iddq_core::AnalysisTier;
+use iddq_logicsim::{SimSnapshot, Simulator};
+use iddq_netlist::bench;
+use iddq_netlist::separation::GateSeparationTable;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::Artifacts;
+
+/// On-disk payload format version; bumped on any incompatible change so
+/// old servers fail closed (quarantine + rebuild) instead of misreading.
+const FORMAT_VERSION: u32 = 1;
+
+/// Suffix of live entry files.
+const ENTRY_SUFFIX: &str = ".artifact";
+
+/// Name of the sealed recency index written by [`ArtifactStore::flush`].
+const INDEX_FILE: &str = "store-index.json";
+
+/// The serialized form of one store entry.
+#[derive(Debug, Serialize, Deserialize)]
+struct StoredEntry {
+    /// [`FORMAT_VERSION`] at write time.
+    format: u32,
+    /// Hex fingerprint the entry claims to be (cross-checked against the
+    /// filename *and* the reparsed netlist).
+    fingerprint: String,
+    /// Circuit name (restored into the netlist on load).
+    circuit: String,
+    /// `timing` or `gatesep` ([`AnalysisTier::as_str`]).
+    tier: String,
+    /// ρ the gate table was built with (0 when tier is `timing`).
+    rho: u32,
+    /// Canonical `.bench` text of the circuit.
+    bench: String,
+    /// Compiled CSR program.
+    sim: SimSnapshot,
+    /// Gate-table row offsets (absent at `timing` tier).
+    gs_offsets: Option<Vec<u32>>,
+    /// Gate-table entry node indices.
+    gs_nodes: Option<Vec<u32>>,
+    /// Gate-table entry weights.
+    gs_weights: Option<Vec<u32>>,
+}
+
+/// Persisted recency index: fingerprints from least- to most-recently
+/// used at flush time.
+#[derive(Debug, Serialize, Deserialize)]
+struct StoredIndex {
+    format: u32,
+    lru_order: Vec<String>,
+}
+
+/// Monotonic store counters, snapshot form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Loads that produced a valid bundle.
+    pub hits: u64,
+    /// Lookups with no usable entry (absent, lower tier, or quarantined).
+    pub misses: u64,
+    /// Entries successfully written.
+    pub writes: u64,
+    /// `put` attempts that failed (injected or real I/O errors). The
+    /// store is a cache, so these are non-fatal — the entry is simply
+    /// not durable yet.
+    pub write_errors: u64,
+    /// Entries removed to hold the byte ceiling.
+    pub evictions: u64,
+    /// Corrupt entries renamed aside (or deleted) on load.
+    pub quarantined: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+    evictions: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+struct IndexEntry {
+    bytes: u64,
+    last_used: u64,
+}
+
+/// The persistent artifact store. All methods are `&self`; a mutex
+/// guards the in-memory index while file I/O happens outside it.
+pub struct ArtifactStore {
+    dir: PathBuf,
+    ceiling: u64,
+    rho: u32,
+    env: Arc<dyn IoEnv>,
+    index: Mutex<HashMap<u64, IndexEntry>>,
+    tick: AtomicU64,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("dir", &self.dir)
+            .field("ceiling", &self.ceiling)
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+fn entry_name(key: u64) -> String {
+    format!("{key:016x}{ENTRY_SUFFIX}")
+}
+
+fn parse_entry_name(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let hex = name.strip_suffix(ENTRY_SUFFIX)?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store at `dir` with the given byte
+    /// ceiling, scanning existing entries into the index. Entry contents
+    /// are *not* validated here — validation happens lazily on `get`, so
+    /// a corrupt file costs nothing until (and unless) it is requested.
+    pub fn open(
+        dir: &Path,
+        ceiling_bytes: u64,
+        rho: u32,
+        env: Arc<dyn IoEnv>,
+    ) -> Result<Self, EngineError> {
+        env.create_dir_all(dir).map_err(|e| EngineError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let store = ArtifactStore {
+            dir: dir.to_path_buf(),
+            ceiling: ceiling_bytes,
+            rho,
+            env,
+            index: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            counters: Counters::default(),
+        };
+        store.scan()?;
+        Ok(store)
+    }
+
+    /// Scans the directory into the index, then applies the persisted
+    /// recency order if a valid index file is present.
+    fn scan(&self) -> Result<(), EngineError> {
+        let files = self.env.read_dir(&self.dir).map_err(|e| EngineError::Io {
+            path: self.dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let mut map = self.lock();
+        for path in &files {
+            if let Some(key) = parse_entry_name(path) {
+                // Size from a cheap read; a file we cannot read now may
+                // still be readable later, so keep it indexed at 0 bytes.
+                let bytes = self
+                    .env
+                    .read_to_string(path)
+                    .map(|t| t.len() as u64)
+                    .unwrap_or(0);
+                map.insert(
+                    key,
+                    IndexEntry {
+                        bytes,
+                        last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+                    },
+                );
+            }
+        }
+        drop(map);
+        self.apply_persisted_order();
+        Ok(())
+    }
+
+    /// Best-effort restore of LRU order from `store-index.json`; any
+    /// failure (missing, corrupt, wrong version) is silently ignored —
+    /// it only affects eviction *order*, never entry contents.
+    fn apply_persisted_order(&self) {
+        let path = self.dir.join(INDEX_FILE);
+        let Ok(text) = self.env.read_to_string(&path) else {
+            return;
+        };
+        let Ok(payload) = open_sealed(&text) else {
+            return;
+        };
+        let Ok(stored) = serde_json::from_str::<StoredIndex>(payload) else {
+            return;
+        };
+        if stored.format != FORMAT_VERSION {
+            return;
+        }
+        let mut map = self.lock();
+        for hex in &stored.lru_order {
+            if let Ok(key) = u64::from_str_radix(hex, 16) {
+                if let Some(entry) = map.get_mut(&key) {
+                    entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, IndexEntry>> {
+        self.index.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(entry_name(key))
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Configured byte ceiling.
+    #[must_use]
+    pub fn ceiling_bytes(&self) -> u64 {
+        self.ceiling
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes held by live entries (payload sizes, not block usage).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock().values().map(|e| e.bytes).sum()
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            writes: self.counters.writes.load(Ordering::Relaxed),
+            write_errors: self.counters.write_errors.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            quarantined: self.counters.quarantined.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Refreshes `key`'s recency without touching disk — called on
+    /// memory-cache hits so the two LRU clocks agree on what is warm.
+    pub fn touch(&self, key: u64) {
+        if let Some(entry) = self.lock().get_mut(&key) {
+            entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Loads and fully validates the entry for `key`, returning a served
+    /// bundle at `min_tier` or below-tier/absent/corrupt as a miss.
+    /// Corrupt entries are quarantined (never served, never fatal).
+    #[must_use]
+    pub fn get(&self, key: u64, min_tier: AnalysisTier) -> Option<Arc<Artifacts>> {
+        if !self.lock().contains_key(&key) {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // The oracle is never persisted, so Separation can never hit.
+        if min_tier > AnalysisTier::GateSep {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let path = self.entry_path(key);
+        let text = match self.env.read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                // Unreadable ≠ provably corrupt (could be a transient
+                // injected fault); count a miss and leave the file.
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match self.decode(key, &text) {
+            Ok((artifacts, tier)) => {
+                if tier < min_tier {
+                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                self.touch(key);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::new(artifacts))
+            }
+            Err(_) => {
+                self.quarantine(key);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Full verification chain: seal → JSON → format version → bench
+    /// reparse → fingerprint equality → structural validation of the
+    /// snapshot and gate table.
+    fn decode(&self, key: u64, text: &str) -> Result<(Artifacts, AnalysisTier), String> {
+        let payload = open_sealed(text)?;
+        let entry: StoredEntry =
+            serde_json::from_str(payload).map_err(|e| format!("entry schema mismatch: {e}"))?;
+        if entry.format != FORMAT_VERSION {
+            return Err(format!(
+                "format version {} (this server reads {FORMAT_VERSION})",
+                entry.format
+            ));
+        }
+        let netlist = bench::parse(entry.circuit.clone(), &entry.bench)
+            .map_err(|e| format!("stored bench does not parse: {e}"))?;
+        let actual = netlist.structural_fingerprint();
+        if actual != key {
+            return Err(format!(
+                "fingerprint mismatch: entry reparses to {actual:016x}, filed under {key:016x}"
+            ));
+        }
+        let sim = Simulator::from_snapshot(&entry.sim).map_err(|e| format!("{e}"))?;
+        let tier: AnalysisTier = entry
+            .tier
+            .parse()
+            .map_err(|e: EngineError| format!("{e}"))?;
+        let gate_table = match (entry.gs_offsets, entry.gs_nodes, entry.gs_weights) {
+            (Some(offsets), Some(nodes), Some(weights)) => {
+                if offsets.len() != netlist.node_count() + 1 {
+                    return Err("gate-table row count disagrees with the circuit".to_string());
+                }
+                Some(
+                    GateSeparationTable::from_raw(entry.rho, offsets, nodes, weights)
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            (None, None, None) => None,
+            _ => return Err("gate-table parts are incomplete".to_string()),
+        };
+        if (tier >= AnalysisTier::GateSep) != gate_table.is_some() {
+            return Err(format!("tier {tier} disagrees with gate-table presence"));
+        }
+        Ok((Artifacts::from_parts(netlist, sim, gate_table), tier))
+    }
+
+    /// Moves a corrupt entry aside (`<name>.quarantined-<n>`), falling
+    /// back to deletion if the rename itself fails; the index entry is
+    /// dropped either way so the slot reads as absent from now on.
+    fn quarantine(&self, key: u64) {
+        let n = self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+        let path = self.entry_path(key);
+        let aside = self
+            .dir
+            .join(format!("{}.quarantined-{n}", entry_name(key)));
+        if self.env.rename(&path, &aside).is_err() {
+            let _ = self.env.remove_file(&path);
+        }
+        self.lock().remove(&key);
+    }
+
+    /// Serializes and durably writes `artifacts` under `key`, then
+    /// evicts LRU entries beyond the byte ceiling (the fresh entry is
+    /// exempt, mirroring the memory cache). Write failures are counted
+    /// and swallowed — the store is a cache, not a ledger.
+    pub fn put(&self, key: u64, artifacts: &Artifacts) {
+        let text = seal(&encode(key, artifacts, self.rho));
+        let bytes = text.len() as u64;
+        let path = self.entry_path(key);
+        match write_atomic_in(self.env.as_ref(), &path, &text) {
+            Ok(()) => {
+                self.counters.writes.fetch_add(1, Ordering::Relaxed);
+                let mut map = self.lock();
+                map.insert(
+                    key,
+                    IndexEntry {
+                        bytes,
+                        last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+                    },
+                );
+                drop(map);
+                self.evict_beyond_ceiling(key);
+            }
+            Err(_) => {
+                self.counters.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Evicts least-recently-used entries (never `fresh`) until resident
+    /// bytes fit the ceiling.
+    fn evict_beyond_ceiling(&self, fresh: u64) {
+        loop {
+            let victim = {
+                let map = self.lock();
+                if map.values().map(|e| e.bytes).sum::<u64>() <= self.ceiling || map.len() <= 1 {
+                    return;
+                }
+                map.iter()
+                    .filter(|(&k, _)| k != fresh)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&k, _)| k)
+            };
+            let Some(victim) = victim else { return };
+            let _ = self.env.remove_file(&self.entry_path(victim));
+            self.lock().remove(&victim);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Persists the recency index (graceful-shutdown hook). Entry files
+    /// are already durable at `put` time; this only saves LRU *order* so
+    /// a restarted server evicts the genuinely coldest entries first.
+    pub fn flush(&self) {
+        let mut order: Vec<(u64, u64)> =
+            self.lock().iter().map(|(&k, e)| (e.last_used, k)).collect();
+        order.sort_unstable();
+        let stored = StoredIndex {
+            format: FORMAT_VERSION,
+            lru_order: order.iter().map(|&(_, k)| format!("{k:016x}")).collect(),
+        };
+        let json = serde_json::to_string(&stored).unwrap_or_default();
+        let path = self.dir.join(INDEX_FILE);
+        if write_atomic_in(self.env.as_ref(), &path, &seal(&json)).is_err() {
+            self.counters.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serializes the storable slice of a bundle (tier capped at `GateSep`)
+/// as the entry payload JSON.
+fn encode(key: u64, artifacts: &Artifacts, rho: u32) -> String {
+    let (tier, raw) = match artifacts.gate_table() {
+        Some(table) => (AnalysisTier::GateSep, Some(table.to_raw())),
+        None => (AnalysisTier::Timing, None),
+    };
+    let (rho_used, offsets, nodes, weights) = match raw {
+        Some((r, o, n, w)) => (r, Some(o), Some(n), Some(w)),
+        None => (rho, None, None, None),
+    };
+    let entry = StoredEntry {
+        format: FORMAT_VERSION,
+        fingerprint: format!("{key:016x}"),
+        circuit: artifacts.netlist.name().to_string(),
+        tier: tier.as_str().to_string(),
+        rho: rho_used,
+        bench: bench::to_bench(&artifacts.netlist),
+        sim: artifacts.sim.snapshot(),
+        gs_offsets: offsets,
+        gs_nodes: nodes,
+        gs_weights: weights,
+    };
+    serde_json::to_string(&entry).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iddq_control::{FaultPlan, FaultyEnv, RealEnv};
+    use iddq_netlist::data;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("iddq-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open_real(dir: &Path, ceiling: u64) -> ArtifactStore {
+        ArtifactStore::open(dir, ceiling, 4, Arc::new(RealEnv)).unwrap()
+    }
+
+    fn bundle(n: usize, tier: AnalysisTier) -> (u64, Arc<Artifacts>) {
+        let a = Artifacts::build(data::ripple_adder(n), tier, 4);
+        (a.netlist.structural_fingerprint(), Arc::new(a))
+    }
+
+    #[test]
+    fn put_get_roundtrip_preserves_behaviour() {
+        let dir = temp_dir("roundtrip");
+        let store = open_real(&dir, u64::MAX);
+        let (key, a) = bundle(4, AnalysisTier::GateSep);
+        assert!(store.get(key, AnalysisTier::Timing).is_none());
+        store.put(key, &a);
+        let got = store.get(key, AnalysisTier::GateSep).unwrap();
+        assert_eq!(got.tier(), AnalysisTier::GateSep);
+        // The restored program computes the same values.
+        let inputs: Vec<u64> = (0..a.netlist.inputs().len() as u64)
+            .map(|i| 0x9e37_79b9_7f4a_7c15u64.rotate_left(i as u32))
+            .collect();
+        assert_eq!(a.sim.eval(&inputs), got.sim.eval(&inputs));
+        // And the restored table answers identically.
+        let want = a.gate_table().unwrap();
+        let have = got.gate_table().unwrap();
+        assert_eq!(want.rho(), have.rho());
+        for node in 0..a.netlist.node_count() {
+            let id = iddq_netlist::NodeId(node as u32);
+            assert_eq!(want.row(id), have.row(id));
+        }
+        // Separation-tier requests are store misses by design.
+        assert!(store.get(key, AnalysisTier::Separation).is_none());
+        let c = store.counters();
+        assert_eq!((c.hits, c.writes, c.quarantined), (1, 1, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopened_store_serves_without_rebuilding() {
+        let dir = temp_dir("reopen");
+        let (key, a) = bundle(6, AnalysisTier::GateSep);
+        {
+            let store = open_real(&dir, u64::MAX);
+            store.put(key, &a);
+            store.flush();
+        }
+        let store = open_real(&dir, u64::MAX);
+        assert_eq!(store.len(), 1);
+        let got = store.get(key, AnalysisTier::GateSep).unwrap();
+        assert_eq!(got.netlist.structural_fingerprint(), key);
+        assert_eq!(store.counters().hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_quarantines_and_never_serves() {
+        let dir = temp_dir("corrupt");
+        let store = open_real(&dir, u64::MAX);
+        let (key, a) = bundle(4, AnalysisTier::Timing);
+        store.put(key, &a);
+        let path = store.entry_path(key);
+        let sealed = std::fs::read_to_string(&path).unwrap();
+        // Flip one payload byte: the seal must catch it.
+        let mut bytes = sealed.clone().into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.get(key, AnalysisTier::Timing).is_none());
+        assert_eq!(store.counters().quarantined, 1);
+        assert!(store.is_empty());
+        // The bad file was renamed aside, not deleted.
+        let quarantined: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("quarantined"))
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        // A rebuild replaces the slot cleanly.
+        store.put(key, &a);
+        assert!(store.get(key, AnalysisTier::Timing).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_fingerprint_content_is_quarantined() {
+        let dir = temp_dir("fingerprint");
+        let store = open_real(&dir, u64::MAX);
+        let (key_a, a) = bundle(4, AnalysisTier::Timing);
+        let (key_b, _) = bundle(6, AnalysisTier::Timing);
+        store.put(key_a, &a);
+        // File circuit A's (valid, sealed) entry under circuit B's key:
+        // the reparse check must refuse to serve B from A's bytes.
+        std::fs::copy(store.entry_path(key_a), store.entry_path(key_b)).unwrap();
+        let store = open_real(&dir, u64::MAX);
+        assert!(store.get(key_b, AnalysisTier::Timing).is_none());
+        assert_eq!(store.counters().quarantined, 1);
+        assert!(store.get(key_a, AnalysisTier::Timing).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_ceiling_evicts_lru_entries() {
+        let dir = temp_dir("evict");
+        let (ka, a) = bundle(4, AnalysisTier::Timing);
+        let (kb, b) = bundle(6, AnalysisTier::Timing);
+        let (kc, c) = bundle(8, AnalysisTier::Timing);
+        let probe = open_real(&temp_dir("evict-probe"), u64::MAX);
+        probe.put(kb, &b);
+        probe.put(kc, &c);
+        let ceiling = probe.resident_bytes() + 64;
+        std::fs::remove_dir_all(probe.dir()).unwrap();
+        let store = open_real(&dir, ceiling);
+        store.put(ka, &a);
+        store.put(kb, &b);
+        store.touch(ka); // b becomes the LRU victim
+        store.put(kc, &c);
+        assert!(store.get(ka, AnalysisTier::Timing).is_some());
+        assert!(store.get(kb, AnalysisTier::Timing).is_none());
+        assert!(store.get(kc, AnalysisTier::Timing).is_some());
+        assert!(store.counters().evictions >= 1);
+        assert!(store.resident_bytes() <= ceiling);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_writes_never_corrupt_and_never_panic() {
+        let dir = temp_dir("chaos-writes");
+        let (key, a) = bundle(4, AnalysisTier::GateSep);
+        let env = Arc::new(FaultyEnv::new(
+            7,
+            FaultPlan {
+                enospc: 300,
+                torn_write: 300,
+                rename_fail: 300,
+                corrupt_read: 0,
+                latency: 0,
+            },
+        ));
+        let store = ArtifactStore::open(&dir, u64::MAX, 4, env).unwrap();
+        for _ in 0..32 {
+            store.put(key, &a);
+            // Whatever was injected, a get either serves the exact
+            // bundle or misses — verified through the *real* env too.
+            if let Some(got) = store.get(key, AnalysisTier::GateSep) {
+                assert_eq!(got.netlist.structural_fingerprint(), key);
+            }
+        }
+        let c = store.counters();
+        assert!(c.writes + c.write_errors == 32);
+        assert!(c.write_errors > 0, "plan should have injected failures");
+        // No torn file ever lands at the destination: reopen clean.
+        let reopened = open_real(&dir, u64::MAX);
+        if reopened.len() == 1 {
+            assert!(reopened.get(key, AnalysisTier::GateSep).is_some());
+            assert_eq!(reopened.counters().quarantined, 0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -263,3 +263,199 @@ fn drain_finishes_accepted_work() {
     assert_eq!(lost, 0, "responses were written before the server exited");
     let _ = std::fs::remove_dir_all(&state_dir);
 }
+
+/// The warm-start acceptance criterion: kill -9 a server whose store
+/// directory is populated, restart over the same directory, and the
+/// first request for a cached circuit is served from the store — no
+/// recompilation — visible as `store_hit` in the response and a hit in
+/// the `stats` store counters. The warm answer is field-identical to
+/// the cold one.
+#[test]
+fn kill_and_restart_warm_starts_from_the_store() {
+    let state_dir = temp_state_dir("warm-state");
+    let store_dir = temp_state_dir("warm-store");
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let config = ServerConfig {
+        state_dir: state_dir.clone(),
+        store_dir: Some(store_dir.clone()),
+        ..ServerConfig::default()
+    };
+    let request = json!({
+        "id": 1, "op": "stats", "circuit": "c432", "tier": "gatesep",
+    });
+
+    // Cold process: build, which also populates the store.
+    let server = Server::start(config.clone()).expect("cold start");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let cold = client.call(&request).expect("cold stats");
+    assert!(cold["status"] == "ok", "got {cold:?}");
+    assert!(cold["result"]["cache_hit"] == false);
+    assert!(cold["result"]["store_hit"] == false);
+    let metrics = server.metrics_value();
+    assert_eq!(
+        metrics["store"]["writes"].as_u64(),
+        Some(1),
+        "the build must write through to the store: {metrics:?}"
+    );
+    // Abrupt kill: no graceful flush — entries must already be durable.
+    let _ = server.kill();
+
+    // Warm process over the same store directory.
+    let server = Server::start(config).expect("warm start");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("reconnect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let warm = client.call(&request).expect("warm stats");
+    assert!(warm["status"] == "ok", "got {warm:?}");
+    assert!(
+        warm["result"]["store_hit"] == true,
+        "first request after restart must come from the store: {warm:?}"
+    );
+    assert!(warm["result"]["cache_hit"] == false);
+    // `memory` is excluded: footprints are capacity-accurate and a
+    // restored Vec's capacity may differ from the build path's.
+    for field in ["circuit", "gates", "depth", "tier", "fingerprint"] {
+        assert_eq!(
+            warm["result"][field], cold["result"][field],
+            "warm `{field}` must match the cold build"
+        );
+    }
+    // The store-hit counter in the metrics is the acceptance signal.
+    let metrics = server.metrics_value();
+    assert_eq!(metrics["store"]["hits"].as_u64(), Some(1), "{metrics:?}");
+    assert_eq!(metrics["store"]["quarantined"].as_u64(), Some(0));
+
+    // A second request is now a memory-cache hit, not a store load.
+    let hot = client.call(&request).expect("hot stats");
+    assert!(hot["result"]["cache_hit"] == true);
+    assert!(hot["result"]["store_hit"] == false);
+    let _ = server.shutdown(Duration::from_secs(10));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// A corrupted store entry is quarantined and transparently rebuilt —
+/// the client sees a correct (slower) answer, never an error, and the
+/// server counts the quarantine.
+#[test]
+fn corrupt_store_entry_is_quarantined_and_rebuilt() {
+    let state_dir = temp_state_dir("quar-state");
+    let store_dir = temp_state_dir("quar-store");
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let config = ServerConfig {
+        state_dir: state_dir.clone(),
+        store_dir: Some(store_dir.clone()),
+        ..ServerConfig::default()
+    };
+    let request = json!({
+        "id": 7, "op": "stats", "circuit": "c499", "tier": "gatesep",
+    });
+    let server = Server::start(config.clone()).expect("start");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let cold = client.call(&request).expect("cold stats");
+    assert!(cold["status"] == "ok");
+    let _ = server.kill();
+
+    // Flip a byte in every store entry.
+    for entry in std::fs::read_dir(&store_dir).expect("read store dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "artifact") {
+            let mut bytes = std::fs::read(&path).expect("read entry");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x10;
+            std::fs::write(&path, &bytes).expect("write corruption");
+        }
+    }
+
+    let server = Server::start(config).expect("restart");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("reconnect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let rebuilt = client.call(&request).expect("rebuilt stats");
+    assert!(rebuilt["status"] == "ok", "got {rebuilt:?}");
+    assert!(rebuilt["result"]["store_hit"] == false);
+    assert_eq!(
+        rebuilt["result"]["fingerprint"],
+        cold["result"]["fingerprint"]
+    );
+    let metrics = server.metrics_value();
+    assert_eq!(
+        metrics["store"]["quarantined"].as_u64(),
+        Some(1),
+        "{metrics:?}"
+    );
+    // The rebuild re-populated the slot durably.
+    assert_eq!(metrics["store"]["entries"].as_u64(), Some(1));
+    let _ = server.shutdown(Duration::from_secs(10));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+/// `call_with_retry` against a deliberately tiny queue: retries turn
+/// `overloaded` sheds into eventual answers, and `retries: 0` keeps
+/// today's fail-fast behaviour.
+#[test]
+fn overloaded_requests_succeed_under_retry() {
+    use iddq_serve::RetryPolicy;
+
+    let state_dir = temp_state_dir("retry");
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        state_dir: state_dir.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = server.local_addr().to_string();
+
+    // Saturate: one sleep occupies the single worker, a second occupies
+    // the single queue slot. The pauses let the worker pop the first
+    // before the second arrives, so the slot is genuinely held.
+    let mut blocker = Client::connect(&addr).expect("blocker connect");
+    blocker
+        .send_value(&json!({"id": 0, "op": "sleep", "sleep_ms": 600}))
+        .expect("send sleep");
+    std::thread::sleep(Duration::from_millis(60));
+    blocker
+        .send_value(&json!({"id": 1, "op": "sleep", "sleep_ms": 600}))
+        .expect("send sleep");
+    std::thread::sleep(Duration::from_millis(60));
+
+    let mut client = Client::connect(&addr).expect("client connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    // Fail-fast path: with the queue full, zero retries surfaces the
+    // shed verbatim, retry_after_ms included.
+    let shed = client
+        .call_with_retry(
+            &json!({"id": 10, "op": "sim", "circuit": "c432", "patterns": 64}),
+            &RetryPolicy::new(0, 1),
+        )
+        .expect("fail-fast call");
+    assert!(shed["status"] == "overloaded", "got {shed:?}");
+    assert!(shed["retry_after_ms"].as_u64().is_some());
+    // Retrying path: enough attempts ride out the blocker's sleeps.
+    let ok = client
+        .call_with_retry(
+            &json!({"id": 11, "op": "sim", "circuit": "c432", "patterns": 64}),
+            &RetryPolicy::new(10, 1),
+        )
+        .expect("retried call");
+    assert!(ok["status"] == "ok", "got {ok:?}");
+    let _ = server.shutdown(Duration::from_secs(20));
+    let _ = std::fs::remove_dir_all(&state_dir);
+}

@@ -250,11 +250,26 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().expect("non-empty checked");
+                    // Consume one multi-byte UTF-8 scalar. Validate only a
+                    // 4-byte window, not the whole remaining input — strings
+                    // here can be 100 KB+ (embedded .bench text) and a
+                    // per-char full-suffix validation is O(n^2).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(_) => return Err(self.err("invalid utf-8")),
+                    };
+                    let c = valid.chars().next().expect("non-empty checked");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -374,6 +389,35 @@ mod tests {
         assert!(v["b"].is_null());
         assert_eq!(v["s"], "x\"\nA");
         assert_eq!(v["t"], false);
+    }
+
+    #[test]
+    fn multibyte_strings_roundtrip() {
+        // Exercises the windowed UTF-8 decode: 2-, 3- and 4-byte scalars,
+        // one landing flush against the end of input.
+        let v = Value::String("héllo → 日本 🦀".to_string());
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+        assert_eq!(
+            from_str::<Value>("\"🦀\"").unwrap(),
+            Value::String("🦀".into())
+        );
+    }
+
+    #[test]
+    fn large_embedded_strings_parse_fast() {
+        // A 1 MB string inside an object must parse in linear time; the
+        // pre-fix full-suffix revalidation made this take minutes.
+        let big = "G123 = NAND(a, b)\n".repeat(60_000);
+        let text = to_string(&json!({ "bench": big })).unwrap();
+        let start = std::time::Instant::now();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["bench"].as_str().map(str::len), Some(big.len()));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "1 MB string parse took {:?} — string scanning has gone superlinear",
+            start.elapsed()
+        );
     }
 
     #[test]
